@@ -1,0 +1,128 @@
+// Command experiments regenerates every table and figure of the paper in
+// one run: Table I semantics (via the test suite), the full Table II
+// attack & defense matrix, the Figs. 7–10 corpus study, and the Fig. 11
+// latency comparison. It is the "reproduce the paper" entry point.
+//
+// Usage:
+//
+//	experiments              # everything (generates a corpus under -workdir)
+//	experiments -runs 200    # more latency samples
+//	experiments -skip corpus # skip the 6392-project generation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/attacks"
+	"repro/internal/corpus"
+	"repro/internal/perf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runs := fs.Int("runs", 100, "latency samples per Fig. 11 cell")
+	workdir := fs.String("workdir", "", "directory for the generated corpus (default: a temp dir)")
+	skip := fs.String("skip", "", "comma-separated steps to skip: matrix,corpus,latency")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	skipSet := make(map[string]bool)
+	for _, s := range strings.Split(*skip, ",") {
+		if s != "" {
+			skipSet[strings.TrimSpace(s)] = true
+		}
+	}
+
+	banner("Table II — attack & defense matrix")
+	if skipSet["matrix"] {
+		fmt.Println("skipped")
+	} else if err := runMatrix(); err != nil {
+		return err
+	}
+
+	banner("Figs. 7-10 — GitHub corpus study")
+	if skipSet["corpus"] {
+		fmt.Println("skipped")
+	} else if err := runCorpus(*workdir); err != nil {
+		return err
+	}
+
+	banner("Fig. 11 — defense overhead")
+	if skipSet["latency"] {
+		fmt.Println("skipped")
+	} else if err := runLatency(*runs); err != nil {
+		return err
+	}
+
+	banner("Done")
+	fmt.Println("Table I and all protocol-level assertions are covered by the test")
+	fmt.Println("suite: go test ./...")
+	return nil
+}
+
+func banner(title string) {
+	fmt.Printf("\n============================================================\n")
+	fmt.Printf("%s\n", title)
+	fmt.Printf("============================================================\n")
+}
+
+func runMatrix() error {
+	start := time.Now()
+	m, err := attacks.RunMatrix()
+	if err != nil {
+		return err
+	}
+	fmt.Print(m.Render())
+	if m.Equal(attacks.ExpectedMatrix()) {
+		fmt.Printf("matches the paper's Table II (%.1fs)\n", time.Since(start).Seconds())
+		return nil
+	}
+	fmt.Println("DEVIATIONS:", m.Diff(attacks.ExpectedMatrix()))
+	return fmt.Errorf("Table II deviates from the paper")
+}
+
+func runCorpus(workdir string) error {
+	if workdir == "" {
+		dir, err := os.MkdirTemp("", "pdc-corpus-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		workdir = dir
+	}
+	root := filepath.Join(workdir, "corpus")
+	start := time.Now()
+	n, err := corpus.Generate(root, corpus.PaperSpec())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d projects in %.1fs\n\n", n, time.Since(start).Seconds())
+	report, err := analyzer.ScanCorpus(root)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.RenderAll())
+	return nil
+}
+
+func runLatency(runs int) error {
+	results, err := perf.RunFig11(runs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(perf.Render(results))
+	return nil
+}

@@ -1,0 +1,75 @@
+// Command fabricbench regenerates Fig. 11 of the paper: per-transaction
+// execution (endorsement) latency and validation latency for read, write
+// and delete transactions, under the original framework and under the
+// framework with the defense features enabled.
+//
+// Usage:
+//
+//	fabricbench            # 100 runs per cell, as in the paper
+//	fabricbench -runs 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fabricbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fabricbench", flag.ContinueOnError)
+	runs := fs.Int("runs", 100, "measurement runs per (framework, phase, tx) cell")
+	verbose := fs.Bool("v", false, "print min/median/max for every cell")
+	throughput := fs.Bool("throughput", false, "also measure end-to-end throughput")
+	clients := fs.Int("clients", 4, "concurrent clients for -throughput")
+	txs := fs.Int("txs", 200, "transactions for -throughput")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *throughput {
+		var results []perf.ThroughputResult
+		for _, v := range []struct {
+			name string
+			sec  core.SecurityConfig
+		}{
+			{"original", core.OriginalFabric()},
+			{"defended", core.DefendedFabric()},
+		} {
+			r, err := perf.MeasureThroughput(v.sec, v.name, *clients, *txs)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		fmt.Print(perf.RenderThroughput(results))
+		fmt.Println()
+	}
+
+	fmt.Printf("Measuring execution and validation latency (%d runs per cell)...\n", *runs)
+	results, err := perf.RunFig11(*runs)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(perf.Render(results))
+
+	if *verbose {
+		fmt.Println("\nDetailed samples:")
+		for _, r := range results {
+			fmt.Printf("%-10s %-11s %-8s mean=%-12s median=%-12s min=%-12s max=%s\n",
+				r.Framework, r.Phase, r.Kind,
+				r.Stats.Mean, r.Stats.Median, r.Stats.Min, r.Stats.Max)
+		}
+	}
+	return nil
+}

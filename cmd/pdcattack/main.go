@@ -1,0 +1,152 @@
+// Command pdcattack runs the paper's attack experiments (§V-A, §V-B)
+// against freshly built prototype networks and prints the outcomes,
+// including the full attack & defense matrix of Table II.
+//
+// Usage:
+//
+//	pdcattack -matrix
+//	pdcattack -scenario read|write|readwrite|delete|noutof|collpolicy|leakread|leakwrite
+//	pdcattack -scenario read -defense feature1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attacks"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pdcattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pdcattack", flag.ContinueOnError)
+	matrix := fs.Bool("matrix", false, "regenerate the full Table II attack & defense matrix")
+	scenario := fs.String("scenario", "", "run one scenario: read|write|readwrite|delete|noutof|collpolicy|leakread|leakwrite")
+	defense := fs.String("defense", "", "defense features: none|feature1|feature2|filter|all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *matrix {
+		return runMatrix()
+	}
+	if *scenario == "" {
+		fs.Usage()
+		return fmt.Errorf("either -matrix or -scenario is required")
+	}
+	return runScenario(*scenario, *defense)
+}
+
+func runMatrix() error {
+	fmt.Println("Regenerating Table II (each cell runs every attack on a fresh network)...")
+	m, err := attacks.RunMatrix()
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(m.Render())
+	want := attacks.ExpectedMatrix()
+	if m.Equal(want) {
+		fmt.Println("\nMatrix matches the paper's Table II.")
+		return nil
+	}
+	fmt.Println("\nDeviations from the paper's Table II:")
+	for _, d := range m.Diff(want) {
+		fmt.Println("  ", d)
+	}
+	return fmt.Errorf("matrix deviates from the published table")
+}
+
+func securityFor(defense string) (core.SecurityConfig, error) {
+	switch defense {
+	case "", "none":
+		return core.OriginalFabric(), nil
+	case "feature1":
+		return core.Feature1Only(), nil
+	case "feature2":
+		return core.Feature2Only(), nil
+	case "filter":
+		return core.SecurityConfig{FilterNonMemberEndorsements: true}, nil
+	case "all":
+		return core.DefendedFabric(), nil
+	default:
+		return core.SecurityConfig{}, fmt.Errorf("unknown defense %q", defense)
+	}
+}
+
+func runScenario(name, defense string) error {
+	sec, err := securityFor(defense)
+	if err != nil {
+		return err
+	}
+
+	var s attacks.Scenario
+	var attack func(*attacks.Env) attacks.Outcome
+	switch name {
+	case "read":
+		s = attacks.Scenario{Name: "fake read injection", Security: sec}
+		attack = attacks.FakeReadInjection
+	case "write":
+		s = attacks.Scenario{Name: "fake write injection", Security: sec}
+		attack = attacks.FakeWriteInjection
+	case "readwrite":
+		s = attacks.Scenario{Name: "fake read-write injection", Security: sec}
+		attack = attacks.FakeReadWriteInjection
+	case "delete":
+		s = attacks.Scenario{Name: "PDC delete attack", Security: sec}
+		attack = attacks.PDCDeleteAttack
+	case "noutof":
+		s = attacks.Scenario{
+			Name:            "attacks under 2OutOf5",
+			Orgs:            []string{"org1", "org2", "org3", "org4", "org5"},
+			ChaincodePolicy: "OutOf(2, org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)",
+			Malicious:       []string{"org3", "org4"},
+			Security:        sec,
+		}
+		attack = attacks.FakeReadInjection
+	case "collpolicy":
+		s = attacks.Scenario{
+			Name:         "attacks under collection-level AND(org1, org2)",
+			CollectionEP: "AND(org1.peer, org2.peer)",
+			Security:     sec,
+		}
+		attack = attacks.FakeReadInjection
+	case "leakread":
+		s = attacks.Scenario{Name: "PDC-read leakage", DisableForgers: true, Security: sec}
+		attack = attacks.PDCReadLeakage
+	case "leakwrite":
+		s = attacks.Scenario{Name: "PDC-write leakage", DisableForgers: true, LeakOnWrite: true, Security: sec}
+		attack = func(e *attacks.Env) attacks.Outcome { return attacks.PDCWriteLeakage(e, "13") }
+	default:
+		return fmt.Errorf("unknown scenario %q", name)
+	}
+	if defense != "" && defense != "none" {
+		s.Name += " + defense " + defense
+		// Feature 1 needs a collection policy to route reads to.
+		if defense == "feature1" || defense == "all" {
+			if s.CollectionEP == "" {
+				s.CollectionEP = "AND(org1.peer, org2.peer)"
+			}
+		}
+	}
+
+	fmt.Printf("Scenario: %s\n", s.Name)
+	env, err := attacks.Setup(s)
+	if err != nil {
+		return err
+	}
+	out := attack(env)
+	verdict := "ATTACK FAILED"
+	if out.Succeeded {
+		verdict = "ATTACK SUCCEEDED"
+	}
+	fmt.Printf("%s\n  tx:     %s\n  code:   %v\n  detail: %s\n", verdict, out.TxID, out.Code, out.Detail)
+	return nil
+}

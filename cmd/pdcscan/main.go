@@ -1,0 +1,161 @@
+// Command pdcscan is the static analysis tool of §V-C: it scans a
+// directory of Hyperledger Fabric projects for private data collection
+// usage, endorsement policy configuration and PDC leakage patterns, and
+// prints the corpus statistics of the paper's Figs. 7–10.
+//
+// Usage:
+//
+//	pdcscan -root ./corpus                 # all figures
+//	pdcscan -root ./corpus -report fig9    # one figure
+//	pdcscan -root ./corpus -project proj-00001   # one project in detail
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analyzer"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pdcscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pdcscan", flag.ContinueOnError)
+	root := fs.String("root", "", "corpus root directory (each subdirectory is one project)")
+	report := fs.String("report", "all", "report to print: years|pdctype|policy|leakage|all")
+	project := fs.String("project", "", "print the detailed report of one project instead")
+	asJSON := fs.Bool("json", false, "emit the aggregate report as JSON")
+	advise := fs.Bool("advise", false, "print per-project misuse advisories instead of aggregates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *root == "" {
+		fs.Usage()
+		return fmt.Errorf("-root is required")
+	}
+
+	if *project != "" {
+		return scanOne(filepath.Join(*root, *project))
+	}
+
+	corpus, err := analyzer.ScanCorpus(*root)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return printJSON(corpus)
+	}
+	if *advise {
+		for _, proj := range corpus.Projects {
+			advisories := analyzer.Advise(proj)
+			if len(advisories) == 0 {
+				continue
+			}
+			fmt.Printf("%s:\n", proj.Name)
+			for _, line := range strings.Split(strings.TrimRight(analyzer.RenderAdvisories(advisories), "\n"), "\n") {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+		return nil
+	}
+	switch *report {
+	case "years", "fig7":
+		fmt.Print(corpus.RenderFig7())
+	case "pdctype", "fig8":
+		fmt.Print(corpus.RenderFig8())
+	case "policy", "fig9":
+		fmt.Print(corpus.RenderFig9())
+	case "leakage", "fig10":
+		fmt.Print(corpus.RenderFig10())
+	case "all":
+		fmt.Print(corpus.RenderAll())
+	default:
+		return fmt.Errorf("unknown report %q", *report)
+	}
+	return nil
+}
+
+// jsonReport is the machine-readable aggregate, with the paper's
+// headline percentages precomputed.
+type jsonReport struct {
+	Total                 int            `json:"total_projects"`
+	ExplicitPDC           int            `json:"explicit_pdc"`
+	ImplicitPDC           int            `json:"implicit_pdc"`
+	BothPDC               int            `json:"both_pdc"`
+	ImplicitOnly          int            `json:"implicit_only"`
+	PDCTotal              int            `json:"pdc_total"`
+	ByYear                map[string]int `json:"projects_by_year"`
+	PDCByYear             map[string]int `json:"pdc_by_year"`
+	ChaincodeLevelPolicy  int            `json:"chaincode_level_policy"`
+	CollectionLevelPolicy int            `json:"collection_level_policy"`
+	ConfigtxFound         int            `json:"configtx_found"`
+	ConfigtxMajority      int            `json:"configtx_majority"`
+	ReadLeak              int            `json:"read_leak"`
+	ReadWriteLeak         int            `json:"read_write_leak"`
+	NoLeak                int            `json:"no_leak"`
+	InjectionVulnerable   string         `json:"injection_vulnerable_pct"`
+	Leakage               string         `json:"leakage_pct"`
+}
+
+func printJSON(r *analyzer.CorpusReport) error {
+	out := jsonReport{
+		Total:                 r.Total,
+		ExplicitPDC:           r.ExplicitPDC,
+		ImplicitPDC:           r.ImplicitPDC,
+		BothPDC:               r.BothPDC,
+		ImplicitOnly:          r.ImplicitOnly,
+		PDCTotal:              r.PDCTotal,
+		ByYear:                map[string]int{},
+		PDCByYear:             map[string]int{},
+		ChaincodeLevelPolicy:  r.ChaincodeLevelPolicy,
+		CollectionLevelPolicy: r.CollectionLevelPolicy,
+		ConfigtxFound:         r.ConfigtxFound,
+		ConfigtxMajority:      r.ConfigtxMajority,
+		ReadLeak:              r.ReadLeak,
+		ReadWriteLeak:         r.ReadWriteLeak,
+		NoLeak:                r.NoLeak,
+		InjectionVulnerable:   r.VulnerableToInjectionPct(),
+		Leakage:               r.LeakagePct(),
+	}
+	for _, y := range r.Years() {
+		key := fmt.Sprintf("%d", y)
+		out.ByYear[key] = r.ByYear[y]
+		out.PDCByYear[key] = r.PDCByYear[y]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func scanOne(dir string) error {
+	r, err := analyzer.ScanProject(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("project:       %s\n", r.Name)
+	fmt.Printf("created:       %d\n", r.CreatedYear)
+	fmt.Printf("explicit PDC:  %v\n", r.ExplicitPDC)
+	fmt.Printf("implicit PDC:  %v\n", r.ImplicitPDC)
+	for _, c := range r.Collections {
+		fmt.Printf("collection:    %s (endorsementPolicy=%v) in %s\n", c.Name, c.HasEndorsementPolicy, c.File)
+	}
+	if r.ConfigtxPolicy != "" {
+		fmt.Printf("configtx rule: %s\n", r.ConfigtxPolicy)
+	}
+	for _, l := range r.Leaks {
+		fmt.Printf("LEAK (%s):     %s in %s\n", l.Kind, l.Function, l.File)
+	}
+	if len(r.Leaks) == 0 {
+		fmt.Println("no PDC leakage patterns found")
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Attackdemo: the paper's Fig. 5 experiment end to end — the fake read
+// result injection — first against the original framework, then against
+// the framework with defense Feature 1 enabled.
+//
+// org1 and org3 are malicious and collude: org3 is not a member of the
+// PDC, yet both install a customized chaincode that obtains the key's
+// version through GetPrivateDataHash (which works on every peer) and
+// returns an agreed fake value in the payload. Under the default
+// "MAJORITY Endorsement" policy, their two endorsements out of three
+// organizations are enough, and the fabricated transaction is recorded
+// VALID in every peer's blockchain.
+//
+// Run with: go run ./examples/attackdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attacks"
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("=== Fake read result injection (paper §V-A1, Fig. 5) ===")
+	fmt.Println()
+	fmt.Println("Setup: 3 orgs, PDC{org1,org2} holding k1=12, chaincode-level")
+	fmt.Println("policy MAJORITY Endorsement, malicious org1+org3.")
+	fmt.Println()
+
+	// --- Original framework ---
+	env, err := attacks.Setup(attacks.Scenario{Name: "original framework"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := attacks.FakeReadInjection(env)
+	fmt.Println("Original framework:")
+	report(out)
+
+	// The world state is intact — the blockchain is what lies.
+	if v, ok := env.VictimValue(); ok {
+		fmt.Printf("  victim org2 still stores the true value k1=%s;\n", v)
+		fmt.Println("  the blockchain now contains a VALID read of k1 = 999.")
+	}
+	fmt.Println()
+
+	// --- Defended framework ---
+	env, err = attacks.Setup(attacks.Scenario{
+		Name:         "defended framework",
+		CollectionEP: "AND(org1.peer, org2.peer)",
+		Security:     core.Feature1Only(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out = attacks.FakeReadInjection(env)
+	fmt.Println("With Feature 1 (collection-level policy check for PDC reads):")
+	report(out)
+	fmt.Println()
+	fmt.Println("The forged transaction now fails the endorsement policy check:")
+	fmt.Println("read-only PDC transactions are validated against the collection-")
+	fmt.Println("level policy AND(org1, org2), which org3's endorsement cannot satisfy.")
+}
+
+func report(out attacks.Outcome) {
+	verdict := "ATTACK FAILED"
+	if out.Succeeded {
+		verdict = "ATTACK SUCCEEDED"
+	}
+	fmt.Printf("  %s\n  validation code: %v\n  %s\n", verdict, out.Code, out.Detail)
+}

@@ -1,0 +1,189 @@
+// Marbles: the canonical Fabric private-data sample transliterated to
+// this framework. Marble ownership is public; the agreed price lives in
+// a separate collection with a short BlockToLive, so price details are
+// purged from member stores after N blocks while the public record (and
+// the price hashes) remain.
+//
+// Demonstrates: two collections with different membership, transient
+// inputs, composite keys with prefix scans, and BlockToLive purging.
+//
+// Run with: go run ./examples/marbles
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chaincode"
+	"repro/internal/ledger"
+	"repro/internal/network"
+	"repro/internal/peer"
+	"repro/internal/pvtdata"
+)
+
+const (
+	collMarbles = "collectionMarbles"      // org1+org2: marble details
+	collPrices  = "collectionMarblePrices" // org1 only: negotiated prices
+)
+
+func marblesContract() chaincode.Router {
+	return chaincode.Router{
+		// initMarble(name, color, owner) + transient "price".
+		"initMarble": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 3 {
+				return chaincode.ErrorResponse("initMarble: want (name, color, owner)")
+			}
+			key, err := chaincode.CreateCompositeKey("marble", args[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if err := stub.PutPrivateData(collMarbles, key, []byte(args[1]+"/"+args[2])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if price := stub.Transient("price"); price != nil {
+				if err := stub.PutPrivateData(collPrices, key, price); err != nil {
+					return chaincode.ErrorResponse(err.Error())
+				}
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+		// readMarble(name) — members only.
+		"readMarble": func(stub chaincode.Stub) ledger.Response {
+			key, err := chaincode.CreateCompositeKey("marble", stub.Args()[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			value, err := stub.GetPrivateData(collMarbles, key)
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if value == nil {
+				return chaincode.ErrorResponse("marble not found")
+			}
+			return chaincode.SuccessResponse(value)
+		},
+		// readPrice(name) — price collection members only.
+		"readPrice": func(stub chaincode.Stub) ledger.Response {
+			key, err := chaincode.CreateCompositeKey("marble", stub.Args()[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			value, err := stub.GetPrivateData(collPrices, key)
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if value == nil {
+				return chaincode.ErrorResponse("price not found (purged or never set)")
+			}
+			return chaincode.SuccessResponse(value)
+		},
+		// registerPublic(name) records public existence of the marble.
+		"registerPublic": func(stub chaincode.Stub) ledger.Response {
+			key, err := chaincode.CreateCompositeKey("marble", stub.Args()[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if err := stub.PutState(key, []byte("exists")); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+		// listPublic() scans the public marble registry.
+		"listPublic": func(stub chaincode.Stub) ledger.Response {
+			start, end, err := chaincode.CompositeKeyRange("marble")
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			kvs, err := stub.GetStateByRange(start, end)
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			out := ""
+			for _, kv := range kvs {
+				_, attrs, err := chaincode.SplitCompositeKey(kv.Key)
+				if err != nil || len(attrs) == 0 {
+					continue
+				}
+				out += attrs[0] + ";"
+			}
+			return chaincode.SuccessResponse([]byte(out))
+		},
+	}
+}
+
+func main() {
+	net, err := network.New(network.Options{Orgs: []string{"org1", "org2", "org3"}, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	def := &chaincode.Definition{
+		Name:    "marbles",
+		Version: "1.0",
+		Collections: []pvtdata.CollectionConfig{
+			{
+				Name:         collMarbles,
+				MemberPolicy: "OR(org1.member, org2.member)",
+				MaxPeerCount: 3,
+			},
+			{
+				Name:         collPrices,
+				MemberPolicy: "OR(org1.member)",
+				MaxPeerCount: 3,
+				// Prices are purged three blocks after commit.
+				BlockToLive: 3,
+			},
+		},
+	}
+	if err := net.DeployChaincode(def, marblesContract()); err != nil {
+		log.Fatal(err)
+	}
+	cl := net.Client("org1")
+	members := []*peer.Peer{net.Peer("org1"), net.Peer("org2")}
+
+	// Create a marble; the price enters through the transient map only.
+	if _, err := cl.SubmitTransaction(members, "marbles", "initMarble",
+		[]string{"m1", "blue", "tom"},
+		map[string][]byte{"price": []byte("99")}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cl.SubmitTransaction(net.Peers(), "marbles", "registerPublic", []string{"m1"}, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("marble m1 created (details org1+org2; price org1 only, BlockToLive=3)")
+
+	details, err := cl.EvaluateTransaction(net.Peer("org2"), "marbles", "readMarble", "m1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("org2 reads details: %s\n", details)
+	price, err := cl.EvaluateTransaction(net.Peer("org1"), "marbles", "readPrice", "m1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("org1 reads price:   %s\n", price)
+	if _, err := cl.EvaluateTransaction(net.Peer("org2"), "marbles", "readPrice", "m1"); err != nil {
+		fmt.Println("org2 cannot read the price (not a collectionMarblePrices member)")
+	}
+
+	// Advance the chain past BlockToLive: the price is purged at org1.
+	for i := 0; i < 4; i++ {
+		if _, err := cl.SubmitTransaction(net.Peers(), "marbles", "registerPublic",
+			[]string{fmt.Sprintf("pad%d", i)}, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := cl.EvaluateTransaction(net.Peer("org1"), "marbles", "readPrice", "m1"); err != nil {
+		fmt.Println("after 4 more blocks, the price is purged even at org1 (BlockToLive)")
+	}
+	// The marble details (no BlockToLive) survive.
+	if _, err := cl.EvaluateTransaction(net.Peer("org1"), "marbles", "readMarble", "m1"); err == nil {
+		fmt.Println("marble details persist (no BlockToLive on collectionMarbles)")
+	}
+
+	listing, err := cl.EvaluateTransaction(net.Peer("org3"), "marbles", "listPublic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("public registry visible to non-member org3: %s\n", listing)
+}

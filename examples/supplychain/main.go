@@ -1,0 +1,101 @@
+// Supplychain: the canonical Fabric PDC motivating scenario — a
+// distributor (org1) and a wholesaler (org2) negotiate prices privately
+// on a channel they share with a retailer (org3), who must see that
+// trades happen but not the negotiated prices.
+//
+// The example shows the right way to keep the price confidential (pass
+// it through the transient map, return nothing in the payload) and the
+// wrong way (the Listing 1/2 patterns), then lets the retailer try to
+// learn the price from its own copy of the blockchain.
+//
+// Run with: go run ./examples/supplychain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attacks"
+	"repro/internal/chaincode"
+	"repro/internal/contracts"
+	"repro/internal/network"
+	"repro/internal/peer"
+	"repro/internal/pvtdata"
+)
+
+func main() {
+	net, err := network.New(network.Options{
+		Orgs: []string{"distributor", "wholesaler", "retailer"},
+		Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	def := &chaincode.Definition{
+		Name:    "trade",
+		Version: "1.0",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:         "negotiations",
+			MemberPolicy: "OR(distributor.member, wholesaler.member)",
+			MaxPeerCount: 3,
+			// Write-related PDC transactions must be endorsed by both
+			// trading parties.
+			EndorsementPolicy: "AND(distributor.peer, wholesaler.peer)",
+		}},
+	}
+	impl := contracts.NewPublicAsset()
+	for name, fn := range contracts.NewPDC(contracts.PDCOptions{Collection: "negotiations"}) {
+		impl[name] = fn
+	}
+	if err := net.DeployChaincode(def, impl); err != nil {
+		log.Fatal(err)
+	}
+
+	distributor := net.Client("distributor")
+	parties := []*peer.Peer{net.Peer("distributor"), net.Peer("wholesaler")}
+
+	// The public part of the trade is visible to everyone, including
+	// the retailer.
+	if _, err := distributor.SubmitTransaction(net.Peers(), "trade",
+		"set", []string{"trade-1042", "distributor->wholesaler:widgets:5000units"}, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("public trade record committed (visible to all orgs)")
+
+	// The negotiated unit price goes into the PDC through the transient
+	// map: it appears in no proposal args and no payload.
+	if _, err := distributor.SubmitTransaction(parties, "trade",
+		"setPrivateTransient", []string{"trade-1042-price"},
+		map[string][]byte{"value": []byte("17")}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("private price committed via transient map (members only)")
+
+	// The retailer scans its blockchain: the price is not recoverable.
+	leaks := attacks.ExtractPDCPayloads(net.Peer("retailer"))
+	fmt.Printf("retailer ledger scan after careful write: %d PDC payloads recoverable\n", len(leaks))
+
+	// Now the careless pattern: an audited read (Listing 1) returns the
+	// price through the payload — and the retailer sees it.
+	res, err := distributor.SubmitTransaction(parties, "trade",
+		"readPrivate", []string{"trade-1042-price"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audited read returned %q to the client\n", res.Payload)
+	for _, leak := range attacks.ExtractPDCPayloads(net.Peer("retailer")) {
+		fmt.Printf("LEAK: retailer recovered %q from its own blockchain (block %d, %s)\n",
+			leak.Payload, leak.BlockNum, leak.Function)
+	}
+
+	// Both parties hold the original price; the retailer holds a hash.
+	for _, org := range net.Orgs() {
+		p := net.Peer(org)
+		if v, _, ok := p.PvtStore().GetPrivate("trade", "negotiations", "trade-1042-price"); ok {
+			fmt.Printf("  %s: price=%s\n", p.Name(), v)
+		} else {
+			fmt.Printf("  %s: hash only\n", p.Name())
+		}
+	}
+}

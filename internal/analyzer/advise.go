@@ -1,0 +1,95 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Advisory is one actionable warning about a scanned project, mapping a
+// detected pattern to the paper's misuse classes.
+type Advisory struct {
+	// Severity is "high" or "medium".
+	Severity string
+	// UseCase names the paper misuse class ("UC1/UC2", "UC3").
+	UseCase string
+	// Message explains the exposure and the fix.
+	Message string
+}
+
+// Advise derives the paper's misuse findings for one project:
+//
+//   - explicit PDC without a collection-level endorsement policy →
+//     exposed to fake PDC results injection (Use Cases 1+2, §IV-A);
+//   - even with a collection-level policy, read-only transactions
+//     validate against the chaincode-level policy (Use Case 2) unless
+//     the framework runs defense Feature 1;
+//   - chaincode returning private data through the payload or an event →
+//     PDC leakage (Use Case 3, §IV-B), fixed by Feature 2 or by not
+//     returning the value.
+func Advise(r *ProjectReport) []Advisory {
+	var out []Advisory
+	if r.ExplicitPDC && !r.UsesCollectionLevelPolicy() {
+		policyNote := ""
+		if r.ConfigtxPolicy != "" {
+			policyNote = fmt.Sprintf(" (channel default: %q)", r.ConfigtxPolicy)
+		}
+		out = append(out, Advisory{
+			Severity: "high",
+			UseCase:  "UC1/UC2",
+			Message: "collections define no endorsementPolicy: PDC transactions validate " +
+				"against the chaincode-level policy" + policyNote + ", which admits " +
+				"endorsements from collection non-members — exposed to fake PDC results " +
+				"injection; define a collection-level endorsementPolicy",
+		})
+	}
+	if r.ExplicitPDC && r.UsesCollectionLevelPolicy() {
+		out = append(out, Advisory{
+			Severity: "medium",
+			UseCase:  "UC2",
+			Message: "collection-level policy protects write-related transactions only: " +
+				"read-only PDC transactions still validate against the chaincode-level " +
+				"policy (fake read injection remains possible without defense Feature 1)",
+		})
+	}
+	for _, l := range r.Leaks {
+		var channel string
+		switch l.Kind {
+		case "read":
+			channel = "returns a GetPrivateData result through the response payload"
+		case "write":
+			channel = "returns the value passed to PutPrivateData through the response payload"
+		case "event":
+			channel = "emits private data through a chaincode event"
+		default:
+			continue
+		}
+		out = append(out, Advisory{
+			Severity: "high",
+			UseCase:  "UC3",
+			Message: fmt.Sprintf("%s (%s) %s: the value is stored in plaintext in every "+
+				"peer's blockchain — PDC leakage; return a hash or nothing, or deploy "+
+				"defense Feature 2", l.Function, shortPath(l.File), channel),
+		})
+	}
+	return out
+}
+
+func shortPath(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// RenderAdvisories formats a project's advisories, one per line,
+// prefixed by severity.
+func RenderAdvisories(advisories []Advisory) string {
+	if len(advisories) == 0 {
+		return "no PDC misuse patterns found\n"
+	}
+	var b strings.Builder
+	for _, a := range advisories {
+		fmt.Fprintf(&b, "[%-6s %-7s] %s\n", a.Severity, a.UseCase, a.Message)
+	}
+	return b.String()
+}

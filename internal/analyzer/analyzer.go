@@ -1,0 +1,275 @@
+// Package analyzer reimplements the paper's static analysis tool (§V-C):
+// it scans Hyperledger Fabric project trees for
+//
+//   - explicit PDC definitions: ".json" collection configuration files
+//     carrying the fixed keywords Name, Policy, RequiredPeerCount,
+//     MaxPeerCount, BlockToLive, MemberOnlyRead;
+//
+//   - implicit PDC usage: the "_implicit_org_" marker in chaincode;
+//
+//   - the optional "EndorsementPolicy" collection property, whose absence
+//     means the project validates PDC transactions with the chaincode-level
+//     policy (the vulnerable default of Use Case 2);
+//
+//   - the channel-default endorsement policy in configtx.yaml; and
+//
+//   - PDC leakage patterns in chaincode (Go via go/parser, JavaScript/
+//     TypeScript via a lexical scan): read functions that return the value
+//     obtained from GetPrivateData, and write functions that return the
+//     value passed to PutPrivateData (the paper's Listings 1 and 2).
+package analyzer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CollectionInfo summarizes one explicit collection definition.
+type CollectionInfo struct {
+	File string
+	Name string
+	// HasEndorsementPolicy reports whether the optional
+	// "endorsementPolicy" property is set.
+	HasEndorsementPolicy bool
+}
+
+// LeakFinding locates one leaking chaincode function.
+type LeakFinding struct {
+	File     string
+	Function string
+	// Kind is "read" (returns a GetPrivateData result) or "write"
+	// (returns a value passed to PutPrivateData).
+	Kind string
+}
+
+// ProjectReport is the analysis result for one project directory.
+type ProjectReport struct {
+	Dir  string
+	Name string
+	// CreatedYear comes from the project.json manifest; 0 if unknown.
+	CreatedYear int
+	// ExplicitPDC: the project defines collections via configuration
+	// JSON.
+	ExplicitPDC bool
+	// ImplicitPDC: chaincode references "_implicit_org_" collections.
+	ImplicitPDC bool
+	// Collections are the explicit collection definitions found.
+	Collections []CollectionInfo
+	// ConfigtxPolicy is the channel-default endorsement rule found in
+	// configtx.yaml ("" when no configtx.yaml or no rule found).
+	ConfigtxPolicy string
+	// Leaks are the leaking chaincode functions found.
+	Leaks []LeakFinding
+}
+
+// IsPDC reports whether the project uses private data collections at all.
+func (r *ProjectReport) IsPDC() bool { return r.ExplicitPDC || r.ImplicitPDC }
+
+// UsesCollectionLevelPolicy reports whether any explicit collection
+// defines its own endorsement policy.
+func (r *ProjectReport) UsesCollectionLevelPolicy() bool {
+	for _, c := range r.Collections {
+		if c.HasEndorsementPolicy {
+			return true
+		}
+	}
+	return false
+}
+
+// HasReadLeak reports whether any chaincode function leaks via PDC reads.
+func (r *ProjectReport) HasReadLeak() bool { return r.hasLeak("read") }
+
+// HasWriteLeak reports whether any chaincode function leaks via PDC
+// writes.
+func (r *ProjectReport) HasWriteLeak() bool { return r.hasLeak("write") }
+
+func (r *ProjectReport) hasLeak(kind string) bool {
+	for _, l := range r.Leaks {
+		if l.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// manifest mirrors the project.json metadata file carrying what the
+// paper's tool obtained from the GitHub API (creation date).
+type manifest struct {
+	Name      string `json:"name"`
+	CreatedAt string `json:"created_at"`
+}
+
+// explicitKeywords are the fixed keywords of a collection configuration
+// file the paper's tool searches for (case-insensitive match on JSON
+// field names).
+var explicitKeywords = []string{
+	"name", "policy", "requiredpeercount", "maxpeercount", "blocktolive", "memberonlyread",
+}
+
+// minExplicitKeywords is how many of the keywords must appear for a JSON
+// file to be classified as a collection configuration.
+const minExplicitKeywords = 3
+
+// implicitMarker flags implicit per-org collections in chaincode.
+const implicitMarker = "_implicit_org_"
+
+// ScanProject analyzes one project directory.
+func ScanProject(dir string) (*ProjectReport, error) {
+	report := &ProjectReport{Dir: dir, Name: filepath.Base(dir)}
+
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip dependency trees, as the paper's tool scans
+			// project sources.
+			switch d.Name() {
+			case "node_modules", "vendor", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch {
+		case d.Name() == "project.json":
+			scanManifest(path, report)
+		case strings.EqualFold(d.Name(), "configtx.yaml"):
+			if rule := scanConfigtx(path); rule != "" {
+				report.ConfigtxPolicy = rule
+			}
+		case strings.HasSuffix(path, ".json"):
+			scanCollectionJSON(path, report)
+		case strings.HasSuffix(path, ".go"):
+			scanGoChaincode(path, report)
+		case strings.HasSuffix(path, ".js") || strings.HasSuffix(path, ".ts"):
+			scanJSChaincode(path, report)
+		case strings.HasSuffix(path, ".java"):
+			scanForImplicitMarker(path, report)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: scan %s: %w", dir, err)
+	}
+	return report, nil
+}
+
+func scanManifest(path string, report *ProjectReport) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return
+	}
+	if m.Name != "" {
+		report.Name = m.Name
+	}
+	// created_at is RFC 3339 or a plain date; the year is the leading
+	// 4 digits either way.
+	if len(m.CreatedAt) >= 4 {
+		var year int
+		if _, err := fmt.Sscanf(m.CreatedAt[:4], "%d", &year); err == nil {
+			report.CreatedYear = year
+		}
+	}
+}
+
+// scanCollectionJSON classifies a JSON file as an explicit collection
+// configuration when enough of the fixed keywords appear among its field
+// names, and records each collection's name and EndorsementPolicy
+// presence.
+func scanCollectionJSON(path string, report *ProjectReport) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var entries []map[string]json.RawMessage
+	if err := json.Unmarshal(data, &entries); err != nil {
+		// A single collection object rather than an array.
+		var one map[string]json.RawMessage
+		if err := json.Unmarshal(data, &one); err != nil {
+			return
+		}
+		entries = []map[string]json.RawMessage{one}
+	}
+	for _, entry := range entries {
+		fields := make(map[string]bool, len(entry))
+		for k := range entry {
+			fields[strings.ToLower(k)] = true
+		}
+		hits := 0
+		for _, kw := range explicitKeywords {
+			if fields[kw] {
+				hits++
+			}
+		}
+		if hits < minExplicitKeywords {
+			continue
+		}
+		report.ExplicitPDC = true
+		info := CollectionInfo{File: path}
+		if raw, ok := entry["name"]; ok {
+			_ = json.Unmarshal(raw, &info.Name)
+		} else if raw, ok := entry["Name"]; ok {
+			_ = json.Unmarshal(raw, &info.Name)
+		}
+		info.HasEndorsementPolicy = fields["endorsementpolicy"]
+		report.Collections = append(report.Collections, info)
+	}
+}
+
+// scanConfigtx extracts the channel-default endorsement rule from a
+// configtx.yaml: the Rule under the "Endorsement:" policy block. The scan
+// is lexical (as the paper's Python tool was): it finds "Endorsement:"
+// and takes the next "Rule:" value mentioning an implicitMeta quantifier.
+func scanConfigtx(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	lines := strings.Split(string(data), "\n")
+	inEndorsement := false
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "Endorsement:") {
+			inEndorsement = true
+			continue
+		}
+		if !inEndorsement {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "Rule:") {
+			value := strings.TrimSpace(strings.TrimPrefix(trimmed, "Rule:"))
+			value = strings.Trim(value, `"'`)
+			value = strings.TrimPrefix(value, "ImplicitMeta:")
+			value = strings.Trim(value, `"'`)
+			for _, rule := range []string{"MAJORITY", "ANY", "ALL"} {
+				if strings.HasPrefix(value, rule) {
+					return value
+				}
+			}
+			return ""
+		}
+		// A new top-level-ish key ends the Endorsement block.
+		if strings.HasSuffix(trimmed, ":") && !strings.HasPrefix(line, " ") {
+			inEndorsement = false
+		}
+	}
+	return ""
+}
+
+func scanForImplicitMarker(path string, report *ProjectReport) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	if strings.Contains(string(data), implicitMarker) {
+		report.ImplicitPDC = true
+	}
+}

@@ -1,0 +1,201 @@
+package analyzer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusReport aggregates project reports into the statistics of the
+// paper's Figs. 7–10 and §V-C2.
+type CorpusReport struct {
+	Projects []*ProjectReport
+
+	// Totals.
+	Total        int
+	ExplicitPDC  int // Fig. 8: explicit PDC projects (252 in the paper)
+	ImplicitPDC  int // implicit PDC projects (35)
+	BothPDC      int // explicit and implicit (31)
+	PDCTotal     int // union (256)
+	ImplicitOnly int // implicit without explicit (4)
+
+	// Fig. 7: projects per year (total and PDC).
+	ByYear    map[int]int
+	PDCByYear map[int]int
+
+	// Fig. 9: endorsement policy of explicit PDC projects.
+	ChaincodeLevelPolicy  int // no collection-level policy (218)
+	CollectionLevelPolicy int // customized collection-level policy (34)
+	ConfigtxFound         int // configtx.yaml with a rule, among chaincode-level projects (120)
+	ConfigtxMajority      int // of those, MAJORITY Endorsement (116)
+
+	// Fig. 10: PDC leakage of explicit PDC projects.
+	ReadLeak      int // projects leaking via PDC reads (231)
+	ReadWriteLeak int // of those, also via PDC writes (20)
+	NoLeak        int
+}
+
+// ScanCorpus analyzes every immediate subdirectory of root as a project.
+func ScanCorpus(root string) (*CorpusReport, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: read corpus root: %w", err)
+	}
+	var projects []*ProjectReport
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		report, err := ScanProject(filepath.Join(root, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		projects = append(projects, report)
+	}
+	return Aggregate(projects), nil
+}
+
+// Aggregate computes the corpus statistics over a set of project reports.
+func Aggregate(projects []*ProjectReport) *CorpusReport {
+	r := &CorpusReport{
+		Projects:  projects,
+		ByYear:    make(map[int]int),
+		PDCByYear: make(map[int]int),
+	}
+	for _, p := range projects {
+		r.Total++
+		r.ByYear[p.CreatedYear]++
+		if p.IsPDC() {
+			r.PDCTotal++
+			r.PDCByYear[p.CreatedYear]++
+		}
+		switch {
+		case p.ExplicitPDC && p.ImplicitPDC:
+			r.BothPDC++
+			r.ExplicitPDC++
+			r.ImplicitPDC++
+		case p.ExplicitPDC:
+			r.ExplicitPDC++
+		case p.ImplicitPDC:
+			r.ImplicitPDC++
+			r.ImplicitOnly++
+		}
+		if p.ExplicitPDC {
+			if p.UsesCollectionLevelPolicy() {
+				r.CollectionLevelPolicy++
+			} else {
+				r.ChaincodeLevelPolicy++
+				if p.ConfigtxPolicy != "" {
+					r.ConfigtxFound++
+					if strings.HasPrefix(p.ConfigtxPolicy, "MAJORITY") {
+						r.ConfigtxMajority++
+					}
+				}
+			}
+			switch {
+			case p.HasReadLeak() && p.HasWriteLeak():
+				r.ReadLeak++
+				r.ReadWriteLeak++
+			case p.HasReadLeak():
+				r.ReadLeak++
+			default:
+				r.NoLeak++
+			}
+		}
+	}
+	return r
+}
+
+// Percent formats part/whole as a percentage with two decimals, the
+// paper's reporting style (86.51%, 91.67%, ...).
+func Percent(part, whole int) string {
+	if whole == 0 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(part)/float64(whole))
+}
+
+// VulnerableToInjectionPct is the paper's headline 86.51%: explicit PDC
+// projects relying on the chaincode-level endorsement policy.
+func (r *CorpusReport) VulnerableToInjectionPct() string {
+	return Percent(r.ChaincodeLevelPolicy, r.ExplicitPDC)
+}
+
+// LeakagePct is the paper's 91.67%: explicit PDC projects with leakage
+// issues.
+func (r *CorpusReport) LeakagePct() string {
+	return Percent(r.ReadLeak, r.ExplicitPDC)
+}
+
+// Years returns the sorted years present in the corpus (unknown year 0
+// excluded).
+func (r *CorpusReport) Years() []int {
+	var out []int
+	for y := range r.ByYear {
+		if y != 0 {
+			out = append(out, y)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RenderFig7 prints the projects-across-years series.
+func (r *CorpusReport) RenderFig7() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — Projects across years\n")
+	fmt.Fprintf(&b, "%-8s%-12s%-12s\n", "Year", "Projects", "PDC")
+	for _, y := range r.Years() {
+		fmt.Fprintf(&b, "%-8d%-12d%-12d\n", y, r.ByYear[y], r.PDCByYear[y])
+	}
+	fmt.Fprintf(&b, "%-8s%-12d%-12d\n", "total", r.Total, r.PDCTotal)
+	return b.String()
+}
+
+// RenderFig8 prints the PDC definition-type distribution.
+func (r *CorpusReport) RenderFig8() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — PDC definition\n")
+	fmt.Fprintf(&b, "explicit PDC projects:    %d (%s of PDC projects)\n",
+		r.ExplicitPDC, Percent(r.ExplicitPDC, r.PDCTotal))
+	fmt.Fprintf(&b, "implicit PDC projects:    %d\n", r.ImplicitPDC)
+	fmt.Fprintf(&b, "explicit and implicit:    %d (%s of PDC projects)\n",
+		r.BothPDC, Percent(r.BothPDC, r.PDCTotal))
+	fmt.Fprintf(&b, "implicit only:            %d (%s of PDC projects)\n",
+		r.ImplicitOnly, Percent(r.ImplicitOnly, r.PDCTotal))
+	return b.String()
+}
+
+// RenderFig9 prints the endorsement-policy distribution of explicit PDC
+// projects.
+func (r *CorpusReport) RenderFig9() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9 — Endorsement policy of explicit PDC projects\n")
+	fmt.Fprintf(&b, "chaincode-level policy:   %d (%s)  <- vulnerable to fake PDC results injection\n",
+		r.ChaincodeLevelPolicy, r.VulnerableToInjectionPct())
+	fmt.Fprintf(&b, "collection-level policy:  %d (%s)\n",
+		r.CollectionLevelPolicy, Percent(r.CollectionLevelPolicy, r.ExplicitPDC))
+	fmt.Fprintf(&b, "configtx.yaml found:      %d of %d chaincode-level projects\n",
+		r.ConfigtxFound, r.ChaincodeLevelPolicy)
+	fmt.Fprintf(&b, "MAJORITY Endorsement:     %d of %d configtx files\n",
+		r.ConfigtxMajority, r.ConfigtxFound)
+	return b.String()
+}
+
+// RenderFig10 prints the PDC leakage distribution of explicit PDC
+// projects.
+func (r *CorpusReport) RenderFig10() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10 — PDC leakage issues in explicit PDC projects\n")
+	fmt.Fprintf(&b, "leak via PDC read:        %d (%s)\n", r.ReadLeak, r.LeakagePct())
+	fmt.Fprintf(&b, "  of which also write:    %d\n", r.ReadWriteLeak)
+	fmt.Fprintf(&b, "no leakage found:         %d\n", r.NoLeak)
+	return b.String()
+}
+
+// RenderAll prints every figure.
+func (r *CorpusReport) RenderAll() string {
+	return r.RenderFig7() + "\n" + r.RenderFig8() + "\n" + r.RenderFig9() + "\n" + r.RenderFig10()
+}

@@ -1,0 +1,228 @@
+package analyzer
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// scanGoChaincode analyzes a Go source file for PDC usage and leakage
+// patterns with the standard library parser.
+//
+// Detection rules (mirroring §IV-B on the paper's Listing 2):
+//
+//   - read leak: a function calls GetPrivateData, and returns either the
+//     call result directly or a variable (transitively) derived from it;
+//   - write leak: a function calls PutPrivateData(collection, key, value)
+//     and returns an expression syntactically derived from the value (or
+//     key) argument, e.g. "return args[1], nil".
+//
+// The implicit marker "_implicit_org_" is also detected here.
+func scanGoChaincode(path string, report *ProjectReport) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	if strings.Contains(string(src), implicitMarker) {
+		report.ImplicitPDC = true
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		return
+	}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		kind := classifyGoFunc(fn)
+		if kind != "" {
+			report.Leaks = append(report.Leaks, LeakFinding{
+				File:     path,
+				Function: fn.Name.Name,
+				Kind:     kind,
+			})
+		}
+	}
+}
+
+// classifyGoFunc returns "read", "write", "event" or "" for a function.
+// "event" marks private data flowing into a chaincode event payload
+// (SetEvent), which is stored in plaintext in every peer's blockchain —
+// the same exposure class as the payload leaks of §IV-B.
+func classifyGoFunc(fn *ast.FuncDecl) string {
+	// Pass 1: find tainted identifiers (assigned from GetPrivateData or
+	// derived from tainted ones) and the argument expressions of
+	// PutPrivateData calls.
+	tainted := make(map[string]bool)
+	var putArgs []ast.Expr
+	sawGet := false
+
+	// Iterate to a fixed point so chains like
+	//   buffer := GetPrivateData(...); asset := parse(buffer)
+	// are fully propagated.
+	for {
+		changed := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				rhsTainted := false
+				for _, rhs := range node.Rhs {
+					if exprCallsMethod(rhs, "GetPrivateData") {
+						sawGet = true
+						rhsTainted = true
+					}
+					if exprUsesTainted(rhs, tainted) {
+						rhsTainted = true
+					}
+				}
+				if rhsTainted {
+					for _, lhs := range node.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && id.Name != "err" {
+							if !tainted[id.Name] {
+								tainted[id.Name] = true
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if isMethodCall(node, "PutPrivateData") {
+					putArgs = append(putArgs, node.Args...)
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Pass 2: inspect return statements and event emissions.
+	leak := ""
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if leak != "" {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if sawGet && (exprCallsMethod(res, "GetPrivateData") || exprUsesTainted(res, tainted)) {
+					leak = "read"
+					return false
+				}
+				for _, arg := range putArgs {
+					if !isTrivialExpr(arg) && exprEqual(res, arg) {
+						leak = "write"
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// SetEvent(name, payload): private data in the payload
+			// lands in plaintext in every peer's blockchain.
+			if isMethodCall(node, "SetEvent") && len(node.Args) >= 2 {
+				payload := node.Args[1]
+				if sawGet && exprUsesTainted(payload, tainted) {
+					leak = "event"
+					return false
+				}
+				for _, arg := range putArgs {
+					if !isTrivialExpr(arg) && exprEqual(payload, arg) {
+						leak = "event"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return leak
+}
+
+// exprCallsMethod reports whether expr contains a call to a method with
+// the given name (on any receiver, e.g. stub.GetPrivateData or
+// ctx.stub.GetPrivateData).
+func exprCallsMethod(expr ast.Expr, method string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isMethodCall(call, method) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isMethodCall(call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == method
+}
+
+// exprUsesTainted reports whether expr references any tainted identifier.
+func exprUsesTainted(expr ast.Expr, tainted map[string]bool) bool {
+	if len(tainted) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && tainted[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isTrivialExpr filters PutPrivateData arguments that cannot leak
+// anything interesting when returned: string literals (collection names)
+// and nil.
+func isTrivialExpr(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "nil"
+	}
+	return false
+}
+
+// exprEqual compares two expressions structurally on the shapes that
+// matter for the leak patterns: identifiers, selectors, index
+// expressions, conversions like []byte(x), and call wrappers.
+func exprEqual(a, b ast.Expr) bool {
+	// Unwrap conversions/wrappers on either side: []byte(args[1]) and
+	// string(value) leak their operand.
+	if call, ok := a.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if exprEqual(call.Args[0], b) {
+			return true
+		}
+	}
+	if call, ok := b.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if exprEqual(a, call.Args[0]) {
+			return true
+		}
+	}
+	switch ea := a.(type) {
+	case *ast.Ident:
+		eb, ok := b.(*ast.Ident)
+		return ok && ea.Name == eb.Name
+	case *ast.SelectorExpr:
+		eb, ok := b.(*ast.SelectorExpr)
+		return ok && ea.Sel.Name == eb.Sel.Name && exprEqual(ea.X, eb.X)
+	case *ast.IndexExpr:
+		eb, ok := b.(*ast.IndexExpr)
+		return ok && exprEqual(ea.X, eb.X) && exprEqual(indexExprOrNil(ea), indexExprOrNil(eb))
+	case *ast.BasicLit:
+		eb, ok := b.(*ast.BasicLit)
+		return ok && ea.Kind == eb.Kind && ea.Value == eb.Value
+	}
+	return false
+}
+
+func indexExprOrNil(e *ast.IndexExpr) ast.Expr { return e.Index }

@@ -1,0 +1,195 @@
+package analyzer
+
+import (
+	"os"
+	"regexp"
+	"strings"
+)
+
+// scanJSChaincode analyzes a JavaScript/TypeScript chaincode source with
+// a lexical scan (the paper's tool was similarly lexical). It detects
+//
+//   - the implicit PDC marker,
+//   - read leaks: a variable assigned from getPrivateData (possibly via a
+//     derivation chain like JSON.parse(buffer.toString())) that is later
+//     returned, as in the paper's Listing 1, and
+//   - write leaks: a function that calls putPrivateData and returns one
+//     of the identifiers passed to it.
+func scanJSChaincode(path string, report *ProjectReport) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	src := string(data)
+	if strings.Contains(src, implicitMarker) {
+		report.ImplicitPDC = true
+	}
+	for _, fn := range splitJSFunctions(src) {
+		if kind := classifyJSFunc(fn.body); kind != "" {
+			report.Leaks = append(report.Leaks, LeakFinding{
+				File:     path,
+				Function: fn.name,
+				Kind:     kind,
+			})
+		}
+	}
+}
+
+type jsFunc struct {
+	name string
+	body string
+}
+
+// jsFuncStart matches common function heads: "async name(...) {",
+// "function name(...) {", "name: async function(...) {",
+// "const name = async (...) => {".
+var jsFuncStart = regexp.MustCompile(
+	`(?m)^\s*(?:async\s+)?(?:function\s+)?(?:(?:const|let|var)\s+)?([A-Za-z_$][\w$]*)\s*(?:=\s*(?:async\s*)?)?\(` +
+		`[^)]*\)\s*(?:=>)?\s*\{`)
+
+// splitJSFunctions slices a source file into named function bodies by
+// brace matching from each function head.
+func splitJSFunctions(src string) []jsFunc {
+	var out []jsFunc
+	locs := jsFuncStart.FindAllStringSubmatchIndex(src, -1)
+	for _, loc := range locs {
+		name := src[loc[2]:loc[3]]
+		switch name {
+		// Control-flow heads look like function heads to the regex.
+		case "if", "for", "while", "switch", "catch", "return":
+			continue
+		}
+		openBrace := strings.IndexByte(src[loc[0]:loc[1]], '{')
+		if openBrace < 0 {
+			continue
+		}
+		start := loc[0] + openBrace
+		depth := 0
+		end := -1
+		for i := start; i < len(src); i++ {
+			switch src[i] {
+			case '{':
+				depth++
+			case '}':
+				depth--
+				if depth == 0 {
+					end = i
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			continue
+		}
+		out = append(out, jsFunc{name: name, body: src[start : end+1]})
+	}
+	return out
+}
+
+var (
+	jsGetAssign = regexp.MustCompile(`(?:const|let|var)\s+([\w$]+)\s*=\s*(?:await\s+)?[\w$.]*getPrivateData\s*\(`)
+	jsAssign    = regexp.MustCompile(`(?:const|let|var)\s+([\w$]+)\s*=\s*(.+)`)
+	jsReturn    = regexp.MustCompile(`return\s+([^;\n]+)`)
+	jsPutCall   = regexp.MustCompile(`putPrivateData\s*\(([^;]*)\)`)
+	jsIdent     = regexp.MustCompile(`[\w$]+(?:\[[^\]]+\])?`)
+)
+
+// classifyJSFunc returns "read", "write" or "".
+func classifyJSFunc(body string) string {
+	lower := strings.ToLower(body)
+
+	// Read leak: taint identifiers from getPrivateData and propagate
+	// through assignment chains, then look for a tainted return.
+	if strings.Contains(lower, "getprivatedata") {
+		tainted := make(map[string]bool)
+		for _, m := range jsGetAssign.FindAllStringSubmatch(body, -1) {
+			tainted[m[1]] = true
+		}
+		// Propagate: const y = ...x... taints y.
+		for changed := true; changed; {
+			changed = false
+			for _, m := range jsAssign.FindAllStringSubmatch(body, -1) {
+				name, rhs := m[1], m[2]
+				if tainted[name] {
+					continue
+				}
+				for t := range tainted {
+					if containsIdent(rhs, t) {
+						tainted[name] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		for _, m := range jsReturn.FindAllStringSubmatch(body, -1) {
+			expr := m[1]
+			if strings.Contains(strings.ToLower(expr), "getprivatedata") {
+				return "read"
+			}
+			for t := range tainted {
+				if containsIdent(expr, t) {
+					return "read"
+				}
+			}
+		}
+	}
+
+	// Write leak: return of an identifier passed to putPrivateData.
+	if put := jsPutCall.FindStringSubmatch(body); put != nil {
+		args := jsIdent.FindAllString(put[1], -1)
+		for _, m := range jsReturn.FindAllStringSubmatch(body, -1) {
+			expr := strings.TrimSpace(m[1])
+			for _, arg := range args {
+				if arg == "" || isJSKeyword(arg) {
+					continue
+				}
+				if containsIdent(expr, arg) {
+					return "write"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// containsIdent reports whether expr contains ident as a whole token
+// (args[1] matches args[1] but k does not match key).
+func containsIdent(expr, ident string) bool {
+	idx := 0
+	for {
+		i := strings.Index(expr[idx:], ident)
+		if i < 0 {
+			return false
+		}
+		i += idx
+		before := byte(' ')
+		if i > 0 {
+			before = expr[i-1]
+		}
+		afterIdx := i + len(ident)
+		after := byte(' ')
+		if afterIdx < len(expr) {
+			after = expr[afterIdx]
+		}
+		if !isWordByte(before) && !isWordByte(after) {
+			return true
+		}
+		idx = i + len(ident)
+	}
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b == '$' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+func isJSKeyword(s string) bool {
+	switch s {
+	case "await", "Buffer", "from", "JSON", "stringify", "toString", "byte", "true", "false", "null":
+		return true
+	}
+	return false
+}

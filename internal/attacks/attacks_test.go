@@ -1,0 +1,299 @@
+package attacks
+
+import (
+	"repro/internal/chaincode"
+	"repro/internal/peer"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ledger"
+)
+
+func mustSetup(t *testing.T, s Scenario) *Env {
+	t.Helper()
+	env, err := Setup(s)
+	if err != nil {
+		t.Fatalf("setup %q: %v", s.Name, err)
+	}
+	return env
+}
+
+func TestFakeReadInjection(t *testing.T) {
+	env := mustSetup(t, Scenario{Name: "majority"})
+	out := FakeReadInjection(env)
+	if !out.Succeeded {
+		t.Fatalf("attack failed: %s", out.Detail)
+	}
+	if out.Code != ledger.Valid {
+		t.Fatalf("malicious tx code = %v", out.Code)
+	}
+	// The true private value is untouched: the attack breaks blockchain
+	// integrity, not the world state.
+	if v, ok := env.VictimValue(); !ok || v != InitialValue {
+		t.Fatalf("victim value changed: %q %v", v, ok)
+	}
+}
+
+func TestFakeWriteInjection(t *testing.T) {
+	env := mustSetup(t, Scenario{Name: "majority"})
+	out := FakeWriteInjection(env)
+	if !out.Succeeded {
+		t.Fatalf("attack failed: %s", out.Detail)
+	}
+	// Victim org2 ends with 5, violating its "> 10" rule.
+	if v, _ := env.VictimValue(); v != "5" {
+		t.Fatalf("victim value = %q, want 5", v)
+	}
+}
+
+func TestFakeReadWriteInjection(t *testing.T) {
+	env := mustSetup(t, Scenario{Name: "majority"})
+	out := FakeReadWriteInjection(env)
+	if !out.Succeeded {
+		t.Fatalf("attack failed: %s", out.Detail)
+	}
+}
+
+func TestPDCDeleteAttack(t *testing.T) {
+	env := mustSetup(t, Scenario{Name: "majority"})
+	out := PDCDeleteAttack(env)
+	if !out.Succeeded {
+		t.Fatalf("attack failed: %s", out.Detail)
+	}
+	if _, ok := env.VictimValue(); ok {
+		t.Fatal("victim still holds the deleted key")
+	}
+}
+
+func TestNOutOfAttackNeedsNoMemberCollusion(t *testing.T) {
+	// §V-A5: org3 and org4 are both PDC non-members, yet two
+	// endorsements satisfy 2OutOf5.
+	s := Scenario{
+		Name:            "2outof5",
+		Orgs:            []string{"org1", "org2", "org3", "org4", "org5"},
+		ChaincodePolicy: "OutOf(2, org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)",
+		Malicious:       []string{"org3", "org4"},
+	}
+	for _, run := range []struct {
+		name   string
+		attack func(*Env) Outcome
+	}{
+		{"read", FakeReadInjection},
+		{"write", FakeWriteInjection},
+		{"readwrite", FakeReadWriteInjection},
+		{"delete", PDCDeleteAttack},
+	} {
+		t.Run(run.name, func(t *testing.T) {
+			env := mustSetup(t, s)
+			if out := run.attack(env); !out.Succeeded {
+				t.Fatalf("attack failed: %s", out.Detail)
+			}
+		})
+	}
+}
+
+func TestCollectionPolicyBlocksWritesButNotReads(t *testing.T) {
+	// §V-A6: with a collection-level AND(org1, org2), write-related
+	// injections fail, but the read-only injection still works because
+	// read-only transactions validate against the chaincode-level
+	// policy.
+	s := Scenario{Name: "collep", CollectionEP: "AND(org1.peer, org2.peer)"}
+
+	env := mustSetup(t, s)
+	if out := FakeReadInjection(env); !out.Succeeded {
+		t.Errorf("read injection should still work: %s", out.Detail)
+	}
+	env = mustSetup(t, s)
+	if out := FakeWriteInjection(env); out.Succeeded {
+		t.Errorf("write injection should fail under collection EP: %s", out.Detail)
+	} else if out.Code != ledger.EndorsementPolicyFailure {
+		t.Errorf("write injection code = %v, want policy failure", out.Code)
+	}
+	env = mustSetup(t, s)
+	if out := FakeReadWriteInjection(env); out.Succeeded {
+		t.Errorf("read-write injection should fail under collection EP")
+	}
+	env = mustSetup(t, s)
+	if out := PDCDeleteAttack(env); out.Succeeded {
+		t.Errorf("delete attack should fail under collection EP")
+	}
+}
+
+func TestFeature1BlocksReadInjection(t *testing.T) {
+	s := Scenario{
+		Name:         "feature1",
+		CollectionEP: "AND(org1.peer, org2.peer)",
+		Security:     core.Feature1Only(),
+	}
+	env := mustSetup(t, s)
+	out := FakeReadInjection(env)
+	if out.Succeeded {
+		t.Fatalf("read injection should fail under Feature 1: %s", out.Detail)
+	}
+	if out.Code != ledger.EndorsementPolicyFailure {
+		t.Fatalf("code = %v, want ENDORSEMENT_POLICY_FAILURE", out.Code)
+	}
+}
+
+func TestSupplementalFilterBlocksNonMemberEndorsements(t *testing.T) {
+	// §V-D supplemental feature: even without a collection-level
+	// policy, endorsements from non-members are discarded, so
+	// org1+org3 no longer clears MAJORITY of 3.
+	s := Scenario{
+		Name:     "filter",
+		Security: core.SecurityConfig{FilterNonMemberEndorsements: true},
+	}
+	env := mustSetup(t, s)
+	if out := FakeWriteInjection(env); out.Succeeded {
+		t.Fatalf("write injection should fail under the non-member filter: %s", out.Detail)
+	}
+	env = mustSetup(t, s)
+	if out := FakeReadInjection(env); out.Succeeded {
+		t.Fatalf("read injection should fail under the non-member filter: %s", out.Detail)
+	}
+}
+
+func TestPDCReadLeakage(t *testing.T) {
+	env := mustSetup(t, Scenario{Name: "leak-read", DisableForgers: true})
+	out := PDCReadLeakage(env)
+	if !out.Succeeded {
+		t.Fatalf("leakage not observed: %s", out.Detail)
+	}
+	if !strings.Contains(out.Detail, InitialValue) {
+		t.Fatalf("detail lacks the leaked value: %s", out.Detail)
+	}
+}
+
+func TestPDCWriteLeakage(t *testing.T) {
+	env := mustSetup(t, Scenario{Name: "leak-write", DisableForgers: true, LeakOnWrite: true})
+	out := PDCWriteLeakage(env, "13")
+	if !out.Succeeded {
+		t.Fatalf("leakage not observed: %s", out.Detail)
+	}
+}
+
+func TestFeature2BlocksLeakage(t *testing.T) {
+	env := mustSetup(t, Scenario{
+		Name: "feature2-read", DisableForgers: true, Security: core.Feature2Only(),
+	})
+	out := PDCReadLeakage(env)
+	if out.Succeeded {
+		t.Fatalf("read leakage should fail under Feature 2: %s", out.Detail)
+	}
+
+	env = mustSetup(t, Scenario{
+		Name: "feature2-write", DisableForgers: true, LeakOnWrite: true, Security: core.Feature2Only(),
+	})
+	out = PDCWriteLeakage(env, "13")
+	if out.Succeeded {
+		t.Fatalf("write leakage should fail under Feature 2: %s", out.Detail)
+	}
+}
+
+func TestFeature2ClientStillGetsPlaintext(t *testing.T) {
+	// Feature 2 must not break the service: the client still receives
+	// the plaintext value it asked for (Fig. 4: PR_Ori to the client).
+	env := mustSetup(t, Scenario{
+		Name: "feature2-service", DisableForgers: true, Security: core.Feature2Only(),
+	})
+	cl := env.Net.Client("org2")
+	res, err := cl.SubmitTransaction(env.memberPeers(), ChaincodeName, "readPrivate", []string{TargetKey}, nil)
+	if err != nil {
+		t.Fatalf("read under Feature 2: %v", err)
+	}
+	if string(res.Payload) != InitialValue {
+		t.Fatalf("client payload = %q, want %q", res.Payload, InitialValue)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("tx code = %v", res.Code)
+	}
+}
+
+// TestTableIIMatrix regenerates the full Table II and compares it with
+// the published table.
+func TestTableIIMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix runs 14 networks; skipped in -short")
+	}
+	got, err := RunMatrix()
+	if err != nil {
+		t.Fatalf("run matrix: %v", err)
+	}
+	want := ExpectedMatrix()
+	if !got.Equal(want) {
+		t.Fatalf("matrix mismatch:\n%s\ndiffs: %v", got.Render(), got.Diff(want))
+	}
+}
+
+// TestMajorityAttackWithoutMemberCollusion covers the §IV-A5 discussion:
+// under MAJORITY, the attacks need malicious peers from 51% of the
+// organizations — but none of them has to be a PDC member when enough
+// non-member orgs collude. Five orgs, PDC{org1,org2}, malicious
+// org3+org4+org5 (all non-members) reach 3-of-5 majority.
+func TestMajorityAttackWithoutMemberCollusion(t *testing.T) {
+	s := Scenario{
+		Name:      "majority-5org",
+		Orgs:      []string{"org1", "org2", "org3", "org4", "org5"},
+		Malicious: []string{"org3", "org4", "org5"},
+	}
+	env := mustSetup(t, s)
+	if out := FakeReadInjection(env); !out.Succeeded {
+		t.Fatalf("read injection failed: %s", out.Detail)
+	}
+	env = mustSetup(t, s)
+	if out := FakeWriteInjection(env); !out.Succeeded {
+		t.Fatalf("write injection failed: %s", out.Detail)
+	}
+	// Two non-member orgs are NOT enough under MAJORITY of five.
+	s.Malicious = []string{"org3", "org4"}
+	env = mustSetup(t, s)
+	if out := FakeWriteInjection(env); out.Succeeded {
+		t.Fatalf("2-of-5 cleared MAJORITY: %s", out.Detail)
+	}
+}
+
+// TestExtractPDCEvents: chaincode events are plaintext in blocks — the
+// event-channel analogue of the §IV-B payload leaks.
+func TestExtractPDCEvents(t *testing.T) {
+	env := mustSetup(t, Scenario{Name: "events", DisableForgers: true})
+
+	// Install an event-emitting variant on the member peers: the sloppy
+	// pattern embeds the private value in the event payload.
+	emitters := chaincode.Router{
+		"setPrivateAnnounced": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if err := stub.PutPrivateData(CollectionName, args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if err := stub.SetEvent("PrivateChanged", []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+	}
+	env.Net.Peer("org1").InstallChaincode(ChaincodeName, emitters)
+	env.Net.Peer("org2").InstallChaincode(ChaincodeName, emitters)
+
+	cl := env.Net.Client("org2")
+	res, err := cl.SubmitTransaction(
+		[]*peer.Peer{env.Net.Peer("org1"), env.Net.Peer("org2")},
+		ChaincodeName, "setPrivateAnnounced", []string{"k9", "777"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("code = %v", res.Code)
+	}
+
+	events := ExtractPDCEvents(env.Net.Peer("org3"))
+	found := false
+	for _, ev := range events {
+		if ev.TxID == res.TxID && ev.Payload == "777" && ev.Name == "PrivateChanged" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("non-member did not recover the event payload: %+v", events)
+	}
+}

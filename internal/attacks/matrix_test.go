@@ -1,0 +1,69 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpectedMatrixShape(t *testing.T) {
+	m := ExpectedMatrix()
+	for _, attack := range AllAttacks {
+		for _, cfg := range AllConfigs {
+			if m[attack][cfg] == "" {
+				t.Errorf("cell (%s, %s) empty", attack, cfg)
+			}
+		}
+	}
+	// Injection rows are N/A in leakage columns and vice versa.
+	for _, attack := range InjectionAttacks {
+		for _, cfg := range LeakageConfigs {
+			if m[attack][cfg] != CellNA {
+				t.Errorf("injection cell (%s, %s) = %s", attack, cfg, m[attack][cfg])
+			}
+		}
+	}
+	for _, attack := range LeakageAttacks {
+		for _, cfg := range InjectionConfigs {
+			if m[attack][cfg] != CellNA {
+				t.Errorf("leakage cell (%s, %s) = %s", attack, cfg, m[attack][cfg])
+			}
+		}
+	}
+}
+
+func TestMatrixRenderAndDiff(t *testing.T) {
+	m := ExpectedMatrix()
+	out := m.Render()
+	for _, want := range []string{"Read-Only", "PDC-Write", "MAJORITY", "Feature2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q", want)
+		}
+	}
+	if !m.Equal(ExpectedMatrix()) {
+		t.Error("matrix not equal to itself")
+	}
+	mutated := ExpectedMatrix()
+	mutated[AttackReadOnly][ConfigMajority] = CellFails
+	if m.Equal(mutated) {
+		t.Error("mutated matrix equal")
+	}
+	if diffs := mutated.Diff(m); len(diffs) != 1 || !strings.Contains(diffs[0], "Read-Only") {
+		t.Errorf("diff = %v", diffs)
+	}
+}
+
+func TestScenarioForNA(t *testing.T) {
+	if _, ok := scenarioFor(ConfigMajority, AttackLeakRead); ok {
+		t.Error("leakage under injection config should be N/A")
+	}
+	if _, ok := scenarioFor(ConfigOriginal, AttackReadOnly); ok {
+		t.Error("injection under leakage config should be N/A")
+	}
+	if _, ok := scenarioFor(ConfigKind("bogus"), AttackReadOnly); ok {
+		t.Error("unknown config accepted")
+	}
+	cell, _, err := Cell(AttackLeakRead, ConfigMajority)
+	if err != nil || cell != CellNA {
+		t.Errorf("Cell N/A = %v, %v", cell, err)
+	}
+}

@@ -1,0 +1,182 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/chaincode"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/network"
+	"repro/internal/peer"
+	"repro/internal/pvtdata"
+)
+
+// Chaincode and collection names shared by all attack scenarios.
+const (
+	ChaincodeName  = "asset"
+	CollectionName = "pdc1"
+	// TargetKey is the private key under attack, the paper's k1.
+	TargetKey = "k1"
+	// InitialValue is the honest private value ⟨k1, P1⟩ = 12, chosen to
+	// satisfy both org1's "< 15" and org2's "> 10" constraints.
+	InitialValue = "12"
+	// FakeValue is the colluders' fabricated read payload.
+	FakeValue = "999"
+	// FakeSum is the fabricated read-write result, violating org2's
+	// "> 10" rule as in §V-A3.
+	FakeSum = 5
+)
+
+// Scenario describes one experimental configuration of §V-A: the
+// organizations, the chaincode-level policy, the optional
+// collection-level endorsement policy and the active defense features.
+type Scenario struct {
+	// Name labels the configuration in reports.
+	Name string
+	// Orgs lists the organizations; members of the PDC are always org1
+	// and org2. Default: org1..org3.
+	Orgs []string
+	// DefaultEndorsement is the channel default (configtx) rule;
+	// default "MAJORITY Endorsement".
+	DefaultEndorsement string
+	// ChaincodePolicy is the chaincode-level policy spec; empty uses
+	// the channel default.
+	ChaincodePolicy string
+	// CollectionEP is the optional collection-level endorsement policy
+	// (paper §V-A6 uses "AND(org1.peer, org2.peer)").
+	CollectionEP string
+	// Security selects the defense features under test.
+	Security core.SecurityConfig
+	// Malicious lists the colluding organizations that install the
+	// forging chaincode; default org1 and org3 (unless DisableForgers).
+	Malicious []string
+	// DisableForgers leaves every peer on the honest contract; used by
+	// the leakage experiments, which need no malicious node at all
+	// (§IV-B: "with no need of peers or clients being malicious").
+	DisableForgers bool
+	// LeakOnWrite installs the sloppy Listing 2 write function (returns
+	// the written value in the payload) on the honest peers.
+	LeakOnWrite bool
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if len(s.Orgs) == 0 {
+		s.Orgs = []string{"org1", "org2", "org3"}
+	}
+	if s.DisableForgers {
+		s.Malicious = nil
+	} else if len(s.Malicious) == 0 {
+		s.Malicious = []string{"org1", "org3"}
+	}
+	return s
+}
+
+// Env is a built attack environment: the network plus the scenario that
+// produced it.
+type Env struct {
+	Scenario Scenario
+	Net      *network.Network
+}
+
+// Setup builds the scenario's network: the PDC of org1+org2, honest
+// per-org contract variants with the paper's constraints (org1 "< 15",
+// org2 "> 10", others unconstrained) and the forging chaincode on the
+// malicious orgs' peers. The honest client of org1 then writes the
+// initial value ⟨k1, 12⟩ through the member endorsers.
+func Setup(s Scenario) (*Env, error) {
+	s = s.withDefaults()
+	net, err := network.New(network.Options{
+		Orgs:               s.Orgs,
+		DefaultEndorsement: s.DefaultEndorsement,
+		Security:           s.Security,
+		Seed:               7,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("attacks: setup %q: %w", s.Name, err)
+	}
+
+	def := &chaincode.Definition{
+		Name:              ChaincodeName,
+		Version:           "1.0",
+		EndorsementPolicy: s.ChaincodePolicy,
+		Collections: []pvtdata.CollectionConfig{{
+			Name:              CollectionName,
+			MemberPolicy:      "OR(org1.member, org2.member)",
+			MaxPeerCount:      len(s.Orgs),
+			EndorsementPolicy: s.CollectionEP,
+		}},
+	}
+	if err := net.DeployChaincode(def, contracts.NewPublicAsset()); err != nil {
+		return nil, fmt.Errorf("attacks: deploy: %w", err)
+	}
+
+	constraints := map[string]contracts.Constraint{
+		"org1": contracts.MaxValue(15),
+		"org2": contracts.MinValue(10),
+	}
+	for _, org := range s.Orgs {
+		merged := contracts.NewPublicAsset()
+		for name, fn := range contracts.NewPDC(contracts.PDCOptions{
+			Collection:  CollectionName,
+			Constraint:  constraints[org],
+			LeakOnWrite: s.LeakOnWrite,
+		}) {
+			merged[name] = fn
+		}
+		net.Peer(org).InstallChaincode(ChaincodeName, merged)
+	}
+	for _, org := range s.Malicious {
+		net.Peer(org).InstallChaincode(ChaincodeName, NewForgingPDC(ForgeOptions{
+			Collection:    CollectionName,
+			FakeReadValue: FakeValue,
+			FakeSum:       FakeSum,
+		}))
+	}
+
+	env := &Env{Scenario: s, Net: net}
+	if err := env.writeInitialValue(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// writeInitialValue seeds ⟨k1, 12⟩ honestly. The write-only seed is
+// endorsed by every peer so the chaincode-level policy is satisfied for
+// any consortium size (non-members can endorse write-only transactions —
+// Use Case 1). All chaincode variants accept 12 and return the same
+// empty payload, so the endorsements are consistent.
+func (e *Env) writeInitialValue() error {
+	cl := e.Net.Client("org2")
+	res, err := cl.SubmitTransaction(
+		e.Net.Peers(),
+		ChaincodeName, "setPrivate", []string{TargetKey, InitialValue}, nil,
+	)
+	if err != nil {
+		return fmt.Errorf("attacks: seed write: %w", err)
+	}
+	if res.Code != ledger.Valid {
+		return fmt.Errorf("attacks: seed write marked %v", res.Code)
+	}
+	return nil
+}
+
+func (e *Env) memberPeers() []*peer.Peer {
+	return []*peer.Peer{e.Net.Peer("org1"), e.Net.Peer("org2")}
+}
+
+// maliciousPeers returns the peers of the colluding organizations.
+func (e *Env) maliciousPeers() []*peer.Peer {
+	out := make([]*peer.Peer, 0, len(e.Scenario.Malicious))
+	for _, org := range e.Scenario.Malicious {
+		out = append(out, e.Net.Peer(org))
+	}
+	return out
+}
+
+// VictimValue reads org2's private store directly (as org2's operator
+// could) to observe attack effects.
+func (e *Env) VictimValue() (string, bool) {
+	v, _, ok := e.Net.Peer("org2").PvtStore().GetPrivate(ChaincodeName, CollectionName, TargetKey)
+	return string(v), ok
+}

@@ -1,0 +1,420 @@
+// Package chaincode implements smart contracts ("chaincode") and the shim
+// API they program against: GetState/PutState/DelState for public data and
+// GetPrivateData/PutPrivateData/DelPrivateData/GetPrivateDataHash for
+// private data collections.
+//
+// Two properties of real Fabric that the paper's attacks depend on are
+// reproduced faithfully here:
+//
+//  1. Chaincode is registered per peer (the Registry), because Fabric only
+//     requires execution *results* to match across endorsers, not the code
+//     itself. Organizations may extend the code with their own business
+//     logic — or, as in §IV-A1, with malicious collusion logic.
+//
+//  2. GetPrivateDataHash succeeds on every peer in the channel, including
+//     PDC non-members, and reports the same version a member peer would
+//     read from its private store. This is the version oracle the
+//     endorsement forgery uses.
+package chaincode
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/policy"
+	"repro/internal/pvtdata"
+	"repro/internal/rwset"
+	"repro/internal/statedb"
+)
+
+// KV is one result of a range scan: a key with its current value.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Shim errors surfaced to chaincode.
+var (
+	// ErrPrivateDataUnavailable is returned when a peer that is not a
+	// member of the collection tries to read original private data
+	// (paper Use Case 1: non-member endorsers error on read proposals).
+	ErrPrivateDataUnavailable = errors.New("chaincode: private data is not available on this peer")
+	// ErrMemberOnlyRead is returned when MemberOnlyRead is set and the
+	// requesting client's organization is not a collection member.
+	ErrMemberOnlyRead = errors.New("chaincode: collection is member-only read")
+	// ErrMemberOnlyWrite is returned when MemberOnlyWrite is set and the
+	// requesting client's organization is not a collection member.
+	ErrMemberOnlyWrite = errors.New("chaincode: collection is member-only write")
+	// ErrUnknownCollection is returned for operations on an undefined
+	// collection.
+	ErrUnknownCollection = errors.New("chaincode: unknown collection")
+)
+
+// Stub is the API surface chaincode programs against during simulation.
+type Stub interface {
+	// TxID returns the transaction ID being simulated.
+	TxID() string
+	// Function returns the invoked function name.
+	Function() string
+	// Args returns the invocation arguments (excluding the function).
+	Args() []string
+	// Transient returns a confidential input by key; nil when absent.
+	Transient(key string) []byte
+	// Creator returns the certificate of the submitting client.
+	Creator() *identity.Certificate
+	// PeerOrg returns the organization of the peer executing the
+	// simulation. Customizable chaincode uses this to apply per-org
+	// business constraints.
+	PeerOrg() string
+
+	// GetState reads a public key; nil value when absent.
+	GetState(key string) ([]byte, error)
+	// PutState writes a public key.
+	PutState(key string, value []byte) error
+	// DelState deletes a public key.
+	DelState(key string) error
+	// GetStateByRange scans public keys in [startKey, endKey), sorted.
+	// An empty endKey scans to the end. The observed keys and versions
+	// are recorded for phantom-read protection in the validation phase.
+	GetStateByRange(startKey, endKey string) ([]KV, error)
+	// SetStateValidationParameter sets the key-level endorsement policy
+	// of a public key (a signature-policy expression such as
+	// "AND(org1.peer, org2.peer)"). Transactions that later write the
+	// key must satisfy this policy instead of the chaincode-level one.
+	SetStateValidationParameter(key, policySpec string) error
+	// GetStateValidationParameter returns the key-level endorsement
+	// policy of a public key ("" when none is set).
+	GetStateValidationParameter(key string) (string, error)
+	// SetEvent attaches a chaincode event to the transaction (at most
+	// one per transaction; a second call replaces the first). Events
+	// are stored in plaintext in every peer's blockchain.
+	SetEvent(name string, payload []byte) error
+	// InvokeChaincode calls a function of another chaincode installed
+	// on the same peer, within the same transaction simulation: the
+	// callee's reads and writes are recorded under its own namespace in
+	// this transaction's read/write set, as in Fabric's
+	// cross-chaincode invocation.
+	InvokeChaincode(name, function string, args []string) (ledger.Response, error)
+
+	// GetPrivateData reads the original private value of key in the
+	// collection. Only collection member peers can serve it.
+	GetPrivateData(collection, key string) ([]byte, error)
+	// GetPrivateDataHash reads the SHA-256 of the private value from
+	// the hashed store. Works on every peer in the channel.
+	GetPrivateDataHash(collection, key string) ([]byte, error)
+	// PutPrivateData stages a private write.
+	PutPrivateData(collection, key string, value []byte) error
+	// DelPrivateData stages a private delete.
+	DelPrivateData(collection, key string) error
+}
+
+// Chaincode is a smart contract: business logic operating on the world
+// state through a Stub.
+type Chaincode interface {
+	// Invoke executes the function named in the stub and returns the
+	// chaincode response whose Payload travels back to the client.
+	Invoke(stub Stub) ledger.Response
+}
+
+// Func adapts a plain function to the Chaincode interface.
+type Func func(stub Stub) ledger.Response
+
+// Invoke implements Chaincode.
+func (f Func) Invoke(stub Stub) ledger.Response { return f(stub) }
+
+// Router dispatches on the invoked function name; unknown functions
+// produce an error response.
+type Router map[string]Func
+
+var _ Chaincode = Router(nil)
+
+// Invoke implements Chaincode.
+func (r Router) Invoke(stub Stub) ledger.Response {
+	fn, ok := r[stub.Function()]
+	if !ok {
+		return ErrorResponse(fmt.Sprintf("unknown function %q", stub.Function()))
+	}
+	return fn(stub)
+}
+
+// SuccessResponse builds an OK response with the given payload.
+func SuccessResponse(payload []byte) ledger.Response {
+	return ledger.Response{Status: ledger.StatusOK, Payload: payload}
+}
+
+// ErrorResponse builds a failed response with the given message.
+func ErrorResponse(msg string) ledger.Response {
+	return ledger.Response{Status: ledger.StatusError, Message: msg}
+}
+
+// Definition is the channel-wide agreement about a chaincode: its name,
+// version, chaincode-level endorsement policy and collection
+// configurations. The implementation itself stays per-peer.
+type Definition struct {
+	Name    string
+	Version string
+	// EndorsementPolicy is the chaincode-level policy specification:
+	// either a signature policy ("AND(org1.peer, org2.peer)") or an
+	// implicitMeta specification ("MAJORITY Endorsement"). Empty means
+	// "use the channel default".
+	EndorsementPolicy string
+	// Collections are the private data collections of the chaincode.
+	Collections []pvtdata.CollectionConfig
+}
+
+// Collection returns the named collection config, or nil. Implicit
+// per-org collections ("_implicit_org_<org>") resolve even though they
+// appear in no configuration file, mirroring Fabric.
+func (d *Definition) Collection(name string) *pvtdata.CollectionConfig {
+	for i := range d.Collections {
+		if d.Collections[i].Name == name {
+			return &d.Collections[i]
+		}
+	}
+	if cfg, ok := pvtdata.ImplicitCollection(name); ok {
+		return &cfg
+	}
+	return nil
+}
+
+// Registry holds the chaincode implementations installed on one peer.
+// Installing different implementations of the same definition on
+// different peers models Fabric's customizable chaincode.
+type Registry struct {
+	mu    sync.RWMutex
+	impls map[string]Chaincode
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{impls: make(map[string]Chaincode)}
+}
+
+// Install registers the implementation of a chaincode on this peer,
+// replacing any previous implementation.
+func (r *Registry) Install(name string, cc Chaincode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.impls[name] = cc
+}
+
+// Get returns the installed implementation, or nil.
+func (r *Registry) Get(name string) Chaincode {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.impls[name]
+}
+
+// SimStub is the Stub implementation used during endorsement simulation.
+// The endorser retrieves the captured chaincode event through Event after
+// the chaincode returns.
+type SimStub struct {
+	proposal *ledger.Proposal
+	creator  *identity.Certificate
+	peerOrg  string
+	def      *Definition
+	db       *statedb.DB
+	pvt      *pvtdata.Store
+	builder  *rwset.Builder
+	memberOf func(collection string) bool
+	event    *ledger.ChaincodeEvent
+	resolver Resolver
+}
+
+var _ Stub = (*SimStub)(nil)
+
+// NewSimStub creates the simulation stub the endorser hands to chaincode.
+// memberOf reports whether the executing peer's org is a member of a
+// collection; the builder accumulates the read/write sets.
+func NewSimStub(
+	proposal *ledger.Proposal,
+	creator *identity.Certificate,
+	peerOrg string,
+	def *Definition,
+	db *statedb.DB,
+	pvt *pvtdata.Store,
+	builder *rwset.Builder,
+) *SimStub {
+	s := &SimStub{
+		proposal: proposal,
+		creator:  creator,
+		peerOrg:  peerOrg,
+		def:      def,
+		db:       db,
+		pvt:      pvt,
+		builder:  builder,
+	}
+	s.memberOf = func(coll string) bool {
+		cfg := def.Collection(coll)
+		return cfg != nil && cfg.IsMember(peerOrg)
+	}
+	return s
+}
+
+func (s *SimStub) TxID() string     { return s.proposal.TxID }
+func (s *SimStub) Function() string { return s.proposal.Function }
+func (s *SimStub) Args() []string   { return s.proposal.Args }
+func (s *SimStub) PeerOrg() string  { return s.peerOrg }
+
+func (s *SimStub) Transient(key string) []byte {
+	return s.proposal.Transient[key]
+}
+
+func (s *SimStub) Creator() *identity.Certificate { return s.creator }
+
+func (s *SimStub) GetState(key string) ([]byte, error) {
+	value, ver, _ := s.db.Get(s.def.Name, key)
+	s.builder.AddRead(s.def.Name, key, rwset.KVRead{Key: key, Version: ver})
+	return value, nil
+}
+
+func (s *SimStub) PutState(key string, value []byte) error {
+	s.builder.AddWrite(s.def.Name, key, rwset.KVWrite{Key: key, Value: value})
+	return nil
+}
+
+func (s *SimStub) DelState(key string) error {
+	s.builder.AddWrite(s.def.Name, key, rwset.KVWrite{Key: key, IsDelete: true})
+	return nil
+}
+
+func (s *SimStub) GetStateByRange(startKey, endKey string) ([]KV, error) {
+	kvs := s.db.GetRange(s.def.Name, startKey, endKey)
+	out := make([]KV, 0, len(kvs))
+	rq := rwset.RangeQuery{StartKey: startKey, EndKey: endKey}
+	for _, kv := range kvs {
+		out = append(out, KV{Key: kv.Key, Value: kv.Value})
+		rq.Reads = append(rq.Reads, rwset.KVRead{Key: kv.Key, Version: kv.Version})
+	}
+	s.builder.AddRangeQuery(s.def.Name, rq)
+	return out, nil
+}
+
+func (s *SimStub) SetStateValidationParameter(key, policySpec string) error {
+	if _, err := policy.Parse(policySpec); err != nil {
+		return fmt.Errorf("chaincode: validation parameter for %q: %w", key, err)
+	}
+	s.builder.AddMetaWrite(s.def.Name, key, rwset.KVMetaWrite{Key: key, Policy: policySpec})
+	return nil
+}
+
+func (s *SimStub) GetStateValidationParameter(key string) (string, error) {
+	value, _, _ := s.db.Get(statedb.MetadataNamespace(s.def.Name), key)
+	return string(value), nil
+}
+
+// SetEvent implements Stub.
+func (s *SimStub) SetEvent(name string, payload []byte) error {
+	if name == "" {
+		return errors.New("chaincode: event name must not be empty")
+	}
+	s.event = &ledger.ChaincodeEvent{Name: name, Payload: append([]byte(nil), payload...)}
+	return nil
+}
+
+// Event returns the chaincode event captured during simulation, or nil.
+// The endorser embeds it in the proposal response payload.
+func (s *SimStub) Event() *ledger.ChaincodeEvent { return s.event }
+
+// Resolver locates another chaincode installed on the same peer:
+// definition plus implementation, or nils when absent.
+type Resolver func(name string) (*Definition, Chaincode)
+
+// SetResolver enables cross-chaincode invocation by providing the peer's
+// chaincode lookup. The endorser installs it before running chaincode.
+func (s *SimStub) SetResolver(r Resolver) { s.resolver = r }
+
+// ErrChaincodeUnavailable is returned by InvokeChaincode when the callee
+// is not installed (or no resolver was configured).
+var ErrChaincodeUnavailable = errors.New("chaincode: callee chaincode unavailable")
+
+// InvokeChaincode implements Stub.
+func (s *SimStub) InvokeChaincode(name, function string, args []string) (ledger.Response, error) {
+	if s.resolver == nil {
+		return ledger.Response{}, fmt.Errorf("%w: no resolver", ErrChaincodeUnavailable)
+	}
+	def, impl := s.resolver(name)
+	if def == nil || impl == nil {
+		return ledger.Response{}, fmt.Errorf("%w: %q", ErrChaincodeUnavailable, name)
+	}
+	// The callee shares this transaction's builder (its namespaces are
+	// distinct) and identity context, but gets its own proposal view.
+	calleeProp := *s.proposal
+	calleeProp.Chaincode = name
+	calleeProp.Function = function
+	calleeProp.Args = args
+	callee := NewSimStub(&calleeProp, s.creator, s.peerOrg, def, s.db, s.pvt, s.builder)
+	callee.SetResolver(s.resolver)
+	resp := impl.Invoke(callee)
+	// A callee event does not replace the caller's (Fabric: only the
+	// outermost chaincode's event is recorded).
+	return resp, nil
+}
+
+func (s *SimStub) collection(name string) (*pvtdata.CollectionConfig, error) {
+	cfg := s.def.Collection(name)
+	if cfg == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCollection, name)
+	}
+	return cfg, nil
+}
+
+func (s *SimStub) GetPrivateData(collection, key string) ([]byte, error) {
+	cfg, err := s.collection(collection)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MemberOnlyRead && !cfg.IsMember(s.creator.Org) {
+		return nil, fmt.Errorf("%w: collection %q, client org %q", ErrMemberOnlyRead, collection, s.creator.Org)
+	}
+	if !s.memberOf(collection) {
+		// Use Case 1: a non-member peer has no original private data;
+		// read proposals fail at endorsement with an error.
+		return nil, fmt.Errorf("%w: collection %q, peer org %q", ErrPrivateDataUnavailable, collection, s.peerOrg)
+	}
+	value, ver, _ := s.pvt.GetPrivate(s.def.Name, collection, key)
+	s.builder.AddPvtRead(collection, key, rwset.KVRead{Key: key, Version: ver})
+	return value, nil
+}
+
+func (s *SimStub) GetPrivateDataHash(collection, key string) ([]byte, error) {
+	if _, err := s.collection(collection); err != nil {
+		return nil, err
+	}
+	// Deliberately no membership check: any peer in the channel stores
+	// the hashed tuples and may query them. The recorded read carries
+	// the same ⟨hash(key), version⟩ a member's GetPrivateData would
+	// produce — the paper's §IV-A1 version oracle.
+	valueHash, ver, _ := s.pvt.GetPrivateHash(s.def.Name, collection, key)
+	s.builder.AddPvtRead(collection, key, rwset.KVRead{Key: key, Version: ver})
+	return valueHash, nil
+}
+
+func (s *SimStub) PutPrivateData(collection, key string, value []byte) error {
+	cfg, err := s.collection(collection)
+	if err != nil {
+		return err
+	}
+	if cfg.MemberOnlyWrite && !cfg.IsMember(s.creator.Org) {
+		return fmt.Errorf("%w: collection %q, client org %q", ErrMemberOnlyWrite, collection, s.creator.Org)
+	}
+	// No peer-membership check: write-only transactions have an empty
+	// read set and succeed on every peer (Use Case 1).
+	s.builder.AddPvtWrite(collection, key, rwset.KVWrite{Key: key, Value: value})
+	return nil
+}
+
+func (s *SimStub) DelPrivateData(collection, key string) error {
+	cfg, err := s.collection(collection)
+	if err != nil {
+		return err
+	}
+	if cfg.MemberOnlyWrite && !cfg.IsMember(s.creator.Org) {
+		return fmt.Errorf("%w: collection %q, client org %q", ErrMemberOnlyWrite, collection, s.creator.Org)
+	}
+	s.builder.AddPvtWrite(collection, key, rwset.KVWrite{Key: key, IsDelete: true})
+	return nil
+}

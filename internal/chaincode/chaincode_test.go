@@ -1,0 +1,362 @@
+package chaincode
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/pvtdata"
+	"repro/internal/rwset"
+	"repro/internal/statedb"
+)
+
+func testDef(memberOnlyRead bool) *Definition {
+	return &Definition{
+		Name:    "cc",
+		Version: "1.0",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:           "pdc1",
+			MemberPolicy:   "OR(org1.member, org2.member)",
+			MaxPeerCount:   3,
+			MemberOnlyRead: memberOnlyRead,
+		}},
+	}
+}
+
+type stubEnv struct {
+	db      *statedb.DB
+	pvt     *pvtdata.Store
+	builder *rwset.Builder
+	stub    Stub
+}
+
+func newStubEnv(peerOrg, clientOrg string, memberOnlyRead bool) *stubEnv {
+	db := statedb.New()
+	pvt := pvtdata.NewStore(db)
+	builder := rwset.NewBuilder()
+	prop := &ledger.Proposal{
+		TxID:      "tx1",
+		Chaincode: "cc",
+		Function:  "f",
+		Args:      []string{"a", "b"},
+		Transient: map[string][]byte{"secret": []byte("s3cr3t")},
+	}
+	creator := &identity.Certificate{Subject: "client0." + clientOrg, Org: clientOrg, Role: identity.RoleClient}
+	stub := NewSimStub(prop, creator, peerOrg, testDef(memberOnlyRead), db, pvt, builder)
+	return &stubEnv{db: db, pvt: pvt, builder: builder, stub: stub}
+}
+
+func TestStubBasics(t *testing.T) {
+	e := newStubEnv("org1", "org1", false)
+	if e.stub.TxID() != "tx1" || e.stub.Function() != "f" || e.stub.PeerOrg() != "org1" {
+		t.Fatal("stub identity fields wrong")
+	}
+	if len(e.stub.Args()) != 2 {
+		t.Fatal("args wrong")
+	}
+	if string(e.stub.Transient("secret")) != "s3cr3t" {
+		t.Fatal("transient wrong")
+	}
+	if e.stub.Transient("missing") != nil {
+		t.Fatal("phantom transient")
+	}
+	if e.stub.Creator().Org != "org1" {
+		t.Fatal("creator wrong")
+	}
+}
+
+func TestPublicStateOps(t *testing.T) {
+	e := newStubEnv("org1", "org1", false)
+	e.db.Put("cc", "k", []byte("v")) // committed state at version 1
+
+	value, err := e.stub.GetState("k")
+	if err != nil || string(value) != "v" {
+		t.Fatalf("GetState = %q, %v", value, err)
+	}
+	if err := e.stub.PutState("k2", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.stub.DelState("k"); err != nil {
+		t.Fatal(err)
+	}
+	set, pvt := e.builder.Build("tx1")
+	if pvt != nil {
+		t.Fatal("public ops produced private set")
+	}
+	ns := set.NsRWSets[0]
+	if len(ns.Reads) != 1 || ns.Reads[0].Version != 1 {
+		t.Fatalf("reads = %+v", ns.Reads)
+	}
+	if len(ns.Writes) != 2 {
+		t.Fatalf("writes = %+v", ns.Writes)
+	}
+	// Simulation must not touch committed state.
+	if _, _, ok := e.db.Get("cc", "k2"); ok {
+		t.Fatal("simulation wrote through to state")
+	}
+}
+
+func TestMemberReadsPrivate(t *testing.T) {
+	e := newStubEnv("org1", "org1", false)
+	ver := e.pvt.ApplyHashedWrite("cc", "pdc1", []byte("kh"), []byte("vh"))
+	_ = ver
+	e.pvt.ApplyPrivateWrite("cc", "pdc1", "k", []byte("secret"), 1)
+
+	value, err := e.stub.GetPrivateData("pdc1", "k")
+	if err != nil || string(value) != "secret" {
+		t.Fatalf("GetPrivateData = %q, %v", value, err)
+	}
+	set, _ := e.builder.Build("tx1")
+	if len(set.CollSets) != 1 || set.CollSets[0].HashedReads[0].Version != 1 {
+		t.Fatalf("hashed read set = %+v", set.CollSets)
+	}
+}
+
+// TestNonMemberReadErrors reproduces Use Case 1: a PDC non-member peer
+// errors on private reads but succeeds on GetPrivateDataHash and private
+// writes.
+func TestNonMemberReadErrors(t *testing.T) {
+	e := newStubEnv("org3", "org1", false)
+	_, err := e.stub.GetPrivateData("pdc1", "k")
+	if !errors.Is(err, ErrPrivateDataUnavailable) {
+		t.Fatalf("err = %v, want ErrPrivateDataUnavailable", err)
+	}
+
+	// GetPrivateDataHash works and records the same versioned read a
+	// member would produce.
+	keyDigest := pvtdata.HashedKey("k")
+	_ = keyDigest
+	e.db.Put(pvtdata.HashedNamespace("cc", "pdc1"), pvtdata.HashedKey("k"), []byte("vh")) // version 1
+	digest, err := e.stub.GetPrivateDataHash("pdc1", "k")
+	if err != nil || string(digest) != "vh" {
+		t.Fatalf("GetPrivateDataHash = %q, %v", digest, err)
+	}
+	set, _ := e.builder.Build("tx1")
+	if set.CollSets[0].HashedReads[0].Version != 1 {
+		t.Fatalf("forged read version = %d, want 1", set.CollSets[0].HashedReads[0].Version)
+	}
+
+	// Writes succeed for non-members (empty read set).
+	if err := e.stub.PutPrivateData("pdc1", "k2", []byte("v")); err != nil {
+		t.Fatalf("non-member PutPrivateData: %v", err)
+	}
+	if err := e.stub.DelPrivateData("pdc1", "k2"); err != nil {
+		t.Fatalf("non-member DelPrivateData: %v", err)
+	}
+}
+
+func TestMemberOnlyRead(t *testing.T) {
+	// Client of non-member org3 asks a member peer to read: rejected
+	// when MemberOnlyRead is set.
+	e := newStubEnv("org1", "org3", true)
+	_, err := e.stub.GetPrivateData("pdc1", "k")
+	if !errors.Is(err, ErrMemberOnlyRead) {
+		t.Fatalf("err = %v, want ErrMemberOnlyRead", err)
+	}
+	// Member client is fine.
+	e = newStubEnv("org1", "org2", true)
+	if _, err := e.stub.GetPrivateData("pdc1", "k"); err != nil {
+		t.Fatalf("member client rejected: %v", err)
+	}
+}
+
+func TestUnknownCollection(t *testing.T) {
+	e := newStubEnv("org1", "org1", false)
+	if _, err := e.stub.GetPrivateData("nope", "k"); !errors.Is(err, ErrUnknownCollection) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := e.stub.GetPrivateDataHash("nope", "k"); !errors.Is(err, ErrUnknownCollection) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.stub.PutPrivateData("nope", "k", nil); !errors.Is(err, ErrUnknownCollection) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := e.stub.DelPrivateData("nope", "k"); !errors.Is(err, ErrUnknownCollection) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRouter(t *testing.T) {
+	r := Router{
+		"hello": func(stub Stub) ledger.Response {
+			return SuccessResponse([]byte("world"))
+		},
+	}
+	e := newStubEnv("org1", "org1", false)
+	resp := r.Invoke(withFunction(e.stub, "hello"))
+	if resp.Status != ledger.StatusOK || string(resp.Payload) != "world" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	resp = r.Invoke(withFunction(e.stub, "nope"))
+	if resp.Status != ledger.StatusError {
+		t.Fatal("unknown function not rejected")
+	}
+}
+
+// withFunction wraps a stub overriding the function name.
+type funcOverride struct {
+	Stub
+	fn string
+}
+
+func (f funcOverride) Function() string { return f.fn }
+
+func withFunction(s Stub, fn string) Stub { return funcOverride{Stub: s, fn: fn} }
+
+func TestDefinitionCollectionLookup(t *testing.T) {
+	def := testDef(false)
+	if def.Collection("pdc1") == nil {
+		t.Fatal("collection not found")
+	}
+	if def.Collection("other") != nil {
+		t.Fatal("phantom collection")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if r.Get("cc") != nil {
+		t.Fatal("empty registry returned chaincode")
+	}
+	first := Router{}
+	second := Router{"f": func(Stub) ledger.Response { return SuccessResponse(nil) }}
+	r.Install("cc", first)
+	r.Install("cc", second) // per-peer override — the customizable chaincode
+	got, ok := r.Get("cc").(Router)
+	if !ok || len(got) != 1 {
+		t.Fatal("override not applied")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	called := false
+	f := Func(func(Stub) ledger.Response {
+		called = true
+		return SuccessResponse(nil)
+	})
+	f.Invoke(nil)
+	if !called {
+		t.Fatal("Func adapter broken")
+	}
+	if ErrorResponse("x").Message != "x" {
+		t.Fatal("ErrorResponse message lost")
+	}
+}
+
+func TestStubRangeQueryRecording(t *testing.T) {
+	e := newStubEnv("org1", "org1", false)
+	e.db.Put("cc", "a1", []byte("1"))
+	e.db.Put("cc", "a2", []byte("2"))
+	e.db.Put("cc", "b1", []byte("3"))
+
+	kvs, err := e.stub.GetStateByRange("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 || kvs[0].Key != "a1" || kvs[1].Key != "a2" {
+		t.Fatalf("kvs = %+v", kvs)
+	}
+	set, _ := e.builder.Build("tx1")
+	if len(set.NsRWSets) != 1 || len(set.NsRWSets[0].RangeQueries) != 1 {
+		t.Fatalf("range queries = %+v", set.NsRWSets)
+	}
+	rq := set.NsRWSets[0].RangeQueries[0]
+	if rq.StartKey != "a" || rq.EndKey != "b" || len(rq.Reads) != 2 {
+		t.Fatalf("rq = %+v", rq)
+	}
+	if rq.Reads[0].Version != 1 {
+		t.Fatalf("recorded version = %d", rq.Reads[0].Version)
+	}
+}
+
+func TestStubValidationParameters(t *testing.T) {
+	e := newStubEnv("org1", "org1", false)
+	if err := e.stub.SetStateValidationParameter("k", "AND(org1.peer, org2.peer)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.stub.SetStateValidationParameter("k", "not-a-policy("); err == nil {
+		t.Fatal("broken policy accepted")
+	}
+	set, _ := e.builder.Build("tx1")
+	if len(set.NsRWSets) != 1 || len(set.NsRWSets[0].MetaWrites) != 1 {
+		t.Fatalf("meta writes = %+v", set.NsRWSets)
+	}
+	if set.NsRWSets[0].MetaWrites[0].Policy != "AND(org1.peer, org2.peer)" {
+		t.Fatalf("policy = %q", set.NsRWSets[0].MetaWrites[0].Policy)
+	}
+
+	// GetStateValidationParameter reads the committed metadata.
+	e.db.Put(statedb.MetadataNamespace("cc"), "j", []byte("OR(org1.peer)"))
+	spec, err := e.stub.GetStateValidationParameter("j")
+	if err != nil || spec != "OR(org1.peer)" {
+		t.Fatalf("spec = %q, %v", spec, err)
+	}
+}
+
+func TestStubEvents(t *testing.T) {
+	e := newStubEnv("org1", "org1", false)
+	sim, ok := e.stub.(*SimStub)
+	if !ok {
+		t.Fatal("stub is not a SimStub")
+	}
+	if sim.Event() != nil {
+		t.Fatal("fresh stub has an event")
+	}
+	if err := e.stub.SetEvent("", []byte("x")); err == nil {
+		t.Fatal("empty event name accepted")
+	}
+	if err := e.stub.SetEvent("First", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.stub.SetEvent("Second", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	ev := sim.Event()
+	if ev == nil || ev.Name != "Second" || string(ev.Payload) != "2" {
+		t.Fatalf("event = %+v, want the last one", ev)
+	}
+}
+
+func TestStubInvokeChaincode(t *testing.T) {
+	e := newStubEnv("org1", "org1", false)
+	// Without a resolver, invocation is unavailable.
+	if _, err := e.stub.InvokeChaincode("other", "f", nil); !errors.Is(err, ErrChaincodeUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+	sim := e.stub.(*SimStub)
+	otherDef := &Definition{Name: "other", Version: "1.0"}
+	otherImpl := Router{
+		"f": func(stub Stub) ledger.Response {
+			if err := stub.PutState("callee-key", []byte("v")); err != nil {
+				return ErrorResponse(err.Error())
+			}
+			return SuccessResponse([]byte("from-callee"))
+		},
+	}
+	sim.SetResolver(func(name string) (*Definition, Chaincode) {
+		if name == "other" {
+			return otherDef, otherImpl
+		}
+		return nil, nil
+	})
+	resp, err := e.stub.InvokeChaincode("other", "f", nil)
+	if err != nil || string(resp.Payload) != "from-callee" {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	// The callee's write landed in its own namespace in this tx's set.
+	set, _ := e.builder.Build("tx1")
+	found := false
+	for _, ns := range set.NsRWSets {
+		if ns.Namespace == "other" && len(ns.Writes) == 1 && ns.Writes[0].Key == "callee-key" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("callee write missing: %+v", set.NsRWSets)
+	}
+	// Unknown callee.
+	if _, err := e.stub.InvokeChaincode("ghost", "f", nil); !errors.Is(err, ErrChaincodeUnavailable) {
+		t.Fatalf("err = %v", err)
+	}
+}

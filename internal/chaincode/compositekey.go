@@ -1,0 +1,81 @@
+package chaincode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Composite keys let chaincode build multi-attribute keys whose prefix
+// can be range-scanned, e.g. all entries of an object type. The encoding
+// mirrors Fabric's: a U+0000 namespace marker, then the object type and
+// each attribute, each terminated by U+0000.
+const (
+	compositeKeyNamespace = "\x00"
+	keyDelimiter          = "\x00"
+)
+
+// ErrEmptyObjectType is returned when a composite key is created without
+// an object type.
+var ErrEmptyObjectType = errors.New("chaincode: composite key object type must not be empty")
+
+// CreateCompositeKey builds a composite key from an object type and
+// attributes.
+func CreateCompositeKey(objectType string, attributes ...string) (string, error) {
+	if objectType == "" {
+		return "", ErrEmptyObjectType
+	}
+	if err := validateCompositeKeyPart(objectType); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(compositeKeyNamespace)
+	b.WriteString(objectType)
+	b.WriteString(keyDelimiter)
+	for _, attr := range attributes {
+		if err := validateCompositeKeyPart(attr); err != nil {
+			return "", err
+		}
+		b.WriteString(attr)
+		b.WriteString(keyDelimiter)
+	}
+	return b.String(), nil
+}
+
+// SplitCompositeKey decomposes a composite key into its object type and
+// attributes.
+func SplitCompositeKey(compositeKey string) (objectType string, attributes []string, err error) {
+	if !strings.HasPrefix(compositeKey, compositeKeyNamespace) || len(compositeKey) < 2 {
+		return "", nil, fmt.Errorf("chaincode: %q is not a composite key", compositeKey)
+	}
+	parts := strings.Split(compositeKey[1:], keyDelimiter)
+	if len(parts) < 2 || parts[len(parts)-1] != "" {
+		return "", nil, fmt.Errorf("chaincode: malformed composite key %q", compositeKey)
+	}
+	// The final delimiter produces one trailing empty element.
+	return parts[0], parts[1 : len(parts)-1], nil
+}
+
+// CompositeKeyRange returns the [start, end) key range covering every
+// composite key with the given object type and attribute prefix, for use
+// with GetStateByRange. Every key extending the prefix sorts at or above
+// the prefix itself and strictly below the prefix with its final U+0000
+// delimiter bumped to U+0001.
+func CompositeKeyRange(objectType string, attributes ...string) (startKey, endKey string, err error) {
+	start, err := CreateCompositeKey(objectType, attributes...)
+	if err != nil {
+		return "", "", err
+	}
+	return start, start[:len(start)-1] + "\x01", nil
+}
+
+func validateCompositeKeyPart(s string) error {
+	if !utf8.ValidString(s) {
+		return fmt.Errorf("chaincode: composite key part %q is not valid UTF-8", s)
+	}
+	if strings.Contains(s, keyDelimiter) {
+		return fmt.Errorf("chaincode: composite key part %q contains U+0000", s)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package chaincode
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompositeKeyRoundTrip(t *testing.T) {
+	key, err := CreateCompositeKey("asset", "org1", "widget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ot, attrs, err := SplitCompositeKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ot != "asset" || len(attrs) != 2 || attrs[0] != "org1" || attrs[1] != "widget" {
+		t.Fatalf("split = %q %v", ot, attrs)
+	}
+
+	// Zero attributes.
+	key, err = CreateCompositeKey("asset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ot, attrs, err = SplitCompositeKey(key)
+	if err != nil || ot != "asset" || len(attrs) != 0 {
+		t.Fatalf("split bare = %q %v %v", ot, attrs, err)
+	}
+}
+
+func TestCompositeKeyValidation(t *testing.T) {
+	if _, err := CreateCompositeKey(""); !errors.Is(err, ErrEmptyObjectType) {
+		t.Fatalf("empty object type: %v", err)
+	}
+	if _, err := CreateCompositeKey("a\x00b"); err == nil {
+		t.Fatal("U+0000 in object type accepted")
+	}
+	if _, err := CreateCompositeKey("asset", "a\x00b"); err == nil {
+		t.Fatal("U+0000 in attribute accepted")
+	}
+	if _, err := CreateCompositeKey("asset", string([]byte{0xff, 0xfe})); err == nil {
+		t.Fatal("invalid UTF-8 accepted")
+	}
+	if _, _, err := SplitCompositeKey("not-composite"); err == nil {
+		t.Fatal("non-composite split accepted")
+	}
+	if _, _, err := SplitCompositeKey("\x00broken"); err == nil {
+		t.Fatal("unterminated composite split accepted")
+	}
+}
+
+// TestCompositeKeyRangeCoversPrefix: every key extending a prefix sorts
+// within the range returned by CompositeKeyRange, and keys of other
+// object types sort outside it.
+func TestCompositeKeyRangeCoversPrefix(t *testing.T) {
+	start, end, err := CompositeKeyRange("asset", "org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := CreateCompositeKey("asset", "org1", "widget")
+	in2, _ := CreateCompositeKey("asset", "org1")
+	outOT, _ := CreateCompositeKey("assez", "org1", "widget")
+	outAttr, _ := CreateCompositeKey("asset", "org2", "widget")
+
+	within := func(k string) bool { return k >= start && k < end }
+	if !within(in) || !within(in2) {
+		t.Fatal("prefix extension outside range")
+	}
+	if within(outOT) || within(outAttr) {
+		t.Fatal("foreign key inside range")
+	}
+}
+
+// TestCompositeKeyOrderingQuick: round-trip holds and the range property
+// holds for arbitrary attribute values without U+0000.
+func TestCompositeKeyOrderingQuick(t *testing.T) {
+	clean := func(s string) string {
+		out := make([]rune, 0, len(s))
+		for _, r := range s {
+			if r != 0 {
+				out = append(out, r)
+			}
+		}
+		return string(out)
+	}
+	f := func(a, b string) bool {
+		a, b = clean(a), clean(b)
+		key, err := CreateCompositeKey("ot", a, b)
+		if err != nil {
+			return false
+		}
+		ot, attrs, err := SplitCompositeKey(key)
+		if err != nil || ot != "ot" || len(attrs) != 2 || attrs[0] != a || attrs[1] != b {
+			return false
+		}
+		start, end, err := CompositeKeyRange("ot", a)
+		if err != nil {
+			return false
+		}
+		return key >= start && key < end
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompositeKeysSortByAttribute(t *testing.T) {
+	keys := make([]string, 0, 3)
+	for _, attr := range []string{"c", "a", "b"} {
+		k, _ := CreateCompositeKey("ot", attr)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, want := range []string{"a", "b", "c"} {
+		_, attrs, _ := SplitCompositeKey(keys[i])
+		if attrs[0] != want {
+			t.Fatalf("sorted[%d] attr = %q, want %q", i, attrs[0], want)
+		}
+	}
+}

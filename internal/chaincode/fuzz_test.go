@@ -1,0 +1,32 @@
+package chaincode
+
+import "testing"
+
+// FuzzCompositeKey checks create/split/range never panic and that
+// accepted keys round-trip.
+func FuzzCompositeKey(f *testing.F) {
+	f.Add("asset", "org1", "widget")
+	f.Add("", "", "")
+	f.Add("a\x00b", "c", "d")
+	f.Add("ot", "", "x")
+	f.Fuzz(func(t *testing.T, objectType, a, b string) {
+		key, err := CreateCompositeKey(objectType, a, b)
+		if err != nil {
+			return
+		}
+		ot, attrs, err := SplitCompositeKey(key)
+		if err != nil {
+			t.Fatalf("created key %q does not split: %v", key, err)
+		}
+		if ot != objectType || len(attrs) != 2 || attrs[0] != a || attrs[1] != b {
+			t.Fatalf("round trip: %q -> %q %v", key, ot, attrs)
+		}
+		start, end, err := CompositeKeyRange(objectType, a)
+		if err != nil {
+			t.Fatalf("range failed for accepted parts: %v", err)
+		}
+		if !(key >= start && key < end) {
+			t.Fatalf("key %q outside its prefix range [%q, %q)", key, start, end)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+// Package channel models a Fabric channel configuration: the consortium
+// of organizations, their per-org "Endorsement" signature policies, and
+// the channel-default endorsement policy rule — the information that in a
+// real deployment lives in configtx.yaml.
+//
+// The channel default matters to the paper's study: 116 of the 120
+// configtx.yaml files found on GitHub use "MAJORITY Endorsement" as the
+// chaincode-level endorsement policy, which accepts endorsements from any
+// majority of organizations, PDC members or not.
+package channel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fabcrypto"
+	"repro/internal/identity"
+	"repro/internal/policy"
+)
+
+// OrgConfig is one organization's channel membership material.
+type OrgConfig struct {
+	// Name is the MSP ID, e.g. "org1".
+	Name string
+	// CAPub is the organization's CA verification key.
+	CAPub fabcrypto.PublicKey
+	// EndorsementPolicy is the org's signature policy named
+	// "Endorsement", referenced by implicitMeta rules. Empty defaults
+	// to "OR(<org>.peer)".
+	EndorsementPolicy string
+}
+
+// Config is a channel configuration.
+type Config struct {
+	// Name is the channel ID.
+	Name string
+	// Orgs are the member organizations.
+	Orgs []OrgConfig
+	// DefaultEndorsement is the channel-default chaincode-level
+	// endorsement policy rule from configtx.yaml, e.g.
+	// "MAJORITY Endorsement". It applies to every chaincode that does
+	// not set its own policy.
+	DefaultEndorsement string
+}
+
+// NewConfig builds a channel configuration with the Fabric default
+// "MAJORITY Endorsement" rule.
+func NewConfig(name string, orgs ...OrgConfig) *Config {
+	return &Config{Name: name, Orgs: orgs, DefaultEndorsement: "MAJORITY Endorsement"}
+}
+
+// OrgNames returns the sorted organization names.
+func (c *Config) OrgNames() []string {
+	out := make([]string, len(c.Orgs))
+	for i, o := range c.Orgs {
+		out[i] = o.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasOrg reports whether org is a channel member.
+func (c *Config) HasOrg(org string) bool {
+	for _, o := range c.Orgs {
+		if o.Name == org {
+			return true
+		}
+	}
+	return false
+}
+
+// Verifier builds an identity verifier trusting every member org's CA.
+func (c *Config) Verifier() *identity.Verifier {
+	v := identity.NewVerifier()
+	for _, o := range c.Orgs {
+		v.TrustCA(o.Name, o.CAPub)
+	}
+	return v
+}
+
+// OrgEndorsementPolicies resolves each org's "Endorsement" signature
+// policy (defaulting to OR(<org>.peer)), the inputs e_i of the paper's
+// Eq. (1).
+func (c *Config) OrgEndorsementPolicies() (map[string]policy.Policy, error) {
+	out := make(map[string]policy.Policy, len(c.Orgs))
+	for _, o := range c.Orgs {
+		spec := o.EndorsementPolicy
+		if spec == "" {
+			spec = fmt.Sprintf("OR(%s.peer)", o.Name)
+		}
+		pol, err := policy.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("channel %s: org %s endorsement policy: %w", c.Name, o.Name, err)
+		}
+		out[o.Name] = pol
+	}
+	return out, nil
+}
+
+// ResolvePolicy turns a policy specification into an evaluable policy.
+// Signature policy expressions parse directly; implicitMeta
+// specifications ("MAJORITY Endorsement") resolve over the per-org
+// endorsement policies. An empty spec resolves the channel default.
+func (c *Config) ResolvePolicy(spec string) (policy.Policy, error) {
+	if spec == "" {
+		spec = c.DefaultEndorsement
+	}
+	if policy.IsImplicitMetaSpec(spec) {
+		rule, name, err := policy.ParseImplicitMetaSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		orgPolicies, err := c.OrgEndorsementPolicies()
+		if err != nil {
+			return nil, err
+		}
+		return policy.ResolveImplicitMeta(rule, name, orgPolicies)
+	}
+	pol, err := policy.Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("channel %s: resolve policy %q: %w", c.Name, spec, err)
+	}
+	return pol, nil
+}

@@ -1,0 +1,113 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/identity"
+)
+
+func testConfig(t *testing.T) (*Config, map[string]*identity.CA) {
+	t.Helper()
+	cas := make(map[string]*identity.CA)
+	var orgs []OrgConfig
+	for _, name := range []string{"org1", "org2", "org3"} {
+		ca, err := identity.NewCA(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cas[name] = ca
+		orgs = append(orgs, OrgConfig{Name: name, CAPub: ca.PublicKey()})
+	}
+	return NewConfig("c1", orgs...), cas
+}
+
+func TestDefaults(t *testing.T) {
+	cfg, _ := testConfig(t)
+	if cfg.DefaultEndorsement != "MAJORITY Endorsement" {
+		t.Fatalf("default = %q", cfg.DefaultEndorsement)
+	}
+	if !cfg.HasOrg("org2") || cfg.HasOrg("org9") {
+		t.Fatal("HasOrg wrong")
+	}
+	names := cfg.OrgNames()
+	if len(names) != 3 || names[0] != "org1" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestVerifierTrustsAllCAs(t *testing.T) {
+	cfg, cas := testConfig(t)
+	v := cfg.Verifier()
+	id, _ := cas["org2"].Issue("peer0.org2", identity.RolePeer)
+	if err := v.ValidateCertificate(id.Cert); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestResolveDefaultPolicy(t *testing.T) {
+	cfg, _ := testConfig(t)
+	pol, err := cfg.ResolvePolicy("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MAJORITY of three orgs: two peer signatures satisfy it.
+	signers := []*identity.Certificate{
+		{Org: "org1", Role: identity.RolePeer},
+		{Org: "org3", Role: identity.RolePeer},
+	}
+	if !pol.Evaluate(signers) {
+		t.Fatal("2/3 majority rejected")
+	}
+	if pol.Evaluate(signers[:1]) {
+		t.Fatal("1/3 accepted as majority")
+	}
+}
+
+func TestResolveSignaturePolicy(t *testing.T) {
+	cfg, _ := testConfig(t)
+	pol, err := cfg.ResolvePolicy("AND(org1.peer, org2.peer)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.String() != "AND(org1.peer, org2.peer)" {
+		t.Fatalf("resolved = %q", pol.String())
+	}
+	if _, err := cfg.ResolvePolicy("GIBBERISH("); err == nil {
+		t.Fatal("bad spec resolved")
+	}
+}
+
+func TestCustomOrgEndorsementPolicy(t *testing.T) {
+	cfg, _ := testConfig(t)
+	// org1 requires its admin rather than a peer.
+	cfg.Orgs[0].EndorsementPolicy = "OR(org1.admin)"
+	pol, err := cfg.ResolvePolicy("MAJORITY Endorsement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []*identity.Certificate{
+		{Org: "org1", Role: identity.RolePeer},
+		{Org: "org2", Role: identity.RolePeer},
+	}
+	if pol.Evaluate(peers) {
+		t.Fatal("org1 peer satisfied admin-only endorsement policy")
+	}
+	withAdmin := []*identity.Certificate{
+		{Org: "org1", Role: identity.RoleAdmin},
+		{Org: "org2", Role: identity.RolePeer},
+	}
+	if !pol.Evaluate(withAdmin) {
+		t.Fatal("admin+peer rejected")
+	}
+}
+
+func TestOrgEndorsementPoliciesParseError(t *testing.T) {
+	cfg, _ := testConfig(t)
+	cfg.Orgs[1].EndorsementPolicy = "broken("
+	if _, err := cfg.OrgEndorsementPolicies(); err == nil {
+		t.Fatal("broken org policy accepted")
+	}
+	if _, err := cfg.ResolvePolicy("MAJORITY Endorsement"); err == nil {
+		t.Fatal("implicitMeta resolved over a broken org policy")
+	}
+}

@@ -1,0 +1,301 @@
+// Package client implements the application-side SDK: building proposals,
+// collecting endorsements from chosen endorsers, checking that all
+// endorsers returned the same results, assembling the transaction and
+// submitting it for ordering (paper §II-B, the submitTransaction /
+// evaluateTransaction APIs).
+//
+// Under defense Feature 2 the client verifies the endorser's signature
+// over the hashed-payload form PR_Hash, keeps the plaintext PR_Ori for
+// itself, and assembles the transaction from PR_Hash (Fig. 4 steps 6–7).
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/orderer"
+	"repro/internal/peer"
+)
+
+// Errors returned by the client.
+var (
+	// ErrNoEndorsers: the caller supplied no endorsing peers.
+	ErrNoEndorsers = errors.New("client: no endorsers specified")
+	// ErrEndorsementMismatch: endorsers returned different results, so
+	// no transaction can be assembled.
+	ErrEndorsementMismatch = errors.New("client: endorsers returned inconsistent results")
+	// ErrBadEndorserSignature: a Feature 2 signature over PR_Hash did
+	// not verify.
+	ErrBadEndorserSignature = errors.New("client: endorser signature over hashed payload invalid")
+	// ErrNotCommitted: the transaction did not appear in the ledger.
+	ErrNotCommitted = errors.New("client: transaction not found in ledger after submission")
+)
+
+// Client is one application client.
+type Client struct {
+	id       *identity.Identity
+	verifier *identity.Verifier
+	orderer  *orderer.Service
+	// notifyPeer is the peer whose ledger the client watches for
+	// commit status, normally a peer of the client's own organization.
+	notifyPeer *peer.Peer
+	sec        core.SecurityConfig
+}
+
+// Config wires a client.
+type Config struct {
+	Identity *identity.Identity
+	Verifier *identity.Verifier
+	Orderer  *orderer.Service
+	// NotifyPeer is the peer used for commit notifications.
+	NotifyPeer *peer.Peer
+	Security   core.SecurityConfig
+}
+
+// New creates a client.
+func New(cfg Config) *Client {
+	return &Client{
+		id:         cfg.Identity,
+		verifier:   cfg.Verifier,
+		orderer:    cfg.Orderer,
+		notifyPeer: cfg.NotifyPeer,
+		sec:        cfg.Security,
+	}
+}
+
+// Org returns the client's organization.
+func (c *Client) Org() string { return c.id.MSPID() }
+
+// SetSecurity swaps the active security configuration.
+func (c *Client) SetSecurity(sec core.SecurityConfig) { c.sec = sec }
+
+// Result is the outcome of a submitted transaction.
+type Result struct {
+	TxID string
+	// Payload is the chaincode's response payload in plaintext (from
+	// PR_Ori under Feature 2).
+	Payload []byte
+	// Code is the validation outcome recorded at the notification peer.
+	Code ledger.ValidationCode
+	// BlockNum is the block the transaction landed in.
+	BlockNum uint64
+	// Event is the chaincode event the transaction carries, if any.
+	Event *ledger.ChaincodeEvent
+}
+
+// EvaluateTransaction runs a query against a single endorser without
+// ordering: no transaction is created and the ledger is not updated.
+func (c *Client) EvaluateTransaction(
+	endorser *peer.Peer,
+	chaincodeName, function string,
+	args ...string,
+) ([]byte, error) {
+	prop, err := c.newProposal(chaincodeName, function, args, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := endorser.ProcessProposal(prop)
+	if err != nil {
+		return nil, fmt.Errorf("client: evaluate %s.%s: %w", chaincodeName, function, err)
+	}
+	return resp.Response.Payload, nil
+}
+
+// SubmitTransaction collects endorsements from the given endorsers,
+// checks their consistency, assembles a transaction, submits it for
+// ordering and reports the validation outcome. This is the paper's
+// submitTransaction(name, [args]) path: even reads submitted this way
+// produce a transaction that lands in every peer's blockchain.
+func (c *Client) SubmitTransaction(
+	endorsers []*peer.Peer,
+	chaincodeName, function string,
+	args []string,
+	transient map[string][]byte,
+) (*Result, error) {
+	prop, err := c.newProposal(chaincodeName, function, args, transient)
+	if err != nil {
+		return nil, err
+	}
+	tx, payload, err := c.Endorse(prop, endorsers)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Order(tx)
+	if err != nil {
+		return nil, err
+	}
+	res.Payload = payload
+	return res, nil
+}
+
+// Endorse collects endorsements for a proposal and assembles the
+// transaction, returning it together with the plaintext payload. Exposed
+// separately so attack harnesses and benchmarks can interpose.
+func (c *Client) Endorse(prop *ledger.Proposal, endorsers []*peer.Peer) (*ledger.Transaction, []byte, error) {
+	if len(endorsers) == 0 {
+		return nil, nil, ErrNoEndorsers
+	}
+	responses := make([]*ledger.ProposalResponse, 0, len(endorsers))
+	for _, e := range endorsers {
+		resp, err := e.ProcessProposal(prop)
+		if err != nil {
+			return nil, nil, fmt.Errorf("client: endorsement from %s: %w", e.Name(), err)
+		}
+		responses = append(responses, resp)
+	}
+
+	// Consistency check: all endorsers must have produced the same
+	// signed payload bytes (results + response).
+	first := responses[0]
+	for _, r := range responses[1:] {
+		if !bytes.Equal(r.Payload, first.Payload) {
+			return nil, nil, fmt.Errorf("%w: proposal %s", ErrEndorsementMismatch, prop.TxID)
+		}
+	}
+
+	payload := first.Response.Payload
+	if c.sec.HashedPayloadEndorsement {
+		plain, err := c.verifyHashedEndorsements(responses)
+		if err != nil {
+			return nil, nil, err
+		}
+		payload = plain
+	}
+
+	tx := &ledger.Transaction{
+		TxID:            prop.TxID,
+		ChannelID:       prop.ChannelID,
+		Creator:         prop.Creator,
+		Proposal:        prop,
+		ResponsePayload: first.Payload,
+	}
+	for _, r := range responses {
+		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
+	}
+	return tx, payload, nil
+}
+
+// verifyHashedEndorsements implements the client side of Feature 2: for
+// each endorser, recompute PR_Hash from the returned PR_Ori, check it
+// matches the signed payload, and verify the signature. Returns the
+// plaintext payload for the caller.
+func (c *Client) verifyHashedEndorsements(responses []*ledger.ProposalResponse) ([]byte, error) {
+	var plain []byte
+	for _, r := range responses {
+		if len(r.PlainPayload) == 0 {
+			return nil, fmt.Errorf("%w: endorser returned no plaintext form", ErrBadEndorserSignature)
+		}
+		prp, err := ledger.ParseProposalResponsePayload(r.PlainPayload)
+		if err != nil {
+			return nil, fmt.Errorf("client: parse PR_Ori: %w", err)
+		}
+		recomputed := prp.HashedPayloadForm().Bytes()
+		if !bytes.Equal(recomputed, r.Payload) {
+			return nil, fmt.Errorf("%w: PR_Hash mismatch", ErrBadEndorserSignature)
+		}
+		cert, err := identity.ParseCertificate(r.Endorsement.Endorser)
+		if err != nil {
+			return nil, fmt.Errorf("client: parse endorser cert: %w", err)
+		}
+		if err := c.verifier.VerifySignature(cert, r.Payload, r.Endorsement.Signature); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEndorserSignature, err)
+		}
+		plain = prp.Response.Payload
+	}
+	return plain, nil
+}
+
+// Order submits an assembled transaction for ordering and waits for the
+// commit outcome at the notification peer.
+func (c *Client) Order(tx *ledger.Transaction) (*Result, error) {
+	if err := c.orderer.Submit(tx); err != nil {
+		return nil, fmt.Errorf("client: order tx %s: %w", tx.TxID, err)
+	}
+	// With batching, the transaction may still be pending; force a cut.
+	if _, _, err := c.notifyPeer.Ledger().Transaction(tx.TxID); err != nil {
+		c.orderer.Flush()
+	}
+	committed, code, err := c.notifyPeer.Ledger().Transaction(tx.TxID)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotCommitted, tx.TxID)
+	}
+	blockNum := uint64(0)
+	c.notifyPeer.Ledger().Scan(func(bn uint64, t *ledger.Transaction, _ ledger.ValidationCode) bool {
+		if t.TxID == committed.TxID {
+			blockNum = bn
+			return false
+		}
+		return true
+	})
+	res := &Result{TxID: tx.TxID, Code: code, BlockNum: blockNum}
+	if prp, err := committed.ResponsePayloadParsed(); err == nil {
+		res.Event = prp.Event
+	}
+	return res, nil
+}
+
+// SubmitWithRetry submits a transaction, re-endorsing and resubmitting
+// when the result is an MVCC read conflict — the standard SDK pattern
+// for contended keys, since a conflict only means another transaction
+// committed between simulation and validation.
+func (c *Client) SubmitWithRetry(
+	endorsers []*peer.Peer,
+	chaincodeName, function string,
+	args []string,
+	transient map[string][]byte,
+	maxAttempts int,
+) (*Result, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var last *Result
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		res, err := c.SubmitTransaction(endorsers, chaincodeName, function, args, transient)
+		if err != nil {
+			return nil, err
+		}
+		if res.Code != ledger.MVCCConflict {
+			return res, nil
+		}
+		last = res
+	}
+	return last, fmt.Errorf("client: tx still conflicting after %d attempts", maxAttempts)
+}
+
+// newProposal builds a proposal signed-over by this client's identity.
+func (c *Client) newProposal(
+	chaincodeName, function string,
+	args []string,
+	transient map[string][]byte,
+) (*ledger.Proposal, error) {
+	nonce, err := ledger.NewNonce()
+	if err != nil {
+		return nil, err
+	}
+	creator := c.id.Cert.Bytes()
+	prop := &ledger.Proposal{
+		TxID:      ledger.NewTxID(nonce, creator),
+		ChannelID: "", // set by NewProposalForChannel when needed
+		Chaincode: chaincodeName,
+		Function:  function,
+		Args:      args,
+		Creator:   creator,
+		Nonce:     nonce,
+		Transient: transient,
+	}
+	return prop, nil
+}
+
+// NewProposal exposes proposal construction for harnesses that need to
+// interpose between endorsement and ordering.
+func (c *Client) NewProposal(
+	chaincodeName, function string,
+	args []string,
+	transient map[string][]byte,
+) (*ledger.Proposal, error) {
+	return c.newProposal(chaincodeName, function, args, transient)
+}

@@ -1,0 +1,188 @@
+package client_test
+
+// The client's behaviour is exercised against a real network (the client
+// cannot do anything meaningful without peers and an orderer). The
+// external test package breaks the import cycle client -> ... <- network.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/client"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/network"
+	"repro/internal/peer"
+	"repro/internal/pvtdata"
+)
+
+func newNet(t *testing.T, sec core.SecurityConfig) *network.Network {
+	t.Helper()
+	n, err := network.New(network.Options{
+		Orgs:     []string{"org1", "org2", "org3"},
+		Security: sec,
+		Seed:     17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := &chaincode.Definition{
+		Name:    "asset",
+		Version: "1.0",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:         "pdc1",
+			MemberPolicy: "OR(org1.member, org2.member)",
+			MaxPeerCount: 3,
+		}},
+	}
+	impl := contracts.NewPublicAsset()
+	for name, fn := range contracts.NewPDC(contracts.PDCOptions{Collection: "pdc1"}) {
+		impl[name] = fn
+	}
+	if err := n.DeployChaincode(def, impl); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSubmitReturnsPayloadAndBlock(t *testing.T) {
+	n := newNet(t, core.OriginalFabric())
+	cl := n.Client("org1")
+	res, err := cl.SubmitTransaction(n.Peers(), "asset", "add", []string{"k", "7"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Payload) != "7" || res.Code != ledger.Valid {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.TxID == "" {
+		t.Fatal("no tx id")
+	}
+	// BlockNum points at the block actually holding the transaction.
+	block, err := n.Peer("org1").Ledger().Block(res.BlockNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tx := range block.Transactions {
+		if tx.TxID == res.TxID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("BlockNum does not contain the transaction")
+	}
+}
+
+func TestTransientInputsReachChaincodeButNotLedger(t *testing.T) {
+	n := newNet(t, core.OriginalFabric())
+	cl := n.Client("org1")
+	res, err := cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
+		"asset", "setPrivateTransient", []string{"k"},
+		map[string][]byte{"value": []byte("4213370042")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("code = %v", res.Code)
+	}
+	// The value reached the members' private stores...
+	if v, _, _ := n.Peer("org2").PvtStore().GetPrivate("asset", "pdc1", "k"); string(v) != "4213370042" {
+		t.Fatalf("private value = %q", v)
+	}
+	// ...but appears nowhere in any stored transaction (the transient
+	// map is excluded from proposal serialization).
+	tx, _, err := n.Peer("org3").Ledger().Transaction(res.TxID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tx.Bytes()) != "" {
+		for _, needle := range []string{"4213370042"} {
+			if containsSubstring(tx.Bytes(), needle) {
+				t.Fatalf("transient value %q leaked into the stored transaction", needle)
+			}
+		}
+	}
+}
+
+func containsSubstring(b []byte, s string) bool {
+	return len(s) > 0 && len(b) >= len(s) && (string(b) != "" && indexOf(string(b), s) >= 0)
+}
+
+func indexOf(haystack, needle string) int {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSetSecuritySwitchesFeature2Verification(t *testing.T) {
+	n := newNet(t, core.Feature2Only())
+	cl := n.Client("org1")
+	if _, err := cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
+		"asset", "setPrivate", []string{"k", "12"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A client without Feature 2 verification still interoperates with
+	// Feature 2 endorsers: the live Response echo gives it the
+	// plaintext, and the assembled transaction carries the hashed form
+	// either way — the ledger never sees the value.
+	cl.SetSecurity(core.OriginalFabric())
+	res, err := cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
+		"asset", "readPrivate", []string{"k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("naive client tx = %v", res.Code)
+	}
+	tx, _, err := n.Peer("org3").Ledger().Transaction(res.TxID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prp, err := tx.ResponsePayloadParsed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prp.Response.Payload) == "12" {
+		t.Fatal("plaintext private value stored in the blockchain despite Feature 2 endorsers")
+	}
+	if len(prp.Response.Payload) != 32 {
+		t.Fatalf("stored payload is not a SHA-256 digest: %d bytes", len(prp.Response.Payload))
+	}
+
+	// With Feature 2 verification on, the client additionally checks
+	// the endorser signatures over PR_Hash and recovers the plaintext
+	// from PR_Ori.
+	cl.SetSecurity(core.Feature2Only())
+	res, err = cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
+		"asset", "readPrivate", []string{"k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Payload) != "12" {
+		t.Fatalf("Feature 2 client payload = %q", res.Payload)
+	}
+}
+
+func TestErrNoEndorsersSentinel(t *testing.T) {
+	n := newNet(t, core.OriginalFabric())
+	cl := n.Client("org2")
+	_, err := cl.SubmitTransaction(nil, "asset", "set", []string{"k", "v"}, nil)
+	if !errors.Is(err, client.ErrNoEndorsers) {
+		t.Fatalf("err = %v", err)
+	}
+	if cl.Org() != "org2" {
+		t.Fatalf("org = %s", cl.Org())
+	}
+}

@@ -1,0 +1,115 @@
+// Package consortium assembles multi-channel deployments: one set of
+// organizations (with a single identity root each) participating in
+// several channels, each channel with its own ordering service, gossip
+// fabric and fully isolated ledger — the paper's Fig. 1 topology, where
+// P2 joins channels C1 and C2 and maintains a separate ledger for each.
+//
+// As in Fabric, a peer process hosts one ledger per channel it joins;
+// the reproduction models each (org, channel) pairing as a channel-local
+// peer state sharing the organization's CA-rooted identity.
+package consortium
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/network"
+)
+
+// Options configures a consortium build.
+type Options struct {
+	// Orgs is the full set of organizations.
+	Orgs []string
+	// Channels maps channel name -> member organizations (each must
+	// appear in Orgs).
+	Channels map[string][]string
+	// DefaultEndorsement is the channel-default rule for every channel.
+	DefaultEndorsement string
+	// Security applies to every node on every channel.
+	Security core.SecurityConfig
+	// Seed drives deterministic Raft jitter (offset per channel).
+	Seed int64
+}
+
+// Consortium is a set of channels over shared organization identities.
+type Consortium struct {
+	cas      map[string]*identity.CA
+	channels map[string]*network.Network
+}
+
+// New builds the consortium: one CA per organization, one network per
+// channel restricted to its member orgs.
+func New(opts Options) (*Consortium, error) {
+	if len(opts.Orgs) == 0 {
+		return nil, fmt.Errorf("consortium: no organizations")
+	}
+	if len(opts.Channels) == 0 {
+		return nil, fmt.Errorf("consortium: no channels")
+	}
+	known := make(map[string]bool, len(opts.Orgs))
+	for _, org := range opts.Orgs {
+		known[org] = true
+	}
+
+	c := &Consortium{
+		cas:      make(map[string]*identity.CA, len(opts.Orgs)),
+		channels: make(map[string]*network.Network, len(opts.Channels)),
+	}
+	for _, org := range opts.Orgs {
+		ca, err := identity.NewCA(org)
+		if err != nil {
+			return nil, fmt.Errorf("consortium: %w", err)
+		}
+		c.cas[org] = ca
+	}
+
+	// Build channels in sorted order for deterministic seeds.
+	names := make([]string, 0, len(opts.Channels))
+	for name := range opts.Channels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		members := opts.Channels[name]
+		cas := make(map[string]*identity.CA, len(members))
+		for _, org := range members {
+			if !known[org] {
+				return nil, fmt.Errorf("consortium: channel %q references unknown org %q", name, org)
+			}
+			cas[org] = c.cas[org]
+		}
+		net, err := network.New(network.Options{
+			ChannelName:        name,
+			Orgs:               members,
+			DefaultEndorsement: opts.DefaultEndorsement,
+			Security:           opts.Security,
+			Seed:               opts.Seed + int64(i)*101,
+			CAs:                cas,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("consortium: channel %q: %w", name, err)
+		}
+		c.channels[name] = net
+	}
+	return c, nil
+}
+
+// Channel returns the network of one channel, or nil.
+func (c *Consortium) Channel(name string) *network.Network {
+	return c.channels[name]
+}
+
+// Channels returns the sorted channel names.
+func (c *Consortium) Channels() []string {
+	out := make([]string, 0, len(c.channels))
+	for name := range c.channels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CA returns an organization's consortium-wide certificate authority.
+func (c *Consortium) CA(org string) *identity.CA { return c.cas[org] }

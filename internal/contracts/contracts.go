@@ -1,0 +1,287 @@
+// Package contracts provides the chaincode implementations used by the
+// examples, tests and attack experiments: a public-data asset contract
+// and a PDC contract with per-organization business constraints.
+//
+// The PDC contract is *customizable* in exactly the sense of the paper
+// (§IV-A1): every organization installs its own variant — same functions,
+// same read/write behaviour, but organization-specific validation logic
+// before endorsing. The paper's write-injection experiment configures
+// org1 with "value < 15", org2 with "value > 10" and org3 with no
+// constraint (§V-A2).
+package contracts
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/chaincode"
+	"repro/internal/ledger"
+)
+
+// Op is the operation kind a constraint inspects.
+type Op string
+
+// Operations subject to constraints.
+const (
+	OpWrite  Op = "write"
+	OpDelete Op = "delete"
+)
+
+// Constraint is an organization's business rule over private writes and
+// deletes. The value checked is the value proposed by the client — for
+// writes, the value being written; for deletes, the value the client
+// claims the key currently has (a state-free check, keeping the
+// delete-only transaction's read set null as in Table I).
+type Constraint func(op Op, key string, value int) error
+
+// MaxValue returns a constraint requiring value < limit, the paper's
+// org1 rule ("requires k1.value < 15").
+func MaxValue(limit int) Constraint {
+	return func(op Op, key string, value int) error {
+		if value >= limit {
+			return fmt.Errorf("org constraint: %s %q: value %d must be < %d", op, key, value, limit)
+		}
+		return nil
+	}
+}
+
+// MinValue returns a constraint requiring value > limit, the paper's
+// org2 rule ("requires k1.value > 10").
+func MinValue(limit int) Constraint {
+	return func(op Op, key string, value int) error {
+		if value <= limit {
+			return fmt.Errorf("org constraint: %s %q: value %d must be > %d", op, key, value, limit)
+		}
+		return nil
+	}
+}
+
+// PDCOptions configures one peer's variant of the PDC contract.
+type PDCOptions struct {
+	// Collection is the private data collection the contract manages.
+	Collection string
+	// Constraint is the organization's business rule; nil means no
+	// constraint (the paper's org3).
+	Constraint Constraint
+	// LeakOnWrite makes setPrivate return the written value through the
+	// response payload — the sloppy pattern of the paper's Listing 2
+	// that leaks private data through PDC write transactions (§IV-B2).
+	LeakOnWrite bool
+}
+
+// NewPDC builds the PDC contract variant for one peer.
+//
+// Functions:
+//
+//	setPrivate(key, value)   — write-only private write (int value)
+//	readPrivate(key)         — read-only; returns the private value in
+//	                           the payload (the paper's Listing 1 /
+//	                           audit pattern, Use Case 3)
+//	readPrivateHash(key)     — read-only over the hashed store
+//	addPrivate(key, delta)   — read-write: value += delta
+//	delPrivate(key, claimed) — delete-only; constraint checks the
+//	                           claimed current value
+//	setPrivateTransient(key) — write-only with the value taken from the
+//	                           transient map (the privacy-conscious
+//	                           variant; nothing sensitive in args)
+func NewPDC(opts PDCOptions) chaincode.Router {
+	coll := opts.Collection
+	check := opts.Constraint
+	if check == nil {
+		check = func(Op, string, int) error { return nil }
+	}
+
+	return chaincode.Router{
+		"setPrivate": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 2 {
+				return chaincode.ErrorResponse("setPrivate: want (key, value)")
+			}
+			value, err := strconv.Atoi(args[1])
+			if err != nil {
+				return chaincode.ErrorResponse("setPrivate: value must be an integer: " + err.Error())
+			}
+			if err := check(OpWrite, args[0], value); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if err := stub.PutPrivateData(coll, args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if opts.LeakOnWrite {
+				// Listing 2: "return args[1], nil" — leaks the
+				// private value into every peer's blockchain.
+				return chaincode.SuccessResponse([]byte(args[1]))
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+
+		"readPrivate": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 1 {
+				return chaincode.ErrorResponse("readPrivate: want (key)")
+			}
+			value, err := stub.GetPrivateData(coll, args[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if value == nil {
+				return chaincode.ErrorResponse(fmt.Sprintf("readPrivate: %q does not exist", args[0]))
+			}
+			// Listing 1: the private value is returned through the
+			// plaintext "payload" field of the proposal response.
+			return chaincode.SuccessResponse(value)
+		},
+
+		"readPrivateHash": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 1 {
+				return chaincode.ErrorResponse("readPrivateHash: want (key)")
+			}
+			digest, err := stub.GetPrivateDataHash(coll, args[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(digest)
+		},
+
+		"addPrivate": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 2 {
+				return chaincode.ErrorResponse("addPrivate: want (key, delta)")
+			}
+			delta, err := strconv.Atoi(args[1])
+			if err != nil {
+				return chaincode.ErrorResponse("addPrivate: delta must be an integer: " + err.Error())
+			}
+			current, err := stub.GetPrivateData(coll, args[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			base := 0
+			if current != nil {
+				base, err = strconv.Atoi(string(current))
+				if err != nil {
+					return chaincode.ErrorResponse("addPrivate: stored value not an integer: " + err.Error())
+				}
+			}
+			sum := base + delta
+			if err := check(OpWrite, args[0], sum); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			out := strconv.Itoa(sum)
+			if err := stub.PutPrivateData(coll, args[0], []byte(out)); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse([]byte(out))
+		},
+
+		"delPrivate": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 2 {
+				return chaincode.ErrorResponse("delPrivate: want (key, claimedValue)")
+			}
+			claimed, err := strconv.Atoi(args[1])
+			if err != nil {
+				return chaincode.ErrorResponse("delPrivate: claimed value must be an integer: " + err.Error())
+			}
+			if err := check(OpDelete, args[0], claimed); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if err := stub.DelPrivateData(coll, args[0]); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+
+		"setPrivateTransient": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 1 {
+				return chaincode.ErrorResponse("setPrivateTransient: want (key)")
+			}
+			value := stub.Transient("value")
+			if value == nil {
+				return chaincode.ErrorResponse("setPrivateTransient: transient field \"value\" missing")
+			}
+			n, err := strconv.Atoi(string(value))
+			if err != nil {
+				return chaincode.ErrorResponse("setPrivateTransient: value must be an integer: " + err.Error())
+			}
+			if err := check(OpWrite, args[0], n); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if err := stub.PutPrivateData(coll, args[0], value); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+	}
+}
+
+// NewPublicAsset builds the public-data asset contract used by the
+// quickstart example and the public-transaction benchmarks.
+//
+// Functions: set(key, value), get(key), del(key), add(key, delta).
+func NewPublicAsset() chaincode.Router {
+	return chaincode.Router{
+		"set": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 2 {
+				return chaincode.ErrorResponse("set: want (key, value)")
+			}
+			if err := stub.PutState(args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+		"get": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 1 {
+				return chaincode.ErrorResponse("get: want (key)")
+			}
+			value, err := stub.GetState(args[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if value == nil {
+				return chaincode.ErrorResponse(fmt.Sprintf("get: %q does not exist", args[0]))
+			}
+			return chaincode.SuccessResponse(value)
+		},
+		"del": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 1 {
+				return chaincode.ErrorResponse("del: want (key)")
+			}
+			if err := stub.DelState(args[0]); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+		"add": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if len(args) != 2 {
+				return chaincode.ErrorResponse("add: want (key, delta)")
+			}
+			delta, err := strconv.Atoi(args[1])
+			if err != nil {
+				return chaincode.ErrorResponse("add: delta must be an integer: " + err.Error())
+			}
+			current, err := stub.GetState(args[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			base := 0
+			if current != nil {
+				base, err = strconv.Atoi(string(current))
+				if err != nil {
+					return chaincode.ErrorResponse("add: stored value not an integer: " + err.Error())
+				}
+			}
+			out := strconv.Itoa(base + delta)
+			if err := stub.PutState(args[0], []byte(out)); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse([]byte(out))
+		},
+	}
+}

@@ -1,0 +1,217 @@
+package contracts
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/pvtdata"
+	"repro/internal/rwset"
+	"repro/internal/statedb"
+)
+
+func invoke(t *testing.T, cc chaincode.Chaincode, peerOrg, fn string, args []string, seed map[string]string) (ledger.Response, *rwset.TxRWSet) {
+	t.Helper()
+	db := statedb.New()
+	pvt := pvtdata.NewStore(db)
+	for k, v := range seed {
+		ver := pvt.ApplyHashedWrite("asset", "pdc1", []byte("h"+k), []byte("hv"))
+		pvt.ApplyPrivateWrite("asset", "pdc1", k, []byte(v), ver)
+	}
+	def := &chaincode.Definition{
+		Name: "asset",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:         "pdc1",
+			MemberPolicy: "OR(org1.member, org2.member)",
+			MaxPeerCount: 3,
+		}},
+	}
+	builder := rwset.NewBuilder()
+	prop := &ledger.Proposal{TxID: "t", Chaincode: "asset", Function: fn, Args: args,
+		Transient: map[string][]byte{"value": []byte("12")}}
+	creator := &identity.Certificate{Subject: "client0.org1", Org: "org1", Role: identity.RoleClient}
+	stub := chaincode.NewSimStub(prop, creator, peerOrg, def, db, pvt, builder)
+	resp := cc.Invoke(stub)
+	set, _ := builder.Build("t")
+	return resp, set
+}
+
+func TestConstraints(t *testing.T) {
+	maxC := MaxValue(15)
+	if err := maxC(OpWrite, "k", 14); err != nil {
+		t.Errorf("14 < 15 rejected: %v", err)
+	}
+	if err := maxC(OpWrite, "k", 15); err == nil {
+		t.Error("15 accepted by MaxValue(15)")
+	}
+	minC := MinValue(10)
+	if err := minC(OpDelete, "k", 11); err != nil {
+		t.Errorf("11 > 10 rejected: %v", err)
+	}
+	if err := minC(OpDelete, "k", 10); err == nil {
+		t.Error("10 accepted by MinValue(10)")
+	}
+}
+
+func TestSetPrivateRespectsConstraint(t *testing.T) {
+	cc := NewPDC(PDCOptions{Collection: "pdc1", Constraint: MinValue(10)})
+	resp, set := invoke(t, cc, "org2", "setPrivate", []string{"k", "12"}, nil)
+	if resp.Status != ledger.StatusOK {
+		t.Fatalf("accepting write failed: %s", resp.Message)
+	}
+	if rwset.Classify(set) != rwset.TxWriteOnly {
+		t.Fatalf("setPrivate produced %v", rwset.Classify(set))
+	}
+	resp, _ = invoke(t, cc, "org2", "setPrivate", []string{"k", "5"}, nil)
+	if resp.Status == ledger.StatusOK {
+		t.Fatal("constraint violation endorsed")
+	}
+	if !strings.Contains(resp.Message, "must be >") {
+		t.Fatalf("message = %q", resp.Message)
+	}
+}
+
+func TestSetPrivateLeakOption(t *testing.T) {
+	quiet := NewPDC(PDCOptions{Collection: "pdc1"})
+	resp, _ := invoke(t, quiet, "org1", "setPrivate", []string{"k", "12"}, nil)
+	if len(resp.Payload) != 0 {
+		t.Fatal("non-leaky contract returned a payload")
+	}
+	leaky := NewPDC(PDCOptions{Collection: "pdc1", LeakOnWrite: true})
+	resp, _ = invoke(t, leaky, "org1", "setPrivate", []string{"k", "12"}, nil)
+	if string(resp.Payload) != "12" {
+		t.Fatalf("leaky payload = %q", resp.Payload)
+	}
+}
+
+func TestReadPrivate(t *testing.T) {
+	cc := NewPDC(PDCOptions{Collection: "pdc1"})
+	resp, set := invoke(t, cc, "org1", "readPrivate", []string{"k"}, map[string]string{"k": "42"})
+	if resp.Status != ledger.StatusOK || string(resp.Payload) != "42" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if rwset.Classify(set) != rwset.TxReadOnly {
+		t.Fatalf("readPrivate produced %v", rwset.Classify(set))
+	}
+	// Missing key errors.
+	resp, _ = invoke(t, cc, "org1", "readPrivate", []string{"absent"}, nil)
+	if resp.Status == ledger.StatusOK {
+		t.Fatal("missing key read succeeded")
+	}
+	// Non-member peer errors (Use Case 1).
+	resp, _ = invoke(t, cc, "org3", "readPrivate", []string{"k"}, map[string]string{"k": "42"})
+	if resp.Status == ledger.StatusOK {
+		t.Fatal("non-member read succeeded")
+	}
+}
+
+func TestAddPrivate(t *testing.T) {
+	cc := NewPDC(PDCOptions{Collection: "pdc1", Constraint: MaxValue(15)})
+	resp, set := invoke(t, cc, "org1", "addPrivate", []string{"k", "2"}, map[string]string{"k": "12"})
+	if resp.Status != ledger.StatusOK || string(resp.Payload) != "14" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if rwset.Classify(set) != rwset.TxReadWrite {
+		t.Fatalf("addPrivate produced %v", rwset.Classify(set))
+	}
+	// Constraint applies to the sum.
+	resp, _ = invoke(t, cc, "org1", "addPrivate", []string{"k", "10"}, map[string]string{"k": "12"})
+	if resp.Status == ledger.StatusOK {
+		t.Fatal("sum above limit endorsed")
+	}
+	// Missing base counts as zero.
+	resp, _ = invoke(t, cc, "org1", "addPrivate", []string{"new", "3"}, nil)
+	if resp.Status != ledger.StatusOK || string(resp.Payload) != "3" {
+		t.Fatalf("fresh add = %+v", resp)
+	}
+}
+
+func TestDelPrivate(t *testing.T) {
+	cc := NewPDC(PDCOptions{Collection: "pdc1", Constraint: MinValue(10)})
+	resp, set := invoke(t, cc, "org2", "delPrivate", []string{"k", "12"}, map[string]string{"k": "12"})
+	if resp.Status != ledger.StatusOK {
+		t.Fatalf("del failed: %s", resp.Message)
+	}
+	// Delete-only per Table I: null read set, is_delete write.
+	if rwset.Classify(set) != rwset.TxDeleteOnly {
+		t.Fatalf("delPrivate produced %v", rwset.Classify(set))
+	}
+	resp, _ = invoke(t, cc, "org2", "delPrivate", []string{"k", "5"}, nil)
+	if resp.Status == ledger.StatusOK {
+		t.Fatal("constrained delete endorsed")
+	}
+}
+
+func TestSetPrivateTransient(t *testing.T) {
+	cc := NewPDC(PDCOptions{Collection: "pdc1"})
+	resp, set := invoke(t, cc, "org1", "setPrivateTransient", []string{"k"}, nil)
+	if resp.Status != ledger.StatusOK {
+		t.Fatalf("transient write failed: %s", resp.Message)
+	}
+	if rwset.Classify(set) != rwset.TxWriteOnly {
+		t.Fatalf("produced %v", rwset.Classify(set))
+	}
+	if len(resp.Payload) != 0 {
+		t.Fatal("transient write leaked a payload")
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	cc := NewPDC(PDCOptions{Collection: "pdc1"})
+	for _, tc := range [][2]string{
+		{"setPrivate", "1"}, {"readPrivate", "2"}, {"addPrivate", "1"},
+		{"delPrivate", "1"}, {"setPrivateTransient", "2"}, {"readPrivateHash", "2"},
+	} {
+		fn := tc[0]
+		var args []string
+		if tc[1] == "1" {
+			args = []string{"only-one-but-needs-two"}
+			if fn == "readPrivate" || fn == "readPrivateHash" || fn == "setPrivateTransient" {
+				args = nil
+			}
+		} else {
+			args = []string{"a", "b", "c"}
+		}
+		resp, _ := invoke(t, cc, "org1", fn, args, nil)
+		if resp.Status == ledger.StatusOK {
+			t.Errorf("%s with wrong arity succeeded", fn)
+		}
+	}
+	// Non-integer values rejected.
+	resp, _ := invoke(t, cc, "org1", "setPrivate", []string{"k", "NaN"}, nil)
+	if resp.Status == ledger.StatusOK {
+		t.Error("non-integer value accepted")
+	}
+}
+
+func TestPublicAsset(t *testing.T) {
+	cc := NewPublicAsset()
+	resp, set := invoke(t, cc, "org1", "set", []string{"k", "v"}, nil)
+	if resp.Status != ledger.StatusOK {
+		t.Fatalf("set failed: %s", resp.Message)
+	}
+	if rwset.Classify(set) != rwset.TxWriteOnly {
+		t.Fatalf("set produced %v", rwset.Classify(set))
+	}
+	resp, _ = invoke(t, cc, "org1", "get", []string{"absent"}, nil)
+	if resp.Status == ledger.StatusOK {
+		t.Fatal("get of missing key succeeded")
+	}
+	resp, set = invoke(t, cc, "org1", "del", []string{"k"}, nil)
+	if resp.Status != ledger.StatusOK || rwset.Classify(set) != rwset.TxDeleteOnly {
+		t.Fatal("del wrong")
+	}
+	resp, set = invoke(t, cc, "org1", "add", []string{"k", "5"}, nil)
+	if resp.Status != ledger.StatusOK || string(resp.Payload) != "5" {
+		t.Fatalf("add = %+v", resp)
+	}
+	if rwset.Classify(set) != rwset.TxReadWrite {
+		t.Fatal("add not read-write")
+	}
+	resp, _ = invoke(t, cc, "org1", "add", []string{"k", "x"}, nil)
+	if resp.Status == ledger.StatusOK {
+		t.Fatal("non-integer delta accepted")
+	}
+}

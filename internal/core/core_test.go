@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/ledger"
+	"repro/internal/policy"
+	"repro/internal/pvtdata"
+	"repro/internal/rwset"
+)
+
+func TestSecurityPresets(t *testing.T) {
+	if OriginalFabric() != (SecurityConfig{}) {
+		t.Fatal("original config not zero")
+	}
+	d := DefendedFabric()
+	if !d.CollectionPolicyForReads || !d.HashedPayloadEndorsement || !d.FilterNonMemberEndorsements {
+		t.Fatal("defended config incomplete")
+	}
+	if f := Feature1Only(); !f.CollectionPolicyForReads || f.HashedPayloadEndorsement {
+		t.Fatal("Feature1Only wrong")
+	}
+	if f := Feature2Only(); !f.HashedPayloadEndorsement || f.CollectionPolicyForReads {
+		t.Fatal("Feature2Only wrong")
+	}
+}
+
+func testDef(collEP string) *chaincode.Definition {
+	return &chaincode.Definition{
+		Name: "cc",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:              "pdc1",
+			MemberPolicy:      "OR(org1.member, org2.member)",
+			MaxPeerCount:      3,
+			EndorsementPolicy: collEP,
+		}},
+	}
+}
+
+func TestAnalyzeDefinitionFindsUseCases(t *testing.T) {
+	// MAJORITY over org1..org3 admits non-member org3 (Use Case 1) and
+	// the missing collection EP leaves the chaincode policy in charge
+	// (Use Case 2).
+	pol := policy.MustParse("OutOf(2, org1.peer, org2.peer, org3.peer)")
+	findings := AnalyzeDefinition(testDef(""), pol)
+	var sawUC1, sawUC2 bool
+	for _, f := range findings {
+		switch f.UseCase {
+		case UseCase1:
+			sawUC1 = true
+			if !strings.Contains(f.Detail, "org3") {
+				t.Errorf("UC1 detail lacks the outside org: %s", f.Detail)
+			}
+		case UseCase2:
+			sawUC2 = true
+			if !strings.Contains(f.Detail, "chaincode-level") {
+				t.Errorf("UC2 detail unclear: %s", f.Detail)
+			}
+		}
+	}
+	if !sawUC1 || !sawUC2 {
+		t.Fatalf("findings = %+v", findings)
+	}
+
+	// Member-only policy: no UC1 finding.
+	memberPol := policy.MustParse("AND(org1.peer, org2.peer)")
+	findings = AnalyzeDefinition(testDef("AND(org1.peer, org2.peer)"), memberPol)
+	for _, f := range findings {
+		if f.UseCase == UseCase1 {
+			t.Fatalf("spurious UC1: %s", f.Detail)
+		}
+		// UC2 remains: reads still use the chaincode-level policy.
+		if f.UseCase == UseCase2 && !strings.Contains(f.Detail, "read-only") {
+			t.Errorf("UC2 detail should mention read-only routing: %s", f.Detail)
+		}
+	}
+}
+
+func TestUseCaseStrings(t *testing.T) {
+	for uc, want := range map[UseCase]string{
+		UseCase1:   "UseCase1:non-member-endorsement",
+		UseCase2:   "UseCase2:shared-endorsement-policy",
+		UseCase3:   "UseCase3:plaintext-payload",
+		UseCase(9): "UseCase(9)",
+	} {
+		if uc.String() != want {
+			t.Errorf("%d.String() = %q", int(uc), uc.String())
+		}
+	}
+}
+
+func buildTx(t *testing.T, payload []byte, private bool) *ledger.Transaction {
+	t.Helper()
+	b := rwset.NewBuilder()
+	if private {
+		b.AddPvtRead("pdc1", "k", rwset.KVRead{Key: "k", Version: 1})
+	} else {
+		b.AddRead("cc", "k", rwset.KVRead{Key: "k", Version: 1})
+	}
+	set, _ := b.Build("tx")
+	prp := &ledger.ProposalResponsePayload{
+		TxID:     "tx",
+		Response: ledger.Response{Status: ledger.StatusOK, Payload: payload},
+		Results:  set.Marshal(),
+	}
+	return &ledger.Transaction{TxID: "tx", ResponsePayload: prp.Bytes()}
+}
+
+func TestPayloadExposesPrivateData(t *testing.T) {
+	// Private read with plaintext payload: exposed.
+	tx := buildTx(t, []byte("secret"), true)
+	exposed, err := PayloadExposesPrivateData(tx)
+	if err != nil || !exposed {
+		t.Fatalf("exposed = %v, %v", exposed, err)
+	}
+	// Private read, empty payload: not exposed.
+	tx = buildTx(t, nil, true)
+	if exposed, _ := PayloadExposesPrivateData(tx); exposed {
+		t.Fatal("empty payload flagged")
+	}
+	// Public tx with payload: not a PDC exposure.
+	tx = buildTx(t, []byte("public"), false)
+	if exposed, _ := PayloadExposesPrivateData(tx); exposed {
+		t.Fatal("public payload flagged")
+	}
+	// Broken payload errors.
+	bad := &ledger.Transaction{TxID: "x", ResponsePayload: []byte("junk")}
+	if _, err := PayloadExposesPrivateData(bad); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestTouchesPrivateData(t *testing.T) {
+	b := rwset.NewBuilder()
+	b.AddRead("cc", "k", rwset.KVRead{Key: "k", Version: 1})
+	set, _ := b.Build("tx")
+	if TouchesPrivateData(set) {
+		t.Fatal("public set flagged")
+	}
+	b.AddPvtWrite("pdc1", "k", rwset.KVWrite{Key: "k", Value: []byte("v")})
+	set, _ = b.Build("tx")
+	if !TouchesPrivateData(set) {
+		t.Fatal("private set not flagged")
+	}
+}

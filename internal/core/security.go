@@ -1,0 +1,60 @@
+// Package core implements the paper's primary contribution: the security
+// analysis of Fabric's private data collections. It provides
+//
+//   - the defense features of §IV-C as configuration that threads through
+//     the endorser, validator and client (Feature 1: collection-level
+//     policy check for PDC read transactions during validation; Feature 2:
+//     the cryptographic hashed-payload endorsement of Fig. 4; plus the
+//     supplemental non-member endorsement filter of §V-D);
+//
+//   - misuse detection for the three use-case classes of §III, as
+//     predicates over chaincode definitions and transactions; and
+//
+//   - the attack/defense evaluation matrix machinery behind Table II.
+package core
+
+// SecurityConfig selects which of the paper's new Fabric features are
+// active. The zero value is the original (vulnerable) Fabric behaviour.
+type SecurityConfig struct {
+	// CollectionPolicyForReads enables defense Feature 1 (§IV-C1):
+	// during validation, PDC read-only transactions are checked against
+	// the collection-level endorsement policy when one is defined,
+	// instead of always using the chaincode-level policy.
+	CollectionPolicyForReads bool
+
+	// HashedPayloadEndorsement enables defense Feature 2 (§IV-C2,
+	// Fig. 4): endorsers sign the proposal-response with a hashed
+	// "payload" (PR_Hash) while still returning the original (PR_Ori)
+	// to the client; the client verifies the signature and assembles
+	// the transaction from PR_Hash, so private values never enter a
+	// block.
+	HashedPayloadEndorsement bool
+
+	// FilterNonMemberEndorsements enables the supplemental feature of
+	// §V-D: during validation, endorsements from peers whose
+	// organization is not a member of a collection the transaction
+	// touches are discarded before the endorsement policy is evaluated.
+	FilterNonMemberEndorsements bool
+}
+
+// OriginalFabric is the unmodified framework configuration.
+func OriginalFabric() SecurityConfig { return SecurityConfig{} }
+
+// DefendedFabric enables every defense feature.
+func DefendedFabric() SecurityConfig {
+	return SecurityConfig{
+		CollectionPolicyForReads:    true,
+		HashedPayloadEndorsement:    true,
+		FilterNonMemberEndorsements: true,
+	}
+}
+
+// Feature1Only enables only the collection-level read policy check.
+func Feature1Only() SecurityConfig {
+	return SecurityConfig{CollectionPolicyForReads: true}
+}
+
+// Feature2Only enables only the cryptographic payload solution.
+func Feature2Only() SecurityConfig {
+	return SecurityConfig{HashedPayloadEndorsement: true}
+}

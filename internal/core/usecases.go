@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chaincode"
+	"repro/internal/ledger"
+	"repro/internal/policy"
+	"repro/internal/rwset"
+)
+
+// UseCase identifies one of the paper's three misuse classes (§III).
+type UseCase int
+
+// The three use-case classes of the paper.
+const (
+	// UseCase1 — PDC non-member peers endorse PDC transactions
+	// (§III-B): the endorsement policy admits endorsers from
+	// organizations outside the collection's membership.
+	UseCase1 UseCase = iota + 1
+	// UseCase2 — PDC transactions validated through the same
+	// endorsement policy as public data transactions (§III-C): no
+	// collection-level policy is defined, or read-only transactions
+	// bypass it.
+	UseCase2
+	// UseCase3 — the "Payload" field returns information in the
+	// transaction proposal response (§III-D): chaincode returns values
+	// through Response.Payload, which stays plaintext in blocks.
+	UseCase3
+)
+
+// String names the use case.
+func (u UseCase) String() string {
+	switch u {
+	case UseCase1:
+		return "UseCase1:non-member-endorsement"
+	case UseCase2:
+		return "UseCase2:shared-endorsement-policy"
+	case UseCase3:
+		return "UseCase3:plaintext-payload"
+	default:
+		return fmt.Sprintf("UseCase(%d)", int(u))
+	}
+}
+
+// Finding reports a detected misuse with an explanation.
+type Finding struct {
+	UseCase UseCase
+	Detail  string
+}
+
+// AnalyzeDefinition inspects a chaincode definition (with its resolved
+// chaincode-level policy) for the misuse preconditions of Use Cases 1
+// and 2. It mirrors the reasoning of §IV-A: implicitMeta chaincode-level
+// policies admit non-member endorsers, and missing collection-level
+// policies leave write-related PDC transactions validated by the
+// chaincode-level policy (read-only ones always are, absent Feature 1).
+func AnalyzeDefinition(def *chaincode.Definition, chaincodePolicy policy.Policy) []Finding {
+	var findings []Finding
+	for i := range def.Collections {
+		coll := &def.Collections[i]
+		memberOrgs := make(map[string]bool)
+		for _, o := range coll.MemberOrgs() {
+			memberOrgs[o] = true
+		}
+		var outside []string
+		for _, p := range chaincodePolicy.Principals() {
+			if !memberOrgs[p.Org] {
+				outside = append(outside, p.Org)
+			}
+		}
+		if len(outside) > 0 {
+			findings = append(findings, Finding{
+				UseCase: UseCase1,
+				Detail: fmt.Sprintf("collection %q: chaincode-level policy %q accepts endorsers from non-member orgs %v",
+					coll.Name, chaincodePolicy.String(), outside),
+			})
+		}
+		if coll.EndorsementPolicy == "" {
+			findings = append(findings, Finding{
+				UseCase: UseCase2,
+				Detail: fmt.Sprintf("collection %q: no collection-level endorsement policy; PDC transactions validate against the chaincode-level policy",
+					coll.Name),
+			})
+		} else {
+			findings = append(findings, Finding{
+				UseCase: UseCase2,
+				Detail: fmt.Sprintf("collection %q: collection-level policy defined, but read-only PDC transactions still validate against the chaincode-level policy (without Feature 1)",
+					coll.Name),
+			})
+		}
+	}
+	return findings
+}
+
+// PayloadExposesPrivateData inspects a committed transaction for Use
+// Case 3: a PDC transaction whose proposal-response payload is non-empty
+// — meaning chaincode returned data in plaintext alongside hashed
+// read/write sets.
+func PayloadExposesPrivateData(tx *ledger.Transaction) (bool, error) {
+	prp, err := tx.ResponsePayloadParsed()
+	if err != nil {
+		return false, fmt.Errorf("core: analyze tx %s: %w", tx.TxID, err)
+	}
+	if len(prp.Response.Payload) == 0 {
+		return false, nil
+	}
+	set, err := prp.RWSet()
+	if err != nil {
+		return false, fmt.Errorf("core: analyze tx %s rwset: %w", tx.TxID, err)
+	}
+	return len(set.CollSets) > 0, nil
+}
+
+// TouchesPrivateData reports whether a transaction's read/write set
+// includes any collection activity.
+func TouchesPrivateData(set *rwset.TxRWSet) bool {
+	return len(set.CollSets) > 0
+}

@@ -1,0 +1,269 @@
+// Package corpus generates a synthetic GitHub-corpus on disk for the
+// static analyzer to scan, substituting for the 6392 GitHub projects the
+// paper collected (which are not available offline).
+//
+// The generator writes real file trees — collection configuration JSON,
+// configtx.yaml, Go and JavaScript chaincode with vulnerable and clean
+// patterns modeled on the paper's Listings 1 and 2 — so the analyzer
+// exercises exactly the code paths it would on real projects. Category
+// counts default to the paper's published totals (252 explicit PDC
+// projects, 35 implicit, 31 both, 218 on the chaincode-level policy,
+// 116/120 MAJORITY configtx files, 231 read-leaking, 20 also
+// write-leaking); every reported percentage is then *recomputed* by the
+// analyzer from the generated files.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// Spec parameterizes corpus generation. The zero value is not useful;
+// start from PaperSpec.
+type Spec struct {
+	// TotalProjects is the corpus size.
+	TotalProjects int
+	// YearTotals maps year -> number of projects created that year;
+	// must sum to TotalProjects.
+	YearTotals map[int]int
+	// PDCYearTotals maps year -> number of PDC projects; must sum to
+	// ExplicitOnly+Both+ImplicitOnly and be <= YearTotals per year.
+	PDCYearTotals map[int]int
+
+	// ExplicitOnly, Both and ImplicitOnly partition the PDC projects by
+	// definition style.
+	ExplicitOnly int
+	Both         int
+	ImplicitOnly int
+
+	// WithCollectionEP is how many explicit projects customize a
+	// collection-level endorsement policy.
+	WithCollectionEP int
+	// WithConfigtx is how many chaincode-level explicit projects ship a
+	// configtx.yaml; MajorityConfigtx of them use MAJORITY Endorsement
+	// (the rest use ANY Endorsement).
+	WithConfigtx     int
+	MajorityConfigtx int
+
+	// ReadLeak is how many explicit projects leak private data through
+	// PDC read functions; WriteLeakAlso of them additionally leak
+	// through write functions.
+	ReadLeak      int
+	WriteLeakAlso int
+
+	// Seed drives the deterministic attribute shuffle.
+	Seed int64
+}
+
+// PaperSpec returns the corpus specification matching the paper's §V-C2
+// totals. Per-year figures are not tabulated in the paper (Fig. 7 is a
+// bar chart); the defaults below reproduce its shape: sharp growth with
+// most projects in 2019–2020, and PDC usage starting in 2018.
+func PaperSpec() Spec {
+	return Spec{
+		TotalProjects: 6392,
+		YearTotals: map[int]int{
+			2016: 150, 2017: 520, 2018: 1100, 2019: 2000, 2020: 2622,
+		},
+		PDCYearTotals: map[int]int{
+			2018: 20, 2019: 80, 2020: 156,
+		},
+		ExplicitOnly:     221,
+		Both:             31,
+		ImplicitOnly:     4,
+		WithCollectionEP: 34,
+		WithConfigtx:     120,
+		MajorityConfigtx: 116,
+		ReadLeak:         231,
+		WriteLeakAlso:    20,
+		Seed:             2021,
+	}
+}
+
+// TinySpec returns a small corpus with the same proportions, for tests.
+func TinySpec() Spec {
+	return Spec{
+		TotalProjects: 64,
+		YearTotals: map[int]int{
+			2016: 2, 2017: 6, 2018: 11, 2019: 20, 2020: 25,
+		},
+		PDCYearTotals: map[int]int{
+			2018: 2, 2019: 8, 2020: 15,
+		},
+		ExplicitOnly:     21,
+		Both:             3,
+		ImplicitOnly:     1,
+		WithCollectionEP: 4,
+		WithConfigtx:     12,
+		MajorityConfigtx: 11,
+		ReadLeak:         22,
+		WriteLeakAlso:    2,
+		Seed:             7,
+	}
+}
+
+// Validate checks internal consistency.
+func (s Spec) Validate() error {
+	sumYears := 0
+	for _, n := range s.YearTotals {
+		sumYears += n
+	}
+	if sumYears != s.TotalProjects {
+		return fmt.Errorf("corpus: year totals sum %d != total %d", sumYears, s.TotalProjects)
+	}
+	pdc := s.ExplicitOnly + s.Both + s.ImplicitOnly
+	sumPDC := 0
+	for y, n := range s.PDCYearTotals {
+		if n > s.YearTotals[y] {
+			return fmt.Errorf("corpus: year %d has more PDC (%d) than projects (%d)", y, n, s.YearTotals[y])
+		}
+		sumPDC += n
+	}
+	if sumPDC != pdc {
+		return fmt.Errorf("corpus: PDC year totals sum %d != PDC projects %d", sumPDC, pdc)
+	}
+	explicit := s.ExplicitOnly + s.Both
+	if s.WithCollectionEP > explicit {
+		return fmt.Errorf("corpus: collection-EP projects %d > explicit %d", s.WithCollectionEP, explicit)
+	}
+	if s.WithConfigtx > explicit-s.WithCollectionEP {
+		return fmt.Errorf("corpus: configtx projects %d > chaincode-level %d", s.WithConfigtx, explicit-s.WithCollectionEP)
+	}
+	if s.MajorityConfigtx > s.WithConfigtx {
+		return fmt.Errorf("corpus: MAJORITY configtx %d > configtx %d", s.MajorityConfigtx, s.WithConfigtx)
+	}
+	if s.ReadLeak > explicit {
+		return fmt.Errorf("corpus: read-leak projects %d > explicit %d", s.ReadLeak, explicit)
+	}
+	if s.WriteLeakAlso > s.ReadLeak {
+		return fmt.Errorf("corpus: write-leak projects %d > read-leak %d", s.WriteLeakAlso, s.ReadLeak)
+	}
+	return nil
+}
+
+// project is the generation plan for one project directory.
+type project struct {
+	name     string
+	year     int
+	explicit bool
+	implicit bool
+	// Attributes of explicit projects.
+	collectionEP bool
+	configtx     string // "", "MAJORITY Endorsement", "ANY Endorsement"
+	readLeak     bool
+	writeLeak    bool
+	// useJS selects JavaScript chaincode instead of Go.
+	useJS bool
+}
+
+// Generate writes the corpus under root (which must exist or be
+// creatable) and returns the number of projects written.
+func Generate(root string, spec Spec) (int, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return 0, fmt.Errorf("corpus: create root: %w", err)
+	}
+	plans := plan(spec)
+	for _, p := range plans {
+		if err := writeProject(root, p); err != nil {
+			return 0, err
+		}
+	}
+	return len(plans), nil
+}
+
+// plan builds the full project list with attributes assigned per spec.
+func plan(spec Spec) []project {
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// PDC projects first: explicit-only, both, implicit-only.
+	nPDC := spec.ExplicitOnly + spec.Both + spec.ImplicitOnly
+	pdcPlans := make([]project, 0, nPDC)
+	for i := 0; i < spec.ExplicitOnly; i++ {
+		pdcPlans = append(pdcPlans, project{explicit: true})
+	}
+	for i := 0; i < spec.Both; i++ {
+		pdcPlans = append(pdcPlans, project{explicit: true, implicit: true})
+	}
+	for i := 0; i < spec.ImplicitOnly; i++ {
+		pdcPlans = append(pdcPlans, project{implicit: true})
+	}
+
+	// Assign explicit attributes across the explicit projects. The
+	// shuffle decorrelates attribute groups without changing counts.
+	explicitIdx := make([]int, 0, spec.ExplicitOnly+spec.Both)
+	for i, p := range pdcPlans {
+		if p.explicit {
+			explicitIdx = append(explicitIdx, i)
+		}
+	}
+	rng.Shuffle(len(explicitIdx), func(i, j int) {
+		explicitIdx[i], explicitIdx[j] = explicitIdx[j], explicitIdx[i]
+	})
+	for k := 0; k < spec.WithCollectionEP; k++ {
+		pdcPlans[explicitIdx[k]].collectionEP = true
+	}
+	// configtx goes to chaincode-level (non-EP) projects.
+	ccLevel := explicitIdx[spec.WithCollectionEP:]
+	for k := 0; k < spec.WithConfigtx; k++ {
+		rule := "ANY Endorsement"
+		if k < spec.MajorityConfigtx {
+			rule = "MAJORITY Endorsement"
+		}
+		pdcPlans[ccLevel[k]].configtx = rule
+	}
+	// Leak attributes over a fresh shuffle of explicit projects.
+	rng.Shuffle(len(explicitIdx), func(i, j int) {
+		explicitIdx[i], explicitIdx[j] = explicitIdx[j], explicitIdx[i]
+	})
+	for k := 0; k < spec.ReadLeak; k++ {
+		pdcPlans[explicitIdx[k]].readLeak = true
+		if k < spec.WriteLeakAlso {
+			pdcPlans[explicitIdx[k]].writeLeak = true
+		}
+	}
+
+	// Assign PDC projects to years.
+	rng.Shuffle(len(pdcPlans), func(i, j int) { pdcPlans[i], pdcPlans[j] = pdcPlans[j], pdcPlans[i] })
+	years := sortedYears(spec.PDCYearTotals)
+	idx := 0
+	for _, y := range years {
+		for k := 0; k < spec.PDCYearTotals[y]; k++ {
+			pdcPlans[idx].year = y
+			idx++
+		}
+	}
+
+	// Non-PDC projects fill the remaining per-year counts.
+	var plans []project
+	plans = append(plans, pdcPlans...)
+	for _, y := range sortedYears(spec.YearTotals) {
+		rest := spec.YearTotals[y] - spec.PDCYearTotals[y]
+		for k := 0; k < rest; k++ {
+			plans = append(plans, project{year: y})
+		}
+	}
+
+	// Names, language choice.
+	for i := range plans {
+		plans[i].name = fmt.Sprintf("proj-%05d", i+1)
+		plans[i].useJS = rng.Intn(2) == 0
+	}
+	return plans
+}
+
+func sortedYears(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for y := range m {
+		out = append(out, y)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/analyzer"
+)
+
+func TestSpecValidation(t *testing.T) {
+	if err := PaperSpec().Validate(); err != nil {
+		t.Fatalf("paper spec invalid: %v", err)
+	}
+	if err := TinySpec().Validate(); err != nil {
+		t.Fatalf("tiny spec invalid: %v", err)
+	}
+
+	bad := PaperSpec()
+	bad.TotalProjects = 100
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched totals not rejected")
+	}
+
+	bad = PaperSpec()
+	bad.WriteLeakAlso = bad.ReadLeak + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("write-leak > read-leak not rejected")
+	}
+}
+
+// TestTinyCorpusEndToEnd generates a small corpus and checks the analyzer
+// recovers the planned counts exactly.
+func TestTinyCorpusEndToEnd(t *testing.T) {
+	spec := TinySpec()
+	root := t.TempDir()
+	n, err := Generate(root, spec)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if n != spec.TotalProjects {
+		t.Fatalf("generated %d projects, want %d", n, spec.TotalProjects)
+	}
+
+	report, err := analyzer.ScanCorpus(root)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+
+	explicit := spec.ExplicitOnly + spec.Both
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"total", report.Total, spec.TotalProjects},
+		{"explicit", report.ExplicitPDC, explicit},
+		{"implicit", report.ImplicitPDC, spec.Both + spec.ImplicitOnly},
+		{"both", report.BothPDC, spec.Both},
+		{"implicit-only", report.ImplicitOnly, spec.ImplicitOnly},
+		{"pdc-total", report.PDCTotal, spec.ExplicitOnly + spec.Both + spec.ImplicitOnly},
+		{"chaincode-level", report.ChaincodeLevelPolicy, explicit - spec.WithCollectionEP},
+		{"collection-level", report.CollectionLevelPolicy, spec.WithCollectionEP},
+		{"configtx", report.ConfigtxFound, spec.WithConfigtx},
+		{"configtx-majority", report.ConfigtxMajority, spec.MajorityConfigtx},
+		{"read-leak", report.ReadLeak, spec.ReadLeak},
+		{"read-write-leak", report.ReadWriteLeak, spec.WriteLeakAlso},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+
+	for y, want := range spec.YearTotals {
+		if got := report.ByYear[y]; got != want {
+			t.Errorf("year %d: %d projects, want %d", y, got, want)
+		}
+	}
+	for y, want := range spec.PDCYearTotals {
+		if got := report.PDCByYear[y]; got != want {
+			t.Errorf("year %d: %d PDC projects, want %d", y, got, want)
+		}
+	}
+}
+
+// TestPaperCorpusReproduces generates the full 6392-project corpus and
+// checks the analyzer reproduces the paper's §V-C2 headline numbers.
+func TestPaperCorpusReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus (6392 projects) skipped in -short")
+	}
+	root := t.TempDir()
+	spec := PaperSpec()
+	if _, err := Generate(root, spec); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	report, err := analyzer.ScanCorpus(root)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if report.Total != 6392 {
+		t.Fatalf("total = %d, want 6392", report.Total)
+	}
+	if report.ExplicitPDC != 252 || report.ImplicitPDC != 35 || report.BothPDC != 31 {
+		t.Fatalf("PDC split = %d/%d/%d, want 252/35/31",
+			report.ExplicitPDC, report.ImplicitPDC, report.BothPDC)
+	}
+	if got := report.VulnerableToInjectionPct(); got != "86.51%" {
+		t.Errorf("injection vulnerability = %s, want 86.51%%", got)
+	}
+	if got := report.LeakagePct(); got != "91.67%" {
+		t.Errorf("leakage = %s, want 91.67%%", got)
+	}
+	if report.ConfigtxFound != 120 || report.ConfigtxMajority != 116 {
+		t.Errorf("configtx = %d/%d, want 120/116", report.ConfigtxFound, report.ConfigtxMajority)
+	}
+}
+
+// TestGenerateDeterministic: two generations with the same seed yield
+// corpora with identical analyzer aggregates.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := TinySpec()
+	r1, r2 := t.TempDir(), t.TempDir()
+	if _, err := Generate(r1, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(r2, spec); err != nil {
+		t.Fatal(err)
+	}
+	a, err := analyzer.ScanCorpus(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := analyzer.ScanCorpus(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ReadLeak != b.ReadLeak || a.ConfigtxMajority != b.ConfigtxMajority ||
+		a.ExplicitPDC != b.ExplicitPDC || a.PDCByYear[2020] != b.PDCByYear[2020] {
+		t.Fatalf("non-deterministic generation: %+v vs %+v", a, b)
+	}
+}

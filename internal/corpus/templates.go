@@ -1,0 +1,283 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// writeProject materializes one project plan as a directory tree.
+func writeProject(root string, p project) error {
+	dir := filepath.Join(root, p.name)
+	ccDir := filepath.Join(dir, "chaincode")
+	if err := os.MkdirAll(ccDir, 0o755); err != nil {
+		return fmt.Errorf("corpus: mkdir %s: %w", dir, err)
+	}
+
+	files := map[string]string{
+		"project.json": projectManifest(p),
+		"README.md":    fmt.Sprintf("# %s\n\nSynthetic Fabric project for analyzer evaluation.\n", p.name),
+	}
+
+	if p.explicit {
+		files["collections_config.json"] = collectionsJSON(p)
+	}
+	if p.configtx != "" {
+		files["configtx.yaml"] = configtxYAML(p.configtx)
+	}
+
+	switch {
+	case p.useJS:
+		files[filepath.Join("chaincode", "contract.js")] = jsChaincode(p)
+	default:
+		files[filepath.Join("chaincode", "contract.go")] = goChaincode(p)
+	}
+	if p.implicit {
+		files[filepath.Join("chaincode", "implicit.go")] = goImplicitChaincode()
+	}
+
+	for rel, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, rel), []byte(content), 0o644); err != nil {
+			return fmt.Errorf("corpus: write %s: %w", rel, err)
+		}
+	}
+	return nil
+}
+
+func projectManifest(p project) string {
+	return fmt.Sprintf("{\n  \"name\": %q,\n  \"created_at\": \"%d-06-15T12:00:00Z\"\n}\n", p.name, p.year)
+}
+
+// collectionsJSON renders a Fabric collections_config.json with the fixed
+// keywords the analyzer (and the paper's tool) searches for.
+func collectionsJSON(p project) string {
+	var b strings.Builder
+	b.WriteString("[\n  {\n")
+	b.WriteString("    \"name\": \"collectionAssets\",\n")
+	b.WriteString("    \"policy\": \"OR('Org1MSP.member', 'Org2MSP.member')\",\n")
+	b.WriteString("    \"requiredPeerCount\": 0,\n")
+	b.WriteString("    \"maxPeerCount\": 3,\n")
+	b.WriteString("    \"blockToLive\": 0,\n")
+	b.WriteString("    \"memberOnlyRead\": true")
+	if p.collectionEP {
+		b.WriteString(",\n    \"endorsementPolicy\": {\n      \"signaturePolicy\": \"AND('Org1MSP.peer', 'Org2MSP.peer')\"\n    }\n")
+	} else {
+		b.WriteString("\n")
+	}
+	b.WriteString("  }\n]\n")
+	return b.String()
+}
+
+func configtxYAML(rule string) string {
+	return fmt.Sprintf(`---
+Organizations:
+    - &Org1
+        Name: Org1MSP
+        ID: Org1MSP
+        MSPDir: crypto-config/peerOrganizations/org1.example.com/msp
+
+Application: &ApplicationDefaults
+    Organizations:
+    Policies:
+        Readers:
+            Type: ImplicitMeta
+            Rule: "ANY Readers"
+        Writers:
+            Type: ImplicitMeta
+            Rule: "ANY Writers"
+        Admins:
+            Type: ImplicitMeta
+            Rule: "MAJORITY Admins"
+        Endorsement:
+            Type: ImplicitMeta
+            Rule: "%s"
+    Capabilities:
+        V2_0: true
+`, rule)
+}
+
+// goChaincode renders the project's Go chaincode: a public-data baseline
+// plus — for explicit PDC projects — private-data functions whose
+// leakiness matches the plan (the vulnerable variants follow the paper's
+// Listing 2 and the Listing 1 pattern transliterated to Go).
+func goChaincode(p project) string {
+	var b strings.Builder
+	b.WriteString(`package main
+
+import (
+	"fmt"
+
+	"github.com/hyperledger/fabric-chaincode-go/shim"
+)
+
+// SmartContract manages assets on the channel ledger.
+type SmartContract struct{}
+
+func setPublic(stub shim.ChaincodeStubInterface, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("Incorrect arguments. Expecting a key and a value")
+	}
+	return stub.PutState(args[0], []byte(args[1]))
+}
+
+func getPublic(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+	data, err := stub.GetState(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+`)
+	if !p.explicit {
+		return b.String()
+	}
+
+	if p.readLeak {
+		// Listing 1 pattern in Go: the private value is returned to
+		// the client through the payload.
+		b.WriteString(`
+func readPrivateAsset(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("Incorrect arguments. Expecting a key")
+	}
+	data, err := stub.GetPrivateData("collectionAssets", args[0])
+	if err != nil {
+		return "", fmt.Errorf("Failed to get asset: %s", args[0])
+	}
+	asset := string(data)
+	return asset, nil
+}
+`)
+	} else {
+		// Clean read: validates existence without returning the value.
+		b.WriteString(`
+func auditPrivateAsset(stub shim.ChaincodeStubInterface, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("Incorrect arguments. Expecting a key")
+	}
+	data, err := stub.GetPrivateData("collectionAssets", args[0])
+	if err != nil {
+		return err
+	}
+	if data == nil {
+		return fmt.Errorf("asset %s does not exist", args[0])
+	}
+	return stub.PutState("audit~"+args[0], []byte("seen"))
+}
+`)
+	}
+
+	if p.writeLeak {
+		// Listing 2, verbatim shape: "return args[1], nil".
+		b.WriteString(`
+func setPrivate(stub shim.ChaincodeStubInterface, args []string) (string, error) {
+	if len(args) != 2 {
+		return "", fmt.Errorf("Incorrect arguments. Expecting a key and a value")
+	}
+	err := stub.PutPrivateData("demo", args[0], []byte(args[1]))
+	if err != nil {
+		return "", fmt.Errorf("Failed to set asset: %s", args[0])
+	}
+	return args[1], nil
+}
+`)
+	} else {
+		b.WriteString(`
+func storePrivateAsset(stub shim.ChaincodeStubInterface, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("Incorrect arguments. Expecting a key and a value")
+	}
+	return stub.PutPrivateData("collectionAssets", args[0], []byte(args[1]))
+}
+`)
+	}
+	return b.String()
+}
+
+// jsChaincode renders the project's JavaScript chaincode, with the
+// vulnerable read function following the paper's Listing 1.
+func jsChaincode(p project) string {
+	var b strings.Builder
+	b.WriteString(`'use strict';
+
+const { Contract } = require('fabric-contract-api');
+
+class AssetContract extends Contract {
+
+    async setPublic(ctx, key, value) {
+        await ctx.stub.putState(key, Buffer.from(value));
+    }
+
+    async getPublic(ctx, key) {
+        const data = await ctx.stub.getState(key);
+        return data.toString();
+    }
+`)
+	if p.explicit {
+		if p.readLeak {
+			b.WriteString(`
+    async readPrivatePerfTest(ctx, perfTestId) {
+        const exists = await this.privatePerfTestExists(ctx, perfTestId);
+        if (!exists) {
+            throw new Error('The perf test ' + perfTestId + ' does not exist');
+        }
+        const buffer = await ctx.stub.getPrivateData('collectionAssets', perfTestId);
+        const asset = JSON.parse(buffer.toString());
+        return asset;
+    }
+`)
+		} else {
+			b.WriteString(`
+    async auditPrivateAsset(ctx, id) {
+        const buffer = await ctx.stub.getPrivateData('collectionAssets', id);
+        if (!buffer || buffer.length === 0) {
+            throw new Error('asset ' + id + ' does not exist');
+        }
+        await ctx.stub.putState('audit-' + id, Buffer.from('seen'));
+    }
+`)
+		}
+		if p.writeLeak {
+			b.WriteString(`
+    async setPrivate(ctx, key, value) {
+        await ctx.stub.putPrivateData('demo', key, Buffer.from(value));
+        return value;
+    }
+`)
+		} else {
+			b.WriteString(`
+    async storePrivateAsset(ctx, key, value) {
+        await ctx.stub.putPrivateData('collectionAssets', key, Buffer.from(value));
+    }
+`)
+		}
+	}
+	b.WriteString(`}
+
+module.exports = AssetContract;
+`)
+	return b.String()
+}
+
+// goImplicitChaincode renders chaincode using an implicit per-org
+// collection; the function is deliberately non-leaking so implicit files
+// never perturb the explicit-project leakage statistics.
+func goImplicitChaincode() string {
+	return `package main
+
+import (
+	"fmt"
+
+	"github.com/hyperledger/fabric-chaincode-go/shim"
+)
+
+func storeOrgPrivate(stub shim.ChaincodeStubInterface, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("Incorrect arguments. Expecting a key and a value")
+	}
+	collection := "_implicit_org_Org1MSP"
+	return stub.PutPrivateData(collection, args[0], []byte(args[1]))
+}
+`
+}

@@ -1,0 +1,275 @@
+package endorser
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/core"
+	"repro/internal/fabcrypto"
+	"repro/internal/gossip"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/pvtdata"
+	"repro/internal/rwset"
+	"repro/internal/statedb"
+)
+
+// env wires a standalone endorser for one peer org.
+type env struct {
+	endorser *Endorser
+	verifier *identity.Verifier
+	ca       *identity.CA
+	clientID *identity.Identity
+	db       *statedb.DB
+	pvt      *pvtdata.Store
+	trans    *pvtdata.TransientStore
+	gossip   *gossip.Network
+}
+
+func testDef() *chaincode.Definition {
+	return &chaincode.Definition{
+		Name:    "cc",
+		Version: "1.0",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:         "pdc1",
+			MemberPolicy: "OR(org1.member, org2.member)",
+			MaxPeerCount: 3,
+		}},
+	}
+}
+
+func newEnv(t *testing.T, peerOrg string, sec core.SecurityConfig) *env {
+	t.Helper()
+	ca, err := identity.NewCA(peerOrg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerID, err := ca.Issue("peer0."+peerOrg, identity.RolePeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientID, err := ca.Issue("client0."+peerOrg, identity.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := identity.NewVerifier()
+	verifier.TrustCA(peerOrg, ca.PublicKey())
+
+	db := statedb.New()
+	pvt := pvtdata.NewStore(db)
+	trans := pvtdata.NewTransientStore()
+	gos := gossip.NewNetwork()
+	registry := chaincode.NewRegistry()
+	registry.Install("cc", chaincode.Router{
+		"put": func(stub chaincode.Stub) ledger.Response {
+			if err := stub.PutState("k", []byte("v")); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse([]byte("done"))
+		},
+		"putPvt": func(stub chaincode.Stub) ledger.Response {
+			if err := stub.PutPrivateData("pdc1", "k", []byte("secret")); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse([]byte("secret"))
+		},
+		"fail": func(stub chaincode.Stub) ledger.Response {
+			return chaincode.ErrorResponse("business rule violated")
+		},
+	})
+
+	def := testDef()
+	e := New(Config{
+		Identity:  peerID,
+		Verifier:  verifier,
+		Registry:  registry,
+		Defs:      func(name string) *chaincode.Definition { return map[string]*chaincode.Definition{"cc": def}[name] },
+		DB:        db,
+		Pvt:       pvt,
+		Transient: trans,
+		Gossip:    gos,
+		Security:  sec,
+	})
+	return &env{endorser: e, verifier: verifier, ca: ca, clientID: clientID,
+		db: db, pvt: pvt, trans: trans, gossip: gos}
+}
+
+func (e *env) proposal(t *testing.T, fn string) *ledger.Proposal {
+	t.Helper()
+	nonce, err := ledger.NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	creator := e.clientID.Cert.Bytes()
+	return &ledger.Proposal{
+		TxID:      ledger.NewTxID(nonce, creator),
+		Chaincode: "cc",
+		Function:  fn,
+		Creator:   creator,
+		Nonce:     nonce,
+	}
+}
+
+func TestEndorseProducesVerifiableSignature(t *testing.T) {
+	e := newEnv(t, "org1", core.OriginalFabric())
+	resp, err := e.endorser.ProcessProposal(e.proposal(t, "put"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Response.Payload) != "done" {
+		t.Fatalf("payload = %q", resp.Response.Payload)
+	}
+	cert, err := identity.ParseCertificate(resp.Endorsement.Endorser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.verifier.VerifySignature(cert, resp.Payload, resp.Endorsement.Signature); err != nil {
+		t.Fatalf("endorsement signature invalid: %v", err)
+	}
+	// Plain mode: no PlainPayload side channel.
+	if resp.PlainPayload != nil {
+		t.Fatal("PlainPayload set without Feature 2")
+	}
+	// Simulation did not commit.
+	if _, _, ok := e.db.Get("cc", "k"); ok {
+		t.Fatal("endorsement committed state")
+	}
+}
+
+func TestChaincodeFailureWithholdsEndorsement(t *testing.T) {
+	e := newEnv(t, "org1", core.OriginalFabric())
+	_, err := e.endorser.ProcessProposal(e.proposal(t, "fail"))
+	if !errors.Is(err, ErrChaincodeFailed) {
+		t.Fatalf("err = %v, want ErrChaincodeFailed", err)
+	}
+}
+
+func TestUnknownChaincodeRejected(t *testing.T) {
+	e := newEnv(t, "org1", core.OriginalFabric())
+	prop := e.proposal(t, "put")
+	prop.Chaincode = "ghost"
+	_, err := e.endorser.ProcessProposal(prop)
+	if !errors.Is(err, ErrChaincodeNotFound) {
+		t.Fatalf("err = %v, want ErrChaincodeNotFound", err)
+	}
+}
+
+func TestBadCreatorRejected(t *testing.T) {
+	e := newEnv(t, "org1", core.OriginalFabric())
+	prop := e.proposal(t, "put")
+	prop.Creator = []byte("garbage")
+	if _, err := e.endorser.ProcessProposal(prop); !errors.Is(err, ErrBadCreator) {
+		t.Fatalf("err = %v, want ErrBadCreator", err)
+	}
+
+	// A certificate from an untrusted CA is also rejected.
+	rogueCA, _ := identity.NewCA("rogue")
+	rogueClient, _ := rogueCA.Issue("client0.rogue", identity.RoleClient)
+	prop = e.proposal(t, "put")
+	prop.Creator = rogueClient.Cert.Bytes()
+	if _, err := e.endorser.ProcessProposal(prop); !errors.Is(err, ErrBadCreator) {
+		t.Fatalf("err = %v, want ErrBadCreator", err)
+	}
+}
+
+func TestPrivateWritePersistsTransient(t *testing.T) {
+	e := newEnv(t, "org1", core.OriginalFabric())
+	prop := e.proposal(t, "putPvt")
+	if _, err := e.endorser.ProcessProposal(prop); err != nil {
+		t.Fatal(err)
+	}
+	set := e.trans.Get(prop.TxID)
+	if set == nil || len(set.CollSets) != 1 {
+		t.Fatal("transient store empty after private endorsement")
+	}
+	if string(set.CollSets[0].Writes[0].Value) != "secret" {
+		t.Fatal("original value not in transient store")
+	}
+}
+
+func TestDisseminationFailureWithholdsEndorsement(t *testing.T) {
+	e := newEnv(t, "org1", core.OriginalFabric())
+	// Require one other member peer; none is registered on the gossip
+	// network, so dissemination must fail and no endorsement returned.
+	def := testDef()
+	def.Collections[0].RequiredPeerCount = 1
+	e.endorser.defs = func(string) *chaincode.Definition { return def }
+
+	_, err := e.endorser.ProcessProposal(e.proposal(t, "putPvt"))
+	if !errors.Is(err, gossip.ErrDisseminationShort) {
+		t.Fatalf("err = %v, want ErrDisseminationShort", err)
+	}
+}
+
+func TestFeature2SignsHashedForm(t *testing.T) {
+	e := newEnv(t, "org1", core.Feature2Only())
+	resp, err := e.endorser.ProcessProposal(e.proposal(t, "putPvt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.PlainPayload) == 0 {
+		t.Fatal("Feature 2 endorser returned no PR_Ori")
+	}
+	// The signed payload is the hashed form of the plain form.
+	plain, err := ledger.ParseProposalResponsePayload(resp.PlainPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.HashedPayloadForm().Bytes(), resp.Payload) {
+		t.Fatal("signed payload is not PR_Hash of PR_Ori")
+	}
+	// The signed form's payload equals SHA-256 of the plaintext.
+	signed, err := ledger.ParseProposalResponsePayload(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fabcrypto.Equal(signed.Response.Payload, fabcrypto.Hash([]byte("secret"))) {
+		t.Fatal("hashed payload wrong")
+	}
+	// The signature covers PR_Hash, not PR_Ori.
+	cert, _ := identity.ParseCertificate(resp.Endorsement.Endorser)
+	if err := e.verifier.VerifySignature(cert, resp.Payload, resp.Endorsement.Signature); err != nil {
+		t.Fatalf("signature over PR_Hash invalid: %v", err)
+	}
+	if err := e.verifier.VerifySignature(cert, resp.PlainPayload, resp.Endorsement.Signature); err == nil {
+		t.Fatal("signature also verifies over PR_Ori — hashing had no effect")
+	}
+}
+
+func TestRWSetsEmbeddedHashed(t *testing.T) {
+	e := newEnv(t, "org1", core.OriginalFabric())
+	resp, err := e.endorser.ProcessProposal(e.proposal(t, "putPvt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prp, err := ledger.ParseProposalResponsePayload(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := prp.RWSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.CollSets) != 1 {
+		t.Fatal("collection set missing")
+	}
+	hw := set.CollSets[0].HashedWrites[0]
+	if !fabcrypto.Equal(hw.KeyHash, fabcrypto.HashString("k")) ||
+		!fabcrypto.Equal(hw.ValueHash, fabcrypto.Hash([]byte("secret"))) {
+		t.Fatal("hashed write content wrong")
+	}
+	if rwset.Classify(set) != rwset.TxWriteOnly {
+		t.Fatalf("classified %v", rwset.Classify(set))
+	}
+	// The read/write set never contains the cleartext — but the
+	// Response.Payload does (Use Case 3: the chaincode returned it),
+	// which is exactly the exposure the paper analyzes.
+	if bytes.Contains(prp.Results, []byte("secret")) {
+		t.Fatal("cleartext leaked into the hashed rwset")
+	}
+	if string(prp.Response.Payload) != "secret" {
+		t.Fatal("payload exposure (Use Case 3) not present without Feature 2")
+	}
+}

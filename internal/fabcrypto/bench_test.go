@@ -1,0 +1,43 @@
+package fabcrypto
+
+import "testing"
+
+// BenchmarkHash measures the SHA-256 cost Feature 2 adds per payload.
+func BenchmarkHash(b *testing.B) {
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hash(payload)
+	}
+}
+
+// BenchmarkSign measures one endorsement signature.
+func BenchmarkSign(b *testing.B) {
+	kp := MustGenerateKeyPair()
+	msg := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kp.Sign(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerify measures one endorsement verification — the per-
+// endorsement cost of the validator's policy check and of the Feature 2
+// client check.
+func BenchmarkVerify(b *testing.B) {
+	kp := MustGenerateKeyPair()
+	msg := make([]byte, 512)
+	sig, err := kp.Sign(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := kp.PublicKey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(pub, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package fabcrypto provides the cryptographic primitives used across the
+// Fabric reproduction: SHA-256 hashing of keys, values and payloads, and
+// ECDSA P-256 signing for endorsements and identities.
+//
+// Hyperledger Fabric hashes private-data keys and values with SHA-256
+// before they enter a block, and endorsers sign proposal responses with
+// their enrollment keys. This package mirrors those operations on the
+// standard library only.
+package fabcrypto
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// HashSize is the size in bytes of all digests produced by this package.
+const HashSize = sha256.Size
+
+// Hash returns the SHA-256 digest of data.
+func Hash(data []byte) []byte {
+	sum := sha256.Sum256(data)
+	return sum[:]
+}
+
+// HashString returns the SHA-256 digest of s.
+func HashString(s string) []byte {
+	return Hash([]byte(s))
+}
+
+// HashHex returns the lowercase hex encoding of the SHA-256 digest of data.
+func HashHex(data []byte) string {
+	return hex.EncodeToString(Hash(data))
+}
+
+// HashConcat hashes the concatenation of the given byte slices with
+// unambiguous length prefixes, so that HashConcat(a, b) differs from
+// HashConcat(ab) and from HashConcat(b, a) even when the raw bytes collide.
+func HashConcat(parts ...[]byte) []byte {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		n := uint64(len(p))
+		for i := 0; i < 8; i++ {
+			lenBuf[i] = byte(n >> (8 * (7 - i)))
+		}
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+// Equal reports whether two digests are identical. It is not constant time;
+// digests here authenticate public block content, not secrets.
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

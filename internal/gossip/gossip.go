@@ -1,0 +1,176 @@
+// Package gossip implements the peer-to-peer dissemination of original
+// private data. In the PDC transaction workflow (paper §III-A2, Fig. 2
+// steps 7–9), an endorsing peer keeps the original private read/write set
+// out of the transaction and instead sends it via gossip to the other
+// collection member peers, which need it in the validation phase.
+//
+// The package also provides commit-time reconciliation: a member peer
+// that never received a private set (e.g. it joined late or dissemination
+// was dropped) pulls it from another member before committing.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pvtdata"
+	"repro/internal/rwset"
+)
+
+// Member is the gossip-facing surface of a peer.
+type Member interface {
+	// GossipName returns the peer's unique name, e.g. "peer0.org1".
+	GossipName() string
+	// GossipOrg returns the peer's organization.
+	GossipOrg() string
+	// ReceivePrivateData accepts a disseminated private read/write set
+	// into the peer's transient store.
+	ReceivePrivateData(set *rwset.TxPvtRWSet)
+	// ServePrivateData returns the original private set of one
+	// collection for a transaction, from the transient store, or nil.
+	// Members answer reconciliation pulls with it.
+	ServePrivateData(txID, collection string) *rwset.CollPvtRWSet
+}
+
+// ErrDisseminationShort is returned when fewer than RequiredPeerCount
+// member peers acknowledged a private data push.
+var ErrDisseminationShort = errors.New("gossip: dissemination below RequiredPeerCount")
+
+// Network is the in-process gossip fabric connecting the peers of one
+// channel.
+type Network struct {
+	mu      sync.RWMutex
+	members map[string]Member
+	// dropped marks peer names that silently drop incoming private
+	// data, for failure injection.
+	dropped map[string]bool
+	// isolated marks peers cut off from gossip entirely: they receive
+	// no pushes, serve no pulls, and their own pulls return nothing.
+	isolated map[string]bool
+}
+
+// NewNetwork creates an empty gossip network.
+func NewNetwork() *Network {
+	return &Network{
+		members:  make(map[string]Member),
+		dropped:  make(map[string]bool),
+		isolated: make(map[string]bool),
+	}
+}
+
+// Isolate cuts a peer off from the gossip fabric entirely (failure
+// injection): no deliveries in, no serving out, no pulls.
+func (n *Network) Isolate(peerName string, isolated bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.isolated[peerName] = isolated
+}
+
+// Join registers a peer.
+func (n *Network) Join(m Member) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.members[m.GossipName()] = m
+}
+
+// DropDeliveries makes the named peer silently lose incoming private
+// data pushes (failure injection). Reconciliation pulls still work.
+func (n *Network) DropDeliveries(peerName string, drop bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropped[peerName] = drop
+}
+
+// membersOfOrgs returns registered peers whose org is in orgs, excluding
+// the peer named self.
+func (n *Network) membersOfOrgs(orgs []string, self string) []Member {
+	orgSet := make(map[string]bool, len(orgs))
+	for _, o := range orgs {
+		orgSet[o] = true
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []Member
+	for name, m := range n.members {
+		if name == self || n.isolated[name] {
+			continue
+		}
+		if orgSet[m.GossipOrg()] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// reachable reports whether a peer currently participates in gossip.
+func (n *Network) reachable(peerName string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return !n.isolated[peerName]
+}
+
+// Disseminate pushes the private set of one collection from the endorsing
+// peer to other member peers, honoring the collection's MaxPeerCount
+// fan-out bound, and fails when fewer than RequiredPeerCount peers
+// received it — in which case the endorsement must not be returned.
+func (n *Network) Disseminate(
+	self string,
+	cfg *pvtdata.CollectionConfig,
+	txID string,
+	collSet *rwset.CollPvtRWSet,
+) error {
+	targets := n.membersOfOrgs(cfg.MemberOrgs(), self)
+	maxPush := cfg.MaxPeerCount
+	if maxPush > len(targets) || maxPush == 0 {
+		maxPush = len(targets)
+	}
+	delivered := 0
+	for _, m := range targets {
+		if delivered >= maxPush {
+			break
+		}
+		n.mu.RLock()
+		droppedNow := n.dropped[m.GossipName()]
+		n.mu.RUnlock()
+		if droppedNow {
+			continue
+		}
+		m.ReceivePrivateData(&rwset.TxPvtRWSet{
+			TxID:     txID,
+			CollSets: []rwset.CollPvtRWSet{*collSet},
+		})
+		delivered++
+	}
+	if delivered < cfg.RequiredPeerCount {
+		return fmt.Errorf("%w: collection %q tx %s: delivered %d, required %d",
+			ErrDisseminationShort, cfg.Name, txID, delivered, cfg.RequiredPeerCount)
+	}
+	return nil
+}
+
+// Reconcile pulls the original private set of one collection for txID
+// from any member peer that has it. Returns nil when no member can serve
+// it.
+func (n *Network) Reconcile(self string, cfg *pvtdata.CollectionConfig, txID string) *rwset.CollPvtRWSet {
+	if !n.reachable(self) {
+		return nil
+	}
+	for _, m := range n.membersOfOrgs(cfg.MemberOrgs(), self) {
+		if set := m.ServePrivateData(txID, cfg.Name); set != nil {
+			return set
+		}
+	}
+	return nil
+}
+
+// Peers returns the names of all registered peers, for diagnostics.
+func (n *Network) Peers() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.members))
+	for name := range n.members {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pvtdata"
+	"repro/internal/rwset"
+)
+
+// fakePeer implements Member with an in-memory transient store.
+type fakePeer struct {
+	name, org string
+	received  []*rwset.TxPvtRWSet
+	serve     map[string]*rwset.CollPvtRWSet // "txID/coll" -> set
+}
+
+func newFakePeer(name, org string) *fakePeer {
+	return &fakePeer{name: name, org: org, serve: make(map[string]*rwset.CollPvtRWSet)}
+}
+
+func (f *fakePeer) GossipName() string { return f.name }
+func (f *fakePeer) GossipOrg() string  { return f.org }
+func (f *fakePeer) ReceivePrivateData(set *rwset.TxPvtRWSet) {
+	f.received = append(f.received, set)
+}
+func (f *fakePeer) ServePrivateData(txID, coll string) *rwset.CollPvtRWSet {
+	return f.serve[txID+"/"+coll]
+}
+
+func collCfg(required, maxPeers int) *pvtdata.CollectionConfig {
+	return &pvtdata.CollectionConfig{
+		Name:              "pdc1",
+		MemberPolicy:      "OR(org1.member, org2.member)",
+		RequiredPeerCount: required,
+		MaxPeerCount:      maxPeers,
+	}
+}
+
+func set() *rwset.CollPvtRWSet {
+	return &rwset.CollPvtRWSet{
+		Collection: "pdc1",
+		Writes:     []rwset.KVWrite{{Key: "k", Value: []byte("v")}},
+	}
+}
+
+func TestDisseminateToMembersOnly(t *testing.T) {
+	n := NewNetwork()
+	p1 := newFakePeer("peer0.org1", "org1")
+	p2 := newFakePeer("peer0.org2", "org2")
+	p3 := newFakePeer("peer0.org3", "org3")
+	n.Join(p1)
+	n.Join(p2)
+	n.Join(p3)
+
+	if err := n.Disseminate("peer0.org1", collCfg(1, 3), "tx1", set()); err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.received) != 1 {
+		t.Fatal("member org2 did not receive private data")
+	}
+	if len(p3.received) != 0 {
+		t.Fatal("non-member org3 received private data")
+	}
+	if len(p1.received) != 0 {
+		t.Fatal("self received own dissemination")
+	}
+	if got := p2.received[0]; got.TxID != "tx1" || got.CollSets[0].Collection != "pdc1" {
+		t.Fatalf("received = %+v", got)
+	}
+}
+
+func TestRequiredPeerCountEnforced(t *testing.T) {
+	n := NewNetwork()
+	n.Join(newFakePeer("peer0.org1", "org1"))
+	n.Join(newFakePeer("peer0.org3", "org3")) // non-member
+
+	// Requiring 1 member delivery with no other member registered
+	// must fail — the endorsement is withheld.
+	err := n.Disseminate("peer0.org1", collCfg(1, 3), "tx1", set())
+	if !errors.Is(err, ErrDisseminationShort) {
+		t.Fatalf("err = %v, want ErrDisseminationShort", err)
+	}
+	// Zero required succeeds trivially.
+	if err := n.Disseminate("peer0.org1", collCfg(0, 3), "tx1", set()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPeerCountBoundsFanOut(t *testing.T) {
+	n := NewNetwork()
+	self := newFakePeer("peer0.org1", "org1")
+	n.Join(self)
+	others := []*fakePeer{
+		newFakePeer("peer1.org1", "org1"),
+		newFakePeer("peer0.org2", "org2"),
+		newFakePeer("peer1.org2", "org2"),
+	}
+	for _, p := range others {
+		n.Join(p)
+	}
+	if err := n.Disseminate("peer0.org1", collCfg(1, 1), "tx1", set()); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range others {
+		total += len(p.received)
+	}
+	if total != 1 {
+		t.Fatalf("fan-out = %d, want 1 (MaxPeerCount)", total)
+	}
+}
+
+func TestDropDeliveriesAndReconcile(t *testing.T) {
+	n := NewNetwork()
+	p1 := newFakePeer("peer0.org1", "org1")
+	p2 := newFakePeer("peer0.org2", "org2")
+	n.Join(p1)
+	n.Join(p2)
+
+	n.DropDeliveries("peer0.org2", true)
+	err := n.Disseminate("peer0.org1", collCfg(1, 3), "tx1", set())
+	if !errors.Is(err, ErrDisseminationShort) {
+		t.Fatalf("drop not effective: %v", err)
+	}
+	if len(p2.received) != 0 {
+		t.Fatal("dropped peer received data")
+	}
+
+	// Reconciliation pulls from a member that has the data.
+	p1.serve["tx1/pdc1"] = set()
+	got := n.Reconcile("peer0.org2", collCfg(0, 3), "tx1")
+	if got == nil || got.Collection != "pdc1" {
+		t.Fatalf("reconcile = %+v", got)
+	}
+	// No member has it: nil.
+	if n.Reconcile("peer0.org2", collCfg(0, 3), "tx-unknown") != nil {
+		t.Fatal("phantom reconciliation")
+	}
+
+	// Un-drop restores delivery.
+	n.DropDeliveries("peer0.org2", false)
+	if err := n.Disseminate("peer0.org1", collCfg(1, 3), "tx2", set()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeersListing(t *testing.T) {
+	n := NewNetwork()
+	n.Join(newFakePeer("a", "org1"))
+	n.Join(newFakePeer("b", "org2"))
+	if got := n.Peers(); len(got) != 2 {
+		t.Fatalf("peers = %v", got)
+	}
+}
+
+// TestFanOutBoundQuick: dissemination never exceeds MaxPeerCount and
+// never reaches non-members, for arbitrary member populations.
+func TestFanOutBoundQuick(t *testing.T) {
+	f := func(memberPeers, nonMemberPeers, maxPush uint8) bool {
+		nm := int(memberPeers%6) + 1
+		no := int(nonMemberPeers % 6)
+		mp := int(maxPush%8) + 1
+
+		n := NewNetwork()
+		self := newFakePeer("self", "org1")
+		n.Join(self)
+		var members, outsiders []*fakePeer
+		for i := 0; i < nm; i++ {
+			p := newFakePeer(fmt.Sprintf("m%d", i), "org2")
+			members = append(members, p)
+			n.Join(p)
+		}
+		for i := 0; i < no; i++ {
+			p := newFakePeer(fmt.Sprintf("o%d", i), "org9")
+			outsiders = append(outsiders, p)
+			n.Join(p)
+		}
+		cfg := &pvtdata.CollectionConfig{
+			Name:         "pdc1",
+			MemberPolicy: "OR(org1.member, org2.member)",
+			MaxPeerCount: mp,
+		}
+		if err := n.Disseminate("self", cfg, "tx", set()); err != nil {
+			return false
+		}
+		delivered := 0
+		for _, p := range members {
+			delivered += len(p.received)
+		}
+		for _, p := range outsiders {
+			if len(p.received) != 0 {
+				return false
+			}
+		}
+		want := nm
+		if mp < want {
+			want = mp
+		}
+		return delivered == want && len(self.received) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

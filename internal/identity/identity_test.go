@@ -1,0 +1,130 @@
+package identity
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestIssueAndValidate(t *testing.T) {
+	ca, err := NewCA("org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ca.Issue("peer0.org1", RolePeer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.MSPID() != "org1" || id.Subject() != "peer0.org1" {
+		t.Fatalf("identity fields: %s/%s", id.MSPID(), id.Subject())
+	}
+
+	v := NewVerifier()
+	v.TrustCA("org1", ca.PublicKey())
+	if err := v.ValidateCertificate(id.Cert); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestUnknownOrgRejected(t *testing.T) {
+	ca, _ := NewCA("org1")
+	id, _ := ca.Issue("peer0.org1", RolePeer)
+	v := NewVerifier()
+	err := v.ValidateCertificate(id.Cert)
+	if !errors.Is(err, ErrUnknownOrg) {
+		t.Fatalf("err = %v, want ErrUnknownOrg", err)
+	}
+}
+
+func TestForgedCertificateRejected(t *testing.T) {
+	ca, _ := NewCA("org1")
+	rogue, _ := NewCA("org1") // different key material, same org name
+	id, _ := rogue.Issue("peer0.org1", RolePeer)
+
+	v := NewVerifier()
+	v.TrustCA("org1", ca.PublicKey())
+	err := v.ValidateCertificate(id.Cert)
+	if !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("err = %v, want ErrBadCertificate", err)
+	}
+}
+
+func TestTamperedCertificateRejected(t *testing.T) {
+	ca, _ := NewCA("org1")
+	id, _ := ca.Issue("peer0.org1", RolePeer)
+	v := NewVerifier()
+	v.TrustCA("org1", ca.PublicKey())
+	v.TrustCA("org2", ca.PublicKey())
+
+	// Claiming a different org must break the CA signature binding.
+	tampered := *id.Cert
+	tampered.Org = "org2"
+	if err := v.ValidateCertificate(&tampered); err == nil {
+		t.Fatal("org-swapped certificate validated")
+	}
+	// So must a role upgrade.
+	tampered = *id.Cert
+	tampered.Role = RoleAdmin
+	if err := v.ValidateCertificate(&tampered); err == nil {
+		t.Fatal("role-upgraded certificate validated")
+	}
+}
+
+func TestSignatureVerification(t *testing.T) {
+	ca, _ := NewCA("org1")
+	id, _ := ca.Issue("peer0.org1", RolePeer)
+	v := NewVerifier()
+	v.TrustCA("org1", ca.PublicKey())
+
+	msg := []byte("proposal response")
+	sig, err := id.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.VerifySignature(id.Cert, msg, sig); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := v.VerifySignature(id.Cert, []byte("other"), sig); err == nil {
+		t.Fatal("signature verified over wrong message")
+	}
+
+	// A signature by another identity of the same org must not verify
+	// under this certificate.
+	other, _ := ca.Issue("peer1.org1", RolePeer)
+	otherSig, _ := other.Sign(msg)
+	if err := v.VerifySignature(id.Cert, msg, otherSig); err == nil {
+		t.Fatal("cross-identity signature verified")
+	}
+}
+
+func TestCertificateSerializationRoundTrip(t *testing.T) {
+	ca, _ := NewCA("org1")
+	id, _ := ca.Issue("client0.org1", RoleClient)
+	parsed, err := ParseCertificate(id.Cert.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Subject != id.Cert.Subject || parsed.Org != id.Cert.Org || parsed.Role != id.Cert.Role {
+		t.Fatalf("round trip mismatch: %+v", parsed)
+	}
+	v := NewVerifier()
+	v.TrustCA("org1", ca.PublicKey())
+	if err := v.ValidateCertificate(parsed); err != nil {
+		t.Fatalf("parsed cert invalid: %v", err)
+	}
+
+	if _, err := ParseCertificate([]byte("{broken")); err == nil {
+		t.Fatal("malformed certificate parsed")
+	}
+}
+
+func TestTrustedOrgsSorted(t *testing.T) {
+	v := NewVerifier()
+	for _, org := range []string{"zeta", "alpha", "mid"} {
+		ca, _ := NewCA(org)
+		v.TrustCA(org, ca.PublicKey())
+	}
+	orgs := v.TrustedOrgs()
+	if len(orgs) != 3 || orgs[0] != "alpha" || orgs[1] != "mid" || orgs[2] != "zeta" {
+		t.Fatalf("orgs = %v", orgs)
+	}
+}

@@ -1,0 +1,43 @@
+package ledger
+
+import "testing"
+
+// FuzzParseTransaction checks the transaction decoder never panics and
+// that accepted transactions re-serialize.
+func FuzzParseTransaction(f *testing.F) {
+	f.Add([]byte(testTx("seed").Bytes()))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tx_id": "x"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, err := ParseTransaction(data)
+		if err != nil || tx == nil {
+			return
+		}
+		_ = tx.Bytes()
+		_, _ = tx.ResponsePayloadParsed()
+	})
+}
+
+// FuzzParseProposalResponsePayload checks the payload decoder.
+func FuzzParseProposalResponsePayload(f *testing.F) {
+	prp := &ProposalResponsePayload{
+		TxID:     "t",
+		Response: Response{Status: StatusOK, Payload: []byte("p")},
+		Results:  []byte(`{}`),
+	}
+	f.Add(prp.Bytes())
+	f.Add([]byte(`{"response": {"status": 200}}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseProposalResponsePayload(data)
+		if err != nil || p == nil {
+			return
+		}
+		_ = p.Bytes()
+		_ = p.HashedPayloadForm()
+		_, _ = p.RWSet()
+	})
+}

@@ -1,0 +1,132 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/fabcrypto"
+)
+
+// ErrNotFound is returned when a block or transaction is absent from the
+// store.
+var ErrNotFound = errors.New("ledger: not found")
+
+// BlockStore is a peer's copy of the blockchain. Blocks are appended in
+// order after validation; every append verifies the hash chain.
+type BlockStore struct {
+	mu     sync.RWMutex
+	blocks []*Block
+	byTxID map[string]txLocator
+}
+
+type txLocator struct {
+	blockNum uint64
+	txIndex  int
+}
+
+// NewBlockStore creates an empty blockchain.
+func NewBlockStore() *BlockStore {
+	return &BlockStore{byTxID: make(map[string]txLocator)}
+}
+
+// Append adds a validated block to the chain after verifying linkage.
+func (s *BlockStore) Append(b *Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	want := uint64(len(s.blocks))
+	if b.Header.Number != want {
+		return fmt.Errorf("ledger: append block %d, want %d", b.Header.Number, want)
+	}
+	if want > 0 {
+		prev := s.blocks[want-1].Hash()
+		if !fabcrypto.Equal(b.Header.PrevHash, prev) {
+			return fmt.Errorf("ledger: block %d prev-hash mismatch", b.Header.Number)
+		}
+	}
+	if !b.VerifyDataHash() {
+		return fmt.Errorf("ledger: block %d data-hash mismatch", b.Header.Number)
+	}
+	s.blocks = append(s.blocks, b)
+	for i, tx := range b.Transactions {
+		s.byTxID[tx.TxID] = txLocator{blockNum: b.Header.Number, txIndex: i}
+	}
+	return nil
+}
+
+// Height returns the number of blocks in the chain.
+func (s *BlockStore) Height() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(len(s.blocks))
+}
+
+// LastHash returns the hash of the last block, or nil for an empty chain.
+func (s *BlockStore) LastHash() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.blocks) == 0 {
+		return nil
+	}
+	return s.blocks[len(s.blocks)-1].Hash()
+}
+
+// Block returns the block at the given number.
+func (s *BlockStore) Block(number uint64) (*Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if number >= uint64(len(s.blocks)) {
+		return nil, fmt.Errorf("%w: block %d", ErrNotFound, number)
+	}
+	return s.blocks[number], nil
+}
+
+// Transaction looks up a transaction and its validation flag by ID.
+func (s *BlockStore) Transaction(txID string) (*Transaction, ValidationCode, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.byTxID[txID]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: tx %s", ErrNotFound, txID)
+	}
+	b := s.blocks[loc.blockNum]
+	return b.Transactions[loc.txIndex], b.Metadata.ValidationFlags[loc.txIndex], nil
+}
+
+// Scan calls fn for every transaction in chain order, with its block
+// number and validation flag. fn returning false stops the scan. This is
+// the primitive the paper's PDC-leakage attack uses: any peer can walk its
+// local blockchain and parse transaction payloads (§IV-B).
+func (s *BlockStore) Scan(fn func(blockNum uint64, tx *Transaction, code ValidationCode) bool) {
+	s.mu.RLock()
+	blocks := s.blocks
+	s.mu.RUnlock()
+	for _, b := range blocks {
+		for i, tx := range b.Transactions {
+			if !fn(b.Header.Number, tx, b.Metadata.ValidationFlags[i]) {
+				return
+			}
+		}
+	}
+}
+
+// VerifyChain re-checks hash linkage and data hashes across the whole
+// chain, returning the first broken block number or -1 when intact.
+func (s *BlockStore) VerifyChain() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var prev []byte
+	for i, b := range s.blocks {
+		if b.Header.Number != uint64(i) {
+			return int64(i)
+		}
+		if i > 0 && !fabcrypto.Equal(b.Header.PrevHash, prev) {
+			return int64(i)
+		}
+		if !b.VerifyDataHash() {
+			return int64(i)
+		}
+		prev = b.Hash()
+	}
+	return -1
+}

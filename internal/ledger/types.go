@@ -1,0 +1,316 @@
+// Package ledger defines the wire formats of the Fabric reproduction —
+// proposals, proposal responses, endorsements, transactions and blocks,
+// mirroring the block structure of the paper's Fig. 3 — together with the
+// per-peer block store.
+//
+// A transaction carries four parts: the transaction header, the proposal,
+// the proposal-response (whose Response holds the plaintext "payload"
+// field central to the paper's PDC leakage analysis, and whose Results
+// hold the read/write sets) and the list of endorsements.
+package ledger
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/fabcrypto"
+	"repro/internal/rwset"
+)
+
+// Proposal is a client's request that endorsers simulate a chaincode
+// function (paper §II-B1: client identity, target chaincode ID, function
+// name and parameters).
+type Proposal struct {
+	TxID      string   `json:"tx_id"`
+	ChannelID string   `json:"channel_id"`
+	Chaincode string   `json:"chaincode"`
+	Function  string   `json:"function"`
+	Args      []string `json:"args,omitempty"`
+	// Creator is the serialized certificate of the submitting client.
+	Creator []byte `json:"creator"`
+	// Nonce makes the TxID unique.
+	Nonce []byte `json:"nonce"`
+	// Transient carries confidential inputs (e.g. private values to
+	// write) that must reach the chaincode without ever entering the
+	// transaction; mirrors Fabric's transient map.
+	Transient map[string][]byte `json:"-"`
+}
+
+// NewTxID derives the transaction ID from a nonce and the creator's
+// certificate, as Fabric does: SHA-256(nonce || creator).
+func NewTxID(nonce, creator []byte) string {
+	return fmt.Sprintf("%x", fabcrypto.HashConcat(nonce, creator))
+}
+
+// NewNonce returns a fresh random nonce.
+func NewNonce() ([]byte, error) {
+	n := make([]byte, 24)
+	if _, err := rand.Read(n); err != nil {
+		return nil, fmt.Errorf("ledger: nonce: %w", err)
+	}
+	return n, nil
+}
+
+// Bytes returns the canonical serialization of the proposal (excluding the
+// transient map, which never leaves the endorsement path).
+func (p *Proposal) Bytes() []byte {
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("ledger: marshal proposal: %v", err))
+	}
+	return b
+}
+
+// Response is the chaincode function's reply to the client: the paper's
+// Use Case 3. Payload carries whatever the function returns — for PDC
+// reads typically the private value itself, in plaintext.
+type Response struct {
+	Status  int32  `json:"status"`
+	Message string `json:"message,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// Response status values.
+const (
+	StatusOK    int32 = 200
+	StatusError int32 = 500
+)
+
+// ChaincodeEvent is an application event emitted by a chaincode function
+// (at most one per transaction, as in Fabric). Events travel inside the
+// transaction and are therefore plaintext in every peer's blockchain —
+// the same exposure class as the Response payload of Use Case 3.
+type ChaincodeEvent struct {
+	Name    string `json:"name"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// ProposalResponsePayload is the part of a proposal response that
+// endorsers sign and that ends up inside the transaction: the chaincode
+// Response plus the (hashed, for PDC) read/write sets.
+type ProposalResponsePayload struct {
+	TxID      string   `json:"tx_id"`
+	Chaincode string   `json:"chaincode"`
+	Response  Response `json:"response"`
+	// Results is the marshaled rwset.TxRWSet.
+	Results []byte `json:"results"`
+	// Event is the chaincode event, if one was set during simulation.
+	Event *ChaincodeEvent `json:"event,omitempty"`
+}
+
+// Bytes returns the canonical serialization signed by endorsers.
+func (p *ProposalResponsePayload) Bytes() []byte {
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("ledger: marshal prp: %v", err))
+	}
+	return b
+}
+
+// ParseProposalResponsePayload decodes a payload serialized with Bytes.
+func ParseProposalResponsePayload(b []byte) (*ProposalResponsePayload, error) {
+	var p ProposalResponsePayload
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("ledger: parse prp: %w", err)
+	}
+	return &p, nil
+}
+
+// RWSet unmarshals the Results field.
+func (p *ProposalResponsePayload) RWSet() (*rwset.TxRWSet, error) {
+	return rwset.UnmarshalTxRWSet(p.Results)
+}
+
+// HashedPayloadForm returns a copy of the payload whose Response.Payload
+// is replaced by its SHA-256 digest. This is the PR_Hash of the paper's
+// defense Feature 2 (Fig. 4): the endorser signs this form, and the
+// client assembles the transaction from it, so the plaintext private
+// value never enters a block.
+func (p *ProposalResponsePayload) HashedPayloadForm() *ProposalResponsePayload {
+	cp := *p
+	if len(p.Response.Payload) > 0 {
+		cp.Response.Payload = fabcrypto.Hash(p.Response.Payload)
+	}
+	return &cp
+}
+
+// Endorsement is a peer's signature over a ProposalResponsePayload,
+// together with the endorser's certificate.
+type Endorsement struct {
+	// Endorser is the serialized certificate of the endorsing peer.
+	Endorser []byte `json:"endorser"`
+	// Signature covers the ProposalResponsePayload bytes carried by the
+	// transaction.
+	Signature []byte `json:"signature"`
+}
+
+// ProposalResponse is what an endorser returns to the client.
+type ProposalResponse struct {
+	// Payload is the serialized ProposalResponsePayload the endorsement
+	// signature covers. Under defense Feature 2 this is the hashed
+	// (PR_Hash) form.
+	Payload []byte `json:"payload"`
+	// PlainPayload, set only under defense Feature 2, is the serialized
+	// original (PR_Ori) form, returned so the client still receives the
+	// plaintext value it asked for. It is NOT covered by the signature
+	// and never enters the transaction.
+	PlainPayload []byte `json:"plain_payload,omitempty"`
+	// Response echoes the chaincode response for client convenience.
+	Response Response `json:"response"`
+	// Endorsement is the endorser's signature over Payload.
+	Endorsement Endorsement `json:"endorsement"`
+}
+
+// Transaction is the unit of the blockchain: header fields, the original
+// proposal, one agreed-upon proposal response payload and the collected
+// endorsements (Fig. 3).
+type Transaction struct {
+	TxID      string `json:"tx_id"`
+	ChannelID string `json:"channel_id"`
+	// Creator is the submitting client's serialized certificate.
+	Creator []byte `json:"creator"`
+	// Proposal echoes the endorsed proposal.
+	Proposal *Proposal `json:"proposal"`
+	// ResponsePayload is the serialized ProposalResponsePayload all
+	// endorsers agreed on (and signed).
+	ResponsePayload []byte `json:"response_payload"`
+	// Endorsements are the collected endorser signatures.
+	Endorsements []Endorsement `json:"endorsements"`
+}
+
+// Bytes returns the canonical serialization of the transaction.
+func (t *Transaction) Bytes() []byte {
+	b, err := json.Marshal(t)
+	if err != nil {
+		panic(fmt.Sprintf("ledger: marshal tx: %v", err))
+	}
+	return b
+}
+
+// ParseTransaction decodes a transaction serialized with Bytes.
+func ParseTransaction(b []byte) (*Transaction, error) {
+	var t Transaction
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("ledger: parse tx: %w", err)
+	}
+	return &t, nil
+}
+
+// ResponsePayloadParsed unmarshals the agreed proposal response payload.
+func (t *Transaction) ResponsePayloadParsed() (*ProposalResponsePayload, error) {
+	return ParseProposalResponsePayload(t.ResponsePayload)
+}
+
+// ValidationCode records why a transaction was marked valid or invalid
+// during the validation phase.
+type ValidationCode int
+
+// Validation outcomes, mirroring Fabric's transaction validation codes.
+const (
+	// Valid transactions update the world state.
+	Valid ValidationCode = iota + 1
+	// EndorsementPolicyFailure: not enough valid endorsements.
+	EndorsementPolicyFailure
+	// MVCCConflict: a read version no longer matches the world state.
+	MVCCConflict
+	// BadPayload: the transaction is structurally broken.
+	BadPayload
+	// BadSignature: an endorsement signature failed verification.
+	BadSignature
+	// DuplicateTxID: the transaction ID already appears in the
+	// blockchain — a replayed transaction.
+	DuplicateTxID
+)
+
+// String renders the validation code.
+func (c ValidationCode) String() string {
+	switch c {
+	case Valid:
+		return "VALID"
+	case EndorsementPolicyFailure:
+		return "ENDORSEMENT_POLICY_FAILURE"
+	case MVCCConflict:
+		return "MVCC_READ_CONFLICT"
+	case BadPayload:
+		return "BAD_PAYLOAD"
+	case BadSignature:
+		return "BAD_SIGNATURE"
+	case DuplicateTxID:
+		return "DUPLICATE_TXID"
+	default:
+		return fmt.Sprintf("ValidationCode(%d)", int(c))
+	}
+}
+
+// BlockHeader chains blocks together.
+type BlockHeader struct {
+	Number   uint64 `json:"number"`
+	PrevHash []byte `json:"prev_hash"`
+	DataHash []byte `json:"data_hash"`
+}
+
+// BlockMetadata carries the validity flag vector written by validators
+// (one code per transaction, same order).
+type BlockMetadata struct {
+	ValidationFlags []ValidationCode `json:"validation_flags,omitempty"`
+}
+
+// Block is a list of transactions plus header and metadata (Fig. 3).
+type Block struct {
+	Header       BlockHeader    `json:"header"`
+	Transactions []*Transaction `json:"transactions"`
+	Metadata     BlockMetadata  `json:"metadata"`
+}
+
+// dataHash computes the digest over the ordered transactions.
+func dataHash(txs []*Transaction) []byte {
+	parts := make([][]byte, len(txs))
+	for i, tx := range txs {
+		parts[i] = tx.Bytes()
+	}
+	return fabcrypto.HashConcat(parts...)
+}
+
+// NewBlock assembles a block at the given number linking to prevHash.
+func NewBlock(number uint64, prevHash []byte, txs []*Transaction) *Block {
+	return &Block{
+		Header: BlockHeader{
+			Number:   number,
+			PrevHash: append([]byte(nil), prevHash...),
+			DataHash: dataHash(txs),
+		},
+		Transactions: txs,
+		Metadata: BlockMetadata{
+			ValidationFlags: make([]ValidationCode, len(txs)),
+		},
+	}
+}
+
+// Hash returns the block header hash, which the next block links to.
+func (b *Block) Hash() []byte {
+	hdr, err := json.Marshal(b.Header)
+	if err != nil {
+		panic(fmt.Sprintf("ledger: marshal header: %v", err))
+	}
+	return fabcrypto.Hash(hdr)
+}
+
+// VerifyDataHash checks that the block's transactions match its DataHash.
+func (b *Block) VerifyDataHash() bool {
+	return fabcrypto.Equal(b.Header.DataHash, dataHash(b.Transactions))
+}
+
+// Clone deep-copies the block so each peer can record its own validation
+// flags without racing other peers.
+func (b *Block) Clone() *Block {
+	raw, err := json.Marshal(b)
+	if err != nil {
+		panic(fmt.Sprintf("ledger: clone block: %v", err))
+	}
+	var cp Block
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		panic(fmt.Sprintf("ledger: clone block: %v", err))
+	}
+	return &cp
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	if c.Get("x") != 0 {
+		t.Fatal("zero-value counter non-zero")
+	}
+	c.Inc("x")
+	c.Add("x", 2)
+	c.Inc("y")
+	if c.Get("x") != 3 || c.Get("y") != 1 {
+		t.Fatalf("x=%d y=%d", c.Get("x"), c.Get("y"))
+	}
+	snap := c.Snapshot()
+	c.Inc("x")
+	if snap["x"] != 3 {
+		t.Fatal("snapshot not isolated")
+	}
+	s := c.String()
+	if !strings.Contains(s, "x=4") || !strings.Contains(s, "y=1") {
+		t.Fatalf("string = %q", s)
+	}
+	// x sorts before y.
+	if strings.Index(s, "x=") > strings.Index(s, "y=") {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("n") != 8000 {
+		t.Fatalf("n = %d", c.Get("n"))
+	}
+}

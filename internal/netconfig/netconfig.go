@@ -1,0 +1,258 @@
+// Package netconfig builds networks from a declarative JSON topology —
+// the reproduction's equivalent of the test-network's configtx.yaml +
+// docker-compose pair. A config names the organizations, channel policy,
+// orderer parameters, security features and chaincode deployments
+// (definitions plus which built-in contract implementation to install).
+package netconfig
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/chaincode"
+	"repro/internal/consortium"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/pvtdata"
+)
+
+// Chaincode describes one chaincode deployment.
+type Chaincode struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	// EndorsementPolicy is the chaincode-level policy spec ("" = the
+	// channel default).
+	EndorsementPolicy string `json:"endorsementPolicy,omitempty"`
+	// Collections are the private data collections.
+	Collections []pvtdata.CollectionConfig `json:"collections,omitempty"`
+	// Contract selects the built-in implementation: "public" (the
+	// public asset contract), "pdc" (the private data contract over
+	// Collection) or "merged" (both). Defaults to "merged" when
+	// collections exist, else "public".
+	Contract string `json:"contract,omitempty"`
+	// Collection names the PDC the "pdc"/"merged" contract manages;
+	// defaults to the first defined collection.
+	Collection string `json:"collection,omitempty"`
+	// LeakOnWrite installs the sloppy Listing 2 write variant.
+	LeakOnWrite bool `json:"leakOnWrite,omitempty"`
+}
+
+// Security mirrors core.SecurityConfig with JSON names.
+type Security struct {
+	CollectionPolicyForReads    bool `json:"collectionPolicyForReads,omitempty"`
+	HashedPayloadEndorsement    bool `json:"hashedPayloadEndorsement,omitempty"`
+	FilterNonMemberEndorsements bool `json:"filterNonMemberEndorsements,omitempty"`
+}
+
+// Config is the topology document.
+type Config struct {
+	Channel            string      `json:"channel,omitempty"`
+	Orgs               []string    `json:"orgs"`
+	PeersPerOrg        int         `json:"peersPerOrg,omitempty"`
+	DefaultEndorsement string      `json:"defaultEndorsement,omitempty"`
+	OrdererCount       int         `json:"ordererCount,omitempty"`
+	BatchSize          int         `json:"batchSize,omitempty"`
+	Seed               int64       `json:"seed,omitempty"`
+	Security           Security    `json:"security,omitempty"`
+	Chaincodes         []Chaincode `json:"chaincodes,omitempty"`
+	// Channels, when set, builds a multi-channel consortium instead of
+	// a single network: channel name -> member orgs (BuildConsortium).
+	// Chaincodes then deploy onto every channel whose members include
+	// all orgs their collections reference.
+	Channels map[string][]string `json:"channels,omitempty"`
+}
+
+// Load reads and validates a topology document from disk.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("netconfig: read: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates a topology document.
+func Parse(data []byte) (*Config, error) {
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("netconfig: parse: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Validate checks structural consistency.
+func (c *Config) Validate() error {
+	if len(c.Orgs) == 0 {
+		return fmt.Errorf("netconfig: no organizations")
+	}
+	seen := make(map[string]bool)
+	for _, org := range c.Orgs {
+		if org == "" {
+			return fmt.Errorf("netconfig: empty organization name")
+		}
+		if seen[org] {
+			return fmt.Errorf("netconfig: duplicate organization %q", org)
+		}
+		seen[org] = true
+	}
+	for i := range c.Chaincodes {
+		cc := &c.Chaincodes[i]
+		if cc.Name == "" {
+			return fmt.Errorf("netconfig: chaincode with empty name")
+		}
+		for j := range cc.Collections {
+			if err := cc.Collections[j].Validate(); err != nil {
+				return fmt.Errorf("netconfig: chaincode %q: %w", cc.Name, err)
+			}
+		}
+		switch cc.Contract {
+		case "", "public", "pdc", "merged":
+		default:
+			return fmt.Errorf("netconfig: chaincode %q: unknown contract %q", cc.Name, cc.Contract)
+		}
+		if (cc.Contract == "pdc" || cc.Contract == "merged" || cc.Contract == "") &&
+			cc.Collection == "" && len(cc.Collections) > 0 {
+			cc.Collection = cc.Collections[0].Name
+		}
+	}
+	return nil
+}
+
+// SecurityConfig converts to the runtime form.
+func (c *Config) SecurityConfig() core.SecurityConfig {
+	return core.SecurityConfig{
+		CollectionPolicyForReads:    c.Security.CollectionPolicyForReads,
+		HashedPayloadEndorsement:    c.Security.HashedPayloadEndorsement,
+		FilterNonMemberEndorsements: c.Security.FilterNonMemberEndorsements,
+	}
+}
+
+// Build constructs the network and deploys the configured chaincodes.
+func (c *Config) Build() (*network.Network, error) {
+	net, err := network.New(network.Options{
+		ChannelName:        c.Channel,
+		Orgs:               c.Orgs,
+		PeersPerOrg:        c.PeersPerOrg,
+		DefaultEndorsement: c.DefaultEndorsement,
+		OrdererCount:       c.OrdererCount,
+		BatchSize:          c.BatchSize,
+		Security:           c.SecurityConfig(),
+		Seed:               c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range c.Chaincodes {
+		cc := &c.Chaincodes[i]
+		def := &chaincode.Definition{
+			Name:              cc.Name,
+			Version:           cc.Version,
+			EndorsementPolicy: cc.EndorsementPolicy,
+			Collections:       cc.Collections,
+		}
+		impl, err := cc.implementation()
+		if err != nil {
+			return nil, err
+		}
+		if err := net.DeployChaincode(def, impl); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// BuildConsortium constructs the multi-channel deployment described by
+// the Channels map and deploys every chaincode on every channel.
+func (c *Config) BuildConsortium() (*consortium.Consortium, error) {
+	if len(c.Channels) == 0 {
+		return nil, fmt.Errorf("netconfig: no channels defined; use Build for a single network")
+	}
+	cons, err := consortium.New(consortium.Options{
+		Orgs:               c.Orgs,
+		Channels:           c.Channels,
+		DefaultEndorsement: c.DefaultEndorsement,
+		Security:           c.SecurityConfig(),
+		Seed:               c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range cons.Channels() {
+		net := cons.Channel(name)
+		for i := range c.Chaincodes {
+			cc := &c.Chaincodes[i]
+			if !collectionsCovered(cc, net) {
+				continue
+			}
+			def := &chaincode.Definition{
+				Name:              cc.Name,
+				Version:           cc.Version,
+				EndorsementPolicy: cc.EndorsementPolicy,
+				Collections:       cc.Collections,
+			}
+			impl, err := cc.implementation()
+			if err != nil {
+				return nil, err
+			}
+			if err := net.DeployChaincode(def, impl); err != nil {
+				return nil, fmt.Errorf("netconfig: channel %q: %w", name, err)
+			}
+		}
+	}
+	return cons, nil
+}
+
+// collectionsCovered reports whether every org referenced by the
+// chaincode's collections is a member of the channel.
+func collectionsCovered(cc *Chaincode, net *network.Network) bool {
+	for i := range cc.Collections {
+		for _, org := range cc.Collections[i].MemberOrgs() {
+			if !net.Channel.HasOrg(org) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (cc *Chaincode) implementation() (chaincode.Chaincode, error) {
+	contract := cc.Contract
+	if contract == "" {
+		if len(cc.Collections) > 0 {
+			contract = "merged"
+		} else {
+			contract = "public"
+		}
+	}
+	switch contract {
+	case "public":
+		return contracts.NewPublicAsset(), nil
+	case "pdc":
+		if cc.Collection == "" {
+			return nil, fmt.Errorf("netconfig: chaincode %q: pdc contract needs a collection", cc.Name)
+		}
+		return contracts.NewPDC(contracts.PDCOptions{
+			Collection:  cc.Collection,
+			LeakOnWrite: cc.LeakOnWrite,
+		}), nil
+	case "merged":
+		if cc.Collection == "" {
+			return nil, fmt.Errorf("netconfig: chaincode %q: merged contract needs a collection", cc.Name)
+		}
+		merged := contracts.NewPublicAsset()
+		for name, fn := range contracts.NewPDC(contracts.PDCOptions{
+			Collection:  cc.Collection,
+			LeakOnWrite: cc.LeakOnWrite,
+		}) {
+			merged[name] = fn
+		}
+		return merged, nil
+	default:
+		return nil, fmt.Errorf("netconfig: chaincode %q: unknown contract %q", cc.Name, contract)
+	}
+}

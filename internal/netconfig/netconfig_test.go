@@ -1,0 +1,188 @@
+package netconfig
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/peer"
+)
+
+const sampleConfig = `{
+  "channel": "trading",
+  "orgs": ["org1", "org2", "org3"],
+  "defaultEndorsement": "MAJORITY Endorsement",
+  "ordererCount": 3,
+  "security": {"hashedPayloadEndorsement": true},
+  "chaincodes": [
+    {
+      "name": "asset",
+      "version": "1.0",
+      "collections": [
+        {
+          "name": "pdc1",
+          "policy": "OR(org1.member, org2.member)",
+          "requiredPeerCount": 0,
+          "maxPeerCount": 3,
+          "endorsementPolicy": "AND(org1.peer, org2.peer)"
+        }
+      ]
+    },
+    {"name": "public-only", "version": "1.0", "contract": "public"}
+  ]
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	cfg, err := Parse([]byte(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Channel != "trading" || len(cfg.Orgs) != 3 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if !cfg.SecurityConfig().HashedPayloadEndorsement {
+		t.Fatal("security not mapped")
+	}
+	// The default merged contract picked the first collection.
+	if cfg.Chaincodes[0].Collection != "pdc1" {
+		t.Fatalf("collection default = %q", cfg.Chaincodes[0].Collection)
+	}
+
+	net, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := net.Client("org1")
+	res, err := cl.SubmitTransaction(
+		[]*peer.Peer{net.Peer("org1"), net.Peer("org2")},
+		"asset", "setPrivate", []string{"k", "12"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("code = %v", res.Code)
+	}
+	// Feature 2 from the config is active: the stored payload for a
+	// read transaction is hashed.
+	res, err = cl.SubmitTransaction(
+		[]*peer.Peer{net.Peer("org1"), net.Peer("org2")},
+		"asset", "readPrivate", []string{"k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Payload) != "12" {
+		t.Fatalf("client payload = %q", res.Payload)
+	}
+	tx, _, err := net.Peer("org3").Ledger().Transaction(res.TxID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prp, err := tx.ResponsePayloadParsed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prp.Response.Payload) == "12" {
+		t.Fatal("plaintext payload stored despite feature 2 in config")
+	}
+
+	// The second chaincode deployed too.
+	if _, err := cl.SubmitTransaction(net.Peers(), "public-only", "set", []string{"x", "y"}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := os.WriteFile(path, []byte(sampleConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Chaincodes) != 2 {
+		t.Fatalf("chaincodes = %d", len(cfg.Chaincodes))
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []string{
+		`{}`,                                  // no orgs
+		`{"orgs": [""]}`,                      // empty org
+		`{"orgs": ["a", "a"]}`,                // duplicate org
+		`{"orgs": ["a"], "chaincodes": [{}]}`, // empty chaincode name
+		`{"orgs": ["a"], "chaincodes": [{"name": "x", "contract": "weird"}]}`,
+		`{"orgs": ["a"], "chaincodes": [{"name": "x", "collections": [{"name": ""}]}]}`,
+		`not json`,
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+	// A pdc contract without any collection is rejected at build.
+	cfg, err := Parse([]byte(`{"orgs": ["a"], "chaincodes": [{"name": "x", "contract": "pdc"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Build(); err == nil {
+		t.Fatal("pdc contract without collection built")
+	}
+}
+
+func TestBuildConsortium(t *testing.T) {
+	cfg, err := Parse([]byte(`{
+	  "orgs": ["org1", "org2", "org3"],
+	  "channels": {"c1": ["org1", "org2", "org3"], "c2": ["org2", "org3"]},
+	  "chaincodes": [
+	    {
+	      "name": "asset",
+	      "version": "1.0",
+	      "collections": [
+	        {"name": "pdc1", "policy": "OR(org1.member, org2.member)",
+	         "requiredPeerCount": 0, "maxPeerCount": 3}
+	      ]
+	    },
+	    {"name": "open", "version": "1.0", "contract": "public"}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := cfg.BuildConsortium()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cons.Channels(); len(got) != 2 {
+		t.Fatalf("channels = %v", got)
+	}
+	// "asset" deploys only where org1 (a collection member) is present.
+	c1, c2 := cons.Channel("c1"), cons.Channel("c2")
+	if c1.Peer("org2").Definition("asset") == nil {
+		t.Fatal("asset missing on c1")
+	}
+	if c2.Peer("org2").Definition("asset") != nil {
+		t.Fatal("asset deployed on c2 despite uncovered collection members")
+	}
+	// "open" deploys everywhere.
+	if c2.Peer("org3").Definition("open") == nil {
+		t.Fatal("open missing on c2")
+	}
+	// The consortium transacts.
+	if _, err := c1.Client("org1").SubmitTransaction(c1.Peers(), "open", "set", []string{"k", "v"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// BuildConsortium without channels is an error.
+	plain, err := Parse([]byte(`{"orgs": ["a"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.BuildConsortium(); err == nil {
+		t.Fatal("BuildConsortium without channels succeeded")
+	}
+}

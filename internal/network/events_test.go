@@ -1,0 +1,158 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/ledger"
+	"repro/internal/peer"
+	"repro/internal/pvtdata"
+)
+
+// extractEvents scans a peer's blockchain for chaincode events of valid
+// PDC transactions (mirrors attacks.ExtractPDCEvents, which cannot be
+// imported here without a cycle).
+func extractEvents(p *peer.Peer) []*ledger.ChaincodeEvent {
+	var out []*ledger.ChaincodeEvent
+	p.Ledger().Scan(func(_ uint64, tx *ledger.Transaction, code ledger.ValidationCode) bool {
+		if code != ledger.Valid {
+			return true
+		}
+		prp, err := tx.ResponsePayloadParsed()
+		if err != nil || prp.Event == nil {
+			return true
+		}
+		out = append(out, prp.Event)
+		return true
+	})
+	return out
+}
+
+// eventContract emits chaincode events: a clean notification event and a
+// sloppy one that embeds the private value.
+func eventContract() chaincode.Router {
+	return chaincode.Router{
+		"setPrivateWithEvent": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args() // (key, value, leaky)
+			if err := stub.PutPrivateData("pdc1", args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			payload := []byte("updated:" + args[0])
+			if len(args) > 2 && args[2] == "leaky" {
+				// The sloppy pattern: private value in the event.
+				payload = []byte(args[1])
+			}
+			if err := stub.SetEvent("PrivateAssetChanged", payload); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+	}
+}
+
+func newEventNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := New(Options{Orgs: []string{"org1", "org2", "org3"}, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := &chaincode.Definition{
+		Name:    "ev",
+		Version: "1.0",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:         "pdc1",
+			MemberPolicy: "OR(org1.member, org2.member)",
+			MaxPeerCount: 3,
+		}},
+	}
+	if err := n.DeployChaincode(def, eventContract()); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestChaincodeEventsDelivered(t *testing.T) {
+	n := newEventNet(t)
+	cl := n.Client("org1")
+	members := []*peer.Peer{n.Peer("org1"), n.Peer("org2")}
+
+	var got *ledger.ChaincodeEvent
+	n.Peer("org2").OnEvent(func(blockNum uint64, txID string, ev *ledger.ChaincodeEvent) {
+		got = ev
+	})
+
+	res, err := cl.SubmitTransaction(members, "ev", "setPrivateWithEvent", []string{"k", "12", "clean"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Event == nil || res.Event.Name != "PrivateAssetChanged" {
+		t.Fatalf("client event = %+v", res.Event)
+	}
+	if string(res.Event.Payload) != "updated:k" {
+		t.Fatalf("event payload = %q", res.Event.Payload)
+	}
+	if got == nil || got.Name != "PrivateAssetChanged" {
+		t.Fatalf("peer listener event = %+v", got)
+	}
+}
+
+func TestEventChannelLeaksPrivateData(t *testing.T) {
+	n := newEventNet(t)
+	cl := n.Client("org1")
+	members := []*peer.Peer{n.Peer("org1"), n.Peer("org2")}
+
+	// Clean event: the non-member sees an event but not the value.
+	if _, err := cl.SubmitTransaction(members, "ev", "setPrivateWithEvent", []string{"k", "12", "clean"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sloppy event: the private value rides the event into every
+	// peer's blockchain.
+	if _, err := cl.SubmitTransaction(members, "ev", "setPrivateWithEvent", []string{"k", "13", "leaky"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	events := extractEvents(n.Peer("org3"))
+	if len(events) != 2 {
+		t.Fatalf("extracted %d events", len(events))
+	}
+	var sawClean, sawLeak bool
+	for _, ev := range events {
+		switch string(ev.Payload) {
+		case "updated:k":
+			sawClean = true
+		case "13":
+			sawLeak = true
+		}
+	}
+	if !sawClean {
+		t.Error("clean event not extracted")
+	}
+	if !sawLeak {
+		t.Error("leaky event did not expose the private value")
+	}
+}
+
+func TestInvalidTransactionsEmitNoEvents(t *testing.T) {
+	n := newEventNet(t)
+	cl := n.Client("org1")
+
+	var fired int
+	n.Peer("org1").OnEvent(func(uint64, string, *ledger.ChaincodeEvent) { fired++ })
+
+	// Endorsed only by org1: fails MAJORITY, so no event fires.
+	prop, _ := cl.NewProposal("ev", "setPrivateWithEvent", []string{"k", "12", "clean"}, nil)
+	tx, _, err := cl.Endorse(prop, []*peer.Peer{n.Peer("org1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Order(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code == ledger.Valid {
+		t.Fatal("minority tx valid")
+	}
+	if fired != 0 {
+		t.Fatalf("events fired for invalid tx: %d", fired)
+	}
+}

@@ -1,0 +1,314 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/ledger"
+	"repro/internal/peer"
+	"repro/internal/pvtdata"
+)
+
+// featureContract exercises the extension surface: range scans,
+// key-level validation parameters and implicit collections.
+func featureContract() chaincode.Router {
+	return chaincode.Router{
+		"set": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if err := stub.PutState(args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+		"scan": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			kvs, err := stub.GetStateByRange(args[0], args[1])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			var keys []string
+			for _, kv := range kvs {
+				keys = append(keys, kv.Key)
+			}
+			return chaincode.SuccessResponse([]byte(strings.Join(keys, ",")))
+		},
+		"lock": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if err := stub.SetStateValidationParameter(args[0], args[1]); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+		"policyOf": func(stub chaincode.Stub) ledger.Response {
+			spec, err := stub.GetStateValidationParameter(stub.Args()[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse([]byte(spec))
+		},
+		"putImplicit": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			coll := pvtdata.ImplicitCollectionPrefix + stub.PeerOrg()
+			if err := stub.PutPrivateData(coll, args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+		"putImplicitFor": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args() // (targetOrg, key, value)
+			coll := pvtdata.ImplicitCollectionPrefix + args[0]
+			if err := stub.PutPrivateData(coll, args[1], []byte(args[2])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+		"getImplicit": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			coll := pvtdata.ImplicitCollectionPrefix + stub.PeerOrg()
+			value, err := stub.GetPrivateData(coll, args[0])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(value)
+		},
+		"getImplicitFor": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args() // (targetOrg, key)
+			coll := pvtdata.ImplicitCollectionPrefix + args[0]
+			value, err := stub.GetPrivateData(coll, args[1])
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(value)
+		},
+	}
+}
+
+func newFeatureNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := New(Options{Orgs: []string{"org1", "org2", "org3"}, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := &chaincode.Definition{Name: "feat", Version: "1.0"}
+	if err := n.DeployChaincode(def, featureContract()); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRangeQueryAndPhantomProtection(t *testing.T) {
+	n := newFeatureNet(t)
+	cl := n.Client("org1")
+	for _, k := range []string{"a1", "a2", "b1"} {
+		if _, err := cl.SubmitTransaction(n.Peers(), "feat", "set", []string{k, "v"}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Plain scan works and observes the right keys.
+	res, err := cl.SubmitTransaction(n.Peers(), "feat", "scan", []string{"a", "b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid || string(res.Payload) != "a1,a2" {
+		t.Fatalf("scan = %q (%v)", res.Payload, res.Code)
+	}
+
+	// Phantom: endorse a scan, insert a new key into the range before
+	// ordering, then order — the transaction must be invalidated.
+	prop, _ := cl.NewProposal("feat", "scan", []string{"a", "b"}, nil)
+	tx, _, err := cl.Endorse(prop, n.Peers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SubmitTransaction(n.Peers(), "feat", "set", []string{"a15", "phantom"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.Order(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != ledger.MVCCConflict {
+		t.Fatalf("phantom scan code = %v, want MVCC_READ_CONFLICT", out.Code)
+	}
+
+	// Update of an existing key in the range also invalidates.
+	prop, _ = cl.NewProposal("feat", "scan", []string{"a", "b"}, nil)
+	tx, _, err = cl.Endorse(prop, n.Peers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SubmitTransaction(n.Peers(), "feat", "set", []string{"a1", "updated"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err = cl.Order(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != ledger.MVCCConflict {
+		t.Fatalf("updated-range scan code = %v, want MVCC_READ_CONFLICT", out.Code)
+	}
+}
+
+func TestKeyLevelEndorsementPolicy(t *testing.T) {
+	n := newFeatureNet(t)
+	cl := n.Client("org1")
+
+	// Create the key, then lock it to AND(org1.peer, org2.peer).
+	if _, err := cl.SubmitTransaction(n.Peers(), "feat", "set", []string{"locked", "1"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.SubmitTransaction(n.Peers(), "feat", "lock",
+		[]string{"locked", "AND(org1.peer, org2.peer)"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("lock tx = %v", res.Code)
+	}
+	// The parameter is readable.
+	spec, err := cl.EvaluateTransaction(n.Peer("org1"), "feat", "policyOf", "locked")
+	if err != nil || string(spec) != "AND(org1.peer, org2.peer)" {
+		t.Fatalf("policyOf = %q, %v", spec, err)
+	}
+
+	// A write endorsed by org1+org2 satisfies the key-level policy.
+	res, err = cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
+		"feat", "set", []string{"locked", "2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("authorized write = %v", res.Code)
+	}
+
+	// org1+org3 clears MAJORITY but NOT the key-level policy: rejected.
+	// (Without key-level validation this would commit — the same class
+	// of misuse the paper's write injection exploits.)
+	prop, _ := cl.NewProposal("feat", "set", []string{"locked", "666"}, nil)
+	tx, _, err := cl.Endorse(prop, []*peer.Peer{n.Peer("org1"), n.Peer("org3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cl.Order(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != ledger.EndorsementPolicyFailure {
+		t.Fatalf("unauthorized write = %v, want ENDORSEMENT_POLICY_FAILURE", out.Code)
+	}
+	if v, _, _ := n.Peer("org2").WorldState().Get("feat", "locked"); string(v) != "2" {
+		t.Fatalf("locked key = %q, want 2", v)
+	}
+
+	// Unlocked keys still follow the chaincode-level policy.
+	res, err = cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1"), n.Peer("org3")},
+		"feat", "set", []string{"free", "1"}, nil)
+	if err != nil || res.Code != ledger.Valid {
+		t.Fatalf("free key write: %v %v", res, err)
+	}
+
+	// Re-locking a locked key is governed by the key-level policy too.
+	prop, _ = cl.NewProposal("feat", "lock", []string{"locked", "OR(org3.peer)"}, nil)
+	tx, _, err = cl.Endorse(prop, []*peer.Peer{n.Peer("org1"), n.Peer("org3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = cl.Order(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != ledger.EndorsementPolicyFailure {
+		t.Fatalf("policy hijack = %v, want ENDORSEMENT_POLICY_FAILURE", out.Code)
+	}
+}
+
+func TestImplicitCollections(t *testing.T) {
+	n := newFeatureNet(t)
+	cl := n.Client("org1")
+
+	// org1 writes into its implicit collection via its own peer.
+	res, err := cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1")},
+		"feat", "putImplicit", []string{"k", "mine"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("implicit write = %v", res.Code)
+	}
+
+	// The original lives only at org1; hashes everywhere.
+	coll := pvtdata.ImplicitCollectionPrefix + "org1"
+	if v, _, ok := n.Peer("org1").PvtStore().GetPrivate("feat", coll, "k"); !ok || string(v) != "mine" {
+		t.Fatalf("org1 implicit data = %q %v", v, ok)
+	}
+	for _, org := range []string{"org2", "org3"} {
+		if _, _, ok := n.Peer(org).PvtStore().GetPrivate("feat", coll, "k"); ok {
+			t.Fatalf("%s holds org1's implicit data", org)
+		}
+		if _, _, ok := n.Peer(org).PvtStore().GetPrivateHash("feat", coll, "k"); !ok {
+			t.Fatalf("%s lacks the hash", org)
+		}
+	}
+
+	// org1 reads it back.
+	payload, err := cl.EvaluateTransaction(n.Peer("org1"), "feat", "getImplicit", "k")
+	if err != nil || string(payload) != "mine" {
+		t.Fatalf("implicit read = %q, %v", payload, err)
+	}
+
+	// A client of another org cannot write into org1's implicit
+	// collection (MemberOnlyWrite), regardless of which peer endorses.
+	org2cl := n.Client("org2")
+	prop, _ := org2cl.NewProposal("feat", "putImplicitFor", []string{"org1", "k", "theirs"}, nil)
+	_, _, err = org2cl.Endorse(prop, []*peer.Peer{n.Peer("org2")})
+	if err == nil || !strings.Contains(err.Error(), "member-only write") {
+		t.Fatalf("foreign implicit write: %v", err)
+	}
+	// And cannot read it either (MemberOnlyRead) — the implicit
+	// collection is fully private to its org.
+	_, err = org2cl.EvaluateTransaction(n.Peer("org1"), "feat", "getImplicitFor", "org1", "k")
+	if err == nil {
+		t.Fatal("foreign implicit read succeeded")
+	}
+}
+
+func TestMemberOnlyWriteOnExplicitCollection(t *testing.T) {
+	n, err := New(Options{Orgs: []string{"org1", "org2", "org3"}, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := &chaincode.Definition{
+		Name:    "asset",
+		Version: "1.0",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:            "pdc1",
+			MemberPolicy:    "OR(org1.member, org2.member)",
+			MaxPeerCount:    3,
+			MemberOnlyWrite: true,
+		}},
+	}
+	if err := n.DeployChaincode(def, testPDCImpl()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A member client writes fine.
+	cl := n.Client("org1")
+	if _, err := cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
+		"asset", "setPrivate", []string{"k", "12"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-member client is rejected at endorsement — even by a
+	// non-member peer, since the check is on the creator.
+	cl3 := n.Client("org3")
+	prop, _ := cl3.NewProposal("asset", "setPrivate", []string{"k", "5"}, nil)
+	if _, _, err := cl3.Endorse(prop, []*peer.Peer{n.Peer("org3")}); err == nil {
+		t.Fatal("non-member client wrote a member-only-write collection")
+	}
+}

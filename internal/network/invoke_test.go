@@ -1,0 +1,93 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/ledger"
+)
+
+// TestCrossChaincodeInvocation deploys two chaincodes where "frontend"
+// delegates to "backend", and checks the callee's writes land in its own
+// namespace and are committed atomically with the caller's.
+func TestCrossChaincodeInvocation(t *testing.T) {
+	n, err := New(Options{Orgs: []string{"org1", "org2", "org3"}, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backend := chaincode.Router{
+		"record": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if err := stub.PutState("log~"+args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse([]byte("recorded"))
+		},
+	}
+	frontend := chaincode.Router{
+		"setAndLog": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if err := stub.PutState(args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			resp, err := stub.InvokeChaincode("backend", "record", args)
+			if err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			if resp.Status != ledger.StatusOK {
+				return chaincode.ErrorResponse("backend: " + resp.Message)
+			}
+			return chaincode.SuccessResponse(resp.Payload)
+		},
+		"callGhost": func(stub chaincode.Stub) ledger.Response {
+			if _, err := stub.InvokeChaincode("ghost", "f", nil); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+	}
+	if err := n.DeployChaincode(&chaincode.Definition{Name: "backend", Version: "1.0"}, backend); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeployChaincode(&chaincode.Definition{Name: "frontend", Version: "1.0"}, frontend); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := n.Client("org1")
+	res, err := cl.SubmitTransaction(n.Peers(), "frontend", "setAndLog", []string{"k", "v"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid || string(res.Payload) != "recorded" {
+		t.Fatalf("res = %+v", res)
+	}
+
+	// Both namespaces committed on every peer.
+	for _, p := range n.Peers() {
+		if v, _, _ := p.WorldState().Get("frontend", "k"); string(v) != "v" {
+			t.Errorf("%s: frontend ns = %q", p.Name(), v)
+		}
+		if v, _, _ := p.WorldState().Get("backend", "log~k"); string(v) != "v" {
+			t.Errorf("%s: backend ns = %q", p.Name(), v)
+		}
+	}
+
+	// The transaction's rwset carries both namespaces.
+	tx, _, err := n.Peer("org2").Ledger().Transaction(res.TxID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prp, _ := tx.ResponsePayloadParsed()
+	set, _ := prp.RWSet()
+	if len(set.NsRWSets) != 2 {
+		t.Fatalf("namespaces in rwset = %d, want 2", len(set.NsRWSets))
+	}
+
+	// Calling an uninstalled chaincode surfaces an error.
+	_, err = cl.SubmitTransaction(n.Peers(), "frontend", "callGhost", nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "unavailable") {
+		t.Fatalf("ghost call: %v", err)
+	}
+}

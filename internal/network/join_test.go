@@ -1,0 +1,140 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/contracts"
+	"repro/internal/ledger"
+	"repro/internal/peer"
+	"repro/internal/pvtdata"
+)
+
+func TestMultiPeerOrgGossipWithinOrg(t *testing.T) {
+	n, err := New(Options{
+		Orgs:        []string{"org1", "org2", "org3"},
+		PeersPerOrg: 2,
+		Seed:        51,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := &chaincode.Definition{
+		Name:    "asset",
+		Version: "1.0",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:              "pdc1",
+			MemberPolicy:      "OR(org1.member, org2.member)",
+			RequiredPeerCount: 1,
+			MaxPeerCount:      4,
+		}},
+	}
+	if err := n.DeployChaincode(def, testPDCImpl()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Peers()); got != 6 {
+		t.Fatalf("peers = %d, want 6", got)
+	}
+	if got := len(n.OrgPeers("org1")); got != 2 {
+		t.Fatalf("org1 peers = %d, want 2", got)
+	}
+
+	// Endorse via the anchor peers only; the second peers of each
+	// member org must still receive the private data (via gossip
+	// dissemination) and commit it.
+	cl := n.Client("org1")
+	res, err := cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
+		"asset", "setPrivate", []string{"k1", "12"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("code = %v", res.Code)
+	}
+	for _, name := range []string{"peer0.org1", "peer1.org1", "peer0.org2", "peer1.org2"} {
+		p := n.PeerNamed(name)
+		if v, _, ok := p.PvtStore().GetPrivate("asset", "pdc1", "k1"); !ok || string(v) != "12" {
+			t.Errorf("%s: private data = %q %v", name, v, ok)
+		}
+	}
+	for _, name := range []string{"peer0.org3", "peer1.org3"} {
+		if _, _, ok := n.PeerNamed(name).PvtStore().GetPrivate("asset", "pdc1", "k1"); ok {
+			t.Errorf("%s: non-member holds private data", name)
+		}
+	}
+}
+
+func TestLateJoiningPeerCatchesUp(t *testing.T) {
+	n := newTestNet(t)
+	cl := n.Client("org1")
+
+	// Build history: public writes, a PDC write and an invalid tx.
+	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"a", "1"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.SubmitTransaction(
+		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
+		"asset", "setPrivate", []string{"k1", "12"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	prop, _ := cl.NewProposal("asset", "set", []string{"b", "2"}, nil)
+	tx, _, err := cl.Endorse(prop, []*peer.Peer{n.Peer("org1")}) // minority
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Order(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new org2 peer joins and replays.
+	joined, err := n.JoinPeer("org2", "peer9.org2", func(p *peer.Peer) error {
+		if err := p.ApproveDefinition(n.Peer("org2").Definition("asset")); err != nil {
+			return err
+		}
+		merged := contracts.NewPublicAsset()
+		for name, fn := range contracts.NewPDC(contracts.PDCOptions{
+			Collection: "pdc1", Constraint: contracts.MinValue(10),
+		}) {
+			merged[name] = fn
+		}
+		p.InstallChaincode("asset", merged)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chain height and state match the anchor peer.
+	anchor := n.Peer("org2")
+	if joined.Ledger().Height() != anchor.Ledger().Height() {
+		t.Fatalf("height %d != anchor %d", joined.Ledger().Height(), anchor.Ledger().Height())
+	}
+	if v, _, _ := joined.WorldState().Get("asset", "a"); string(v) != "1" {
+		t.Fatalf("replayed state a = %q", v)
+	}
+	if _, _, ok := joined.WorldState().Get("asset", "b"); ok {
+		t.Fatal("invalid tx applied during replay")
+	}
+	// As an org2 (member) peer it recovers the private value via
+	// gossip reconciliation during replay, or at minimum the hash.
+	if _, _, ok := joined.PvtStore().GetPrivateHash("asset", "pdc1", "k1"); !ok {
+		t.Fatal("joined peer lacks private data hash")
+	}
+
+	// The joined peer participates in new transactions immediately.
+	res, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"c", "3"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("post-join tx = %v", res.Code)
+	}
+	if v, _, _ := joined.WorldState().Get("asset", "c"); string(v) != "3" {
+		t.Fatalf("joined peer missed live block: c = %q", v)
+	}
+
+	if _, err := n.JoinPeer("ghost-org", "peer0.ghost", nil); err == nil {
+		t.Fatal("join into unknown org succeeded")
+	}
+}

@@ -1,0 +1,272 @@
+// Package network assembles complete Fabric networks: organizations with
+// CAs, peers, clients, a Raft ordering service and a gossip fabric, wired
+// together in-process. It is the reproduction's equivalent of the
+// fabric-samples "test network" the paper builds its prototypes on
+// (§V: "We build prototype systems following the test-network guideline").
+package network
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/chaincode"
+	"repro/internal/channel"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/orderer"
+	"repro/internal/peer"
+)
+
+// Options configures a network build.
+type Options struct {
+	// ChannelName defaults to "c1".
+	ChannelName string
+	// Orgs are the organization names; each contributes PeersPerOrg
+	// peers ("peer<i>.<org>") and one client ("client0.<org>").
+	Orgs []string
+	// PeersPerOrg is how many peers each organization runs (default 1).
+	PeersPerOrg int
+	// DefaultEndorsement overrides the channel default policy rule
+	// (default "MAJORITY Endorsement").
+	DefaultEndorsement string
+	// OrdererCount sizes the Raft cluster (default 3).
+	OrdererCount int
+	// BatchSize is the orderer block-cut threshold (default 1).
+	BatchSize int
+	// Security selects the active defense features for every node.
+	Security core.SecurityConfig
+	// Seed drives deterministic Raft jitter.
+	Seed int64
+	// CAs, when set, supplies pre-existing organization CAs instead of
+	// creating fresh ones — used by the consortium package so the same
+	// organizations can join multiple channels with one identity root.
+	CAs map[string]*identity.CA
+}
+
+// Network is a running in-process Fabric network.
+type Network struct {
+	Channel *channel.Config
+	Orderer *orderer.Service
+	Gossip  *gossip.Network
+
+	cas     map[string]*identity.CA
+	peers   map[string]*peer.Peer     // "peer0.org1" -> peer
+	clients map[string]*client.Client // "client0.org1" -> client
+	orgs    []string
+	sec     core.SecurityConfig
+}
+
+// New builds and starts a network per the options.
+func New(opts Options) (*Network, error) {
+	if len(opts.Orgs) == 0 {
+		return nil, fmt.Errorf("network: no organizations")
+	}
+	name := opts.ChannelName
+	if name == "" {
+		name = "c1"
+	}
+
+	n := &Network{
+		cas:     make(map[string]*identity.CA),
+		peers:   make(map[string]*peer.Peer),
+		clients: make(map[string]*client.Client),
+		orgs:    append([]string(nil), opts.Orgs...),
+		sec:     opts.Security,
+	}
+	sort.Strings(n.orgs)
+
+	var orgCfgs []channel.OrgConfig
+	for _, org := range n.orgs {
+		ca := opts.CAs[org]
+		if ca == nil {
+			var err error
+			ca, err = identity.NewCA(org)
+			if err != nil {
+				return nil, fmt.Errorf("network: %w", err)
+			}
+		}
+		n.cas[org] = ca
+		orgCfgs = append(orgCfgs, channel.OrgConfig{Name: org, CAPub: ca.PublicKey()})
+	}
+	n.Channel = channel.NewConfig(name, orgCfgs...)
+	if opts.DefaultEndorsement != "" {
+		n.Channel.DefaultEndorsement = opts.DefaultEndorsement
+	}
+
+	n.Gossip = gossip.NewNetwork()
+	n.Orderer = orderer.New(orderer.Config{
+		OrdererCount: opts.OrdererCount,
+		BatchSize:    opts.BatchSize,
+		Seed:         opts.Seed,
+	})
+
+	peersPerOrg := opts.PeersPerOrg
+	if peersPerOrg <= 0 {
+		peersPerOrg = 1
+	}
+	verifier := n.Channel.Verifier()
+	for _, org := range n.orgs {
+		var anchor *peer.Peer
+		for i := 0; i < peersPerOrg; i++ {
+			peerID, err := n.cas[org].Issue(fmt.Sprintf("peer%d.%s", i, org), identity.RolePeer)
+			if err != nil {
+				return nil, fmt.Errorf("network: %w", err)
+			}
+			p := peer.New(peer.Config{
+				Identity: peerID,
+				Channel:  n.Channel,
+				Gossip:   n.Gossip,
+				Security: opts.Security,
+			})
+			n.peers[p.Name()] = p
+			n.Orderer.RegisterDelivery(func(b *ledger.Block) { _ = p.CommitBlock(b) })
+			if anchor == nil {
+				anchor = p
+			}
+		}
+
+		clientID, err := n.cas[org].Issue("client0."+org, identity.RoleClient)
+		if err != nil {
+			return nil, fmt.Errorf("network: %w", err)
+		}
+		cl := client.New(client.Config{
+			Identity:   clientID,
+			Verifier:   verifier,
+			Orderer:    n.Orderer,
+			NotifyPeer: anchor,
+			Security:   opts.Security,
+		})
+		n.clients["client0."+org] = cl
+	}
+	return n, nil
+}
+
+// JoinPeer adds a new peer of an existing organization to a running
+// network: it issues an identity, lets setup approve chaincode
+// definitions and install implementations, then replays every block cut
+// so far and subscribes to future deliveries — a late join with state
+// catch-up, as Fabric peers do through the deliver service.
+func (n *Network) JoinPeer(org, name string, setup func(*peer.Peer) error) (*peer.Peer, error) {
+	ca := n.cas[org]
+	if ca == nil {
+		return nil, fmt.Errorf("network: unknown org %q", org)
+	}
+	peerID, err := ca.Issue(name, identity.RolePeer)
+	if err != nil {
+		return nil, fmt.Errorf("network: join peer: %w", err)
+	}
+	p := peer.New(peer.Config{
+		Identity: peerID,
+		Channel:  n.Channel,
+		Gossip:   n.Gossip,
+		Security: n.sec,
+	})
+	if setup != nil {
+		if err := setup(p); err != nil {
+			return nil, fmt.Errorf("network: join peer setup: %w", err)
+		}
+	}
+	// Queue live deliveries that race the catch-up replay, so the peer
+	// commits blocks strictly in order.
+	var mu sync.Mutex
+	caughtUp := false
+	var queued []*ledger.Block
+	backlog := n.Orderer.Subscribe(func(b *ledger.Block) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !caughtUp {
+			queued = append(queued, b)
+			return
+		}
+		_ = p.CommitBlock(b)
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for _, b := range append(backlog, queued...) {
+		if err := p.CommitBlock(b); err != nil {
+			return nil, fmt.Errorf("network: join peer catch-up: %w", err)
+		}
+	}
+	caughtUp = true
+	n.peers[p.Name()] = p
+	return p, nil
+}
+
+// Peer returns the organization's anchor peer, "peer0.<org>".
+func (n *Network) Peer(org string) *peer.Peer {
+	return n.peers["peer0."+org]
+}
+
+// PeerNamed returns a peer by full node name, e.g. "peer1.org2".
+func (n *Network) PeerNamed(name string) *peer.Peer {
+	return n.peers[name]
+}
+
+// OrgPeers returns all peers of one organization, sorted by name.
+func (n *Network) OrgPeers(org string) []*peer.Peer {
+	var out []*peer.Peer
+	for _, p := range n.Peers() {
+		if p.Org() == org {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Client returns the client named "client0.<org>".
+func (n *Network) Client(org string) *client.Client {
+	return n.clients["client0."+org]
+}
+
+// Peers returns all peers sorted by name.
+func (n *Network) Peers() []*peer.Peer {
+	names := make([]string, 0, len(n.peers))
+	for name := range n.peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*peer.Peer, len(names))
+	for i, name := range names {
+		out[i] = n.peers[name]
+	}
+	return out
+}
+
+// Orgs returns the sorted organization names.
+func (n *Network) Orgs() []string { return append([]string(nil), n.orgs...) }
+
+// CA returns an organization's certificate authority, for issuing extra
+// identities in tests and attack harnesses.
+func (n *Network) CA(org string) *identity.CA { return n.cas[org] }
+
+// DeployChaincode approves the definition on every peer and installs the
+// given implementation on every peer (the honest, uniform deployment).
+// Use Peer(org).InstallChaincode to override individual peers with
+// customized — or malicious — variants afterwards.
+func (n *Network) DeployChaincode(def *chaincode.Definition, impl chaincode.Chaincode) error {
+	for _, p := range n.peers {
+		if err := p.ApproveDefinition(def); err != nil {
+			return err
+		}
+		p.InstallChaincode(def.Name, impl)
+	}
+	return nil
+}
+
+// SetSecurity swaps the security configuration on every node.
+func (n *Network) SetSecurity(sec core.SecurityConfig) {
+	n.sec = sec
+	for _, p := range n.peers {
+		p.SetSecurity(sec)
+	}
+	for _, c := range n.clients {
+		c.SetSecurity(sec)
+	}
+}
+
+// Security returns the network's current security configuration.
+func (n *Network) Security() core.SecurityConfig { return n.sec }

@@ -1,0 +1,243 @@
+// Package orderer implements the ordering service: a cluster of orderer
+// nodes running Raft that blindly bundles endorsed transactions into
+// blocks — without validating transaction content, exactly as in the
+// paper's §II-A2 — and delivers each block to every peer in the channel.
+package orderer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/raft"
+)
+
+// Config parameterizes the ordering service.
+type Config struct {
+	// OrdererCount is the size of the raft cluster.
+	OrdererCount int
+	// BatchSize is the number of transactions that triggers a block cut.
+	BatchSize int
+	// BatchTimeout, when non-zero, cuts a partial batch this long after
+	// the first pending transaction arrived, mirroring Fabric's
+	// BatchTimeout. Zero leaves cutting to BatchSize and explicit
+	// Flush calls.
+	BatchTimeout time.Duration
+	// Seed drives the raft cluster's deterministic jitter.
+	Seed int64
+	// MaxTicks bounds how long a single consensus round may take.
+	MaxTicks int
+	// SnapshotInterval, when non-zero, compacts the raft log every N
+	// cut blocks. The ordered transactions live on in the retained
+	// blocks, so the log entries are redundant once applied.
+	SnapshotInterval uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.OrdererCount == 0 {
+		c.OrdererCount = 3
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
+	}
+	if c.MaxTicks == 0 {
+		c.MaxTicks = 500
+	}
+	return c
+}
+
+// BlockHandler receives a freshly cut block. Peers register one handler
+// each; the orderer invokes all handlers for every block.
+type BlockHandler func(*ledger.Block)
+
+// Service is the ordering service facade. Transactions submitted through
+// Submit are totally ordered by the raft cluster, cut into blocks and
+// delivered to all registered peers.
+type Service struct {
+	mu       sync.Mutex
+	cfg      Config
+	cluster  *raft.Cluster
+	pending  []*ledger.Transaction
+	height   uint64
+	lastHash []byte
+	handlers []BlockHandler
+	// blocks retains every cut block so late-joining peers can catch
+	// up via Deliver (Fabric's deliver service).
+	blocks []*ledger.Block
+	// delivered counts blocks cut, for monitoring.
+	delivered uint64
+	// batchTimer cuts a partial batch at BatchTimeout expiry.
+	batchTimer *time.Timer
+	metrics    metrics.Counters
+}
+
+// New creates an ordering service with its raft cluster.
+func New(cfg Config) *Service {
+	c := cfg.withDefaults()
+	return &Service{
+		cfg:     c,
+		cluster: raft.NewCluster(c.OrdererCount, c.Seed),
+	}
+}
+
+// RegisterDelivery adds a block handler (one per peer).
+func (s *Service) RegisterDelivery(h BlockHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers = append(s.handlers, h)
+}
+
+// Cluster exposes the raft cluster for failure-injection tests.
+func (s *Service) Cluster() *raft.Cluster {
+	return s.cluster
+}
+
+// Height returns the number of blocks cut so far.
+func (s *Service) Height() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.height
+}
+
+// Submit orders a transaction. The call drives raft to commit the
+// transaction and cuts a block once BatchSize transactions have
+// accumulated. Orderers do not inspect transaction content.
+func (s *Service) Submit(tx *ledger.Transaction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := len(s.cluster.Committed())
+	if _, err := s.cluster.Propose(tx.Bytes(), s.cfg.MaxTicks); err != nil {
+		return fmt.Errorf("orderer: order tx %s: %w", tx.TxID, err)
+	}
+	// Collect every newly committed entry (raft may commit entries from
+	// earlier proposals together).
+	committed := s.cluster.Committed()
+	for _, e := range committed[before:] {
+		parsed, err := ledger.ParseTransaction(e.Data)
+		if err != nil {
+			return fmt.Errorf("orderer: committed entry %d: %w", e.Index, err)
+		}
+		s.pending = append(s.pending, parsed)
+	}
+	for len(s.pending) >= s.cfg.BatchSize {
+		s.cutBlockLocked(s.pending[:s.cfg.BatchSize])
+		s.pending = s.pending[s.cfg.BatchSize:]
+	}
+	s.armBatchTimerLocked()
+	return nil
+}
+
+// armBatchTimerLocked schedules (or cancels) the BatchTimeout cut
+// depending on whether transactions are pending.
+func (s *Service) armBatchTimerLocked() {
+	if s.cfg.BatchTimeout <= 0 {
+		return
+	}
+	if len(s.pending) == 0 {
+		if s.batchTimer != nil {
+			s.batchTimer.Stop()
+			s.batchTimer = nil
+		}
+		return
+	}
+	if s.batchTimer == nil {
+		s.batchTimer = time.AfterFunc(s.cfg.BatchTimeout, s.Flush)
+	}
+}
+
+// Flush cuts a block from any pending transactions regardless of batch
+// size, modeling Fabric's BatchTimeout expiry.
+func (s *Service) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.batchTimer != nil {
+		s.batchTimer.Stop()
+		s.batchTimer = nil
+	}
+	if len(s.pending) == 0 {
+		return
+	}
+	s.cutBlockLocked(s.pending)
+	s.pending = nil
+}
+
+func (s *Service) cutBlockLocked(txs []*ledger.Transaction) {
+	batch := make([]*ledger.Transaction, len(txs))
+	copy(batch, txs)
+	block := ledger.NewBlock(s.height, s.lastHash, batch)
+	s.height++
+	s.lastHash = block.Hash()
+	s.delivered++
+	s.blocks = append(s.blocks, block)
+	s.metrics.Inc(metrics.BlocksOrdered)
+	s.metrics.Add(metrics.TxOrdered, uint64(len(batch)))
+	if s.cfg.SnapshotInterval > 0 && s.delivered%s.cfg.SnapshotInterval == 0 {
+		// Every committed entry behind the latest cut block is
+		// recoverable from s.blocks; drop it from the raft logs.
+		if committed := s.cluster.Committed(); len(committed) > 0 {
+			s.cluster.Compact(committed[len(committed)-1].Index)
+		}
+	}
+	handlers := append([]BlockHandler(nil), s.handlers...)
+	// Deliver outside our own state mutation but under the lock so
+	// blocks arrive at every peer in order. Each peer receives its own
+	// clone and records its own validation flags.
+	for _, h := range handlers {
+		h(block.Clone())
+	}
+}
+
+// Subscribe atomically returns clones of every block cut so far and
+// registers the handler for all future blocks, so a late-joining peer
+// misses nothing between catch-up and live delivery.
+func (s *Service) Subscribe(h BlockHandler) []*ledger.Block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*ledger.Block, 0, len(s.blocks))
+	for _, b := range s.blocks {
+		out = append(out, b.Clone())
+	}
+	s.handlers = append(s.handlers, h)
+	return out
+}
+
+// Deliver returns clones of all cut blocks from number `from` on —
+// Fabric's deliver service, used by late-joining peers to catch up.
+func (s *Service) Deliver(from uint64) []*ledger.Block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from >= uint64(len(s.blocks)) {
+		return nil
+	}
+	out := make([]*ledger.Block, 0, uint64(len(s.blocks))-from)
+	for _, b := range s.blocks[from:] {
+		out = append(out, b.Clone())
+	}
+	return out
+}
+
+// Metrics returns a snapshot of the ordering service's counters.
+func (s *Service) Metrics() map[string]uint64 { return s.metrics.Snapshot() }
+
+// CrashLeader crashes the current raft leader, for failure-injection
+// tests; returns the crashed node ID or "".
+func (s *Service) CrashLeader() raft.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	leader, err := s.cluster.ElectLeader(s.cfg.MaxTicks)
+	if err != nil {
+		return ""
+	}
+	id := leader.ID()
+	s.cluster.Crash(id)
+	return id
+}
+
+// RestartNode brings a crashed orderer back.
+func (s *Service) RestartNode(id raft.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cluster.Restart(id)
+}

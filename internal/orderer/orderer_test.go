@@ -1,0 +1,203 @@
+package orderer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+func tx(id string) *ledger.Transaction {
+	return &ledger.Transaction{
+		TxID:            id,
+		ChannelID:       "c1",
+		Proposal:        &ledger.Proposal{TxID: id},
+		ResponsePayload: []byte(`{"tx_id":"` + id + `"}`),
+	}
+}
+
+func TestOrderingAndDelivery(t *testing.T) {
+	svc := New(Config{OrdererCount: 3, BatchSize: 1, Seed: 1})
+	var mu sync.Mutex
+	var delivered []*ledger.Block
+	svc.RegisterDelivery(func(b *ledger.Block) {
+		mu.Lock()
+		defer mu.Unlock()
+		delivered = append(delivered, b)
+	})
+
+	for i := 0; i < 3; i++ {
+		if err := svc.Submit(tx(fmt.Sprintf("tx%d", i))); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if len(delivered) != 3 {
+		t.Fatalf("delivered %d blocks", len(delivered))
+	}
+	for i, b := range delivered {
+		if b.Header.Number != uint64(i) {
+			t.Fatalf("block %d numbered %d", i, b.Header.Number)
+		}
+		if len(b.Transactions) != 1 || b.Transactions[i%1].TxID != fmt.Sprintf("tx%d", i) {
+			t.Fatalf("block %d contents wrong", i)
+		}
+		if !b.VerifyDataHash() {
+			t.Fatalf("block %d data hash broken", i)
+		}
+	}
+	if svc.Height() != 3 {
+		t.Fatalf("height = %d", svc.Height())
+	}
+}
+
+func TestBatchingAndFlush(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 3, Seed: 2})
+	var delivered []*ledger.Block
+	svc.RegisterDelivery(func(b *ledger.Block) { delivered = append(delivered, b) })
+
+	_ = svc.Submit(tx("a"))
+	_ = svc.Submit(tx("b"))
+	if len(delivered) != 0 {
+		t.Fatal("block cut before batch size")
+	}
+	_ = svc.Submit(tx("c"))
+	if len(delivered) != 1 || len(delivered[0].Transactions) != 3 {
+		t.Fatalf("batch cut wrong: %d blocks", len(delivered))
+	}
+
+	// Flush cuts a partial batch (the BatchTimeout path).
+	_ = svc.Submit(tx("d"))
+	svc.Flush()
+	if len(delivered) != 2 || len(delivered[1].Transactions) != 1 {
+		t.Fatalf("flush cut wrong")
+	}
+	svc.Flush() // empty flush is a no-op
+	if len(delivered) != 2 {
+		t.Fatal("empty flush cut a block")
+	}
+}
+
+func TestBlocksChainAcrossBatches(t *testing.T) {
+	svc := New(Config{OrdererCount: 3, BatchSize: 1, Seed: 3})
+	var blocks []*ledger.Block
+	svc.RegisterDelivery(func(b *ledger.Block) { blocks = append(blocks, b) })
+	_ = svc.Submit(tx("a"))
+	_ = svc.Submit(tx("b"))
+
+	if got, want := string(blocks[1].Header.PrevHash), string(blocks[0].Hash()); got != want {
+		t.Fatal("blocks do not chain")
+	}
+}
+
+func TestEachPeerGetsOwnClone(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 1, Seed: 4})
+	var b1, b2 *ledger.Block
+	svc.RegisterDelivery(func(b *ledger.Block) { b1 = b })
+	svc.RegisterDelivery(func(b *ledger.Block) { b2 = b })
+	_ = svc.Submit(tx("a"))
+	if b1 == b2 {
+		t.Fatal("peers share a block instance")
+	}
+	b1.Metadata.ValidationFlags[0] = ledger.MVCCConflict
+	if b2.Metadata.ValidationFlags[0] == ledger.MVCCConflict {
+		t.Fatal("validation flags shared across peers")
+	}
+}
+
+// TestLeaderCrashMidStream crashes the raft leader between submissions;
+// ordering must continue through the re-elected leader.
+func TestLeaderCrashMidStream(t *testing.T) {
+	svc := New(Config{OrdererCount: 3, BatchSize: 1, Seed: 5})
+	var delivered []*ledger.Block
+	svc.RegisterDelivery(func(b *ledger.Block) { delivered = append(delivered, b) })
+
+	if err := svc.Submit(tx("before")); err != nil {
+		t.Fatal(err)
+	}
+	crashed := svc.CrashLeader()
+	if crashed == "" {
+		t.Fatal("no leader to crash")
+	}
+	if err := svc.Submit(tx("after")); err != nil {
+		t.Fatalf("submit after leader crash: %v", err)
+	}
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d blocks", len(delivered))
+	}
+	if delivered[1].Transactions[0].TxID != "after" {
+		t.Fatal("post-crash transaction lost")
+	}
+	svc.RestartNode(crashed)
+	if err := svc.Submit(tx("final")); err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != 3 {
+		t.Fatal("post-restart submission lost")
+	}
+}
+
+func TestOrdererDoesNotInspectContent(t *testing.T) {
+	// Orderers bundle blindly: a transaction with a bogus payload is
+	// ordered fine (validation happens at peers).
+	svc := New(Config{OrdererCount: 1, BatchSize: 1, Seed: 6})
+	var delivered []*ledger.Block
+	svc.RegisterDelivery(func(b *ledger.Block) { delivered = append(delivered, b) })
+	bogus := tx("bogus")
+	bogus.ResponsePayload = []byte("not-even-json")
+	if err := svc.Submit(bogus); err != nil {
+		t.Fatalf("orderer rejected content: %v", err)
+	}
+	if len(delivered) != 1 {
+		t.Fatal("bogus tx not delivered")
+	}
+}
+
+func TestBatchTimeoutCutsPartialBatch(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 100, BatchTimeout: 20 * time.Millisecond, Seed: 7})
+	blockCh := make(chan *ledger.Block, 1)
+	svc.RegisterDelivery(func(b *ledger.Block) { blockCh <- b })
+
+	if err := svc.Submit(tx("timed")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-blockCh:
+		if len(b.Transactions) != 1 || b.Transactions[0].TxID != "timed" {
+			t.Fatalf("timeout block wrong: %+v", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("BatchTimeout did not cut a block")
+	}
+	// No further block appears (timer disarmed).
+	select {
+	case <-blockCh:
+		t.Fatal("spurious second block")
+	case <-time.After(60 * time.Millisecond):
+	}
+}
+
+func TestSnapshotIntervalCompactsRaftLog(t *testing.T) {
+	svc := New(Config{OrdererCount: 3, BatchSize: 1, Seed: 8, SnapshotInterval: 2})
+	svc.RegisterDelivery(func(*ledger.Block) {})
+	for i := 0; i < 6; i++ {
+		if err := svc.Submit(tx(fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leader, err := svc.Cluster().ElectLeader(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader.FirstIndex() == 0 {
+		t.Fatal("raft log never compacted despite SnapshotInterval")
+	}
+	// Ordering continues after compaction.
+	if err := svc.Submit(tx("post")); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Height() != 7 {
+		t.Fatalf("height = %d", svc.Height())
+	}
+}

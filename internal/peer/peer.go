@@ -1,0 +1,373 @@
+// Package peer assembles a Fabric peer node: world state, private data
+// stores, blockchain, chaincode registry, endorsement engine and
+// validation engine, plus the gossip surface for private data
+// dissemination.
+package peer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blockfile"
+	"repro/internal/chaincode"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/endorser"
+	"repro/internal/fabcrypto"
+	"repro/internal/gossip"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/pvtdata"
+	"repro/internal/rwset"
+	"repro/internal/statedb"
+	"repro/internal/validator"
+)
+
+// Peer is one peer node.
+type Peer struct {
+	id         *identity.Identity
+	channelCfg *channel.Config
+	db         *statedb.DB
+	pvt        *pvtdata.Store
+	transient  *pvtdata.TransientStore
+	blocks     *ledger.BlockStore
+	registry   *chaincode.Registry
+	endorser   *endorser.Endorser
+	validator  *validator.Validator
+	persist    *blockfile.Store
+	metrics    metrics.Counters
+
+	mu   sync.RWMutex
+	defs map[string]*chaincode.Definition
+
+	// commitListeners receive (blockNum, txID, code) after each
+	// transaction commit attempt; clients subscribe for notifications.
+	listenerMu      sync.RWMutex
+	commitListeners []CommitListener
+	eventListeners  []EventListener
+}
+
+// CommitListener observes transaction validation outcomes at this peer.
+type CommitListener func(blockNum uint64, txID string, code ledger.ValidationCode)
+
+// EventListener observes chaincode events of valid transactions.
+type EventListener func(blockNum uint64, txID string, event *ledger.ChaincodeEvent)
+
+// Config wires a peer.
+type Config struct {
+	// Identity is the peer's enrollment identity.
+	Identity *identity.Identity
+	// Channel is the channel configuration.
+	Channel *channel.Config
+	// Gossip is the channel's gossip network.
+	Gossip *gossip.Network
+	// Security selects the active defense features.
+	Security core.SecurityConfig
+	// PersistDir, when set, makes the peer's blockchain durable: every
+	// committed block is appended to an on-disk block file, and a peer
+	// restarted over the same directory rebuilds its world state by
+	// replay (use NewPersistent).
+	PersistDir string
+}
+
+// New creates a peer and joins it to the gossip network. For a durable
+// peer use NewPersistent, which also replays any existing block file.
+func New(cfg Config) *Peer {
+	db := statedb.New()
+	p := &Peer{
+		id:         cfg.Identity,
+		channelCfg: cfg.Channel,
+		db:         db,
+		pvt:        pvtdata.NewStore(db),
+		transient:  pvtdata.NewTransientStore(),
+		blocks:     ledger.NewBlockStore(),
+		registry:   chaincode.NewRegistry(),
+		defs:       make(map[string]*chaincode.Definition),
+	}
+	verifier := cfg.Channel.Verifier()
+	p.endorser = endorser.New(endorser.Config{
+		Identity:  cfg.Identity,
+		Verifier:  verifier,
+		Registry:  p.registry,
+		Defs:      p.Definition,
+		DB:        db,
+		Pvt:       p.pvt,
+		Transient: p.transient,
+		Gossip:    cfg.Gossip,
+		Security:  cfg.Security,
+	})
+	p.validator = validator.New(validator.Config{
+		SelfName:  cfg.Identity.Subject(),
+		SelfOrg:   cfg.Identity.MSPID(),
+		Channel:   cfg.Channel,
+		Verifier:  verifier,
+		Defs:      p.Definition,
+		DB:        db,
+		Pvt:       p.pvt,
+		Transient: p.transient,
+		Gossip:    cfg.Gossip,
+		Blocks:    p.blocks,
+		Security:  cfg.Security,
+	})
+	cfg.Gossip.Join(p)
+	return p
+}
+
+// NewPersistent creates a durable peer over cfg.PersistDir: existing
+// blocks are replayed to rebuild the world state, and every future
+// commit is appended to the block file before CommitBlock returns.
+func NewPersistent(cfg Config) (*Peer, error) {
+	if cfg.PersistDir == "" {
+		return nil, fmt.Errorf("peer: NewPersistent requires PersistDir")
+	}
+	p := New(cfg)
+	store, err := blockfile.Open(cfg.PersistDir)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", p.Name(), err)
+	}
+	p.persist = store
+	return p, nil
+}
+
+// Restore replays the persisted blockchain into the peer's in-memory
+// state. Chaincode definitions must be approved before calling Restore
+// (replay resolves collection configs through them).
+func (p *Peer) Restore() error {
+	if p.persist == nil {
+		return fmt.Errorf("peer %s: not persistent", p.Name())
+	}
+	blocks, err := p.persist.ReadAll()
+	if err != nil {
+		return fmt.Errorf("peer %s: restore: %w", p.Name(), err)
+	}
+	for _, b := range blocks {
+		if err := p.validator.ReplayBlock(b); err != nil {
+			return fmt.Errorf("peer %s: restore: %w", p.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Name returns the peer's node name, e.g. "peer0.org1".
+func (p *Peer) Name() string { return p.id.Subject() }
+
+// Org returns the peer's organization.
+func (p *Peer) Org() string { return p.id.MSPID() }
+
+// SetSecurity swaps the active security configuration on both engines.
+func (p *Peer) SetSecurity(sec core.SecurityConfig) {
+	p.endorser.SetSecurity(sec)
+	p.validator.SetSecurity(sec)
+}
+
+// ApproveDefinition records the channel-agreed chaincode definition
+// (name, policy, collections). All peers of a channel must approve the
+// same definition, mirroring Fabric's chaincode lifecycle.
+func (p *Peer) ApproveDefinition(def *chaincode.Definition) error {
+	for i := range def.Collections {
+		if err := def.Collections[i].Validate(); err != nil {
+			return fmt.Errorf("peer %s: approve %q: %w", p.Name(), def.Name, err)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.defs[def.Name] = def
+	return nil
+}
+
+// InstallChaincode installs this peer's implementation of a chaincode.
+// Different peers may install different implementations of the same
+// definition — Fabric's customizable chaincode.
+func (p *Peer) InstallChaincode(name string, cc chaincode.Chaincode) {
+	p.registry.Install(name, cc)
+}
+
+// Definition returns the approved definition of a chaincode, or nil.
+func (p *Peer) Definition(name string) *chaincode.Definition {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.defs[name]
+}
+
+// ProcessProposal endorses a transaction proposal (execution phase).
+func (p *Peer) ProcessProposal(prop *ledger.Proposal) (*ledger.ProposalResponse, error) {
+	resp, err := p.endorser.ProcessProposal(prop)
+	if err != nil {
+		p.metrics.Inc(metrics.ProposalsRefused)
+		return nil, err
+	}
+	p.metrics.Inc(metrics.ProposalsEndorsed)
+	return resp, nil
+}
+
+// Metrics returns a snapshot of the peer's operational counters.
+func (p *Peer) Metrics() map[string]uint64 { return p.metrics.Snapshot() }
+
+// CommitBlock runs the validation phase on a delivered block. The
+// orderer calls this for every peer through its delivery registration.
+func (p *Peer) CommitBlock(block *ledger.Block) error {
+	if err := p.validator.ValidateAndCommit(block); err != nil {
+		return err
+	}
+	if p.persist != nil {
+		// The block (with this peer's validation flags) becomes
+		// durable; on restart Restore trusts these flags.
+		if err := p.persist.Append(block); err != nil {
+			return fmt.Errorf("peer %s: persist: %w", p.Name(), err)
+		}
+	}
+	p.listenerMu.RLock()
+	listeners := append([]CommitListener(nil), p.commitListeners...)
+	eventListeners := append([]EventListener(nil), p.eventListeners...)
+	p.listenerMu.RUnlock()
+	p.metrics.Inc(metrics.BlocksCommitted)
+	for i, tx := range block.Transactions {
+		code := block.Metadata.ValidationFlags[i]
+		p.metrics.Inc(metrics.TxValidPrefix + code.String())
+		for _, l := range listeners {
+			l(block.Header.Number, tx.TxID, code)
+		}
+		if code != ledger.Valid || len(eventListeners) == 0 {
+			continue
+		}
+		prp, err := tx.ResponsePayloadParsed()
+		if err != nil || prp.Event == nil {
+			continue
+		}
+		for _, l := range eventListeners {
+			l(block.Header.Number, tx.TxID, prp.Event)
+		}
+	}
+	return nil
+}
+
+// OnCommit subscribes a listener to transaction outcomes at this peer.
+func (p *Peer) OnCommit(l CommitListener) {
+	p.listenerMu.Lock()
+	defer p.listenerMu.Unlock()
+	p.commitListeners = append(p.commitListeners, l)
+}
+
+// OnEvent subscribes a listener to chaincode events of valid
+// transactions committed at this peer.
+func (p *Peer) OnEvent(l EventListener) {
+	p.listenerMu.Lock()
+	defer p.listenerMu.Unlock()
+	p.eventListeners = append(p.eventListeners, l)
+}
+
+// Ledger exposes the peer's blockchain, as any process colocated with the
+// peer can read it — the capability the PDC leakage attack (§IV-B) uses.
+func (p *Peer) Ledger() *ledger.BlockStore { return p.blocks }
+
+// WorldState exposes the peer's state database for inspection.
+func (p *Peer) WorldState() *statedb.DB { return p.db }
+
+// PvtStore exposes the peer's private data store for inspection.
+func (p *Peer) PvtStore() *pvtdata.Store { return p.pvt }
+
+// Validator exposes the validation engine (used by benchmarks to measure
+// validation latency in isolation).
+func (p *Peer) Validator() *validator.Validator { return p.validator }
+
+// MissingPrivateData reports collections whose original private data this
+// member peer failed to obtain for a transaction.
+func (p *Peer) MissingPrivateData(txID string) []string {
+	return p.validator.MissingPrivateData(txID)
+}
+
+// --- gossip.Member implementation ---
+
+var _ gossip.Member = (*Peer)(nil)
+
+// GossipName implements gossip.Member.
+func (p *Peer) GossipName() string { return p.Name() }
+
+// GossipOrg implements gossip.Member.
+func (p *Peer) GossipOrg() string { return p.Org() }
+
+// ReceivePrivateData implements gossip.Member: deposits a disseminated
+// private set into the transient store.
+func (p *Peer) ReceivePrivateData(set *rwset.TxPvtRWSet) {
+	p.transient.Persist(set)
+}
+
+// ServePrivateData implements gossip.Member: answers reconciliation
+// pulls from the transient store, falling back to reconstruction from
+// the committed private store — the path Fabric's reconciler uses when
+// the transient data has long been purged.
+func (p *Peer) ServePrivateData(txID, collection string) *rwset.CollPvtRWSet {
+	if set := p.transient.GetCollection(txID, collection); set != nil {
+		return set
+	}
+	return p.reconstructPvtSet(txID, collection)
+}
+
+// reconstructPvtSet rebuilds the original private write set of a
+// committed transaction by matching the transaction's hashed writes
+// against the peer's current private store. Only write-only sets whose
+// keys and values still match (i.e. were not overwritten since) can be
+// served this way.
+func (p *Peer) reconstructPvtSet(txID, collection string) *rwset.CollPvtRWSet {
+	tx, code, err := p.blocks.Transaction(txID)
+	if err != nil || code != ledger.Valid {
+		return nil
+	}
+	prp, err := tx.ResponsePayloadParsed()
+	if err != nil {
+		return nil
+	}
+	set, err := prp.RWSet()
+	if err != nil {
+		return nil
+	}
+	var hashed *rwset.CollHashedRWSet
+	for i := range set.CollSets {
+		if set.CollSets[i].Collection == collection {
+			hashed = &set.CollSets[i]
+			break
+		}
+	}
+	if hashed == nil || len(hashed.HashedReads) > 0 {
+		// Reads carry versions we cannot reconstruct faithfully.
+		return nil
+	}
+	orig := &rwset.CollPvtRWSet{Collection: collection}
+	for _, hw := range hashed.HashedWrites {
+		if hw.IsDelete {
+			return nil // deletes leave nothing to reconstruct
+		}
+		key, value, ok := p.findPrivateByHashes(prp.Chaincode, collection, hw.KeyHash, hw.ValueHash)
+		if !ok {
+			return nil
+		}
+		orig.Writes = append(orig.Writes, rwset.KVWrite{Key: key, Value: value})
+	}
+	if !rwset.MatchesHashed(orig, hashed) {
+		return nil
+	}
+	return orig
+}
+
+func (p *Peer) findPrivateByHashes(chaincodeName, collection string, keyHash, valueHash []byte) (string, []byte, bool) {
+	for _, key := range p.pvt.PrivateKeys(chaincodeName, collection) {
+		if !fabcrypto.Equal(fabcrypto.HashString(key), keyHash) {
+			continue
+		}
+		value, _, ok := p.pvt.GetPrivate(chaincodeName, collection, key)
+		if !ok || !fabcrypto.Equal(fabcrypto.Hash(value), valueHash) {
+			return "", nil, false
+		}
+		return key, value, true
+	}
+	return "", nil, false
+}
+
+// ReconcileMissing retries fetching private data this peer is missing
+// for committed transactions (via gossip, served from other members'
+// transient or committed stores) and commits what it recovers. Returns
+// the number of collections recovered.
+func (p *Peer) ReconcileMissing() int {
+	return p.validator.ReconcileMissing()
+}

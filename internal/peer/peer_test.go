@@ -1,0 +1,188 @@
+package peer
+
+import (
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/pvtdata"
+)
+
+// twoPeers wires two peers of different orgs over one gossip network and
+// one channel, without an orderer: tests deliver blocks by hand.
+func twoPeers(t *testing.T) (p1, p2 *Peer, clientID *identity.Identity) {
+	t.Helper()
+	ca1, err := identity.NewCA("org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := identity.NewCA("org2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := channel.NewConfig("c1",
+		channel.OrgConfig{Name: "org1", CAPub: ca1.PublicKey()},
+		channel.OrgConfig{Name: "org2", CAPub: ca2.PublicKey()},
+	)
+	gos := gossip.NewNetwork()
+	id1, _ := ca1.Issue("peer0.org1", identity.RolePeer)
+	id2, _ := ca2.Issue("peer0.org2", identity.RolePeer)
+	p1 = New(Config{Identity: id1, Channel: cfg, Gossip: gos, Security: core.OriginalFabric()})
+	p2 = New(Config{Identity: id2, Channel: cfg, Gossip: gos, Security: core.OriginalFabric()})
+	clientID, _ = ca1.Issue("client0.org1", identity.RoleClient)
+	return p1, p2, clientID
+}
+
+func deployEcho(t *testing.T, peers ...*Peer) {
+	t.Helper()
+	def := &chaincode.Definition{Name: "cc", Version: "1.0"}
+	impl := chaincode.Router{
+		"set": func(stub chaincode.Stub) ledger.Response {
+			args := stub.Args()
+			if err := stub.PutState(args[0], []byte(args[1])); err != nil {
+				return chaincode.ErrorResponse(err.Error())
+			}
+			return chaincode.SuccessResponse(nil)
+		},
+	}
+	for _, p := range peers {
+		if err := p.ApproveDefinition(def); err != nil {
+			t.Fatal(err)
+		}
+		p.InstallChaincode("cc", impl)
+	}
+}
+
+func proposal(t *testing.T, clientID *identity.Identity, fn string, args ...string) *ledger.Proposal {
+	t.Helper()
+	nonce, err := ledger.NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	creator := clientID.Cert.Bytes()
+	return &ledger.Proposal{
+		TxID:      ledger.NewTxID(nonce, creator),
+		ChannelID: "c1",
+		Chaincode: "cc",
+		Function:  fn,
+		Args:      args,
+		Creator:   creator,
+		Nonce:     nonce,
+	}
+}
+
+func TestPeerIdentityAccessors(t *testing.T) {
+	p1, _, _ := twoPeers(t)
+	if p1.Name() != "peer0.org1" || p1.Org() != "org1" {
+		t.Fatalf("accessors: %s / %s", p1.Name(), p1.Org())
+	}
+	if p1.GossipName() != p1.Name() || p1.GossipOrg() != p1.Org() {
+		t.Fatal("gossip surface disagrees with identity")
+	}
+}
+
+func TestApproveDefinitionValidates(t *testing.T) {
+	p1, _, _ := twoPeers(t)
+	bad := &chaincode.Definition{
+		Name: "cc",
+		Collections: []pvtdata.CollectionConfig{{
+			Name: "broken", MemberPolicy: "not-a-policy(",
+		}},
+	}
+	if err := p1.ApproveDefinition(bad); err == nil {
+		t.Fatal("broken collection config approved")
+	}
+	if p1.Definition("cc") != nil {
+		t.Fatal("failed approval registered the definition")
+	}
+}
+
+func TestEndorseCommitNotify(t *testing.T) {
+	p1, p2, clientID := twoPeers(t)
+	deployEcho(t, p1, p2)
+
+	prop := proposal(t, clientID, "set", "k", "v")
+	resp1, err := p1.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := p2.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := &ledger.Transaction{
+		TxID:            prop.TxID,
+		ChannelID:       "c1",
+		Creator:         prop.Creator,
+		Proposal:        prop,
+		ResponsePayload: resp1.Payload,
+		Endorsements:    []ledger.Endorsement{resp1.Endorsement, resp2.Endorsement},
+	}
+	block := ledger.NewBlock(0, nil, []*ledger.Transaction{tx})
+
+	var notified []ledger.ValidationCode
+	p1.OnCommit(func(blockNum uint64, txID string, code ledger.ValidationCode) {
+		if txID == prop.TxID {
+			notified = append(notified, code)
+		}
+	})
+	if err := p1.CommitBlock(block); err != nil {
+		t.Fatal(err)
+	}
+	if len(notified) != 1 || notified[0] != ledger.Valid {
+		t.Fatalf("notifications = %v", notified)
+	}
+	if v, _, _ := p1.WorldState().Get("cc", "k"); string(v) != "v" {
+		t.Fatalf("state = %q", v)
+	}
+	if p1.Ledger().Height() != 1 {
+		t.Fatalf("height = %d", p1.Ledger().Height())
+	}
+}
+
+func TestSecuritySwapPropagates(t *testing.T) {
+	p1, p2, clientID := twoPeers(t)
+	deployEcho(t, p1, p2)
+	p1.SetSecurity(core.Feature2Only())
+
+	resp, err := p1.ProcessProposal(proposal(t, clientID, "set", "k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.PlainPayload) == 0 {
+		t.Fatal("Feature 2 not active after SetSecurity")
+	}
+	p1.SetSecurity(core.OriginalFabric())
+	resp, err = p1.ProcessProposal(proposal(t, clientID, "set", "k", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PlainPayload != nil {
+		t.Fatal("Feature 2 still active after reverting")
+	}
+}
+
+func TestCommitBlockRejectsBrokenChain(t *testing.T) {
+	p1, p2, clientID := twoPeers(t)
+	deployEcho(t, p1, p2)
+	prop := proposal(t, clientID, "set", "k", "v")
+	resp, err := p1.ProcessProposal(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &ledger.Transaction{
+		TxID: prop.TxID, ChannelID: "c1", Creator: prop.Creator,
+		Proposal: prop, ResponsePayload: resp.Payload,
+		Endorsements: []ledger.Endorsement{resp.Endorsement},
+	}
+	// Block number 5 on an empty chain must be refused.
+	block := ledger.NewBlock(5, nil, []*ledger.Transaction{tx})
+	if err := p1.CommitBlock(block); err == nil {
+		t.Fatal("out-of-order block accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package perf
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/ledger"
+)
+
+// Harness exposes the measurement network for use by testing.B
+// benchmarks, which need per-iteration control instead of the batch
+// Measure* API.
+type Harness struct {
+	h *harness
+}
+
+// NewHarness builds a measurement network under the given security
+// configuration and pre-writes `seeded` private keys k0..k(n-1) = 12.
+func NewHarness(sec core.SecurityConfig, seeded int) (*Harness, error) {
+	h, err := newHarness(sec)
+	if err != nil {
+		return nil, err
+	}
+	cl := h.net.Client("org1")
+	for i := 0; i < seeded; i++ {
+		key := "k" + strconv.Itoa(i)
+		if _, err := cl.SubmitTransaction(h.members, "asset", "setPrivate", []string{key, "12"}, nil); err != nil {
+			return nil, fmt.Errorf("perf: seed %s: %w", key, err)
+		}
+	}
+	return &Harness{h: h}, nil
+}
+
+// ExecuteOnce runs the execution phase of one transaction of the given
+// kind against a member endorser; run selects the target key.
+func (h *Harness) ExecuteOnce(kind TxKind, run int) error {
+	fn, args, err := h.h.proposalFor(kind, run)
+	if err != nil {
+		return err
+	}
+	cl := h.h.net.Client("org1")
+	prop, err := cl.NewProposal("asset", fn, args, nil)
+	if err != nil {
+		return err
+	}
+	_, err = h.h.net.Peer("org1").ProcessProposal(prop)
+	return err
+}
+
+// EndorseTx collects the member endorsements of one transaction of the
+// given kind without ordering it.
+func (h *Harness) EndorseTx(kind TxKind, run int) (*ledger.Transaction, error) {
+	fn, args, err := h.h.proposalFor(kind, run)
+	if err != nil {
+		return nil, err
+	}
+	cl := h.h.net.Client("org1")
+	prop, err := cl.NewProposal("asset", fn, args, nil)
+	if err != nil {
+		return nil, err
+	}
+	tx, _, err := cl.Endorse(prop, h.h.members)
+	return tx, err
+}
+
+// ValidateOnce runs the validation phase of a pre-endorsed transaction
+// on a member peer (no commit).
+func (h *Harness) ValidateOnce(tx *ledger.Transaction) error {
+	if code := h.h.net.Peer("org2").Validator().ValidateTx(tx); code != ledger.Valid {
+		return fmt.Errorf("perf: validation returned %v", code)
+	}
+	return nil
+}
+
+// SubmitPublicOnce drives a full public transaction through the network
+// (endorse, order, validate, commit), for end-to-end throughput benches.
+func (h *Harness) SubmitPublicOnce(run int) error {
+	cl := h.h.net.Client("org1")
+	key := "pub" + strconv.Itoa(run)
+	_, err := cl.SubmitTransaction(h.h.net.Peers(), "asset", "set", []string{key, "v"}, nil)
+	return err
+}

@@ -1,0 +1,88 @@
+package perf
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ThroughputResult reports an end-to-end throughput measurement: full
+// endorse → order → validate → commit pipeline.
+type ThroughputResult struct {
+	Framework string
+	// Clients is the number of concurrent submitters.
+	Clients int
+	// Transactions completed.
+	Transactions int
+	// Elapsed wall clock.
+	Elapsed time.Duration
+	// TPS is Transactions / Elapsed.
+	TPS float64
+	// Invalid counts transactions that were ordered but invalidated
+	// (MVCC conflicts between concurrent submitters).
+	Invalid int
+}
+
+// MeasureThroughput drives `total` public transactions through the full
+// pipeline using `clients` concurrent submitters (each writing disjoint
+// keys, so contention is in the pipeline, not in MVCC).
+func MeasureThroughput(sec core.SecurityConfig, framework string, clients, total int) (ThroughputResult, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	h, err := newHarness(sec)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	perClient := total / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := h.net.Client("org1")
+			for i := 0; i < perClient; i++ {
+				key := "t" + strconv.Itoa(c) + "-" + strconv.Itoa(i)
+				if _, err := cl.SubmitTransaction(h.net.Peers(), "asset", "set", []string{key, "v"}, nil); err != nil {
+					errCh <- fmt.Errorf("perf: throughput client %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return ThroughputResult{}, err
+	}
+
+	done := clients * perClient
+	return ThroughputResult{
+		Framework:    framework,
+		Clients:      clients,
+		Transactions: done,
+		Elapsed:      elapsed,
+		TPS:          float64(done) / elapsed.Seconds(),
+	}, nil
+}
+
+// RenderThroughput prints a throughput comparison.
+func RenderThroughput(results []ThroughputResult) string {
+	out := "End-to-end throughput (endorse + order + validate + commit)\n"
+	out += fmt.Sprintf("%-12s%-10s%-8s%-12s%-10s\n", "framework", "clients", "txs", "elapsed", "tx/s")
+	for _, r := range results {
+		out += fmt.Sprintf("%-12s%-10d%-8d%-12s%-10.0f\n",
+			r.Framework, r.Clients, r.Transactions, r.Elapsed.Round(time.Millisecond), r.TPS)
+	}
+	return out
+}

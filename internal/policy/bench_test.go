@@ -1,0 +1,69 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/identity"
+)
+
+// benchSigners builds n signer certs org1..orgN.
+func benchSigners(n int) []*identity.Certificate {
+	out := make([]*identity.Certificate, n)
+	for i := range out {
+		out[i] = &identity.Certificate{
+			Org:  fmt.Sprintf("org%d", i+1),
+			Role: identity.RolePeer,
+		}
+	}
+	return out
+}
+
+// BenchmarkEvaluateMajority measures implicitMeta MAJORITY evaluation as
+// the consortium grows — the policy 116/120 of the paper's configtx
+// files use.
+func BenchmarkEvaluateMajority(b *testing.B) {
+	for _, orgs := range []int{3, 5, 10, 50} {
+		b.Run(fmt.Sprintf("orgs=%d", orgs), func(b *testing.B) {
+			table := make(map[string]Policy, orgs)
+			for i := 1; i <= orgs; i++ {
+				org := fmt.Sprintf("org%d", i)
+				table[org] = MustParse("OR(" + org + ".peer)")
+			}
+			meta, err := ResolveImplicitMeta(MetaMajority, "Endorsement", table)
+			if err != nil {
+				b.Fatal(err)
+			}
+			signers := benchSigners(orgs/2 + 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !meta.Evaluate(signers) {
+					b.Fatal("majority not satisfied")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateOutOf measures the paper's NOutOf policy shape.
+func BenchmarkEvaluateOutOf(b *testing.B) {
+	pol := MustParse("OutOf(2, org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)")
+	signers := benchSigners(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pol.Evaluate(signers) {
+			b.Fatal("not satisfied")
+		}
+	}
+}
+
+// BenchmarkParse measures policy-expression parsing.
+func BenchmarkParse(b *testing.B) {
+	src := "AND(org1.peer, OR(org2.peer, OutOf(2, org3.peer, org4.peer, org5.member)))"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

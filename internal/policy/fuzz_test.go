@@ -1,0 +1,72 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/identity"
+)
+
+// FuzzParse checks the policy parser never panics and that anything it
+// accepts round-trips through String and evaluates without panicking.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"AND(org1.peer, org2.peer)",
+		"OR(org1.member)",
+		"OutOf(2, org1.peer, org2.peer, org3.peer)",
+		"2OutOf(org1.peer, org2.peer)",
+		"MAJORITY Endorsement",
+		"AND(org1.peer, OR(org2.peer, OutOf(1, org3.client)))",
+		"AND(", "org1", "org1.", ")(", "OutOf(999, org1.peer)",
+		"", "   ", "AND(org1.peer,)", "\x00\x01", "AND(org1.peer))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	signers := []*identity.Certificate{
+		{Org: "org1", Role: identity.RolePeer},
+		{Org: "org2", Role: identity.RoleClient},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pol, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input: String must re-parse to the same rendering,
+		// and evaluation must not panic.
+		rendered := pol.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("rendering not stable: %q -> %q", rendered, again.String())
+		}
+		_ = pol.Evaluate(signers)
+		_ = pol.Evaluate(nil)
+		_ = pol.Principals()
+	})
+}
+
+// FuzzParseImplicitMetaSpec checks the implicitMeta spec parser.
+func FuzzParseImplicitMetaSpec(f *testing.F) {
+	for _, s := range []string{
+		"MAJORITY Endorsement", "ANY Readers", "ALL Writers",
+		`ImplicitMeta:"MAJORITY Endorsement"`, "bogus", "", "MAJORITY",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rule, name, err := ParseImplicitMetaSpec(src)
+		if err != nil {
+			return
+		}
+		switch rule {
+		case MetaAny, MetaAll, MetaMajority:
+		default:
+			t.Fatalf("accepted unknown rule %q from %q", rule, src)
+		}
+		if name == "" {
+			t.Fatalf("accepted empty sub-policy name from %q", src)
+		}
+	})
+}

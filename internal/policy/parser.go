@@ -1,0 +1,260 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/identity"
+)
+
+// Parse parses a signature policy expression in Fabric's policy language:
+//
+//	expr     := gate | principal
+//	gate     := ("AND" | "OR") "(" expr ("," expr)* ")"
+//	          | "OutOf" "(" int "," expr ("," expr)* ")"
+//	          | int "OutOf" "(" expr ("," expr)* ")"      // paper syntax
+//	principal:= org "." role
+//
+// Examples accepted: "AND(Org1.peer, Org2.peer)", "OR(org1.member)",
+// "OutOf(2, org1.peer, org2.peer, org3.peer)" and the paper's
+// "2OutOf(org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)".
+func Parse(src string) (Policy, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	pol, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("policy: parse %q: %w", src, err)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("policy: parse %q: trailing input at offset %d", src, p.pos)
+	}
+	return pol, nil
+}
+
+// MustParse is Parse for static policy literals in tests and examples.
+func MustParse(src string) Policy {
+	pol, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return pol
+}
+
+// ParseImplicitMetaSpec parses an implicitMeta policy specification of the
+// form "MAJORITY Endorsement", "ANY Endorsement" or "ALL Endorsement",
+// optionally prefixed with "ImplicitMeta:" as in configtx.yaml rules.
+// The returned rule and sub-policy name are resolved against per-org
+// policies with ResolveImplicitMeta.
+func ParseImplicitMetaSpec(src string) (MetaRule, string, error) {
+	s := strings.TrimSpace(src)
+	s = strings.TrimPrefix(s, "ImplicitMeta:")
+	s = strings.Trim(s, `"`)
+	fields := strings.Fields(s)
+	if len(fields) != 2 {
+		return "", "", fmt.Errorf("policy: implicitMeta spec %q: want \"RULE SubPolicy\"", src)
+	}
+	rule := MetaRule(strings.ToUpper(fields[0]))
+	switch rule {
+	case MetaAny, MetaAll, MetaMajority:
+		return rule, fields[1], nil
+	default:
+		return "", "", fmt.Errorf("policy: implicitMeta spec %q: unknown rule %q", src, fields[0])
+	}
+}
+
+// IsImplicitMetaSpec reports whether src looks like an implicitMeta
+// specification rather than a signature policy expression.
+func IsImplicitMetaSpec(src string) bool {
+	_, _, err := ParseImplicitMetaSpec(src)
+	return err == nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+// ident reads a run of letters, digits, '-' and '_'.
+func (p *parser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '-' || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseExpr() (Policy, error) {
+	p.skipSpace()
+	word := p.ident()
+	if word == "" {
+		return nil, fmt.Errorf("expected expression at offset %d", p.pos)
+	}
+
+	// "<n>OutOf(...)": the paper's prefix-count syntax. The ident
+	// grabbed digits and letters together, e.g. "2OutOf".
+	if n, rest, ok := splitCountPrefix(word); ok && strings.EqualFold(rest, "OutOf") {
+		subs, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		return p.outOf(n, subs)
+	}
+
+	switch {
+	case strings.EqualFold(word, "AND"):
+		subs, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		if len(subs) == 0 {
+			return nil, fmt.Errorf("AND requires at least one operand")
+		}
+		return And(subs...), nil
+	case strings.EqualFold(word, "OR"):
+		subs, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		if len(subs) == 0 {
+			return nil, fmt.Errorf("OR requires at least one operand")
+		}
+		return Or(subs...), nil
+	case strings.EqualFold(word, "OutOf"):
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		numStr := p.ident()
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			return nil, fmt.Errorf("OutOf count %q: %w", numStr, err)
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		subs, err := p.parseExprList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return p.outOf(n, subs)
+	}
+
+	// Otherwise it must be a principal: word is the org, followed by
+	// ".role".
+	if err := p.expect('.'); err != nil {
+		return nil, fmt.Errorf("principal %q: %w", word, err)
+	}
+	roleStr := p.ident()
+	role, err := parseRole(roleStr)
+	if err != nil {
+		return nil, err
+	}
+	return NewSignature(word, role), nil
+}
+
+func (p *parser) outOf(n int, subs []Policy) (Policy, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("OutOf requires at least one operand")
+	}
+	if n < 1 || n > len(subs) {
+		return nil, fmt.Errorf("OutOf count %d out of range [1,%d]", n, len(subs))
+	}
+	return OutOf(n, subs...), nil
+}
+
+// parseArgList parses "(" expr ("," expr)* ")".
+func (p *parser) parseArgList() ([]Policy, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	subs, err := p.parseExprList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+func (p *parser) parseExprList() ([]Policy, error) {
+	var subs []Policy
+	for {
+		sub, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+		if p.peek() != ',' {
+			return subs, nil
+		}
+		p.pos++ // consume ','
+	}
+}
+
+// splitCountPrefix splits "2OutOf" into (2, "OutOf", true).
+func splitCountPrefix(word string) (int, string, bool) {
+	i := 0
+	for i < len(word) && word[i] >= '0' && word[i] <= '9' {
+		i++
+	}
+	if i == 0 || i == len(word) {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(word[:i])
+	if err != nil {
+		return 0, "", false
+	}
+	return n, word[i:], true
+}
+
+func parseRole(s string) (identity.Role, error) {
+	switch strings.ToLower(s) {
+	case "peer":
+		return identity.RolePeer, nil
+	case "orderer":
+		return identity.RoleOrderer, nil
+	case "client":
+		return identity.RoleClient, nil
+	case "admin":
+		return identity.RoleAdmin, nil
+	case "member":
+		return identity.RoleMember, nil
+	default:
+		return "", fmt.Errorf("unknown role %q", s)
+	}
+}

@@ -1,0 +1,268 @@
+// Package policy implements Fabric's endorsement-policy language: signature
+// policies built from AND, OR and OutOf over organization principals, and
+// implicitMeta policies (ANY, ALL, MAJORITY) evaluated over the per-org
+// signature policies defined in the channel configuration.
+//
+// The paper's attacks hinge on exactly how these policies route: a
+// chaincode-level implicitMeta policy such as "MAJORITY Endorsement" is
+// satisfied by endorsements from *any* majority of organizations — including
+// organizations that are not members of a private data collection. This
+// package provides the evaluation machinery used by the validator, including
+// the Majority formula of the paper's Eq. (1).
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/identity"
+)
+
+// Principal identifies a class of identities a policy can require: a role
+// within an organization, e.g. {Org: "org1", Role: "peer"}.
+type Principal struct {
+	Org  string
+	Role identity.Role
+}
+
+// String renders the principal in the policy language's "org.role" form.
+func (p Principal) String() string { return p.Org + "." + string(p.Role) }
+
+// Match reports whether a certificate satisfies the principal. RoleMember
+// matches any role within the organization.
+func (p Principal) Match(cert *identity.Certificate) bool {
+	if cert.Org != p.Org {
+		return false
+	}
+	if p.Role == identity.RoleMember {
+		return true
+	}
+	return cert.Role == p.Role
+}
+
+// Policy is a boolean expression over signer sets. Evaluate returns true
+// when the set of signing certificates satisfies the expression.
+type Policy interface {
+	// Evaluate reports whether signers satisfy the policy. Each signer
+	// certificate may be used to satisfy any number of principals, as
+	// in Fabric's signature policy evaluation a single endorsement
+	// satisfies every principal it matches.
+	Evaluate(signers []*identity.Certificate) bool
+	// Principals returns every principal mentioned by the policy, in
+	// first-mention order without duplicates.
+	Principals() []Principal
+	// String renders the policy in its source syntax.
+	String() string
+}
+
+// signaturePolicy is an n-of-m threshold gate over sub-policies. AND is
+// n == len(subs); OR is n == 1.
+type signaturePolicy struct {
+	n    int
+	subs []Policy
+	// op remembers the source-level operator for String rendering.
+	op string
+}
+
+// principalPolicy is a leaf requiring one signature matching a principal.
+type principalPolicy struct {
+	p Principal
+}
+
+func (l *principalPolicy) Evaluate(signers []*identity.Certificate) bool {
+	for _, s := range signers {
+		if s != nil && l.p.Match(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *principalPolicy) Principals() []Principal { return []Principal{l.p} }
+func (l *principalPolicy) String() string          { return l.p.String() }
+
+func (g *signaturePolicy) Evaluate(signers []*identity.Certificate) bool {
+	satisfied := 0
+	for _, sub := range g.subs {
+		if sub.Evaluate(signers) {
+			satisfied++
+			if satisfied >= g.n {
+				return true
+			}
+		}
+	}
+	return satisfied >= g.n
+}
+
+func (g *signaturePolicy) Principals() []Principal {
+	seen := make(map[Principal]bool)
+	var out []Principal
+	for _, sub := range g.subs {
+		for _, p := range sub.Principals() {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func (g *signaturePolicy) String() string {
+	parts := make([]string, len(g.subs))
+	for i, s := range g.subs {
+		parts[i] = s.String()
+	}
+	switch g.op {
+	case "AND", "OR":
+		return fmt.Sprintf("%s(%s)", g.op, strings.Join(parts, ", "))
+	default:
+		return fmt.Sprintf("OutOf(%d, %s)", g.n, strings.Join(parts, ", "))
+	}
+}
+
+// NewSignature builds a leaf policy requiring a signature from the given
+// principal.
+func NewSignature(org string, role identity.Role) Policy {
+	return &principalPolicy{p: Principal{Org: org, Role: role}}
+}
+
+// And builds a policy satisfied only when every sub-policy is satisfied.
+func And(subs ...Policy) Policy {
+	return &signaturePolicy{n: len(subs), subs: subs, op: "AND"}
+}
+
+// Or builds a policy satisfied when at least one sub-policy is satisfied.
+func Or(subs ...Policy) Policy {
+	return &signaturePolicy{n: 1, subs: subs, op: "OR"}
+}
+
+// OutOf builds a policy satisfied when at least n sub-policies are
+// satisfied; the paper's "2OutOf(org1.peer, ..., org5.peer)" example.
+func OutOf(n int, subs ...Policy) Policy {
+	return &signaturePolicy{n: n, subs: subs, op: "OutOf"}
+}
+
+// ---------------------------------------------------------------------------
+// ImplicitMeta policies
+// ---------------------------------------------------------------------------
+
+// MetaRule is the quantifier of an implicitMeta policy.
+type MetaRule string
+
+// The three implicitMeta quantifiers defined by Fabric.
+const (
+	MetaAny      MetaRule = "ANY"
+	MetaAll      MetaRule = "ALL"
+	MetaMajority MetaRule = "MAJORITY"
+)
+
+// ImplicitMeta is a policy expressed over the equally named sub-policies of
+// the participating organizations, e.g. "MAJORITY Endorsement": the
+// "Endorsement" signature policies of a majority of orgs must be satisfied.
+//
+// Resolution against the concrete per-org policies happens at evaluation
+// time through the OrgPolicies map, which the channel configuration
+// provides.
+type ImplicitMeta struct {
+	Rule MetaRule
+	// SubPolicyName is the per-org policy name referenced, typically
+	// "Endorsement".
+	SubPolicyName string
+	// OrgPolicies maps each participating org to its named sub-policy.
+	OrgPolicies map[string]Policy
+}
+
+var _ Policy = (*ImplicitMeta)(nil)
+
+// Evaluate applies the quantifier over the per-org sub-policy outcomes.
+// For MAJORITY it computes the paper's Eq. (1):
+//
+//	Majority(e_1..e_n) = floor(1/2 + (sum(e_i) - 1/2) / n)
+//
+// which is 1 exactly when sum(e_i) > n/2.
+func (m *ImplicitMeta) Evaluate(signers []*identity.Certificate) bool {
+	n := len(m.OrgPolicies)
+	if n == 0 {
+		return false
+	}
+	satisfied := 0
+	for _, sub := range m.OrgPolicies {
+		if sub.Evaluate(signers) {
+			satisfied++
+		}
+	}
+	switch m.Rule {
+	case MetaAny:
+		return satisfied >= 1
+	case MetaAll:
+		return satisfied == n
+	case MetaMajority:
+		return MajorityEq1(satisfied, n) == 1
+	default:
+		return false
+	}
+}
+
+// MajorityEq1 evaluates the paper's Eq. (1) over integer inputs: given
+// `satisfied` true sub-policy outcomes out of n, it returns 1 when the
+// count is a strict majority and 0 otherwise. It mirrors
+// floor(1/2 + (sum - 1/2)/n) computed exactly in integer arithmetic.
+func MajorityEq1(satisfied, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// floor(1/2 + (s - 1/2)/n) = floor((n + 2s - 1) / (2n)); for
+	// 0 <= s <= n this is 1 iff 2s > n.
+	num := n + 2*satisfied - 1
+	den := 2 * n
+	if num < 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Principals returns the union of the per-org sub-policy principals, sorted
+// by organization for determinism.
+func (m *ImplicitMeta) Principals() []Principal {
+	orgs := make([]string, 0, len(m.OrgPolicies))
+	for org := range m.OrgPolicies {
+		orgs = append(orgs, org)
+	}
+	sort.Strings(orgs)
+	seen := make(map[Principal]bool)
+	var out []Principal
+	for _, org := range orgs {
+		for _, p := range m.OrgPolicies[org].Principals() {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func (m *ImplicitMeta) String() string {
+	return fmt.Sprintf("%s %s", m.Rule, m.SubPolicyName)
+}
+
+// ErrNoOrgPolicies is returned when an implicitMeta policy is resolved with
+// no participating organizations.
+var ErrNoOrgPolicies = errors.New("policy: implicitMeta with no org policies")
+
+// ResolveImplicitMeta builds an ImplicitMeta policy from a rule, the
+// sub-policy name and the per-org policy table. It copies the table so
+// later channel reconfiguration does not mutate a policy in flight.
+func ResolveImplicitMeta(rule MetaRule, name string, orgPolicies map[string]Policy) (*ImplicitMeta, error) {
+	if len(orgPolicies) == 0 {
+		return nil, ErrNoOrgPolicies
+	}
+	cp := make(map[string]Policy, len(orgPolicies))
+	for org, p := range orgPolicies {
+		cp[org] = p
+	}
+	return &ImplicitMeta{Rule: rule, SubPolicyName: name, OrgPolicies: cp}, nil
+}

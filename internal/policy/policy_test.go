@@ -1,0 +1,306 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/identity"
+)
+
+// certs builds signer certificates for "orgN.role" specs.
+func certs(specs ...string) []*identity.Certificate {
+	out := make([]*identity.Certificate, 0, len(specs))
+	for _, s := range specs {
+		var org, role string
+		for i := range s {
+			if s[i] == '.' {
+				org, role = s[:i], s[i+1:]
+				break
+			}
+		}
+		out = append(out, &identity.Certificate{
+			Subject: "peer0." + org,
+			Org:     org,
+			Role:    identity.Role(role),
+		})
+	}
+	return out
+}
+
+func TestPrincipalMatch(t *testing.T) {
+	tests := []struct {
+		principal Principal
+		cert      string
+		want      bool
+	}{
+		{Principal{"org1", identity.RolePeer}, "org1.peer", true},
+		{Principal{"org1", identity.RolePeer}, "org2.peer", false},
+		{Principal{"org1", identity.RolePeer}, "org1.client", false},
+		{Principal{"org1", identity.RoleMember}, "org1.client", true},
+		{Principal{"org1", identity.RoleMember}, "org1.peer", true},
+		{Principal{"org1", identity.RoleMember}, "org2.peer", false},
+	}
+	for _, tt := range tests {
+		got := tt.principal.Match(certs(tt.cert)[0])
+		if got != tt.want {
+			t.Errorf("%v.Match(%s) = %v, want %v", tt.principal, tt.cert, got, tt.want)
+		}
+	}
+}
+
+func TestEvaluateSignaturePolicies(t *testing.T) {
+	tests := []struct {
+		policy  string
+		signers []string
+		want    bool
+	}{
+		{"AND(org1.peer, org2.peer)", []string{"org1.peer", "org2.peer"}, true},
+		{"AND(org1.peer, org2.peer)", []string{"org1.peer"}, false},
+		{"AND(org1.peer, org2.peer)", []string{"org1.peer", "org3.peer"}, false},
+		{"OR(org1.peer, org2.peer)", []string{"org2.peer"}, true},
+		{"OR(org1.peer, org2.peer)", []string{"org3.peer"}, false},
+		{"OutOf(2, org1.peer, org2.peer, org3.peer)", []string{"org1.peer", "org3.peer"}, true},
+		{"OutOf(2, org1.peer, org2.peer, org3.peer)", []string{"org3.peer"}, false},
+		// The paper's §IV-A5 example: two non-member orgs satisfy
+		// 2OutOf5.
+		{"2OutOf(org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)",
+			[]string{"org3.peer", "org4.peer"}, true},
+		{"2OutOf(org1.peer, org2.peer, org3.peer, org4.peer, org5.peer)",
+			[]string{"org4.peer"}, false},
+		// Nested.
+		{"AND(org1.peer, OR(org2.peer, org3.peer))", []string{"org1.peer", "org3.peer"}, true},
+		{"AND(org1.peer, OR(org2.peer, org3.peer))", []string{"org2.peer", "org3.peer"}, false},
+		// member role leaf.
+		{"OR(org1.member)", []string{"org1.client"}, true},
+	}
+	for _, tt := range tests {
+		pol, err := Parse(tt.policy)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tt.policy, err)
+		}
+		if got := pol.Evaluate(certs(tt.signers...)); got != tt.want {
+			t.Errorf("%q with %v = %v, want %v", tt.policy, tt.signers, got, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"AND",
+		"AND(",
+		"AND()",
+		"org1",
+		"org1.",
+		"org1.superuser",
+		"XOR(org1.peer)",
+		"OutOf(0, org1.peer)",
+		"OutOf(3, org1.peer, org2.peer)",
+		"OutOf(x, org1.peer)",
+		"AND(org1.peer) trailing",
+		"7OutOf(org1.peer)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	srcs := []string{
+		"AND(org1.peer, org2.peer)",
+		"OR(org1.member, org2.admin)",
+		"OutOf(2, org1.peer, org2.peer, org3.peer)",
+		"AND(org1.peer, OR(org2.peer, OutOf(1, org3.client)))",
+	}
+	for _, src := range srcs {
+		pol := MustParse(src)
+		again, err := Parse(pol.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", pol.String(), src, err)
+		}
+		if again.String() != pol.String() {
+			t.Errorf("round trip: %q -> %q", pol.String(), again.String())
+		}
+	}
+}
+
+func TestImplicitMetaSpecParsing(t *testing.T) {
+	tests := []struct {
+		src      string
+		wantRule MetaRule
+		wantName string
+		wantErr  bool
+	}{
+		{"MAJORITY Endorsement", MetaMajority, "Endorsement", false},
+		{"ANY Endorsement", MetaAny, "Endorsement", false},
+		{"ALL Endorsement", MetaAll, "Endorsement", false},
+		{`ImplicitMeta:"MAJORITY Endorsement"`, MetaMajority, "Endorsement", false},
+		{"majority Endorsement", MetaMajority, "Endorsement", false},
+		{"SOME Endorsement", "", "", true},
+		{"MAJORITY", "", "", true},
+		{"AND(org1.peer)", "", "", true},
+	}
+	for _, tt := range tests {
+		rule, name, err := ParseImplicitMetaSpec(tt.src)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseImplicitMetaSpec(%q) succeeded", tt.src)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseImplicitMetaSpec(%q): %v", tt.src, err)
+			continue
+		}
+		if rule != tt.wantRule || name != tt.wantName {
+			t.Errorf("ParseImplicitMetaSpec(%q) = (%v, %q)", tt.src, rule, name)
+		}
+	}
+}
+
+func orgPolicies(orgs ...string) map[string]Policy {
+	out := make(map[string]Policy, len(orgs))
+	for _, org := range orgs {
+		out[org] = MustParse("OR(" + org + ".peer)")
+	}
+	return out
+}
+
+func TestImplicitMetaEvaluation(t *testing.T) {
+	tests := []struct {
+		rule    MetaRule
+		orgs    []string
+		signers []string
+		want    bool
+	}{
+		{MetaMajority, []string{"org1", "org2", "org3"}, []string{"org1.peer", "org3.peer"}, true},
+		{MetaMajority, []string{"org1", "org2", "org3"}, []string{"org1.peer"}, false},
+		{MetaMajority, []string{"org1", "org2"}, []string{"org1.peer"}, false}, // 1 of 2 is not majority
+		{MetaMajority, []string{"org1", "org2"}, []string{"org1.peer", "org2.peer"}, true},
+		{MetaAny, []string{"org1", "org2", "org3"}, []string{"org2.peer"}, true},
+		{MetaAny, []string{"org1", "org2", "org3"}, nil, false},
+		{MetaAll, []string{"org1", "org2"}, []string{"org1.peer", "org2.peer"}, true},
+		{MetaAll, []string{"org1", "org2"}, []string{"org1.peer"}, false},
+	}
+	for _, tt := range tests {
+		meta, err := ResolveImplicitMeta(tt.rule, "Endorsement", orgPolicies(tt.orgs...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := meta.Evaluate(certs(tt.signers...)); got != tt.want {
+			t.Errorf("%v over %v with %v = %v, want %v", tt.rule, tt.orgs, tt.signers, got, tt.want)
+		}
+	}
+
+	if _, err := ResolveImplicitMeta(MetaMajority, "Endorsement", nil); err == nil {
+		t.Error("ResolveImplicitMeta with no orgs should fail")
+	}
+}
+
+// TestMajorityEq1MatchesStrictMajority checks the paper's Eq. (1) against
+// the direct definition 2s > n for all inputs in range.
+func TestMajorityEq1MatchesStrictMajority(t *testing.T) {
+	f := func(s, n uint8) bool {
+		nn := int(n%50) + 1
+		ss := int(s) % (nn + 1)
+		want := 0
+		if 2*ss > nn {
+			want = 1
+		}
+		return MajorityEq1(ss, nn) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if MajorityEq1(1, 0) != 0 {
+		t.Error("MajorityEq1 with n=0 should be 0")
+	}
+}
+
+// TestEvaluationMonotonic checks that adding signers never flips a
+// satisfied policy to unsatisfied (policies are monotone boolean
+// functions).
+func TestEvaluationMonotonic(t *testing.T) {
+	pols := []Policy{
+		MustParse("AND(org1.peer, org2.peer)"),
+		MustParse("OR(org1.peer, org2.peer, org3.peer)"),
+		MustParse("OutOf(2, org1.peer, org2.peer, org3.peer, org4.peer)"),
+	}
+	all := []string{"org1.peer", "org2.peer", "org3.peer", "org4.peer", "org5.peer"}
+	f := func(mask, extra uint8) bool {
+		var base, more []string
+		for i, s := range all {
+			if mask&(1<<i) != 0 {
+				base = append(base, s)
+			}
+			if (mask|extra)&(1<<i) != 0 {
+				more = append(more, s)
+			}
+		}
+		for _, pol := range pols {
+			if pol.Evaluate(certs(base...)) && !pol.Evaluate(certs(more...)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOutOfEquivalences checks OutOf(n,...) == AND when n = len and == OR
+// when n = 1, over random signer subsets.
+func TestOutOfEquivalences(t *testing.T) {
+	subs := []string{"org1.peer", "org2.peer", "org3.peer"}
+	leaf := func(s string) Policy { return MustParse("OR(" + s + ")") }
+	andP := And(leaf(subs[0]), leaf(subs[1]), leaf(subs[2]))
+	outAll := OutOf(3, leaf(subs[0]), leaf(subs[1]), leaf(subs[2]))
+	orP := Or(leaf(subs[0]), leaf(subs[1]), leaf(subs[2]))
+	out1 := OutOf(1, leaf(subs[0]), leaf(subs[1]), leaf(subs[2]))
+
+	f := func(mask uint8) bool {
+		var signers []string
+		for i, s := range subs {
+			if mask&(1<<i) != 0 {
+				signers = append(signers, s)
+			}
+		}
+		cs := certs(signers...)
+		return andP.Evaluate(cs) == outAll.Evaluate(cs) && orP.Evaluate(cs) == out1.Evaluate(cs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrincipalsDeduplicated(t *testing.T) {
+	pol := MustParse("AND(org1.peer, OR(org1.peer, org2.peer))")
+	ps := pol.Principals()
+	if len(ps) != 2 {
+		t.Fatalf("principals = %v, want 2 unique", ps)
+	}
+}
+
+func TestImplicitMetaPrincipals(t *testing.T) {
+	meta, err := ResolveImplicitMeta(MetaMajority, "Endorsement", orgPolicies("org2", "org1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := meta.Principals()
+	if len(ps) != 2 || ps[0].Org != "org1" || ps[1].Org != "org2" {
+		t.Fatalf("principals = %v, want sorted org1, org2", ps)
+	}
+	if meta.String() != "MAJORITY Endorsement" {
+		t.Fatalf("String = %q", meta.String())
+	}
+}
+
+func TestNilSignerSkipped(t *testing.T) {
+	pol := MustParse("OR(org1.peer)")
+	if pol.Evaluate([]*identity.Certificate{nil}) {
+		t.Error("nil signer satisfied a policy")
+	}
+}

@@ -1,0 +1,284 @@
+// Package pvtdata implements the private data collection (PDC) machinery:
+// collection configurations, the split storage model (original tuples at
+// member peers, hashed tuples at every peer), the transient store that
+// holds private write sets between endorsement and commit, and
+// BlockToLive-based purging.
+//
+// Storage model (paper §III-A1): public data is stored as
+// ⟨key, value, version⟩ at all peers. Private data is stored as the
+// original ⟨key, value, version⟩ only at collection member peers, and as
+// ⟨hash(key), hash(value), version⟩ at all peers in the channel.
+package pvtdata
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/fabcrypto"
+	"repro/internal/policy"
+	"repro/internal/statedb"
+)
+
+// CollectionConfig mirrors the fields of Fabric's collection definition
+// JSON, the same keywords the paper's static analyzer searches for:
+// Name, Policy, RequiredPeerCount, MaxPeerCount, BlockToLive,
+// MemberOnlyRead and the optional EndorsementPolicy.
+type CollectionConfig struct {
+	// Name identifies the collection within its chaincode.
+	Name string `json:"name"`
+	// MemberPolicy (the JSON "policy" field) defines which organizations
+	// are members of the collection and receive the original private
+	// data, e.g. "OR(org1.member, org2.member)".
+	MemberPolicy string `json:"policy"`
+	// RequiredPeerCount is the minimum number of other member peers the
+	// endorsing peer must disseminate the private data to before
+	// returning its endorsement.
+	RequiredPeerCount int `json:"requiredPeerCount"`
+	// MaxPeerCount bounds dissemination fan-out.
+	MaxPeerCount int `json:"maxPeerCount"`
+	// BlockToLive is the number of blocks after which private data is
+	// purged from member stores; 0 keeps it forever.
+	BlockToLive uint64 `json:"blockToLive"`
+	// MemberOnlyRead, when true, makes non-member read attempts fail at
+	// endorsement with an authorization error rather than a missing-key
+	// error.
+	MemberOnlyRead bool `json:"memberOnlyRead"`
+	// MemberOnlyWrite, when true, restricts private writes and deletes
+	// to clients of member organizations, checked at endorsement.
+	MemberOnlyWrite bool `json:"memberOnlyWrite"`
+	// EndorsementPolicy is the optional collection-level endorsement
+	// policy. When empty, write-related transactions on this collection
+	// fall back to the chaincode-level policy — the misuse the paper's
+	// Use Case 2 identifies.
+	EndorsementPolicy string `json:"endorsementPolicy,omitempty"`
+}
+
+// Validate checks the structural sanity of the configuration and that its
+// policies parse.
+func (c *CollectionConfig) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("pvtdata: collection with empty name")
+	}
+	if c.MemberPolicy == "" {
+		return fmt.Errorf("pvtdata: collection %q: empty member policy", c.Name)
+	}
+	if _, err := policy.Parse(c.MemberPolicy); err != nil {
+		return fmt.Errorf("pvtdata: collection %q member policy: %w", c.Name, err)
+	}
+	if c.EndorsementPolicy != "" {
+		if _, err := policy.Parse(c.EndorsementPolicy); err != nil {
+			return fmt.Errorf("pvtdata: collection %q endorsement policy: %w", c.Name, err)
+		}
+	}
+	if c.RequiredPeerCount < 0 {
+		return fmt.Errorf("pvtdata: collection %q: negative requiredPeerCount", c.Name)
+	}
+	if c.MaxPeerCount < c.RequiredPeerCount {
+		return fmt.Errorf("pvtdata: collection %q: maxPeerCount %d < requiredPeerCount %d",
+			c.Name, c.MaxPeerCount, c.RequiredPeerCount)
+	}
+	return nil
+}
+
+// MemberOrgs returns the organizations named by the member policy. Any
+// org mentioned in the policy is treated as a member organization, which
+// matches Fabric's collection membership semantics for OR-of-members
+// policies.
+func (c *CollectionConfig) MemberOrgs() []string {
+	pol, err := policy.Parse(c.MemberPolicy)
+	if err != nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var orgs []string
+	for _, p := range pol.Principals() {
+		if !seen[p.Org] {
+			seen[p.Org] = true
+			orgs = append(orgs, p.Org)
+		}
+	}
+	return orgs
+}
+
+// IsMember reports whether org is a member organization of the collection.
+func (c *CollectionConfig) IsMember(org string) bool {
+	for _, m := range c.MemberOrgs() {
+		if m == org {
+			return true
+		}
+	}
+	return false
+}
+
+// ImplicitCollectionPrefix is the name prefix of Fabric's implicit
+// per-organization collections: every organization implicitly owns a
+// single-member collection named "_implicit_org_<org>" without defining
+// it in a configuration file. The paper's analyzer detects this marker;
+// the runtime here resolves such names on the fly.
+const ImplicitCollectionPrefix = "_implicit_org_"
+
+// ImplicitCollection synthesizes the configuration of an implicit
+// per-org collection, or returns false when the name is not implicit.
+func ImplicitCollection(name string) (CollectionConfig, bool) {
+	if !strings.HasPrefix(name, ImplicitCollectionPrefix) {
+		return CollectionConfig{}, false
+	}
+	org := strings.TrimPrefix(name, ImplicitCollectionPrefix)
+	if org == "" {
+		return CollectionConfig{}, false
+	}
+	return CollectionConfig{
+		Name:         name,
+		MemberPolicy: fmt.Sprintf("OR(%s.member)", org),
+		// The single member org disseminates among its own peers only.
+		RequiredPeerCount: 0,
+		MaxPeerCount:      1 << 16,
+		// Implicit collections are member-only for both directions, as
+		// in Fabric: the owning org's data never leaves it.
+		MemberOnlyRead:  true,
+		MemberOnlyWrite: true,
+		// Writes to an org's implicit collection are endorsed by that
+		// org alone.
+		EndorsementPolicy: fmt.Sprintf("OR(%s.peer)", org),
+	}, true
+}
+
+// ParseCollectionsConfig parses a Fabric collections_config.json document:
+// a JSON array of collection definitions.
+func ParseCollectionsConfig(data []byte) ([]CollectionConfig, error) {
+	var configs []CollectionConfig
+	if err := json.Unmarshal(data, &configs); err != nil {
+		return nil, fmt.Errorf("pvtdata: parse collections config: %w", err)
+	}
+	for i := range configs {
+		if err := configs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return configs, nil
+}
+
+// MarshalCollectionsConfig renders collection definitions as a
+// collections_config.json document.
+func MarshalCollectionsConfig(configs []CollectionConfig) ([]byte, error) {
+	b, err := json.MarshalIndent(configs, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("pvtdata: marshal collections config: %w", err)
+	}
+	return b, nil
+}
+
+// HashedNamespace returns the world-state namespace holding the hashed
+// tuples of a collection: present at every peer in the channel.
+func HashedNamespace(chaincode, collection string) string {
+	return chaincode + "$h$" + collection
+}
+
+// PrivateNamespace returns the world-state namespace holding the original
+// private tuples of a collection: present only at member peers.
+func PrivateNamespace(chaincode, collection string) string {
+	return chaincode + "$p$" + collection
+}
+
+// HashedKey returns the store key for a private key's hash entry: the hex
+// form of SHA-256(key).
+func HashedKey(key string) string {
+	return fabcrypto.HashHex([]byte(key))
+}
+
+// Store wraps a peer's world state with the PDC storage discipline. One
+// Store exists per peer; member and non-member behaviour differ only in
+// which namespaces ever receive writes.
+type Store struct {
+	db *statedb.DB
+	// purgeQueue maps committing-block -> private entries to purge at
+	// that block height, implementing BlockToLive.
+	purgeQueue map[uint64][]purgeEntry
+}
+
+type purgeEntry struct {
+	namespace string
+	key       string
+}
+
+// NewStore creates a PDC store over a peer's world state database.
+func NewStore(db *statedb.DB) *Store {
+	return &Store{db: db, purgeQueue: make(map[uint64][]purgeEntry)}
+}
+
+// GetPrivate returns the original private value and version of key, as
+// stored at member peers.
+func (s *Store) GetPrivate(chaincode, collection, key string) ([]byte, statedb.Version, bool) {
+	return s.db.Get(PrivateNamespace(chaincode, collection), key)
+}
+
+// GetPrivateHash returns the value hash and version for key from the
+// hashed store. Every peer in the channel can answer this — including
+// PDC non-members, which is what makes the paper's endorsement forgery
+// (§IV-A1) possible: the version here always equals the version a member
+// peer would report from its private store.
+func (s *Store) GetPrivateHash(chaincode, collection, key string) (valueHash []byte, ver statedb.Version, ok bool) {
+	return s.db.Get(HashedNamespace(chaincode, collection), HashedKey(key))
+}
+
+// ApplyPrivateWrite commits an original private write at a member peer,
+// keeping the private version aligned with the hashed version.
+func (s *Store) ApplyPrivateWrite(chaincode, collection, key string, value []byte, ver statedb.Version) {
+	s.db.PutAtVersion(PrivateNamespace(chaincode, collection), key, value, ver)
+}
+
+// DeletePrivate removes the original private entry at a member peer.
+func (s *Store) DeletePrivate(chaincode, collection, key string) {
+	s.db.Delete(PrivateNamespace(chaincode, collection), key)
+}
+
+// ApplyHashedWrite commits a hashed write at any peer and returns the new
+// version. keyHash is the raw digest of the key.
+func (s *Store) ApplyHashedWrite(chaincode, collection string, keyHash, valueHash []byte) statedb.Version {
+	ns := HashedNamespace(chaincode, collection)
+	return s.db.Put(ns, hexKey(keyHash), valueHash)
+}
+
+// DeleteHashed removes a hashed entry at any peer.
+func (s *Store) DeleteHashed(chaincode, collection string, keyHash []byte) {
+	s.db.Delete(HashedNamespace(chaincode, collection), hexKey(keyHash))
+}
+
+// HashedVersion returns the current version of a hashed key; 0 if absent.
+func (s *Store) HashedVersion(chaincode, collection string, keyHash []byte) statedb.Version {
+	return s.db.GetVersion(HashedNamespace(chaincode, collection), hexKey(keyHash))
+}
+
+// SchedulePurge arranges for the private entry to be purged when the
+// chain reaches purgeAtBlock, implementing BlockToLive.
+func (s *Store) SchedulePurge(purgeAtBlock uint64, chaincode, collection, key string) {
+	ns := PrivateNamespace(chaincode, collection)
+	s.purgeQueue[purgeAtBlock] = append(s.purgeQueue[purgeAtBlock], purgeEntry{namespace: ns, key: key})
+}
+
+// PurgeUpTo removes all private entries whose BlockToLive expired at or
+// before blockNum and returns how many entries were purged.
+func (s *Store) PurgeUpTo(blockNum uint64) int {
+	purged := 0
+	for at, entries := range s.purgeQueue {
+		if at > blockNum {
+			continue
+		}
+		for _, e := range entries {
+			s.db.Delete(e.namespace, e.key)
+			purged++
+		}
+		delete(s.purgeQueue, at)
+	}
+	return purged
+}
+
+// PrivateKeys lists the live private keys of a collection at this peer.
+func (s *Store) PrivateKeys(chaincode, collection string) []string {
+	return s.db.Keys(PrivateNamespace(chaincode, collection))
+}
+
+func hexKey(digest []byte) string {
+	return fmt.Sprintf("%x", digest)
+}

@@ -1,0 +1,255 @@
+package pvtdata
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fabcrypto"
+	"repro/internal/rwset"
+	"repro/internal/statedb"
+)
+
+func validConfig() CollectionConfig {
+	return CollectionConfig{
+		Name:              "pdc1",
+		MemberPolicy:      "OR(org1.member, org2.member)",
+		RequiredPeerCount: 0,
+		MaxPeerCount:      3,
+	}
+}
+
+func TestCollectionConfigValidate(t *testing.T) {
+	cfg := validConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	bad := cfg
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = cfg
+	bad.MemberPolicy = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty member policy accepted")
+	}
+	bad = cfg
+	bad.MemberPolicy = "NOT-A-POLICY"
+	if err := bad.Validate(); err == nil {
+		t.Error("unparsable member policy accepted")
+	}
+	bad = cfg
+	bad.EndorsementPolicy = "garbage("
+	if err := bad.Validate(); err == nil {
+		t.Error("unparsable endorsement policy accepted")
+	}
+	bad = cfg
+	bad.RequiredPeerCount = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative requiredPeerCount accepted")
+	}
+	bad = cfg
+	bad.RequiredPeerCount = 5
+	bad.MaxPeerCount = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("max < required accepted")
+	}
+}
+
+func TestMemberOrgs(t *testing.T) {
+	cfg := validConfig()
+	orgs := cfg.MemberOrgs()
+	if len(orgs) != 2 || orgs[0] != "org1" || orgs[1] != "org2" {
+		t.Fatalf("member orgs = %v", orgs)
+	}
+	if !cfg.IsMember("org1") || cfg.IsMember("org3") {
+		t.Fatal("membership test wrong")
+	}
+}
+
+func TestCollectionsConfigJSONRoundTrip(t *testing.T) {
+	configs := []CollectionConfig{validConfig()}
+	configs[0].EndorsementPolicy = "AND(org1.peer, org2.peer)"
+	data, err := MarshalCollectionsConfig(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "requiredPeerCount") {
+		t.Error("marshal lacks Fabric keyword requiredPeerCount")
+	}
+	parsed, err := ParseCollectionsConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 || parsed[0].Name != "pdc1" || parsed[0].EndorsementPolicy != configs[0].EndorsementPolicy {
+		t.Fatalf("round trip = %+v", parsed)
+	}
+
+	if _, err := ParseCollectionsConfig([]byte("[{\"name\": \"\"}]")); err == nil {
+		t.Error("invalid collection accepted")
+	}
+	if _, err := ParseCollectionsConfig([]byte("not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestStoreVersionsAligned(t *testing.T) {
+	db := statedb.New()
+	s := NewStore(db)
+
+	keyHash := fabcrypto.HashString("k1")
+	ver := s.ApplyHashedWrite("cc", "pdc1", keyHash, fabcrypto.Hash([]byte("v1")))
+	s.ApplyPrivateWrite("cc", "pdc1", "k1", []byte("v1"), ver)
+
+	// Hashed and private stores agree on the version — the invariant
+	// behind the GetPrivateDataHash version oracle.
+	_, pv, ok := s.GetPrivate("cc", "pdc1", "k1")
+	if !ok || pv != ver {
+		t.Fatalf("private version = %d, want %d", pv, ver)
+	}
+	_, hv, ok := s.GetPrivateHash("cc", "pdc1", "k1")
+	if !ok || hv != ver {
+		t.Fatalf("hash version = %d, want %d", hv, ver)
+	}
+	if s.HashedVersion("cc", "pdc1", keyHash) != ver {
+		t.Fatal("HashedVersion disagrees")
+	}
+
+	// Second write advances both.
+	ver2 := s.ApplyHashedWrite("cc", "pdc1", keyHash, fabcrypto.Hash([]byte("v2")))
+	if ver2 != ver+1 {
+		t.Fatalf("second version = %d", ver2)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	db := statedb.New()
+	s := NewStore(db)
+	keyHash := fabcrypto.HashString("k1")
+	ver := s.ApplyHashedWrite("cc", "pdc1", keyHash, fabcrypto.Hash([]byte("v"))) // v1
+	s.ApplyPrivateWrite("cc", "pdc1", "k1", []byte("v"), ver)
+
+	s.DeleteHashed("cc", "pdc1", keyHash)
+	s.DeletePrivate("cc", "pdc1", "k1")
+	if _, _, ok := s.GetPrivate("cc", "pdc1", "k1"); ok {
+		t.Fatal("private entry survived delete")
+	}
+	if _, _, ok := s.GetPrivateHash("cc", "pdc1", "k1"); ok {
+		t.Fatal("hashed entry survived delete")
+	}
+	if s.HashedVersion("cc", "pdc1", keyHash) != 0 {
+		t.Fatal("deleted hash reports version")
+	}
+}
+
+func TestBlockToLivePurge(t *testing.T) {
+	db := statedb.New()
+	s := NewStore(db)
+	ver := s.ApplyHashedWrite("cc", "pdc1", fabcrypto.HashString("k"), fabcrypto.Hash([]byte("v")))
+	s.ApplyPrivateWrite("cc", "pdc1", "k", []byte("v"), ver)
+	s.SchedulePurge(5, "cc", "pdc1", "k")
+
+	if n := s.PurgeUpTo(4); n != 0 {
+		t.Fatalf("premature purge of %d entries", n)
+	}
+	if _, _, ok := s.GetPrivate("cc", "pdc1", "k"); !ok {
+		t.Fatal("entry gone before BlockToLive")
+	}
+	if n := s.PurgeUpTo(5); n != 1 {
+		t.Fatalf("purged %d entries, want 1", n)
+	}
+	if _, _, ok := s.GetPrivate("cc", "pdc1", "k"); ok {
+		t.Fatal("entry survived BlockToLive purge")
+	}
+	// The hashed entry remains — only original private data is purged.
+	if _, _, ok := s.GetPrivateHash("cc", "pdc1", "k"); !ok {
+		t.Fatal("hashed entry purged")
+	}
+	// Idempotent.
+	if n := s.PurgeUpTo(10); n != 0 {
+		t.Fatalf("double purge removed %d entries", n)
+	}
+}
+
+func TestPrivateKeys(t *testing.T) {
+	db := statedb.New()
+	s := NewStore(db)
+	s.ApplyPrivateWrite("cc", "pdc1", "b", []byte("2"), 1)
+	s.ApplyPrivateWrite("cc", "pdc1", "a", []byte("1"), 1)
+	keys := s.PrivateKeys("cc", "pdc1")
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestNamespaceHelpers(t *testing.T) {
+	if HashedNamespace("cc", "pdc") == PrivateNamespace("cc", "pdc") {
+		t.Fatal("hashed and private namespaces collide")
+	}
+	if HashedKey("k") != fabcrypto.HashHex([]byte("k")) {
+		t.Fatal("HashedKey mismatch")
+	}
+}
+
+func TestTransientStoreMerge(t *testing.T) {
+	ts := NewTransientStore()
+	ts.Persist(nil) // no-op
+	ts.Persist(&rwset.TxPvtRWSet{
+		TxID:     "tx1",
+		CollSets: []rwset.CollPvtRWSet{{Collection: "a"}},
+	})
+	ts.Persist(&rwset.TxPvtRWSet{
+		TxID: "tx1",
+		CollSets: []rwset.CollPvtRWSet{
+			{Collection: "a"}, // duplicate: ignored
+			{Collection: "b"},
+		},
+	})
+	set := ts.Get("tx1")
+	if set == nil || len(set.CollSets) != 2 {
+		t.Fatalf("merged set = %+v", set)
+	}
+	if ts.GetCollection("tx1", "b") == nil {
+		t.Fatal("collection b missing")
+	}
+	if ts.GetCollection("tx1", "zzz") != nil {
+		t.Fatal("phantom collection")
+	}
+	if ts.GetCollection("tx2", "a") != nil {
+		t.Fatal("phantom transaction")
+	}
+	if ts.Len() != 1 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+	ts.Purge("tx1")
+	if ts.Get("tx1") != nil || ts.Len() != 0 {
+		t.Fatal("purge failed")
+	}
+}
+
+func TestImplicitCollection(t *testing.T) {
+	cfg, ok := ImplicitCollection("_implicit_org_org1")
+	if !ok {
+		t.Fatal("implicit collection not resolved")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("synthesized config invalid: %v", err)
+	}
+	if !cfg.IsMember("org1") || cfg.IsMember("org2") {
+		t.Fatal("implicit membership wrong")
+	}
+	if !cfg.MemberOnlyRead || !cfg.MemberOnlyWrite {
+		t.Fatal("implicit collection should be member-only in both directions")
+	}
+	if cfg.EndorsementPolicy == "" {
+		t.Fatal("implicit collection should carry its own endorsement policy")
+	}
+
+	if _, ok := ImplicitCollection("pdc1"); ok {
+		t.Fatal("explicit name resolved as implicit")
+	}
+	if _, ok := ImplicitCollection("_implicit_org_"); ok {
+		t.Fatal("empty org resolved as implicit")
+	}
+}

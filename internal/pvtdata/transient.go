@@ -1,0 +1,90 @@
+package pvtdata
+
+import (
+	"sync"
+
+	"repro/internal/rwset"
+)
+
+// TransientStore holds original private read/write sets between
+// endorsement and commit. Endorsers store their own simulation results
+// here; gossip deposits sets received from other endorsers. The validator
+// fetches from here at commit time and erases entries once committed.
+type TransientStore struct {
+	mu   sync.Mutex
+	sets map[string]*rwset.TxPvtRWSet // txID -> private sets
+}
+
+// NewTransientStore creates an empty transient store.
+func NewTransientStore() *TransientStore {
+	return &TransientStore{sets: make(map[string]*rwset.TxPvtRWSet)}
+}
+
+// Persist stores the private read/write set of a transaction. A second
+// Persist for the same transaction merges collections, so gossip deliveries
+// from multiple endorsers accumulate.
+func (t *TransientStore) Persist(set *rwset.TxPvtRWSet) {
+	if set == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	existing, ok := t.sets[set.TxID]
+	if !ok {
+		cp := *set
+		t.sets[set.TxID] = &cp
+		return
+	}
+	for _, coll := range set.CollSets {
+		if !hasCollection(existing, coll.Collection) {
+			existing.CollSets = append(existing.CollSets, coll)
+		}
+	}
+}
+
+// Get returns the stored private set for txID, or nil.
+func (t *TransientStore) Get(txID string) *rwset.TxPvtRWSet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sets[txID]
+}
+
+// GetCollection returns the original private set of one collection for
+// txID, or nil when the peer never received it.
+func (t *TransientStore) GetCollection(txID, collection string) *rwset.CollPvtRWSet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set, ok := t.sets[txID]
+	if !ok {
+		return nil
+	}
+	for i := range set.CollSets {
+		if set.CollSets[i].Collection == collection {
+			return &set.CollSets[i]
+		}
+	}
+	return nil
+}
+
+// Purge removes the entry for txID after commit.
+func (t *TransientStore) Purge(txID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.sets, txID)
+}
+
+// Len reports how many transactions currently have transient data.
+func (t *TransientStore) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sets)
+}
+
+func hasCollection(set *rwset.TxPvtRWSet, name string) bool {
+	for _, c := range set.CollSets {
+		if c.Collection == name {
+			return true
+		}
+	}
+	return false
+}

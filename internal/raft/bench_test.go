@@ -1,0 +1,37 @@
+package raft
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCommitLatency measures a full propose-to-commit round as the
+// ordering cluster grows — the consensus cost underlying every block the
+// orderer cuts.
+func BenchmarkCommitLatency(b *testing.B) {
+	for _, size := range []int{1, 3, 5, 7} {
+		b.Run(fmt.Sprintf("nodes=%d", size), func(b *testing.B) {
+			c := NewCluster(size, 99)
+			if _, err := c.ElectLeader(500); err != nil {
+				b.Fatal(err)
+			}
+			payload := []byte("tx-payload")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Propose(payload, 500); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkElection measures leader election from a cold cluster.
+func BenchmarkElection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(5, int64(i))
+		if _, err := c.ElectLeader(500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,574 @@
+// Package raft implements the Raft consensus algorithm (Ongaro &
+// Ousterhout, USENIX ATC 2014) used by the ordering service, as in
+// Hyperledger Fabric 2.x where orderers run Raft to agree on the order of
+// transactions before cutting blocks.
+//
+// The implementation is a deterministic, message-passing core: nodes make
+// progress only through Tick and Step calls and emit messages and
+// committed entries through Ready. Time is logical (ticks), randomness is
+// seeded per node, and the transport lives outside the core — which makes
+// the consensus layer fully testable without real clocks or goroutines.
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID identifies a raft node.
+type NodeID string
+
+// Term is a raft term number.
+type Term uint64
+
+// State is the role a node currently plays.
+type State int
+
+// Raft node states.
+const (
+	Follower State = iota + 1
+	Candidate
+	Leader
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Entry is one log entry: opaque data at an index, stamped with the term
+// it was proposed in.
+type Entry struct {
+	Term  Term
+	Index uint64
+	Data  []byte
+}
+
+// MsgType enumerates raft RPCs (as messages).
+type MsgType int
+
+// Message types exchanged between nodes.
+const (
+	MsgVoteRequest MsgType = iota + 1
+	MsgVoteResponse
+	MsgAppend
+	MsgAppendResponse
+	// MsgSnapshot tells a follower whose log is behind the leader's
+	// compaction point to fast-forward to the snapshot index.
+	MsgSnapshot
+)
+
+// String renders the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgVoteRequest:
+		return "VoteRequest"
+	case MsgVoteResponse:
+		return "VoteResponse"
+	case MsgAppend:
+		return "Append"
+	case MsgAppendResponse:
+		return "AppendResponse"
+	case MsgSnapshot:
+		return "Snapshot"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Message is a raft RPC or its response.
+type Message struct {
+	Type MsgType
+	From NodeID
+	To   NodeID
+	Term Term
+
+	// Vote request fields.
+	LastLogIndex uint64
+	LastLogTerm  Term
+	// Vote response field.
+	Granted bool
+
+	// Append fields.
+	PrevLogIndex uint64
+	PrevLogTerm  Term
+	Entries      []Entry
+	LeaderCommit uint64
+	// Append response fields.
+	Success    bool
+	MatchIndex uint64
+
+	// Snapshot fields: the compaction point the follower must adopt.
+	// No state payload travels with it — the replicated state (the
+	// ordered transaction stream) is recoverable from the ordering
+	// service's retained blocks, so a snapshot only moves the log
+	// horizon.
+	SnapshotIndex uint64
+	SnapshotTerm  Term
+}
+
+// ErrNotLeader is returned by Propose on a non-leader node.
+var ErrNotLeader = errors.New("raft: not leader")
+
+// Config parameterizes a node.
+type Config struct {
+	// ID of this node.
+	ID NodeID
+	// Peers is the full cluster membership, including this node.
+	Peers []NodeID
+	// ElectionTimeoutTicks is the base election timeout; each node
+	// randomizes within [timeout, 2*timeout).
+	ElectionTimeoutTicks int
+	// HeartbeatTicks is the leader's heartbeat interval.
+	HeartbeatTicks int
+	// Seed drives the node's election jitter; nodes seeded differently
+	// avoid split votes deterministically in tests.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.ElectionTimeoutTicks == 0 {
+		cfg.ElectionTimeoutTicks = 10
+	}
+	if cfg.HeartbeatTicks == 0 {
+		cfg.HeartbeatTicks = 1
+	}
+	return cfg
+}
+
+// Node is a single raft participant. It is not safe for concurrent use;
+// callers serialize access (the Cluster harness and the orderer both do).
+type Node struct {
+	cfg   Config
+	state State
+	term  Term
+	// votedFor is the candidate granted a vote in the current term.
+	votedFor NodeID
+	leader   NodeID
+
+	// log[0] is the snapshot sentinel: its Index/Term mark the last
+	// compacted entry (0/0 before any compaction), and log[i] holds the
+	// entry at index log[0].Index+i.
+	log         []Entry
+	commitIndex uint64
+	applied     uint64
+
+	// Leader bookkeeping.
+	nextIndex  map[NodeID]uint64
+	matchIndex map[NodeID]uint64
+	votes      map[NodeID]bool
+
+	electionElapsed   int
+	heartbeatElapsed  int
+	randomizedTimeout int
+	rng               *rand.Rand
+
+	outbox []Message
+}
+
+// NewNode creates a follower at term 0 with an empty log.
+func NewNode(cfg Config) *Node {
+	c := cfg.withDefaults()
+	n := &Node{
+		cfg:   c,
+		state: Follower,
+		log:   []Entry{{}},
+		rng:   rand.New(rand.NewSource(c.Seed ^ int64(len(c.ID)))),
+	}
+	n.resetElectionTimeout()
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() NodeID { return n.cfg.ID }
+
+// State returns the node's current role.
+func (n *Node) State() State { return n.state }
+
+// Term returns the node's current term.
+func (n *Node) Term() Term { return n.term }
+
+// Leader returns the node this node believes is leader ("" if unknown).
+func (n *Node) Leader() NodeID { return n.leader }
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 { return n.commitIndex }
+
+// LastIndex returns the index of the last log entry.
+func (n *Node) LastIndex() uint64 { return n.log[len(n.log)-1].Index }
+
+// FirstIndex returns the snapshot sentinel index: entries at or below it
+// have been compacted away.
+func (n *Node) FirstIndex() uint64 { return n.log[0].Index }
+
+// termAt returns the term of the entry at index i, with ok=false when i
+// is outside the retained log (compacted or beyond the end).
+func (n *Node) termAt(i uint64) (Term, bool) {
+	fi := n.FirstIndex()
+	if i < fi || i > n.LastIndex() {
+		return 0, false
+	}
+	return n.log[i-fi].Term, true
+}
+
+// entryAt returns the entry at index i; the caller guarantees bounds.
+func (n *Node) entryAt(i uint64) Entry { return n.log[i-n.FirstIndex()] }
+
+// Compact discards log entries up to and including upTo, which must not
+// exceed the applied index (entries must have been consumed through
+// Ready before they can be dropped). The sentinel keeps the compaction
+// point's term so consistency checks still work across the boundary.
+func (n *Node) Compact(upTo uint64) error {
+	if upTo <= n.FirstIndex() {
+		return nil
+	}
+	if upTo > n.applied {
+		return fmt.Errorf("raft: compact %d beyond applied %d", upTo, n.applied)
+	}
+	term, ok := n.termAt(upTo)
+	if !ok {
+		return fmt.Errorf("raft: compact %d outside log", upTo)
+	}
+	tail := n.log[upTo-n.FirstIndex()+1:]
+	newLog := make([]Entry, 0, len(tail)+1)
+	newLog = append(newLog, Entry{Term: term, Index: upTo})
+	newLog = append(newLog, tail...)
+	n.log = newLog
+	return nil
+}
+
+// Entries returns a copy of the log entries in (lo, hi] for tests and
+// invariant checks.
+func (n *Node) Entries(lo, hi uint64) []Entry {
+	var out []Entry
+	for _, e := range n.log[1:] {
+		if e.Index > lo && e.Index <= hi {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (n *Node) resetElectionTimeout() {
+	base := n.cfg.ElectionTimeoutTicks
+	n.randomizedTimeout = base + n.rng.Intn(base)
+	n.electionElapsed = 0
+}
+
+func (n *Node) quorum() int { return len(n.cfg.Peers)/2 + 1 }
+
+func (n *Node) send(m Message) {
+	m.From = n.cfg.ID
+	m.Term = n.term
+	n.outbox = append(n.outbox, m)
+}
+
+// Tick advances logical time by one unit: followers and candidates count
+// toward election timeouts, leaders toward heartbeats.
+func (n *Node) Tick() {
+	switch n.state {
+	case Leader:
+		n.heartbeatElapsed++
+		if n.heartbeatElapsed >= n.cfg.HeartbeatTicks {
+			n.heartbeatElapsed = 0
+			n.broadcastAppend()
+		}
+	default:
+		n.electionElapsed++
+		if n.electionElapsed >= n.randomizedTimeout {
+			n.startElection()
+		}
+	}
+}
+
+func (n *Node) startElection() {
+	n.state = Candidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.leader = ""
+	n.votes = map[NodeID]bool{n.cfg.ID: true}
+	n.resetElectionTimeout()
+	last := n.log[len(n.log)-1]
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.send(Message{
+			Type:         MsgVoteRequest,
+			To:           p,
+			LastLogIndex: last.Index,
+			LastLogTerm:  last.Term,
+		})
+	}
+	if len(n.votes) >= n.quorum() { // single-node cluster
+		n.becomeLeader()
+	}
+}
+
+func (n *Node) becomeFollower(term Term, leader NodeID) {
+	n.state = Follower
+	if term > n.term {
+		n.term = term
+		n.votedFor = ""
+	}
+	n.leader = leader
+	n.resetElectionTimeout()
+}
+
+func (n *Node) becomeLeader() {
+	n.state = Leader
+	n.leader = n.cfg.ID
+	n.heartbeatElapsed = 0
+	n.nextIndex = make(map[NodeID]uint64, len(n.cfg.Peers))
+	n.matchIndex = make(map[NodeID]uint64, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = n.LastIndex() + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.cfg.ID] = n.LastIndex()
+	// Raft leaders commit a no-op entry from their own term to learn
+	// the commit point of prior terms (§5.4.2 of the paper); the
+	// orderer skips empty entries when cutting blocks.
+	n.appendLocal(nil)
+	n.broadcastAppend()
+}
+
+func (n *Node) appendLocal(data []byte) Entry {
+	e := Entry{Term: n.term, Index: n.LastIndex() + 1, Data: data}
+	n.log = append(n.log, e)
+	n.matchIndex[n.cfg.ID] = e.Index
+	return e
+}
+
+// Propose appends data to the replicated log. Only the leader accepts
+// proposals; followers return ErrNotLeader and the caller redirects.
+func (n *Node) Propose(data []byte) (uint64, error) {
+	if n.state != Leader {
+		return 0, ErrNotLeader
+	}
+	e := n.appendLocal(data)
+	n.broadcastAppend()
+	n.maybeAdvanceCommit()
+	return e.Index, nil
+}
+
+func (n *Node) broadcastAppend() {
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		n.sendAppend(p)
+	}
+}
+
+func (n *Node) sendAppend(to NodeID) {
+	next := n.nextIndex[to]
+	if next == 0 {
+		next = n.FirstIndex() + 1
+	}
+	if next <= n.FirstIndex() {
+		// The follower needs entries we compacted away: send the
+		// snapshot horizon instead.
+		n.send(Message{
+			Type:          MsgSnapshot,
+			To:            to,
+			SnapshotIndex: n.FirstIndex(),
+			SnapshotTerm:  n.log[0].Term,
+		})
+		return
+	}
+	prevIndex := next - 1
+	if prevIndex > n.LastIndex() {
+		prevIndex = n.LastIndex()
+		next = prevIndex + 1
+	}
+	prevTerm := n.entryAt(prevIndex).Term
+	var entries []Entry
+	for i := next; i <= n.LastIndex(); i++ {
+		entries = append(entries, n.entryAt(i))
+	}
+	n.send(Message{
+		Type:         MsgAppend,
+		To:           to,
+		PrevLogIndex: prevIndex,
+		PrevLogTerm:  prevTerm,
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+	})
+}
+
+// Step processes one incoming message.
+func (n *Node) Step(m Message) {
+	if m.Term > n.term {
+		leader := NodeID("")
+		if m.Type == MsgAppend {
+			leader = m.From
+		}
+		n.becomeFollower(m.Term, leader)
+	}
+	switch m.Type {
+	case MsgVoteRequest:
+		n.stepVoteRequest(m)
+	case MsgVoteResponse:
+		n.stepVoteResponse(m)
+	case MsgAppend:
+		n.stepAppend(m)
+	case MsgAppendResponse:
+		n.stepAppendResponse(m)
+	case MsgSnapshot:
+		n.stepSnapshot(m)
+	}
+}
+
+func (n *Node) stepVoteRequest(m Message) {
+	granted := false
+	if m.Term >= n.term && (n.votedFor == "" || n.votedFor == m.From) {
+		// Election restriction (§5.4.1): candidate's log must be at
+		// least as up-to-date as ours.
+		last := n.log[len(n.log)-1]
+		upToDate := m.LastLogTerm > last.Term ||
+			(m.LastLogTerm == last.Term && m.LastLogIndex >= last.Index)
+		if upToDate {
+			granted = true
+			n.votedFor = m.From
+			n.resetElectionTimeout()
+		}
+	}
+	n.send(Message{Type: MsgVoteResponse, To: m.From, Granted: granted})
+}
+
+func (n *Node) stepVoteResponse(m Message) {
+	if n.state != Candidate || m.Term < n.term {
+		return
+	}
+	if m.Granted {
+		n.votes[m.From] = true
+		if len(n.votes) >= n.quorum() {
+			n.becomeLeader()
+		}
+	}
+}
+
+func (n *Node) stepAppend(m Message) {
+	if m.Term < n.term {
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Success: false})
+		return
+	}
+	n.becomeFollower(m.Term, m.From)
+
+	// A prefix already covered by our snapshot is implicitly matched;
+	// drop the overlapping entries and move the consistency point up.
+	if m.PrevLogIndex < n.FirstIndex() {
+		covered := n.FirstIndex() - m.PrevLogIndex
+		if uint64(len(m.Entries)) <= covered {
+			n.send(Message{Type: MsgAppendResponse, To: m.From, Success: true, MatchIndex: n.FirstIndex()})
+			return
+		}
+		m.Entries = m.Entries[covered:]
+		m.PrevLogIndex = n.FirstIndex()
+		m.PrevLogTerm = n.log[0].Term
+	}
+	// Consistency check: our log must contain PrevLogIndex at
+	// PrevLogTerm.
+	prevTerm, ok := n.termAt(m.PrevLogIndex)
+	if !ok || prevTerm != m.PrevLogTerm {
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Success: false, MatchIndex: 0})
+		return
+	}
+	// Append entries, truncating any conflicting suffix.
+	for _, e := range m.Entries {
+		if e.Index <= n.LastIndex() {
+			if term, ok := n.termAt(e.Index); ok && term == e.Term {
+				continue
+			}
+			n.log = n.log[:e.Index-n.FirstIndex()]
+		}
+		n.log = append(n.log, e)
+	}
+	match := m.PrevLogIndex + uint64(len(m.Entries))
+	if m.LeaderCommit > n.commitIndex {
+		n.commitIndex = min(m.LeaderCommit, n.LastIndex())
+	}
+	n.send(Message{Type: MsgAppendResponse, To: m.From, Success: true, MatchIndex: match})
+}
+
+func (n *Node) stepAppendResponse(m Message) {
+	if n.state != Leader || m.Term < n.term {
+		return
+	}
+	if !m.Success {
+		// Back off nextIndex and retry.
+		if n.nextIndex[m.From] > 1 {
+			n.nextIndex[m.From]--
+		}
+		n.sendAppend(m.From)
+		return
+	}
+	if m.MatchIndex > n.matchIndex[m.From] {
+		n.matchIndex[m.From] = m.MatchIndex
+	}
+	n.nextIndex[m.From] = n.matchIndex[m.From] + 1
+	n.maybeAdvanceCommit()
+}
+
+// maybeAdvanceCommit advances commitIndex to the highest index replicated
+// on a quorum whose entry is from the current term (§5.4.2).
+func (n *Node) maybeAdvanceCommit() {
+	matches := make([]uint64, 0, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		matches = append(matches, n.matchIndex[p])
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	candidate := matches[n.quorum()-1]
+	if candidate <= n.commitIndex {
+		return
+	}
+	if term, ok := n.termAt(candidate); ok && term == n.term {
+		n.commitIndex = candidate
+	}
+}
+
+// stepSnapshot fast-forwards a lagging follower to the leader's
+// compaction point. Entries at or below the snapshot index are treated
+// as committed and applied (the application recovers the corresponding
+// state out of band — the orderer from its retained blocks).
+func (n *Node) stepSnapshot(m Message) {
+	if m.Term < n.term {
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Success: false})
+		return
+	}
+	n.becomeFollower(m.Term, m.From)
+	if m.SnapshotIndex <= n.commitIndex {
+		// Nothing to install; tell the leader where we are.
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Success: true, MatchIndex: n.commitIndex})
+		return
+	}
+	n.log = []Entry{{Term: m.SnapshotTerm, Index: m.SnapshotIndex}}
+	n.commitIndex = m.SnapshotIndex
+	n.applied = m.SnapshotIndex
+	n.send(Message{Type: MsgAppendResponse, To: m.From, Success: true, MatchIndex: m.SnapshotIndex})
+}
+
+// Ready drains the node's pending outbound messages and newly committed
+// entries. The caller delivers the messages and applies the entries.
+func (n *Node) Ready() (msgs []Message, committed []Entry) {
+	msgs = n.outbox
+	n.outbox = nil
+	for n.applied < n.commitIndex {
+		n.applied++
+		committed = append(committed, n.entryAt(n.applied))
+	}
+	return msgs, committed
+}

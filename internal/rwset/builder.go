@@ -1,0 +1,188 @@
+package rwset
+
+import "sort"
+
+// Builder accumulates reads and writes during chaincode simulation and
+// produces deterministic TxRWSet / TxPvtRWSet pairs. Endorsers across
+// different peers that perform the same operations in any order produce
+// byte-identical marshaled sets, which is what lets the client compare
+// proposal responses from independent endorsers.
+type Builder struct {
+	pubReads   map[string]map[string]KVRead      // ns -> key -> read
+	pubWrites  map[string]map[string]KVWrite     // ns -> key -> write
+	pvtReads   map[string]map[string]KVRead      // collection -> key -> read
+	pvtWrites  map[string]map[string]KVWrite     // collection -> key -> write
+	rangeReads map[string][]RangeQuery           // ns -> range queries in order
+	metaWrites map[string]map[string]KVMetaWrite // ns -> key -> meta write
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		pubReads:   make(map[string]map[string]KVRead),
+		pubWrites:  make(map[string]map[string]KVWrite),
+		pvtReads:   make(map[string]map[string]KVRead),
+		pvtWrites:  make(map[string]map[string]KVWrite),
+		rangeReads: make(map[string][]RangeQuery),
+		metaWrites: make(map[string]map[string]KVMetaWrite),
+	}
+}
+
+// AddRead records a public read of key at version ver. The first read of a
+// key wins: later reads of the same key observe the simulated state, which
+// by Fabric semantics reflects the same committed version.
+func (b *Builder) AddRead(ns, key string, ver KVRead) {
+	m := b.pubReads[ns]
+	if m == nil {
+		m = make(map[string]KVRead)
+		b.pubReads[ns] = m
+	}
+	if _, ok := m[key]; !ok {
+		m[key] = ver
+	}
+}
+
+// AddWrite records a public write (or delete) of key. The last write of a
+// key wins, matching Fabric's write-set collapsing.
+func (b *Builder) AddWrite(ns, key string, w KVWrite) {
+	m := b.pubWrites[ns]
+	if m == nil {
+		m = make(map[string]KVWrite)
+		b.pubWrites[ns] = m
+	}
+	m[key] = w
+}
+
+// AddPvtRead records a private read of key in a collection.
+func (b *Builder) AddPvtRead(collection, key string, r KVRead) {
+	m := b.pvtReads[collection]
+	if m == nil {
+		m = make(map[string]KVRead)
+		b.pvtReads[collection] = m
+	}
+	if _, ok := m[key]; !ok {
+		m[key] = r
+	}
+}
+
+// AddPvtWrite records a private write (or delete) of key in a collection.
+func (b *Builder) AddPvtWrite(collection, key string, w KVWrite) {
+	m := b.pvtWrites[collection]
+	if m == nil {
+		m = make(map[string]KVWrite)
+		b.pvtWrites[collection] = m
+	}
+	m[key] = w
+}
+
+// AddRangeQuery records a range scan and its observed results, in query
+// order.
+func (b *Builder) AddRangeQuery(ns string, rq RangeQuery) {
+	b.rangeReads[ns] = append(b.rangeReads[ns], rq)
+}
+
+// AddMetaWrite records an update to a key's validation parameter. The
+// last write per key wins.
+func (b *Builder) AddMetaWrite(ns, key string, w KVMetaWrite) {
+	m := b.metaWrites[ns]
+	if m == nil {
+		m = make(map[string]KVMetaWrite)
+		b.metaWrites[ns] = m
+	}
+	m[key] = w
+}
+
+// HasPvtWrites reports whether any private write has been recorded.
+func (b *Builder) HasPvtWrites() bool {
+	for _, m := range b.pvtWrites {
+		if len(m) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Build produces the hashed TxRWSet for the proposal response and the
+// original TxPvtRWSet for off-chain dissemination. All slices are sorted
+// by namespace/collection then key.
+func (b *Builder) Build(txID string) (*TxRWSet, *TxPvtRWSet) {
+	tx := &TxRWSet{}
+
+	nsNames := sortedKeys2(b.pubReads, b.pubWrites)
+	nsNames = mergeSorted(nsNames, sortedKeys(b.rangeReads))
+	nsNames = mergeSorted(nsNames, sortedKeys(b.metaWrites))
+	for _, ns := range nsNames {
+		set := NsRWSet{Namespace: ns}
+		for _, key := range sortedKeys(b.pubReads[ns]) {
+			set.Reads = append(set.Reads, b.pubReads[ns][key])
+		}
+		for _, key := range sortedKeys(b.pubWrites[ns]) {
+			set.Writes = append(set.Writes, b.pubWrites[ns][key])
+		}
+		set.RangeQueries = append(set.RangeQueries, b.rangeReads[ns]...)
+		for _, key := range sortedKeys(b.metaWrites[ns]) {
+			set.MetaWrites = append(set.MetaWrites, b.metaWrites[ns][key])
+		}
+		tx.NsRWSets = append(tx.NsRWSets, set)
+	}
+
+	pvt := &TxPvtRWSet{TxID: txID}
+	for _, coll := range sortedKeys2(b.pvtReads, b.pvtWrites) {
+		orig := CollPvtRWSet{Collection: coll}
+		for _, key := range sortedKeys(b.pvtReads[coll]) {
+			orig.Reads = append(orig.Reads, b.pvtReads[coll][key])
+		}
+		for _, key := range sortedKeys(b.pvtWrites[coll]) {
+			orig.Writes = append(orig.Writes, b.pvtWrites[coll][key])
+		}
+		tx.CollSets = append(tx.CollSets, HashPvtCollection(&orig))
+		pvt.CollSets = append(pvt.CollSets, orig)
+	}
+	if len(pvt.CollSets) == 0 {
+		pvt = nil
+	}
+	return tx, pvt
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mergeSorted returns the sorted union of two sorted string slices.
+func mergeSorted(a, b []string) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		set[s] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedKeys2 returns the sorted union of the keys of two maps.
+func sortedKeys2[A, B any](m1 map[string]A, m2 map[string]B) []string {
+	set := make(map[string]bool, len(m1)+len(m2))
+	for k := range m1 {
+		set[k] = true
+	}
+	for k := range m2 {
+		set[k] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,296 @@
+// Package rwset defines the read/write sets produced in the execution
+// phase and consumed by the validation phase, for both public data and
+// private data collections.
+//
+// Semantics follow §III-B1 (Table I) of the paper:
+//
+//   - A read-only transaction has a read set of ⟨key, version⟩ pairs and a
+//     null write set.
+//   - A write-only transaction has a null read set and a write set of
+//     ⟨key, value, is_delete=false⟩ entries.
+//   - A read-write transaction carries both.
+//   - A delete-only transaction has a null read set and a write set entry
+//     with is_delete=true and a null value.
+//
+// Private (collection) read/write sets appear in two forms: the original
+// form held by PDC members and gossiped among them, and the hashed form
+// ⟨hash(key), hash(value), version⟩ that is embedded in the transaction
+// and distributed to every peer in the channel.
+package rwset
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/fabcrypto"
+	"repro/internal/statedb"
+)
+
+// KVRead records that a key was read at a version during simulation. A
+// zero Version means the key was absent.
+type KVRead struct {
+	Key     string          `json:"key"`
+	Version statedb.Version `json:"version"`
+}
+
+// KVWrite records a write or delete produced by simulation.
+type KVWrite struct {
+	Key      string `json:"key"`
+	Value    []byte `json:"value,omitempty"`
+	IsDelete bool   `json:"is_delete,omitempty"`
+}
+
+// RangeQuery records a range scan performed during simulation together
+// with the exact keys and versions it observed. The validator re-executes
+// the range against the committed state and requires identical results,
+// which rejects phantom reads: a key inserted into or deleted from the
+// range between simulation and validation invalidates the transaction.
+type RangeQuery struct {
+	StartKey string   `json:"start_key"`
+	EndKey   string   `json:"end_key"`
+	Reads    []KVRead `json:"reads"`
+}
+
+// KVMetaWrite records an update to a key's validation parameter — the
+// key-level ("state-based") endorsement policy mechanism of Fabric's
+// validator_keylevel.go, the source file the paper cites for its policy
+// routing analysis. Policy is a signature-policy expression.
+type KVMetaWrite struct {
+	Key    string `json:"key"`
+	Policy string `json:"policy"`
+}
+
+// NsRWSet is the public read/write set of one chaincode namespace.
+type NsRWSet struct {
+	Namespace    string        `json:"namespace"`
+	Reads        []KVRead      `json:"reads,omitempty"`
+	Writes       []KVWrite     `json:"writes,omitempty"`
+	RangeQueries []RangeQuery  `json:"range_queries,omitempty"`
+	MetaWrites   []KVMetaWrite `json:"meta_writes,omitempty"`
+}
+
+// CollHashedRWSet is the hashed read/write set of one private data
+// collection. Keys and values are SHA-256 digests; versions are original.
+// This is the only collection material embedded in a transaction.
+type CollHashedRWSet struct {
+	Collection   string        `json:"collection"`
+	HashedReads  []KVReadHash  `json:"hashed_reads,omitempty"`
+	HashedWrites []KVWriteHash `json:"hashed_writes,omitempty"`
+}
+
+// KVReadHash is a hashed private read: the SHA-256 of the key plus the
+// version observed. The version is public information obtainable by any
+// peer through GetPrivateDataHash — the fact the paper's endorsement
+// forgery exploits.
+type KVReadHash struct {
+	KeyHash []byte          `json:"key_hash"`
+	Version statedb.Version `json:"version"`
+}
+
+// KVWriteHash is a hashed private write.
+type KVWriteHash struct {
+	KeyHash   []byte `json:"key_hash"`
+	ValueHash []byte `json:"value_hash,omitempty"`
+	IsDelete  bool   `json:"is_delete,omitempty"`
+}
+
+// CollPvtRWSet is the original (cleartext) private read/write set of one
+// collection. It never enters a block; endorsers keep it in their
+// transient store and gossip it to collection members.
+type CollPvtRWSet struct {
+	Collection string    `json:"collection"`
+	Reads      []KVRead  `json:"reads,omitempty"`
+	Writes     []KVWrite `json:"writes,omitempty"`
+}
+
+// TxRWSet is the complete simulation result of one transaction: public
+// read/write sets per namespace and hashed collection read/write sets.
+// This is what the proposal response carries and what validators check.
+type TxRWSet struct {
+	NsRWSets []NsRWSet         `json:"ns_rwsets,omitempty"`
+	CollSets []CollHashedRWSet `json:"coll_sets,omitempty"`
+}
+
+// TxPvtRWSet is the private companion of a TxRWSet: the original
+// collection read/write sets, distributed off-chain.
+type TxPvtRWSet struct {
+	TxID     string         `json:"tx_id"`
+	CollSets []CollPvtRWSet `json:"coll_sets,omitempty"`
+}
+
+// Marshal returns the canonical JSON serialization of the TxRWSet. Slices
+// are kept in deterministic (sorted) order by the Builder, so equal
+// simulations marshal identically — the property the client's
+// proposal-response consistency check relies on.
+func (s *TxRWSet) Marshal() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("rwset: marshal: %v", err))
+	}
+	return b
+}
+
+// UnmarshalTxRWSet decodes a TxRWSet serialized with Marshal.
+func UnmarshalTxRWSet(b []byte) (*TxRWSet, error) {
+	var s TxRWSet
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("rwset: unmarshal: %w", err)
+	}
+	return &s, nil
+}
+
+// Marshal returns the canonical JSON serialization of the private set.
+func (s *TxPvtRWSet) Marshal() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("rwset: marshal pvt: %v", err))
+	}
+	return b
+}
+
+// UnmarshalTxPvtRWSet decodes a TxPvtRWSet serialized with Marshal.
+func UnmarshalTxPvtRWSet(b []byte) (*TxPvtRWSet, error) {
+	var s TxPvtRWSet
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("rwset: unmarshal pvt: %w", err)
+	}
+	return &s, nil
+}
+
+// HashPvtCollection converts an original collection read/write set into
+// its hashed form. Members verify at commit time that the gossiped
+// original hashes to the in-block hashed form via this same function.
+func HashPvtCollection(pvt *CollPvtRWSet) CollHashedRWSet {
+	h := CollHashedRWSet{Collection: pvt.Collection}
+	for _, r := range pvt.Reads {
+		h.HashedReads = append(h.HashedReads, KVReadHash{
+			KeyHash: fabcrypto.HashString(r.Key),
+			Version: r.Version,
+		})
+	}
+	for _, w := range pvt.Writes {
+		hw := KVWriteHash{KeyHash: fabcrypto.HashString(w.Key), IsDelete: w.IsDelete}
+		if !w.IsDelete {
+			hw.ValueHash = fabcrypto.Hash(w.Value)
+		}
+		h.HashedWrites = append(h.HashedWrites, hw)
+	}
+	return h
+}
+
+// MatchesHashed reports whether the original private set pvt hashes
+// exactly to the hashed set h (same collection, same entries in the same
+// order).
+func MatchesHashed(pvt *CollPvtRWSet, h *CollHashedRWSet) bool {
+	computed := HashPvtCollection(pvt)
+	if computed.Collection != h.Collection ||
+		len(computed.HashedReads) != len(h.HashedReads) ||
+		len(computed.HashedWrites) != len(h.HashedWrites) {
+		return false
+	}
+	for i, r := range computed.HashedReads {
+		o := h.HashedReads[i]
+		if r.Version != o.Version || !fabcrypto.Equal(r.KeyHash, o.KeyHash) {
+			return false
+		}
+	}
+	for i, w := range computed.HashedWrites {
+		o := h.HashedWrites[i]
+		if w.IsDelete != o.IsDelete ||
+			!fabcrypto.Equal(w.KeyHash, o.KeyHash) ||
+			!fabcrypto.Equal(w.ValueHash, o.ValueHash) {
+			return false
+		}
+	}
+	return true
+}
+
+// TxType classifies a transaction by its read/write set shape, following
+// Table I of the paper.
+type TxType string
+
+// Transaction types of Table I.
+const (
+	TxReadOnly   TxType = "read-only"
+	TxWriteOnly  TxType = "write-only"
+	TxReadWrite  TxType = "read-write"
+	TxDeleteOnly TxType = "delete-only"
+	TxEmpty      TxType = "empty"
+)
+
+// Classify returns the Table I transaction type of a complete rwset,
+// considering both public and hashed-collection entries.
+func Classify(s *TxRWSet) TxType {
+	var reads, writes, deletes int
+	for _, ns := range s.NsRWSets {
+		reads += len(ns.Reads) + len(ns.RangeQueries)
+		writes += len(ns.MetaWrites)
+		for _, w := range ns.Writes {
+			if w.IsDelete {
+				deletes++
+			} else {
+				writes++
+			}
+		}
+	}
+	for _, c := range s.CollSets {
+		reads += len(c.HashedReads)
+		for _, w := range c.HashedWrites {
+			if w.IsDelete {
+				deletes++
+			} else {
+				writes++
+			}
+		}
+	}
+	switch {
+	case reads == 0 && writes == 0 && deletes == 0:
+		return TxEmpty
+	case reads > 0 && writes == 0 && deletes == 0:
+		return TxReadOnly
+	case reads == 0 && deletes > 0 && writes == 0:
+		return TxDeleteOnly
+	case reads == 0:
+		return TxWriteOnly
+	default:
+		return TxReadWrite
+	}
+}
+
+// ReadCollections returns the sorted names of collections the transaction
+// read from; used by defense Feature 1 to route read-only PDC
+// transactions to collection-level endorsement policies.
+func ReadCollections(s *TxRWSet) []string {
+	set := make(map[string]bool)
+	for _, c := range s.CollSets {
+		if len(c.HashedReads) > 0 {
+			set[c.Collection] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteCollections returns the sorted names of collections the
+// transaction wrote to (including deletes); the validator uses this to
+// select collection-level endorsement policies for write-related PDC
+// transactions.
+func WriteCollections(s *TxRWSet) []string {
+	set := make(map[string]bool)
+	for _, c := range s.CollSets {
+		if len(c.HashedWrites) > 0 {
+			set[c.Collection] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,44 @@
+package statedb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPut measures versioned writes.
+func BenchmarkPut(b *testing.B) {
+	db := New()
+	value := []byte("value")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.Put("ns", fmt.Sprintf("k%d", i%1024), value)
+	}
+}
+
+// BenchmarkGet measures reads from a 1k-key namespace.
+func BenchmarkGet(b *testing.B) {
+	db := New()
+	for i := 0; i < 1024; i++ {
+		db.Put("ns", fmt.Sprintf("k%d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := db.Get("ns", fmt.Sprintf("k%d", i%1024)); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+// BenchmarkGetRange measures the range scans behind phantom-read checks.
+func BenchmarkGetRange(b *testing.B) {
+	db := New()
+	for i := 0; i < 1024; i++ {
+		db.Put("ns", fmt.Sprintf("k%04d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if kvs := db.GetRange("ns", "k0100", "k0200"); len(kvs) != 100 {
+			b.Fatalf("range = %d", len(kvs))
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package statedb implements the world state of a Fabric peer: a versioned
+// key-value database storing ⟨key, value, version⟩ tuples, partitioned into
+// namespaces (one per chaincode, plus one per private data collection and
+// one per collection hash space).
+//
+// The version of a key starts at 1 on first write and increases
+// monotonically on every update, exactly as the paper describes in
+// §II-A1; the validator's version-conflict (MVCC) check compares the
+// versions captured in a transaction's read set against the versions
+// currently recorded here.
+package statedb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Version is the per-key update counter. The zero Version means "key
+// absent". Fabric proper uses (block, txNum) heights; a per-key counter
+// has identical MVCC semantics because all peers apply the same valid
+// transactions in the same order.
+type Version uint64
+
+// VersionedValue is a value with the version at which it was last written.
+type VersionedValue struct {
+	Value   []byte
+	Version Version
+}
+
+// KV is a key with its versioned value, as returned from range scans.
+type KV struct {
+	Namespace string
+	Key       string
+	Value     []byte
+	Version   Version
+}
+
+// MetadataNamespace returns the namespace holding per-key validation
+// parameters (key-level endorsement policies) of a chaincode namespace.
+// Metadata lives beside the data so validators can resolve the policy a
+// written key is governed by.
+func MetadataNamespace(ns string) string { return ns + "$vp" }
+
+// DB is an in-memory, thread-safe versioned store. The zero value is not
+// usable; construct with New.
+type DB struct {
+	mu   sync.RWMutex
+	data map[string]map[string]VersionedValue // namespace -> key -> value
+	// tombs remembers the last version of deleted keys so a re-created
+	// key continues its version sequence instead of restarting at 1.
+	tombs map[string]map[string]Version
+}
+
+// New creates an empty world state database.
+func New() *DB {
+	return &DB{
+		data:  make(map[string]map[string]VersionedValue),
+		tombs: make(map[string]map[string]Version),
+	}
+}
+
+// Get returns the value and version for key in the namespace. ok is false
+// when the key is absent (deleted keys are absent).
+func (db *DB) Get(ns, key string) (value []byte, ver Version, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	vv, ok := db.data[ns][key]
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), vv.Value...), vv.Version, true
+}
+
+// GetVersion returns only the version of a key; 0 when absent. Both the
+// private store and the hash store of a collection report the same version
+// for the same logical key, which is precisely what makes the paper's
+// GetPrivateDataHash-based endorsement forgery possible.
+func (db *DB) GetVersion(ns, key string) Version {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data[ns][key].Version
+}
+
+// Put writes value under key, advancing the version, and returns the new
+// version.
+func (db *DB) Put(ns, key string, value []byte) Version {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.putLocked(ns, key, value)
+}
+
+func (db *DB) putLocked(ns, key string, value []byte) Version {
+	m, ok := db.data[ns]
+	if !ok {
+		m = make(map[string]VersionedValue)
+		db.data[ns] = m
+	}
+	base := m[key].Version
+	if base == 0 {
+		base = db.tombs[ns][key]
+	}
+	next := base + 1
+	m[key] = VersionedValue{Value: append([]byte(nil), value...), Version: next}
+	return next
+}
+
+// PutAtVersion writes value under key at an explicit version. It is used
+// when committing a write whose version was fixed elsewhere (the hash
+// store and private store of a collection must record identical versions).
+func (db *DB) PutAtVersion(ns, key string, value []byte, ver Version) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, ok := db.data[ns]
+	if !ok {
+		m = make(map[string]VersionedValue)
+		db.data[ns] = m
+	}
+	m[key] = VersionedValue{Value: append([]byte(nil), value...), Version: ver}
+}
+
+// Delete removes key from the namespace. Deleting an absent key is a
+// no-op. A later re-write of the key restarts its version from the
+// deleted key's last version + 1, preserved via tombstone bookkeeping.
+func (db *DB) Delete(ns, key string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.deleteLocked(ns, key)
+}
+
+func (db *DB) deleteLocked(ns, key string) {
+	m, ok := db.data[ns]
+	if !ok {
+		return
+	}
+	vv, ok := m[key]
+	if !ok {
+		return
+	}
+	t, ok := db.tombs[ns]
+	if !ok {
+		t = make(map[string]Version)
+		db.tombs[ns] = t
+	}
+	t[key] = vv.Version
+	delete(m, key)
+}
+
+// Write is one element of a batch update.
+type Write struct {
+	Namespace string
+	Key       string
+	Value     []byte
+	// IsDelete marks a deletion; Value is ignored when set.
+	IsDelete bool
+	// Version, when non-zero, pins the version recorded for the write
+	// instead of advancing the current one.
+	Version Version
+}
+
+// ApplyBatch applies a set of writes atomically with respect to readers.
+func (db *DB) ApplyBatch(writes []Write) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, w := range writes {
+		switch {
+		case w.IsDelete:
+			db.deleteLocked(w.Namespace, w.Key)
+		case w.Version != 0:
+			m, ok := db.data[w.Namespace]
+			if !ok {
+				m = make(map[string]VersionedValue)
+				db.data[w.Namespace] = m
+			}
+			m[w.Key] = VersionedValue{Value: append([]byte(nil), w.Value...), Version: w.Version}
+		default:
+			db.putLocked(w.Namespace, w.Key, w.Value)
+		}
+	}
+}
+
+// GetRange returns all keys k with startKey <= k < endKey in the
+// namespace, sorted by key. An empty endKey means "to the end".
+func (db *DB) GetRange(ns, startKey, endKey string) []KV {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []KV
+	for key, vv := range db.data[ns] {
+		if key < startKey {
+			continue
+		}
+		if endKey != "" && key >= endKey {
+			continue
+		}
+		out = append(out, KV{Namespace: ns, Key: key, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Keys returns all keys in a namespace, sorted.
+func (db *DB) Keys(ns string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.data[ns]))
+	for k := range db.data[ns] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Namespaces returns all namespaces with at least one key, sorted.
+func (db *DB) Namespaces() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.data))
+	for ns := range db.data {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys in a namespace.
+func (db *DB) Len(ns string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.data[ns])
+}
+
+// String renders a compact dump of the database, for debugging and the
+// example programs.
+func (db *DB) String() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	nss := make([]string, 0, len(db.data))
+	for ns := range db.data {
+		nss = append(nss, ns)
+	}
+	sort.Strings(nss)
+	var b strings.Builder
+	for _, ns := range nss {
+		keys := make([]string, 0, len(db.data[ns]))
+		for k := range db.data[ns] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			vv := db.data[ns][k]
+			fmt.Fprintf(&b, "%s/%s = %q @v%d\n", ns, k, vv.Value, vv.Version)
+		}
+	}
+	return b.String()
+}

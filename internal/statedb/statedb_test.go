@@ -1,0 +1,188 @@
+package statedb
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	db := New()
+	if _, _, ok := db.Get("ns", "missing"); ok {
+		t.Fatal("missing key reported present")
+	}
+	v1 := db.Put("ns", "k", []byte("a"))
+	if v1 != 1 {
+		t.Fatalf("first version = %d, want 1", v1)
+	}
+	value, ver, ok := db.Get("ns", "k")
+	if !ok || string(value) != "a" || ver != 1 {
+		t.Fatalf("get = (%q, %d, %v)", value, ver, ok)
+	}
+	v2 := db.Put("ns", "k", []byte("b"))
+	if v2 != 2 {
+		t.Fatalf("second version = %d, want 2", v2)
+	}
+}
+
+func TestNamespacesIsolated(t *testing.T) {
+	db := New()
+	db.Put("ns1", "k", []byte("a"))
+	if _, _, ok := db.Get("ns2", "k"); ok {
+		t.Fatal("key leaked across namespaces")
+	}
+	if db.GetVersion("ns2", "k") != 0 {
+		t.Fatal("version leaked across namespaces")
+	}
+}
+
+func TestDeleteAndVersionContinuity(t *testing.T) {
+	db := New()
+	db.Put("ns", "k", []byte("a")) // v1
+	db.Put("ns", "k", []byte("b")) // v2
+	db.Delete("ns", "k")
+	if _, _, ok := db.Get("ns", "k"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if db.GetVersion("ns", "k") != 0 {
+		t.Fatal("deleted key reports a live version")
+	}
+	// Re-creating the key continues the version sequence — a reader
+	// holding the old version must still conflict.
+	v := db.Put("ns", "k", []byte("c"))
+	if v != 3 {
+		t.Fatalf("post-delete version = %d, want 3", v)
+	}
+	// Deleting an absent key is a no-op.
+	db.Delete("ns", "absent")
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	db := New()
+	db.Put("ns", "k", []byte("abc"))
+	value, _, _ := db.Get("ns", "k")
+	value[0] = 'X'
+	again, _, _ := db.Get("ns", "k")
+	if string(again) != "abc" {
+		t.Fatal("internal state mutated through returned slice")
+	}
+}
+
+func TestPutAtVersion(t *testing.T) {
+	db := New()
+	db.PutAtVersion("ns", "k", []byte("a"), 7)
+	_, ver, _ := db.Get("ns", "k")
+	if ver != 7 {
+		t.Fatalf("pinned version = %d, want 7", ver)
+	}
+	// A normal Put continues from the pinned version.
+	if v := db.Put("ns", "k", []byte("b")); v != 8 {
+		t.Fatalf("version after pinned = %d, want 8", v)
+	}
+}
+
+func TestApplyBatch(t *testing.T) {
+	db := New()
+	db.Put("ns", "gone", []byte("x"))
+	db.ApplyBatch([]Write{
+		{Namespace: "ns", Key: "a", Value: []byte("1")},
+		{Namespace: "ns", Key: "b", Value: []byte("2"), Version: 5},
+		{Namespace: "ns", Key: "gone", IsDelete: true},
+	})
+	if _, ver, _ := db.Get("ns", "a"); ver != 1 {
+		t.Error("batch put version wrong")
+	}
+	if _, ver, _ := db.Get("ns", "b"); ver != 5 {
+		t.Error("batch pinned version wrong")
+	}
+	if _, _, ok := db.Get("ns", "gone"); ok {
+		t.Error("batch delete did not remove key")
+	}
+}
+
+func TestGetRangeAndKeys(t *testing.T) {
+	db := New()
+	for _, k := range []string{"b", "a", "d", "c"} {
+		db.Put("ns", k, []byte(k))
+	}
+	kvs := db.GetRange("ns", "b", "d")
+	if len(kvs) != 2 || kvs[0].Key != "b" || kvs[1].Key != "c" {
+		t.Fatalf("range = %+v", kvs)
+	}
+	all := db.GetRange("ns", "", "")
+	if len(all) != 4 || all[0].Key != "a" {
+		t.Fatalf("open range = %+v", all)
+	}
+	keys := db.Keys("ns")
+	if len(keys) != 4 || keys[3] != "d" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if db.Len("ns") != 4 {
+		t.Fatalf("len = %d", db.Len("ns"))
+	}
+	if nss := db.Namespaces(); len(nss) != 1 || nss[0] != "ns" {
+		t.Fatalf("namespaces = %v", nss)
+	}
+}
+
+// TestVersionMonotonicityQuick: any interleaving of puts and deletes on a
+// key yields a strictly increasing sequence of observed live versions.
+func TestVersionMonotonicityQuick(t *testing.T) {
+	f := func(ops []bool) bool {
+		db := New()
+		last := Version(0)
+		for _, isPut := range ops {
+			if isPut {
+				v := db.Put("ns", "k", []byte("x"))
+				if v <= last {
+					return false
+				}
+				last = v
+			} else {
+				db.Delete("ns", "k")
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPutGetRoundTripQuick: the value read back equals the value written.
+func TestPutGetRoundTripQuick(t *testing.T) {
+	f := func(key string, value []byte) bool {
+		db := New()
+		db.Put("ns", key, value)
+		got, _, ok := db.Get("ns", key)
+		return ok && string(got) == string(value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	db := New()
+	db.Put("ns", "k", []byte("v"))
+	want := "ns/k = \"v\" @v1\n"
+	if got := db.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			db.Put("ns", fmt.Sprintf("k%d", i%10), []byte("v"))
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		db.Get("ns", fmt.Sprintf("k%d", i%10))
+		db.GetRange("ns", "", "")
+	}
+	<-done
+}

@@ -1,0 +1,554 @@
+// Package validator implements the validation phase of the three-phase
+// workflow (paper §II-B3): the proof-of-policy (PoP) consensus checks —
+// endorsement policy check and version-conflict (MVCC) check — followed
+// by commit of valid transactions to the world state and blockchain.
+//
+// The policy-routing logic reproduced here is the crux of the paper's
+// Use Case 2: read-only transactions are always validated against the
+// chaincode-level endorsement policy, and write-related transactions use
+// a collection-level policy only when one is defined. Defense Feature 1
+// (§IV-C1) changes the read-only routing; the supplemental filter of
+// §V-D discards endorsements from collection non-members.
+package validator
+
+import (
+	"fmt"
+
+	"repro/internal/chaincode"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/fabcrypto"
+	"repro/internal/gossip"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/policy"
+	"repro/internal/pvtdata"
+	"repro/internal/rwset"
+	"repro/internal/statedb"
+)
+
+// Validator is the committing engine of one peer.
+type Validator struct {
+	selfName   string
+	selfOrg    string
+	channelCfg *channel.Config
+	verifier   *identity.Verifier
+	defs       func(name string) *chaincode.Definition
+	db         *statedb.DB
+	pvt        *pvtdata.Store
+	transient  *pvtdata.TransientStore
+	gossip     *gossip.Network
+	blocks     *ledger.BlockStore
+	sec        core.SecurityConfig
+
+	// missing records private data the peer could not obtain at commit
+	// time (tx ID -> collection names), mirroring Fabric's missing
+	// private data bookkeeping.
+	missing map[string][]string
+}
+
+// Config wires a Validator.
+type Config struct {
+	SelfName  string
+	SelfOrg   string
+	Channel   *channel.Config
+	Verifier  *identity.Verifier
+	Defs      func(name string) *chaincode.Definition
+	DB        *statedb.DB
+	Pvt       *pvtdata.Store
+	Transient *pvtdata.TransientStore
+	Gossip    *gossip.Network
+	Blocks    *ledger.BlockStore
+	Security  core.SecurityConfig
+}
+
+// New creates a validator.
+func New(cfg Config) *Validator {
+	return &Validator{
+		selfName:   cfg.SelfName,
+		selfOrg:    cfg.SelfOrg,
+		channelCfg: cfg.Channel,
+		verifier:   cfg.Verifier,
+		defs:       cfg.Defs,
+		db:         cfg.DB,
+		pvt:        cfg.Pvt,
+		transient:  cfg.Transient,
+		gossip:     cfg.Gossip,
+		blocks:     cfg.Blocks,
+		sec:        cfg.Security,
+		missing:    make(map[string][]string),
+	}
+}
+
+// SetSecurity swaps the active security configuration.
+func (v *Validator) SetSecurity(sec core.SecurityConfig) { v.sec = sec }
+
+// MissingPrivateData returns the collections for which the peer is a
+// member but never obtained the original private data of a transaction.
+func (v *Validator) MissingPrivateData(txID string) []string {
+	return append([]string(nil), v.missing[txID]...)
+}
+
+// ReconcileMissing retries every recorded missing-private-data entry: it
+// pulls the original set from other member peers via gossip, verifies it
+// against the in-block hashes and commits the recovered values at the
+// hashed store's current versions — but only when the hashed store still
+// reflects those writes (a later overwrite makes the old values stale,
+// in which case the entry stays recorded until the newer transaction's
+// reconciliation covers it). Returns the number of collections
+// recovered.
+func (v *Validator) ReconcileMissing() int {
+	recovered := 0
+	for txID, colls := range v.missing {
+		tx, code, err := v.blocks.Transaction(txID)
+		if err != nil || code != ledger.Valid {
+			continue
+		}
+		prp, err := tx.ResponsePayloadParsed()
+		if err != nil {
+			continue
+		}
+		set, err := prp.RWSet()
+		if err != nil {
+			continue
+		}
+		def := v.defs(prp.Chaincode)
+		if def == nil {
+			continue
+		}
+		var remaining []string
+		for _, collName := range colls {
+			if v.reconcileOne(txID, def, set, collName) {
+				recovered++
+			} else {
+				remaining = append(remaining, collName)
+			}
+		}
+		if len(remaining) == 0 {
+			delete(v.missing, txID)
+		} else {
+			v.missing[txID] = remaining
+		}
+	}
+	return recovered
+}
+
+func (v *Validator) reconcileOne(
+	txID string,
+	def *chaincode.Definition,
+	set *rwset.TxRWSet,
+	collName string,
+) bool {
+	cfg := def.Collection(collName)
+	if cfg == nil {
+		return false
+	}
+	var hashed *rwset.CollHashedRWSet
+	for i := range set.CollSets {
+		if set.CollSets[i].Collection == collName {
+			hashed = &set.CollSets[i]
+			break
+		}
+	}
+	if hashed == nil {
+		return false
+	}
+	orig := v.gossip.Reconcile(v.selfName, cfg, txID)
+	if orig == nil || !rwset.MatchesHashed(orig, hashed) {
+		return false
+	}
+	for _, w := range orig.Writes {
+		if w.IsDelete {
+			continue
+		}
+		// Apply only when the hashed store still holds this exact
+		// value — otherwise a newer write superseded it.
+		current, ver, ok := v.pvt.GetPrivateHash(def.Name, collName, w.Key)
+		if !ok || !fabcrypto.Equal(current, fabcrypto.Hash(w.Value)) {
+			continue
+		}
+		v.pvt.ApplyPrivateWrite(def.Name, collName, w.Key, w.Value, ver)
+	}
+	return true
+}
+
+// ValidateAndCommit runs the validation phase over a block: each
+// transaction is validated independently, flags are recorded in the block
+// metadata, valid transactions are committed to the world state, and the
+// block is appended to the blockchain.
+func (v *Validator) ValidateAndCommit(block *ledger.Block) error {
+	for i, tx := range block.Transactions {
+		code := v.ValidateTx(tx)
+		block.Metadata.ValidationFlags[i] = code
+		if code == ledger.Valid {
+			v.commitTx(block.Header.Number, tx)
+		}
+	}
+	if err := v.blocks.Append(block); err != nil {
+		return fmt.Errorf("validator %s: %w", v.selfName, err)
+	}
+	v.pvt.PurgeUpTo(block.Header.Number)
+	return nil
+}
+
+// ReplayBlock re-applies an already-validated block during restart
+// recovery: the validation flags recorded in the block metadata are
+// trusted (they were computed by this peer before the block was made
+// durable), so only the commit path runs.
+func (v *Validator) ReplayBlock(block *ledger.Block) error {
+	for i, tx := range block.Transactions {
+		if block.Metadata.ValidationFlags[i] == ledger.Valid {
+			v.commitTx(block.Header.Number, tx)
+		}
+	}
+	if err := v.blocks.Append(block); err != nil {
+		return fmt.Errorf("validator %s: replay: %w", v.selfName, err)
+	}
+	v.pvt.PurgeUpTo(block.Header.Number)
+	return nil
+}
+
+// ValidateTx runs the two PoP checks on one transaction and returns its
+// validation code. It performs no commit. Replayed transactions (an ID
+// already on the chain) are rejected outright, as in Fabric — without
+// this, a captured valid read-only transaction could be resubmitted
+// forever, since the version-conflict check alone would keep passing.
+func (v *Validator) ValidateTx(tx *ledger.Transaction) ledger.ValidationCode {
+	if _, _, err := v.blocks.Transaction(tx.TxID); err == nil {
+		return ledger.DuplicateTxID
+	}
+	prp, err := tx.ResponsePayloadParsed()
+	if err != nil {
+		return ledger.BadPayload
+	}
+	set, err := prp.RWSet()
+	if err != nil {
+		return ledger.BadPayload
+	}
+	def := v.defs(prp.Chaincode)
+	if def == nil {
+		return ledger.BadPayload
+	}
+
+	signers, code := v.verifiedEndorsers(tx, def, set)
+	if code != ledger.Valid {
+		return code
+	}
+	if !v.endorsementPolicySatisfied(def, set, signers) {
+		return ledger.EndorsementPolicyFailure
+	}
+	if !v.versionsCurrent(def, set) {
+		return ledger.MVCCConflict
+	}
+	return ledger.Valid
+}
+
+// verifiedEndorsers validates endorsement certificates and signatures and
+// returns the certificates whose signatures verify. Under the
+// supplemental non-member filter, endorsements from organizations outside
+// every touched collection's membership are discarded here.
+func (v *Validator) verifiedEndorsers(
+	tx *ledger.Transaction,
+	def *chaincode.Definition,
+	set *rwset.TxRWSet,
+) ([]*identity.Certificate, ledger.ValidationCode) {
+	var touched []*pvtdata.CollectionConfig
+	if v.sec.FilterNonMemberEndorsements {
+		for _, cs := range set.CollSets {
+			if cfg := def.Collection(cs.Collection); cfg != nil {
+				touched = append(touched, cfg)
+			}
+		}
+	}
+
+	var signers []*identity.Certificate
+	for _, e := range tx.Endorsements {
+		cert, err := identity.ParseCertificate(e.Endorser)
+		if err != nil {
+			return nil, ledger.BadSignature
+		}
+		if err := v.verifier.VerifySignature(cert, tx.ResponsePayload, e.Signature); err != nil {
+			return nil, ledger.BadSignature
+		}
+		if excludeNonMember(cert, touched) {
+			continue
+		}
+		signers = append(signers, cert)
+	}
+	return signers, ledger.Valid
+}
+
+func excludeNonMember(cert *identity.Certificate, touched []*pvtdata.CollectionConfig) bool {
+	for _, cfg := range touched {
+		if !cfg.IsMember(cert.Org) {
+			return true
+		}
+	}
+	return false
+}
+
+// endorsementPolicySatisfied routes the transaction to the applicable
+// endorsement policies and evaluates them.
+//
+// Routing (original Fabric, per the paper §III-C and the key-level
+// validation of validator_keylevel.go, the source the paper cites):
+//   - transactions that WRITE to a collection with a collection-level
+//     endorsement policy must satisfy that policy;
+//   - public writes to keys carrying a key-level validation parameter
+//     must satisfy that key's policy; such keys are exempt from the
+//     chaincode-level policy;
+//   - everything else — including all read-only transactions — must
+//     satisfy the chaincode-level policy.
+//
+// Feature 1 adds: transactions that READ a collection with a
+// collection-level policy must satisfy it too.
+func (v *Validator) endorsementPolicySatisfied(
+	def *chaincode.Definition,
+	set *rwset.TxRWSet,
+	signers []*identity.Certificate,
+) bool {
+	required := v.applicableCollectionPolicies(def, set)
+
+	// Key-level routing over public writes and metadata writes.
+	publicWrites := false
+	needChaincodePolicy := false
+	for _, ns := range set.NsRWSets {
+		for _, w := range ns.Writes {
+			publicWrites = true
+			if pol := v.keyLevelPolicy(ns.Namespace, w.Key); pol != nil {
+				required = append(required, pol)
+			} else {
+				needChaincodePolicy = true
+			}
+		}
+		for _, mw := range ns.MetaWrites {
+			// Changing a key's validation parameter is itself
+			// governed by the key's current policy (or the
+			// chaincode-level one if none is set yet).
+			publicWrites = true
+			if pol := v.keyLevelPolicy(ns.Namespace, mw.Key); pol != nil {
+				required = append(required, pol)
+			} else {
+				needChaincodePolicy = true
+			}
+		}
+	}
+	// Read-only transactions (and transactions whose only effects are
+	// collection writes without a collection policy) fall back to the
+	// chaincode-level policy — the paper's Use Case 2 routing.
+	if len(required) == 0 && !publicWrites {
+		needChaincodePolicy = true
+	}
+
+	if needChaincodePolicy && !v.chaincodePolicySatisfied(def, signers) {
+		return false
+	}
+	for _, pol := range required {
+		if !pol.Evaluate(signers) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyLevelPolicy resolves the validation parameter of a public key, or
+// nil when the key has none (or it fails to parse, in which case the
+// chaincode-level policy governs, as a broken parameter must not make
+// keys unwritable).
+func (v *Validator) keyLevelPolicy(ns, key string) policy.Policy {
+	spec, _, ok := v.db.Get(statedb.MetadataNamespace(ns), key)
+	if !ok || len(spec) == 0 {
+		return nil
+	}
+	pol, err := policy.Parse(string(spec))
+	if err != nil {
+		return nil
+	}
+	return pol
+}
+
+func (v *Validator) applicableCollectionPolicies(
+	def *chaincode.Definition,
+	set *rwset.TxRWSet,
+) []policy.Policy {
+	names := rwset.WriteCollections(set)
+	if v.sec.CollectionPolicyForReads {
+		names = append(names, rwset.ReadCollections(set)...)
+	}
+	var out []policy.Policy
+	seen := make(map[string]bool)
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		cfg := def.Collection(name)
+		if cfg == nil || cfg.EndorsementPolicy == "" {
+			continue
+		}
+		pol, err := policy.Parse(cfg.EndorsementPolicy)
+		if err != nil {
+			continue
+		}
+		out = append(out, pol)
+	}
+	return out
+}
+
+func (v *Validator) chaincodePolicySatisfied(def *chaincode.Definition, signers []*identity.Certificate) bool {
+	pol, err := v.channelCfg.ResolvePolicy(def.EndorsementPolicy)
+	if err != nil {
+		return false
+	}
+	return pol.Evaluate(signers)
+}
+
+// versionsCurrent performs the version-conflict check: every version in
+// the read sets (public and hashed-collection) must match the current
+// world state, and every recorded range query must re-execute to the
+// identical key/version list (phantom-read protection). The check does
+// NOT re-execute chaincode — which is why the paper's fabricated
+// proposal responses pass it (§IV-A1).
+func (v *Validator) versionsCurrent(def *chaincode.Definition, set *rwset.TxRWSet) bool {
+	for _, ns := range set.NsRWSets {
+		for _, r := range ns.Reads {
+			if v.db.GetVersion(ns.Namespace, r.Key) != r.Version {
+				return false
+			}
+		}
+		for _, rq := range ns.RangeQueries {
+			if !v.rangeUnchanged(ns.Namespace, rq) {
+				return false
+			}
+		}
+	}
+	for _, cs := range set.CollSets {
+		for _, r := range cs.HashedReads {
+			if v.pvt.HashedVersion(def.Name, cs.Collection, r.KeyHash) != r.Version {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rangeUnchanged re-executes a recorded range query against the current
+// state and compares keys and versions exactly. Any inserted (phantom),
+// deleted, or updated key in the range invalidates the transaction.
+func (v *Validator) rangeUnchanged(ns string, rq rwset.RangeQuery) bool {
+	current := v.db.GetRange(ns, rq.StartKey, rq.EndKey)
+	if len(current) != len(rq.Reads) {
+		return false
+	}
+	for i, kv := range current {
+		if kv.Key != rq.Reads[i].Key || kv.Version != rq.Reads[i].Version {
+			return false
+		}
+	}
+	return true
+}
+
+// commitTx applies a valid transaction's writes: public writes at every
+// peer, hashed collection writes at every peer, and original private
+// writes at member peers (after verifying the gossiped original against
+// the in-block hashes).
+func (v *Validator) commitTx(blockNum uint64, tx *ledger.Transaction) {
+	prp, err := tx.ResponsePayloadParsed()
+	if err != nil {
+		return
+	}
+	set, err := prp.RWSet()
+	if err != nil {
+		return
+	}
+	def := v.defs(prp.Chaincode)
+	if def == nil {
+		return
+	}
+
+	for _, ns := range set.NsRWSets {
+		for _, w := range ns.Writes {
+			if w.IsDelete {
+				v.db.Delete(ns.Namespace, w.Key)
+			} else {
+				v.db.Put(ns.Namespace, w.Key, w.Value)
+			}
+		}
+		for _, mw := range ns.MetaWrites {
+			v.db.Put(statedb.MetadataNamespace(ns.Namespace), mw.Key, []byte(mw.Policy))
+		}
+	}
+
+	for _, cs := range set.CollSets {
+		if len(cs.HashedWrites) == 0 {
+			continue
+		}
+		cfg := def.Collection(cs.Collection)
+		if cfg == nil {
+			continue
+		}
+		member := cfg.IsMember(v.selfOrg)
+		orig := v.originalPvtSet(tx.TxID, cfg, &cs, member)
+
+		for _, hw := range cs.HashedWrites {
+			if hw.IsDelete {
+				v.pvt.DeleteHashed(def.Name, cs.Collection, hw.KeyHash)
+				if member {
+					if w := matchWrite(orig, hw.KeyHash); w != nil {
+						v.pvt.DeletePrivate(def.Name, cs.Collection, w.Key)
+					}
+				}
+				continue
+			}
+			ver := v.pvt.ApplyHashedWrite(def.Name, cs.Collection, hw.KeyHash, hw.ValueHash)
+			if member {
+				if w := matchWrite(orig, hw.KeyHash); w != nil {
+					v.pvt.ApplyPrivateWrite(def.Name, cs.Collection, w.Key, w.Value, ver)
+					if cfg.BlockToLive > 0 {
+						v.pvt.SchedulePurge(blockNum+cfg.BlockToLive, def.Name, cs.Collection, w.Key)
+					}
+				}
+			}
+		}
+		if member && orig == nil {
+			v.missing[tx.TxID] = append(v.missing[tx.TxID], cs.Collection)
+		}
+	}
+	v.transient.Purge(tx.TxID)
+}
+
+// originalPvtSet obtains the original private set of a collection for a
+// transaction: from the local transient store, falling back to a gossip
+// reconciliation pull, verifying in both cases that the original hashes
+// to the in-block hashed set.
+func (v *Validator) originalPvtSet(
+	txID string,
+	cfg *pvtdata.CollectionConfig,
+	hashed *rwset.CollHashedRWSet,
+	member bool,
+) *rwset.CollPvtRWSet {
+	if !member {
+		return nil
+	}
+	orig := v.transient.GetCollection(txID, cfg.Name)
+	if orig == nil || !rwset.MatchesHashed(orig, hashed) {
+		orig = v.gossip.Reconcile(v.selfName, cfg, txID)
+	}
+	if orig == nil || !rwset.MatchesHashed(orig, hashed) {
+		return nil
+	}
+	return orig
+}
+
+// matchWrite finds the original write whose key hashes to keyHash.
+func matchWrite(orig *rwset.CollPvtRWSet, keyHash []byte) *rwset.KVWrite {
+	if orig == nil {
+		return nil
+	}
+	for i := range orig.Writes {
+		if fabcrypto.Equal(fabcrypto.HashString(orig.Writes[i].Key), keyHash) {
+			return &orig.Writes[i]
+		}
+	}
+	return nil
+}
