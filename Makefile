@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+## check: the full gate — vet, build, race-enabled tests
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+## bench: the per-figure benchmarks (see bench_test.go)
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .

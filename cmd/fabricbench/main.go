@@ -3,16 +3,23 @@
 // and delete transactions, under the original framework and under the
 // framework with the defense features enabled.
 //
+// Beyond the paper, -pipeline measures the parallel block validation
+// pipeline (docs/VALIDATION.md): commit throughput at several worker
+// counts plus the per-phase latency histograms.
+//
 // Usage:
 //
-//	fabricbench            # 100 runs per cell, as in the paper
+//	fabricbench                 # 100 runs per cell, as in the paper
 //	fabricbench -runs 500
+//	fabricbench -workers 8      # validation worker pool for all runs
+//	fabricbench -pipeline       # 1/2/GOMAXPROCS worker comparison
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/perf"
@@ -32,8 +39,46 @@ func run(args []string) error {
 	throughput := fs.Bool("throughput", false, "also measure end-to-end throughput")
 	clients := fs.Int("clients", 4, "concurrent clients for -throughput")
 	txs := fs.Int("txs", 200, "transactions for -throughput")
+	workers := fs.Int("workers", 0, "validation worker pool size (0 = GOMAXPROCS)")
+	pipeline := fs.Bool("pipeline", false, "measure block validation pipeline throughput at 1/2/GOMAXPROCS workers")
+	pipelineBlocks := fs.Int("pipeline-blocks", 4, "blocks per worker setting for -pipeline")
+	pipelineTxs := fs.Int("pipeline-txs", 32, "transactions per block for -pipeline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pipeline {
+		counts := []int{1, 2}
+		if mp := runtime.GOMAXPROCS(0); mp > 2 {
+			counts = append(counts, mp)
+		}
+		fmt.Printf("Measuring block validation pipeline (%d blocks x %d txs per worker setting)...\n",
+			*pipelineBlocks, *pipelineTxs)
+		sec := core.OriginalFabric()
+		sec.ValidationWorkers = *workers
+		results, err := perf.MeasureBlockValidation(sec, counts, *pipelineBlocks, *pipelineTxs)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(perf.RenderBlockValidation(results))
+		fmt.Println()
+
+		// The phase histograms accumulate across all settings of the
+		// run; render them once for the latency breakdown.
+		h, err := perf.NewHarness(sec, 0)
+		if err != nil {
+			return err
+		}
+		phaseTxs, err := h.EndorseTxs(0, *pipelineTxs)
+		if err != nil {
+			return err
+		}
+		if err := h.CommitBlock(h.BuildBlock(phaseTxs)); err != nil {
+			return err
+		}
+		fmt.Print(perf.RenderTimings(h.TargetTimings()))
+		fmt.Println()
 	}
 
 	if *throughput {
@@ -45,6 +90,7 @@ func run(args []string) error {
 			{"original", core.OriginalFabric()},
 			{"defended", core.DefendedFabric()},
 		} {
+			v.sec.ValidationWorkers = *workers
 			r, err := perf.MeasureThroughput(v.sec, v.name, *clients, *txs)
 			if err != nil {
 				return err

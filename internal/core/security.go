@@ -35,6 +35,21 @@ type SecurityConfig struct {
 	// organization is not a member of a collection the transaction
 	// touches are discarded before the endorsement policy is evaluated.
 	FilterNonMemberEndorsements bool
+
+	// ValidationWorkers bounds the worker pool of the parallel block
+	// validation pipeline (docs/VALIDATION.md): the per-transaction
+	// certificate/signature checks and state-independent endorsement-
+	// policy evaluation fan out across this many goroutines, while the
+	// key-level routing, MVCC check and commit stay sequential in block
+	// order. 0 selects runtime.GOMAXPROCS(0); 1 forces the fully
+	// sequential path. Validation outcomes are identical for every
+	// value (see TestPipelineDeterminism).
+	ValidationWorkers int
+
+	// VerifyCacheSize caps the validator's LRU endorsement-verification
+	// cache (identity.VerifyCache). 0 selects the default capacity;
+	// negative disables caching.
+	VerifyCacheSize int
 }
 
 // OriginalFabric is the unmodified framework configuration.

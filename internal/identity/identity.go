@@ -159,6 +159,10 @@ func (ca *CA) Issue(subject string, role Role) (*Identity, error) {
 type Verifier struct {
 	mu  sync.RWMutex
 	cas map[string]fabcrypto.PublicKey // org -> CA public key
+	// gen counts CA-set mutations; VerifyCache entries record the
+	// generation they were verified under and treat a mismatch as a
+	// miss, so CA rotation can never resurrect a stale verdict.
+	gen uint64
 }
 
 // NewVerifier creates an empty Verifier. CAs are added with TrustCA.
@@ -171,6 +175,16 @@ func (v *Verifier) TrustCA(org string, pub fabcrypto.PublicKey) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.cas[org] = append(fabcrypto.PublicKey(nil), pub...)
+	v.gen++
+}
+
+// Generation returns the number of CA-set mutations so far. Caches key
+// their entries to it: any TrustCA call invalidates everything cached
+// under earlier generations.
+func (v *Verifier) Generation() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.gen
 }
 
 // TrustedOrgs returns the sorted list of organizations with registered CAs.

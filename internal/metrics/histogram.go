@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram accumulates a latency distribution: exponential buckets from
+// 1µs upwards (doubling per bucket), plus exact count/sum/min/max. The
+// zero value is ready to use; Observe is safe for concurrent use, which
+// lets validation workers record phase latencies without coordination
+// beyond the histogram's own lock.
+type Histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [histBuckets]uint64
+}
+
+// histBuckets covers 1µs << 0 .. 1µs << 20 (~1s) with one overflow
+// bucket at the end.
+const histBuckets = 22
+
+// bucketBound returns the inclusive upper bound of bucket i; the last
+// bucket is unbounded.
+func bucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := histBuckets - 1
+	for i := 0; i < histBuckets-1; i++ {
+		if d <= bucketBound(i) {
+			idx = i
+			break
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[idx]++
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count uint64
+	Sum   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	// Buckets holds cumulative-free per-bucket counts; Bounds[i] is the
+	// upper bound of Buckets[i] (the last bucket is unbounded).
+	Buckets [histBuckets]uint64
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the p-quantile (0 < p <= 1) from the buckets,
+// returning the upper bound of the bucket the quantile falls in. Good
+// enough for observability; not a substitute for exact samples.
+func (s HistogramSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(p * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= target {
+			if i == histBuckets-1 {
+				return s.Max
+			}
+			return bucketBound(i)
+		}
+	}
+	return s.Max
+}
+
+// Snapshot returns a copy of the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Buckets: h.buckets,
+	}
+}
+
+// Timings is a named set of histograms, the latency companion to
+// Counters. The zero value is ready to use.
+type Timings struct {
+	mu   sync.Mutex
+	hist map[string]*Histogram
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (t *Timings) Histogram(name string) *Histogram {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.hist == nil {
+		t.hist = make(map[string]*Histogram)
+	}
+	h, ok := t.hist[name]
+	if !ok {
+		h = &Histogram{}
+		t.hist[name] = h
+	}
+	return h
+}
+
+// Observe records one sample into the named histogram.
+func (t *Timings) Observe(name string, d time.Duration) {
+	t.Histogram(name).Observe(d)
+}
+
+// Snapshot returns a consistent copy of every histogram.
+func (t *Timings) Snapshot() map[string]HistogramSnapshot {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.hist))
+	hists := make([]*Histogram, 0, len(t.hist))
+	for name, h := range t.hist {
+		names = append(names, name)
+		hists = append(hists, h)
+	}
+	t.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(names))
+	for i, name := range names {
+		out[name] = hists[i].Snapshot()
+	}
+	return out
+}
+
+// String renders the histograms sorted by name, one summary line each.
+func (t *Timings) String() string {
+	snap := t.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		s := snap[name]
+		fmt.Fprintf(&b, "%s count=%d mean=%s p95=%s min=%s max=%s\n",
+			name, s.Count, s.Mean().Round(time.Nanosecond),
+			s.Quantile(0.95), s.Min, s.Max)
+	}
+	return b.String()
+}
+
+// Well-known histogram names emitted by the validation pipeline: the
+// per-transaction latency of each phase (docs/VALIDATION.md).
+const (
+	// ValidateVerify times certificate + endorsement-signature
+	// verification (the parallel phase of the pipeline).
+	ValidateVerify = "validate_verify"
+	// ValidatePolicy times endorsement-policy evaluation (parallel
+	// pre-evaluation plus the sequential key-level routing).
+	ValidatePolicy = "validate_policy"
+	// ValidateMVCC times the version-conflict check (sequential).
+	ValidateMVCC = "validate_mvcc"
+	// ValidateCommit times world-state commit of valid transactions
+	// (sequential).
+	ValidateCommit = "validate_commit"
+)
+
+// Well-known counter names emitted by the verification cache.
+const (
+	// VerifyCacheHits counts endorsement verifications served from the
+	// identity.VerifyCache.
+	VerifyCacheHits = "verify_cache_hits"
+	// VerifyCacheMisses counts endorsement verifications that ran the
+	// full certificate + signature check.
+	VerifyCacheMisses = "verify_cache_misses"
+)

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	samples := []time.Duration{
+		500 * time.Nanosecond,
+		3 * time.Microsecond,
+		40 * time.Microsecond,
+		2 * time.Millisecond,
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		h.Observe(s)
+		sum += s
+	}
+	snap := h.Snapshot()
+	if snap.Count != uint64(len(samples)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(samples))
+	}
+	if snap.Sum != sum {
+		t.Fatalf("sum = %v, want %v", snap.Sum, sum)
+	}
+	if snap.Min != 500*time.Nanosecond || snap.Max != 2*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", snap.Min, snap.Max)
+	}
+	if got := snap.Mean(); got != sum/4 {
+		t.Fatalf("mean = %v, want %v", got, sum/4)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 99 fast samples, one slow outlier.
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	snap := h.Snapshot()
+	if q := snap.Quantile(0.5); q > 2*time.Microsecond {
+		t.Fatalf("p50 = %v, want <= 2µs", q)
+	}
+	if q := snap.Quantile(1.0); q < 50*time.Millisecond {
+		t.Fatalf("p100 = %v, want >= 50ms", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	snap := h.Snapshot()
+	if snap.Min != 0 || snap.Sum != 0 {
+		t.Fatalf("negative sample not clamped: %+v", snap)
+	}
+}
+
+func TestTimingsRegistry(t *testing.T) {
+	var tm Timings
+	tm.Observe("a", time.Millisecond)
+	tm.Observe("a", 3*time.Millisecond)
+	tm.Observe("b", time.Microsecond)
+	snap := tm.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d histograms, want 2", len(snap))
+	}
+	if snap["a"].Count != 2 || snap["b"].Count != 1 {
+		t.Fatalf("counts = %d/%d", snap["a"].Count, snap["b"].Count)
+	}
+	if s := tm.String(); s == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestTimingsConcurrent(t *testing.T) {
+	var tm Timings
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tm.Observe("phase", time.Duration(i)*time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tm.Snapshot()["phase"].Count; got != 1600 {
+		t.Fatalf("count = %d, want 1600", got)
+	}
+}

@@ -37,6 +37,7 @@ type Peer struct {
 	validator  *validator.Validator
 	persist    *blockfile.Store
 	metrics    metrics.Counters
+	timings    metrics.Timings
 
 	mu   sync.RWMutex
 	defs map[string]*chaincode.Definition
@@ -109,6 +110,8 @@ func New(cfg Config) *Peer {
 		Gossip:    cfg.Gossip,
 		Blocks:    p.blocks,
 		Security:  cfg.Security,
+		Metrics:   &p.metrics,
+		Timings:   &p.timings,
 	})
 	cfg.Gossip.Join(p)
 	return p
@@ -203,6 +206,10 @@ func (p *Peer) ProcessProposal(prop *ledger.Proposal) (*ledger.ProposalResponse,
 
 // Metrics returns a snapshot of the peer's operational counters.
 func (p *Peer) Metrics() map[string]uint64 { return p.metrics.Snapshot() }
+
+// Timings returns a snapshot of the peer's per-phase validation latency
+// histograms (metrics.ValidateVerify/Policy/MVCC/Commit).
+func (p *Peer) Timings() map[string]metrics.HistogramSnapshot { return p.timings.Snapshot() }
 
 // CommitBlock runs the validation phase on a delivered block. The
 // orderer calls this for every peer through its delivery registration.

@@ -1,0 +1,116 @@
+// Parallel block validation pipeline (docs/VALIDATION.md).
+//
+// The validation phase does two very different kinds of work per
+// transaction: expensive, state-independent proof-of-policy checks
+// (certificate validation, ECDSA endorsement-signature verification,
+// evaluation of the collection- and chaincode-level policies over the
+// verified signers) and cheap, state-dependent checks plus the commit
+// (key-level policy routing, MVCC version comparison, world-state
+// writes). The first kind is embarrassingly parallel — no transaction's
+// verdict depends on any other transaction — so it fans out across a
+// bounded worker pool, mirroring Fabric's parallel VSCC validation. The
+// second kind consumes the prechecks strictly in block order, so
+// version-conflict semantics (and therefore every validation flag, the
+// world state and the block hash chain) are bit-identical to a fully
+// sequential run.
+package validator
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+)
+
+// workerCount resolves the configured pool size: ValidationWorkers when
+// positive, else GOMAXPROCS.
+func (v *Validator) workerCount() int {
+	if v.sec.ValidationWorkers > 0 {
+		return v.sec.ValidationWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// preValidateBlock runs preValidate over every transaction of the block,
+// fanning out across the worker pool. The returned slice is indexed like
+// block.Transactions. With one worker (or one transaction) no goroutine
+// is spawned.
+func (v *Validator) preValidateBlock(txs []*ledger.Transaction) []*txPrecheck {
+	out := make([]*txPrecheck, len(txs))
+	workers := v.workerCount()
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+	if workers <= 1 {
+		for i, tx := range txs {
+			out[i] = v.preValidate(tx)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = v.preValidate(txs[i])
+			}
+		}()
+	}
+	for i := range txs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// ValidateAndCommit runs the validation phase over a block: the
+// state-independent prechecks of every transaction fan out across the
+// worker pool, then — in block order — each transaction's validation is
+// completed against the current world state, its flag is recorded in the
+// block metadata, and valid transactions are committed. Finally the
+// block is appended to the blockchain.
+//
+// Ordering guarantee: the sequential stage observes transactions in
+// block order, so a transaction sees exactly the world state left by the
+// valid transactions before it — identical to validating and committing
+// one transaction at a time.
+func (v *Validator) ValidateAndCommit(block *ledger.Block) error {
+	pres := v.preValidateBlock(block.Transactions)
+	for i, tx := range block.Transactions {
+		code := v.finishValidate(pres[i])
+		block.Metadata.ValidationFlags[i] = code
+		if code == ledger.Valid {
+			commitStart := time.Now()
+			v.commitTx(block.Header.Number, tx)
+			v.observe(metrics.ValidateCommit, commitStart)
+		}
+	}
+	if err := v.blocks.Append(block); err != nil {
+		return fmt.Errorf("validator %s: %w", v.selfName, err)
+	}
+	v.pvt.PurgeUpTo(block.Header.Number)
+	return nil
+}
+
+// ValidateBlock runs the full validation pipeline over a block — the
+// parallel prechecks plus the sequential policy/MVCC completion — but
+// performs no commit and does not append the block. It returns one
+// validation code per transaction. Because nothing is committed, the
+// state-dependent checks of every transaction see the pre-block world
+// state; for blocks whose transactions are independent this equals
+// ValidateAndCommit's flags. Benchmarks and inspection tooling use this
+// to re-validate the same block repeatedly.
+func (v *Validator) ValidateBlock(block *ledger.Block) []ledger.ValidationCode {
+	pres := v.preValidateBlock(block.Transactions)
+	codes := make([]ledger.ValidationCode, len(pres))
+	for i, pre := range pres {
+		codes[i] = v.finishValidate(pre)
+	}
+	return codes
+}

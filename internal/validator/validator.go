@@ -13,6 +13,7 @@ package validator
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/chaincode"
 	"repro/internal/channel"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/pvtdata"
 	"repro/internal/rwset"
@@ -33,6 +35,7 @@ type Validator struct {
 	selfOrg    string
 	channelCfg *channel.Config
 	verifier   *identity.Verifier
+	vcache     *identity.VerifyCache
 	defs       func(name string) *chaincode.Definition
 	db         *statedb.DB
 	pvt        *pvtdata.Store
@@ -40,6 +43,8 @@ type Validator struct {
 	gossip     *gossip.Network
 	blocks     *ledger.BlockStore
 	sec        core.SecurityConfig
+	counters   *metrics.Counters // optional
+	timings    *metrics.Timings  // optional
 
 	// missing records private data the peer could not obtain at commit
 	// time (tx ID -> collection names), mirroring Fabric's missing
@@ -60,6 +65,12 @@ type Config struct {
 	Gossip    *gossip.Network
 	Blocks    *ledger.BlockStore
 	Security  core.SecurityConfig
+	// Metrics, when non-nil, receives verification-cache hit/miss
+	// counters.
+	Metrics *metrics.Counters
+	// Timings, when non-nil, receives the per-phase validation latency
+	// histograms (metrics.ValidateVerify/Policy/MVCC/Commit).
+	Timings *metrics.Timings
 }
 
 // New creates a validator.
@@ -69,6 +80,7 @@ func New(cfg Config) *Validator {
 		selfOrg:    cfg.SelfOrg,
 		channelCfg: cfg.Channel,
 		verifier:   cfg.Verifier,
+		vcache:     identity.NewVerifyCache(cfg.Verifier, cfg.Security.VerifyCacheSize, cfg.Metrics),
 		defs:       cfg.Defs,
 		db:         cfg.DB,
 		pvt:        cfg.Pvt,
@@ -76,9 +88,16 @@ func New(cfg Config) *Validator {
 		gossip:     cfg.Gossip,
 		blocks:     cfg.Blocks,
 		sec:        cfg.Security,
+		counters:   cfg.Metrics,
+		timings:    cfg.Timings,
 		missing:    make(map[string][]string),
 	}
 }
+
+// FlushVerifyCache drops every memoized endorsement verification.
+// Benchmarks use it to measure the uncached path; operators never need
+// it (CA rotation invalidates entries by generation).
+func (v *Validator) FlushVerifyCache() { v.vcache.Flush() }
 
 // SetSecurity swaps the active security configuration.
 func (v *Validator) SetSecurity(sec core.SecurityConfig) { v.sec = sec }
@@ -172,25 +191,6 @@ func (v *Validator) reconcileOne(
 	return true
 }
 
-// ValidateAndCommit runs the validation phase over a block: each
-// transaction is validated independently, flags are recorded in the block
-// metadata, valid transactions are committed to the world state, and the
-// block is appended to the blockchain.
-func (v *Validator) ValidateAndCommit(block *ledger.Block) error {
-	for i, tx := range block.Transactions {
-		code := v.ValidateTx(tx)
-		block.Metadata.ValidationFlags[i] = code
-		if code == ledger.Valid {
-			v.commitTx(block.Header.Number, tx)
-		}
-	}
-	if err := v.blocks.Append(block); err != nil {
-		return fmt.Errorf("validator %s: %w", v.selfName, err)
-	}
-	v.pvt.PurgeUpTo(block.Header.Number)
-	return nil
-}
-
 // ReplayBlock re-applies an already-validated block during restart
 // recovery: the validation flags recorded in the block metadata are
 // trusted (they were computed by this peer before the block was made
@@ -213,34 +213,126 @@ func (v *Validator) ReplayBlock(block *ledger.Block) error {
 // already on the chain) are rejected outright, as in Fabric — without
 // this, a captured valid read-only transaction could be resubmitted
 // forever, since the version-conflict check alone would keep passing.
+//
+// The check is split in two halves so that ValidateAndCommit can fan the
+// first out across workers: preValidate covers everything that depends
+// only on the transaction bytes and channel configuration, and
+// finishValidate covers everything that must observe the world state as
+// left by the preceding transactions of the block.
 func (v *Validator) ValidateTx(tx *ledger.Transaction) ledger.ValidationCode {
+	return v.finishValidate(v.preValidate(tx))
+}
+
+// txPrecheck carries the state-independent validation results of one
+// transaction out of the parallel phase.
+type txPrecheck struct {
+	tx   *ledger.Transaction
+	code ledger.ValidationCode // Valid when every precheck passed
+	prp  *ledger.ProposalResponsePayload
+	set  *rwset.TxRWSet
+	def  *chaincode.Definition
+
+	// signers are the endorser certificates whose signatures verified
+	// (after the non-member filter, when enabled).
+	signers []*identity.Certificate
+	// collCount is the number of applicable collection-level policies;
+	// collOK reports whether the signers satisfied every one of them.
+	collCount int
+	collOK    bool
+	// ccOK reports whether the signers satisfied the chaincode-level
+	// policy (pre-evaluated unconditionally; consulted only when the
+	// routing of finishValidate requires it).
+	ccOK bool
+
+	// policyDur accumulates the parallel share of policy-evaluation
+	// time; finishValidate adds the key-level routing share before
+	// observing the total.
+	policyDur time.Duration
+}
+
+// preValidate runs every check that does not depend on the world state:
+// the replay check (the block store does not change while a block
+// validates), payload parsing, certificate and signature verification,
+// and evaluation of the state-independent endorsement policies
+// (collection-level and chaincode-level). Safe to call concurrently for
+// different transactions.
+func (v *Validator) preValidate(tx *ledger.Transaction) *txPrecheck {
+	pre := &txPrecheck{tx: tx, code: ledger.Valid}
 	if _, _, err := v.blocks.Transaction(tx.TxID); err == nil {
-		return ledger.DuplicateTxID
+		pre.code = ledger.DuplicateTxID
+		return pre
 	}
 	prp, err := tx.ResponsePayloadParsed()
 	if err != nil {
-		return ledger.BadPayload
+		pre.code = ledger.BadPayload
+		return pre
 	}
 	set, err := prp.RWSet()
 	if err != nil {
-		return ledger.BadPayload
+		pre.code = ledger.BadPayload
+		return pre
 	}
 	def := v.defs(prp.Chaincode)
 	if def == nil {
-		return ledger.BadPayload
+		pre.code = ledger.BadPayload
+		return pre
 	}
+	pre.prp, pre.set, pre.def = prp, set, def
 
+	verifyStart := time.Now()
 	signers, code := v.verifiedEndorsers(tx, def, set)
+	v.observe(metrics.ValidateVerify, verifyStart)
 	if code != ledger.Valid {
-		return code
+		pre.code = code
+		return pre
 	}
-	if !v.endorsementPolicySatisfied(def, set, signers) {
+	pre.signers = signers
+
+	policyStart := time.Now()
+	collPols := v.applicableCollectionPolicies(def, set)
+	pre.collCount = len(collPols)
+	pre.collOK = true
+	for _, pol := range collPols {
+		if !pol.Evaluate(signers) {
+			pre.collOK = false
+			break
+		}
+	}
+	pre.ccOK = v.chaincodePolicySatisfied(def, signers)
+	pre.policyDur = time.Since(policyStart)
+	return pre
+}
+
+// finishValidate completes validation over the current world state: the
+// key-level endorsement-policy routing (validation parameters live in
+// the state database, so writes of earlier transactions in the same
+// block must be visible) and the MVCC check. Must run in block order.
+func (v *Validator) finishValidate(pre *txPrecheck) ledger.ValidationCode {
+	if pre.code != ledger.Valid {
+		return pre.code
+	}
+	policyStart := time.Now()
+	ok := v.policyRoutingSatisfied(pre)
+	if v.timings != nil {
+		v.timings.Observe(metrics.ValidatePolicy, pre.policyDur+time.Since(policyStart))
+	}
+	if !ok {
 		return ledger.EndorsementPolicyFailure
 	}
-	if !v.versionsCurrent(def, set) {
+	mvccStart := time.Now()
+	current := v.versionsCurrent(pre.def, pre.set)
+	v.observe(metrics.ValidateMVCC, mvccStart)
+	if !current {
 		return ledger.MVCCConflict
 	}
 	return ledger.Valid
+}
+
+// observe records a phase latency when timing is enabled.
+func (v *Validator) observe(name string, start time.Time) {
+	if v.timings != nil {
+		v.timings.Observe(name, time.Since(start))
+	}
 }
 
 // verifiedEndorsers validates endorsement certificates and signatures and
@@ -263,11 +355,11 @@ func (v *Validator) verifiedEndorsers(
 
 	var signers []*identity.Certificate
 	for _, e := range tx.Endorsements {
-		cert, err := identity.ParseCertificate(e.Endorser)
+		// The cache folds certificate parsing, the CA check and the
+		// endorsement-signature check into one memoized lookup; repeat
+		// endorsers across a block skip the CA-side ECDSA entirely.
+		cert, err := v.vcache.VerifyEndorsement(e.Endorser, tx.ResponsePayload, e.Signature)
 		if err != nil {
-			return nil, ledger.BadSignature
-		}
-		if err := v.verifier.VerifySignature(cert, tx.ResponsePayload, e.Signature); err != nil {
 			return nil, ledger.BadSignature
 		}
 		if excludeNonMember(cert, touched) {
@@ -287,8 +379,13 @@ func excludeNonMember(cert *identity.Certificate, touched []*pvtdata.CollectionC
 	return false
 }
 
-// endorsementPolicySatisfied routes the transaction to the applicable
-// endorsement policies and evaluates them.
+// policyRoutingSatisfied routes the transaction to the applicable
+// endorsement policies. The state-independent policies (collection-level
+// and chaincode-level) were already evaluated over the verified signers
+// in preValidate; this sequential half resolves the key-level validation
+// parameters — which live in the state database and may have been
+// written by an earlier transaction of the same block — and combines the
+// verdicts.
 //
 // Routing (original Fabric, per the paper §III-C and the key-level
 // validation of validator_keylevel.go, the source the paper cites):
@@ -302,21 +399,20 @@ func excludeNonMember(cert *identity.Certificate, touched []*pvtdata.CollectionC
 //
 // Feature 1 adds: transactions that READ a collection with a
 // collection-level policy must satisfy it too.
-func (v *Validator) endorsementPolicySatisfied(
-	def *chaincode.Definition,
-	set *rwset.TxRWSet,
-	signers []*identity.Certificate,
-) bool {
-	required := v.applicableCollectionPolicies(def, set)
-
+func (v *Validator) policyRoutingSatisfied(pre *txPrecheck) bool {
 	// Key-level routing over public writes and metadata writes.
 	publicWrites := false
 	needChaincodePolicy := false
-	for _, ns := range set.NsRWSets {
+	keyPolicies := 0
+	keyPoliciesOK := true
+	for _, ns := range pre.set.NsRWSets {
 		for _, w := range ns.Writes {
 			publicWrites = true
 			if pol := v.keyLevelPolicy(ns.Namespace, w.Key); pol != nil {
-				required = append(required, pol)
+				keyPolicies++
+				if !pol.Evaluate(pre.signers) {
+					keyPoliciesOK = false
+				}
 			} else {
 				needChaincodePolicy = true
 			}
@@ -327,7 +423,10 @@ func (v *Validator) endorsementPolicySatisfied(
 			// chaincode-level one if none is set yet).
 			publicWrites = true
 			if pol := v.keyLevelPolicy(ns.Namespace, mw.Key); pol != nil {
-				required = append(required, pol)
+				keyPolicies++
+				if !pol.Evaluate(pre.signers) {
+					keyPoliciesOK = false
+				}
 			} else {
 				needChaincodePolicy = true
 			}
@@ -336,19 +435,14 @@ func (v *Validator) endorsementPolicySatisfied(
 	// Read-only transactions (and transactions whose only effects are
 	// collection writes without a collection policy) fall back to the
 	// chaincode-level policy — the paper's Use Case 2 routing.
-	if len(required) == 0 && !publicWrites {
+	if pre.collCount+keyPolicies == 0 && !publicWrites {
 		needChaincodePolicy = true
 	}
 
-	if needChaincodePolicy && !v.chaincodePolicySatisfied(def, signers) {
+	if needChaincodePolicy && !pre.ccOK {
 		return false
 	}
-	for _, pol := range required {
-		if !pol.Evaluate(signers) {
-			return false
-		}
-	}
-	return true
+	return pre.collOK && keyPoliciesOK
 }
 
 // keyLevelPolicy resolves the validation parameter of a public key, or
