@@ -5,7 +5,11 @@
 //
 // Beyond the paper, -pipeline measures the parallel block validation
 // pipeline (docs/VALIDATION.md): commit throughput at several worker
-// counts plus the per-phase latency histograms.
+// counts plus the per-phase latency histograms. -reconcile runs the
+// anti-entropy reconciliation scenario (docs/PROTOCOL.md): dissemination
+// to one member peer is dropped for a batch of private writes, the
+// network heals, and the tick-driven reconciler recovers the member's
+// private store, reporting attempts, failures and per-attempt latency.
 //
 // Usage:
 //
@@ -13,6 +17,7 @@
 //	fabricbench -runs 500
 //	fabricbench -workers 8      # validation worker pool for all runs
 //	fabricbench -pipeline       # 1/2/GOMAXPROCS worker comparison
+//	fabricbench -reconcile      # anti-entropy convergence scenario
 package main
 
 import (
@@ -43,8 +48,25 @@ func run(args []string) error {
 	pipeline := fs.Bool("pipeline", false, "measure block validation pipeline throughput at 1/2/GOMAXPROCS workers")
 	pipelineBlocks := fs.Int("pipeline-blocks", 4, "blocks per worker setting for -pipeline")
 	pipelineTxs := fs.Int("pipeline-txs", 32, "transactions per block for -pipeline")
+	reconcileFlag := fs.Bool("reconcile", false, "run the anti-entropy reconciliation scenario (drop, commit, heal, tick to convergence)")
+	reconcileTxs := fs.Int("reconcile-txs", 16, "private transactions missed by the isolated member for -reconcile")
+	reconcileIsolated := fs.Int("reconcile-isolated-ticks", 3, "failing reconciler ticks before the heal for -reconcile")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *reconcileFlag {
+		fmt.Printf("Measuring anti-entropy reconciliation (%d missed txs, %d isolated ticks)...\n",
+			*reconcileTxs, *reconcileIsolated)
+		sec := core.OriginalFabric()
+		sec.ValidationWorkers = *workers
+		r, err := perf.MeasureReconcile(sec, *reconcileTxs, *reconcileIsolated, 1000)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(perf.RenderReconcile(r))
+		fmt.Println()
 	}
 
 	if *pipeline {

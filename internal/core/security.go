@@ -50,6 +50,30 @@ type SecurityConfig struct {
 	// cache (identity.VerifyCache). 0 selects the default capacity;
 	// negative disables caching.
 	VerifyCacheSize int
+
+	// ReconcileMaxAttempts bounds the anti-entropy reconciler's attempts
+	// per missing (txID, collection) entry before it gives up
+	// (internal/reconcile). 0 selects reconcile.DefaultMaxAttempts.
+	ReconcileMaxAttempts int
+
+	// ReconcileBaseBackoff is the reconciler's retry delay in ticks after
+	// the first failed attempt; it doubles per failure up to
+	// ReconcileMaxBackoff. 0 selects reconcile.DefaultBaseBackoff.
+	ReconcileBaseBackoff int
+
+	// ReconcileMaxBackoff caps the reconciler's exponential backoff, in
+	// ticks. 0 selects reconcile.DefaultMaxBackoff.
+	ReconcileMaxBackoff int
+
+	// TransientTTLBlocks evicts transient-store entries that are older
+	// than this many blocks at commit time, bounding how long private
+	// sets of never-committed transactions linger. 0 disables the TTL.
+	TransientTTLBlocks uint64
+
+	// TransientMaxEntries bounds the number of transactions held in the
+	// transient store; the oldest entries are evicted first. 0 means
+	// unbounded.
+	TransientMaxEntries int
 }
 
 // OriginalFabric is the unmodified framework configuration.

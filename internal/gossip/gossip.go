@@ -12,6 +12,7 @@ package gossip
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/pvtdata"
@@ -83,7 +84,10 @@ func (n *Network) DropDeliveries(peerName string, drop bool) {
 }
 
 // membersOfOrgs returns registered peers whose org is in orgs, excluding
-// the peer named self.
+// the peer named self, sorted by peer name. The ordering makes the
+// fan-out selection of Disseminate deterministic: when MaxPeerCount
+// truncates the target list, the same peers receive the data on every
+// run.
 func (n *Network) membersOfOrgs(orgs []string, self string) []Member {
 	orgSet := make(map[string]bool, len(orgs))
 	for _, o := range orgs {
@@ -100,6 +104,7 @@ func (n *Network) membersOfOrgs(orgs []string, self string) []Member {
 			out = append(out, m)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GossipName() < out[j].GossipName() })
 	return out
 }
 
@@ -114,15 +119,27 @@ func (n *Network) reachable(peerName string) bool {
 // peer to other member peers, honoring the collection's MaxPeerCount
 // fan-out bound, and fails when fewer than RequiredPeerCount peers
 // received it — in which case the endorsement must not be returned.
+//
+// MaxPeerCount == 0 means "push to none" (Fabric semantics): the data
+// stays in the endorsing peer's transient store until member peers pull
+// it at commit time or through reconciliation. An isolated endorsing
+// peer ("no serving out") likewise pushes to nobody.
 func (n *Network) Disseminate(
 	self string,
 	cfg *pvtdata.CollectionConfig,
 	txID string,
 	collSet *rwset.CollPvtRWSet,
 ) error {
+	if !n.reachable(self) {
+		if cfg.RequiredPeerCount > 0 {
+			return fmt.Errorf("%w: collection %q tx %s: endorsing peer %s is isolated, delivered 0, required %d",
+				ErrDisseminationShort, cfg.Name, txID, self, cfg.RequiredPeerCount)
+		}
+		return nil
+	}
 	targets := n.membersOfOrgs(cfg.MemberOrgs(), self)
 	maxPush := cfg.MaxPeerCount
-	if maxPush > len(targets) || maxPush == 0 {
+	if maxPush > len(targets) {
 		maxPush = len(targets)
 	}
 	delivered := 0

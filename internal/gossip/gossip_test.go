@@ -113,6 +113,103 @@ func TestMaxPeerCountBoundsFanOut(t *testing.T) {
 	}
 }
 
+// TestMaxPeerCountZeroPushesToNone: MaxPeerCount 0 means dissemination
+// is disabled — the data stays at the endorsing peer (Fabric semantics),
+// it does NOT mean "push to all".
+func TestMaxPeerCountZeroPushesToNone(t *testing.T) {
+	n := NewNetwork()
+	p1 := newFakePeer("peer0.org1", "org1")
+	p2 := newFakePeer("peer0.org2", "org2")
+	n.Join(p1)
+	n.Join(p2)
+
+	if err := n.Disseminate("peer0.org1", collCfg(0, 0), "tx1", set()); err != nil {
+		t.Fatalf("RequiredPeerCount 0 must succeed without pushing: %v", err)
+	}
+	if len(p2.received) != 0 {
+		t.Fatal("MaxPeerCount 0 pushed private data")
+	}
+
+	// With a positive RequiredPeerCount the push can never satisfy it.
+	err := n.Disseminate("peer0.org1", collCfg(1, 0), "tx2", set())
+	if !errors.Is(err, ErrDisseminationShort) {
+		t.Fatalf("err = %v, want ErrDisseminationShort", err)
+	}
+	if len(p2.received) != 0 {
+		t.Fatal("short dissemination still pushed data")
+	}
+}
+
+// TestIsolatedEndorserCannotDisseminate: Isolate is documented as "no
+// deliveries in, no serving out, no pulls" — an isolated endorsing peer
+// must not push private data out either.
+func TestIsolatedEndorserCannotDisseminate(t *testing.T) {
+	n := NewNetwork()
+	p1 := newFakePeer("peer0.org1", "org1")
+	p2 := newFakePeer("peer0.org2", "org2")
+	n.Join(p1)
+	n.Join(p2)
+	n.Isolate("peer0.org1", true)
+
+	err := n.Disseminate("peer0.org1", collCfg(1, 3), "tx1", set())
+	if !errors.Is(err, ErrDisseminationShort) {
+		t.Fatalf("err = %v, want ErrDisseminationShort", err)
+	}
+	if len(p2.received) != 0 {
+		t.Fatal("isolated peer pushed private data out")
+	}
+
+	// RequiredPeerCount 0: no error, but still nothing leaves the peer.
+	if err := n.Disseminate("peer0.org1", collCfg(0, 3), "tx2", set()); err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.received) != 0 {
+		t.Fatal("isolated peer pushed private data out with required 0")
+	}
+
+	// Healing restores dissemination.
+	n.Isolate("peer0.org1", false)
+	if err := n.Disseminate("peer0.org1", collCfg(1, 3), "tx3", set()); err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.received) != 1 {
+		t.Fatal("healed peer did not disseminate")
+	}
+}
+
+// TestDeterministicFanOutSelection: when MaxPeerCount truncates the
+// target list, the selection is by sorted peer name — identical on every
+// run, not Go map iteration order.
+func TestDeterministicFanOutSelection(t *testing.T) {
+	for run := 0; run < 20; run++ {
+		n := NewNetwork()
+		n.Join(newFakePeer("peer0.org1", "org1"))
+		targets := []*fakePeer{
+			newFakePeer("peer0.org2", "org2"),
+			newFakePeer("peer1.org1", "org1"),
+			newFakePeer("peer1.org2", "org2"),
+			newFakePeer("peer2.org2", "org2"),
+		}
+		// Join in varying order; selection must not depend on it.
+		for i := range targets {
+			n.Join(targets[(i+run)%len(targets)])
+		}
+		if err := n.Disseminate("peer0.org1", collCfg(1, 2), "tx1", set()); err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, p := range targets {
+			if len(p.received) > 0 {
+				got = append(got, p.name)
+			}
+		}
+		want := []string{"peer0.org2", "peer1.org1"}
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("run %d: receivers = %v, want %v", run, got, want)
+		}
+	}
+}
+
 func TestDropDeliveriesAndReconcile(t *testing.T) {
 	n := NewNetwork()
 	p1 := newFakePeer("peer0.org1", "org1")

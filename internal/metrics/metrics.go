@@ -79,3 +79,27 @@ const (
 	// TxOrdered counts transactions ordered.
 	TxOrdered = "tx_ordered"
 )
+
+// Well-known counter names emitted by the private-data reconciler
+// (internal/reconcile): per-attempt outcomes and queue movements.
+const (
+	// ReconcileEnqueued counts (txID, collection) entries newly picked up
+	// by the reconciler from the peer's missing-private-data records.
+	ReconcileEnqueued = "reconcile_enqueued"
+	// ReconcileAttempts counts reconciliation attempts (pulls), whatever
+	// the outcome.
+	ReconcileAttempts = "reconcile_attempts"
+	// ReconcileRecovered counts entries whose original private data was
+	// recovered and committed.
+	ReconcileRecovered = "reconcile_recovered"
+	// ReconcileFailures counts failed attempts (no member could serve a
+	// matching original set).
+	ReconcileFailures = "reconcile_attempt_failures"
+	// ReconcileGiveUps counts entries abandoned after the configured
+	// maximum number of attempts.
+	ReconcileGiveUps = "reconcile_gave_up"
+)
+
+// ReconcileAttempt is the histogram name timing each reconciliation
+// attempt (the gossip pull plus hash verification and commit).
+const ReconcileAttempt = "reconcile_attempt"

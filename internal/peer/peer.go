@@ -19,6 +19,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/pvtdata"
+	"repro/internal/reconcile"
 	"repro/internal/rwset"
 	"repro/internal/statedb"
 	"repro/internal/validator"
@@ -35,6 +36,7 @@ type Peer struct {
 	registry   *chaincode.Registry
 	endorser   *endorser.Endorser
 	validator  *validator.Validator
+	reconciler *reconcile.Reconciler
 	persist    *blockfile.Store
 	metrics    metrics.Counters
 	timings    metrics.Timings
@@ -113,6 +115,26 @@ func New(cfg Config) *Peer {
 		Metrics:   &p.metrics,
 		Timings:   &p.timings,
 	})
+	p.transient.SetHeightSource(p.blocks.Height)
+	p.transient.SetLimits(cfg.Security.TransientTTLBlocks, cfg.Security.TransientMaxEntries)
+	p.reconciler = reconcile.New(reconcile.Config{
+		Fetch: func() []reconcile.Entry {
+			missing := p.validator.Missing()
+			out := make([]reconcile.Entry, len(missing))
+			for i, m := range missing {
+				out[i] = reconcile.Entry{TxID: m.TxID, Collection: m.Collection}
+			}
+			return out
+		},
+		Attempt: func(e reconcile.Entry) bool {
+			return p.validator.ReconcileOne(e.TxID, e.Collection)
+		},
+		MaxAttempts: cfg.Security.ReconcileMaxAttempts,
+		BaseBackoff: cfg.Security.ReconcileBaseBackoff,
+		MaxBackoff:  cfg.Security.ReconcileMaxBackoff,
+		Metrics:     &p.metrics,
+		Timings:     &p.timings,
+	})
 	cfg.Gossip.Join(p)
 	return p
 }
@@ -158,10 +180,14 @@ func (p *Peer) Name() string { return p.id.Subject() }
 // Org returns the peer's organization.
 func (p *Peer) Org() string { return p.id.MSPID() }
 
-// SetSecurity swaps the active security configuration on both engines.
+// SetSecurity swaps the active security configuration on both engines,
+// the reconciler's retry policy and the transient store's lifecycle
+// bounds.
 func (p *Peer) SetSecurity(sec core.SecurityConfig) {
 	p.endorser.SetSecurity(sec)
 	p.validator.SetSecurity(sec)
+	p.reconciler.SetPolicy(sec.ReconcileMaxAttempts, sec.ReconcileBaseBackoff, sec.ReconcileMaxBackoff)
+	p.transient.SetLimits(sec.TransientTTLBlocks, sec.TransientMaxEntries)
 }
 
 // ApproveDefinition records the channel-agreed chaincode definition
@@ -217,6 +243,7 @@ func (p *Peer) CommitBlock(block *ledger.Block) error {
 	if err := p.validator.ValidateAndCommit(block); err != nil {
 		return err
 	}
+	p.transient.EvictExpired(p.blocks.Height())
 	if p.persist != nil {
 		// The block (with this peer's validation flags) becomes
 		// durable; on restart Restore trusts these flags.
@@ -371,10 +398,23 @@ func (p *Peer) findPrivateByHashes(chaincodeName, collection string, keyHash, va
 	return "", nil, false
 }
 
-// ReconcileMissing retries fetching private data this peer is missing
-// for committed transactions (via gossip, served from other members'
-// transient or committed stores) and commits what it recovers. Returns
-// the number of collections recovered.
+// Reconciler exposes the peer's anti-entropy private-data reconciler:
+// tick it to retry missing entries with backoff, inspect its pending and
+// gave-up queues, and reinstate abandoned entries.
+func (p *Peer) Reconciler() *reconcile.Reconciler { return p.reconciler }
+
+// TickReconcile advances the reconciler by one tick: missing private
+// data entries whose backoff elapsed are pulled from other members (via
+// gossip, served from their transient or committed stores) and recovered
+// values are committed. Returns the number of collections recovered this
+// tick.
+func (p *Peer) TickReconcile() int { return p.reconciler.Tick() }
+
+// ReconcileMissing runs one reconciler tick — the managed replacement of
+// the old one-shot pull. Entries that keep failing back off exponentially
+// (in ticks) and are abandoned after SecurityConfig.ReconcileMaxAttempts;
+// see Reconciler for the full control surface. Returns the number of
+// collections recovered.
 func (p *Peer) ReconcileMissing() int {
-	return p.validator.ReconcileMissing()
+	return p.reconciler.Tick()
 }

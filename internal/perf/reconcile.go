@@ -1,0 +1,128 @@
+package perf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/peer"
+	"repro/internal/pvtdata"
+)
+
+// ReconcileResult summarizes one anti-entropy reconciliation scenario:
+// dissemination to one member peer is lost for a batch of private
+// writes, the reconciler burns failing attempts (with backoff) while the
+// peer stays isolated, then the network heals and the reconciler ticks
+// until the member store converges.
+type ReconcileResult struct {
+	// Txs is the number of private-write transactions whose data the
+	// isolated member missed.
+	Txs int
+	// IsolatedTicks is how many reconciler ticks ran before the heal
+	// (all failing).
+	IsolatedTicks int
+	// TicksToConverge is how many ticks after the heal until nothing was
+	// pending.
+	TicksToConverge int
+	// Recovered counts collections recovered (one per transaction here).
+	Recovered int
+	// Attempts/Failures/GiveUps are the peer's reconciler counters.
+	Attempts, Failures, GiveUps uint64
+	// AttemptLatency is the per-attempt latency histogram.
+	AttemptLatency metrics.HistogramSnapshot
+	// Wall is the wall-clock time of the whole scenario.
+	Wall time.Duration
+}
+
+// MeasureReconcile runs the reconciliation scenario on a fresh three-org
+// network: org1 and org2 are PDC members, org2's anchor peer is isolated
+// while txs private writes commit, the reconciler ticks isolatedTicks
+// times against the dead network, then the network heals and the
+// reconciler runs to convergence (bounded at maxTicks).
+func MeasureReconcile(sec core.SecurityConfig, txs, isolatedTicks, maxTicks int) (ReconcileResult, error) {
+	net, err := network.New(network.Options{
+		Orgs:     []string{"org1", "org2", "org3"},
+		Security: sec,
+		Seed:     321,
+	})
+	if err != nil {
+		return ReconcileResult{}, err
+	}
+	def := &chaincode.Definition{
+		Name:    "asset",
+		Version: "1.0",
+		Collections: []pvtdata.CollectionConfig{{
+			Name:         "pdc1",
+			MemberPolicy: "OR(org1.member, org2.member)",
+			MaxPeerCount: 3,
+		}},
+	}
+	impl := contracts.NewPublicAsset()
+	for name, fn := range contracts.NewPDC(contracts.PDCOptions{Collection: "pdc1"}) {
+		impl[name] = fn
+	}
+	if err := net.DeployChaincode(def, impl); err != nil {
+		return ReconcileResult{}, err
+	}
+
+	cl := net.Client("org1")
+	victim := net.Peer("org2")
+	endorsers := []*peer.Peer{net.Peer("org1"), net.Peer("org3")}
+
+	start := time.Now()
+	net.Gossip.Isolate(victim.Name(), true)
+	for i := 0; i < txs; i++ {
+		res, err := cl.SubmitTransaction(endorsers, "asset", "setPrivate",
+			[]string{"k" + strconv.Itoa(i), "12"}, nil)
+		if err != nil {
+			return ReconcileResult{}, err
+		}
+		if res.Code != ledger.Valid {
+			return ReconcileResult{}, fmt.Errorf("perf: reconcile tx %d: code %v", i, res.Code)
+		}
+	}
+
+	out := ReconcileResult{Txs: txs, IsolatedTicks: isolatedTicks}
+	for i := 0; i < isolatedTicks; i++ {
+		victim.TickReconcile()
+	}
+	net.Gossip.Isolate(victim.Name(), false)
+	for out.TicksToConverge < maxTicks && len(victim.Reconciler().Pending()) > 0 {
+		out.Recovered += victim.TickReconcile()
+		out.TicksToConverge++
+	}
+	out.Wall = time.Since(start)
+
+	m := victim.Metrics()
+	out.Attempts = m[metrics.ReconcileAttempts]
+	out.Failures = m[metrics.ReconcileFailures]
+	out.GiveUps = m[metrics.ReconcileGiveUps]
+	out.AttemptLatency = victim.Timings()[metrics.ReconcileAttempt]
+	return out, nil
+}
+
+// RenderReconcile renders the scenario summary as a small report.
+func RenderReconcile(r ReconcileResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Anti-entropy reconciliation (%d private txs missed by one member)\n", r.Txs)
+	fmt.Fprintf(&b, "  isolated ticks (all failing): %d\n", r.IsolatedTicks)
+	fmt.Fprintf(&b, "  ticks to converge after heal: %d\n", r.TicksToConverge)
+	fmt.Fprintf(&b, "  recovered collections:        %d\n", r.Recovered)
+	fmt.Fprintf(&b, "  attempts=%d failures=%d gave_up=%d\n", r.Attempts, r.Failures, r.GiveUps)
+	if r.AttemptLatency.Count > 0 {
+		fmt.Fprintf(&b, "  attempt latency: count=%d mean=%s p95=%s max=%s\n",
+			r.AttemptLatency.Count,
+			r.AttemptLatency.Mean().Round(time.Microsecond),
+			r.AttemptLatency.Quantile(0.95),
+			r.AttemptLatency.Max)
+	}
+	fmt.Fprintf(&b, "  wall time: %s\n", r.Wall.Round(time.Microsecond))
+	return b.String()
+}

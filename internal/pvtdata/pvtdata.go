@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/fabcrypto"
 	"repro/internal/policy"
@@ -73,6 +74,12 @@ func (c *CollectionConfig) Validate() error {
 	}
 	if c.RequiredPeerCount < 0 {
 		return fmt.Errorf("pvtdata: collection %q: negative requiredPeerCount", c.Name)
+	}
+	if c.RequiredPeerCount > 0 && c.MaxPeerCount == 0 {
+		// MaxPeerCount 0 disables dissemination entirely (push to none),
+		// which can never satisfy a positive RequiredPeerCount.
+		return fmt.Errorf("pvtdata: collection %q: maxPeerCount 0 disables dissemination but requiredPeerCount is %d",
+			c.Name, c.RequiredPeerCount)
 	}
 	if c.MaxPeerCount < c.RequiredPeerCount {
 		return fmt.Errorf("pvtdata: collection %q: maxPeerCount %d < requiredPeerCount %d",
@@ -192,6 +199,10 @@ func HashedKey(key string) string {
 // which namespaces ever receive writes.
 type Store struct {
 	db *statedb.DB
+	// purgeMu guards purgeQueue: SchedulePurge and PurgeUpTo are
+	// reachable both from the commit path and from the reconciler, which
+	// may tick on another goroutine.
+	purgeMu sync.Mutex
 	// purgeQueue maps committing-block -> private entries to purge at
 	// that block height, implementing BlockToLive.
 	purgeQueue map[uint64][]purgeEntry
@@ -254,24 +265,28 @@ func (s *Store) HashedVersion(chaincode, collection string, keyHash []byte) stat
 // chain reaches purgeAtBlock, implementing BlockToLive.
 func (s *Store) SchedulePurge(purgeAtBlock uint64, chaincode, collection, key string) {
 	ns := PrivateNamespace(chaincode, collection)
+	s.purgeMu.Lock()
+	defer s.purgeMu.Unlock()
 	s.purgeQueue[purgeAtBlock] = append(s.purgeQueue[purgeAtBlock], purgeEntry{namespace: ns, key: key})
 }
 
 // PurgeUpTo removes all private entries whose BlockToLive expired at or
 // before blockNum and returns how many entries were purged.
 func (s *Store) PurgeUpTo(blockNum uint64) int {
-	purged := 0
+	s.purgeMu.Lock()
+	var due []purgeEntry
 	for at, entries := range s.purgeQueue {
 		if at > blockNum {
 			continue
 		}
-		for _, e := range entries {
-			s.db.Delete(e.namespace, e.key)
-			purged++
-		}
+		due = append(due, entries...)
 		delete(s.purgeQueue, at)
 	}
-	return purged
+	s.purgeMu.Unlock()
+	for _, e := range due {
+		s.db.Delete(e.namespace, e.key)
+	}
+	return len(due)
 }
 
 // PrivateKeys lists the live private keys of a collection at this peer.

@@ -1,7 +1,9 @@
 package pvtdata
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/fabcrypto"
@@ -54,6 +56,62 @@ func TestCollectionConfigValidate(t *testing.T) {
 	bad.MaxPeerCount = 2
 	if err := bad.Validate(); err == nil {
 		t.Error("max < required accepted")
+	}
+	// MaxPeerCount 0 disables dissemination (push to none), so a
+	// positive RequiredPeerCount can never be met.
+	bad = cfg
+	bad.RequiredPeerCount = 1
+	bad.MaxPeerCount = 0
+	err := bad.Validate()
+	if err == nil {
+		t.Error("requiredPeerCount > 0 with maxPeerCount 0 accepted")
+	} else if !strings.Contains(err.Error(), "disables dissemination") {
+		t.Errorf("unexpected rejection message: %v", err)
+	}
+	// MaxPeerCount 0 with RequiredPeerCount 0 stays legal: dissemination
+	// off, members rely on reconciliation.
+	ok := cfg
+	ok.RequiredPeerCount = 0
+	ok.MaxPeerCount = 0
+	if err := ok.Validate(); err != nil {
+		t.Errorf("maxPeerCount 0, requiredPeerCount 0 rejected: %v", err)
+	}
+}
+
+// TestPurgeQueueConcurrency exercises SchedulePurge and PurgeUpTo from
+// concurrent goroutines — the commit pipeline and the reconciler may
+// reach the store at the same time. Run with -race.
+func TestPurgeQueueConcurrency(t *testing.T) {
+	db := statedb.New()
+	s := NewStore(db)
+	const writers = 4
+	const perWriter = 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("k%d-%d", w, i)
+				s.ApplyPrivateWrite("cc", "pdc1", key, []byte("v"), 1)
+				s.SchedulePurge(uint64(i%10), "cc", "pdc1", key)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := uint64(0); b < 10; b++ {
+			s.PurgeUpTo(b)
+		}
+	}()
+	wg.Wait()
+
+	// Whatever interleaving happened, a final purge drains the queue.
+	s.PurgeUpTo(10)
+	if n := s.PurgeUpTo(10); n != 0 {
+		t.Fatalf("queue not drained: %d entries left", n)
 	}
 }
 

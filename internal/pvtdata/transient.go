@@ -1,6 +1,7 @@
 package pvtdata
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/rwset"
@@ -10,19 +11,67 @@ import (
 // endorsement and commit. Endorsers store their own simulation results
 // here; gossip deposits sets received from other endorsers. The validator
 // fetches from here at commit time and erases entries once committed.
+//
+// The store never aliases caller memory: Persist deep-copies the incoming
+// set and Get/GetCollection return deep copies, so two peers receiving
+// the same gossip push (or a caller mutating a served set) cannot corrupt
+// each other's stores.
+//
+// Lifecycle: entries are stamped with the block height at insertion time
+// (when a height source is wired). Besides the per-transaction Purge at
+// commit, EvictExpired implements a TTL in blocks and a size bound, so
+// sets whose transactions never commit (dropped, censored, or delivered
+// to a non-validating peer) do not accumulate forever.
 type TransientStore struct {
 	mu   sync.Mutex
-	sets map[string]*rwset.TxPvtRWSet // txID -> private sets
+	sets map[string]*transientEntry // txID -> private sets
+
+	// height, when non-nil, supplies the current chain height used to
+	// stamp new entries.
+	height func() uint64
+	// ttlBlocks evicts entries older than this many blocks (0 = no TTL).
+	ttlBlocks uint64
+	// maxEntries bounds the number of stored transactions (0 = unbounded);
+	// the oldest entries (smallest insertion height, ties by txID) are
+	// evicted first.
+	maxEntries int
+}
+
+type transientEntry struct {
+	set        *rwset.TxPvtRWSet
+	insertedAt uint64 // chain height when first persisted
 }
 
 // NewTransientStore creates an empty transient store.
 func NewTransientStore() *TransientStore {
-	return &TransientStore{sets: make(map[string]*rwset.TxPvtRWSet)}
+	return &TransientStore{sets: make(map[string]*transientEntry)}
 }
 
-// Persist stores the private read/write set of a transaction. A second
-// Persist for the same transaction merges collections, so gossip deliveries
-// from multiple endorsers accumulate.
+// SetHeightSource wires the chain-height callback used to stamp entries;
+// without one every entry is stamped 0 and TTL eviction measures from
+// genesis.
+func (t *TransientStore) SetHeightSource(height func() uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.height = height
+}
+
+// SetLimits configures the lifecycle bounds: ttlBlocks evicts entries
+// older than that many blocks at the next EvictExpired (0 disables the
+// TTL), maxEntries bounds the store size (0 = unbounded, enforced
+// immediately and on every Persist).
+func (t *TransientStore) SetLimits(ttlBlocks uint64, maxEntries int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ttlBlocks = ttlBlocks
+	t.maxEntries = maxEntries
+	t.enforceBoundLocked()
+}
+
+// Persist stores a deep copy of the private read/write set of a
+// transaction. A second Persist for the same transaction merges
+// collections, so gossip deliveries from multiple endorsers accumulate;
+// the entry keeps the insertion height of its first Persist.
 func (t *TransientStore) Persist(set *rwset.TxPvtRWSet) {
 	if set == nil {
 		return
@@ -31,36 +80,45 @@ func (t *TransientStore) Persist(set *rwset.TxPvtRWSet) {
 	defer t.mu.Unlock()
 	existing, ok := t.sets[set.TxID]
 	if !ok {
-		cp := *set
-		t.sets[set.TxID] = &cp
+		var at uint64
+		if t.height != nil {
+			at = t.height()
+		}
+		t.sets[set.TxID] = &transientEntry{set: set.Clone(), insertedAt: at}
+		t.enforceBoundLocked()
 		return
 	}
-	for _, coll := range set.CollSets {
-		if !hasCollection(existing, coll.Collection) {
-			existing.CollSets = append(existing.CollSets, coll)
+	for i := range set.CollSets {
+		coll := &set.CollSets[i]
+		if !hasCollection(existing.set, coll.Collection) {
+			existing.set.CollSets = append(existing.set.CollSets, *coll.Clone())
 		}
 	}
 }
 
-// Get returns the stored private set for txID, or nil.
+// Get returns a deep copy of the stored private set for txID, or nil.
 func (t *TransientStore) Get(txID string) *rwset.TxPvtRWSet {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.sets[txID]
-}
-
-// GetCollection returns the original private set of one collection for
-// txID, or nil when the peer never received it.
-func (t *TransientStore) GetCollection(txID, collection string) *rwset.CollPvtRWSet {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	set, ok := t.sets[txID]
+	e, ok := t.sets[txID]
 	if !ok {
 		return nil
 	}
-	for i := range set.CollSets {
-		if set.CollSets[i].Collection == collection {
-			return &set.CollSets[i]
+	return e.set.Clone()
+}
+
+// GetCollection returns a deep copy of the original private set of one
+// collection for txID, or nil when the peer never received it.
+func (t *TransientStore) GetCollection(txID, collection string) *rwset.CollPvtRWSet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.sets[txID]
+	if !ok {
+		return nil
+	}
+	for i := range e.set.CollSets {
+		if e.set.CollSets[i].Collection == collection {
+			return e.set.CollSets[i].Clone()
 		}
 	}
 	return nil
@@ -71,6 +129,56 @@ func (t *TransientStore) Purge(txID string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.sets, txID)
+}
+
+// EvictExpired drops entries whose TTL expired at chain height `height`
+// (insertion height + ttlBlocks <= height) and then enforces the size
+// bound. Returns how many entries were evicted. The peer calls this after
+// every block commit.
+func (t *TransientStore) EvictExpired(height uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evicted := 0
+	if t.ttlBlocks > 0 {
+		for txID, e := range t.sets {
+			if e.insertedAt+t.ttlBlocks <= height {
+				delete(t.sets, txID)
+				evicted++
+			}
+		}
+	}
+	return evicted + t.enforceBoundLocked()
+}
+
+// enforceBoundLocked evicts oldest-first until the size bound holds.
+// Caller holds t.mu.
+func (t *TransientStore) enforceBoundLocked() int {
+	if t.maxEntries <= 0 || len(t.sets) <= t.maxEntries {
+		return 0
+	}
+	type aged struct {
+		txID string
+		at   uint64
+	}
+	order := make([]aged, 0, len(t.sets))
+	for txID, e := range t.sets {
+		order = append(order, aged{txID: txID, at: e.insertedAt})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].at != order[j].at {
+			return order[i].at < order[j].at
+		}
+		return order[i].txID < order[j].txID
+	})
+	evicted := 0
+	for _, o := range order {
+		if len(t.sets) <= t.maxEntries {
+			break
+		}
+		delete(t.sets, o.txID)
+		evicted++
+	}
+	return evicted
 }
 
 // Len reports how many transactions currently have transient data.

@@ -1,0 +1,147 @@
+package pvtdata
+
+import (
+	"testing"
+
+	"repro/internal/rwset"
+)
+
+func pvtSet(txID, coll, key, value string) *rwset.TxPvtRWSet {
+	return &rwset.TxPvtRWSet{
+		TxID: txID,
+		CollSets: []rwset.CollPvtRWSet{{
+			Collection: coll,
+			Writes:     []rwset.KVWrite{{Key: key, Value: []byte(value)}},
+		}},
+	}
+}
+
+// TestTransientStoreMutationIsolation: the store must not alias caller
+// memory in either direction. Gossip pushes the SAME TxPvtRWSet pointer
+// to several peers; if Persist shallow-copied, the peers' transient
+// stores would share backing arrays, and a served set's mutation would
+// corrupt the store.
+func TestTransientStoreMutationIsolation(t *testing.T) {
+	src := pvtSet("tx1", "pdc1", "k", "original")
+
+	// Two peers persist the same pointer (one gossip push, two receivers).
+	ts1 := NewTransientStore()
+	ts2 := NewTransientStore()
+	ts1.Persist(src)
+	ts2.Persist(src)
+
+	// Mutating the caller's set after Persist must not reach the stores.
+	src.CollSets[0].Writes[0].Value[0] = 'X'
+	src.CollSets[0].Writes[0].Key = "hijacked"
+	for i, ts := range []*TransientStore{ts1, ts2} {
+		got := ts.GetCollection("tx1", "pdc1")
+		if got == nil || got.Writes[0].Key != "k" || string(got.Writes[0].Value) != "original" {
+			t.Fatalf("store %d aliased caller memory: %+v", i+1, got)
+		}
+	}
+
+	// Mutating a served set must not reach the store either.
+	served := ts1.GetCollection("tx1", "pdc1")
+	served.Writes[0].Value[0] = 'Y'
+	served.Writes = append(served.Writes, rwset.KVWrite{Key: "extra"})
+	again := ts1.GetCollection("tx1", "pdc1")
+	if string(again.Writes[0].Value) != "original" || len(again.Writes) != 1 {
+		t.Fatalf("served set aliased store memory: %+v", again)
+	}
+
+	// Same for the whole-transaction getter.
+	full := ts1.Get("tx1")
+	full.CollSets[0].Writes[0].Value[0] = 'Z'
+	if string(ts1.Get("tx1").CollSets[0].Writes[0].Value) != "original" {
+		t.Fatal("Get aliased store memory")
+	}
+
+	// Merge path: collections merged from a second Persist are isolated
+	// copies too.
+	src2 := pvtSet("tx1", "pdc2", "k2", "two")
+	ts1.Persist(src2)
+	src2.CollSets[0].Writes[0].Value[0] = 'W'
+	if string(ts1.GetCollection("tx1", "pdc2").Writes[0].Value) != "two" {
+		t.Fatal("merged collection aliased caller memory")
+	}
+}
+
+func TestTransientStoreTTLEviction(t *testing.T) {
+	ts := NewTransientStore()
+	height := uint64(0)
+	ts.SetHeightSource(func() uint64 { return height })
+	ts.SetLimits(3, 0) // entries live 3 blocks, no size bound
+
+	height = 1
+	ts.Persist(pvtSet("tx-old", "pdc1", "k", "v"))
+	height = 3
+	ts.Persist(pvtSet("tx-new", "pdc1", "k", "v"))
+
+	// At height 3 nothing has expired (1+3 > 3).
+	if n := ts.EvictExpired(3); n != 0 {
+		t.Fatalf("evicted %d at height 3, want 0", n)
+	}
+	// At height 4 the older entry expires (1+3 <= 4).
+	if n := ts.EvictExpired(4); n != 1 {
+		t.Fatalf("evicted %d at height 4, want 1", n)
+	}
+	if ts.Get("tx-old") != nil {
+		t.Fatal("expired entry survived")
+	}
+	if ts.Get("tx-new") == nil {
+		t.Fatal("live entry evicted")
+	}
+	// TTL 0 disables expiry.
+	ts.SetLimits(0, 0)
+	if n := ts.EvictExpired(1000); n != 0 {
+		t.Fatalf("TTL-disabled eviction removed %d entries", n)
+	}
+}
+
+func TestTransientStoreSizeBound(t *testing.T) {
+	ts := NewTransientStore()
+	height := uint64(0)
+	ts.SetHeightSource(func() uint64 { return height })
+	ts.SetLimits(0, 2)
+
+	height = 1
+	ts.Persist(pvtSet("tx-a", "pdc1", "k", "v"))
+	height = 2
+	ts.Persist(pvtSet("tx-b", "pdc1", "k", "v"))
+	height = 3
+	ts.Persist(pvtSet("tx-c", "pdc1", "k", "v"))
+
+	if ts.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (size bound)", ts.Len())
+	}
+	if ts.Get("tx-a") != nil {
+		t.Fatal("oldest entry not evicted first")
+	}
+	if ts.Get("tx-b") == nil || ts.Get("tx-c") == nil {
+		t.Fatal("newer entries evicted")
+	}
+
+	// Shrinking the bound evicts immediately, oldest first.
+	ts.SetLimits(0, 1)
+	if ts.Len() != 1 || ts.Get("tx-c") == nil {
+		t.Fatalf("after shrink: len=%d, tx-c present=%v", ts.Len(), ts.Get("tx-c") != nil)
+	}
+}
+
+// TestTransientStoreMergeKeepsInsertionHeight: merging gossip deliveries
+// into an existing entry does not refresh its TTL clock.
+func TestTransientStoreMergeKeepsInsertionHeight(t *testing.T) {
+	ts := NewTransientStore()
+	height := uint64(1)
+	ts.SetHeightSource(func() uint64 { return height })
+	ts.SetLimits(2, 0)
+
+	ts.Persist(pvtSet("tx1", "pdc1", "k", "v"))
+	height = 5
+	ts.Persist(pvtSet("tx1", "pdc2", "k2", "v2")) // merge at height 5
+
+	// 1+2 <= 5: the entry expires on its original insertion height.
+	if n := ts.EvictExpired(5); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+}

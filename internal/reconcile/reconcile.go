@@ -1,0 +1,323 @@
+// Package reconcile implements the peer's anti-entropy private-data
+// reconciler: the background process that repeatedly retries fetching
+// missing private data until every member peer holds the original tuples
+// (Fabric ships the same mechanism as the "reconciler" of its pvtdata
+// store; see Androulaki et al. and docs/PROTOCOL.md §Reconciliation).
+//
+// The reconciler is tick-driven rather than wall-clock-driven: callers
+// (the peer, a benchmark harness, or a test) advance a logical clock with
+// Tick, and all retry/backoff scheduling is expressed in ticks. That
+// keeps every schedule deterministic — a test can drop dissemination,
+// heal the network and assert convergence after an exact number of
+// ticks, with no timers or sleeps.
+//
+// Per missing (txID, collection) entry the reconciler tracks an attempt
+// count and a capped exponential backoff: after the k-th failed attempt
+// the entry is not retried for min(BaseBackoff << (k-1), MaxBackoff)
+// ticks, and after MaxAttempts failures the entry moves to the gave-up
+// set, where it stays (visible to operators, never retried) until it is
+// either reinstated or no longer reported missing. Every attempt is
+// counted and timed through the metrics registries.
+package reconcile
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Defaults applied when the corresponding Config field is zero.
+const (
+	// DefaultMaxAttempts is the give-up threshold.
+	DefaultMaxAttempts = 8
+	// DefaultBaseBackoff is the tick delay after the first failure.
+	DefaultBaseBackoff = 1
+	// DefaultMaxBackoff caps the exponential backoff, in ticks.
+	DefaultMaxBackoff = 16
+)
+
+// Entry identifies one missing piece of private data: the original
+// collection read/write set of one transaction.
+type Entry struct {
+	TxID       string
+	Collection string
+}
+
+// Config wires a Reconciler to its peer.
+type Config struct {
+	// Fetch returns the peer's current missing-private-data entries
+	// (typically validator.Missing). The reconciler syncs its work queue
+	// against this on every tick: new entries are enqueued, and entries
+	// that disappeared (recovered through another path, or purged) are
+	// dropped — including from the gave-up set.
+	Fetch func() []Entry
+	// Attempt performs one reconciliation attempt for an entry
+	// (typically validator.ReconcileOne) and reports whether the data
+	// was recovered and committed.
+	Attempt func(Entry) bool
+	// MaxAttempts is the give-up threshold; 0 selects DefaultMaxAttempts.
+	MaxAttempts int
+	// BaseBackoff is the tick delay after the first failed attempt;
+	// 0 selects DefaultBaseBackoff.
+	BaseBackoff int
+	// MaxBackoff caps the exponential backoff in ticks; 0 selects
+	// DefaultMaxBackoff.
+	MaxBackoff int
+	// Metrics, when non-nil, receives the per-attempt outcome counters
+	// (metrics.Reconcile*).
+	Metrics *metrics.Counters
+	// Timings, when non-nil, receives the per-attempt latency histogram
+	// (metrics.ReconcileAttempt).
+	Timings *metrics.Timings
+}
+
+// entryState is the retry bookkeeping of one pending entry.
+type entryState struct {
+	attempts  int
+	notBefore uint64 // earliest tick of the next attempt
+}
+
+// Reconciler drives the anti-entropy retry loop of one peer.
+type Reconciler struct {
+	mu      sync.Mutex
+	cfg     Config
+	tick    uint64
+	pending map[Entry]*entryState
+	gaveUp  map[Entry]int // entry -> attempts spent before giving up
+}
+
+// New creates a reconciler. Fetch and Attempt must be non-nil.
+func New(cfg Config) *Reconciler {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = DefaultBaseBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	return &Reconciler{
+		cfg:     cfg,
+		pending: make(map[Entry]*entryState),
+		gaveUp:  make(map[Entry]int),
+	}
+}
+
+// SetPolicy swaps the retry parameters (zero selects the default, as in
+// Config). In-flight attempt counts are kept; entries already given up
+// stay given up.
+func (r *Reconciler) SetPolicy(maxAttempts, baseBackoff, maxBackoff int) {
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	if baseBackoff <= 0 {
+		baseBackoff = DefaultBaseBackoff
+	}
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultMaxBackoff
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg.MaxAttempts = maxAttempts
+	r.cfg.BaseBackoff = baseBackoff
+	r.cfg.MaxBackoff = maxBackoff
+}
+
+// backoff returns the tick delay after the k-th consecutive failure
+// (k >= 1): min(BaseBackoff << (k-1), MaxBackoff).
+func (r *Reconciler) backoff(k int) uint64 {
+	d := r.cfg.BaseBackoff
+	for i := 1; i < k; i++ {
+		d <<= 1
+		if d >= r.cfg.MaxBackoff {
+			return uint64(r.cfg.MaxBackoff)
+		}
+	}
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	return uint64(d)
+}
+
+// Tick advances the logical clock by one and runs one reconciliation
+// round: the work queue is synced against Fetch, then every due entry
+// (backoff elapsed, not given up) is attempted once, in deterministic
+// (txID, collection) order. Returns how many entries were recovered this
+// tick.
+func (r *Reconciler) Tick() int {
+	r.mu.Lock()
+	r.tick++
+	now := r.tick
+
+	// Sync the queue with the peer's current missing set.
+	current := make(map[Entry]bool)
+	for _, e := range r.cfg.Fetch() {
+		current[e] = true
+		if _, pending := r.pending[e]; !pending {
+			if _, dead := r.gaveUp[e]; !dead {
+				r.pending[e] = &entryState{}
+				r.count(metrics.ReconcileEnqueued, 1)
+			}
+		}
+	}
+	for e := range r.pending {
+		if !current[e] {
+			delete(r.pending, e) // recovered through another path
+		}
+	}
+	for e := range r.gaveUp {
+		if !current[e] {
+			delete(r.gaveUp, e)
+		}
+	}
+
+	// Collect the due entries in deterministic order.
+	var due []Entry
+	for e, st := range r.pending {
+		if now >= st.notBefore {
+			due = append(due, e)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].TxID != due[j].TxID {
+			return due[i].TxID < due[j].TxID
+		}
+		return due[i].Collection < due[j].Collection
+	})
+	r.mu.Unlock()
+
+	recovered := 0
+	for _, e := range due {
+		start := time.Now()
+		ok := r.cfg.Attempt(e)
+		if r.cfg.Timings != nil {
+			r.cfg.Timings.Observe(metrics.ReconcileAttempt, time.Since(start))
+		}
+		r.count(metrics.ReconcileAttempts, 1)
+
+		r.mu.Lock()
+		st, pending := r.pending[e]
+		if !pending {
+			r.mu.Unlock()
+			continue
+		}
+		if ok {
+			delete(r.pending, e)
+			r.count(metrics.ReconcileRecovered, 1)
+			recovered++
+		} else {
+			st.attempts++
+			r.count(metrics.ReconcileFailures, 1)
+			if st.attempts >= r.cfg.MaxAttempts {
+				delete(r.pending, e)
+				r.gaveUp[e] = st.attempts
+				r.count(metrics.ReconcileGiveUps, 1)
+			} else {
+				st.notBefore = now + r.backoff(st.attempts)
+			}
+		}
+		r.mu.Unlock()
+	}
+	return recovered
+}
+
+// Run ticks until nothing is pending or maxTicks elapsed, returning the
+// total number of entries recovered. Convenience for benchmarks and
+// one-shot callers.
+func (r *Reconciler) Run(maxTicks int) int {
+	recovered := 0
+	for i := 0; i < maxTicks; i++ {
+		recovered += r.Tick()
+		if len(r.Pending()) == 0 {
+			break
+		}
+	}
+	return recovered
+}
+
+// count increments a counter when metrics are wired.
+func (r *Reconciler) count(name string, delta uint64) {
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.Add(name, delta)
+	}
+}
+
+// Now returns the current logical tick.
+func (r *Reconciler) Now() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tick
+}
+
+// Pending returns the entries still scheduled for retry, sorted.
+func (r *Reconciler) Pending() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, 0, len(r.pending))
+	for e := range r.pending {
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return out
+}
+
+// GaveUp returns the entries abandoned after MaxAttempts failures, sorted.
+func (r *Reconciler) GaveUp() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, 0, len(r.gaveUp))
+	for e := range r.gaveUp {
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return out
+}
+
+// Attempts reports how many attempts were spent on an entry so far
+// (pending or given up); 0 when the entry is unknown.
+func (r *Reconciler) Attempts(e Entry) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.pending[e]; ok {
+		return st.attempts
+	}
+	return r.gaveUp[e]
+}
+
+// NextAttempt returns the earliest tick at which a pending entry will be
+// retried; ok is false when the entry is not pending.
+func (r *Reconciler) NextAttempt(e Entry) (tick uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, pending := r.pending[e]
+	if !pending {
+		return 0, false
+	}
+	return st.notBefore, true
+}
+
+// Reinstate moves a given-up entry back to the pending queue with a
+// fresh attempt budget (operator intervention after fixing the network).
+// Reports whether the entry was in the gave-up set.
+func (r *Reconciler) Reinstate(e Entry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaveUp[e]; !ok {
+		return false
+	}
+	delete(r.gaveUp, e)
+	r.pending[e] = &entryState{}
+	return true
+}
+
+func sortEntries(out []Entry) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TxID != out[j].TxID {
+			return out[i].TxID < out[j].TxID
+		}
+		return out[i].Collection < out[j].Collection
+	})
+}

@@ -1,0 +1,238 @@
+package reconcile
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// harness is a scriptable Source: entries report missing until marked
+// recoverable, and every attempt is recorded.
+type harness struct {
+	mu          sync.Mutex
+	missing     map[Entry]bool
+	recoverable map[Entry]bool
+	attempts    map[Entry]int
+}
+
+func newHarness(entries ...Entry) *harness {
+	h := &harness{
+		missing:     make(map[Entry]bool),
+		recoverable: make(map[Entry]bool),
+		attempts:    make(map[Entry]int),
+	}
+	for _, e := range entries {
+		h.missing[e] = true
+	}
+	return h
+}
+
+func (h *harness) fetch() []Entry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []Entry
+	for e := range h.missing {
+		out = append(out, e)
+	}
+	return out
+}
+
+func (h *harness) attempt(e Entry) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.attempts[e]++
+	if h.recoverable[e] {
+		delete(h.missing, e)
+		return true
+	}
+	return false
+}
+
+func (h *harness) heal(e Entry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.recoverable[e] = true
+}
+
+func (h *harness) attemptCount(e Entry) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.attempts[e]
+}
+
+func newReconciler(h *harness, cfg Config) *Reconciler {
+	cfg.Fetch = h.fetch
+	cfg.Attempt = h.attempt
+	return New(cfg)
+}
+
+func TestRecoverFirstTick(t *testing.T) {
+	e := Entry{TxID: "tx1", Collection: "pdc1"}
+	h := newHarness(e)
+	h.heal(e)
+	var c metrics.Counters
+	var tm metrics.Timings
+	r := newReconciler(h, Config{Metrics: &c, Timings: &tm})
+
+	if got := r.Tick(); got != 1 {
+		t.Fatalf("recovered = %d, want 1", got)
+	}
+	if len(r.Pending()) != 0 || len(r.GaveUp()) != 0 {
+		t.Fatalf("queues not empty: pending=%v gaveUp=%v", r.Pending(), r.GaveUp())
+	}
+	if c.Get(metrics.ReconcileEnqueued) != 1 || c.Get(metrics.ReconcileAttempts) != 1 ||
+		c.Get(metrics.ReconcileRecovered) != 1 || c.Get(metrics.ReconcileFailures) != 0 {
+		t.Fatalf("counters = %v", c.Snapshot())
+	}
+	if tm.Snapshot()[metrics.ReconcileAttempt].Count != 1 {
+		t.Fatalf("attempt histogram count = %d, want 1", tm.Snapshot()[metrics.ReconcileAttempt].Count)
+	}
+}
+
+// TestBackoffSchedule: failed attempts happen exactly at the ticks the
+// capped exponential backoff predicts.
+func TestBackoffSchedule(t *testing.T) {
+	e := Entry{TxID: "tx1", Collection: "pdc1"}
+	h := newHarness(e)
+	r := newReconciler(h, Config{MaxAttempts: 10, BaseBackoff: 1, MaxBackoff: 4})
+
+	// Attempt ticks: backoff after k failures is min(1<<(k-1), 4), so
+	// attempts land on ticks 1, 2, 4, 8, 12, 16, ... (delays 1,2,4,4,4).
+	wantTicks := map[uint64]int{1: 1, 2: 2, 4: 3, 8: 4, 12: 5, 16: 6}
+	for tick := uint64(1); tick <= 16; tick++ {
+		if got := r.Tick(); got != 0 {
+			t.Fatalf("tick %d recovered %d, want 0", tick, got)
+		}
+		if want, ok := wantTicks[tick]; ok {
+			if got := h.attemptCount(e); got != want {
+				t.Fatalf("tick %d: attempts = %d, want %d", tick, got, want)
+			}
+		}
+	}
+	if got := h.attemptCount(e); got != 6 {
+		t.Fatalf("total attempts = %d, want 6", got)
+	}
+	if next, ok := r.NextAttempt(e); !ok || next != 20 {
+		t.Fatalf("next attempt = (%d, %v), want (20, true)", next, ok)
+	}
+}
+
+func TestGiveUpAfterMaxAttempts(t *testing.T) {
+	e := Entry{TxID: "tx1", Collection: "pdc1"}
+	h := newHarness(e)
+	var c metrics.Counters
+	r := newReconciler(h, Config{MaxAttempts: 3, BaseBackoff: 1, MaxBackoff: 1, Metrics: &c})
+
+	for i := 0; i < 10; i++ {
+		r.Tick()
+	}
+	if got := h.attemptCount(e); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (give-up threshold)", got)
+	}
+	if got := r.GaveUp(); !reflect.DeepEqual(got, []Entry{e}) {
+		t.Fatalf("gaveUp = %v", got)
+	}
+	if len(r.Pending()) != 0 {
+		t.Fatalf("pending = %v, want empty", r.Pending())
+	}
+	if c.Get(metrics.ReconcileGiveUps) != 1 || c.Get(metrics.ReconcileFailures) != 3 {
+		t.Fatalf("counters = %v", c.Snapshot())
+	}
+	if r.Attempts(e) != 3 {
+		t.Fatalf("Attempts = %d, want 3", r.Attempts(e))
+	}
+
+	// Healing the network alone does not resurrect a gave-up entry...
+	h.heal(e)
+	if r.Tick() != 0 {
+		t.Fatal("gave-up entry was retried")
+	}
+	// ...but Reinstate does, with a fresh attempt budget.
+	if !r.Reinstate(e) {
+		t.Fatal("Reinstate returned false")
+	}
+	if got := r.Tick(); got != 1 {
+		t.Fatalf("recovered after reinstate = %d, want 1", got)
+	}
+	if len(r.GaveUp()) != 0 {
+		t.Fatalf("gaveUp = %v, want empty", r.GaveUp())
+	}
+}
+
+// TestExternallyResolvedEntryDropped: an entry that stops being reported
+// missing (recovered through the commit path) leaves both queues without
+// an attempt.
+func TestExternallyResolvedEntryDropped(t *testing.T) {
+	e := Entry{TxID: "tx1", Collection: "pdc1"}
+	h := newHarness(e)
+	r := newReconciler(h, Config{MaxAttempts: 2, BaseBackoff: 4, MaxBackoff: 4})
+
+	r.Tick() // one failed attempt, backed off to tick 5
+	h.mu.Lock()
+	delete(h.missing, e)
+	h.mu.Unlock()
+	r.Tick()
+	if len(r.Pending()) != 0 {
+		t.Fatalf("pending = %v, want empty", r.Pending())
+	}
+	if got := h.attemptCount(e); got != 1 {
+		t.Fatalf("attempts = %d, want 1", got)
+	}
+}
+
+// TestDeterministicOrder: due entries are attempted in sorted
+// (txID, collection) order every tick.
+func TestDeterministicOrder(t *testing.T) {
+	entries := []Entry{
+		{TxID: "tx2", Collection: "pdcB"},
+		{TxID: "tx1", Collection: "pdcB"},
+		{TxID: "tx1", Collection: "pdcA"},
+	}
+	h := newHarness(entries...)
+	var order []Entry
+	r := New(Config{
+		Fetch: h.fetch,
+		Attempt: func(e Entry) bool {
+			order = append(order, e)
+			return false
+		},
+	})
+	r.Tick()
+	want := []Entry{
+		{TxID: "tx1", Collection: "pdcA"},
+		{TxID: "tx1", Collection: "pdcB"},
+		{TxID: "tx2", Collection: "pdcB"},
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("attempt order = %v, want %v", order, want)
+	}
+}
+
+func TestRunUntilConverged(t *testing.T) {
+	e1 := Entry{TxID: "tx1", Collection: "pdc1"}
+	e2 := Entry{TxID: "tx2", Collection: "pdc1"}
+	h := newHarness(e1, e2)
+	h.heal(e1)
+	h.heal(e2)
+	r := newReconciler(h, Config{})
+	if got := r.Run(10); got != 2 {
+		t.Fatalf("Run recovered %d, want 2", got)
+	}
+	if r.Now() != 1 {
+		t.Fatalf("Run used %d ticks, want 1", r.Now())
+	}
+}
+
+func TestSetPolicyTightensGiveUp(t *testing.T) {
+	e := Entry{TxID: "tx1", Collection: "pdc1"}
+	h := newHarness(e)
+	r := newReconciler(h, Config{MaxAttempts: 100, BaseBackoff: 1, MaxBackoff: 1})
+	r.Tick()
+	r.SetPolicy(2, 1, 1)
+	r.Tick() // second failure reaches the new threshold
+	if got := r.GaveUp(); !reflect.DeepEqual(got, []Entry{e}) {
+		t.Fatalf("gaveUp = %v, want [%v]", got, e)
+	}
+}

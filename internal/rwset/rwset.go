@@ -140,6 +140,45 @@ func UnmarshalTxRWSet(b []byte) (*TxRWSet, error) {
 	return &s, nil
 }
 
+// Clone returns a deep copy of the collection set: the backing arrays of
+// reads, writes and value bytes are all freshly allocated, so mutating
+// the copy (or the original) cannot affect the other. The transient store
+// clones on both persist and serve to keep peers' stores isolated.
+func (c *CollPvtRWSet) Clone() *CollPvtRWSet {
+	if c == nil {
+		return nil
+	}
+	out := &CollPvtRWSet{Collection: c.Collection}
+	if c.Reads != nil {
+		out.Reads = append([]KVRead(nil), c.Reads...)
+	}
+	if c.Writes != nil {
+		out.Writes = make([]KVWrite, len(c.Writes))
+		for i, w := range c.Writes {
+			out.Writes[i] = KVWrite{Key: w.Key, IsDelete: w.IsDelete}
+			if w.Value != nil {
+				out.Writes[i].Value = append([]byte(nil), w.Value...)
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the private set (see CollPvtRWSet.Clone).
+func (s *TxPvtRWSet) Clone() *TxPvtRWSet {
+	if s == nil {
+		return nil
+	}
+	out := &TxPvtRWSet{TxID: s.TxID}
+	if s.CollSets != nil {
+		out.CollSets = make([]CollPvtRWSet, len(s.CollSets))
+		for i := range s.CollSets {
+			out.CollSets[i] = *s.CollSets[i].Clone()
+		}
+	}
+	return out
+}
+
 // Marshal returns the canonical JSON serialization of the private set.
 func (s *TxPvtRWSet) Marshal() []byte {
 	b, err := json.Marshal(s)

@@ -13,6 +13,8 @@ package validator
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/chaincode"
@@ -48,8 +50,11 @@ type Validator struct {
 
 	// missing records private data the peer could not obtain at commit
 	// time (tx ID -> collection names), mirroring Fabric's missing
-	// private data bookkeeping.
-	missing map[string][]string
+	// private data bookkeeping. missingMu guards it: the commit path
+	// appends while the reconciler may read and clear from another
+	// goroutine.
+	missingMu sync.Mutex
+	missing   map[string][]string
 }
 
 // Config wires a Validator.
@@ -105,51 +110,93 @@ func (v *Validator) SetSecurity(sec core.SecurityConfig) { v.sec = sec }
 // MissingPrivateData returns the collections for which the peer is a
 // member but never obtained the original private data of a transaction.
 func (v *Validator) MissingPrivateData(txID string) []string {
+	v.missingMu.Lock()
+	defer v.missingMu.Unlock()
 	return append([]string(nil), v.missing[txID]...)
 }
 
-// ReconcileMissing retries every recorded missing-private-data entry: it
-// pulls the original set from other member peers via gossip, verifies it
-// against the in-block hashes and commits the recovered values at the
-// hashed store's current versions — but only when the hashed store still
-// reflects those writes (a later overwrite makes the old values stale,
-// in which case the entry stays recorded until the newer transaction's
-// reconciliation covers it). Returns the number of collections
-// recovered.
-func (v *Validator) ReconcileMissing() int {
-	recovered := 0
+// MissingEntry identifies one (transaction, collection) pair of missing
+// private data; the reconciler's unit of work.
+type MissingEntry struct {
+	TxID       string
+	Collection string
+}
+
+// Missing returns every recorded missing-private-data entry, sorted by
+// (txID, collection). The reconciler syncs its retry queue against this
+// on every tick.
+func (v *Validator) Missing() []MissingEntry {
+	v.missingMu.Lock()
+	defer v.missingMu.Unlock()
+	var out []MissingEntry
 	for txID, colls := range v.missing {
-		tx, code, err := v.blocks.Transaction(txID)
-		if err != nil || code != ledger.Valid {
-			continue
-		}
-		prp, err := tx.ResponsePayloadParsed()
-		if err != nil {
-			continue
-		}
-		set, err := prp.RWSet()
-		if err != nil {
-			continue
-		}
-		def := v.defs(prp.Chaincode)
-		if def == nil {
-			continue
-		}
-		var remaining []string
-		for _, collName := range colls {
-			if v.reconcileOne(txID, def, set, collName) {
-				recovered++
-			} else {
-				remaining = append(remaining, collName)
-			}
-		}
-		if len(remaining) == 0 {
-			delete(v.missing, txID)
-		} else {
-			v.missing[txID] = remaining
+		for _, c := range colls {
+			out = append(out, MissingEntry{TxID: txID, Collection: c})
 		}
 	}
-	return recovered
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TxID != out[j].TxID {
+			return out[i].TxID < out[j].TxID
+		}
+		return out[i].Collection < out[j].Collection
+	})
+	return out
+}
+
+// ReconcileOne performs one reconciliation attempt for a recorded
+// missing entry: it pulls the original set from other member peers via
+// gossip, verifies it against the in-block hashes and commits the
+// recovered values at the hashed store's current versions — but only
+// when the hashed store still reflects those writes (a later overwrite
+// makes the old values stale, in which case the entry stays recorded
+// until the newer transaction's reconciliation covers it). On success
+// the entry is cleared and true is returned.
+func (v *Validator) ReconcileOne(txID, collection string) bool {
+	v.missingMu.Lock()
+	recorded := false
+	for _, c := range v.missing[txID] {
+		if c == collection {
+			recorded = true
+			break
+		}
+	}
+	v.missingMu.Unlock()
+	if !recorded {
+		return false
+	}
+	tx, code, err := v.blocks.Transaction(txID)
+	if err != nil || code != ledger.Valid {
+		return false
+	}
+	prp, err := tx.ResponsePayloadParsed()
+	if err != nil {
+		return false
+	}
+	set, err := prp.RWSet()
+	if err != nil {
+		return false
+	}
+	def := v.defs(prp.Chaincode)
+	if def == nil {
+		return false
+	}
+	if !v.reconcileOne(txID, def, set, collection) {
+		return false
+	}
+	v.missingMu.Lock()
+	remaining := v.missing[txID][:0]
+	for _, c := range v.missing[txID] {
+		if c != collection {
+			remaining = append(remaining, c)
+		}
+	}
+	if len(remaining) == 0 {
+		delete(v.missing, txID)
+	} else {
+		v.missing[txID] = remaining
+	}
+	v.missingMu.Unlock()
+	return true
 }
 
 func (v *Validator) reconcileOne(
@@ -605,7 +652,9 @@ func (v *Validator) commitTx(blockNum uint64, tx *ledger.Transaction) {
 			}
 		}
 		if member && orig == nil {
+			v.missingMu.Lock()
 			v.missing[tx.TxID] = append(v.missing[tx.TxID], cs.Collection)
+			v.missingMu.Unlock()
 		}
 	}
 	v.transient.Purge(tx.TxID)
