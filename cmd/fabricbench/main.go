@@ -10,6 +10,10 @@
 // to one member peer is dropped for a batch of private writes, the
 // network heals, and the tick-driven reconciler recovers the member's
 // private store, reporting attempts, failures and per-attempt latency.
+// -deliver drives concurrent Gateway clients through the push-notified
+// commit flow (endorse, order, wait for the commit-status event on the
+// peer's deliver stream) and reports the submit→commit-notified latency
+// distribution.
 //
 // Usage:
 //
@@ -18,6 +22,7 @@
 //	fabricbench -workers 8      # validation worker pool for all runs
 //	fabricbench -pipeline       # 1/2/GOMAXPROCS worker comparison
 //	fabricbench -reconcile      # anti-entropy convergence scenario
+//	fabricbench -deliver        # commit-notification latency scenario
 package main
 
 import (
@@ -51,8 +56,34 @@ func run(args []string) error {
 	reconcileFlag := fs.Bool("reconcile", false, "run the anti-entropy reconciliation scenario (drop, commit, heal, tick to convergence)")
 	reconcileTxs := fs.Int("reconcile-txs", 16, "private transactions missed by the isolated member for -reconcile")
 	reconcileIsolated := fs.Int("reconcile-isolated-ticks", 3, "failing reconciler ticks before the heal for -reconcile")
+	deliverFlag := fs.Bool("deliver", false, "measure submit→commit-notified latency through the Gateway + deliver stream")
+	deliverClients := fs.Int("deliver-clients", 4, "concurrent Gateway clients for -deliver")
+	deliverTxs := fs.Int("deliver-txs", 200, "transactions for -deliver")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *deliverFlag {
+		fmt.Printf("Measuring commit notification via deliver stream (%d clients, %d txs)...\n",
+			*deliverClients, *deliverTxs)
+		var results []perf.DeliverResult
+		for _, v := range []struct {
+			name string
+			sec  core.SecurityConfig
+		}{
+			{"original", core.OriginalFabric()},
+			{"defended", core.DefendedFabric()},
+		} {
+			v.sec.ValidationWorkers = *workers
+			r, err := perf.MeasureDeliver(v.sec, v.name, *deliverClients, *deliverTxs)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		fmt.Println()
+		fmt.Print(perf.RenderDeliver(results))
+		fmt.Println()
 	}
 
 	if *reconcileFlag {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,8 @@ import (
 	"repro/internal/chaincode"
 	"repro/internal/contracts"
 	"repro/internal/core"
+	"repro/internal/deliver"
+	"repro/internal/gateway"
 	"repro/internal/ledger"
 	"repro/internal/netconfig"
 	"repro/internal/network"
@@ -114,20 +117,22 @@ func demo(net *network.Network) error {
 			break
 		}
 	}
-	cl := net.Client(memberOrgs[0])
+	ctx := context.Background()
+	contract := net.Gateway(memberOrgs[0]).Network(net.Channel.Name).Contract("asset")
 
 	fmt.Println("\n== public transaction: set(color, blue) via all peers ==")
-	res, err := cl.SubmitTransaction(net.Peers(), "asset", "set", []string{"color", "blue"}, nil)
+	res, err := contract.Submit(ctx, "set", gateway.WithArguments("color", "blue"))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("tx %s -> %v in block %d\n", short(res.TxID), res.Code, res.BlockNum)
+	fmt.Printf("tx %s -> %v in block %d (commit-notified in %s)\n",
+		short(res.TxID), res.Code, res.BlockNum, res.CommitWait.Round(0))
 
 	// Write-only PDC transactions can be endorsed by every peer in the
 	// channel — non-members included (Use Case 1) — so endorsing with
 	// all peers always satisfies the chaincode-level policy.
 	fmt.Println("\n== PDC write: setPrivate(k1, 12), endorsed by all peers (Use Case 1) ==")
-	res, err = cl.SubmitTransaction(net.Peers(), "asset", "setPrivate", []string{"k1", "12"}, nil)
+	res, err = contract.Submit(ctx, "setPrivate", gateway.WithArguments("k1", "12"))
 	if err != nil {
 		return err
 	}
@@ -143,7 +148,8 @@ func demo(net *network.Network) error {
 	}
 
 	fmt.Println("\n== PDC audited read: readPrivate(k1) submitted as a transaction ==")
-	res, err = cl.SubmitTransaction(members, "asset", "readPrivate", []string{"k1"}, nil)
+	res, err = contract.Submit(ctx, "readPrivate",
+		gateway.WithArguments("k1"), gateway.WithEndorsers(members...))
 	if err != nil {
 		return err
 	}
@@ -161,6 +167,41 @@ func demo(net *network.Network) error {
 	}
 	for _, l := range leaks {
 		fmt.Printf("  block %d tx %s (%s): payload %q\n", l.BlockNum, short(l.TxID), l.Function, l.Payload)
+	}
+
+	// Replay the whole chain from the member anchor's delivery service —
+	// the stream a real Gateway client would follow for commit events.
+	fmt.Printf("\n== deliver stream of %s, replayed from block 0 ==\n", members[0].Name())
+	sub, err := members[0].Deliver().Subscribe(0)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	// One block event plus one status event per transaction, for every
+	// block committed so far.
+	expect := 0
+	for n := uint64(0); n < members[0].Ledger().Height(); n++ {
+		b, err := members[0].Ledger().Block(n)
+		if err != nil {
+			return err
+		}
+		expect += 1 + len(b.Transactions)
+	}
+	for i := 0; i < expect; i++ {
+		ev, err := sub.Recv(ctx)
+		if err != nil {
+			return err
+		}
+		switch e := ev.(type) {
+		case *deliver.BlockEvent:
+			fmt.Printf("  block %d (%d txs)\n", e.Number, len(e.Block.Transactions))
+		case *deliver.TxStatusEvent:
+			detail := ""
+			if e.Detail != "" {
+				detail = " — " + e.Detail
+			}
+			fmt.Printf("    tx %s -> %v%s\n", short(e.TxID), e.Code, detail)
+		}
 	}
 
 	fmt.Println("\n== ledger state ==")

@@ -11,13 +11,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/chaincode"
+	"repro/internal/gateway"
 	"repro/internal/ledger"
 	"repro/internal/network"
-	"repro/internal/peer"
 	"repro/internal/pvtdata"
 )
 
@@ -138,50 +139,58 @@ func main() {
 	if err := net.DeployChaincode(def, marblesContract()); err != nil {
 		log.Fatal(err)
 	}
-	cl := net.Client("org1")
-	members := []*peer.Peer{net.Peer("org1"), net.Peer("org2")}
+	ctx := context.Background()
+	contract := net.Gateway("org1").Network("c1").Contract("marbles")
+	members := gateway.WithEndorsers(net.Peer("org1"), net.Peer("org2"))
 
 	// Create a marble; the price enters through the transient map only.
-	if _, err := cl.SubmitTransaction(members, "marbles", "initMarble",
-		[]string{"m1", "blue", "tom"},
-		map[string][]byte{"price": []byte("99")}); err != nil {
+	if _, err := contract.Submit(ctx, "initMarble",
+		gateway.WithArguments("m1", "blue", "tom"),
+		gateway.WithTransient(map[string][]byte{"price": []byte("99")}),
+		members); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := cl.SubmitTransaction(net.Peers(), "marbles", "registerPublic", []string{"m1"}, nil); err != nil {
+	if _, err := contract.Submit(ctx, "registerPublic", gateway.WithArguments("m1")); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("marble m1 created (details org1+org2; price org1 only, BlockToLive=3)")
 
-	details, err := cl.EvaluateTransaction(net.Peer("org2"), "marbles", "readMarble", "m1")
+	details, err := contract.Evaluate(ctx, "readMarble",
+		gateway.WithArguments("m1"), gateway.WithEndorsers(net.Peer("org2")))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("org2 reads details: %s\n", details)
-	price, err := cl.EvaluateTransaction(net.Peer("org1"), "marbles", "readPrice", "m1")
+	price, err := contract.Evaluate(ctx, "readPrice",
+		gateway.WithArguments("m1"), gateway.WithEndorsers(net.Peer("org1")))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("org1 reads price:   %s\n", price)
-	if _, err := cl.EvaluateTransaction(net.Peer("org2"), "marbles", "readPrice", "m1"); err != nil {
+	if _, err := contract.Evaluate(ctx, "readPrice",
+		gateway.WithArguments("m1"), gateway.WithEndorsers(net.Peer("org2"))); err != nil {
 		fmt.Println("org2 cannot read the price (not a collectionMarblePrices member)")
 	}
 
 	// Advance the chain past BlockToLive: the price is purged at org1.
 	for i := 0; i < 4; i++ {
-		if _, err := cl.SubmitTransaction(net.Peers(), "marbles", "registerPublic",
-			[]string{fmt.Sprintf("pad%d", i)}, nil); err != nil {
+		if _, err := contract.Submit(ctx, "registerPublic",
+			gateway.WithArguments(fmt.Sprintf("pad%d", i))); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if _, err := cl.EvaluateTransaction(net.Peer("org1"), "marbles", "readPrice", "m1"); err != nil {
+	if _, err := contract.Evaluate(ctx, "readPrice",
+		gateway.WithArguments("m1"), gateway.WithEndorsers(net.Peer("org1"))); err != nil {
 		fmt.Println("after 4 more blocks, the price is purged even at org1 (BlockToLive)")
 	}
 	// The marble details (no BlockToLive) survive.
-	if _, err := cl.EvaluateTransaction(net.Peer("org1"), "marbles", "readMarble", "m1"); err == nil {
+	if _, err := contract.Evaluate(ctx, "readMarble",
+		gateway.WithArguments("m1"), gateway.WithEndorsers(net.Peer("org1"))); err == nil {
 		fmt.Println("marble details persist (no BlockToLive on collectionMarbles)")
 	}
 
-	listing, err := cl.EvaluateTransaction(net.Peer("org3"), "marbles", "listPublic")
+	listing, err := contract.Evaluate(ctx, "listPublic",
+		gateway.WithEndorsers(net.Peer("org3")))
 	if err != nil {
 		log.Fatal(err)
 	}

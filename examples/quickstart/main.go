@@ -6,13 +6,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/chaincode"
 	"repro/internal/contracts"
+	"repro/internal/gateway"
 	"repro/internal/network"
-	"repro/internal/peer"
 	"repro/internal/pvtdata"
 )
 
@@ -47,20 +48,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	client := net.Client("org1")
-	members := []*peer.Peer{net.Peer("org1"), net.Peer("org2")}
+	// 3. Connect through org1's Gateway and select the chaincode. Submit
+	// endorses, orders, and then waits for the transaction's final
+	// validation code to arrive over the commit peer's deliver stream.
+	ctx := context.Background()
+	contract := net.Gateway("org1").Network("c1").Contract("asset")
 
-	// 3. A public transaction, endorsed by all three organizations.
-	res, err := client.SubmitTransaction(net.Peers(), "asset", "set", []string{"color", "blue"}, nil)
+	// A public transaction, endorsed by all three organizations (the
+	// gateway's default endorsement set).
+	res, err := contract.Submit(ctx, "set", gateway.WithArguments("color", "blue"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("public write committed: %v (block %d)\n", res.Code, res.BlockNum)
 
-	// 4. A private write, endorsed by the PDC members. The transaction
-	// that lands in every ledger contains only hashes; the original
-	// value travels to members via gossip.
-	res, err = client.SubmitTransaction(members, "asset", "setPrivate", []string{"price", "99"}, nil)
+	// 4. A private write, endorsed by the PDC members only. The
+	// transaction that lands in every ledger contains only hashes; the
+	// original value travels to members via gossip.
+	res, err = contract.Submit(ctx, "setPrivate",
+		gateway.WithArguments("price", "99"),
+		gateway.WithEndorsers(net.Peer("org1"), net.Peer("org2")))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,13 +83,16 @@ func main() {
 		}
 	}
 
-	// 6. A member reads the private value; a non-member cannot.
-	payload, err := client.EvaluateTransaction(net.Peer("org2"), "asset", "readPrivate", "price")
+	// 6. A member reads the private value; a non-member cannot. Evaluate
+	// queries one peer without creating a transaction.
+	payload, err := contract.Evaluate(ctx, "readPrivate",
+		gateway.WithArguments("price"), gateway.WithEndorsers(net.Peer("org2")))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("member read: price=%s\n", payload)
-	if _, err := client.EvaluateTransaction(net.Peer("org3"), "asset", "readPrivate", "price"); err != nil {
+	if _, err := contract.Evaluate(ctx, "readPrivate",
+		gateway.WithArguments("price"), gateway.WithEndorsers(net.Peer("org3"))); err != nil {
 		fmt.Printf("non-member read rejected: %v\n", err)
 	}
 }

@@ -1,49 +1,52 @@
-// Package client implements the application-side SDK: building proposals,
-// collecting endorsements from chosen endorsers, checking that all
-// endorsers returned the same results, assembling the transaction and
-// submitting it for ordering (paper §II-B, the submitTransaction /
-// evaluateTransaction APIs).
+// Package client is the deprecated application-side SDK, kept as a thin
+// adapter so existing callers compile unchanged. New code should use
+// package gateway (repro/internal/gateway), whose Connect → Network →
+// Contract API is context-first and reports transaction fate through the
+// commit peer's delivery service.
 //
-// Under defense Feature 2 the client verifies the endorser's signature
-// over the hashed-payload form PR_Hash, keeps the plaintext PR_Ori for
-// itself, and assembles the transaction from PR_Hash (Fig. 4 steps 6–7).
+// The adapter preserves the old call shapes (SubmitTransaction, Endorse,
+// Order, SubmitWithRetry) but delegates every flow to a gateway.Gateway;
+// in particular Order no longer polls the notification peer's ledger —
+// it waits for the transaction's commit-status event on the deliver
+// stream, exactly like gateway.Contract.Submit.
+//
+// Deprecated: use repro/internal/gateway.
 package client
 
 import (
-	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/orderer"
 	"repro/internal/peer"
 )
 
-// Errors returned by the client.
+// Errors returned by the client. The endorsement errors alias the gateway's
+// so errors.Is matches across both packages.
 var (
 	// ErrNoEndorsers: the caller supplied no endorsing peers.
-	ErrNoEndorsers = errors.New("client: no endorsers specified")
+	ErrNoEndorsers = gateway.ErrNoEndorsers
 	// ErrEndorsementMismatch: endorsers returned different results, so
 	// no transaction can be assembled.
-	ErrEndorsementMismatch = errors.New("client: endorsers returned inconsistent results")
+	ErrEndorsementMismatch = gateway.ErrEndorsementMismatch
 	// ErrBadEndorserSignature: a Feature 2 signature over PR_Hash did
 	// not verify.
-	ErrBadEndorserSignature = errors.New("client: endorser signature over hashed payload invalid")
-	// ErrNotCommitted: the transaction did not appear in the ledger.
-	ErrNotCommitted = errors.New("client: transaction not found in ledger after submission")
+	ErrBadEndorserSignature = gateway.ErrBadEndorserSignature
+	// ErrNotCommitted: no commit-status event for the transaction arrived
+	// before the commit timeout.
+	ErrNotCommitted = errors.New("client: transaction not committed after submission")
 )
 
 // Client is one application client.
+//
+// Deprecated: use gateway.Connect.
 type Client struct {
-	id       *identity.Identity
-	verifier *identity.Verifier
-	orderer  *orderer.Service
-	// notifyPeer is the peer whose ledger the client watches for
-	// commit status, normally a peer of the client's own organization.
-	notifyPeer *peer.Peer
-	sec        core.SecurityConfig
+	gw *gateway.Gateway
 }
 
 // Config wires a client.
@@ -59,19 +62,24 @@ type Config struct {
 // New creates a client.
 func New(cfg Config) *Client {
 	return &Client{
-		id:         cfg.Identity,
-		verifier:   cfg.Verifier,
-		orderer:    cfg.Orderer,
-		notifyPeer: cfg.NotifyPeer,
-		sec:        cfg.Security,
+		gw: gateway.Connect(cfg.Identity, gateway.Options{
+			Verifier:   cfg.Verifier,
+			Orderer:    cfg.Orderer,
+			Security:   cfg.Security,
+			CommitPeer: cfg.NotifyPeer,
+		}),
 	}
 }
 
+// Gateway returns the underlying gateway, for callers migrating off this
+// adapter incrementally.
+func (c *Client) Gateway() *gateway.Gateway { return c.gw }
+
 // Org returns the client's organization.
-func (c *Client) Org() string { return c.id.MSPID() }
+func (c *Client) Org() string { return c.gw.Identity().MSPID() }
 
 // SetSecurity swaps the active security configuration.
-func (c *Client) SetSecurity(sec core.SecurityConfig) { c.sec = sec }
+func (c *Client) SetSecurity(sec core.SecurityConfig) { c.gw.SetSecurity(sec) }
 
 // Result is the outcome of a submitted transaction.
 type Result struct {
@@ -94,7 +102,7 @@ func (c *Client) EvaluateTransaction(
 	chaincodeName, function string,
 	args ...string,
 ) ([]byte, error) {
-	prop, err := c.newProposal(chaincodeName, function, args, nil)
+	prop, err := c.gw.NewProposal(chaincodeName, function, args, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +124,7 @@ func (c *Client) SubmitTransaction(
 	args []string,
 	transient map[string][]byte,
 ) (*Result, error) {
-	prop, err := c.newProposal(chaincodeName, function, args, transient)
+	prop, err := c.gw.NewProposal(chaincodeName, function, args, transient)
 	if err != nil {
 		return nil, err
 	}
@@ -136,106 +144,25 @@ func (c *Client) SubmitTransaction(
 // transaction, returning it together with the plaintext payload. Exposed
 // separately so attack harnesses and benchmarks can interpose.
 func (c *Client) Endorse(prop *ledger.Proposal, endorsers []*peer.Peer) (*ledger.Transaction, []byte, error) {
-	if len(endorsers) == 0 {
-		return nil, nil, ErrNoEndorsers
-	}
-	responses := make([]*ledger.ProposalResponse, 0, len(endorsers))
-	for _, e := range endorsers {
-		resp, err := e.ProcessProposal(prop)
-		if err != nil {
-			return nil, nil, fmt.Errorf("client: endorsement from %s: %w", e.Name(), err)
-		}
-		responses = append(responses, resp)
-	}
-
-	// Consistency check: all endorsers must have produced the same
-	// signed payload bytes (results + response).
-	first := responses[0]
-	for _, r := range responses[1:] {
-		if !bytes.Equal(r.Payload, first.Payload) {
-			return nil, nil, fmt.Errorf("%w: proposal %s", ErrEndorsementMismatch, prop.TxID)
-		}
-	}
-
-	payload := first.Response.Payload
-	if c.sec.HashedPayloadEndorsement {
-		plain, err := c.verifyHashedEndorsements(responses)
-		if err != nil {
-			return nil, nil, err
-		}
-		payload = plain
-	}
-
-	tx := &ledger.Transaction{
-		TxID:            prop.TxID,
-		ChannelID:       prop.ChannelID,
-		Creator:         prop.Creator,
-		Proposal:        prop,
-		ResponsePayload: first.Payload,
-	}
-	for _, r := range responses {
-		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
-	}
-	return tx, payload, nil
+	return c.gw.EndorseProposal(context.Background(), prop, endorsers)
 }
 
-// verifyHashedEndorsements implements the client side of Feature 2: for
-// each endorser, recompute PR_Hash from the returned PR_Ori, check it
-// matches the signed payload, and verify the signature. Returns the
-// plaintext payload for the caller.
-func (c *Client) verifyHashedEndorsements(responses []*ledger.ProposalResponse) ([]byte, error) {
-	var plain []byte
-	for _, r := range responses {
-		if len(r.PlainPayload) == 0 {
-			return nil, fmt.Errorf("%w: endorser returned no plaintext form", ErrBadEndorserSignature)
-		}
-		prp, err := ledger.ParseProposalResponsePayload(r.PlainPayload)
-		if err != nil {
-			return nil, fmt.Errorf("client: parse PR_Ori: %w", err)
-		}
-		recomputed := prp.HashedPayloadForm().Bytes()
-		if !bytes.Equal(recomputed, r.Payload) {
-			return nil, fmt.Errorf("%w: PR_Hash mismatch", ErrBadEndorserSignature)
-		}
-		cert, err := identity.ParseCertificate(r.Endorsement.Endorser)
-		if err != nil {
-			return nil, fmt.Errorf("client: parse endorser cert: %w", err)
-		}
-		if err := c.verifier.VerifySignature(cert, r.Payload, r.Endorsement.Signature); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadEndorserSignature, err)
-		}
-		plain = prp.Response.Payload
-	}
-	return plain, nil
-}
-
-// Order submits an assembled transaction for ordering and waits for the
-// commit outcome at the notification peer.
+// Order submits an assembled transaction for ordering and waits for its
+// commit-status event from the notification peer's delivery service.
 func (c *Client) Order(tx *ledger.Transaction) (*Result, error) {
-	if err := c.orderer.Submit(tx); err != nil {
+	res, err := c.gw.SubmitAssembled(context.Background(), tx, nil)
+	if err != nil {
+		if errors.Is(err, gateway.ErrCommitStatusUnavailable) {
+			return nil, fmt.Errorf("%w: %s", ErrNotCommitted, tx.TxID)
+		}
 		return nil, fmt.Errorf("client: order tx %s: %w", tx.TxID, err)
 	}
-	// With batching, the transaction may still be pending; force a cut.
-	if _, _, err := c.notifyPeer.Ledger().Transaction(tx.TxID); err != nil {
-		c.orderer.Flush()
-	}
-	committed, code, err := c.notifyPeer.Ledger().Transaction(tx.TxID)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s", ErrNotCommitted, tx.TxID)
-	}
-	blockNum := uint64(0)
-	c.notifyPeer.Ledger().Scan(func(bn uint64, t *ledger.Transaction, _ ledger.ValidationCode) bool {
-		if t.TxID == committed.TxID {
-			blockNum = bn
-			return false
-		}
-		return true
-	})
-	res := &Result{TxID: tx.TxID, Code: code, BlockNum: blockNum}
-	if prp, err := committed.ResponsePayloadParsed(); err == nil {
-		res.Event = prp.Event
-	}
-	return res, nil
+	return &Result{
+		TxID:     res.TxID,
+		Code:     res.Code,
+		BlockNum: res.BlockNum,
+		Event:    res.Event,
+	}, nil
 }
 
 // SubmitWithRetry submits a transaction, re-endorsing and resubmitting
@@ -266,30 +193,6 @@ func (c *Client) SubmitWithRetry(
 	return last, fmt.Errorf("client: tx still conflicting after %d attempts", maxAttempts)
 }
 
-// newProposal builds a proposal signed-over by this client's identity.
-func (c *Client) newProposal(
-	chaincodeName, function string,
-	args []string,
-	transient map[string][]byte,
-) (*ledger.Proposal, error) {
-	nonce, err := ledger.NewNonce()
-	if err != nil {
-		return nil, err
-	}
-	creator := c.id.Cert.Bytes()
-	prop := &ledger.Proposal{
-		TxID:      ledger.NewTxID(nonce, creator),
-		ChannelID: "", // set by NewProposalForChannel when needed
-		Chaincode: chaincodeName,
-		Function:  function,
-		Args:      args,
-		Creator:   creator,
-		Nonce:     nonce,
-		Transient: transient,
-	}
-	return prop, nil
-}
-
 // NewProposal exposes proposal construction for harnesses that need to
 // interpose between endorsement and ordering.
 func (c *Client) NewProposal(
@@ -297,5 +200,5 @@ func (c *Client) NewProposal(
 	args []string,
 	transient map[string][]byte,
 ) (*ledger.Proposal, error) {
-	return c.newProposal(chaincodeName, function, args, transient)
+	return c.gw.NewProposal(chaincodeName, function, args, transient)
 }

@@ -74,6 +74,12 @@ type SecurityConfig struct {
 	// transient store; the oldest entries are evicted first. 0 means
 	// unbounded.
 	TransientMaxEntries int
+
+	// DeliverBufferSize bounds each delivery-service subscriber's event
+	// buffer (internal/deliver); a subscriber that falls further behind
+	// than this is evicted rather than blocking the commit path. 0
+	// selects deliver.DefaultBufferSize.
+	DeliverBufferSize int
 }
 
 // OriginalFabric is the unmodified framework configuration.

@@ -1,0 +1,345 @@
+package deliver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+)
+
+// fakeChain is a Source backed by a plain slice.
+type fakeChain struct {
+	blocks []*ledger.Block
+}
+
+func (f *fakeChain) Height() uint64 { return uint64(len(f.blocks)) }
+
+func (f *fakeChain) Block(n uint64) (*ledger.Block, error) {
+	if n >= uint64(len(f.blocks)) {
+		return nil, fmt.Errorf("no block %d", n)
+	}
+	return f.blocks[n], nil
+}
+
+// appendBlock cuts a block with one transaction per code and returns it.
+func (f *fakeChain) appendBlock(codes ...ledger.ValidationCode) *ledger.Block {
+	var prev []byte
+	if len(f.blocks) > 0 {
+		prev = f.blocks[len(f.blocks)-1].Hash()
+	}
+	txs := make([]*ledger.Transaction, len(codes))
+	for i := range codes {
+		txs[i] = &ledger.Transaction{
+			TxID:            fmt.Sprintf("tx-%d-%d", len(f.blocks), i),
+			ResponsePayload: []byte("not-json"),
+		}
+	}
+	b := ledger.NewBlock(uint64(len(f.blocks)), prev, txs)
+	copy(b.Metadata.ValidationFlags, codes)
+	f.blocks = append(f.blocks, b)
+	return b
+}
+
+func collect(t *testing.T, sub *Subscription, n int) []Event {
+	t.Helper()
+	out := make([]Event, 0, n)
+	for len(out) < n {
+		ev, err := sub.Recv(context.Background())
+		if err != nil {
+			t.Fatalf("recv after %d events: %v", len(out), err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestLiveStreamOrder(t *testing.T) {
+	chain := &fakeChain{}
+	svc := New(Config{Source: chain})
+	sub, err := svc.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	svc.Publish(chain.appendBlock(ledger.Valid, ledger.MVCCConflict))
+	svc.Publish(chain.appendBlock(ledger.EndorsementPolicyFailure))
+
+	events := collect(t, sub, 5)
+	be, ok := events[0].(*BlockEvent)
+	if !ok || be.Number != 0 || be.Replayed {
+		t.Fatalf("event 0 = %#v", events[0])
+	}
+	st1 := events[1].(*TxStatusEvent)
+	if st1.TxID != "tx-0-0" || st1.Code != ledger.Valid || st1.Detail != "" {
+		t.Fatalf("status 1 = %+v", st1)
+	}
+	st2 := events[2].(*TxStatusEvent)
+	if st2.Code != ledger.MVCCConflict || st2.Detail == "" {
+		t.Fatalf("status 2 = %+v", st2)
+	}
+	if events[3].(*BlockEvent).Number != 1 {
+		t.Fatalf("event 3 = %#v", events[3])
+	}
+	if st := events[4].(*TxStatusEvent); st.Code != ledger.EndorsementPolicyFailure {
+		t.Fatalf("status 4 = %+v", st)
+	}
+}
+
+func TestReplayThenLive(t *testing.T) {
+	chain := &fakeChain{}
+	svc := New(Config{Source: chain})
+	svc.Publish(chain.appendBlock(ledger.Valid))
+	svc.Publish(chain.appendBlock(ledger.Valid))
+
+	sub, err := svc.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	svc.Publish(chain.appendBlock(ledger.Valid))
+
+	events := collect(t, sub, 6)
+	var nums []uint64
+	for _, ev := range events {
+		if be, ok := ev.(*BlockEvent); ok {
+			nums = append(nums, be.Number)
+			wantReplayed := be.Number < 2
+			if be.Replayed != wantReplayed {
+				t.Fatalf("block %d replayed = %v", be.Number, be.Replayed)
+			}
+		}
+	}
+	if len(nums) != 3 || nums[0] != 0 || nums[1] != 1 || nums[2] != 2 {
+		t.Fatalf("block numbers = %v", nums)
+	}
+}
+
+func TestSubscribeMidChainReplaysOnlyGap(t *testing.T) {
+	chain := &fakeChain{}
+	svc := New(Config{Source: chain})
+	for i := 0; i < 4; i++ {
+		svc.Publish(chain.appendBlock(ledger.Valid))
+	}
+	sub, err := svc.Subscribe(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	events := collect(t, sub, 4)
+	if events[0].(*BlockEvent).Number != 2 || events[2].(*BlockEvent).Number != 3 {
+		t.Fatalf("replayed blocks %d,%d; want 2,3",
+			events[0].(*BlockEvent).Number, events[2].(*BlockEvent).Number)
+	}
+}
+
+func TestServiceOverRestoredChainServesBacklog(t *testing.T) {
+	// A peer restart replays blocks into the store without publishing;
+	// a service created (or subscribed) afterwards must treat them as
+	// replayable backlog, not wait for live publishes that never come.
+	chain := &fakeChain{}
+	chain.appendBlock(ledger.Valid)
+	chain.appendBlock(ledger.Valid)
+	svc := New(Config{Source: chain})
+	sub, err := svc.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	events := collect(t, sub, 4)
+	if events[0].(*BlockEvent).Number != 0 || events[2].(*BlockEvent).Number != 1 {
+		t.Fatal("restored backlog not replayed")
+	}
+	// And the stream continues live from there.
+	svc.Publish(chain.appendBlock(ledger.Valid))
+	if ev := collect(t, sub, 1)[0].(*BlockEvent); ev.Number != 2 || ev.Replayed {
+		t.Fatalf("live continuation = %+v", ev)
+	}
+}
+
+func TestSlowConsumerEvicted(t *testing.T) {
+	chain := &fakeChain{}
+	var ctr metrics.Counters
+	svc := New(Config{Source: chain, BufferSize: 4, Metrics: &ctr})
+	sub, err := svc.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each block enqueues 2 events; the third block overflows the
+	// 4-slot buffer and must evict, not block the publisher.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 3; i++ {
+			svc.Publish(chain.appendBlock(ledger.Valid))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a slow consumer")
+	}
+	// The stream ends after the buffered events.
+	seen := 0
+	for range sub.Events() {
+		seen++
+	}
+	if seen != 4 {
+		t.Fatalf("events before eviction = %d", seen)
+	}
+	if !errors.Is(sub.Err(), ErrSlowConsumer) {
+		t.Fatalf("err = %v", sub.Err())
+	}
+	if ctr.Get(metrics.DeliverEvictedSlow) != 1 {
+		t.Fatalf("evicted counter = %d", ctr.Get(metrics.DeliverEvictedSlow))
+	}
+	// An evicted subscriber no longer receives anything.
+	svc.Publish(chain.appendBlock(ledger.Valid))
+}
+
+func TestCheckpointResumeExactlyOnce(t *testing.T) {
+	chain := &fakeChain{}
+	svc := New(Config{Source: chain})
+	for i := 0; i < 3; i++ {
+		svc.Publish(chain.appendBlock(ledger.Valid))
+	}
+
+	cp := NewCheckpoint(0)
+	seen := make(map[uint64]int)
+
+	sub, err := svc.Subscribe(cp.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range collect(t, sub, 4) { // blocks 0,1 and their statuses
+		if be, ok := ev.(*BlockEvent); ok {
+			seen[be.Number]++
+			cp.Observe(be.Number)
+		}
+	}
+	sub.Close()
+
+	// "Restart": a fresh service over the same chain, which meanwhile
+	// grew by one block.
+	chain.appendBlock(ledger.Valid)
+	svc2 := New(Config{Source: chain})
+	sub2, err := svc2.Subscribe(cp.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	for _, ev := range collect(t, sub2, 4) {
+		if be, ok := ev.(*BlockEvent); ok {
+			seen[be.Number]++
+			cp.Observe(be.Number)
+		}
+	}
+
+	for n := uint64(0); n < 4; n++ {
+		if seen[n] != 1 {
+			t.Fatalf("block %d observed %d times; want exactly once (map %v)", n, seen[n], seen)
+		}
+	}
+	if cp.Next() != 4 {
+		t.Fatalf("checkpoint = %d", cp.Next())
+	}
+}
+
+func TestSubscribeLiveSkipsBacklog(t *testing.T) {
+	chain := &fakeChain{}
+	svc := New(Config{Source: chain})
+	svc.Publish(chain.appendBlock(ledger.Valid))
+
+	sub := svc.SubscribeLive()
+	defer sub.Close()
+	select {
+	case ev := <-sub.Events():
+		t.Fatalf("live subscription replayed %#v", ev)
+	default:
+	}
+	svc.Publish(chain.appendBlock(ledger.Valid))
+	if be := collect(t, sub, 1)[0].(*BlockEvent); be.Number != 1 {
+		t.Fatalf("first live block = %d", be.Number)
+	}
+}
+
+func TestWaitTxStatus(t *testing.T) {
+	chain := &fakeChain{}
+	svc := New(Config{Source: chain})
+	sub := svc.SubscribeLive()
+	defer sub.Close()
+
+	go func() {
+		svc.Publish(chain.appendBlock(ledger.Valid))        // tx-0-0
+		svc.Publish(chain.appendBlock(ledger.MVCCConflict)) // tx-1-0
+	}()
+	st, err := sub.WaitTxStatus(context.Background(), "tx-1-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Code != ledger.MVCCConflict || st.BlockNum != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// A status that never arrives honors the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := sub.WaitTxStatus(ctx, "no-such-tx"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTryTxStatusNonBlocking(t *testing.T) {
+	chain := &fakeChain{}
+	svc := New(Config{Source: chain})
+	sub := svc.SubscribeLive()
+	defer sub.Close()
+
+	if st := sub.TryTxStatus("tx-0-0"); st != nil {
+		t.Fatalf("empty buffer returned %+v", st)
+	}
+	svc.Publish(chain.appendBlock(ledger.Valid))
+	if st := sub.TryTxStatus("tx-0-0"); st == nil || st.Code != ledger.Valid {
+		t.Fatalf("buffered status = %+v", st)
+	}
+}
+
+func TestMissingCollectionsMarker(t *testing.T) {
+	chain := &fakeChain{}
+	svc := New(Config{
+		Source: chain,
+		Missing: func(txID string) []string {
+			if txID == "tx-0-0" {
+				return []string{"pdc1"}
+			}
+			return nil
+		},
+	})
+	sub := svc.SubscribeLive()
+	defer sub.Close()
+	svc.Publish(chain.appendBlock(ledger.Valid))
+	st, err := sub.WaitTxStatus(context.Background(), "tx-0-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.MissingCollections) != 1 || st.MissingCollections[0] != "pdc1" {
+		t.Fatalf("missing = %v", st.MissingCollections)
+	}
+}
+
+func TestClosedSubscriptionReportsErrClosed(t *testing.T) {
+	svc := New(Config{Source: &fakeChain{}})
+	sub := svc.SubscribeLive()
+	sub.Close()
+	sub.Close() // idempotent
+	if !errors.Is(sub.Err(), ErrClosed) {
+		t.Fatalf("err = %v", sub.Err())
+	}
+	if _, err := sub.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv err = %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Endorsement assembly: collecting proposal responses, checking their
+// consistency, verifying Feature 2 hashed-payload signatures and building
+// the transaction (paper §II-B and Fig. 4 steps 6–7). This is the
+// canonical client-side implementation; the deprecated client.Client
+// delegates here.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/peer"
+)
+
+// Errors surfaced by the gateway's transaction flow.
+var (
+	// ErrNoEndorsers: the call resolved to an empty endorsement set.
+	ErrNoEndorsers = errors.New("gateway: no endorsers specified")
+	// ErrEndorsementMismatch: endorsers returned different results, so
+	// no transaction can be assembled.
+	ErrEndorsementMismatch = errors.New("gateway: endorsers returned inconsistent results")
+	// ErrBadEndorserSignature: a Feature 2 signature over PR_Hash did
+	// not verify.
+	ErrBadEndorserSignature = errors.New("gateway: endorser signature over hashed payload invalid")
+	// ErrCommitStatusUnavailable: the commit-status event did not arrive
+	// before the context/timeout expired, or the deliver stream ended.
+	ErrCommitStatusUnavailable = errors.New("gateway: commit status not received")
+)
+
+// NewProposal builds a proposal signed-over by the gateway's identity.
+// Exposed for harnesses that interpose between endorsement and ordering.
+func (g *Gateway) NewProposal(
+	chaincodeName, function string,
+	args []string,
+	transient map[string][]byte,
+) (*ledger.Proposal, error) {
+	return g.newProposal("", chaincodeName, function, args, transient)
+}
+
+func (g *Gateway) newProposal(
+	channel, chaincodeName, function string,
+	args []string,
+	transient map[string][]byte,
+) (*ledger.Proposal, error) {
+	nonce, err := ledger.NewNonce()
+	if err != nil {
+		return nil, err
+	}
+	creator := g.id.Cert.Bytes()
+	return &ledger.Proposal{
+		TxID:      ledger.NewTxID(nonce, creator),
+		ChannelID: channel,
+		Chaincode: chaincodeName,
+		Function:  function,
+		Args:      args,
+		Creator:   creator,
+		Nonce:     nonce,
+		Transient: transient,
+	}, nil
+}
+
+// EndorseProposal collects endorsements for a proposal and assembles the
+// transaction, returning it together with the plaintext payload. The
+// context is honored between endorser calls.
+func (g *Gateway) EndorseProposal(
+	ctx context.Context,
+	prop *ledger.Proposal,
+	endorsers []*peer.Peer,
+) (*ledger.Transaction, []byte, error) {
+	if len(endorsers) == 0 {
+		return nil, nil, ErrNoEndorsers
+	}
+	responses := make([]*ledger.ProposalResponse, 0, len(endorsers))
+	for _, e := range endorsers {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		resp, err := e.ProcessProposal(prop)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gateway: endorsement from %s: %w", e.Name(), err)
+		}
+		responses = append(responses, resp)
+	}
+
+	// Consistency check: all endorsers must have produced the same
+	// signed payload bytes (results + response).
+	first := responses[0]
+	for _, r := range responses[1:] {
+		if !bytes.Equal(r.Payload, first.Payload) {
+			return nil, nil, fmt.Errorf("%w: proposal %s", ErrEndorsementMismatch, prop.TxID)
+		}
+	}
+
+	payload := first.Response.Payload
+	if g.security().HashedPayloadEndorsement {
+		plain, err := g.verifyHashedEndorsements(responses)
+		if err != nil {
+			return nil, nil, err
+		}
+		payload = plain
+	}
+
+	tx := &ledger.Transaction{
+		TxID:            prop.TxID,
+		ChannelID:       prop.ChannelID,
+		Creator:         prop.Creator,
+		Proposal:        prop,
+		ResponsePayload: first.Payload,
+	}
+	for _, r := range responses {
+		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
+	}
+	return tx, payload, nil
+}
+
+// verifyHashedEndorsements implements the client side of Feature 2: for
+// each endorser, recompute PR_Hash from the returned PR_Ori, check it
+// matches the signed payload, and verify the signature. Returns the
+// plaintext payload for the caller.
+func (g *Gateway) verifyHashedEndorsements(responses []*ledger.ProposalResponse) ([]byte, error) {
+	var plain []byte
+	for _, r := range responses {
+		if len(r.PlainPayload) == 0 {
+			return nil, fmt.Errorf("%w: endorser returned no plaintext form", ErrBadEndorserSignature)
+		}
+		prp, err := ledger.ParseProposalResponsePayload(r.PlainPayload)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: parse PR_Ori: %w", err)
+		}
+		recomputed := prp.HashedPayloadForm().Bytes()
+		if !bytes.Equal(recomputed, r.Payload) {
+			return nil, fmt.Errorf("%w: PR_Hash mismatch", ErrBadEndorserSignature)
+		}
+		cert, err := identity.ParseCertificate(r.Endorsement.Endorser)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: parse endorser cert: %w", err)
+		}
+		if err := g.verifier.VerifySignature(cert, r.Payload, r.Endorsement.Signature); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEndorserSignature, err)
+		}
+		plain = prp.Response.Payload
+	}
+	return plain, nil
+}

@@ -1,0 +1,404 @@
+// Package gateway implements the Fabric Gateway-style client API: a
+// client connects once (Connect), navigates to a channel and contract
+// (Gateway.Network, Network.Contract), and drives transactions through
+// context-first calls — Contract.Evaluate for queries, Contract.Submit
+// for the full endorse → order → commit-wait flow, Contract.SubmitAsync
+// when the caller wants to overlap work with the commit wait.
+//
+// Unlike the deprecated client.Client, Submit does not return at ordering
+// time: it blocks (honoring the context's deadline) until the
+// transaction's final validation code arrives over the commit peer's
+// delivery service (internal/deliver) — the same push-based commit
+// notification real Fabric clients rely on. There is no peer-state
+// polling anywhere in this path.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deliver"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/orderer"
+	"repro/internal/peer"
+)
+
+// DefaultCommitTimeout bounds the commit wait when the caller's context
+// carries no deadline.
+const DefaultCommitTimeout = 30 * time.Second
+
+// Options wires a Gateway beyond its identity and peers.
+type Options struct {
+	// Verifier checks endorsement signatures under defense Feature 2.
+	Verifier *identity.Verifier
+	// Orderer receives assembled transactions.
+	Orderer *orderer.Service
+	// Security selects the active defense features on the client side.
+	Security core.SecurityConfig
+	// CommitPeer is the peer whose delivery service reports commit
+	// status; defaults to the first connected peer of the identity's own
+	// organization, then to the first connected peer.
+	CommitPeer *peer.Peer
+	// CommitTimeout bounds Submit's commit wait when the caller's
+	// context has no deadline; 0 selects DefaultCommitTimeout.
+	CommitTimeout time.Duration
+	// Timings, when non-nil, receives the deliver_commit_wait histogram
+	// (submit→commit-notified latency per transaction).
+	Timings *metrics.Timings
+}
+
+// Gateway is one client's connection to the network: an identity plus
+// the peers it endorses through and the peer it watches for commit
+// events.
+type Gateway struct {
+	id            *identity.Identity
+	verifier      *identity.Verifier
+	orderer       *orderer.Service
+	peers         []*peer.Peer
+	commitPeer    *peer.Peer
+	commitTimeout time.Duration
+	timings       *metrics.Timings
+
+	mu  sync.RWMutex
+	sec core.SecurityConfig
+}
+
+// Connect opens a gateway for a client identity over its peers. The
+// variadic peers are the default endorsement set of every contract call
+// (override per call with WithEndorsers).
+func Connect(id *identity.Identity, opts Options, peers ...*peer.Peer) *Gateway {
+	g := &Gateway{
+		id:            id,
+		verifier:      opts.Verifier,
+		orderer:       opts.Orderer,
+		peers:         append([]*peer.Peer(nil), peers...),
+		commitPeer:    opts.CommitPeer,
+		commitTimeout: opts.CommitTimeout,
+		timings:       opts.Timings,
+		sec:           opts.Security,
+	}
+	if g.commitTimeout <= 0 {
+		g.commitTimeout = DefaultCommitTimeout
+	}
+	if g.commitPeer == nil {
+		for _, p := range g.peers {
+			if p != nil && p.Org() == id.MSPID() {
+				g.commitPeer = p
+				break
+			}
+		}
+	}
+	if g.commitPeer == nil {
+		for _, p := range g.peers {
+			if p != nil {
+				g.commitPeer = p
+				break
+			}
+		}
+	}
+	return g
+}
+
+// Identity returns the connected client identity.
+func (g *Gateway) Identity() *identity.Identity { return g.id }
+
+// CommitPeer returns the peer whose delivery service this gateway
+// watches for commit status.
+func (g *Gateway) CommitPeer() *peer.Peer { return g.commitPeer }
+
+// SetSecurity swaps the active security configuration.
+func (g *Gateway) SetSecurity(sec core.SecurityConfig) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sec = sec
+}
+
+func (g *Gateway) security() core.SecurityConfig {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.sec
+}
+
+// Network selects a channel. The channel name is validated lazily: a
+// mismatch with the commit peer's channel surfaces on the first contract
+// call. An empty name selects the commit peer's channel.
+func (g *Gateway) Network(channel string) *Network {
+	return &Network{g: g, channel: channel}
+}
+
+// Network is a gateway's view of one channel.
+type Network struct {
+	g       *Gateway
+	channel string
+}
+
+// Name returns the selected channel name.
+func (n *Network) Name() string { return n.channel }
+
+// Contract selects a chaincode on the channel.
+func (n *Network) Contract(name string) *Contract {
+	return &Contract{g: n.g, channel: n.channel, name: name}
+}
+
+// DeliverService exposes the commit peer's delivery service, so channel
+// consumers can follow block and commit-status streams directly (with
+// checkpointed replay across restarts).
+func (n *Network) DeliverService() (*deliver.Service, error) {
+	if n.g.commitPeer == nil {
+		return nil, fmt.Errorf("gateway: no commit peer connected")
+	}
+	return n.g.commitPeer.Deliver(), nil
+}
+
+// Contract drives one chaincode.
+type Contract struct {
+	g       *Gateway
+	channel string
+	name    string
+}
+
+// Name returns the chaincode name.
+func (c *Contract) Name() string { return c.name }
+
+// callOptions collects per-call overrides.
+type callOptions struct {
+	args         []string
+	transient    map[string][]byte
+	endorsers    []*peer.Peer
+	endorsersSet bool
+}
+
+// CallOption customizes one Evaluate/Submit/SubmitAsync call.
+type CallOption func(*callOptions)
+
+// WithArguments sets the chaincode function arguments.
+func WithArguments(args ...string) CallOption {
+	return func(o *callOptions) { o.args = args }
+}
+
+// WithTransient attaches confidential inputs that reach the chaincode
+// without entering the transaction (Fabric's transient map).
+func WithTransient(transient map[string][]byte) CallOption {
+	return func(o *callOptions) { o.transient = transient }
+}
+
+// WithEndorsers overrides the gateway's default endorsement set — e.g.
+// restricting a private-data write to collection members. Passing none
+// explicitly requests zero endorsers and fails with ErrNoEndorsers.
+func WithEndorsers(peers ...*peer.Peer) CallOption {
+	return func(o *callOptions) {
+		o.endorsers = peers
+		o.endorsersSet = true
+	}
+}
+
+func (c *Contract) options(opts []CallOption) *callOptions {
+	o := &callOptions{}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if !o.endorsersSet {
+		o.endorsers = c.g.peers
+	}
+	return o
+}
+
+// checkChannel validates the lazily selected channel name.
+func (c *Contract) checkChannel() error {
+	if c.channel == "" || c.g.commitPeer == nil {
+		return nil
+	}
+	if have := c.g.commitPeer.ChannelName(); c.channel != have {
+		return fmt.Errorf("gateway: unknown channel %q (peers serve %q)", c.channel, have)
+	}
+	return nil
+}
+
+// Evaluate runs a query against a single endorser without ordering: no
+// transaction is created and the ledger is not updated. The first
+// endorser of the call (or the gateway's commit peer) serves the query.
+func (c *Contract) Evaluate(ctx context.Context, function string, opts ...CallOption) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.checkChannel(); err != nil {
+		return nil, err
+	}
+	o := c.options(opts)
+	target := c.g.commitPeer
+	if len(o.endorsers) > 0 {
+		target = o.endorsers[0]
+	}
+	if target == nil {
+		return nil, ErrNoEndorsers
+	}
+	prop, err := c.g.newProposal(c.channel, c.name, function, o.args, o.transient)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := target.ProcessProposal(prop)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: evaluate %s.%s: %w", c.name, function, err)
+	}
+	return resp.Response.Payload, nil
+}
+
+// Submit drives the full transaction flow — endorse, order, wait for the
+// final commit status over the deliver stream — honoring ctx at every
+// stage. The returned Result carries the transaction's final validation
+// code as recorded by the commit peer; a non-VALID code is reported in
+// the Result, not as an error.
+func (c *Contract) Submit(ctx context.Context, function string, opts ...CallOption) (*Result, error) {
+	commit, err := c.SubmitAsync(ctx, function, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer commit.Close()
+	return commit.Status(ctx)
+}
+
+// SubmitAsync endorses and orders the transaction, returning as soon as
+// the orderer accepted it. The caller collects the final validation code
+// later through Commit.Status (and must Close the Commit when done).
+func (c *Contract) SubmitAsync(ctx context.Context, function string, opts ...CallOption) (*Commit, error) {
+	if err := c.checkChannel(); err != nil {
+		return nil, err
+	}
+	o := c.options(opts)
+	prop, err := c.g.newProposal(c.channel, c.name, function, o.args, o.transient)
+	if err != nil {
+		return nil, err
+	}
+	tx, payload, err := c.g.EndorseProposal(ctx, prop, o.endorsers)
+	if err != nil {
+		return nil, err
+	}
+	return c.g.SubmitAssembledAsync(ctx, tx, payload)
+}
+
+// Result is the final outcome of a submitted transaction, assembled from
+// its commit-status event.
+type Result struct {
+	TxID string
+	// Payload is the chaincode's response payload in plaintext (from
+	// PR_Ori under defense Feature 2).
+	Payload []byte
+	// Code is the final validation code the commit peer recorded.
+	Code ledger.ValidationCode
+	// Detail explains non-VALID codes.
+	Detail string
+	// BlockNum is the block the transaction landed in.
+	BlockNum uint64
+	// Event is the chaincode event of a VALID transaction, if any.
+	Event *ledger.ChaincodeEvent
+	// MissingCollections lists collections whose original private data
+	// the commit peer had not obtained at commit time.
+	MissingCollections []string
+	// CommitWait is the submit→commit-notified latency.
+	CommitWait time.Duration
+}
+
+// Commit is a pending commit notification: the handle SubmitAsync
+// returns while the transaction is in ordering/validation.
+type Commit struct {
+	g         *Gateway
+	txID      string
+	payload   []byte
+	sub       *deliver.Subscription
+	submitted time.Time
+
+	once   sync.Once
+	result *Result
+	err    error
+}
+
+// TxID returns the pending transaction's ID.
+func (c *Commit) TxID() string { return c.txID }
+
+// Status blocks until the transaction's final commit-status event
+// arrives on the deliver stream, honoring ctx; without a ctx deadline
+// the gateway's commit timeout applies. If the transaction sits in a
+// partial orderer batch, the batch is flushed first — asking for the
+// status is the signal that the caller wants the block cut now.
+func (c *Commit) Status(ctx context.Context) (*Result, error) {
+	c.once.Do(func() { c.result, c.err = c.wait(ctx) })
+	return c.result, c.err
+}
+
+func (c *Commit) wait(ctx context.Context) (*Result, error) {
+	defer c.sub.Close()
+	st := c.sub.TryTxStatus(c.txID)
+	if st == nil {
+		// Not committed yet: cut any partial batch holding the tx, then
+		// block on the stream.
+		c.g.orderer.Flush()
+		wctx := ctx
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithTimeout(ctx, c.g.commitTimeout)
+			defer cancel()
+		}
+		var err error
+		st, err = c.sub.WaitTxStatus(wctx, c.txID)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tx %s: %v", ErrCommitStatusUnavailable, c.txID, err)
+		}
+	}
+	wait := time.Since(c.submitted)
+	if c.g.timings != nil {
+		c.g.timings.Observe(metrics.DeliverCommitWait, wait)
+	}
+	return &Result{
+		TxID:               c.txID,
+		Payload:            c.payload,
+		Code:               st.Code,
+		Detail:             st.Detail,
+		BlockNum:           st.BlockNum,
+		Event:              st.ChaincodeEvent,
+		MissingCollections: st.MissingCollections,
+		CommitWait:         wait,
+	}, nil
+}
+
+// Close releases the commit's deliver subscription. Safe after Status.
+func (c *Commit) Close() { c.sub.Close() }
+
+// SubmitAssembledAsync orders a pre-assembled transaction and returns a
+// pending Commit. The deliver subscription is registered before the
+// transaction reaches the orderer, so the commit-status event cannot be
+// missed. Exposed for the deprecated client.Client adapter and for
+// attack harnesses that interpose between endorsement and ordering.
+func (g *Gateway) SubmitAssembledAsync(ctx context.Context, tx *ledger.Transaction, payload []byte) (*Commit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if g.orderer == nil {
+		return nil, fmt.Errorf("gateway: no orderer connected")
+	}
+	if g.commitPeer == nil {
+		return nil, fmt.Errorf("gateway: no commit peer connected")
+	}
+	sub := g.commitPeer.Deliver().SubscribeLive()
+	start := time.Now()
+	if err := g.orderer.Submit(tx); err != nil {
+		sub.Close()
+		return nil, fmt.Errorf("gateway: order tx %s: %w", tx.TxID, err)
+	}
+	return &Commit{g: g, txID: tx.TxID, payload: payload, sub: sub, submitted: start}, nil
+}
+
+// SubmitAssembled orders a pre-assembled transaction and waits for its
+// final commit status.
+func (g *Gateway) SubmitAssembled(ctx context.Context, tx *ledger.Transaction, payload []byte) (*Result, error) {
+	commit, err := g.SubmitAssembledAsync(ctx, tx, payload)
+	if err != nil {
+		return nil, err
+	}
+	defer commit.Close()
+	return commit.Status(ctx)
+}

@@ -103,3 +103,32 @@ const (
 // ReconcileAttempt is the histogram name timing each reconciliation
 // attempt (the gossip pull plus hash verification and commit).
 const ReconcileAttempt = "reconcile_attempt"
+
+// Well-known counter names emitted by the peer delivery service
+// (internal/deliver): stream fan-out and subscriber health.
+const (
+	// DeliverBlocks counts blocks published to the delivery service.
+	DeliverBlocks = "deliver_blocks"
+	// DeliverStatuses counts per-transaction commit-status events
+	// published.
+	DeliverStatuses = "deliver_statuses"
+	// DeliverReplayedBlocks counts blocks replayed from the block store
+	// into catching-up subscribers (checkpointed replay).
+	DeliverReplayedBlocks = "deliver_replayed_blocks"
+	// DeliverSubscriptions counts subscriptions opened.
+	DeliverSubscriptions = "deliver_subscriptions"
+	// DeliverEvictedSlow counts subscribers evicted because their
+	// bounded buffer overflowed.
+	DeliverEvictedSlow = "deliver_evicted_slow"
+)
+
+// Histogram names of the delivery path.
+const (
+	// DeliverPublish times the fan-out of one committed block to every
+	// subscriber.
+	DeliverPublish = "deliver_publish"
+	// DeliverCommitWait times submit→commit-notified latency: from
+	// handing a transaction to the orderer until its final commit-status
+	// event arrives on the deliver stream (observed by the gateway).
+	DeliverCommitWait = "deliver_commit_wait"
+)

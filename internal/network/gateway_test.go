@@ -1,0 +1,195 @@
+package network
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/gateway"
+	"repro/internal/ledger"
+)
+
+// TestGatewaySubmitReportsFinalCode drives the full Gateway flow: Submit
+// must return the transaction's final validation code as recorded by the
+// commit peer, received over the deliver stream (no ledger polling).
+func TestGatewaySubmitReportsFinalCode(t *testing.T) {
+	n := newTestNet(t)
+	contract := n.Gateway("org1").Network("c1").Contract("asset")
+
+	res, err := contract.Submit(context.Background(), "set", gateway.WithArguments("k1", "hello"))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("code = %v", res.Code)
+	}
+	if res.BlockNum != 0 {
+		t.Fatalf("block = %d", res.BlockNum)
+	}
+	if res.CommitWait <= 0 {
+		t.Fatalf("commit wait = %v", res.CommitWait)
+	}
+	for _, p := range n.Peers() {
+		if p.Ledger().Height() != 1 {
+			t.Fatalf("%s height = %d", p.Name(), p.Ledger().Height())
+		}
+	}
+}
+
+// TestGatewaySubmitReportsPolicyFailure: a minority endorsement commits
+// as ENDORSEMENT_POLICY_FAILURE; the code and its detail come back in the
+// Result, not as an error.
+func TestGatewaySubmitReportsPolicyFailure(t *testing.T) {
+	n := newTestNet(t)
+	contract := n.Gateway("org1").Network("c1").Contract("asset")
+
+	res, err := contract.Submit(context.Background(), "set",
+		gateway.WithArguments("k1", "v"),
+		gateway.WithEndorsers(n.Peer("org1")))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Code != ledger.EndorsementPolicyFailure {
+		t.Fatalf("code = %v", res.Code)
+	}
+	if res.Detail == "" {
+		t.Fatal("no detail for policy failure")
+	}
+}
+
+// TestGatewayEvaluateDoesNotGrowLedger: Evaluate queries a single peer
+// without ordering — no transaction, no block.
+func TestGatewayEvaluateDoesNotGrowLedger(t *testing.T) {
+	n := newTestNet(t)
+	contract := n.Gateway("org1").Network("c1").Contract("asset")
+
+	if _, err := contract.Submit(context.Background(), "set", gateway.WithArguments("k1", "42")); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := contract.Evaluate(context.Background(), "get", gateway.WithArguments("k1"))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if string(payload) != "42" {
+		t.Fatalf("payload = %q", payload)
+	}
+	if h := n.Peer("org1").Ledger().Height(); h != 1 {
+		t.Fatalf("height after evaluate = %d", h)
+	}
+}
+
+// TestGatewaySubmitAsyncStatus overlaps work with the commit wait: the
+// Commit handle returns the final code when asked.
+func TestGatewaySubmitAsyncStatus(t *testing.T) {
+	n := newTestNet(t)
+	contract := n.Gateway("org1").Network("c1").Contract("asset")
+
+	commit, err := contract.SubmitAsync(context.Background(), "set", gateway.WithArguments("k2", "v"))
+	if err != nil {
+		t.Fatalf("submit async: %v", err)
+	}
+	defer commit.Close()
+	if commit.TxID() == "" {
+		t.Fatal("no txID on pending commit")
+	}
+	res, err := commit.Status(context.Background())
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if res.Code != ledger.Valid || res.TxID != commit.TxID() {
+		t.Fatalf("result = %+v", res)
+	}
+	// Status is idempotent.
+	res2, err := commit.Status(context.Background())
+	if err != nil || res2 != res {
+		t.Fatalf("second status = (%+v, %v)", res2, err)
+	}
+}
+
+// TestGatewayContextCanceled: a canceled context aborts the flow.
+func TestGatewayContextCanceled(t *testing.T) {
+	n := newTestNet(t)
+	contract := n.Gateway("org1").Network("c1").Contract("asset")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := contract.Submit(ctx, "set", gateway.WithArguments("k", "v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestGatewayExplicitEmptyEndorsers: WithEndorsers() with no peers is an
+// explicit request for zero endorsers and must fail, not silently fall
+// back to the defaults.
+func TestGatewayExplicitEmptyEndorsers(t *testing.T) {
+	n := newTestNet(t)
+	contract := n.Gateway("org1").Network("c1").Contract("asset")
+
+	_, err := contract.Submit(context.Background(), "set",
+		gateway.WithArguments("k", "v"), gateway.WithEndorsers())
+	if !errors.Is(err, gateway.ErrNoEndorsers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestGatewayUnknownChannel: the lazily selected channel is validated on
+// the first contract call.
+func TestGatewayUnknownChannel(t *testing.T) {
+	n := newTestNet(t)
+	contract := n.Gateway("org1").Network("nope").Contract("asset")
+
+	_, err := contract.Submit(context.Background(), "set", gateway.WithArguments("k", "v"))
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := contract.Evaluate(context.Background(), "get", gateway.WithArguments("k")); err == nil {
+		t.Fatal("evaluate accepted unknown channel")
+	}
+}
+
+// TestGatewayCrossOrgCommitStream: org2's gateway endorses across all
+// three organizations but watches its own org's peer for commit status —
+// the cross-org wiring network.New sets up.
+func TestGatewayCrossOrgCommitStream(t *testing.T) {
+	n := newTestNet(t)
+	gw := n.Gateway("org2")
+	if gw.CommitPeer() != n.Peer("org2") {
+		t.Fatalf("org2 commit peer = %v", gw.CommitPeer().Name())
+	}
+
+	res, err := gw.Network("c1").Contract("asset").Submit(
+		context.Background(), "set", gateway.WithArguments("k", "v"))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("code = %v", res.Code)
+	}
+	// Every org's delivery service saw the same commit.
+	for _, org := range n.Orgs() {
+		svc := n.Peer(org).Deliver()
+		if svc.Height() != 1 {
+			t.Fatalf("%s deliver height = %d", org, svc.Height())
+		}
+	}
+}
+
+// TestClientAdapterStillWorks: the deprecated client.Client path (now a
+// gateway adapter) keeps its observable behaviour, including commit
+// notification without polling.
+func TestClientAdapterStillWorks(t *testing.T) {
+	n := newTestNet(t)
+	cl := n.Client("org1")
+
+	res, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"k", "v"}, nil)
+	if err != nil {
+		t.Fatalf("adapter submit: %v", err)
+	}
+	if res.Code != ledger.Valid || res.BlockNum != 0 {
+		t.Fatalf("adapter result = %+v", res)
+	}
+	if cl.Gateway() == nil || cl.Gateway().CommitPeer() != n.Peer("org1") {
+		t.Fatal("adapter gateway wiring")
+	}
+}

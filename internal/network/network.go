@@ -14,6 +14,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/gossip"
 	"repro/internal/identity"
 	"repro/internal/ledger"
@@ -53,11 +54,12 @@ type Network struct {
 	Orderer *orderer.Service
 	Gossip  *gossip.Network
 
-	cas     map[string]*identity.CA
-	peers   map[string]*peer.Peer     // "peer0.org1" -> peer
-	clients map[string]*client.Client // "client0.org1" -> client
-	orgs    []string
-	sec     core.SecurityConfig
+	cas      map[string]*identity.CA
+	peers    map[string]*peer.Peer       // "peer0.org1" -> peer
+	clients  map[string]*client.Client   // "client0.org1" -> client
+	gateways map[string]*gateway.Gateway // org -> gateway
+	orgs     []string
+	sec      core.SecurityConfig
 }
 
 // New builds and starts a network per the options.
@@ -71,11 +73,12 @@ func New(opts Options) (*Network, error) {
 	}
 
 	n := &Network{
-		cas:     make(map[string]*identity.CA),
-		peers:   make(map[string]*peer.Peer),
-		clients: make(map[string]*client.Client),
-		orgs:    append([]string(nil), opts.Orgs...),
-		sec:     opts.Security,
+		cas:      make(map[string]*identity.CA),
+		peers:    make(map[string]*peer.Peer),
+		clients:  make(map[string]*client.Client),
+		gateways: make(map[string]*gateway.Gateway),
+		orgs:     append([]string(nil), opts.Orgs...),
+		sec:      opts.Security,
 	}
 	sort.Strings(n.orgs)
 
@@ -109,8 +112,12 @@ func New(opts Options) (*Network, error) {
 		peersPerOrg = 1
 	}
 	verifier := n.Channel.Verifier()
+
+	// First pass: bring up every peer of every organization, so the
+	// clients and gateways created afterwards can span organizations
+	// (cross-org endorsement sets and commit streams).
+	anchors := make(map[string]*peer.Peer, len(n.orgs))
 	for _, org := range n.orgs {
-		var anchor *peer.Peer
 		for i := 0; i < peersPerOrg; i++ {
 			peerID, err := n.cas[org].Issue(fmt.Sprintf("peer%d.%s", i, org), identity.RolePeer)
 			if err != nil {
@@ -124,23 +131,34 @@ func New(opts Options) (*Network, error) {
 			})
 			n.peers[p.Name()] = p
 			n.Orderer.RegisterDelivery(func(b *ledger.Block) { _ = p.CommitBlock(b) })
-			if anchor == nil {
-				anchor = p
+			if anchors[org] == nil {
+				anchors[org] = p
 			}
 		}
+	}
 
+	// Second pass: one client identity per organization, connected both
+	// through the deprecated client.Client adapter and through a Gateway
+	// whose default endorsement set is every peer in the network and whose
+	// commit stream comes from the org's own anchor peer.
+	for _, org := range n.orgs {
 		clientID, err := n.cas[org].Issue("client0."+org, identity.RoleClient)
 		if err != nil {
 			return nil, fmt.Errorf("network: %w", err)
 		}
-		cl := client.New(client.Config{
+		n.clients["client0."+org] = client.New(client.Config{
 			Identity:   clientID,
 			Verifier:   verifier,
 			Orderer:    n.Orderer,
-			NotifyPeer: anchor,
+			NotifyPeer: anchors[org],
 			Security:   opts.Security,
 		})
-		n.clients["client0."+org] = cl
+		n.gateways[org] = gateway.Connect(clientID, gateway.Options{
+			Verifier:   verifier,
+			Orderer:    n.Orderer,
+			Security:   opts.Security,
+			CommitPeer: anchors[org],
+		}, n.Peers()...)
 	}
 	return n, nil
 }
@@ -218,8 +236,18 @@ func (n *Network) OrgPeers(org string) []*peer.Peer {
 }
 
 // Client returns the client named "client0.<org>".
+//
+// Deprecated: use Gateway, the push-notified replacement.
 func (n *Network) Client(org string) *client.Client {
 	return n.clients["client0."+org]
+}
+
+// Gateway returns the organization's gateway connection: the Gateway-style
+// client API over the same "client0.<org>" identity, endorsing through
+// every peer by default and watching the org's anchor peer for commit
+// status.
+func (n *Network) Gateway(org string) *gateway.Gateway {
+	return n.gateways[org]
 }
 
 // Peers returns all peers sorted by name.
@@ -265,6 +293,9 @@ func (n *Network) SetSecurity(sec core.SecurityConfig) {
 	}
 	for _, c := range n.clients {
 		c.SetSecurity(sec)
+	}
+	for _, g := range n.gateways {
+		g.SetSecurity(sec)
 	}
 }
 

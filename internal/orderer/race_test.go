@@ -1,0 +1,77 @@
+package orderer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+// TestConcurrentSubmitAndSubscribe exercises the backlog-then-register
+// atomicity of Subscribe under -race: subscribers that register while
+// writers are cutting blocks must observe every block exactly once, in
+// order, with no gap between the returned backlog and the live handler.
+func TestConcurrentSubmitAndSubscribe(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 1, Seed: 7})
+
+	const writers = 4
+	const perWriter = 8
+	const subscribers = 6
+
+	type stream struct {
+		mu   sync.Mutex
+		nums []uint64
+	}
+	streams := make([]*stream, subscribers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := svc.Submit(tx(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < subscribers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st := &stream{}
+			streams[s] = st
+			backlog := svc.Subscribe(func(b *ledger.Block) {
+				st.mu.Lock()
+				defer st.mu.Unlock()
+				st.nums = append(st.nums, b.Header.Number)
+			})
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			pre := make([]uint64, 0, len(backlog))
+			for _, b := range backlog {
+				pre = append(pre, b.Header.Number)
+			}
+			st.nums = append(pre, st.nums...)
+		}(s)
+	}
+	wg.Wait()
+
+	want := uint64(writers * perWriter)
+	if svc.Height() != want {
+		t.Fatalf("height = %d, want %d", svc.Height(), want)
+	}
+	for s, st := range streams {
+		if uint64(len(st.nums)) != want {
+			t.Fatalf("subscriber %d saw %d blocks, want %d", s, len(st.nums), want)
+		}
+		for i, n := range st.nums {
+			if n != uint64(i) {
+				t.Fatalf("subscriber %d: position %d holds block %d", s, i, n)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/chaincode"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/deliver"
 	"repro/internal/endorser"
 	"repro/internal/fabcrypto"
 	"repro/internal/gossip"
@@ -38,6 +39,7 @@ type Peer struct {
 	validator  *validator.Validator
 	reconciler *reconcile.Reconciler
 	persist    *blockfile.Store
+	delivery   *deliver.Service
 	metrics    metrics.Counters
 	timings    metrics.Timings
 
@@ -135,6 +137,13 @@ func New(cfg Config) *Peer {
 		Metrics:     &p.metrics,
 		Timings:     &p.timings,
 	})
+	p.delivery = deliver.New(deliver.Config{
+		Source:     p.blocks,
+		Missing:    p.MissingPrivateData,
+		BufferSize: cfg.Security.DeliverBufferSize,
+		Metrics:    &p.metrics,
+		Timings:    &p.timings,
+	})
 	cfg.Gossip.Join(p)
 	return p
 }
@@ -179,6 +188,15 @@ func (p *Peer) Name() string { return p.id.Subject() }
 
 // Org returns the peer's organization.
 func (p *Peer) Org() string { return p.id.MSPID() }
+
+// ChannelName returns the name of the channel this peer serves.
+func (p *Peer) ChannelName() string { return p.channelCfg.Name }
+
+// Deliver exposes the peer's delivery service: block and per-transaction
+// commit-status event streams with checkpointed replay. Subscribers that
+// resume after a restart (Restore) replay the persisted backlog from the
+// block store before going live.
+func (p *Peer) Deliver() *deliver.Service { return p.delivery }
 
 // SetSecurity swaps the active security configuration on both engines,
 // the reconciler's retry policy and the transient store's lifecycle
@@ -273,6 +291,9 @@ func (p *Peer) CommitBlock(block *ledger.Block) error {
 			l(block.Header.Number, tx.TxID, prp.Event)
 		}
 	}
+	// Fan the block out to delivery subscribers last, once the commit is
+	// durable and the missing-private-data records are in place.
+	p.delivery.Publish(block)
 	return nil
 }
 

@@ -1,0 +1,62 @@
+package peer
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+// TestListenerRegistrationRace registers commit/event listeners and opens
+// deliver subscriptions while blocks are committing, under -race: the
+// listener slices and the delivery fan-out must tolerate concurrent
+// registration without torn reads.
+func TestListenerRegistrationRace(t *testing.T) {
+	p1, _, _ := twoPeers(t)
+
+	const blocks = 40
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev []byte
+		for i := 0; i < blocks; i++ {
+			b := ledger.NewBlock(uint64(i), prev, nil)
+			if err := p1.CommitBlock(b); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+				return
+			}
+			prev = b.Hash()
+		}
+	}()
+
+	var fired sync.WaitGroup
+	for i := 0; i < blocks; i++ {
+		p1.OnCommit(func(uint64, string, ledger.ValidationCode) {})
+		p1.OnEvent(func(uint64, string, *ledger.ChaincodeEvent) {})
+		sub := p1.Deliver().SubscribeLive()
+		fired.Add(1)
+		go func() {
+			defer fired.Done()
+			sub.Recv(context.Background())
+			sub.Close()
+		}()
+	}
+	wg.Wait()
+	// Unblock any subscriber still waiting on a block that will never
+	// come: publish one more.
+	last, err := p1.Ledger().Block(uint64(blocks - 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := ledger.NewBlock(uint64(blocks), last.Hash(), nil)
+	if err := p1.CommitBlock(final); err != nil {
+		t.Fatal(err)
+	}
+	fired.Wait()
+
+	if p1.Ledger().Height() != blocks+1 {
+		t.Fatalf("height = %d", p1.Ledger().Height())
+	}
+}

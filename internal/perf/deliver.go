@@ -1,0 +1,131 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+)
+
+// DeliverResult reports the commit-notification scenario: concurrent
+// Gateway clients submit transactions and block until the final commit
+// status arrives over the deliver stream, measuring submit→commit-notified
+// latency per transaction.
+type DeliverResult struct {
+	Framework string
+	// Clients is the number of concurrent Gateway submitters.
+	Clients int
+	// Transactions completed (commit-notified, whatever the code).
+	Transactions int
+	// Invalid counts transactions notified with a non-VALID code.
+	Invalid int
+	// Elapsed wall clock.
+	Elapsed time.Duration
+	// TPS is Transactions / Elapsed.
+	TPS float64
+	// CommitWait is the submit→commit-notified latency distribution
+	// (the deliver_commit_wait histogram across all clients).
+	CommitWait metrics.HistogramSnapshot
+}
+
+// MeasureDeliver drives `total` public transactions through `clients`
+// concurrent Gateway connections. Each client endorses, orders and then
+// waits for its transaction's commit-status event from its commit peer's
+// delivery service — the full push-notified flow, with no ledger polling.
+func MeasureDeliver(sec core.SecurityConfig, framework string, clients, total int) (DeliverResult, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	h, err := newHarness(sec)
+	if err != nil {
+		return DeliverResult{}, err
+	}
+	perClient := total / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+
+	var timings metrics.Timings
+	gws := make([]*gateway.Gateway, clients)
+	for c := 0; c < clients; c++ {
+		id, err := h.net.CA("org1").Issue("bench-deliver-"+strconv.Itoa(c)+".org1", identity.RoleClient)
+		if err != nil {
+			return DeliverResult{}, fmt.Errorf("perf: deliver client %d: %w", c, err)
+		}
+		gws[c] = gateway.Connect(id, gateway.Options{
+			Verifier: h.net.Channel.Verifier(),
+			Orderer:  h.net.Orderer,
+			Security: sec,
+			Timings:  &timings,
+		}, h.net.Peers()...)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	invalid := 0
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			contract := gws[c].Network(h.net.Channel.Name).Contract("asset")
+			for i := 0; i < perClient; i++ {
+				key := "d" + strconv.Itoa(c) + "-" + strconv.Itoa(i)
+				res, err := contract.Submit(context.Background(), "set",
+					gateway.WithArguments(key, "v"))
+				if err != nil {
+					errCh <- fmt.Errorf("perf: deliver client %d: %w", c, err)
+					return
+				}
+				if res.Code != ledger.Valid {
+					mu.Lock()
+					invalid++
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return DeliverResult{}, err
+	}
+
+	done := clients * perClient
+	return DeliverResult{
+		Framework:    framework,
+		Clients:      clients,
+		Transactions: done,
+		Invalid:      invalid,
+		Elapsed:      elapsed,
+		TPS:          float64(done) / elapsed.Seconds(),
+		CommitWait:   timings.Snapshot()[metrics.DeliverCommitWait],
+	}, nil
+}
+
+// RenderDeliver prints the commit-notification comparison with the
+// submit→commit-notified latency distribution per framework.
+func RenderDeliver(results []DeliverResult) string {
+	out := "Commit notification via deliver stream (endorse + order + commit-status event)\n"
+	out += fmt.Sprintf("%-12s%-10s%-8s%-10s%-12s%-10s%-12s%-12s%-12s%-12s\n",
+		"framework", "clients", "txs", "invalid", "elapsed", "tx/s",
+		"wait-mean", "wait-p50", "wait-p95", "wait-max")
+	for _, r := range results {
+		w := r.CommitWait
+		out += fmt.Sprintf("%-12s%-10d%-8d%-10d%-12s%-10.0f%-12s%-12s%-12s%-12s\n",
+			r.Framework, r.Clients, r.Transactions, r.Invalid,
+			r.Elapsed.Round(time.Millisecond), r.TPS,
+			w.Mean().Round(time.Microsecond), w.Quantile(0.5),
+			w.Quantile(0.95), w.Max.Round(time.Microsecond))
+	}
+	return out
+}
