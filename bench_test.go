@@ -22,6 +22,7 @@ import (
 	"repro/internal/attacks"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/ledger"
 	"repro/internal/perf"
 	"repro/internal/rwset"
 )
@@ -259,7 +260,7 @@ func BenchmarkFig11_Validation_Delete_Defended(b *testing.B) {
 // validation phase (endorsement and block assembly run with the timer
 // stopped). The verify cache is flushed per iteration so every
 // iteration pays identical first-touch verification costs.
-func benchParallelValidation(b *testing.B, workers int) {
+func benchParallelValidation(b *testing.B, workers int, readWrite bool) {
 	const txsPerBlock = 32
 	sec := core.OriginalFabric()
 	sec.ValidationWorkers = workers
@@ -270,7 +271,12 @@ func benchParallelValidation(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		txs, err := h.EndorseTxs(i, txsPerBlock)
+		var txs []*ledger.Transaction
+		if readWrite {
+			txs, err = h.EndorseReadWriteTxs(i, txsPerBlock)
+		} else {
+			txs, err = h.EndorseTxs(i, txsPerBlock)
+		}
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -285,13 +291,24 @@ func benchParallelValidation(b *testing.B, workers int) {
 }
 
 // BenchmarkParallelValidation compares commit throughput of the
-// validation pipeline at 1, 2 and 8 workers. On multi-core hardware the
-// 8-worker series shows the fan-out of signature verification; on a
-// single core all series converge (the pipeline adds no contention).
+// validation pipeline at 1, 2 and 8 workers, for two transaction
+// families: write-only blocks ("set": empty read set) and read-write
+// blocks ("add": every transaction carries a public read, so the batched
+// MVCC check against the sharded statedb is on the critical path). On
+// multi-core hardware the 8-worker series shows the fan-out of signature
+// verification; on a single core all series converge (the pipeline adds
+// no contention).
 func BenchmarkParallelValidation(b *testing.B) {
-	for _, workers := range []int{1, 2, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			benchParallelValidation(b, workers)
+	for _, family := range []struct {
+		name      string
+		readWrite bool
+	}{{"write", false}, {"readwrite", true}} {
+		b.Run(family.name, func(b *testing.B) {
+			for _, workers := range []int{1, 2, 8} {
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					benchParallelValidation(b, workers, family.readWrite)
+				})
+			}
 		})
 	}
 }

@@ -13,7 +13,10 @@
 // -deliver drives concurrent Gateway clients through the push-notified
 // commit flow (endorse, order, wait for the commit-status event on the
 // peer's deliver stream) and reports the submit→commit-notified latency
-// distribution.
+// distribution. -statedb runs the world-state micro-scenario
+// (docs/STATEDB.md) — range scans, batched MVCC version reads, snapshot
+// take/read cost, and scan latency under a concurrent writer — and with
+// -json writes the result to BENCH_statedb.json as a committed baseline.
 //
 // Usage:
 //
@@ -23,6 +26,7 @@
 //	fabricbench -pipeline       # 1/2/GOMAXPROCS worker comparison
 //	fabricbench -reconcile      # anti-entropy convergence scenario
 //	fabricbench -deliver        # commit-notification latency scenario
+//	fabricbench -statedb -json  # world-state scenario + JSON baseline
 package main
 
 import (
@@ -59,8 +63,33 @@ func run(args []string) error {
 	deliverFlag := fs.Bool("deliver", false, "measure submit→commit-notified latency through the Gateway + deliver stream")
 	deliverClients := fs.Int("deliver-clients", 4, "concurrent Gateway clients for -deliver")
 	deliverTxs := fs.Int("deliver-txs", 200, "transactions for -deliver")
+	statedbFlag := fs.Bool("statedb", false, "run the world-state micro-scenario (range scans, batched MVCC reads, snapshots, contended scans)")
+	statedbKeys := fs.Int("statedb-keys", 10000, "keys per namespace for -statedb")
+	jsonFlag := fs.Bool("json", false, "with -statedb, write the result to -json-out as a committed baseline")
+	jsonOut := fs.String("json-out", "BENCH_statedb.json", "output path for -json (\"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *statedbFlag {
+		fmt.Printf("Measuring world state database (%d keys/namespace)...\n\n", *statedbKeys)
+		r := perf.MeasureStateDB(*statedbKeys)
+		fmt.Print(perf.RenderStateDB(r))
+		if *jsonFlag {
+			out, err := perf.StateDBJSON(r)
+			if err != nil {
+				return err
+			}
+			if *jsonOut == "-" {
+				fmt.Print(string(out))
+			} else if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+				return err
+			} else {
+				fmt.Printf("\nwrote %s\n", *jsonOut)
+			}
+		}
+		// A store micro-scenario needs no network; skip the Fig. 11 run.
+		return nil
 	}
 
 	if *deliverFlag {

@@ -222,6 +222,11 @@ type SimStub struct {
 	memberOf func(collection string) bool
 	event    *ledger.ChaincodeEvent
 	resolver Resolver
+	// snap is the consistent world-state view the simulation reads from,
+	// materialized lazily at the first state access so the whole
+	// invocation observes one commit point without holding database
+	// locks. Cross-chaincode callees share the caller's view.
+	snap *statedb.Snapshot
 }
 
 var _ Stub = (*SimStub)(nil)
@@ -265,8 +270,27 @@ func (s *SimStub) Transient(key string) []byte {
 
 func (s *SimStub) Creator() *identity.Certificate { return s.creator }
 
+// view returns the stub's world-state snapshot, taking it on first use.
+// Every read of the simulation — public, metadata, and private — goes
+// through it, so concurrent block commits cannot produce a torn read set.
+func (s *SimStub) view() *statedb.Snapshot {
+	if s.snap == nil {
+		s.snap = s.db.Snapshot()
+	}
+	return s.snap
+}
+
+// Close releases the stub's snapshot (if one was materialized) so
+// subsequent commits stop paying copy-on-write for it. Reads after Close
+// remain valid; the endorser closes the stub once simulation finishes.
+func (s *SimStub) Close() {
+	if s.snap != nil {
+		s.snap.Release()
+	}
+}
+
 func (s *SimStub) GetState(key string) ([]byte, error) {
-	value, ver, _ := s.db.Get(s.def.Name, key)
+	value, ver, _ := s.view().Get(s.def.Name, key)
 	s.builder.AddRead(s.def.Name, key, rwset.KVRead{Key: key, Version: ver})
 	return value, nil
 }
@@ -282,12 +306,20 @@ func (s *SimStub) DelState(key string) error {
 }
 
 func (s *SimStub) GetStateByRange(startKey, endKey string) ([]KV, error) {
-	kvs := s.db.GetRange(s.def.Name, startKey, endKey)
-	out := make([]KV, 0, len(kvs))
+	// Iterate the snapshot page by page so a large result set never
+	// materializes as one slice inside the store.
+	it := s.view().RangeIter(s.def.Name, startKey, endKey, statedb.DefaultRangePageSize)
+	var out []KV
 	rq := rwset.RangeQuery{StartKey: startKey, EndKey: endKey}
-	for _, kv := range kvs {
-		out = append(out, KV{Key: kv.Key, Value: kv.Value})
-		rq.Reads = append(rq.Reads, rwset.KVRead{Key: kv.Key, Version: kv.Version})
+	for {
+		page := it.NextPage()
+		if page == nil {
+			break
+		}
+		for _, kv := range page {
+			out = append(out, KV{Key: kv.Key, Value: kv.Value})
+			rq.Reads = append(rq.Reads, rwset.KVRead{Key: kv.Key, Version: kv.Version})
+		}
 	}
 	s.builder.AddRangeQuery(s.def.Name, rq)
 	return out, nil
@@ -302,7 +334,7 @@ func (s *SimStub) SetStateValidationParameter(key, policySpec string) error {
 }
 
 func (s *SimStub) GetStateValidationParameter(key string) (string, error) {
-	value, _, _ := s.db.Get(statedb.MetadataNamespace(s.def.Name), key)
+	value, _, _ := s.view().Get(statedb.MetadataNamespace(s.def.Name), key)
 	return string(value), nil
 }
 
@@ -348,6 +380,9 @@ func (s *SimStub) InvokeChaincode(name, function string, args []string) (ledger.
 	calleeProp.Args = args
 	callee := NewSimStub(&calleeProp, s.creator, s.peerOrg, def, s.db, s.pvt, s.builder)
 	callee.SetResolver(s.resolver)
+	// Caller and callee must observe the same commit point; hand the
+	// callee the caller's snapshot (materializing it now if needed).
+	callee.snap = s.view()
 	resp := impl.Invoke(callee)
 	// A callee event does not replace the caller's (Fabric: only the
 	// outermost chaincode's event is recorded).
@@ -375,7 +410,7 @@ func (s *SimStub) GetPrivateData(collection, key string) ([]byte, error) {
 		// read proposals fail at endorsement with an error.
 		return nil, fmt.Errorf("%w: collection %q, peer org %q", ErrPrivateDataUnavailable, collection, s.peerOrg)
 	}
-	value, ver, _ := s.pvt.GetPrivate(s.def.Name, collection, key)
+	value, ver, _ := s.view().Get(pvtdata.PrivateNamespace(s.def.Name, collection), key)
 	s.builder.AddPvtRead(collection, key, rwset.KVRead{Key: key, Version: ver})
 	return value, nil
 }
@@ -388,7 +423,7 @@ func (s *SimStub) GetPrivateDataHash(collection, key string) ([]byte, error) {
 	// the hashed tuples and may query them. The recorded read carries
 	// the same ⟨hash(key), version⟩ a member's GetPrivateData would
 	// produce — the paper's §IV-A1 version oracle.
-	valueHash, ver, _ := s.pvt.GetPrivateHash(s.def.Name, collection, key)
+	valueHash, ver, _ := s.view().Get(pvtdata.HashedNamespace(s.def.Name, collection), pvtdata.HashedKey(key))
 	s.builder.AddPvtRead(collection, key, rwset.KVRead{Key: key, Version: ver})
 	return valueHash, nil
 }

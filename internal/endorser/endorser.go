@@ -122,6 +122,9 @@ func (e *Endorser) ProcessProposal(prop *ledger.Proposal) (*ledger.ProposalRespo
 	stub.SetResolver(func(name string) (*chaincode.Definition, chaincode.Chaincode) {
 		return e.defs(name), e.registry.Get(name)
 	})
+	// Release the simulation's state snapshot once endorsement finishes
+	// so later commits stop copy-on-writing on its behalf.
+	defer stub.Close()
 	resp := safeInvoke(impl, stub)
 	if resp.Status != ledger.StatusOK {
 		return nil, fmt.Errorf("%w: %s", ErrChaincodeFailed, resp.Message)

@@ -122,6 +122,38 @@ const (
 	DeliverEvictedSlow = "deliver_evicted_slow"
 )
 
+// Well-known counter names exported from the world state database
+// (statedb.Stats, merged into the peer's metrics snapshot).
+const (
+	// StateDBGets counts point reads, batched version reads included.
+	StateDBGets = "statedb_gets"
+	// StateDBPuts counts single-key writes.
+	StateDBPuts = "statedb_puts"
+	// StateDBDeletes counts single-key deletions.
+	StateDBDeletes = "statedb_deletes"
+	// StateDBRangeScans counts range scans (values or versions-only).
+	StateDBRangeScans = "statedb_range_scans"
+	// StateDBSnapshots counts consistent read views taken (one per
+	// endorsement simulation that reads state).
+	StateDBSnapshots = "statedb_snapshots"
+	// StateDBCowClones counts namespace states cloned because a live
+	// snapshot pinned them when a write arrived.
+	StateDBCowClones = "statedb_cow_clones"
+	// StateDBBatches counts atomic multi-namespace batch writes.
+	StateDBBatches = "statedb_batches"
+)
+
+// Histogram names of the world state database (statedb timing observer).
+const (
+	// StateDBScan times each range scan.
+	StateDBScan = "statedb_scan"
+	// StateDBBatch times each atomic batch write, locking included.
+	StateDBBatch = "statedb_batch"
+	// StateDBLockWait times how long batch writes waited for the locks
+	// of the namespaces they touch.
+	StateDBLockWait = "statedb_lock_wait"
+)
+
 // Histogram names of the delivery path.
 const (
 	// DeliverPublish times the fan-out of one committed block to every

@@ -70,7 +70,15 @@ type Service struct {
 	delivered uint64
 	// batchTimer cuts a partial batch at BatchTimeout expiry.
 	batchTimer *time.Timer
-	metrics    metrics.Counters
+	// batchGen identifies the currently armed batch timer. A fired
+	// timer callback that lost the race for the mutex — its timer was
+	// stopped, or a cut already happened — sees a different generation
+	// and must not cut; without this, a stale callback could
+	// prematurely flush a fresh partial batch.
+	batchGen uint64
+	// stopped marks the service shut down: no timer fires after Stop.
+	stopped bool
+	metrics metrics.Counters
 }
 
 // New creates an ordering service with its raft cluster.
@@ -132,19 +140,45 @@ func (s *Service) Submit(tx *ledger.Transaction) error {
 // armBatchTimerLocked schedules (or cancels) the BatchTimeout cut
 // depending on whether transactions are pending.
 func (s *Service) armBatchTimerLocked() {
-	if s.cfg.BatchTimeout <= 0 {
+	if s.cfg.BatchTimeout <= 0 || s.stopped {
 		return
 	}
 	if len(s.pending) == 0 {
-		if s.batchTimer != nil {
-			s.batchTimer.Stop()
-			s.batchTimer = nil
-		}
+		s.disarmBatchTimerLocked()
 		return
 	}
 	if s.batchTimer == nil {
-		s.batchTimer = time.AfterFunc(s.cfg.BatchTimeout, s.Flush)
+		gen := s.batchGen
+		s.batchTimer = time.AfterFunc(s.cfg.BatchTimeout, func() { s.timerFlush(gen) })
 	}
+}
+
+// disarmBatchTimerLocked cancels any armed timer and advances the
+// generation, so a callback that already fired (and is blocked on the
+// mutex) becomes a no-op instead of cutting a batch it was never armed
+// for.
+func (s *Service) disarmBatchTimerLocked() {
+	s.batchGen++
+	if s.batchTimer != nil {
+		s.batchTimer.Stop()
+		s.batchTimer = nil
+	}
+}
+
+// timerFlush is the BatchTimeout expiry path: it cuts only if the timer
+// that fired is still the armed one.
+func (s *Service) timerFlush(gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped || gen != s.batchGen {
+		return
+	}
+	s.disarmBatchTimerLocked()
+	if len(s.pending) == 0 {
+		return
+	}
+	s.cutBlockLocked(s.pending)
+	s.pending = nil
 }
 
 // Flush cuts a block from any pending transactions regardless of batch
@@ -152,15 +186,23 @@ func (s *Service) armBatchTimerLocked() {
 func (s *Service) Flush() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.batchTimer != nil {
-		s.batchTimer.Stop()
-		s.batchTimer = nil
-	}
+	s.disarmBatchTimerLocked()
 	if len(s.pending) == 0 {
 		return
 	}
 	s.cutBlockLocked(s.pending)
 	s.pending = nil
+}
+
+// Stop shuts the service's timers down: any armed batch timer is
+// drained and no pending timer callback can cut a block afterwards.
+// Submissions after Stop still order (tests drive the cluster
+// directly); only the background timeout path is disabled.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	s.disarmBatchTimerLocked()
 }
 
 func (s *Service) cutBlockLocked(txs []*ledger.Transaction) {

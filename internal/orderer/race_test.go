@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/ledger"
 )
@@ -12,6 +13,101 @@ import (
 // atomicity of Subscribe under -race: subscribers that register while
 // writers are cutting blocks must observe every block exactly once, in
 // order, with no gap between the returned backlog and the live handler.
+// TestStaleBatchTimerDoesNotCut reproduces the stale-callback bug: a
+// batch timer fires but loses the mutex race against an explicit cut;
+// when the callback finally runs, a fresh partial batch is pending. The
+// stale generation must make the callback a no-op instead of cutting the
+// new batch prematurely.
+func TestStaleBatchTimerDoesNotCut(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 10, BatchTimeout: time.Hour, Seed: 3})
+
+	// First partial batch arms the timer; remember its generation — this
+	// plays the role of the fired-but-blocked callback.
+	if err := svc.Submit(tx("a")); err != nil {
+		t.Fatal(err)
+	}
+	svc.mu.Lock()
+	staleGen := svc.batchGen
+	armed := svc.batchTimer != nil
+	svc.mu.Unlock()
+	if !armed {
+		t.Fatal("timer not armed after first pending tx")
+	}
+
+	// An explicit flush cuts the batch and disarms the timer.
+	svc.Flush()
+	if svc.Height() != 1 {
+		t.Fatalf("height = %d after flush, want 1", svc.Height())
+	}
+
+	// A fresh partial batch arrives, then the stale callback wins the
+	// mutex: it must not cut.
+	if err := svc.Submit(tx("b")); err != nil {
+		t.Fatal(err)
+	}
+	svc.timerFlush(staleGen)
+	if svc.Height() != 1 {
+		t.Fatalf("stale timer callback cut a block: height = %d", svc.Height())
+	}
+
+	// The currently armed generation still cuts.
+	svc.mu.Lock()
+	liveGen := svc.batchGen
+	svc.mu.Unlock()
+	svc.timerFlush(liveGen)
+	if svc.Height() != 2 {
+		t.Fatalf("live timer did not cut: height = %d", svc.Height())
+	}
+}
+
+// TestBatchTimerStopDrains hammers Submit/Flush with a very short
+// BatchTimeout under -race, then verifies Stop leaves no pending timer
+// callback behind: a transaction submitted after Stop must never be cut
+// by a leaked Flush.
+func TestBatchTimerStopDrains(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 100, BatchTimeout: 200 * time.Microsecond, Seed: 5})
+
+	const writers = 4
+	const perWriter = 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := svc.Submit(tx(fmt.Sprintf("s%d-%d", w, i))); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					svc.Flush()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	svc.Flush()
+
+	// Every submitted transaction is in exactly one block.
+	var total int
+	for _, b := range svc.Deliver(0) {
+		total += len(b.Transactions)
+	}
+	if total != writers*perWriter {
+		t.Fatalf("ordered %d transactions, want %d", total, writers*perWriter)
+	}
+
+	svc.Stop()
+	if err := svc.Submit(tx("after-stop")); err != nil {
+		t.Fatal(err)
+	}
+	height := svc.Height()
+	time.Sleep(5 * time.Millisecond) // ample room for a leaked timer to fire
+	if got := svc.Height(); got != height {
+		t.Fatalf("a timer fired after Stop: height %d -> %d", height, got)
+	}
+}
+
 func TestConcurrentSubmitAndSubscribe(t *testing.T) {
 	svc := New(Config{OrdererCount: 1, BatchSize: 1, Seed: 7})
 

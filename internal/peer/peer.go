@@ -90,6 +90,7 @@ func New(cfg Config) *Peer {
 		registry:   chaincode.NewRegistry(),
 		defs:       make(map[string]*chaincode.Definition),
 	}
+	db.SetObserver(&p.timings)
 	verifier := cfg.Channel.Verifier()
 	p.endorser = endorser.New(endorser.Config{
 		Identity:  cfg.Identity,
@@ -248,8 +249,20 @@ func (p *Peer) ProcessProposal(prop *ledger.Proposal) (*ledger.ProposalResponse,
 	return resp, nil
 }
 
-// Metrics returns a snapshot of the peer's operational counters.
-func (p *Peer) Metrics() map[string]uint64 { return p.metrics.Snapshot() }
+// Metrics returns a snapshot of the peer's operational counters,
+// including the world state database's statedb_* counters.
+func (p *Peer) Metrics() map[string]uint64 {
+	snap := p.metrics.Snapshot()
+	st := p.db.Stats()
+	snap[metrics.StateDBGets] = st.Gets
+	snap[metrics.StateDBPuts] = st.Puts
+	snap[metrics.StateDBDeletes] = st.Deletes
+	snap[metrics.StateDBRangeScans] = st.RangeScans
+	snap[metrics.StateDBSnapshots] = st.Snapshots
+	snap[metrics.StateDBCowClones] = st.CowClones
+	snap[metrics.StateDBBatches] = st.Batches
+	return snap
+}
 
 // Timings returns a snapshot of the peer's per-phase validation latency
 // histograms (metrics.ValidateVerify/Policy/MVCC/Commit).

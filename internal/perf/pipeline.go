@@ -36,6 +36,29 @@ func (h *Harness) EndorseTxs(run, n int) ([]*ledger.Transaction, error) {
 	return txs, nil
 }
 
+// EndorseReadWriteTxs endorses n public read-write transactions (the
+// asset contract's "add" function: GetState + PutState on the same key),
+// so each transaction carries a non-empty public read set and the
+// validator's MVCC version check does real work. Keys are unique per
+// (run, i) so blocks never conflict.
+func (h *Harness) EndorseReadWriteTxs(run, n int) ([]*ledger.Transaction, error) {
+	cl := h.h.net.Client("org1")
+	txs := make([]*ledger.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("rw%d-%d", run, i)
+		prop, err := cl.NewProposal("asset", "add", []string{key, "1"}, nil)
+		if err != nil {
+			return nil, err
+		}
+		tx, _, err := cl.Endorse(prop, h.h.members)
+		if err != nil {
+			return nil, fmt.Errorf("perf: endorse read-write tx %s: %w", key, err)
+		}
+		txs = append(txs, tx)
+	}
+	return txs, nil
+}
+
 // BuildBlock assembles the transactions into the next block of the
 // pipeline target peer's chain.
 func (h *Harness) BuildBlock(txs []*ledger.Transaction) *ledger.Block {

@@ -1,0 +1,155 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/statedb"
+)
+
+// StateDBResult is the outcome of the statedb micro-scenario: mean
+// nanoseconds per operation for the read paths the peer exercises, over
+// a store of Keys keys, plus the store's own operation counters.
+type StateDBResult struct {
+	// Keys is the namespace size the scenario ran against.
+	Keys int `json:"keys"`
+	// ScanWidth is how many keys each range scan covers.
+	ScanWidth int `json:"scan_width"`
+	// ReadSet is how many keys each MVCC version check covers.
+	ReadSet int `json:"read_set"`
+
+	// GetRangeNs is a value-copying range scan (chaincode range query).
+	GetRangeNs float64 `json:"get_range_ns"`
+	// RangeVersionsNs is the version-only scan (phantom-read check).
+	RangeVersionsNs float64 `json:"range_versions_ns"`
+	// GetVersionPerKeyNs is a ReadSet-sized MVCC check done key by key.
+	GetVersionPerKeyNs float64 `json:"get_version_per_key_ns"`
+	// GetVersionsBatchedNs is the same check through one GetVersions.
+	GetVersionsBatchedNs float64 `json:"get_versions_batched_ns"`
+	// SnapshotTakeNs is taking + releasing a consistent view.
+	SnapshotTakeNs float64 `json:"snapshot_take_ns"`
+	// SnapshotGetNs is a point read through a snapshot.
+	SnapshotGetNs float64 `json:"snapshot_get_ns"`
+	// ContendedGetRangeNs is GetRangeNs with a concurrent writer
+	// committing to a different namespace (striped locks: the writer
+	// shouldn't slow the scan down).
+	ContendedGetRangeNs float64 `json:"contended_get_range_ns"`
+
+	// Stats are the store's counters after the scenario.
+	Stats statedb.Stats `json:"stats"`
+}
+
+// timeOp returns the mean duration of op over iters runs.
+func timeOp(iters int, op func()) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// MeasureStateDB runs the world-state micro-scenario over a store with
+// `keys` keys per namespace.
+func MeasureStateDB(keys int) StateDBResult {
+	const (
+		scanWidth = 100
+		readSet   = 32
+		scanIters = 2000
+		ptIters   = 100000
+	)
+	db := statedb.New()
+	pad := len(fmt.Sprintf("%d", keys-1))
+	key := func(i int) string { return fmt.Sprintf("k%0*d", pad, i) }
+	for ns := 0; ns < 2; ns++ {
+		for i := 0; i < keys; i++ {
+			db.Put(fmt.Sprintf("ns%d", ns), key(i), []byte("value"))
+		}
+	}
+
+	start, end := key(keys/2), key(keys/2+scanWidth)
+	readKeys := make([]string, readSet)
+	for i := range readKeys {
+		readKeys[i] = key(i * (keys / readSet))
+	}
+
+	res := StateDBResult{Keys: keys, ScanWidth: scanWidth, ReadSet: readSet}
+	res.GetRangeNs = timeOp(scanIters, func() { db.GetRange("ns0", start, end) })
+	res.RangeVersionsNs = timeOp(scanIters, func() { db.RangeVersions("ns0", start, end) })
+	res.GetVersionPerKeyNs = timeOp(ptIters/readSet, func() {
+		for _, k := range readKeys {
+			db.GetVersion("ns0", k)
+		}
+	})
+	res.GetVersionsBatchedNs = timeOp(ptIters/readSet, func() { db.GetVersions("ns0", readKeys) })
+	res.SnapshotTakeNs = timeOp(scanIters, func() { db.Snapshot().Release() })
+	snap := db.Snapshot()
+	i := 0
+	res.SnapshotGetNs = timeOp(ptIters, func() {
+		snap.Get("ns0", key(i%keys))
+		i++
+	})
+	snap.Release()
+
+	// Contended scan: a writer hammers ns1 while we scan ns0. With one
+	// lock per namespace the scan should cost about the same as the
+	// uncontended case.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; ; j++ {
+			select {
+			case <-stop:
+				return
+			default:
+				db.Put("ns1", key(j%keys), []byte("w"))
+			}
+		}
+	}()
+	res.ContendedGetRangeNs = timeOp(scanIters, func() { db.GetRange("ns0", start, end) })
+	close(stop)
+	wg.Wait()
+
+	res.Stats = db.Stats()
+	return res
+}
+
+// RenderStateDB formats the statedb scenario result as a table.
+func RenderStateDB(r StateDBResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "World state (sharded statedb), %d keys/namespace, %d-key scans, %d-key read sets\n",
+		r.Keys, r.ScanWidth, r.ReadSet)
+	fmt.Fprintf(&b, "%-34s %12s\n", "operation", "mean ns/op")
+	rows := []struct {
+		name string
+		ns   float64
+	}{
+		{"GetRange (values copied)", r.GetRangeNs},
+		{"RangeVersions (phantom check)", r.RangeVersionsNs},
+		{"MVCC check, GetVersion per key", r.GetVersionPerKeyNs},
+		{"MVCC check, batched GetVersions", r.GetVersionsBatchedNs},
+		{"Snapshot take+release", r.SnapshotTakeNs},
+		{"Snapshot point read", r.SnapshotGetNs},
+		{"GetRange vs concurrent writer", r.ContendedGetRangeNs},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-34s %12.0f\n", row.name, row.ns)
+	}
+	fmt.Fprintf(&b, "counters: gets=%d puts=%d range_scans=%d snapshots=%d cow_clones=%d\n",
+		r.Stats.Gets, r.Stats.Puts, r.Stats.RangeScans, r.Stats.Snapshots, r.Stats.CowClones)
+	return b.String()
+}
+
+// StateDBJSON marshals the result as indented JSON (the committed
+// BENCH_statedb.json baseline).
+func StateDBJSON(r StateDBResult) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -261,6 +261,17 @@ func (s *Store) HashedVersion(chaincode, collection string, keyHash []byte) stat
 	return s.db.GetVersion(HashedNamespace(chaincode, collection), hexKey(keyHash))
 }
 
+// HashedVersions returns the current version of every hashed key (0 when
+// absent) in one lock acquisition on the collection's hash namespace,
+// for the validator's batched MVCC check.
+func (s *Store) HashedVersions(chaincode, collection string, keyHashes [][]byte) []statedb.Version {
+	keys := make([]string, len(keyHashes))
+	for i, h := range keyHashes {
+		keys[i] = hexKey(h)
+	}
+	return s.db.GetVersions(HashedNamespace(chaincode, collection), keys)
+}
+
 // SchedulePurge arranges for the private entry to be purged when the
 // chain reaches purgeAtBlock, implementing BlockToLive.
 func (s *Store) SchedulePurge(purgeAtBlock uint64, chaincode, collection, key string) {

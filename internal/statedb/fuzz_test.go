@@ -1,0 +1,246 @@
+package statedb
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// refModel is the naive reference semantics the sharded store must match:
+// plain maps, full-scan-and-sort ranges, tombstones for version
+// continuity — the pre-sharding implementation in miniature.
+type refModel struct {
+	data  map[string]map[string]VersionedValue
+	tombs map[string]map[string]Version
+}
+
+func newRefModel() *refModel {
+	return &refModel{
+		data:  make(map[string]map[string]VersionedValue),
+		tombs: make(map[string]map[string]Version),
+	}
+}
+
+func (m *refModel) clone() *refModel {
+	c := newRefModel()
+	for ns, kvs := range m.data {
+		c.data[ns] = make(map[string]VersionedValue, len(kvs))
+		for k, v := range kvs {
+			c.data[ns][k] = VersionedValue{Value: append([]byte(nil), v.Value...), Version: v.Version}
+		}
+	}
+	for ns, ts := range m.tombs {
+		c.tombs[ns] = make(map[string]Version, len(ts))
+		for k, v := range ts {
+			c.tombs[ns][k] = v
+		}
+	}
+	return c
+}
+
+func (m *refModel) put(ns, key string, value []byte) Version {
+	if m.data[ns] == nil {
+		m.data[ns] = make(map[string]VersionedValue)
+	}
+	base := m.data[ns][key].Version
+	if base == 0 && m.tombs[ns] != nil {
+		base = m.tombs[ns][key]
+	}
+	next := base + 1
+	m.data[ns][key] = VersionedValue{Value: append([]byte(nil), value...), Version: next}
+	return next
+}
+
+func (m *refModel) del(ns, key string) {
+	vv, ok := m.data[ns][key]
+	if !ok {
+		return
+	}
+	if m.tombs[ns] == nil {
+		m.tombs[ns] = make(map[string]Version)
+	}
+	m.tombs[ns][key] = vv.Version
+	delete(m.data[ns], key)
+}
+
+func (m *refModel) get(ns, key string) (VersionedValue, bool) {
+	vv, ok := m.data[ns][key]
+	return vv, ok
+}
+
+func (m *refModel) getRange(ns, start, end string) []KV {
+	var out []KV
+	for k, vv := range m.data[ns] {
+		if k >= start && (end == "" || k < end) {
+			out = append(out, KV{Namespace: ns, Key: k, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (m *refModel) keys(ns string) []string {
+	out := make([]string, 0, len(m.data[ns]))
+	for k := range m.data[ns] {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compareAll asserts that every observable of the sharded store matches
+// the reference model: point reads, versions (live and after deletion via
+// a re-put probe would mutate, so versions only), ranges, keys, lengths.
+func compareAll(t *testing.T, db *DB, m *refModel, namespaces []string, keys []string) {
+	t.Helper()
+	for _, ns := range namespaces {
+		wantKeys := m.keys(ns)
+		gotKeys := db.Keys(ns)
+		if len(gotKeys) == 0 {
+			gotKeys = nil
+		}
+		if len(wantKeys) == 0 {
+			wantKeys = nil
+		}
+		if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) {
+			t.Fatalf("ns %q keys: got %v want %v", ns, gotKeys, wantKeys)
+		}
+		if db.Len(ns) != len(wantKeys) {
+			t.Fatalf("ns %q len: got %d want %d", ns, db.Len(ns), len(wantKeys))
+		}
+		for _, k := range keys {
+			wantVV, wantOK := m.get(ns, k)
+			gotV, gotVer, gotOK := db.Get(ns, k)
+			if gotOK != wantOK || gotVer != wantVV.Version || !bytes.Equal(gotV, wantVV.Value) {
+				t.Fatalf("ns %q key %q: got (%q v%d %v) want (%q v%d %v)",
+					ns, k, gotV, gotVer, gotOK, wantVV.Value, wantVV.Version, wantOK)
+			}
+			if db.GetVersion(ns, k) != wantVV.Version {
+				t.Fatalf("ns %q key %q version mismatch", ns, k)
+			}
+		}
+		vers := db.GetVersions(ns, keys)
+		for i, k := range keys {
+			wantVV, _ := m.get(ns, k)
+			if vers[i] != wantVV.Version {
+				t.Fatalf("ns %q GetVersions[%q] = %d want %d", ns, k, vers[i], wantVV.Version)
+			}
+		}
+	}
+}
+
+func compareRange(t *testing.T, got, want []KV, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results want %d (%v vs %v)", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key || got[i].Version != want[i].Version || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("%s[%d]: got %+v want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// FuzzStateDB drives random Put/Delete/GetRange/Snapshot/ApplyBatch
+// sequences over a small key space against the reference model, checking
+// observational equivalence after every operation — including tombstone
+// version continuity and snapshot isolation (snapshots are compared
+// against frozen clones of the model).
+func FuzzStateDB(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0x10, 0x21, 0x32, 0x43, 0x54, 0x65, 0x76, 0x87, 0x98, 0xa9, 0xba, 0xcb})
+	f.Add([]byte("snapshot-then-delete-then-put"))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		namespaces := []string{"nsA", "nsB", "nsC"}
+		keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+		db := New()
+		model := newRefModel()
+
+		type frozen struct {
+			snap *Snapshot
+			ref  *refModel
+		}
+		var snaps []frozen
+
+		step := 0
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			ns := namespaces[int(arg)%len(namespaces)]
+			key := keys[int(arg>>2)%len(keys)]
+			step++
+			switch op % 6 {
+			case 0: // put
+				val := []byte(fmt.Sprintf("v%d", step))
+				gotVer := db.Put(ns, key, val)
+				wantVer := model.put(ns, key, val)
+				if gotVer != wantVer {
+					t.Fatalf("step %d put %s/%s: version %d want %d", step, ns, key, gotVer, wantVer)
+				}
+			case 1: // delete
+				db.Delete(ns, key)
+				model.del(ns, key)
+			case 2: // range scan, bounded and unbounded
+				start, end := keys[int(arg)%len(keys)], ""
+				if arg%3 == 0 {
+					end = keys[int(arg>>1)%len(keys)]
+				}
+				if end != "" && end < start {
+					start, end = end, start
+				}
+				compareRange(t, db.GetRange(ns, start, end), model.getRange(ns, start, end),
+					fmt.Sprintf("step %d range %s[%s,%s)", step, ns, start, end))
+				gotRV := db.RangeVersions(ns, start, end)
+				wantRV := model.getRange(ns, start, end)
+				if len(gotRV) != len(wantRV) {
+					t.Fatalf("step %d RangeVersions: %d want %d", step, len(gotRV), len(wantRV))
+				}
+				for j := range gotRV {
+					if gotRV[j].Key != wantRV[j].Key || gotRV[j].Version != wantRV[j].Version {
+						t.Fatalf("step %d RangeVersions[%d]: %+v want %+v", step, j, gotRV[j], wantRV[j])
+					}
+				}
+			case 3: // snapshot (keep at most 4 live; oldest released)
+				snaps = append(snaps, frozen{snap: db.Snapshot(), ref: model.clone()})
+				if len(snaps) > 4 {
+					snaps[0].snap.Release()
+					snaps = snaps[1:]
+				}
+			case 4: // batch write across namespaces
+				val := []byte(fmt.Sprintf("b%d", step))
+				batch := []Write{
+					{Namespace: ns, Key: key, Value: val},
+					{Namespace: namespaces[(int(arg)+1)%len(namespaces)], Key: key, IsDelete: true},
+				}
+				db.ApplyBatch(batch)
+				model.put(ns, key, val)
+				model.del(namespaces[(int(arg)+1)%len(namespaces)], key)
+			case 5: // point reads + keys are verified below for all cases
+			}
+			compareAll(t, db, model, namespaces, keys)
+			// Every live snapshot must still match its frozen model.
+			for si, fr := range snaps {
+				for _, sns := range namespaces {
+					wantKeys := fr.ref.keys(sns)
+					gotKeys := fr.snap.Keys(sns)
+					if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) && (len(gotKeys) != 0 || len(wantKeys) != 0) {
+						t.Fatalf("step %d snapshot %d ns %q keys: got %v want %v", step, si, sns, gotKeys, wantKeys)
+					}
+					for _, k := range keys {
+						wantVV, wantOK := fr.ref.get(sns, k)
+						gotV, gotVer, gotOK := fr.snap.Get(sns, k)
+						if gotOK != wantOK || gotVer != wantVV.Version || !bytes.Equal(gotV, wantVV.Value) {
+							t.Fatalf("step %d snapshot %d %s/%s: got (%q v%d %v) want (%q v%d %v)",
+								step, si, sns, k, gotV, gotVer, gotOK, wantVV.Value, wantVV.Version, wantOK)
+						}
+					}
+					compareRange(t, fr.snap.GetRange(sns, "k1", "k6"), fr.ref.getRange(sns, "k1", "k6"),
+						fmt.Sprintf("step %d snapshot %d range", step, si))
+				}
+			}
+		}
+		for _, fr := range snaps {
+			fr.snap.Release()
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package statedb
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestGetVersionsBatch(t *testing.T) {
+	db := New()
+	db.Put("ns", "a", []byte("1"))
+	db.Put("ns", "b", []byte("1"))
+	db.Put("ns", "b", []byte("2"))
+	got := db.GetVersions("ns", []string{"a", "b", "missing"})
+	want := []Version{1, 2, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GetVersions = %v, want %v", got, want)
+	}
+	if got := db.GetVersions("other", []string{"a"}); got[0] != 0 {
+		t.Fatalf("unknown namespace version = %d, want 0", got[0])
+	}
+}
+
+func TestRangeVersions(t *testing.T) {
+	db := New()
+	for i := 0; i < 10; i++ {
+		db.Put("ns", fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	db.Put("ns", "k3", []byte("v2"))
+	got := db.RangeVersions("ns", "k2", "k5")
+	want := []KeyVersion{{"k2", 1}, {"k3", 2}, {"k4", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RangeVersions = %v, want %v", got, want)
+	}
+	if all := db.RangeVersions("ns", "", ""); len(all) != 10 {
+		t.Fatalf("open range = %d keys, want 10", len(all))
+	}
+	if kvs := db.RangeVersions("nope", "", ""); kvs != nil {
+		t.Fatalf("unknown namespace = %v, want nil", kvs)
+	}
+}
+
+func TestGetUnsafeSharesStorage(t *testing.T) {
+	db := New()
+	db.Put("ns", "k", []byte("abc"))
+	v1, ver, ok := db.GetUnsafe("ns", "k")
+	if !ok || ver != 1 || string(v1) != "abc" {
+		t.Fatalf("GetUnsafe = %q v%d ok=%v", v1, ver, ok)
+	}
+	v2, _, _ := db.GetUnsafe("ns", "k")
+	if &v1[0] != &v2[0] {
+		t.Fatal("GetUnsafe should return the stored slice without copying")
+	}
+	safe, _, _ := db.Get("ns", "k")
+	if &safe[0] == &v1[0] {
+		t.Fatal("Get must still copy")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	db := New()
+	db.Put("ns", "a", []byte("old"))
+	db.Put("ns", "b", []byte("keep"))
+
+	snap := db.Snapshot()
+	defer snap.Release()
+
+	// Mutate the live store after the snapshot: update, delete, create.
+	db.Put("ns", "a", []byte("new"))
+	db.Delete("ns", "b")
+	db.Put("ns", "c", []byte("born"))
+	db.Put("ns2", "x", []byte("other"))
+
+	if v, ver, ok := snap.Get("ns", "a"); !ok || string(v) != "old" || ver != 1 {
+		t.Fatalf("snapshot a = %q v%d ok=%v, want old v1", v, ver, ok)
+	}
+	if _, _, ok := snap.Get("ns", "b"); !ok {
+		t.Fatal("snapshot must still see deleted key b")
+	}
+	if _, _, ok := snap.Get("ns", "c"); ok {
+		t.Fatal("snapshot must not see key created after it")
+	}
+	if snap.GetVersion("ns2", "x") != 0 {
+		t.Fatal("snapshot must not see namespace created after it")
+	}
+	if got := snap.Keys("ns"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("snapshot keys = %v, want [a b]", got)
+	}
+	if got := snap.Namespaces(); !reflect.DeepEqual(got, []string{"ns"}) {
+		t.Fatalf("snapshot namespaces = %v, want [ns]", got)
+	}
+	if snap.Len("ns") != 2 {
+		t.Fatalf("snapshot len = %d, want 2", snap.Len("ns"))
+	}
+
+	// The live store sees the new world.
+	if v, _, _ := db.Get("ns", "a"); string(v) != "new" {
+		t.Fatalf("live a = %q, want new", v)
+	}
+	if _, _, ok := db.Get("ns", "b"); ok {
+		t.Fatal("live store must not see deleted b")
+	}
+}
+
+func TestSnapshotRangeAndIter(t *testing.T) {
+	db := New()
+	for i := 0; i < 25; i++ {
+		db.Put("ns", fmt.Sprintf("k%02d", i), []byte{byte(i)})
+	}
+	snap := db.Snapshot()
+	defer snap.Release()
+	db.Put("ns", "k05", []byte("mutated")) // invisible to snap
+
+	kvs := snap.GetRange("ns", "k03", "k08")
+	if len(kvs) != 5 || kvs[2].Key != "k05" || string(kvs[2].Value) != "\x05" {
+		t.Fatalf("snapshot range = %v", kvs)
+	}
+
+	it := snap.RangeIter("ns", "", "", 10)
+	var pages, total int
+	for {
+		page := it.NextPage()
+		if page == nil {
+			break
+		}
+		pages++
+		total += len(page)
+		if len(page) > 10 {
+			t.Fatalf("page size %d exceeds 10", len(page))
+		}
+	}
+	if pages != 3 || total != 25 {
+		t.Fatalf("pages=%d total=%d, want 3 pages / 25 keys", pages, total)
+	}
+
+	if page := snap.RangeIter("missing", "", "", 0).NextPage(); page != nil {
+		t.Fatalf("iterator over unknown namespace = %v, want nil", page)
+	}
+}
+
+func TestSnapshotReleaseStopsClones(t *testing.T) {
+	db := New()
+	db.Put("ns", "k", []byte("v"))
+
+	snap := db.Snapshot()
+	db.Put("ns", "k", []byte("v2")) // forces a copy-on-write clone
+	clones := db.Stats().CowClones
+	if clones == 0 {
+		t.Fatal("write under a snapshot should clone the namespace")
+	}
+	snap.Release()
+	snap.Release() // idempotent
+	db.Put("ns", "k", []byte("v3"))
+	if got := db.Stats().CowClones; got != clones {
+		t.Fatalf("clones after release = %d, want %d (no further clones)", got, clones)
+	}
+	// Snapshot view still readable after release.
+	if v, _, _ := snap.Get("ns", "k"); string(v) != "v" {
+		t.Fatalf("released snapshot = %q, want original value", v)
+	}
+}
+
+func TestSnapshotVersionContinuity(t *testing.T) {
+	db := New()
+	db.Put("ns", "k", []byte("v1"))
+	db.Put("ns", "k", []byte("v2"))
+	snap := db.Snapshot()
+	defer snap.Release()
+	// Tombstone continuity must survive the copy-on-write clone.
+	db.Delete("ns", "k")
+	if ver := db.Put("ns", "k", []byte("v3")); ver != 3 {
+		t.Fatalf("re-created version = %d, want 3", ver)
+	}
+	if ver := snap.GetVersion("ns", "k"); ver != 2 {
+		t.Fatalf("snapshot version = %d, want 2", ver)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	db := New()
+	db.Put("ns", "a", []byte("v"))
+	db.Get("ns", "a")
+	db.GetVersions("ns", []string{"a", "b"})
+	db.GetRange("ns", "", "")
+	db.Delete("ns", "a")
+	db.ApplyBatch([]Write{{Namespace: "ns", Key: "x", Value: []byte("v")}})
+	db.Snapshot().Release()
+	st := db.Stats()
+	if st.Puts != 2 || st.Gets != 3 || st.RangeScans != 1 || st.Deletes != 1 || st.Batches != 1 || st.Snapshots != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}

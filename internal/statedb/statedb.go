@@ -8,6 +8,15 @@
 // §II-A1; the validator's version-conflict (MVCC) check compares the
 // versions captured in a transaction's read set against the versions
 // currently recorded here.
+//
+// Storage architecture (docs/STATEDB.md): the database is sharded by
+// namespace. Each namespace is an independent store with its own
+// read-write lock and an incrementally maintained sorted key index, so
+// operations on different namespaces never contend and range scans cost
+// O(log n + k) instead of a full scan and sort. Each namespace's state is
+// copy-on-write: Snapshot pins the current per-namespace states as an
+// immutable, lock-free read view, and the next write to a pinned
+// namespace clones it first.
 package statedb
 
 import (
@@ -15,6 +24,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Version is the per-key update counter. The zero Version means "key
@@ -37,40 +48,280 @@ type KV struct {
 	Version   Version
 }
 
+// KeyVersion is a key with only its version, as returned from
+// version-only range scans (the phantom-read check needs nothing else).
+type KeyVersion struct {
+	Key     string
+	Version Version
+}
+
 // MetadataNamespace returns the namespace holding per-key validation
 // parameters (key-level endorsement policies) of a chaincode namespace.
 // Metadata lives beside the data so validators can resolve the policy a
 // written key is governed by.
 func MetadataNamespace(ns string) string { return ns + "$vp" }
 
-// DB is an in-memory, thread-safe versioned store. The zero value is not
-// usable; construct with New.
+// Observer receives named operation timings from the database; the
+// peer wires metrics.Timings here. Implementations must be safe for
+// concurrent use.
+type Observer interface {
+	Observe(name string, d time.Duration)
+}
+
+// Timing names reported to the Observer. The string values match the
+// histogram names declared in internal/metrics.
+const (
+	// ObserveScan times each range scan (GetRange / RangeVersions).
+	ObserveScan = "statedb_scan"
+	// ObserveBatch times each ApplyBatch, lock acquisition included.
+	ObserveBatch = "statedb_batch"
+	// ObserveLockWait times how long ApplyBatch waited to acquire the
+	// locks of every namespace it touches.
+	ObserveLockWait = "statedb_lock_wait"
+)
+
+// Stats is a consistent-enough snapshot of the database's operation
+// counters (each field is read atomically; the set is not cut at one
+// instant). The peer surfaces these as statedb_* metrics.
+type Stats struct {
+	// Gets counts point reads (Get, GetUnsafe, GetVersion) plus every
+	// key of a batched GetVersions.
+	Gets uint64
+	// Puts counts single-key writes, batched or not.
+	Puts uint64
+	// Deletes counts single-key deletions, batched or not.
+	Deletes uint64
+	// RangeScans counts range scans (GetRange, RangeVersions).
+	RangeScans uint64
+	// Snapshots counts Snapshot calls.
+	Snapshots uint64
+	// CowClones counts namespace states cloned because a snapshot was
+	// holding them when a write arrived.
+	CowClones uint64
+	// Batches counts ApplyBatch calls.
+	Batches uint64
+}
+
+// nsState is the immutable-once-shared state of one namespace: live
+// tuples, deletion tombstones, and the sorted index of live keys. While
+// no snapshot holds the state (snaps == 0) writers mutate it in place;
+// the first write after a snapshot pins it clones the whole state.
+type nsState struct {
+	data  map[string]VersionedValue
+	tombs map[string]Version // last version of deleted keys
+	keys  []string           // sorted live keys
+	// snaps counts snapshots currently pinning this state. Incremented
+	// under the owning store's write lock; decremented lock-free by
+	// Snapshot.Release.
+	snaps int32
+}
+
+func newNsState() *nsState {
+	return &nsState{
+		data:  make(map[string]VersionedValue),
+		tombs: make(map[string]Version),
+	}
+}
+
+// clone deep-copies the state maps and index (values are immutable and
+// shared).
+func (st *nsState) clone() *nsState {
+	c := &nsState{
+		data:  make(map[string]VersionedValue, len(st.data)),
+		tombs: make(map[string]Version, len(st.tombs)),
+		keys:  make([]string, len(st.keys)),
+	}
+	for k, v := range st.data {
+		c.data[k] = v
+	}
+	for k, v := range st.tombs {
+		c.tombs[k] = v
+	}
+	copy(c.keys, st.keys)
+	return c
+}
+
+// insertKey adds key to the sorted index if absent. Only called on
+// writable (unshared) states.
+func (st *nsState) insertKey(key string) {
+	i := sort.SearchStrings(st.keys, key)
+	if i < len(st.keys) && st.keys[i] == key {
+		return
+	}
+	st.keys = append(st.keys, "")
+	copy(st.keys[i+1:], st.keys[i:])
+	st.keys[i] = key
+}
+
+// removeKey drops key from the sorted index. Only called on writable
+// (unshared) states.
+func (st *nsState) removeKey(key string) {
+	i := sort.SearchStrings(st.keys, key)
+	if i >= len(st.keys) || st.keys[i] != key {
+		return
+	}
+	st.keys = append(st.keys[:i], st.keys[i+1:]...)
+}
+
+// rangeBounds returns the [lo, hi) index window of the sorted key index
+// covering startKey <= k < endKey (empty endKey means "to the end").
+func (st *nsState) rangeBounds(startKey, endKey string) (lo, hi int) {
+	lo = sort.SearchStrings(st.keys, startKey)
+	if endKey == "" {
+		return lo, len(st.keys)
+	}
+	hi = sort.SearchStrings(st.keys, endKey)
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func (st *nsState) put(ns, key string, value []byte) Version {
+	base := st.data[key].Version
+	if base == 0 {
+		base = st.tombs[key]
+	}
+	next := base + 1
+	if _, live := st.data[key]; !live {
+		st.insertKey(key)
+	}
+	st.data[key] = VersionedValue{Value: append([]byte(nil), value...), Version: next}
+	return next
+}
+
+func (st *nsState) putAt(key string, value []byte, ver Version) {
+	if _, live := st.data[key]; !live {
+		st.insertKey(key)
+	}
+	st.data[key] = VersionedValue{Value: append([]byte(nil), value...), Version: ver}
+}
+
+func (st *nsState) delete(key string) bool {
+	vv, ok := st.data[key]
+	if !ok {
+		return false
+	}
+	st.tombs[key] = vv.Version
+	delete(st.data, key)
+	st.removeKey(key)
+	return true
+}
+
+// nsStore is one namespace shard: a lock striping unit owning the
+// namespace's current state.
+type nsStore struct {
+	mu sync.RWMutex
+	st *nsState
+}
+
+// writable returns the current state, cloning it first when a snapshot
+// pins it. Caller must hold s.mu.
+func (s *nsStore) writable(db *DB) *nsState {
+	if atomic.LoadInt32(&s.st.snaps) > 0 {
+		s.st = s.st.clone()
+		atomic.AddUint64(&db.stats.cowClones, 1)
+	}
+	return s.st
+}
+
+// DB is an in-memory, thread-safe versioned store, sharded by namespace.
+// The zero value is not usable; construct with New.
 type DB struct {
-	mu   sync.RWMutex
-	data map[string]map[string]VersionedValue // namespace -> key -> value
-	// tombs remembers the last version of deleted keys so a re-created
-	// key continues its version sequence instead of restarting at 1.
-	tombs map[string]map[string]Version
+	// mu guards the namespace registry and the observer. Write
+	// operations hold it shared for their full duration so Snapshot
+	// (which holds it exclusively) observes a point-in-time state across
+	// every namespace.
+	mu  sync.RWMutex
+	nss map[string]*nsStore
+	obs Observer
+
+	stats struct {
+		gets, puts, deletes, rangeScans, snapshots, cowClones, batches uint64
+	}
 }
 
 // New creates an empty world state database.
 func New() *DB {
-	return &DB{
-		data:  make(map[string]map[string]VersionedValue),
-		tombs: make(map[string]map[string]Version),
+	return &DB{nss: make(map[string]*nsStore)}
+}
+
+// SetObserver wires an operation-timing sink (normally a
+// *metrics.Timings). Pass nil to disable. Not safe to race with other
+// operations; set it during peer construction.
+func (db *DB) SetObserver(obs Observer) {
+	db.mu.Lock()
+	db.obs = obs
+	db.mu.Unlock()
+}
+
+// Stats returns the database's operation counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Gets:       atomic.LoadUint64(&db.stats.gets),
+		Puts:       atomic.LoadUint64(&db.stats.puts),
+		Deletes:    atomic.LoadUint64(&db.stats.deletes),
+		RangeScans: atomic.LoadUint64(&db.stats.rangeScans),
+		Snapshots:  atomic.LoadUint64(&db.stats.snapshots),
+		CowClones:  atomic.LoadUint64(&db.stats.cowClones),
+		Batches:    atomic.LoadUint64(&db.stats.batches),
 	}
 }
 
-// Get returns the value and version for key in the namespace. ok is false
-// when the key is absent (deleted keys are absent).
-func (db *DB) Get(ns, key string) (value []byte, ver Version, ok bool) {
+// lookup returns the namespace shard, or nil when the namespace has
+// never been written.
+func (db *DB) lookup(ns string) *nsStore {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	vv, ok := db.data[ns][key]
+	s := db.nss[ns]
+	db.mu.RUnlock()
+	return s
+}
+
+// ensure returns the namespace shard, creating it if needed. Must be
+// called without db.mu held.
+func (db *DB) ensure(ns string) *nsStore {
+	if s := db.lookup(ns); s != nil {
+		return s
+	}
+	db.mu.Lock()
+	s, ok := db.nss[ns]
+	if !ok {
+		s = &nsStore{st: newNsState()}
+		db.nss[ns] = s
+	}
+	db.mu.Unlock()
+	return s
+}
+
+// Get returns the value and version for key in the namespace. ok is false
+// when the key is absent (deleted keys are absent). The returned slice is
+// the caller's to keep.
+func (db *DB) Get(ns, key string) (value []byte, ver Version, ok bool) {
+	v, ver, ok := db.GetUnsafe(ns, key)
 	if !ok {
 		return nil, 0, false
 	}
-	return append([]byte(nil), vv.Value...), vv.Version, true
+	return append([]byte(nil), v...), ver, true
+}
+
+// GetUnsafe returns the stored value slice without a defensive copy. The
+// caller MUST NOT mutate the returned slice: it is shared with the store
+// and with any snapshot pinning the namespace. Internal read-only paths
+// (hash comparison, policy parsing) use it to skip the per-read
+// allocation of Get.
+func (db *DB) GetUnsafe(ns, key string) (value []byte, ver Version, ok bool) {
+	atomic.AddUint64(&db.stats.gets, 1)
+	s := db.lookup(ns)
+	if s == nil {
+		return nil, 0, false
+	}
+	s.mu.RLock()
+	vv, ok := s.st.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, false
+	}
+	return vv.Value, vv.Version, true
 }
 
 // GetVersion returns only the version of a key; 0 when absent. Both the
@@ -78,73 +329,80 @@ func (db *DB) Get(ns, key string) (value []byte, ver Version, ok bool) {
 // for the same logical key, which is precisely what makes the paper's
 // GetPrivateDataHash-based endorsement forgery possible.
 func (db *DB) GetVersion(ns, key string) Version {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.data[ns][key].Version
+	atomic.AddUint64(&db.stats.gets, 1)
+	s := db.lookup(ns)
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	ver := s.st.data[key].Version
+	s.mu.RUnlock()
+	return ver
+}
+
+// GetVersions returns the current version of every key (0 when absent)
+// under a single lock acquisition on the namespace shard. The validator's
+// MVCC check uses it to compare a transaction's whole read set against
+// the world state without taking the lock once per key.
+func (db *DB) GetVersions(ns string, keys []string) []Version {
+	atomic.AddUint64(&db.stats.gets, uint64(len(keys)))
+	out := make([]Version, len(keys))
+	s := db.lookup(ns)
+	if s == nil {
+		return out
+	}
+	s.mu.RLock()
+	for i, key := range keys {
+		out[i] = s.st.data[key].Version
+	}
+	s.mu.RUnlock()
+	return out
 }
 
 // Put writes value under key, advancing the version, and returns the new
 // version.
 func (db *DB) Put(ns, key string, value []byte) Version {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.putLocked(ns, key, value)
-}
-
-func (db *DB) putLocked(ns, key string, value []byte) Version {
-	m, ok := db.data[ns]
-	if !ok {
-		m = make(map[string]VersionedValue)
-		db.data[ns] = m
-	}
-	base := m[key].Version
-	if base == 0 {
-		base = db.tombs[ns][key]
-	}
-	next := base + 1
-	m[key] = VersionedValue{Value: append([]byte(nil), value...), Version: next}
-	return next
+	atomic.AddUint64(&db.stats.puts, 1)
+	s := db.ensure(ns)
+	db.mu.RLock()
+	s.mu.Lock()
+	ver := s.writable(db).put(ns, key, value)
+	s.mu.Unlock()
+	db.mu.RUnlock()
+	return ver
 }
 
 // PutAtVersion writes value under key at an explicit version. It is used
 // when committing a write whose version was fixed elsewhere (the hash
 // store and private store of a collection must record identical versions).
 func (db *DB) PutAtVersion(ns, key string, value []byte, ver Version) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	m, ok := db.data[ns]
-	if !ok {
-		m = make(map[string]VersionedValue)
-		db.data[ns] = m
-	}
-	m[key] = VersionedValue{Value: append([]byte(nil), value...), Version: ver}
+	atomic.AddUint64(&db.stats.puts, 1)
+	s := db.ensure(ns)
+	db.mu.RLock()
+	s.mu.Lock()
+	s.writable(db).putAt(key, value, ver)
+	s.mu.Unlock()
+	db.mu.RUnlock()
 }
 
 // Delete removes key from the namespace. Deleting an absent key is a
 // no-op. A later re-write of the key restarts its version from the
 // deleted key's last version + 1, preserved via tombstone bookkeeping.
 func (db *DB) Delete(ns, key string) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.deleteLocked(ns, key)
-}
-
-func (db *DB) deleteLocked(ns, key string) {
-	m, ok := db.data[ns]
-	if !ok {
+	atomic.AddUint64(&db.stats.deletes, 1)
+	s := db.lookup(ns)
+	if s == nil {
 		return
 	}
-	vv, ok := m[key]
-	if !ok {
-		return
+	db.mu.RLock()
+	s.mu.Lock()
+	// Clone only when the key is live; deleting an absent key must not
+	// copy-on-write the namespace.
+	if _, live := s.st.data[key]; live {
+		s.writable(db).delete(key)
 	}
-	t, ok := db.tombs[ns]
-	if !ok {
-		t = make(map[string]Version)
-		db.tombs[ns] = t
-	}
-	t[key] = vv.Version
-	delete(m, key)
+	s.mu.Unlock()
+	db.mu.RUnlock()
 }
 
 // Write is one element of a batch update.
@@ -159,65 +417,163 @@ type Write struct {
 	Version Version
 }
 
-// ApplyBatch applies a set of writes atomically with respect to readers.
+// ApplyBatch applies a set of writes atomically with respect to readers
+// and snapshots: the locks of every touched namespace are held
+// simultaneously (acquired in sorted order) while the batch applies.
 func (db *DB) ApplyBatch(writes []Write) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	if len(writes) == 0 {
+		return
+	}
+	start := time.Now()
+	atomic.AddUint64(&db.stats.batches, 1)
+
+	// Resolve (creating if needed) every touched shard before locking.
+	names := make([]string, 0, len(writes))
+	seen := make(map[string]bool, len(writes))
 	for _, w := range writes {
+		if !seen[w.Namespace] {
+			seen[w.Namespace] = true
+			names = append(names, w.Namespace)
+		}
+	}
+	sort.Strings(names)
+	shards := make(map[string]*nsStore, len(names))
+	for _, ns := range names {
+		shards[ns] = db.ensure(ns)
+	}
+
+	db.mu.RLock()
+	obs := db.obs
+	for _, ns := range names {
+		shards[ns].mu.Lock()
+	}
+	lockWait := time.Since(start)
+
+	states := make(map[string]*nsState, len(names))
+	for _, ns := range names {
+		states[ns] = shards[ns].writable(db)
+	}
+	for _, w := range writes {
+		st := states[w.Namespace]
 		switch {
 		case w.IsDelete:
-			db.deleteLocked(w.Namespace, w.Key)
+			atomic.AddUint64(&db.stats.deletes, 1)
+			st.delete(w.Key)
 		case w.Version != 0:
-			m, ok := db.data[w.Namespace]
-			if !ok {
-				m = make(map[string]VersionedValue)
-				db.data[w.Namespace] = m
-			}
-			m[w.Key] = VersionedValue{Value: append([]byte(nil), w.Value...), Version: w.Version}
+			atomic.AddUint64(&db.stats.puts, 1)
+			st.putAt(w.Key, w.Value, w.Version)
 		default:
-			db.putLocked(w.Namespace, w.Key, w.Value)
+			atomic.AddUint64(&db.stats.puts, 1)
+			st.put(w.Namespace, w.Key, w.Value)
 		}
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		shards[names[i]].mu.Unlock()
+	}
+	db.mu.RUnlock()
+
+	if obs != nil {
+		obs.Observe(ObserveLockWait, lockWait)
+		obs.Observe(ObserveBatch, time.Since(start))
 	}
 }
 
 // GetRange returns all keys k with startKey <= k < endKey in the
-// namespace, sorted by key. An empty endKey means "to the end".
+// namespace, sorted by key. An empty endKey means "to the end". The
+// sorted index makes this O(log n + k); values are copied out.
 func (db *DB) GetRange(ns, startKey, endKey string) []KV {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	var out []KV
-	for key, vv := range db.data[ns] {
-		if key < startKey {
-			continue
-		}
-		if endKey != "" && key >= endKey {
-			continue
-		}
-		out = append(out, KV{Namespace: ns, Key: key, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
+	atomic.AddUint64(&db.stats.rangeScans, 1)
+	s := db.lookup(ns)
+	if s == nil {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	start := time.Now()
+	db.mu.RLock()
+	obs := db.obs
+	db.mu.RUnlock()
+	s.mu.RLock()
+	st := s.st
+	lo, hi := st.rangeBounds(startKey, endKey)
+	var out []KV
+	if hi > lo {
+		out = make([]KV, 0, hi-lo)
+		for _, key := range st.keys[lo:hi] {
+			vv := st.data[key]
+			out = append(out, KV{
+				Namespace: ns,
+				Key:       key,
+				Value:     append([]byte(nil), vv.Value...),
+				Version:   vv.Version,
+			})
+		}
+	}
+	s.mu.RUnlock()
+	if obs != nil {
+		obs.Observe(ObserveScan, time.Since(start))
+	}
 	return out
 }
 
-// Keys returns all keys in a namespace, sorted.
-func (db *DB) Keys(ns string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.data[ns]))
-	for k := range db.data[ns] {
-		keys = append(keys, k)
+// RangeVersions returns the ⟨key, version⟩ pairs of the range without
+// copying any value — the validator's phantom-read re-execution needs
+// exactly this and nothing more.
+func (db *DB) RangeVersions(ns, startKey, endKey string) []KeyVersion {
+	atomic.AddUint64(&db.stats.rangeScans, 1)
+	s := db.lookup(ns)
+	if s == nil {
+		return nil
 	}
-	sort.Strings(keys)
-	return keys
+	start := time.Now()
+	db.mu.RLock()
+	obs := db.obs
+	db.mu.RUnlock()
+	s.mu.RLock()
+	st := s.st
+	lo, hi := st.rangeBounds(startKey, endKey)
+	var out []KeyVersion
+	if hi > lo {
+		out = make([]KeyVersion, 0, hi-lo)
+		for _, key := range st.keys[lo:hi] {
+			out = append(out, KeyVersion{Key: key, Version: st.data[key].Version})
+		}
+	}
+	s.mu.RUnlock()
+	if obs != nil {
+		obs.Observe(ObserveScan, time.Since(start))
+	}
+	return out
 }
 
-// Namespaces returns all namespaces with at least one key, sorted.
+// Keys returns all keys in a namespace, sorted. The sorted index is
+// copied out, not re-sorted.
+func (db *DB) Keys(ns string) []string {
+	s := db.lookup(ns)
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	out := make([]string, len(s.st.keys))
+	copy(out, s.st.keys)
+	s.mu.RUnlock()
+	return out
+}
+
+// Namespaces returns all namespaces with at least one live key, sorted.
 func (db *DB) Namespaces() []string {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.data))
-	for ns := range db.data {
-		out = append(out, ns)
+	shards := make(map[string]*nsStore, len(db.nss))
+	for ns, s := range db.nss {
+		shards[ns] = s
+	}
+	db.mu.RUnlock()
+	out := make([]string, 0, len(shards))
+	for ns, s := range shards {
+		s.mu.RLock()
+		live := len(s.st.data) > 0
+		s.mu.RUnlock()
+		if live {
+			out = append(out, ns)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -225,30 +581,28 @@ func (db *DB) Namespaces() []string {
 
 // Len returns the number of live keys in a namespace.
 func (db *DB) Len(ns string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.data[ns])
+	s := db.lookup(ns)
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	n := len(s.st.data)
+	s.mu.RUnlock()
+	return n
 }
 
 // String renders a compact dump of the database, for debugging and the
-// example programs.
+// example programs. Namespaces and keys come out sorted; the per-shard
+// sorted index is reused rather than re-sorted.
 func (db *DB) String() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	nss := make([]string, 0, len(db.data))
-	for ns := range db.data {
-		nss = append(nss, ns)
-	}
-	sort.Strings(nss)
+	// A snapshot gives a stable, lock-free view to render from.
+	snap := db.Snapshot()
+	defer snap.Release()
 	var b strings.Builder
-	for _, ns := range nss {
-		keys := make([]string, 0, len(db.data[ns]))
-		for k := range db.data[ns] {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			vv := db.data[ns][k]
+	for _, ns := range snap.Namespaces() {
+		st := snap.states[ns]
+		for _, k := range st.keys {
+			vv := st.data[k]
 			fmt.Fprintf(&b, "%s/%s = %q @v%d\n", ns, k, vv.Value, vv.Version)
 		}
 	}

@@ -497,7 +497,9 @@ func (v *Validator) policyRoutingSatisfied(pre *txPrecheck) bool {
 // chaincode-level policy governs, as a broken parameter must not make
 // keys unwritable).
 func (v *Validator) keyLevelPolicy(ns, key string) policy.Policy {
-	spec, _, ok := v.db.Get(statedb.MetadataNamespace(ns), key)
+	// Zero-copy read: the spec bytes only feed policy.Parse, which does
+	// not retain or mutate them.
+	spec, _, ok := v.db.GetUnsafe(statedb.MetadataNamespace(ns), key)
 	if !ok || len(spec) == 0 {
 		return nil
 	}
@@ -552,9 +554,18 @@ func (v *Validator) chaincodePolicySatisfied(def *chaincode.Definition, signers 
 // proposal responses pass it (§IV-A1).
 func (v *Validator) versionsCurrent(def *chaincode.Definition, set *rwset.TxRWSet) bool {
 	for _, ns := range set.NsRWSets {
-		for _, r := range ns.Reads {
-			if v.db.GetVersion(ns.Namespace, r.Key) != r.Version {
-				return false
+		// Batch the whole read set through one lock acquisition on the
+		// namespace shard instead of locking per key.
+		if n := len(ns.Reads); n > 0 {
+			keys := make([]string, n)
+			for i, r := range ns.Reads {
+				keys[i] = r.Key
+			}
+			current := v.db.GetVersions(ns.Namespace, keys)
+			for i, r := range ns.Reads {
+				if current[i] != r.Version {
+					return false
+				}
 			}
 		}
 		for _, rq := range ns.RangeQueries {
@@ -564,9 +575,16 @@ func (v *Validator) versionsCurrent(def *chaincode.Definition, set *rwset.TxRWSe
 		}
 	}
 	for _, cs := range set.CollSets {
-		for _, r := range cs.HashedReads {
-			if v.pvt.HashedVersion(def.Name, cs.Collection, r.KeyHash) != r.Version {
-				return false
+		if n := len(cs.HashedReads); n > 0 {
+			hashes := make([][]byte, n)
+			for i, r := range cs.HashedReads {
+				hashes[i] = r.KeyHash
+			}
+			current := v.pvt.HashedVersions(def.Name, cs.Collection, hashes)
+			for i, r := range cs.HashedReads {
+				if current[i] != r.Version {
+					return false
+				}
 			}
 		}
 	}
@@ -577,7 +595,9 @@ func (v *Validator) versionsCurrent(def *chaincode.Definition, set *rwset.TxRWSe
 // state and compares keys and versions exactly. Any inserted (phantom),
 // deleted, or updated key in the range invalidates the transaction.
 func (v *Validator) rangeUnchanged(ns string, rq rwset.RangeQuery) bool {
-	current := v.db.GetRange(ns, rq.StartKey, rq.EndKey)
+	// Version-only scan: the comparison needs keys and versions, so no
+	// value is copied out of the store.
+	current := v.db.RangeVersions(ns, rq.StartKey, rq.EndKey)
 	if len(current) != len(rq.Reads) {
 		return false
 	}
