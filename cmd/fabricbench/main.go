@@ -65,10 +65,45 @@ func run(args []string) error {
 	deliverTxs := fs.Int("deliver-txs", 200, "transactions for -deliver")
 	statedbFlag := fs.Bool("statedb", false, "run the world-state micro-scenario (range scans, batched MVCC reads, snapshots, contended scans)")
 	statedbKeys := fs.Int("statedb-keys", 10000, "keys per namespace for -statedb")
-	jsonFlag := fs.Bool("json", false, "with -statedb, write the result to -json-out as a committed baseline")
-	jsonOut := fs.String("json-out", "BENCH_statedb.json", "output path for -json (\"-\" for stdout)")
+	orderFlag := fs.Bool("order", false, "run the ordering-throughput grid (batch sizes 1/10/100 x 1/4/16 submitters) plus the raft ProposeBatch comparison")
+	orderTxs := fs.Int("order-txs", 2000, "transactions per grid cell for -order")
+	jsonFlag := fs.Bool("json", false, "with -statedb or -order, write the result to -json-out as a committed baseline")
+	jsonOut := fs.String("json-out", "", "output path for -json (default BENCH_statedb.json / BENCH_order.json; \"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	writeJSON := func(out []byte, defaultPath string) error {
+		path := *jsonOut
+		if path == "" {
+			path = defaultPath
+		}
+		if path == "-" {
+			fmt.Print(string(out))
+			return nil
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", path)
+		return nil
+	}
+
+	if *orderFlag {
+		fmt.Printf("Measuring pipelined ordering service (%d txs per cell)...\n\n", *orderTxs)
+		r := perf.MeasureOrder(*orderTxs)
+		fmt.Print(perf.RenderOrder(r))
+		if *jsonFlag {
+			out, err := perf.OrderJSON(r)
+			if err != nil {
+				return err
+			}
+			if err := writeJSON(out, "BENCH_order.json"); err != nil {
+				return err
+			}
+		}
+		// The ordering scenario needs no network; skip the Fig. 11 run.
+		return nil
 	}
 
 	if *statedbFlag {
@@ -80,12 +115,8 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			if *jsonOut == "-" {
-				fmt.Print(string(out))
-			} else if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+			if err := writeJSON(out, "BENCH_statedb.json"); err != nil {
 				return err
-			} else {
-				fmt.Printf("\nwrote %s\n", *jsonOut)
 			}
 		}
 		// A store micro-scenario needs no network; skip the Fig. 11 run.

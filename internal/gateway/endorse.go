@@ -65,7 +65,11 @@ func (g *Gateway) newProposal(
 
 // EndorseProposal collects endorsements for a proposal and assembles the
 // transaction, returning it together with the plaintext payload. The
-// context is honored between endorser calls.
+// endorsers are called concurrently; the context is honored during the
+// calls — cancellation (or the first endorser error) releases the caller
+// immediately rather than at the next loop iteration. The assembled
+// transaction is deterministic: responses are ordered by endorser index,
+// never by arrival.
 func (g *Gateway) EndorseProposal(
 	ctx context.Context,
 	prop *ledger.Proposal,
@@ -74,16 +78,12 @@ func (g *Gateway) EndorseProposal(
 	if len(endorsers) == 0 {
 		return nil, nil, ErrNoEndorsers
 	}
-	responses := make([]*ledger.ProposalResponse, 0, len(endorsers))
-	for _, e := range endorsers {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		resp, err := e.ProcessProposal(prop)
-		if err != nil {
-			return nil, nil, fmt.Errorf("gateway: endorsement from %s: %w", e.Name(), err)
-		}
-		responses = append(responses, resp)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	responses, err := g.fanOutProposal(ctx, prop, endorsers)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	// Consistency check: all endorsers must have produced the same
@@ -115,6 +115,84 @@ func (g *Gateway) EndorseProposal(
 		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
 	}
 	return tx, payload, nil
+}
+
+// fanOutProposal sends the proposal to every endorser concurrently and
+// returns the responses ordered by endorser index. The first endorser
+// failure cancels the remaining waits, and a context cancellation
+// releases the caller mid-call. ProcessProposal itself is synchronous,
+// so an abandoned call runs to completion on its own goroutine and its
+// result is discarded; the result channel is buffered so those
+// goroutines never block.
+func (g *Gateway) fanOutProposal(
+	ctx context.Context,
+	prop *ledger.Proposal,
+	endorsers []*peer.Peer,
+) ([]*ledger.ProposalResponse, error) {
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		idx  int
+		resp *ledger.ProposalResponse
+		err  error
+	}
+	results := make(chan outcome, len(endorsers))
+	for i, e := range endorsers {
+		go func(i int, e *peer.Peer) {
+			call := make(chan outcome, 1)
+			go func() {
+				resp, err := e.ProcessProposal(prop)
+				if err != nil {
+					err = fmt.Errorf("gateway: endorsement from %s: %w", e.Name(), err)
+				}
+				call <- outcome{idx: i, resp: resp, err: err}
+			}()
+			select {
+			case out := <-call:
+				if out.err != nil {
+					cancel()
+				}
+				results <- out
+			case <-fanCtx.Done():
+				// Prefer a result that raced the cancellation: a call
+				// that did finish should report its own outcome.
+				select {
+				case out := <-call:
+					if out.err != nil {
+						cancel()
+					}
+					results <- out
+				default:
+					results <- outcome{idx: i, err: fanCtx.Err()}
+				}
+			}
+		}(i, e)
+	}
+	responses := make([]*ledger.ProposalResponse, len(endorsers))
+	errs := make([]error, len(endorsers))
+	for range endorsers {
+		out := <-results
+		responses[out.idx] = out.resp
+		errs[out.idx] = out.err
+	}
+	// A cancelled parent context wins, reported raw so callers can match
+	// context.Canceled / DeadlineExceeded. Otherwise the lowest-index
+	// endorser error is the deterministic result — cancellation fallout
+	// on the other endorsers is a consequence, not the cause.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return responses, nil
 }
 
 // verifyHashedEndorsements implements the client side of Feature 2: for

@@ -294,3 +294,49 @@ func TestChainIntegrityQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTransactionBytesMemoized: Bytes computes the canonical form once
+// and returns stable bytes, ParseTransaction seeds the cache with the
+// wire form, and the parsed transaction re-serializes byte-identically —
+// the invariant the block data hash depends on.
+func TestTransactionBytesMemoized(t *testing.T) {
+	tx := testTx("memo")
+	first := tx.Bytes()
+	second := tx.Bytes()
+	if &first[0] != &second[0] {
+		t.Fatal("Bytes re-marshaled instead of serving the cache")
+	}
+	parsed, err := ParseTransaction(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parsed.Bytes(), first) {
+		t.Fatal("parse/serialize round trip not byte-identical")
+	}
+	// The seeded cache is a copy: mutating the wire slice afterwards must
+	// not corrupt the parsed transaction's canonical form.
+	wire := append([]byte(nil), first...)
+	parsed2, err := ParseTransaction(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[0] ^= 0xff
+	if !bytes.Equal(parsed2.Bytes(), first) {
+		t.Fatal("cache aliases the caller's wire slice")
+	}
+}
+
+// TestTransactionCloneGetsColdCache: a block clone's transactions are
+// independent of the original's memoized serialization.
+func TestTransactionCloneGetsColdCache(t *testing.T) {
+	tx := testTx("cold")
+	orig := append([]byte(nil), tx.Bytes()...)
+	b := NewBlock(0, nil, []*Transaction{tx})
+	clone := b.Clone()
+	if !bytes.Equal(clone.Transactions[0].Bytes(), orig) {
+		t.Fatal("cloned transaction serializes differently")
+	}
+	if !clone.VerifyDataHash() {
+		t.Fatal("clone data hash broken")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"crypto/rand"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"repro/internal/fabcrypto"
 	"repro/internal/rwset"
@@ -177,10 +178,31 @@ type Transaction struct {
 	ResponsePayload []byte `json:"response_payload"`
 	// Endorsements are the collected endorser signatures.
 	Endorsements []Endorsement `json:"endorsements"`
+
+	// encOnce/enc memoize Bytes. A transaction is serialized repeatedly
+	// on the hot path — once for its raft entry, then once per block
+	// data-hash computation and re-hash during validation — but its
+	// canonical form is fixed from the first serialization on, so the
+	// marshal runs once. JSON ignores unexported fields, so clones and
+	// re-parses start with a cold cache.
+	encOnce sync.Once
+	enc     []byte
 }
 
-// Bytes returns the canonical serialization of the transaction.
+// Bytes returns the canonical serialization of the transaction,
+// memoized on first use: the transaction must not be mutated afterwards,
+// and callers must not modify the returned slice. Integrity checks use
+// marshal instead, which never trusts the cache.
 func (t *Transaction) Bytes() []byte {
+	t.encOnce.Do(func() {
+		t.enc = t.marshal()
+	})
+	return t.enc
+}
+
+// marshal serializes the transaction's current content, bypassing the
+// memoized cache.
+func (t *Transaction) marshal() []byte {
 	b, err := json.Marshal(t)
 	if err != nil {
 		panic(fmt.Sprintf("ledger: marshal tx: %v", err))
@@ -188,12 +210,16 @@ func (t *Transaction) Bytes() []byte {
 	return b
 }
 
-// ParseTransaction decodes a transaction serialized with Bytes.
+// ParseTransaction decodes a transaction serialized with Bytes. The wire
+// form seeds the serialization cache: re-marshaling a transaction we
+// ourselves serialized yields the same bytes, so the copy stands in for
+// the canonical form without a marshal.
 func ParseTransaction(b []byte) (*Transaction, error) {
 	var t Transaction
 	if err := json.Unmarshal(b, &t); err != nil {
 		return nil, fmt.Errorf("ledger: parse tx: %w", err)
 	}
+	t.encOnce.Do(func() { t.enc = append([]byte(nil), b...) })
 	return &t, nil
 }
 
@@ -263,11 +289,24 @@ type Block struct {
 	Metadata     BlockMetadata  `json:"metadata"`
 }
 
-// dataHash computes the digest over the ordered transactions.
+// dataHash computes the digest over the ordered transactions, reusing
+// each transaction's memoized serialization — the block-cut fast path.
 func dataHash(txs []*Transaction) []byte {
 	parts := make([][]byte, len(txs))
 	for i, tx := range txs {
 		parts[i] = tx.Bytes()
+	}
+	return fabcrypto.HashConcat(parts...)
+}
+
+// dataHashFresh recomputes the digest from fresh serializations of the
+// transactions' current content, so a mutation made after a transaction
+// was first serialized (tampering, corruption) changes the digest even
+// though the memoized cache still holds the old form.
+func dataHashFresh(txs []*Transaction) []byte {
+	parts := make([][]byte, len(txs))
+	for i, tx := range txs {
+		parts[i] = tx.marshal()
 	}
 	return fabcrypto.HashConcat(parts...)
 }
@@ -296,9 +335,11 @@ func (b *Block) Hash() []byte {
 	return fabcrypto.Hash(hdr)
 }
 
-// VerifyDataHash checks that the block's transactions match its DataHash.
+// VerifyDataHash checks that the block's transactions match its
+// DataHash. It re-serializes every transaction from scratch: trusting
+// the memoized cache here would let post-commit tampering go unnoticed.
 func (b *Block) VerifyDataHash() bool {
-	return fabcrypto.Equal(b.Header.DataHash, dataHash(b.Transactions))
+	return fabcrypto.Equal(b.Header.DataHash, dataHashFresh(b.Transactions))
 }
 
 // Clone deep-copies the block so each peer can record its own validation

@@ -191,6 +191,16 @@ const (
 	ValidateCommit = "validate_commit"
 )
 
+// Histogram names emitted by the pipelined ordering service.
+const (
+	// OrdererConsensus times one raft consensus round (a whole proposal
+	// batch from propose to commit).
+	OrdererConsensus = "orderer_consensus"
+	// OrdererQueueWait times how long a submitted transaction sat in the
+	// orderer's queue before its consensus round started.
+	OrdererQueueWait = "orderer_queue_wait"
+)
+
 // Well-known counter names emitted by the verification cache.
 const (
 	// VerifyCacheHits counts endorsement verifications served from the

@@ -80,6 +80,30 @@ const (
 	TxOrdered = "tx_ordered"
 )
 
+// Well-known counter names emitted by the pipelined ordering service
+// (internal/orderer): submit-queue movement, consensus batching and
+// per-peer delivery health. Mean proposal batch size is
+// orderer_txs_proposed / orderer_consensus_rounds.
+const (
+	// OrdererEnqueued counts transactions accepted into the submit queue.
+	OrdererEnqueued = "orderer_txs_enqueued"
+	// OrdererRounds counts raft consensus rounds driven by the ordering
+	// goroutine (each round proposes a whole batch).
+	OrdererRounds = "orderer_consensus_rounds"
+	// OrdererBatchedTxs counts transactions proposed across all rounds.
+	OrdererBatchedTxs = "orderer_txs_proposed"
+	// OrdererRejected counts transactions refused because the service
+	// was stopped.
+	OrdererRejected = "orderer_txs_rejected"
+	// OrdererBackpressureWaits counts ordering-loop pauses forced by a
+	// peer delivery queue at its bound.
+	OrdererBackpressureWaits = "orderer_backpressure_waits"
+	// OrdererBlocksEvicted counts blocks dropped from the orderer's
+	// bounded retention window (peers replay older blocks from their own
+	// block stores).
+	OrdererBlocksEvicted = "orderer_blocks_evicted"
+)
+
 // Well-known counter names emitted by the private-data reconciler
 // (internal/reconcile): per-attempt outcomes and queue movements.
 const (

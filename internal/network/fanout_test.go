@@ -1,0 +1,135 @@
+package network
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/contracts"
+	"repro/internal/gateway"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+)
+
+// TestGatewayCancelDuringEndorserCall: cancellation must release the
+// caller while an endorser call is still in flight — not at the next
+// loop iteration, as the old sequential fan-out did. One peer's
+// chaincode blocks until the test releases it; Submit has to return
+// context.Canceled long before that.
+func TestGatewayCancelDuringEndorserCall(t *testing.T) {
+	n := newTestNet(t)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	slow := contracts.NewPublicAsset()
+	base := slow["set"]
+	slow["set"] = func(stub chaincode.Stub) ledger.Response {
+		close(entered)
+		<-release
+		return base(stub)
+	}
+	n.Peer("org2").InstallChaincode("asset", slow)
+
+	contract := n.Gateway("org1").Network("c1").Contract("asset")
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := contract.Submit(ctx, "set", gateway.WithArguments("k", "v"))
+		errCh <- err
+	}()
+	<-entered
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit did not return while an endorser call was blocked")
+	}
+	close(release) // let the abandoned endorser goroutine finish
+}
+
+// TestParallelEndorsementDeterministicOrder: the concurrent fan-out must
+// assemble the transaction from responses in endorser-index order, not
+// arrival order. The first endorser is artificially the slowest, so an
+// arrival-ordered implementation would put it last.
+func TestParallelEndorsementDeterministicOrder(t *testing.T) {
+	n := newTestNet(t)
+	peers := n.Peers()
+
+	slow := contracts.NewPublicAsset()
+	base := slow["set"]
+	slow["set"] = func(stub chaincode.Stub) ledger.Response {
+		time.Sleep(30 * time.Millisecond)
+		return base(stub)
+	}
+	peers[0].InstallChaincode("asset", slow)
+
+	g := n.Gateway("org1")
+	prop, err := g.NewProposal("asset", "set", []string{"k", "7"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _, err := g.EndorseProposal(context.Background(), prop, peers)
+	if err != nil {
+		t.Fatalf("endorse: %v", err)
+	}
+	if len(tx.Endorsements) != len(peers) {
+		t.Fatalf("%d endorsements for %d endorsers", len(tx.Endorsements), len(peers))
+	}
+	for i, e := range tx.Endorsements {
+		cert, err := identity.ParseCertificate(e.Endorser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cert.Subject != peers[i].Name() {
+			t.Fatalf("endorsement %d from %s, want %s (arrival order leaked into assembly)",
+				i, cert.Subject, peers[i].Name())
+		}
+	}
+	// The same responses assemble into the same transaction the
+	// sequential path built: content identical except signatures, which
+	// are independently random per call.
+	tx2, _, err := g.EndorseProposal(context.Background(), prop, peers)
+	if err != nil {
+		t.Fatalf("re-endorse: %v", err)
+	}
+	if string(tx2.ResponsePayload) != string(tx.ResponsePayload) {
+		t.Fatal("response payload differs across fan-outs")
+	}
+	if tx2.TxID != tx.TxID || len(tx2.Endorsements) != len(tx.Endorsements) {
+		t.Fatal("assembled transaction differs across fan-outs")
+	}
+}
+
+// TestEndorserErrorReportedNotCancellation: when endorsers fail
+// concurrently, the caller gets a real endorsement error naming its
+// peer — never the fan-out's internal cancellation, which is a
+// consequence of the first failure, not its cause.
+func TestEndorserErrorReportedNotCancellation(t *testing.T) {
+	n := newTestNet(t)
+	peers := n.Peers()
+
+	// Every peer refuses: the chaincode function doesn't exist.
+	g := n.Gateway("org1")
+	prop, err := g.NewProposal("asset", "no-such-fn", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_, _, err := g.EndorseProposal(context.Background(), prop, peers)
+		if err == nil {
+			t.Fatal("endorsement of unknown function succeeded")
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("internal cancellation leaked to the caller: %v", err)
+		}
+		if !strings.Contains(err.Error(), "endorsement from ") {
+			t.Fatalf("error %q does not name an endorser", err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package orderer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+// BenchmarkOrdererSubmit measures the synchronous submit path end to
+// end: enqueue, one-transaction consensus round, block cut, delivery to
+// a single registered peer.
+func BenchmarkOrdererSubmit(b *testing.B) {
+	svc := New(Config{OrdererCount: 3, BatchSize: 1, Seed: 21})
+	svc.RegisterDelivery(func(*ledger.Block) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Submit(tx(fmt.Sprintf("b%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	svc.Stop()
+}
+
+// BenchmarkOrdererPipelined measures throughput as concurrent
+// submitters grow: outstanding submissions coalesce into one raft round
+// each, so 16 submitters should order far more than 16x slower than one.
+func BenchmarkOrdererPipelined(b *testing.B) {
+	for _, submitters := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("submitters=%d", submitters), func(b *testing.B) {
+			svc := New(Config{OrdererCount: 3, BatchSize: 10, Seed: 23})
+			svc.RegisterDelivery(func(*ledger.Block) {})
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := s; i < b.N; i += submitters {
+						if err := svc.Submit(tx(fmt.Sprintf("p%d-%d", s, i))); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			b.StopTimer()
+			svc.Stop()
+		})
+	}
+}

@@ -2,10 +2,20 @@
 // nodes running Raft that blindly bundles endorsed transactions into
 // blocks — without validating transaction content, exactly as in the
 // paper's §II-A2 — and delivers each block to every peer in the channel.
+//
+// The service is pipelined. Submissions enqueue onto a command queue and
+// return a wait handle; a single ordering goroutine drains the queue and
+// proposes whole batches per raft round (raft.Cluster.ProposeBatch), so
+// N concurrent submitters cost one consensus round instead of N. Cut
+// blocks publish to per-peer bounded delivery queues drained by per-peer
+// goroutines: a slow peer never stalls the cutter or its faster
+// neighbours, while each peer still receives every block in order.
 package orderer
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -13,6 +23,11 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/raft"
 )
+
+// ErrStopped is returned by Submit for transactions that arrive after
+// Stop. Transactions enqueued before Stop are still ordered and
+// delivered during the drain.
+var ErrStopped = errors.New("orderer: service stopped")
 
 // Config parameterizes the ordering service.
 type Config struct {
@@ -33,6 +48,17 @@ type Config struct {
 	// cut blocks. The ordered transactions live on in the retained
 	// blocks, so the log entries are redundant once applied.
 	SnapshotInterval uint64
+	// RetainBlocks, when non-zero, bounds how many cut blocks the
+	// orderer keeps for Deliver/Subscribe catch-up; older blocks are
+	// evicted (peers replay them from their own block stores). Zero
+	// retains every block.
+	RetainBlocks int
+	// DeliveryQueueBound is the per-peer delivery queue depth above
+	// which the ordering goroutine pauses before its next consensus
+	// round. Enqueueing a cut block never blocks; the bound only
+	// throttles the cutter so an abandoned peer cannot accumulate
+	// blocks without limit. Zero or negative disables the throttle.
+	DeliveryQueueBound int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +71,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTicks == 0 {
 		c.MaxTicks = 500
 	}
+	if c.DeliveryQueueBound == 0 {
+		c.DeliveryQueueBound = 64
+	}
 	return c
 }
 
@@ -52,22 +81,139 @@ func (c Config) withDefaults() Config {
 // each; the orderer invokes all handlers for every block.
 type BlockHandler func(*ledger.Block)
 
+// blockDelivery tracks one cut block's fan-out: the WaitGroup counts the
+// per-peer queues the block was enqueued to and drops as each peer's
+// handler returns. Synchronous submitters wait on it so the pre-pipeline
+// guarantee — Submit returns only after every registered peer processed
+// the block — survives the asynchronous delivery path.
+type blockDelivery struct {
+	wg sync.WaitGroup
+}
+
+// Wait is the handle returned by SubmitAsync. The transaction is ordered
+// (raft-committed and pending in the block cutter) once Done closes; if a
+// block containing it was cut during that round, Wait additionally blocks
+// until every peer's handler processed the block.
+type Wait struct {
+	done chan struct{}
+	err  error
+	bd   *blockDelivery
+}
+
+// Done returns a channel closed once the transaction's consensus round
+// finished (successfully or not).
+func (w *Wait) Done() <-chan struct{} { return w.done }
+
+// Err returns the ordering error, if any. Valid only after Done closed.
+func (w *Wait) Err() error { return w.err }
+
+// Wait blocks until the transaction is ordered and — when its block was
+// cut as part of the same round — delivered to every registered peer.
+func (w *Wait) Wait() error {
+	<-w.done
+	if w.err != nil {
+		return w.err
+	}
+	if w.bd != nil {
+		w.bd.wg.Wait()
+	}
+	return nil
+}
+
+// command is one entry on the ordering queue: a transaction to order, or
+// a flush marker (tx nil) cutting whatever is pending when it is reached.
+type command struct {
+	tx    *ledger.Transaction
+	w     *Wait
+	enqAt time.Time
+}
+
+// queuedBlock pairs a cut block with its delivery tracker on a peer
+// queue. The block pointer is shared across queues; each peer goroutine
+// clones lazily before invoking its handler, so the cutter does no
+// per-peer copying.
+type queuedBlock struct {
+	block *ledger.Block
+	bd    *blockDelivery
+}
+
+// peerQueue is one peer's bounded in-order delivery queue, drained by a
+// dedicated goroutine.
+type peerQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []queuedBlock
+	closed bool
+}
+
+func newPeerQueue() *peerQueue {
+	q := &peerQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *peerQueue) enqueue(b *ledger.Block, bd *blockDelivery) {
+	q.mu.Lock()
+	q.items = append(q.items, queuedBlock{block: b, bd: bd})
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *peerQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *peerQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
 // Service is the ordering service facade. Transactions submitted through
-// Submit are totally ordered by the raft cluster, cut into blocks and
-// delivered to all registered peers.
+// Submit/SubmitAsync are totally ordered by the raft cluster, cut into
+// blocks and delivered to all registered peers.
 type Service struct {
+	cfg Config
+
+	// qmu guards the command queue and the stopping flag. Held only for
+	// queue manipulation, never across consensus or delivery.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	cmds     []command
+	stopping bool
+
+	// clusterMu serializes raft cluster access between the ordering
+	// goroutine and failure-injection entry points (CrashLeader,
+	// RestartNode). Never held together with mu.
+	clusterMu sync.Mutex
+	cluster   *raft.Cluster
+
+	// mu guards the block cutter state below.
 	mu       sync.Mutex
-	cfg      Config
-	cluster  *raft.Cluster
 	pending  []*ledger.Transaction
-	height   uint64
-	lastHash []byte
+	// pendingWaits parallels pending: the wait handle to attach the cut
+	// block's delivery tracker to, nil for entries without a live waiter.
+	pendingWaits []*Wait
+	height       uint64
+	lastHash     []byte
+	// queues and handlers parallel each other: one delivery queue and
+	// goroutine per registered handler.
+	queues   []*peerQueue
 	handlers []BlockHandler
-	// blocks retains every cut block so late-joining peers can catch
-	// up via Deliver (Fabric's deliver service).
-	blocks []*ledger.Block
+	// blocks retains cut blocks from number firstBlock on, so
+	// late-joining peers can catch up via Deliver (Fabric's deliver
+	// service). RetainBlocks bounds the window.
+	blocks     []*ledger.Block
+	firstBlock uint64
 	// delivered counts blocks cut, for monitoring.
 	delivered uint64
+	// compactDue defers raft log compaction out of the cut path: cutting
+	// happens under mu, compaction needs clusterMu, and holding both
+	// would deadlock against the ordering goroutine.
+	compactDue bool
 	// batchTimer cuts a partial batch at BatchTimeout expiry.
 	batchTimer *time.Timer
 	// batchGen identifies the currently armed batch timer. A fired
@@ -78,23 +224,77 @@ type Service struct {
 	batchGen uint64
 	// stopped marks the service shut down: no timer fires after Stop.
 	stopped bool
+
+	// bpMu/bpCond let the ordering goroutine sleep until peer queues
+	// drain below DeliveryQueueBound; every dequeue broadcasts.
+	bpMu   sync.Mutex
+	bpCond *sync.Cond
+
+	// wg joins the ordering goroutine and every peer delivery goroutine.
+	wg sync.WaitGroup
+
 	metrics metrics.Counters
+	timings metrics.Timings
 }
 
-// New creates an ordering service with its raft cluster.
+// New creates an ordering service with its raft cluster and starts the
+// ordering goroutine.
 func New(cfg Config) *Service {
 	c := cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:     c,
 		cluster: raft.NewCluster(c.OrdererCount, c.Seed),
 	}
+	s.qcond = sync.NewCond(&s.qmu)
+	s.bpCond = sync.NewCond(&s.bpMu)
+	s.wg.Add(1)
+	go s.run()
+	return s
 }
 
-// RegisterDelivery adds a block handler (one per peer).
+// RegisterDelivery adds a block handler (one per peer), backed by its own
+// delivery queue and goroutine.
 func (s *Service) RegisterDelivery(h BlockHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.registerLocked(h)
+}
+
+func (s *Service) registerLocked(h BlockHandler) {
 	s.handlers = append(s.handlers, h)
+	if s.stopped {
+		// No block can be cut anymore; skip the drain goroutine.
+		return
+	}
+	q := newPeerQueue()
+	s.queues = append(s.queues, q)
+	s.wg.Add(1)
+	go s.drainQueue(q, h)
+}
+
+// drainQueue is one peer's delivery goroutine: it pops blocks in order,
+// clones lazily and invokes the handler outside every service lock, so a
+// slow handler delays only its own peer.
+func (s *Service) drainQueue(q *peerQueue, h BlockHandler) {
+	defer s.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.items) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		item := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		h(item.block.Clone())
+		item.bd.wg.Done()
+		s.bpMu.Lock()
+		s.bpCond.Broadcast()
+		s.bpMu.Unlock()
+	}
 }
 
 // Cluster exposes the raft cluster for failure-injection tests.
@@ -109,32 +309,284 @@ func (s *Service) Height() uint64 {
 	return s.height
 }
 
-// Submit orders a transaction. The call drives raft to commit the
-// transaction and cuts a block once BatchSize transactions have
-// accumulated. Orderers do not inspect transaction content.
-func (s *Service) Submit(tx *ledger.Transaction) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	before := len(s.cluster.Committed())
-	if _, err := s.cluster.Propose(tx.Bytes(), s.cfg.MaxTicks); err != nil {
-		return fmt.Errorf("orderer: order tx %s: %w", tx.TxID, err)
+// SubmitAsync enqueues a transaction for ordering and returns a wait
+// handle; the ordering goroutine batches every queued transaction into
+// one raft round. Orderers do not inspect transaction content.
+func (s *Service) SubmitAsync(tx *ledger.Transaction) *Wait {
+	w := &Wait{done: make(chan struct{})}
+	s.qmu.Lock()
+	if s.stopping {
+		s.qmu.Unlock()
+		s.metrics.Inc(metrics.OrdererRejected)
+		w.err = ErrStopped
+		close(w.done)
+		return w
 	}
-	// Collect every newly committed entry (raft may commit entries from
-	// earlier proposals together).
+	s.cmds = append(s.cmds, command{tx: tx, w: w, enqAt: time.Now()})
+	s.metrics.Inc(metrics.OrdererEnqueued)
+	s.qcond.Signal()
+	s.qmu.Unlock()
+	return w
+}
+
+// Submit orders a transaction synchronously: it returns once the
+// transaction is raft-committed, and — if a block containing it was cut
+// during that round — once every registered peer processed the block.
+// This is the pre-pipeline API; SubmitAsync is the handle-returning form.
+func (s *Service) Submit(tx *ledger.Transaction) error {
+	return s.SubmitAsync(tx).Wait()
+}
+
+// Flush cuts a block from any pending transactions regardless of batch
+// size, modeling Fabric's BatchTimeout expiry. It returns after every
+// queued submission ahead of it has been ordered and the cut block (if
+// any) delivered to all peers.
+func (s *Service) Flush() {
+	w := &Wait{done: make(chan struct{})}
+	s.qmu.Lock()
+	if s.stopping {
+		// Stop's drain already cuts the final partial batch.
+		s.qmu.Unlock()
+		return
+	}
+	s.cmds = append(s.cmds, command{w: w})
+	s.qcond.Signal()
+	s.qmu.Unlock()
+	_ = w.Wait()
+}
+
+// Stop shuts the service down: new submissions are refused with
+// ErrStopped, already-queued submissions are drained and ordered, any
+// final partial batch is cut, and all goroutines (ordering and per-peer
+// delivery) are joined before Stop returns.
+func (s *Service) Stop() {
+	s.qmu.Lock()
+	s.stopping = true
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
+	s.wg.Wait()
+}
+
+// run is the ordering goroutine: it drains the command queue, proposes
+// each run of queued transactions as one raft batch, cuts blocks, and on
+// Stop flushes the final partial batch and closes the peer queues.
+func (s *Service) run() {
+	defer s.wg.Done()
+	for {
+		s.qmu.Lock()
+		for len(s.cmds) == 0 && !s.stopping {
+			s.qcond.Wait()
+		}
+		s.qmu.Unlock()
+		// Coalescing yield: the first enqueue woke us, but other
+		// submitters may be runnable and about to enqueue. Yielding once
+		// lets them get their transactions in before the round forms, so
+		// concurrent submitters share one consensus round instead of
+		// convoying through single-entry rounds (this matters most on
+		// few-core schedulers, where Signal runs the loop ahead of the
+		// remaining submitters).
+		runtime.Gosched()
+		s.qmu.Lock()
+		cmds := s.cmds
+		s.cmds = nil
+		stopping := s.stopping
+		s.qmu.Unlock()
+
+		now := time.Now()
+		for i := 0; i < len(cmds); {
+			if cmds[i].tx == nil {
+				s.doFlush(cmds[i].w)
+				i++
+				continue
+			}
+			j := i
+			for j < len(cmds) && cmds[j].tx != nil {
+				s.timings.Observe(metrics.OrdererQueueWait, now.Sub(cmds[j].enqAt))
+				j++
+			}
+			s.orderBatch(cmds[i:j])
+			i = j
+		}
+
+		if stopping {
+			s.qmu.Lock()
+			drained := len(s.cmds) == 0
+			s.qmu.Unlock()
+			if drained {
+				s.shutdown()
+				return
+			}
+			continue
+		}
+		s.waitForCapacity()
+	}
+}
+
+// shutdown runs on the ordering goroutine once the queue is drained
+// after Stop: disarm the timer, cut the final partial batch, close every
+// peer queue so the delivery goroutines exit after their backlogs.
+func (s *Service) shutdown() {
+	s.mu.Lock()
+	s.stopped = true
+	s.disarmBatchTimerLocked()
+	if len(s.pending) > 0 {
+		s.cutBlockLocked(s.pending)
+		s.pending = nil
+		s.pendingWaits = nil
+	}
+	queues := append([]*peerQueue(nil), s.queues...)
+	s.mu.Unlock()
+	s.maybeCompact()
+	for _, q := range queues {
+		q.close()
+	}
+}
+
+// orderBatch proposes one run of queued transactions as a single raft
+// round, appends the committed results to the pending batch and cuts any
+// full blocks, then resolves the submitters' wait handles.
+func (s *Service) orderBatch(batch []command) {
+	datas := make([][]byte, len(batch))
+	for i, c := range batch {
+		datas[i] = c.tx.Bytes()
+	}
+	s.clusterMu.Lock()
+	before := len(s.cluster.Committed())
+	start := time.Now()
+	_, _, err := s.cluster.ProposeBatch(datas, s.cfg.MaxTicks)
+	s.timings.Observe(metrics.OrdererConsensus, time.Since(start))
 	committed := s.cluster.Committed()
+	s.clusterMu.Unlock()
+	s.metrics.Inc(metrics.OrdererRounds)
+	if err != nil {
+		for _, c := range batch {
+			c.w.err = fmt.Errorf("orderer: order tx %s: %w", c.tx.TxID, err)
+			close(c.w.done)
+		}
+		return
+	}
+	s.metrics.Add(metrics.OrdererBatchedTxs, uint64(len(batch)))
+
+	s.mu.Lock()
+	// Collect every newly committed entry — raft may deliver entries
+	// from an earlier round that missed its tick budget together with
+	// this batch. The single proposer makes commit order match propose
+	// order, so this round's handles match their entries front-to-back
+	// by TxID; earlier stragglers get no handle (theirs already failed).
+	next := 0
 	for _, e := range committed[before:] {
-		parsed, err := ledger.ParseTransaction(e.Data)
-		if err != nil {
-			return fmt.Errorf("orderer: committed entry %d: %w", e.Index, err)
+		parsed, perr := ledger.ParseTransaction(e.Data)
+		if perr != nil {
+			s.mu.Unlock()
+			for _, c := range batch[next:] {
+				c.w.err = fmt.Errorf("orderer: committed entry %d: %w", e.Index, perr)
+				close(c.w.done)
+			}
+			return
+		}
+		var w *Wait
+		if next < len(batch) && parsed.TxID == batch[next].tx.TxID {
+			w = batch[next].w
+			next++
 		}
 		s.pending = append(s.pending, parsed)
+		s.pendingWaits = append(s.pendingWaits, w)
 	}
 	for len(s.pending) >= s.cfg.BatchSize {
-		s.cutBlockLocked(s.pending[:s.cfg.BatchSize])
+		bd := s.cutBlockLocked(s.pending[:s.cfg.BatchSize])
+		for _, w := range s.pendingWaits[:s.cfg.BatchSize] {
+			if w != nil {
+				w.bd = bd
+			}
+		}
 		s.pending = s.pending[s.cfg.BatchSize:]
+		s.pendingWaits = s.pendingWaits[s.cfg.BatchSize:]
+	}
+	// Handles resolve at the end of this round; a transaction still
+	// pending then is delivered by a later cut its submitter does not
+	// wait for, so its handle must never be touched again.
+	for i := range s.pendingWaits {
+		s.pendingWaits[i] = nil
 	}
 	s.armBatchTimerLocked()
-	return nil
+	s.mu.Unlock()
+	// Compact before resolving handles so callers observe the compacted
+	// log as soon as Submit returns (SnapshotInterval semantics).
+	s.maybeCompact()
+	for _, c := range batch {
+		close(c.w.done)
+	}
+}
+
+// doFlush handles a queued flush marker: cut whatever is pending and
+// hand the block's delivery tracker to the flusher's wait handle.
+func (s *Service) doFlush(w *Wait) {
+	s.mu.Lock()
+	s.disarmBatchTimerLocked()
+	var bd *blockDelivery
+	if len(s.pending) > 0 {
+		bd = s.cutBlockLocked(s.pending)
+		s.pending = nil
+		s.pendingWaits = nil
+	}
+	s.mu.Unlock()
+	s.maybeCompact()
+	w.bd = bd
+	close(w.done)
+}
+
+// waitForCapacity pauses the ordering goroutine until every peer queue
+// is at or below DeliveryQueueBound — the backpressure half of the
+// bounded delivery queues. Cut blocks are never dropped and enqueueing
+// never blocks; only the next consensus round waits.
+func (s *Service) waitForCapacity() {
+	bound := s.cfg.DeliveryQueueBound
+	if bound <= 0 {
+		return
+	}
+	s.mu.Lock()
+	queues := append([]*peerQueue(nil), s.queues...)
+	s.mu.Unlock()
+	waited := false
+	s.bpMu.Lock()
+	defer s.bpMu.Unlock()
+	for {
+		over := false
+		for _, q := range queues {
+			if q.depth() > bound {
+				over = true
+				break
+			}
+		}
+		if !over {
+			return
+		}
+		if !waited {
+			waited = true
+			s.metrics.Inc(metrics.OrdererBackpressureWaits)
+		}
+		s.bpCond.Wait()
+	}
+}
+
+// maybeCompact performs a raft log compaction deferred by a block cut.
+// It runs without mu held: compaction takes clusterMu, and the ordering
+// goroutine must never hold both.
+func (s *Service) maybeCompact() {
+	s.mu.Lock()
+	due := s.compactDue
+	s.compactDue = false
+	s.mu.Unlock()
+	if !due {
+		return
+	}
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	if committed := s.cluster.Committed(); len(committed) > 0 {
+		// Every committed entry behind the latest cut block is
+		// recoverable from the retained blocks; drop it from the logs.
+		s.cluster.Compact(committed[len(committed)-1].Index)
+	}
 }
 
 // armBatchTimerLocked schedules (or cancels) the BatchTimeout cut
@@ -166,7 +618,9 @@ func (s *Service) disarmBatchTimerLocked() {
 }
 
 // timerFlush is the BatchTimeout expiry path: it cuts only if the timer
-// that fired is still the armed one.
+// that fired is still the armed one. It runs on the timer goroutine and
+// never touches the raft cluster; a due compaction is left for the
+// ordering goroutine's next round.
 func (s *Service) timerFlush(gen uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -179,33 +633,14 @@ func (s *Service) timerFlush(gen uint64) {
 	}
 	s.cutBlockLocked(s.pending)
 	s.pending = nil
+	s.pendingWaits = nil
 }
 
-// Flush cuts a block from any pending transactions regardless of batch
-// size, modeling Fabric's BatchTimeout expiry.
-func (s *Service) Flush() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.disarmBatchTimerLocked()
-	if len(s.pending) == 0 {
-		return
-	}
-	s.cutBlockLocked(s.pending)
-	s.pending = nil
-}
-
-// Stop shuts the service's timers down: any armed batch timer is
-// drained and no pending timer callback can cut a block afterwards.
-// Submissions after Stop still order (tests drive the cluster
-// directly); only the background timeout path is disabled.
-func (s *Service) Stop() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stopped = true
-	s.disarmBatchTimerLocked()
-}
-
-func (s *Service) cutBlockLocked(txs []*ledger.Transaction) {
+// cutBlockLocked cuts a block from txs, retains it, and enqueues it onto
+// every peer delivery queue. It returns the block's delivery tracker.
+// No cloning happens here: the retained block is immutable and peer
+// goroutines clone lazily before invoking handlers.
+func (s *Service) cutBlockLocked(txs []*ledger.Transaction) *blockDelivery {
 	batch := make([]*ledger.Transaction, len(txs))
 	copy(batch, txs)
 	block := ledger.NewBlock(s.height, s.lastHash, batch)
@@ -213,27 +648,29 @@ func (s *Service) cutBlockLocked(txs []*ledger.Transaction) {
 	s.lastHash = block.Hash()
 	s.delivered++
 	s.blocks = append(s.blocks, block)
+	if s.cfg.RetainBlocks > 0 && len(s.blocks) > s.cfg.RetainBlocks {
+		evict := len(s.blocks) - s.cfg.RetainBlocks
+		s.blocks = append([]*ledger.Block(nil), s.blocks[evict:]...)
+		s.firstBlock += uint64(evict)
+		s.metrics.Add(metrics.OrdererBlocksEvicted, uint64(evict))
+	}
 	s.metrics.Inc(metrics.BlocksOrdered)
 	s.metrics.Add(metrics.TxOrdered, uint64(len(batch)))
 	if s.cfg.SnapshotInterval > 0 && s.delivered%s.cfg.SnapshotInterval == 0 {
-		// Every committed entry behind the latest cut block is
-		// recoverable from s.blocks; drop it from the raft logs.
-		if committed := s.cluster.Committed(); len(committed) > 0 {
-			s.cluster.Compact(committed[len(committed)-1].Index)
-		}
+		s.compactDue = true
 	}
-	handlers := append([]BlockHandler(nil), s.handlers...)
-	// Deliver outside our own state mutation but under the lock so
-	// blocks arrive at every peer in order. Each peer receives its own
-	// clone and records its own validation flags.
-	for _, h := range handlers {
-		h(block.Clone())
+	bd := &blockDelivery{}
+	bd.wg.Add(len(s.queues))
+	for _, q := range s.queues {
+		q.enqueue(block, bd)
 	}
+	return bd
 }
 
-// Subscribe atomically returns clones of every block cut so far and
+// Subscribe atomically returns clones of every retained block and
 // registers the handler for all future blocks, so a late-joining peer
-// misses nothing between catch-up and live delivery.
+// misses nothing between catch-up and live delivery. With RetainBlocks
+// set, blocks evicted from the window are absent from the backlog.
 func (s *Service) Subscribe(h BlockHandler) []*ledger.Block {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -241,20 +678,23 @@ func (s *Service) Subscribe(h BlockHandler) []*ledger.Block {
 	for _, b := range s.blocks {
 		out = append(out, b.Clone())
 	}
-	s.handlers = append(s.handlers, h)
+	s.registerLocked(h)
 	return out
 }
 
-// Deliver returns clones of all cut blocks from number `from` on —
-// Fabric's deliver service, used by late-joining peers to catch up.
+// Deliver returns clones of retained blocks from number `from` on —
+// Fabric's deliver service, used by late-joining peers to catch up. It
+// returns nil when `from` is beyond the chain tip or — with RetainBlocks
+// set — has been evicted from the retention window; evicted history must
+// come from a peer's block store instead.
 func (s *Service) Deliver(from uint64) []*ledger.Block {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if from >= uint64(len(s.blocks)) {
+	if from < s.firstBlock || from >= s.height {
 		return nil
 	}
-	out := make([]*ledger.Block, 0, uint64(len(s.blocks))-from)
-	for _, b := range s.blocks[from:] {
+	out := make([]*ledger.Block, 0, s.height-from)
+	for _, b := range s.blocks[from-s.firstBlock:] {
 		out = append(out, b.Clone())
 	}
 	return out
@@ -263,11 +703,17 @@ func (s *Service) Deliver(from uint64) []*ledger.Block {
 // Metrics returns a snapshot of the ordering service's counters.
 func (s *Service) Metrics() map[string]uint64 { return s.metrics.Snapshot() }
 
+// Timings returns a snapshot of the ordering service's latency
+// histograms (consensus rounds and queue wait).
+func (s *Service) Timings() map[string]metrics.HistogramSnapshot {
+	return s.timings.Snapshot()
+}
+
 // CrashLeader crashes the current raft leader, for failure-injection
 // tests; returns the crashed node ID or "".
 func (s *Service) CrashLeader() raft.NodeID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
 	leader, err := s.cluster.ElectLeader(s.cfg.MaxTicks)
 	if err != nil {
 		return ""
@@ -279,7 +725,7 @@ func (s *Service) CrashLeader() raft.NodeID {
 
 // RestartNode brings a crashed orderer back.
 func (s *Service) RestartNode(id raft.NodeID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
 	s.cluster.Restart(id)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ledger"
+	"repro/internal/metrics"
 )
 
 func tx(id string) *ledger.Transaction {
@@ -175,6 +176,60 @@ func TestBatchTimeoutCutsPartialBatch(t *testing.T) {
 	case <-blockCh:
 		t.Fatal("spurious second block")
 	case <-time.After(60 * time.Millisecond):
+	}
+}
+
+// TestRetainBlocksBoundsDeliverWindow: with RetainBlocks set the orderer
+// keeps only the newest N blocks; Deliver serves from the window, returns
+// nil for evicted history, and Subscribe's backlog starts at the window.
+func TestRetainBlocksBoundsDeliverWindow(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 1, Seed: 9, RetainBlocks: 3})
+	for i := 0; i < 8; i++ {
+		if err := svc.Submit(tx(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.Height() != 8 {
+		t.Fatalf("height = %d", svc.Height())
+	}
+	if got := svc.Deliver(0); got != nil {
+		t.Fatalf("Deliver(0) served %d evicted blocks", len(got))
+	}
+	if got := svc.Deliver(4); got != nil {
+		t.Fatalf("Deliver(4) served %d evicted blocks", len(got))
+	}
+	window := svc.Deliver(5)
+	if len(window) != 3 {
+		t.Fatalf("Deliver(5) returned %d blocks, want 3", len(window))
+	}
+	for i, b := range window {
+		if b.Header.Number != uint64(5+i) {
+			t.Fatalf("window block %d numbered %d", i, b.Header.Number)
+		}
+	}
+	backlog := svc.Subscribe(func(*ledger.Block) {})
+	if len(backlog) != 3 || backlog[0].Header.Number != 5 {
+		t.Fatalf("Subscribe backlog wrong: %d blocks", len(backlog))
+	}
+	if svc.Metrics()[metrics.OrdererBlocksEvicted] != 5 {
+		t.Fatalf("evicted counter = %d", svc.Metrics()[metrics.OrdererBlocksEvicted])
+	}
+}
+
+// TestUnboundedRetentionByDefault: the zero config keeps every block, so
+// Deliver(0) replays the whole chain — the pre-retention behavior.
+func TestUnboundedRetentionByDefault(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 1, Seed: 10})
+	for i := 0; i < 5; i++ {
+		if err := svc.Submit(tx(fmt.Sprintf("u%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := svc.Deliver(0); len(got) != 5 {
+		t.Fatalf("Deliver(0) returned %d blocks, want 5", len(got))
+	}
+	if n := svc.Metrics()[metrics.OrdererBlocksEvicted]; n != 0 {
+		t.Fatalf("evicted %d blocks with unbounded retention", n)
 	}
 }
 

@@ -1,0 +1,206 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/orderer"
+	"repro/internal/raft"
+)
+
+// OrderCell is one point of the ordering-throughput grid: `Submitters`
+// concurrent synchronous submitters pushing `Txs` transactions through a
+// pipelined orderer cutting blocks of `BatchSize`.
+type OrderCell struct {
+	BatchSize  int     `json:"batch_size"`
+	Submitters int     `json:"submitters"`
+	Txs        int     `json:"txs"`
+	TxsPerSec  float64 `json:"txs_per_sec"`
+	// MeanTxsPerRound is how many transactions each raft consensus round
+	// carried (orderer_txs_proposed / orderer_consensus_rounds): the
+	// pipelining effect made visible — concurrent submitters coalesce
+	// into multi-entry proposals.
+	MeanTxsPerRound float64 `json:"mean_txs_per_round"`
+	// ConsensusP95Ns is the 95th-percentile consensus round latency.
+	ConsensusP95Ns int64 `json:"consensus_p95_ns"`
+}
+
+// OrderResult is the outcome of the ordering scenario: the throughput
+// grid plus the raft-level batch-proposal comparison underlying it.
+type OrderResult struct {
+	TxsPerCell int         `json:"txs_per_cell"`
+	Cells      []OrderCell `json:"cells"`
+
+	// SequentialProposeNs is the mean cost of ordering 100 raft entries
+	// one Propose (one consensus round) at a time.
+	SequentialProposeNs float64 `json:"sequential_propose_ns_per_100"`
+	// BatchProposeNs is the mean cost of the same 100 entries through a
+	// single ProposeBatch round.
+	BatchProposeNs float64 `json:"batch_propose_ns_per_100"`
+	// ProposeBatchSpeedup is SequentialProposeNs / BatchProposeNs.
+	ProposeBatchSpeedup float64 `json:"propose_batch_speedup"`
+
+	// PipelineSpeedup is the throughput of the most concurrent cell
+	// (max submitters, max batch size) over the serial baseline cell
+	// (1 submitter, batch size 1).
+	PipelineSpeedup float64 `json:"pipeline_speedup"`
+}
+
+func orderTx(id string) *ledger.Transaction {
+	return &ledger.Transaction{
+		TxID:            id,
+		ChannelID:       "perf",
+		Proposal:        &ledger.Proposal{TxID: id, Chaincode: "bench", Function: "set"},
+		ResponsePayload: []byte(`{"tx_id":"` + id + `"}`),
+	}
+}
+
+// MeasureOrder runs the ordering-throughput grid (batch sizes 1/10/100 x
+// 1/4/16 submitters, `txs` transactions per cell) and the raft
+// ProposeBatch-vs-sequential comparison.
+func MeasureOrder(txs int) OrderResult {
+	res := OrderResult{TxsPerCell: txs}
+	batchSizes := []int{1, 10, 100}
+	submitterCounts := []int{1, 4, 16}
+	for _, bs := range batchSizes {
+		for _, subs := range submitterCounts {
+			res.Cells = append(res.Cells, measureOrderCell(bs, subs, txs))
+		}
+	}
+	base := cellThroughput(res.Cells, 1, 1)
+	best := cellThroughput(res.Cells, batchSizes[len(batchSizes)-1], submitterCounts[len(submitterCounts)-1])
+	if base > 0 {
+		res.PipelineSpeedup = best / base
+	}
+
+	res.SequentialProposeNs, res.BatchProposeNs = measureProposeBatch(100, 20)
+	if res.BatchProposeNs > 0 {
+		res.ProposeBatchSpeedup = res.SequentialProposeNs / res.BatchProposeNs
+	}
+	return res
+}
+
+func cellThroughput(cells []OrderCell, batchSize, submitters int) float64 {
+	for _, c := range cells {
+		if c.BatchSize == batchSize && c.Submitters == submitters {
+			return c.TxsPerSec
+		}
+	}
+	return 0
+}
+
+func measureOrderCell(batchSize, submitters, txs int) OrderCell {
+	svc := orderer.New(orderer.Config{
+		OrdererCount: 3,
+		BatchSize:    batchSize,
+		Seed:         99,
+	})
+	svc.RegisterDelivery(func(*ledger.Block) {})
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < txs; i += submitters {
+				_ = svc.Submit(orderTx(fmt.Sprintf("o%d-%d-%d-%d", batchSize, submitters, s, i)))
+			}
+		}(s)
+	}
+	wg.Wait()
+	svc.Flush() // cut the trailing partial batch so every tx is delivered
+	elapsed := time.Since(start)
+	svc.Stop()
+
+	cell := OrderCell{
+		BatchSize:  batchSize,
+		Submitters: submitters,
+		Txs:        txs,
+		TxsPerSec:  float64(txs) / elapsed.Seconds(),
+	}
+	counters := svc.Metrics()
+	if rounds := counters[metrics.OrdererRounds]; rounds > 0 {
+		cell.MeanTxsPerRound = float64(counters[metrics.OrdererBatchedTxs]) / float64(rounds)
+	}
+	cell.ConsensusP95Ns = svc.Timings()[metrics.OrdererConsensus].Quantile(0.95).Nanoseconds()
+	return cell
+}
+
+// measureProposeBatch times ordering n raft entries sequentially (n
+// consensus rounds) versus as one ProposeBatch (one round), averaged
+// over reps, on fresh 3-node clusters.
+func measureProposeBatch(n, reps int) (seqNs, batchNs float64) {
+	payload := []byte("bench-entry")
+	datas := make([][]byte, n)
+	for i := range datas {
+		datas[i] = payload
+	}
+
+	seq := raft.NewCluster(3, 7)
+	if _, err := seq.ElectLeader(500); err != nil {
+		return 0, 0
+	}
+	if _, err := seq.Propose(payload, 500); err != nil { // warm up post-election state
+		return 0, 0
+	}
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for i := 0; i < n; i++ {
+			if _, err := seq.Propose(payload, 500); err != nil {
+				return 0, 0
+			}
+		}
+	}
+	seqNs = float64(time.Since(start).Nanoseconds()) / float64(reps)
+
+	batch := raft.NewCluster(3, 7)
+	if _, err := batch.ElectLeader(500); err != nil {
+		return 0, 0
+	}
+	if _, _, err := batch.ProposeBatch(datas[:1], 500); err != nil {
+		return 0, 0
+	}
+	start = time.Now()
+	for r := 0; r < reps; r++ {
+		if _, _, err := batch.ProposeBatch(datas, 500); err != nil {
+			return 0, 0
+		}
+	}
+	batchNs = float64(time.Since(start).Nanoseconds()) / float64(reps)
+	return seqNs, batchNs
+}
+
+// RenderOrder formats the ordering scenario result as a table.
+func RenderOrder(r OrderResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipelined ordering service, %d txs per cell (3 orderers)\n", r.TxsPerCell)
+	fmt.Fprintf(&b, "%-11s %-11s %14s %16s %16s\n",
+		"batch_size", "submitters", "txs/sec", "txs/raft round", "consensus p95")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-11d %-11d %14.0f %16.1f %16s\n",
+			c.BatchSize, c.Submitters, c.TxsPerSec, c.MeanTxsPerRound,
+			time.Duration(c.ConsensusP95Ns).Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "pipeline speedup (16 submitters, batch 100 vs 1/1): %.1fx\n", r.PipelineSpeedup)
+	fmt.Fprintf(&b, "raft 100-entry proposal: sequential %s, batched %s (%.1fx)\n",
+		time.Duration(r.SequentialProposeNs).Round(time.Microsecond),
+		time.Duration(r.BatchProposeNs).Round(time.Microsecond),
+		r.ProposeBatchSpeedup)
+	return b.String()
+}
+
+// OrderJSON marshals the result as indented JSON (the committed
+// BENCH_order.json baseline).
+func OrderJSON(r OrderResult) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

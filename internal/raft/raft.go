@@ -364,6 +364,30 @@ func (n *Node) Propose(data []byte) (uint64, error) {
 	return e.Index, nil
 }
 
+// ProposeBatch appends a batch of entries to the replicated log with a
+// single broadcast: the multi-entry append path of the pipelined
+// ordering service. N batched proposals replicate in one AppendEntries
+// exchange instead of N, so a full consensus round is paid once per
+// batch. Returns the index range [first, last] of the appended entries.
+func (n *Node) ProposeBatch(datas [][]byte) (first, last uint64, err error) {
+	if n.state != Leader {
+		return 0, 0, ErrNotLeader
+	}
+	if len(datas) == 0 {
+		return 0, 0, nil
+	}
+	for i, data := range datas {
+		e := n.appendLocal(data)
+		if i == 0 {
+			first = e.Index
+		}
+		last = e.Index
+	}
+	n.broadcastAppend()
+	n.maybeAdvanceCommit()
+	return first, last, nil
+}
+
 func (n *Node) broadcastAppend() {
 	for _, p := range n.cfg.Peers {
 		if p == n.cfg.ID {
