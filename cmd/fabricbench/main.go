@@ -17,6 +17,10 @@
 // (docs/STATEDB.md) — range scans, batched MVCC version reads, snapshot
 // take/read cost, and scan latency under a concurrent writer — and with
 // -json writes the result to BENCH_statedb.json as a committed baseline.
+// -storage compares the storage backends (docs/STORAGE.md): raw
+// state-log append cost with and without fsync, compaction and
+// recovery-replay cost, and end-to-end throughput with every peer on
+// each backend; -json writes BENCH_storage.json.
 //
 // Usage:
 //
@@ -27,6 +31,7 @@
 //	fabricbench -reconcile      # anti-entropy convergence scenario
 //	fabricbench -deliver        # commit-notification latency scenario
 //	fabricbench -statedb -json  # world-state scenario + JSON baseline
+//	fabricbench -storage -json  # storage-backend scenario + JSON baseline
 package main
 
 import (
@@ -67,8 +72,12 @@ func run(args []string) error {
 	statedbKeys := fs.Int("statedb-keys", 10000, "keys per namespace for -statedb")
 	orderFlag := fs.Bool("order", false, "run the ordering-throughput grid (batch sizes 1/10/100 x 1/4/16 submitters) plus the raft ProposeBatch comparison")
 	orderTxs := fs.Int("order-txs", 2000, "transactions per grid cell for -order")
-	jsonFlag := fs.Bool("json", false, "with -statedb or -order, write the result to -json-out as a committed baseline")
-	jsonOut := fs.String("json-out", "", "output path for -json (default BENCH_statedb.json / BENCH_order.json; \"-\" for stdout)")
+	storageFlag := fs.Bool("storage", false, "run the storage-backend scenario (append/compact/recover cost and end-to-end TPS per backend)")
+	storageBatches := fs.Int("storage-batches", 400, "state batches for the -storage raw-append stage")
+	storageRecords := fs.Int("storage-records", 32, "records per batch for -storage")
+	storageTxs := fs.Int("storage-txs", 96, "end-to-end transactions per backend for -storage (0 skips the throughput stage)")
+	jsonFlag := fs.Bool("json", false, "with -statedb, -order or -storage, write the result to -json-out as a committed baseline")
+	jsonOut := fs.String("json-out", "", "output path for -json (default BENCH_statedb.json / BENCH_order.json / BENCH_storage.json; \"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +112,27 @@ func run(args []string) error {
 			}
 		}
 		// The ordering scenario needs no network; skip the Fig. 11 run.
+		return nil
+	}
+
+	if *storageFlag {
+		fmt.Printf("Measuring storage backends (%d batches x %d records, %d e2e txs per backend)...\n\n",
+			*storageBatches, *storageRecords, *storageTxs)
+		r, err := perf.MeasureStorage(*storageBatches, *storageRecords, *clients, *storageTxs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(perf.RenderStorage(r))
+		if *jsonFlag {
+			out, err := perf.StorageJSON(r)
+			if err != nil {
+				return err
+			}
+			if err := writeJSON(out, "BENCH_storage.json"); err != nil {
+				return err
+			}
+		}
+		// The storage scenario builds its own networks; skip the Fig. 11 run.
 		return nil
 	}
 

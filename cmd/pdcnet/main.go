@@ -7,7 +7,8 @@
 // Usage:
 //
 //	pdcnet
-//	pdcnet -defended     # run with both defense features enabled
+//	pdcnet -defended                      # run with both defense features enabled
+//	pdcnet -storage durable -storage-dir /tmp/pdc  # persist every peer's ledger on disk
 package main
 
 import (
@@ -40,8 +41,13 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("pdcnet", flag.ContinueOnError)
 	defended := fs.Bool("defended", false, "enable defense Features 1 and 2 and the non-member filter")
 	configPath := fs.String("config", "", "build the network from a JSON topology file instead of the default 3-org layout (the demo still expects an \"asset\" chaincode with collection \"pdc1\")")
+	storageBackend := fs.String("storage", "", "storage backend for every peer (\"memory\", \"durable\", \"null\"; empty = no persistence layer)")
+	storageDir := fs.String("storage-dir", "", "root directory for the durable backend (each peer stores under <dir>/<peer name>)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *storageBackend == "durable" && *storageDir == "" {
+		return fmt.Errorf("-storage durable needs -storage-dir")
 	}
 
 	var net *network.Network
@@ -58,6 +64,7 @@ func run(args []string) error {
 		if *defended {
 			net.SetSecurity(core.DefendedFabric())
 		}
+		defer net.Close()
 		return demo(net)
 	}
 
@@ -65,6 +72,8 @@ func run(args []string) error {
 	if *defended {
 		sec = core.DefendedFabric()
 	}
+	sec.StorageBackend = *storageBackend
+	sec.StorageDir = *storageDir
 
 	fmt.Println("== building 3-org network (org1, org2, org3; PDC members: org1, org2) ==")
 	net, err := network.New(network.Options{
@@ -91,6 +100,7 @@ func run(args []string) error {
 	if err := net.DeployChaincode(def, impl); err != nil {
 		return err
 	}
+	defer net.Close()
 	return demo(net)
 }
 

@@ -138,12 +138,18 @@ func TestCorruptionDetected(t *testing.T) {
 		t.Fatalf("bit flip: err = %v", err)
 	}
 
-	// Truncation mid-record.
+	// Truncation mid-record is a torn tail: Open repairs it by dropping
+	// the partial record and keeping the intact prefix.
 	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("truncation: err = %v", err)
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("truncation should be repaired, got err = %v", err)
+	}
+	defer s2.Close()
+	if s2.Height() != 1 {
+		t.Fatalf("height after torn-tail repair = %d, want 1", s2.Height())
 	}
 }
 

@@ -80,6 +80,29 @@ type SecurityConfig struct {
 	// than this is evicted rather than blocking the commit path. 0
 	// selects deliver.DefaultBufferSize.
 	DeliverBufferSize int
+
+	// StorageBackend selects each peer's storage backend by registered
+	// name ("memory", "durable", "null"; see internal/storage and
+	// docs/STORAGE.md). Empty means no persistence layer at all — the
+	// peer keeps its chain and world state purely in memory, the
+	// original behaviour.
+	StorageBackend string
+
+	// StorageDir is the root directory for durable backends; each peer
+	// stores under StorageDir/<peer name>. Required when StorageBackend
+	// is "durable"; ignored by backends that keep nothing on disk.
+	StorageDir string
+
+	// StorageSegmentBytes caps the durable backend's active log segment
+	// before it is sealed and compaction becomes possible. 0 selects the
+	// backend default (4 MiB).
+	StorageSegmentBytes int64
+
+	// StorageNoFsync makes the durable backend skip fsync on appends:
+	// process-crash durability only, for benchmarks isolating write-path
+	// cost from disk sync cost. Never enable it for data that must
+	// survive power loss.
+	StorageNoFsync bool
 }
 
 // OriginalFabric is the unmodified framework configuration.

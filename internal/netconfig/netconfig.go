@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/pvtdata"
+	"repro/internal/storage"
 )
 
 // Chaincode describes one chaincode deployment.
@@ -41,9 +42,13 @@ type Chaincode struct {
 
 // Security mirrors core.SecurityConfig with JSON names.
 type Security struct {
-	CollectionPolicyForReads    bool `json:"collectionPolicyForReads,omitempty"`
-	HashedPayloadEndorsement    bool `json:"hashedPayloadEndorsement,omitempty"`
-	FilterNonMemberEndorsements bool `json:"filterNonMemberEndorsements,omitempty"`
+	CollectionPolicyForReads    bool   `json:"collectionPolicyForReads,omitempty"`
+	HashedPayloadEndorsement    bool   `json:"hashedPayloadEndorsement,omitempty"`
+	FilterNonMemberEndorsements bool   `json:"filterNonMemberEndorsements,omitempty"`
+	StorageBackend              string `json:"storageBackend,omitempty"`
+	StorageDir                  string `json:"storageDir,omitempty"`
+	StorageSegmentBytes         int64  `json:"storageSegmentBytes,omitempty"`
+	StorageNoFsync              bool   `json:"storageNoFsync,omitempty"`
 }
 
 // Config is the topology document.
@@ -100,6 +105,21 @@ func (c *Config) Validate() error {
 		}
 		seen[org] = true
 	}
+	if name := c.Security.StorageBackend; name != "" {
+		known := false
+		for _, b := range storage.Backends() {
+			if b == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("netconfig: unknown storage backend %q (have %v)", name, storage.Backends())
+		}
+		if name == "durable" && c.Security.StorageDir == "" {
+			return fmt.Errorf("netconfig: storage backend %q needs storageDir", name)
+		}
+	}
 	for i := range c.Chaincodes {
 		cc := &c.Chaincodes[i]
 		if cc.Name == "" {
@@ -129,6 +149,10 @@ func (c *Config) SecurityConfig() core.SecurityConfig {
 		CollectionPolicyForReads:    c.Security.CollectionPolicyForReads,
 		HashedPayloadEndorsement:    c.Security.HashedPayloadEndorsement,
 		FilterNonMemberEndorsements: c.Security.FilterNonMemberEndorsements,
+		StorageBackend:              c.Security.StorageBackend,
+		StorageDir:                  c.Security.StorageDir,
+		StorageSegmentBytes:         c.Security.StorageSegmentBytes,
+		StorageNoFsync:              c.Security.StorageNoFsync,
 	}
 }
 

@@ -123,12 +123,15 @@ func New(opts Options) (*Network, error) {
 			if err != nil {
 				return nil, fmt.Errorf("network: %w", err)
 			}
-			p := peer.New(peer.Config{
+			p, err := peer.New(peer.Config{
 				Identity: peerID,
 				Channel:  n.Channel,
 				Gossip:   n.Gossip,
 				Security: opts.Security,
 			})
+			if err != nil {
+				return nil, fmt.Errorf("network: %w", err)
+			}
 			n.peers[p.Name()] = p
 			n.Orderer.RegisterDelivery(func(b *ledger.Block) { _ = p.CommitBlock(b) })
 			if anchors[org] == nil {
@@ -177,12 +180,15 @@ func (n *Network) JoinPeer(org, name string, setup func(*peer.Peer) error) (*pee
 	if err != nil {
 		return nil, fmt.Errorf("network: join peer: %w", err)
 	}
-	p := peer.New(peer.Config{
+	p, err := peer.New(peer.Config{
 		Identity: peerID,
 		Channel:  n.Channel,
 		Gossip:   n.Gossip,
 		Security: n.sec,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("network: join peer: %w", err)
+	}
 	if setup != nil {
 		if err := setup(p); err != nil {
 			return nil, fmt.Errorf("network: join peer setup: %w", err)
@@ -301,3 +307,15 @@ func (n *Network) SetSecurity(sec core.SecurityConfig) {
 
 // Security returns the network's current security configuration.
 func (n *Network) Security() core.SecurityConfig { return n.sec }
+
+// Close releases every peer's storage backend. Networks built without a
+// StorageBackend hold no resources and Close is a no-op for them.
+func (n *Network) Close() error {
+	var first error
+	for _, p := range n.Peers() {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -192,8 +192,8 @@ type Service struct {
 	cluster   *raft.Cluster
 
 	// mu guards the block cutter state below.
-	mu       sync.Mutex
-	pending  []*ledger.Transaction
+	mu      sync.Mutex
+	pending []*ledger.Transaction
 	// pendingWaits parallels pending: the wait handle to attach the cut
 	// block's delivery tracker to, nil for entries without a live waiter.
 	pendingWaits []*Wait

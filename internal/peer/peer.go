@@ -6,6 +6,7 @@ package peer
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/blockfile"
@@ -23,7 +24,12 @@ import (
 	"repro/internal/reconcile"
 	"repro/internal/rwset"
 	"repro/internal/statedb"
+	"repro/internal/storage"
 	"repro/internal/validator"
+
+	// Register the durable backend so SecurityConfig.StorageBackend can
+	// name it.
+	_ "repro/internal/storage/durable"
 )
 
 // Peer is one peer node.
@@ -42,6 +48,16 @@ type Peer struct {
 	delivery   *deliver.Service
 	metrics    metrics.Counters
 	timings    metrics.Timings
+
+	// backend, when non-nil, is the peer's storage backend: blocks,
+	// state batches and private-data bookkeeping become durable in the
+	// order documented in docs/STORAGE.md §7. storageMu serializes the
+	// journal drain/flush step; storageErr holds a flush failure from a
+	// background path (reconciler tick) until the commit path can
+	// surface it.
+	backend    storage.Backend
+	storageMu  sync.Mutex
+	storageErr error
 
 	mu   sync.RWMutex
 	defs map[string]*chaincode.Definition
@@ -72,13 +88,23 @@ type Config struct {
 	// PersistDir, when set, makes the peer's blockchain durable: every
 	// committed block is appended to an on-disk block file, and a peer
 	// restarted over the same directory rebuilds its world state by
-	// replay (use NewPersistent).
+	// replay (use NewPersistent). Superseded by the storage backends
+	// (Security.StorageBackend); kept for block-file-only deployments.
 	PersistDir string
+	// Backend, when non-nil, is used as the peer's storage backend
+	// directly instead of opening one from Security.StorageBackend —
+	// dependency injection for restart-shaped tests (hand a memory
+	// backend to a second peer object to simulate a reboot without
+	// touching disk).
+	Backend storage.Backend
 }
 
-// New creates a peer and joins it to the gossip network. For a durable
-// peer use NewPersistent, which also replays any existing block file.
-func New(cfg Config) *Peer {
+// New creates a peer and joins it to the gossip network. When
+// cfg.Backend or cfg.Security.StorageBackend selects a storage backend,
+// the peer's commits become durable; a backend with existing data needs
+// Restore called (after approving definitions) before the first commit.
+// For the legacy block-file-only persistence use NewPersistent.
+func New(cfg Config) (*Peer, error) {
 	db := statedb.New()
 	p := &Peer{
 		id:         cfg.Identity,
@@ -91,6 +117,30 @@ func New(cfg Config) *Peer {
 		defs:       make(map[string]*chaincode.Definition),
 	}
 	db.SetObserver(&p.timings)
+
+	p.backend = cfg.Backend
+	if p.backend == nil && cfg.Security.StorageBackend != "" {
+		var dir string
+		if cfg.Security.StorageDir != "" {
+			dir = filepath.Join(cfg.Security.StorageDir, cfg.Identity.Subject())
+		}
+		backend, err := storage.Open(cfg.Security.StorageBackend, storage.Options{
+			Dir:          dir,
+			SegmentBytes: cfg.Security.StorageSegmentBytes,
+			NoFsync:      cfg.Security.StorageNoFsync,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("peer %s: %w", cfg.Identity.Subject(), err)
+		}
+		p.backend = backend
+	}
+	if p.backend != nil {
+		p.pvt.SetDurable(p.backend.Pvt())
+		// Capture every state mutation from here on; Restore installs
+		// already-durable batches through the journal-bypassing
+		// RestoreBatch, so nothing is double-flushed.
+		db.EnableJournal()
+	}
 	verifier := cfg.Channel.Verifier()
 	p.endorser = endorser.New(endorser.Config{
 		Identity:  cfg.Identity,
@@ -103,6 +153,10 @@ func New(cfg Config) *Peer {
 		Gossip:    cfg.Gossip,
 		Security:  cfg.Security,
 	})
+	var durablePvt storage.PvtStore
+	if p.backend != nil {
+		durablePvt = p.backend.Pvt()
+	}
 	p.validator = validator.New(validator.Config{
 		SelfName:  cfg.Identity.Subject(),
 		SelfOrg:   cfg.Identity.MSPID(),
@@ -117,6 +171,7 @@ func New(cfg Config) *Peer {
 		Security:  cfg.Security,
 		Metrics:   &p.metrics,
 		Timings:   &p.timings,
+		Durable:   durablePvt,
 	})
 	p.transient.SetHeightSource(p.blocks.Height)
 	p.transient.SetLimits(cfg.Security.TransientTTLBlocks, cfg.Security.TransientMaxEntries)
@@ -146,17 +201,25 @@ func New(cfg Config) *Peer {
 		Timings:    &p.timings,
 	})
 	cfg.Gossip.Join(p)
-	return p
+	return p, nil
 }
 
 // NewPersistent creates a durable peer over cfg.PersistDir: existing
 // blocks are replayed to rebuild the world state, and every future
 // commit is appended to the block file before CommitBlock returns.
+// This is the legacy block-file-only path; configuring a storage
+// backend as well is a configuration error.
 func NewPersistent(cfg Config) (*Peer, error) {
 	if cfg.PersistDir == "" {
 		return nil, fmt.Errorf("peer: NewPersistent requires PersistDir")
 	}
-	p := New(cfg)
+	if cfg.Backend != nil || cfg.Security.StorageBackend != "" {
+		return nil, fmt.Errorf("peer: NewPersistent is exclusive with a storage backend; use Security.StorageBackend alone")
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
 	store, err := blockfile.Open(cfg.PersistDir)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: %w", p.Name(), err)
@@ -165,10 +228,21 @@ func NewPersistent(cfg Config) (*Peer, error) {
 	return p, nil
 }
 
-// Restore replays the persisted blockchain into the peer's in-memory
-// state. Chaincode definitions must be approved before calling Restore
-// (replay resolves collection configs through them).
+// Restore rebuilds the peer's in-memory state from its storage backend
+// (or, on legacy peers, from the block file). Chaincode definitions
+// must be approved before calling Restore (replay resolves collection
+// configs through them).
+//
+// Backend recovery (docs/STORAGE.md §7): blocks [0, W) — where W is the
+// state log's watermark — are installed directly (chain only; their
+// state mutations load from the state store), and blocks [W, H) replay
+// through the validator, which re-journals and re-flushes their
+// mutations. Because blocks become durable before their state batch,
+// W <= H always holds on an uncorrupted store.
 func (p *Peer) Restore() error {
+	if p.backend != nil {
+		return p.restoreBackend()
+	}
 	if p.persist == nil {
 		return fmt.Errorf("peer %s: not persistent", p.Name())
 	}
@@ -182,6 +256,118 @@ func (p *Peer) Restore() error {
 		}
 	}
 	return nil
+}
+
+func (p *Peer) restoreBackend() error {
+	fail := func(err error) error { return fmt.Errorf("peer %s: restore: %w", p.Name(), err) }
+	blocks, err := p.backend.Blocks().ReadAll()
+	if err != nil {
+		return fail(err)
+	}
+	height := uint64(len(blocks))
+	watermark := p.backend.State().Watermark()
+	if watermark > height {
+		return fail(fmt.Errorf("%w: state watermark %d exceeds chain height %d",
+			storage.ErrCorrupt, watermark, height))
+	}
+	// 1. Install the durable state as of watermark W, bypassing the
+	// journal (these batches are durable already).
+	err = p.backend.State().Load(func(batch storage.StateBatch) error {
+		entries := make([]statedb.JournalEntry, len(batch.Records))
+		for i, r := range batch.Records {
+			entries[i] = statedb.JournalEntry{
+				Namespace: r.Namespace,
+				Key:       r.Key,
+				Value:     r.Value,
+				Version:   statedb.Version(r.Version),
+				Delete:    r.Delete,
+			}
+		}
+		p.db.RestoreBatch(entries)
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	// 2. Reload the private-data bookkeeping before replay, which
+	// re-records (deduped) whatever the replayed blocks still miss.
+	if err := p.pvt.RestorePurges(); err != nil {
+		return fail(err)
+	}
+	if err := p.validator.RestoreMissing(); err != nil {
+		return fail(err)
+	}
+	// 3. Blocks below the watermark carry no un-flushed state: chain
+	// installation only.
+	for _, b := range blocks[:watermark] {
+		if err := p.blocks.Append(b); err != nil {
+			return fail(err)
+		}
+	}
+	// 4. Blocks at or above the watermark replay through the validator:
+	// their mutations re-journal and re-flush, closing the gap a crash
+	// between the block append and the state flush left behind.
+	for _, b := range blocks[watermark:] {
+		if err := p.validator.ReplayBlock(b); err != nil {
+			return fail(err)
+		}
+		if err := p.flushState(b.Header.Number + 1); err != nil {
+			return fail(err)
+		}
+	}
+	return nil
+}
+
+// flushState drains the statedb journal and applies it to the state
+// store as the atomic batch of chain height h. Flushed even when empty:
+// the watermark must advance past state-less blocks. Surfaces any
+// sticky durable error from the private-data bookkeeping first — a
+// block whose side records were lost must not be declared durable.
+func (p *Peer) flushState(h uint64) error {
+	p.storageMu.Lock()
+	defer p.storageMu.Unlock()
+	if p.storageErr != nil {
+		return p.storageErr
+	}
+	if err := p.pvt.DurableErr(); err != nil {
+		return err
+	}
+	if err := p.validator.DurableErr(); err != nil {
+		return err
+	}
+	entries := p.db.DrainJournal()
+	batch := storage.StateBatch{Height: h, Records: make([]storage.StateRecord, len(entries))}
+	for i, e := range entries {
+		batch.Records[i] = storage.StateRecord{
+			Namespace: e.Namespace,
+			Key:       e.Key,
+			Value:     e.Value,
+			Version:   uint64(e.Version),
+			Delete:    e.Delete,
+		}
+	}
+	return p.backend.State().Apply(batch)
+}
+
+// Backend exposes the peer's storage backend (nil when the peer runs
+// without persistence).
+func (p *Peer) Backend() storage.Backend { return p.backend }
+
+// Close releases the peer's storage resources: the backend (stopping
+// background compaction) and the legacy block file, when present.
+func (p *Peer) Close() error {
+	var first error
+	if p.backend != nil {
+		if err := p.backend.Close(); err != nil {
+			first = err
+		}
+	}
+	if p.persist != nil {
+		if err := p.persist.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Name returns the peer's node name, e.g. "peer0.org1".
@@ -280,6 +466,18 @@ func (p *Peer) CommitBlock(block *ledger.Block) error {
 		// durable; on restart Restore trusts these flags.
 		if err := p.persist.Append(block); err != nil {
 			return fmt.Errorf("peer %s: persist: %w", p.Name(), err)
+		}
+	}
+	if p.backend != nil {
+		// Durability ordering (docs/STORAGE.md §7): the block first, its
+		// state batch second. A crash between the two leaves the state
+		// watermark below the chain height, and Restore replays the gap;
+		// the inverse order could leave state the chain cannot explain.
+		if err := p.backend.Blocks().Append(block); err != nil {
+			return fmt.Errorf("peer %s: persist block %d: %w", p.Name(), block.Header.Number, err)
+		}
+		if err := p.flushState(block.Header.Number + 1); err != nil {
+			return fmt.Errorf("peer %s: persist state of block %d: %w", p.Name(), block.Header.Number, err)
 		}
 	}
 	p.listenerMu.RLock()
@@ -442,13 +640,29 @@ func (p *Peer) Reconciler() *reconcile.Reconciler { return p.reconciler }
 // gossip, served from their transient or committed stores) and recovered
 // values are committed. Returns the number of collections recovered this
 // tick.
-func (p *Peer) TickReconcile() int { return p.reconciler.Tick() }
+func (p *Peer) TickReconcile() int { return p.tickReconcile() }
 
 // ReconcileMissing runs one reconciler tick — the managed replacement of
 // the old one-shot pull. Entries that keep failing back off exponentially
 // (in ticks) and are abandoned after SecurityConfig.ReconcileMaxAttempts;
 // see Reconciler for the full control surface. Returns the number of
 // collections recovered.
-func (p *Peer) ReconcileMissing() int {
-	return p.reconciler.Tick()
+func (p *Peer) ReconcileMissing() int { return p.tickReconcile() }
+
+// tickReconcile runs one reconciler tick and flushes any recovered
+// private values to the state store, tagged with the current chain
+// height. A flush failure cannot be returned here (the tick API returns
+// a count), so it goes sticky in storageErr and fails the next commit.
+func (p *Peer) tickReconcile() int {
+	n := p.reconciler.Tick()
+	if n > 0 && p.backend != nil {
+		if err := p.flushState(p.blocks.Height()); err != nil {
+			p.storageMu.Lock()
+			if p.storageErr == nil {
+				p.storageErr = err
+			}
+			p.storageMu.Unlock()
+		}
+	}
+	return n
 }

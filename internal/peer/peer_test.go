@@ -31,8 +31,14 @@ func twoPeers(t *testing.T) (p1, p2 *Peer, clientID *identity.Identity) {
 	gos := gossip.NewNetwork()
 	id1, _ := ca1.Issue("peer0.org1", identity.RolePeer)
 	id2, _ := ca2.Issue("peer0.org2", identity.RolePeer)
-	p1 = New(Config{Identity: id1, Channel: cfg, Gossip: gos, Security: core.OriginalFabric()})
-	p2 = New(Config{Identity: id2, Channel: cfg, Gossip: gos, Security: core.OriginalFabric()})
+	p1, err = New(Config{Identity: id1, Channel: cfg, Gossip: gos, Security: core.OriginalFabric()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err = New(Config{Identity: id2, Channel: cfg, Gossip: gos, Security: core.OriginalFabric()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	clientID, _ = ca1.Issue("client0.org1", identity.RoleClient)
 	return p1, p2, clientID
 }

@@ -1,0 +1,301 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	_ "repro/internal/storage/durable" // register the durable backend
+)
+
+// StorageBackendResult reports one backend's scenario outcome: raw
+// state-log append cost, compaction cost, recovery (reopen + replay)
+// cost and the end-to-end transaction throughput of a network whose
+// peers all run on the backend.
+type StorageBackendResult struct {
+	// Backend is the registered backend name plus option suffix, e.g.
+	// "durable (no fsync)".
+	Backend string `json:"backend"`
+	// Fsync reports whether appends waited for fsync.
+	Fsync bool `json:"fsync"`
+
+	// ApplyNsPerBatch is the mean wall time of one StateStore.Apply.
+	ApplyNsPerBatch float64 `json:"apply_ns_per_batch"`
+	// ApplyNsPerRecord is ApplyNsPerBatch / records per batch.
+	ApplyNsPerRecord float64 `json:"apply_ns_per_record"`
+	// CompactNs is one full Compact pass over the written log.
+	CompactNs int64 `json:"compact_ns"`
+	// RecoverNs is close + reopen + full state replay (Load). For the
+	// memory backend — which loses everything on close — it is the
+	// replay of the live store only.
+	RecoverNs int64 `json:"recover_ns"`
+	// RecoveredRecords is how many records the recovery replay yielded.
+	RecoveredRecords int `json:"recovered_records"`
+
+	// TPS is end-to-end transactions per second of a three-org network
+	// whose peers persist through this backend (0 when the throughput
+	// stage is skipped).
+	TPS float64 `json:"tps"`
+	// Transactions is the TPS sample size.
+	Transactions int `json:"transactions"`
+}
+
+// StorageResult is the full storage scenario: the same workload run
+// against every backend variant.
+type StorageResult struct {
+	// Batches and RecordsPerBatch shape the raw-append workload; keys
+	// cycle over a quarter of the total so later batches overwrite
+	// earlier ones and compaction has garbage to reclaim.
+	Batches         int `json:"batches"`
+	RecordsPerBatch int `json:"records_per_batch"`
+	// ValueBytes is the payload size per record.
+	ValueBytes int `json:"value_bytes"`
+	// Clients and Txs shape the end-to-end throughput stage.
+	Clients int `json:"clients"`
+	Txs     int `json:"txs"`
+
+	Backends []StorageBackendResult `json:"backends"`
+}
+
+// storageVariant is one backend configuration under test.
+type storageVariant struct {
+	label   string
+	backend string
+	noFsync bool
+}
+
+// MeasureStorage runs the storage scenario (docs/STORAGE.md): raw
+// Apply/Compact/recover timings on each backend, then — unless txs is 0
+// — an end-to-end throughput run with every peer on that backend.
+func MeasureStorage(batches, recordsPerBatch, clients, txs int) (StorageResult, error) {
+	res := StorageResult{
+		Batches:         batches,
+		RecordsPerBatch: recordsPerBatch,
+		ValueBytes:      64,
+		Clients:         clients,
+		Txs:             txs,
+	}
+	variants := []storageVariant{
+		{label: "memory", backend: "memory"},
+		{label: "durable", backend: "durable"},
+		{label: "durable (no fsync)", backend: "durable", noFsync: true},
+	}
+	for _, v := range variants {
+		r, err := measureStorageVariant(v, res)
+		if err != nil {
+			return StorageResult{}, fmt.Errorf("perf: storage %s: %w", v.label, err)
+		}
+		res.Backends = append(res.Backends, r)
+	}
+	return res, nil
+}
+
+func measureStorageVariant(v storageVariant, cfg StorageResult) (StorageBackendResult, error) {
+	out := StorageBackendResult{Backend: v.label, Fsync: v.backend == "durable" && !v.noFsync}
+
+	var dir string
+	if v.backend == "durable" {
+		d, err := os.MkdirTemp("", "pdc-perf-storage-")
+		if err != nil {
+			return out, err
+		}
+		dir = d
+		defer os.RemoveAll(dir)
+	}
+	// Small segments so the workload seals several of them and the
+	// compaction pass has a real prefix to merge.
+	opts := storage.Options{
+		Dir:                    dir,
+		SegmentBytes:           256 << 10,
+		NoFsync:                v.noFsync,
+		NoBackgroundCompaction: true,
+	}
+	b, err := storage.Open(v.backend, opts)
+	if err != nil {
+		return out, err
+	}
+
+	// Raw append cost. Keys cycle over a quarter of the written records
+	// so most appends are overwrites — garbage for the compaction pass.
+	value := make([]byte, cfg.ValueBytes)
+	keySpace := cfg.Batches * cfg.RecordsPerBatch / 4
+	if keySpace < 1 {
+		keySpace = 1
+	}
+	seq := 0
+	start := time.Now()
+	for i := 0; i < cfg.Batches; i++ {
+		batch := storage.StateBatch{Height: uint64(i + 1)}
+		for j := 0; j < cfg.RecordsPerBatch; j++ {
+			k := seq % keySpace
+			batch.Records = append(batch.Records, storage.StateRecord{
+				Namespace: "bench",
+				Key:       "k" + strconv.Itoa(k),
+				Value:     value,
+				Version:   uint64(seq/keySpace + 1),
+			})
+			seq++
+		}
+		if err := b.State().Apply(batch); err != nil {
+			b.Close()
+			return out, err
+		}
+	}
+	elapsed := time.Since(start)
+	out.ApplyNsPerBatch = float64(elapsed.Nanoseconds()) / float64(cfg.Batches)
+	out.ApplyNsPerRecord = out.ApplyNsPerBatch / float64(cfg.RecordsPerBatch)
+
+	start = time.Now()
+	if err := b.State().Compact(); err != nil {
+		b.Close()
+		return out, err
+	}
+	out.CompactNs = time.Since(start).Nanoseconds()
+
+	// Recovery: for durable backends, close and reopen the directory and
+	// replay the state log; the memory backend replays in place.
+	count := func(s storage.StateStore) (int, error) {
+		n := 0
+		err := s.Load(func(batch storage.StateBatch) error {
+			n += len(batch.Records)
+			return nil
+		})
+		return n, err
+	}
+	if v.backend == "durable" {
+		if err := b.Close(); err != nil {
+			return out, err
+		}
+		start = time.Now()
+		b, err = storage.Open(v.backend, opts)
+		if err != nil {
+			return out, err
+		}
+		out.RecoveredRecords, err = count(b.State())
+		out.RecoverNs = time.Since(start).Nanoseconds()
+	} else {
+		start = time.Now()
+		out.RecoveredRecords, err = count(b.State())
+		out.RecoverNs = time.Since(start).Nanoseconds()
+	}
+	if cerr := b.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return out, err
+	}
+
+	// End-to-end throughput with every peer of the measurement network
+	// committing through this backend.
+	if cfg.Txs > 0 {
+		tps, done, err := storageThroughput(v, cfg.Clients, cfg.Txs)
+		if err != nil {
+			return out, err
+		}
+		out.TPS = tps
+		out.Transactions = done
+	}
+	return out, nil
+}
+
+// storageThroughput drives public transactions through a network whose
+// peers all persist via the given backend and reports tx/s.
+func storageThroughput(v storageVariant, clients, total int) (float64, int, error) {
+	sec := core.OriginalFabric()
+	sec.StorageBackend = v.backend
+	sec.StorageNoFsync = v.noFsync
+	if v.backend == "durable" {
+		dir, err := os.MkdirTemp("", "pdc-perf-net-")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		sec.StorageDir = dir
+	}
+	h, err := newHarness(sec)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer h.net.Close()
+
+	if clients < 1 {
+		clients = 1
+	}
+	perClient := total / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := h.net.Client("org1")
+			for i := 0; i < perClient; i++ {
+				key := "s" + strconv.Itoa(c) + "-" + strconv.Itoa(i)
+				if _, err := cl.SubmitTransaction(h.net.Peers(), "asset", "set", []string{key, "v"}, nil); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return 0, 0, err
+	}
+	done := clients * perClient
+	return float64(done) / elapsed.Seconds(), done, nil
+}
+
+// RenderStorage formats the storage scenario as a table.
+func RenderStorage(r StorageResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Storage backends (%d batches x %d records, %dB values; TPS over %d txs, %d clients)\n",
+		r.Batches, r.RecordsPerBatch, r.ValueBytes, r.Txs, r.Clients)
+	fmt.Fprintf(&b, "%-20s %-6s %14s %14s %12s %12s %8s\n",
+		"backend", "fsync", "apply ns/batch", "apply ns/rec", "compact ms", "recover ms", "tx/s")
+	for _, v := range r.Backends {
+		tps := "-"
+		if v.Transactions > 0 {
+			tps = fmt.Sprintf("%.0f", v.TPS)
+		}
+		fmt.Fprintf(&b, "%-20s %-6v %14.0f %14.0f %12.2f %12.2f %8s\n",
+			v.Backend, v.Fsync, v.ApplyNsPerBatch, v.ApplyNsPerRecord,
+			float64(v.CompactNs)/1e6, float64(v.RecoverNs)/1e6, tps)
+	}
+	fmt.Fprintf(&b, "recovery replays the compacted log: %d live records per durable reopen\n",
+		liveRecords(r))
+	return b.String()
+}
+
+// liveRecords returns the recovered-record count of the first durable
+// variant (they all replay the same workload).
+func liveRecords(r StorageResult) int {
+	for _, v := range r.Backends {
+		if v.Backend != "memory" {
+			return v.RecoveredRecords
+		}
+	}
+	return 0
+}
+
+// StorageJSON marshals the result as indented JSON (the committed
+// BENCH_storage.json baseline).
+func StorageJSON(r StorageResult) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fabcrypto"
 	"repro/internal/policy"
 	"repro/internal/statedb"
+	"repro/internal/storage"
 )
 
 // CollectionConfig mirrors the fields of Fabric's collection definition
@@ -206,6 +207,12 @@ type Store struct {
 	// purgeQueue maps committing-block -> private entries to purge at
 	// that block height, implementing BlockToLive.
 	purgeQueue map[uint64][]purgeEntry
+	// durable, when set, mirrors the purge queue to the peer's durable
+	// PvtStore so BlockToLive survives a restart (docs/STORAGE.md §7).
+	// Write failures are held sticky in durableErr and surfaced through
+	// DurableErr — the peer checks it before declaring a block durable.
+	durable    storage.PvtStore
+	durableErr error
 }
 
 type purgeEntry struct {
@@ -272,13 +279,60 @@ func (s *Store) HashedVersions(chaincode, collection string, keyHashes [][]byte)
 	return s.db.GetVersions(HashedNamespace(chaincode, collection), keys)
 }
 
+// SetDurable mirrors the purge queue to a durable PvtStore. Set once,
+// during peer construction, before any commit.
+func (s *Store) SetDurable(d storage.PvtStore) {
+	s.purgeMu.Lock()
+	s.durable = d
+	s.purgeMu.Unlock()
+}
+
+// DurableErr returns the first durable-write failure, if any. A store
+// with a sticky error has an incomplete durable purge queue; the peer
+// fails the in-flight commit so the gap is replayed on recovery.
+func (s *Store) DurableErr() error {
+	s.purgeMu.Lock()
+	defer s.purgeMu.Unlock()
+	return s.durableErr
+}
+
+// RestorePurges reloads the pending purge queue from the durable store
+// on recovery.
+func (s *Store) RestorePurges() error {
+	s.purgeMu.Lock()
+	d := s.durable
+	s.purgeMu.Unlock()
+	if d == nil {
+		return nil
+	}
+	return d.LoadPurges(func(e storage.PurgeEntry) error {
+		s.purgeMu.Lock()
+		s.purgeQueue[e.At] = append(s.purgeQueue[e.At], purgeEntry{namespace: e.Namespace, key: e.Key})
+		s.purgeMu.Unlock()
+		return nil
+	})
+}
+
 // SchedulePurge arranges for the private entry to be purged when the
-// chain reaches purgeAtBlock, implementing BlockToLive.
+// chain reaches purgeAtBlock, implementing BlockToLive. With a durable
+// store attached the schedule is journaled too; re-scheduling the same
+// entry during recovery replay is an idempotent duplicate.
 func (s *Store) SchedulePurge(purgeAtBlock uint64, chaincode, collection, key string) {
 	ns := PrivateNamespace(chaincode, collection)
 	s.purgeMu.Lock()
-	defer s.purgeMu.Unlock()
 	s.purgeQueue[purgeAtBlock] = append(s.purgeQueue[purgeAtBlock], purgeEntry{namespace: ns, key: key})
+	d := s.durable
+	s.purgeMu.Unlock()
+	if d == nil {
+		return
+	}
+	if err := d.SchedulePurge(storage.PurgeEntry{At: purgeAtBlock, Namespace: ns, Key: key}); err != nil {
+		s.purgeMu.Lock()
+		if s.durableErr == nil {
+			s.durableErr = err
+		}
+		s.purgeMu.Unlock()
+	}
 }
 
 // PurgeUpTo removes all private entries whose BlockToLive expired at or
@@ -293,9 +347,19 @@ func (s *Store) PurgeUpTo(blockNum uint64) int {
 		due = append(due, entries...)
 		delete(s.purgeQueue, at)
 	}
+	d := s.durable
 	s.purgeMu.Unlock()
 	for _, e := range due {
 		s.db.Delete(e.namespace, e.key)
+	}
+	if d != nil && len(due) > 0 {
+		if err := d.CompletePurge(blockNum); err != nil {
+			s.purgeMu.Lock()
+			if s.durableErr == nil {
+				s.durableErr = err
+			}
+			s.purgeMu.Unlock()
+		}
 	}
 	return len(due)
 }

@@ -1,0 +1,146 @@
+package statedb
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// JournalEntry is one resolved world-state mutation: the write as it
+// actually landed, version included (for deletes, the tombstone version
+// — the last live version of the key). The peer drains the journal
+// after each block commit and flushes it to the durable StateStore as
+// one atomic batch (docs/STORAGE.md §7, docs/STATEDB.md).
+type JournalEntry struct {
+	Namespace string
+	Key       string
+	Value     []byte
+	Version   Version
+	Delete    bool
+}
+
+// journal is the write-behind capture buffer of a DB. Entries are
+// appended inside the shard critical sections, so journal order agrees
+// with apply order for every key even under concurrent writers.
+type journal struct {
+	on int32 // atomic: skip capture entirely when disabled
+	mu sync.Mutex
+	es []JournalEntry
+}
+
+func (j *journal) enabled() bool { return atomic.LoadInt32(&j.on) != 0 }
+
+// record appends entries. Callers hold the shard lock(s) of every
+// entry's namespace; j.mu is a leaf lock below them.
+func (j *journal) record(es ...JournalEntry) {
+	j.mu.Lock()
+	j.es = append(j.es, es...)
+	j.mu.Unlock()
+}
+
+// EnableJournal switches on mutation capture. The peer enables it after
+// restoring from durable storage, so recovery replay is itself
+// journaled (and re-flushed) while the restore of already-durable state
+// is not. Idempotent.
+func (db *DB) EnableJournal() { atomic.StoreInt32(&db.journal.on, 1) }
+
+// JournalEnabled reports whether mutation capture is on.
+func (db *DB) JournalEnabled() bool { return db.journal.enabled() }
+
+// DrainJournal returns every entry captured since the previous drain
+// and empties the buffer. The peer calls it at a quiescent point (after
+// ValidateAndCommit returns, before the next block), so the drained
+// slice is exactly the mutation set of the work since the last drain.
+func (db *DB) DrainJournal() []JournalEntry {
+	db.journal.mu.Lock()
+	es := db.journal.es
+	db.journal.es = nil
+	db.journal.mu.Unlock()
+	return es
+}
+
+// RestoreBatch applies already-durable mutations with their recorded
+// versions, bypassing the journal: tombstone versions are installed so
+// later re-creations of deleted keys continue the version sequence, and
+// nothing is re-captured (the entries are durable already). Only used
+// while rebuilding state from a StateStore on open.
+func (db *DB) RestoreBatch(entries []JournalEntry) {
+	for _, e := range entries {
+		s := db.ensure(e.Namespace)
+		db.mu.RLock()
+		s.mu.Lock()
+		st := s.writable(db)
+		if e.Delete {
+			st.deleteAt(e.Key, e.Version)
+		} else {
+			st.putAt(e.Key, e.Value, e.Version)
+		}
+		s.mu.Unlock()
+		db.mu.RUnlock()
+	}
+}
+
+// deleteAt installs the tombstone of a delete replayed from durable
+// storage: version bookkeeping without requiring the key to be live.
+func (st *nsState) deleteAt(key string, ver Version) {
+	st.tombs[key] = ver
+	if _, live := st.data[key]; live {
+		delete(st.data, key)
+		st.removeKey(key)
+	}
+}
+
+// StateHash returns a canonical SHA-256 digest of the entire world
+// state: every namespace, every live tuple (key, version, value) and
+// every tombstone (key, version), all in sorted order. Two peers that
+// applied the same blocks — or one peer before a crash and after
+// recovery — produce byte-identical digests. Cost is a full scan;
+// intended for tests, doctoring checks and the storage benchmarks, not
+// the commit path.
+func (db *DB) StateHash() []byte {
+	snap := db.Snapshot()
+	defer snap.Release()
+
+	nss := make([]string, 0, len(snap.states))
+	for ns := range snap.states {
+		nss = append(nss, ns)
+	}
+	sort.Strings(nss)
+
+	h := sha256.New()
+	var num [8]byte
+	writeStr := func(s string) {
+		binary.BigEndian.PutUint64(num[:], uint64(len(s)))
+		h.Write(num[:])
+		h.Write([]byte(s))
+	}
+	for _, ns := range nss {
+		st := snap.states[ns]
+		if len(st.data) == 0 && len(st.tombs) == 0 {
+			continue
+		}
+		writeStr(ns)
+		for _, k := range st.keys {
+			vv := st.data[k]
+			writeStr(k)
+			binary.BigEndian.PutUint64(num[:], uint64(vv.Version))
+			h.Write(num[:])
+			binary.BigEndian.PutUint64(num[:], uint64(len(vv.Value)))
+			h.Write(num[:])
+			h.Write(vv.Value)
+		}
+		tombs := make([]string, 0, len(st.tombs))
+		for k := range st.tombs {
+			tombs = append(tombs, k)
+		}
+		sort.Strings(tombs)
+		for _, k := range tombs {
+			writeStr("\x00tomb\x00" + k)
+			binary.BigEndian.PutUint64(num[:], uint64(st.tombs[k]))
+			h.Write(num[:])
+		}
+	}
+	return h.Sum(nil)
+}

@@ -197,15 +197,18 @@ func (st *nsState) putAt(key string, value []byte, ver Version) {
 	st.data[key] = VersionedValue{Value: append([]byte(nil), value...), Version: ver}
 }
 
-func (st *nsState) delete(key string) bool {
+// delete removes a live key, returning the tombstone version recorded
+// for it (the version the key had when deleted). ok is false when the
+// key was not live.
+func (st *nsState) delete(key string) (Version, bool) {
 	vv, ok := st.data[key]
 	if !ok {
-		return false
+		return 0, false
 	}
 	st.tombs[key] = vv.Version
 	delete(st.data, key)
 	st.removeKey(key)
-	return true
+	return vv.Version, true
 }
 
 // nsStore is one namespace shard: a lock striping unit owning the
@@ -235,6 +238,11 @@ type DB struct {
 	mu  sync.RWMutex
 	nss map[string]*nsStore
 	obs Observer
+
+	// journal captures resolved mutations for the durable StateStore
+	// when enabled (see journal.go); disabled it costs one atomic load
+	// per write operation.
+	journal journal
 
 	stats struct {
 		gets, puts, deletes, rangeScans, snapshots, cowClones, batches uint64
@@ -367,6 +375,9 @@ func (db *DB) Put(ns, key string, value []byte) Version {
 	db.mu.RLock()
 	s.mu.Lock()
 	ver := s.writable(db).put(ns, key, value)
+	if db.journal.enabled() {
+		db.journal.record(JournalEntry{Namespace: ns, Key: key, Value: append([]byte(nil), value...), Version: ver})
+	}
 	s.mu.Unlock()
 	db.mu.RUnlock()
 	return ver
@@ -381,6 +392,9 @@ func (db *DB) PutAtVersion(ns, key string, value []byte, ver Version) {
 	db.mu.RLock()
 	s.mu.Lock()
 	s.writable(db).putAt(key, value, ver)
+	if db.journal.enabled() {
+		db.journal.record(JournalEntry{Namespace: ns, Key: key, Value: append([]byte(nil), value...), Version: ver})
+	}
 	s.mu.Unlock()
 	db.mu.RUnlock()
 }
@@ -399,7 +413,10 @@ func (db *DB) Delete(ns, key string) {
 	// Clone only when the key is live; deleting an absent key must not
 	// copy-on-write the namespace.
 	if _, live := s.st.data[key]; live {
-		s.writable(db).delete(key)
+		ver, ok := s.writable(db).delete(key)
+		if ok && db.journal.enabled() {
+			db.journal.record(JournalEntry{Namespace: ns, Key: key, Version: ver, Delete: true})
+		}
 	}
 	s.mu.Unlock()
 	db.mu.RUnlock()
@@ -453,19 +470,33 @@ func (db *DB) ApplyBatch(writes []Write) {
 	for _, ns := range names {
 		states[ns] = shards[ns].writable(db)
 	}
+	capture := db.journal.enabled()
+	var entries []JournalEntry
 	for _, w := range writes {
 		st := states[w.Namespace]
 		switch {
 		case w.IsDelete:
 			atomic.AddUint64(&db.stats.deletes, 1)
-			st.delete(w.Key)
+			ver, ok := st.delete(w.Key)
+			if ok && capture {
+				entries = append(entries, JournalEntry{Namespace: w.Namespace, Key: w.Key, Version: ver, Delete: true})
+			}
 		case w.Version != 0:
 			atomic.AddUint64(&db.stats.puts, 1)
 			st.putAt(w.Key, w.Value, w.Version)
+			if capture {
+				entries = append(entries, JournalEntry{Namespace: w.Namespace, Key: w.Key, Value: append([]byte(nil), w.Value...), Version: w.Version})
+			}
 		default:
 			atomic.AddUint64(&db.stats.puts, 1)
-			st.put(w.Namespace, w.Key, w.Value)
+			ver := st.put(w.Namespace, w.Key, w.Value)
+			if capture {
+				entries = append(entries, JournalEntry{Namespace: w.Namespace, Key: w.Key, Value: append([]byte(nil), w.Value...), Version: ver})
+			}
 		}
+	}
+	if len(entries) > 0 {
+		db.journal.record(entries...)
 	}
 	for i := len(names) - 1; i >= 0; i-- {
 		shards[names[i]].mu.Unlock()

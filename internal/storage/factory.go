@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Options parameterizes a backend. Backends ignore the fields they have
+// no use for (the memory backend ignores everything).
+type Options struct {
+	// Dir is the backend's root directory (durable backends only). Each
+	// peer gets its own directory; the durable backend lays out
+	// Dir/blocks, Dir/state and Dir/pvt under it.
+	Dir string
+	// SegmentBytes caps the active segment size before it is sealed and
+	// a new one opened. 0 selects the backend default (4 MiB).
+	SegmentBytes int64
+	// CompactGarbageRatio triggers compaction of the sealed-segment
+	// prefix when the fraction of superseded bytes exceeds it. 0 selects
+	// the backend default (0.5); negative disables automatic compaction
+	// (Compact can still be called explicitly).
+	CompactGarbageRatio float64
+	// NoFsync skips fsync on appends — the process-crash-only durability
+	// mode, for benchmarks that want to isolate write-path cost from
+	// disk sync cost. Never use it for data that must survive power
+	// loss.
+	NoFsync bool
+	// NoBackgroundCompaction disables the compactor goroutine; tests
+	// drive Compact explicitly for determinism.
+	NoBackgroundCompaction bool
+}
+
+// Factory builds a backend from options.
+type Factory func(opts Options) (Backend, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register makes a backend constructable by name through Open.
+// Registering a duplicate name panics (a wiring bug, like
+// database/sql.Register).
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("storage: Register called twice for backend %q", name))
+	}
+	registry[name] = f
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open constructs the named backend. The "durable" backend lives in
+// internal/storage/durable and registers itself on import; callers that
+// want it must import that package (the peer does).
+func Open(name string, opts Options) (Backend, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownBackend, name, Backends())
+	}
+	b, err := f(opts)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %q: %w", name, err)
+	}
+	return b, nil
+}
+
+func init() {
+	Register("memory", func(Options) (Backend, error) { return NewMemory(), nil })
+	Register("null", func(Options) (Backend, error) { return NewNull(), nil })
+}

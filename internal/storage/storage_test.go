@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+func TestOpenUnknownBackend(t *testing.T) {
+	if _, err := Open("no-such-backend", Options{}); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("Open unknown: got %v, want ErrUnknownBackend", err)
+	}
+}
+
+func TestRegisteredBackends(t *testing.T) {
+	names := Backends()
+	for _, want := range []string{"memory", "null"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("backend %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+func TestMemoryBlockStore(t *testing.T) {
+	b, err := Open("memory", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := b.Blocks()
+	b0 := ledger.NewBlock(0, nil, nil)
+	b1 := ledger.NewBlock(1, b0.Hash(), nil)
+	if err := blocks.Append(b0); err != nil {
+		t.Fatal(err)
+	}
+	if err := blocks.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := blocks.Append(b1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-order append: got %v, want ErrCorrupt", err)
+	}
+	if h := blocks.Height(); h != 2 {
+		t.Fatalf("height = %d, want 2", h)
+	}
+	got, err := blocks.ReadAll()
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ReadAll = %d blocks, err %v", len(got), err)
+	}
+}
+
+func TestMemoryStateStoreLatestWins(t *testing.T) {
+	b, _ := Open("memory", Options{})
+	st := b.State()
+	if err := st.Apply(StateBatch{Height: 1, Records: []StateRecord{
+		{Namespace: "ns", Key: "a", Value: []byte("v1"), Version: 1},
+		{Namespace: "ns", Key: "b", Value: []byte("w1"), Version: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(StateBatch{Height: 2, Records: []StateRecord{
+		{Namespace: "ns", Key: "a", Value: []byte("v2"), Version: 2},
+		{Namespace: "ns", Key: "b", Version: 1, Delete: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if w := st.Watermark(); w != 2 {
+		t.Fatalf("watermark = %d, want 2", w)
+	}
+	var batches []StateBatch
+	if err := st.Load(func(b StateBatch) error { batches = append(batches, b); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("Load emitted %d batches, want 1", len(batches))
+	}
+	got := batches[0]
+	if got.Height != 2 || len(got.Records) != 2 {
+		t.Fatalf("Load batch = height %d, %d records", got.Height, len(got.Records))
+	}
+	if got.Records[0].Key != "a" || string(got.Records[0].Value) != "v2" || got.Records[0].Version != 2 {
+		t.Fatalf("record a = %+v", got.Records[0])
+	}
+	if got.Records[1].Key != "b" || !got.Records[1].Delete || got.Records[1].Version != 1 {
+		t.Fatalf("record b should be the version-1 tombstone, got %+v", got.Records[1])
+	}
+}
+
+func TestMemoryPvtStore(t *testing.T) {
+	b, _ := Open("memory", Options{})
+	pvt := b.Pvt()
+	for _, e := range []PurgeEntry{
+		{At: 10, Namespace: "ns", Key: "k1"},
+		{At: 5, Namespace: "ns", Key: "k2"},
+		{At: 20, Namespace: "ns", Key: "k3"},
+	} {
+		if err := pvt.SchedulePurge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pvt.CompletePurge(10); err != nil {
+		t.Fatal(err)
+	}
+	var purges []PurgeEntry
+	if err := pvt.LoadPurges(func(e PurgeEntry) error { purges = append(purges, e); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(purges) != 1 || purges[0].At != 20 {
+		t.Fatalf("pending purges = %+v, want only At=20", purges)
+	}
+
+	m := MissingEntry{TxID: "tx1", Collection: "coll"}
+	if err := pvt.RecordMissing(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := pvt.RecordMissing(m); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	var missing []MissingEntry
+	pvt.LoadMissing(func(e MissingEntry) error { missing = append(missing, e); return nil })
+	if len(missing) != 1 {
+		t.Fatalf("missing = %+v, want 1 entry", missing)
+	}
+	if err := pvt.ResolveMissing(m); err != nil {
+		t.Fatal(err)
+	}
+	missing = nil
+	pvt.LoadMissing(func(e MissingEntry) error { missing = append(missing, e); return nil })
+	if len(missing) != 0 {
+		t.Fatalf("missing after resolve = %+v, want none", missing)
+	}
+}
+
+func TestNullBackendDiscards(t *testing.T) {
+	b, err := Open("null", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.State().Apply(StateBatch{Height: 9, Records: []StateRecord{{Namespace: "n", Key: "k"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if w := b.State().Watermark(); w != 0 {
+		t.Fatalf("null watermark = %d, want 0", w)
+	}
+	called := false
+	b.State().Load(func(StateBatch) error { called = true; return nil })
+	if called {
+		t.Fatal("null Load should replay nothing")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/pvtdata"
 	"repro/internal/rwset"
 	"repro/internal/statedb"
+	"repro/internal/storage"
 )
 
 // Validator is the committing engine of one peer.
@@ -55,6 +56,12 @@ type Validator struct {
 	// goroutine.
 	missingMu sync.Mutex
 	missing   map[string][]string
+
+	// durable, when set, mirrors the missing records to the peer's
+	// durable PvtStore so reconciliation work survives a restart.
+	// Failures go sticky in durableErr, surfaced via DurableErr.
+	durable    storage.PvtStore
+	durableErr error
 }
 
 // Config wires a Validator.
@@ -76,6 +83,9 @@ type Config struct {
 	// Timings, when non-nil, receives the per-phase validation latency
 	// histograms (metrics.ValidateVerify/Policy/MVCC/Commit).
 	Timings *metrics.Timings
+	// Durable, when non-nil, receives missing-private-data records so the
+	// reconciler's work queue survives a restart (docs/STORAGE.md §7).
+	Durable storage.PvtStore
 }
 
 // New creates a validator.
@@ -95,7 +105,63 @@ func New(cfg Config) *Validator {
 		sec:        cfg.Security,
 		counters:   cfg.Metrics,
 		timings:    cfg.Timings,
+		durable:    cfg.Durable,
 		missing:    make(map[string][]string),
+	}
+}
+
+// DurableErr returns the first failure writing a missing-private-data
+// record to the durable store, if any. The peer checks it before
+// declaring a block durable, so a lost record forces replay.
+func (v *Validator) DurableErr() error {
+	v.missingMu.Lock()
+	defer v.missingMu.Unlock()
+	return v.durableErr
+}
+
+// RestoreMissing reloads the missing-private-data records from the
+// durable store on recovery, before block replay re-records (and
+// dedupes against) whatever the replayed blocks still miss.
+func (v *Validator) RestoreMissing() error {
+	if v.durable == nil {
+		return nil
+	}
+	return v.durable.LoadMissing(func(e storage.MissingEntry) error {
+		v.missingMu.Lock()
+		v.addMissingLocked(e.TxID, e.Collection)
+		v.missingMu.Unlock()
+		return nil
+	})
+}
+
+// addMissingLocked records a missing (txID, collection) pair, deduped —
+// recovery replay revisits blocks whose records were already restored.
+// Caller holds missingMu.
+func (v *Validator) addMissingLocked(txID, collection string) bool {
+	for _, c := range v.missing[txID] {
+		if c == collection {
+			return false
+		}
+	}
+	v.missing[txID] = append(v.missing[txID], collection)
+	return true
+}
+
+// recordMissing registers a missing entry in memory and, when a durable
+// store is attached, on disk. Duplicate records are no-ops end to end.
+func (v *Validator) recordMissing(txID, collection string) {
+	v.missingMu.Lock()
+	fresh := v.addMissingLocked(txID, collection)
+	v.missingMu.Unlock()
+	if !fresh || v.durable == nil {
+		return
+	}
+	if err := v.durable.RecordMissing(storage.MissingEntry{TxID: txID, Collection: collection}); err != nil {
+		v.missingMu.Lock()
+		if v.durableErr == nil {
+			v.durableErr = err
+		}
+		v.missingMu.Unlock()
 	}
 }
 
@@ -196,6 +262,15 @@ func (v *Validator) ReconcileOne(txID, collection string) bool {
 		v.missing[txID] = remaining
 	}
 	v.missingMu.Unlock()
+	if v.durable != nil {
+		if err := v.durable.ResolveMissing(storage.MissingEntry{TxID: txID, Collection: collection}); err != nil {
+			v.missingMu.Lock()
+			if v.durableErr == nil {
+				v.durableErr = err
+			}
+			v.missingMu.Unlock()
+		}
+	}
 	return true
 }
 
@@ -672,9 +747,7 @@ func (v *Validator) commitTx(blockNum uint64, tx *ledger.Transaction) {
 			}
 		}
 		if member && orig == nil {
-			v.missingMu.Lock()
-			v.missing[tx.TxID] = append(v.missing[tx.TxID], cs.Collection)
-			v.missingMu.Unlock()
+			v.recordMissing(tx.TxID, cs.Collection)
 		}
 	}
 	v.transient.Purge(tx.TxID)
