@@ -20,7 +20,13 @@
 // -storage compares the storage backends (docs/STORAGE.md): raw
 // state-log append cost with and without fsync, compaction and
 // recovery-replay cost, and end-to-end throughput with every peer on
-// each backend; -json writes BENCH_storage.json.
+// each backend; -json writes BENCH_storage.json. -load runs the
+// closed-loop load-generation scenario (docs/LOAD.md): a fleet of
+// paced Gateway clients sweeps the aggregate arrival rate across three
+// workload mixes (Zipfian hotspot, MVCC-conflict-heavy, large values)
+// until the commit pipeline's knee, then demonstrates the overload and
+// duplicate machinery (admission shedding, abandoned-handle cleanup,
+// dedup-cache rejections); -json writes BENCH_e2e.json.
 //
 // Usage:
 //
@@ -32,6 +38,7 @@
 //	fabricbench -deliver        # commit-notification latency scenario
 //	fabricbench -statedb -json  # world-state scenario + JSON baseline
 //	fabricbench -storage -json  # storage-backend scenario + JSON baseline
+//	fabricbench -load -json     # closed-loop rate sweep + JSON baseline
 package main
 
 import (
@@ -39,8 +46,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/loadgen"
 	"repro/internal/perf"
 )
 
@@ -72,6 +82,11 @@ func run(args []string) error {
 	statedbKeys := fs.Int("statedb-keys", 10000, "keys per namespace for -statedb")
 	orderFlag := fs.Bool("order", false, "run the ordering-throughput grid (batch sizes 1/10/100 x 1/4/16 submitters) plus the raft ProposeBatch comparison")
 	orderTxs := fs.Int("order-txs", 2000, "transactions per grid cell for -order")
+	loadFlag := fs.Bool("load", false, "run the closed-loop load scenario (arrival-rate sweep per workload mix to the knee, plus the overload/duplicate machinery demo)")
+	loadClients := fs.Int("load-clients", 8, "simulated Gateway clients for -load")
+	loadTxs := fs.Int("load-txs", 40, "scheduled transactions per client per sweep point for -load")
+	loadBatch := fs.Int("load-batch", 32, "orderer batch size for -load")
+	loadRates := fs.String("load-rates", "100,200,400,800,1600", "comma-separated aggregate arrival rates (tx/s) for the -load sweep")
 	storageFlag := fs.Bool("storage", false, "run the storage-backend scenario (append/compact/recover cost and end-to-end TPS per backend)")
 	storageBatches := fs.Int("storage-batches", 400, "state batches for the -storage raw-append stage")
 	storageRecords := fs.Int("storage-records", 32, "records per batch for -storage")
@@ -95,6 +110,38 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", path)
+		return nil
+	}
+
+	if *loadFlag {
+		var rates []float64
+		for _, f := range strings.Split(*loadRates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || r <= 0 {
+				return fmt.Errorf("-load-rates: bad rate %q", f)
+			}
+			rates = append(rates, r)
+		}
+		fmt.Printf("Measuring closed-loop load (%d clients, %d tx/client/point, rates %s tx/s)...\n\n",
+			*loadClients, *loadTxs, *loadRates)
+		r, err := loadgen.MeasureE2E(loadgen.Config{
+			Clients:   *loadClients,
+			BatchSize: *loadBatch,
+		}, *loadTxs, rates)
+		if err != nil {
+			return err
+		}
+		fmt.Print(loadgen.Render(r))
+		if *jsonFlag {
+			out, err := loadgen.E2EJSON(r)
+			if err != nil {
+				return err
+			}
+			if err := writeJSON(out, "BENCH_e2e.json"); err != nil {
+				return err
+			}
+		}
+		// The load scenario builds its own networks; skip the Fig. 11 run.
 		return nil
 	}
 

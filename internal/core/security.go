@@ -103,6 +103,25 @@ type SecurityConfig struct {
 	// cost from disk sync cost. Never enable it for data that must
 	// survive power loss.
 	StorageNoFsync bool
+
+	// DedupCacheSize caps the validator's sharded duplicate-TxID cache
+	// (internal/dedup), which rejects replayed submissions before
+	// endorsement-signature verification without taking the block
+	// store's global lock. 0 selects dedup.DefaultCapacity; negative
+	// disables the cache (every replay check goes to the block store).
+	DedupCacheSize int
+
+	// GatewayAdmissionRate is the per-gateway token-bucket refill rate in
+	// transactions per second; submissions beyond it are shed with
+	// gateway.ErrOverloaded before endorsement fan-out. 0 disables
+	// admission control (every submission is admitted).
+	GatewayAdmissionRate float64
+
+	// GatewayAdmissionBurst is the token bucket's capacity — how many
+	// submissions may arrive back-to-back before pacing kicks in. 0
+	// selects max(1, round(GatewayAdmissionRate)). Ignored when
+	// GatewayAdmissionRate is 0.
+	GatewayAdmissionBurst int
 }
 
 // OriginalFabric is the unmodified framework configuration.

@@ -342,6 +342,14 @@ func (s *Service) SubscribeLive() *Subscription {
 	return sub
 }
 
+// SubscriberCount returns the number of live subscriptions. Leak tests
+// use it to assert that abandoned commit handles release their streams.
+func (s *Service) SubscriberCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
 // Subscription is one consumer's bounded event stream.
 type Subscription struct {
 	svc *Service

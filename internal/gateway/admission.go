@@ -1,0 +1,90 @@
+// Gateway-side admission control: a token bucket shed submissions that
+// arrive faster than the configured rate, before any endorsement work is
+// done. Under overload the expensive part of a submission is the
+// endorsement fan-out (per-peer simulation and ECDSA signing) followed
+// by ordering — shedding ahead of both keeps the gateway's cost per
+// rejected transaction near zero, which is what makes the rejection an
+// effective overload signal instead of another source of load.
+package gateway
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ErrOverloaded rejects a submission shed by gateway admission control.
+// It is retryable: the transaction was never endorsed or ordered, so the
+// client may simply resubmit after a backoff (see docs/PROTOCOL.md).
+var ErrOverloaded = errors.New("gateway: overloaded, retry later")
+
+// tokenBucket is a standard rate-limiter: `rate` tokens per second
+// refill a bucket of `burst` capacity; each admitted submission takes
+// one token. The refill is computed lazily from the wall clock on every
+// allow call, so there is no background goroutine.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket builds a bucket from the SecurityConfig knobs: rate 0
+// disables admission control entirely (nil bucket); burst 0 defaults to
+// max(1, round(rate)) so one second of arrivals can burst through.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = rate + 0.5
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: time.Now()}
+}
+
+// allow takes one token if available and reports whether the submission
+// is admitted.
+func (tb *tokenBucket) allow() bool {
+	now := time.Now()
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	elapsed := now.Sub(tb.last).Seconds()
+	if elapsed > 0 {
+		tb.tokens += elapsed * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		tb.last = now
+	}
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// admit runs the admission check for one submission, maintaining the
+// gateway_admitted/gateway_shed counters. With admission control off
+// (rate 0) every submission is admitted.
+func (g *Gateway) admit() error {
+	g.mu.RLock()
+	tb := g.admission
+	g.mu.RUnlock()
+	if tb != nil && !tb.allow() {
+		if g.counters != nil {
+			g.counters.Inc(metrics.GatewayShed)
+		}
+		return ErrOverloaded
+	}
+	if g.counters != nil {
+		g.counters.Inc(metrics.GatewayAdmitted)
+	}
+	return nil
+}

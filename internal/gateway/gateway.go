@@ -15,6 +15,7 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -50,6 +51,10 @@ type Options struct {
 	// Timings, when non-nil, receives the deliver_commit_wait histogram
 	// (submit→commit-notified latency per transaction).
 	Timings *metrics.Timings
+	// Metrics, when non-nil, receives the gateway_admitted/gateway_shed
+	// admission counters and gateway_flushes. Several gateways may share
+	// one counter set (e.g. all simulated clients of a load run).
+	Metrics *metrics.Counters
 }
 
 // Gateway is one client's connection to the network: an identity plus
@@ -63,9 +68,11 @@ type Gateway struct {
 	commitPeer    *peer.Peer
 	commitTimeout time.Duration
 	timings       *metrics.Timings
+	counters      *metrics.Counters
 
-	mu  sync.RWMutex
-	sec core.SecurityConfig
+	mu        sync.RWMutex
+	sec       core.SecurityConfig
+	admission *tokenBucket // nil = admission control off
 }
 
 // Connect opens a gateway for a client identity over its peers. The
@@ -80,7 +87,9 @@ func Connect(id *identity.Identity, opts Options, peers ...*peer.Peer) *Gateway 
 		commitPeer:    opts.CommitPeer,
 		commitTimeout: opts.CommitTimeout,
 		timings:       opts.Timings,
+		counters:      opts.Metrics,
 		sec:           opts.Security,
+		admission:     newTokenBucket(opts.Security.GatewayAdmissionRate, opts.Security.GatewayAdmissionBurst),
 	}
 	if g.commitTimeout <= 0 {
 		g.commitTimeout = DefaultCommitTimeout
@@ -111,11 +120,13 @@ func (g *Gateway) Identity() *identity.Identity { return g.id }
 // watches for commit status.
 func (g *Gateway) CommitPeer() *peer.Peer { return g.commitPeer }
 
-// SetSecurity swaps the active security configuration.
+// SetSecurity swaps the active security configuration, rebuilding the
+// admission token bucket from the new rate/burst knobs.
 func (g *Gateway) SetSecurity(sec core.SecurityConfig) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.sec = sec
+	g.admission = newTokenBucket(sec.GatewayAdmissionRate, sec.GatewayAdmissionBurst)
 }
 
 func (g *Gateway) security() core.SecurityConfig {
@@ -265,8 +276,18 @@ func (c *Contract) Submit(ctx context.Context, function string, opts ...CallOpti
 // SubmitAsync endorses and orders the transaction, returning as soon as
 // the orderer accepted it. The caller collects the final validation code
 // later through Commit.Status (and must Close the Commit when done).
+//
+// Admission control (SecurityConfig.GatewayAdmissionRate) runs first:
+// a shed submission returns ErrOverloaded before any endorsement work —
+// no proposal is built, no peer is contacted — so the client may retry
+// after a backoff at near-zero server cost. Callers that assemble
+// transactions themselves and enter through SubmitAssembledAsync bypass
+// the check (they are trusted harness/adapter paths, not clients).
 func (c *Contract) SubmitAsync(ctx context.Context, function string, opts ...CallOption) (*Commit, error) {
 	if err := c.checkChannel(); err != nil {
+		return nil, err
+	}
+	if err := c.g.admit(); err != nil {
 		return nil, err
 	}
 	o := c.options(opts)
@@ -312,7 +333,14 @@ type Commit struct {
 	sub       *deliver.Subscription
 	submitted time.Time
 
-	once   sync.Once
+	// mu serializes waiters (it is held across the blocking stream
+	// wait, so concurrent Status calls never race on the shared
+	// subscription); done latches a terminal outcome into result/err.
+	// A ctx cancellation or deadline is NOT terminal: it is returned to
+	// that caller but latches nothing and leaves the subscription open,
+	// so a later Status call with a fresh context can still succeed.
+	mu     sync.Mutex
+	done   bool
 	result *Result
 	err    error
 }
@@ -323,20 +351,44 @@ func (c *Commit) TxID() string { return c.txID }
 // Status blocks until the transaction's final commit-status event
 // arrives on the deliver stream, honoring ctx; without a ctx deadline
 // the gateway's commit timeout applies. If the transaction sits in a
-// partial orderer batch, the batch is flushed first — asking for the
-// status is the signal that the caller wants the block cut now.
+// partial orderer batch, a targeted flush is requested first — asking
+// for the status is the signal that the caller wants the block cut now.
+//
+// An error derived from the caller's context (cancellation or deadline)
+// is transient: Status may be called again and will pick the wait back
+// up. Any other outcome — the final commit status, or a failed
+// subscription — is latched and returned to every subsequent call.
 func (c *Commit) Status(ctx context.Context) (*Result, error) {
-	c.once.Do(func() { c.result, c.err = c.wait(ctx) })
-	return c.result, c.err
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return c.result, c.err
+	}
+	res, err, terminal := c.wait(ctx)
+	if terminal {
+		c.done = true
+		c.result, c.err = res, err
+		c.sub.Close()
+	}
+	return res, err
 }
 
-func (c *Commit) wait(ctx context.Context) (*Result, error) {
-	defer c.sub.Close()
+// wait performs one blocking attempt to obtain the commit status. The
+// third return reports whether the outcome is terminal (latch + close
+// the subscription) or ctx-derived (leave everything open for a retry).
+func (c *Commit) wait(ctx context.Context) (*Result, error, bool) {
 	st := c.sub.TryTxStatus(c.txID)
 	if st == nil {
-		// Not committed yet: cut any partial batch holding the tx, then
-		// block on the stream.
-		c.g.orderer.Flush()
+		// Not committed yet. Cut the partial batch only when this
+		// transaction is actually sitting in it — an unconditional flush
+		// here would let N concurrent waiters degenerate batching to one
+		// transaction per block.
+		if c.g.orderer.InPending(c.txID) {
+			c.g.orderer.FlushTx(c.txID)
+			if c.g.counters != nil {
+				c.g.counters.Inc(metrics.GatewayFlushes)
+			}
+		}
 		wctx := ctx
 		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 			var cancel context.CancelFunc
@@ -346,7 +398,11 @@ func (c *Commit) wait(ctx context.Context) (*Result, error) {
 		var err error
 		st, err = c.sub.WaitTxStatus(wctx, c.txID)
 		if err != nil {
-			return nil, fmt.Errorf("%w: tx %s: %v", ErrCommitStatusUnavailable, c.txID, err)
+			// Cancellation and deadline expiry (the caller's own, or the
+			// gateway commit timeout derived above) are retryable; a dead
+			// subscription (closed, or evicted as a slow consumer) is not.
+			terminal := !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+			return nil, fmt.Errorf("%w: tx %s: %v", ErrCommitStatusUnavailable, c.txID, err), terminal
 		}
 	}
 	wait := time.Since(c.submitted)
@@ -362,10 +418,15 @@ func (c *Commit) wait(ctx context.Context) (*Result, error) {
 		Event:              st.ChaincodeEvent,
 		MissingCollections: st.MissingCollections,
 		CommitWait:         wait,
-	}, nil
+	}, nil, true
 }
 
-// Close releases the commit's deliver subscription. Safe after Status.
+// Close releases the commit's deliver subscription: every SubmitAsync
+// handle must be closed (or driven to a terminal Status) or its
+// subscription keeps receiving every block until slow-consumer eviction.
+// Close is idempotent with the close Status performs on a terminal
+// outcome, and safe concurrently with a blocked Status — which then
+// returns ErrCommitStatusUnavailable.
 func (c *Commit) Close() { c.sub.Close() }
 
 // SubmitAssembledAsync orders a pre-assembled transaction and returns a

@@ -1,0 +1,258 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deliver"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/orderer"
+)
+
+// commitFixture hand-builds a Commit over a real deliver service and a
+// real (empty) orderer, exactly as SubmitAssembledAsync would have,
+// without needing endorsing peers.
+type commitFixture struct {
+	svc *deliver.Service
+	ord *orderer.Service
+	tx  *ledger.Transaction
+}
+
+func newCommitFixture(t *testing.T) (*commitFixture, *Commit) {
+	t.Helper()
+	svc := deliver.New(deliver.Config{Source: ledger.NewBlockStore()})
+	ord := orderer.New(orderer.Config{OrdererCount: 3, BatchSize: 8, Seed: 7})
+	ord.RegisterDelivery(func(*ledger.Block) {})
+	t.Cleanup(ord.Stop)
+	g := &Gateway{orderer: ord, commitTimeout: DefaultCommitTimeout}
+	tx := &ledger.Transaction{
+		TxID:            "tx-under-test",
+		ChannelID:       "testchan",
+		Proposal:        &ledger.Proposal{TxID: "tx-under-test", Chaincode: "cc", Function: "set"},
+		ResponsePayload: []byte(`{"tx_id":"tx-under-test"}`),
+	}
+	sub := svc.SubscribeLive()
+	c := &Commit{g: g, txID: tx.TxID, payload: []byte("ok"), sub: sub, submitted: time.Now()}
+	return &commitFixture{svc: svc, ord: ord, tx: tx}, c
+}
+
+// publishTx commits the fixture transaction: a block containing it,
+// flagged VALID, is published to the delivery service.
+func (f *commitFixture) publishTx() {
+	b := ledger.NewBlock(0, nil, []*ledger.Transaction{f.tx})
+	b.Metadata.ValidationFlags[0] = ledger.Valid
+	f.svc.Publish(b)
+}
+
+// TestStatusRetryAfterCtxError is the sticky-error regression test: a
+// Status call that dies on the caller's context must not latch the error
+// or close the subscription — a second call with a healthy context has
+// to observe the commit. On the pre-fix code (sync.Once + unconditional
+// subscription close) the second call returns the first call's
+// cancellation error.
+func TestStatusRetryAfterCtxError(t *testing.T) {
+	f, c := newCommitFixture(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the first wait dies immediately on ctx
+	if _, err := c.Status(ctx); !errors.Is(err, ErrCommitStatusUnavailable) {
+		t.Fatalf("first Status: got err %v, want ErrCommitStatusUnavailable", err)
+	}
+
+	f.publishTx() // the transaction commits after the failed wait
+
+	res, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatalf("second Status after transient cancellation: %v", err)
+	}
+	if res.TxID != "tx-under-test" || res.Code != ledger.Valid {
+		t.Fatalf("second Status: got %+v, want VALID tx-under-test", res)
+	}
+}
+
+// TestStatusRetryAfterDeadline exercises the same path through a
+// deadline expiry instead of an explicit cancel.
+func TestStatusRetryAfterDeadline(t *testing.T) {
+	f, c := newCommitFixture(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := c.Status(ctx); !errors.Is(err, ErrCommitStatusUnavailable) {
+		t.Fatalf("first Status: got err %v, want ErrCommitStatusUnavailable", err)
+	}
+
+	f.publishTx()
+
+	if _, err := c.Status(context.Background()); err != nil {
+		t.Fatalf("second Status after deadline expiry: %v", err)
+	}
+}
+
+// TestStatusLatchesResult asserts a successful outcome is latched: later
+// calls return the same Result without touching the (closed) stream.
+func TestStatusLatchesResult(t *testing.T) {
+	f, c := newCommitFixture(t)
+	f.publishTx()
+
+	first, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	again, err := c.Status(context.Background())
+	if err != nil || again != first {
+		t.Fatalf("latched Status: got (%p, %v), want (%p, nil)", again, err, first)
+	}
+}
+
+// TestStatusTerminalAfterClose asserts that a dead subscription is a
+// terminal outcome: once the handle is closed, Status fails and stays
+// failed even after a healthy retry.
+func TestStatusTerminalAfterClose(t *testing.T) {
+	f, c := newCommitFixture(t)
+	c.Close()
+	if _, err := c.Status(context.Background()); !errors.Is(err, ErrCommitStatusUnavailable) {
+		t.Fatalf("Status after Close: got %v, want ErrCommitStatusUnavailable", err)
+	}
+	f.publishTx()
+	if _, err := c.Status(context.Background()); !errors.Is(err, ErrCommitStatusUnavailable) {
+		t.Fatalf("Status stays terminal after Close: got %v", err)
+	}
+}
+
+// TestCloseIdempotent: Close may be called repeatedly and after a
+// terminal Status (which closes internally) without panicking, and it
+// must release the deliver subscription exactly once.
+func TestCloseIdempotent(t *testing.T) {
+	f, c := newCommitFixture(t)
+	if n := f.svc.SubscriberCount(); n != 1 {
+		t.Fatalf("SubscriberCount before Close = %d, want 1", n)
+	}
+	c.Close()
+	c.Close()
+	if n := f.svc.SubscriberCount(); n != 0 {
+		t.Fatalf("SubscriberCount after Close = %d, want 0", n)
+	}
+
+	// And the other order: terminal Status first, Close after.
+	f2, c2 := newCommitFixture(t)
+	f2.publishTx()
+	if _, err := c2.Status(context.Background()); err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	c2.Close()
+	if n := f2.svc.SubscriberCount(); n != 0 {
+		t.Fatalf("SubscriberCount after Status+Close = %d, want 0", n)
+	}
+}
+
+// TestConcurrentStatusSingleWinner: many goroutines calling Status on
+// one handle must all observe the same Result with no race on the
+// shared subscription.
+func TestConcurrentStatusSingleWinner(t *testing.T) {
+	f, c := newCommitFixture(t)
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]*Result, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Status(context.Background())
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters block on the stream
+	f.publishTx()
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d saw a different Result", i)
+		}
+	}
+}
+
+// TestAdmissionPrecedesEndorsement: with a one-token bucket, the first
+// submission is admitted (and fails later, at endorsement, for lack of
+// endorsers) while the second is shed with ErrOverloaded before any
+// endorsement work — proving the admission check runs first.
+func TestAdmissionPrecedesEndorsement(t *testing.T) {
+	ca, err := identity.NewCA("org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ca.Issue("client0.org1", identity.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counters metrics.Counters
+	g := Connect(id, Options{
+		Security: core.SecurityConfig{GatewayAdmissionRate: 0.001, GatewayAdmissionBurst: 1},
+		Metrics:  &counters,
+	}) // no peers: an admitted submission fails with ErrNoEndorsers
+	contract := g.Network("").Contract("cc")
+
+	if _, err := contract.SubmitAsync(context.Background(), "set"); !errors.Is(err, ErrNoEndorsers) {
+		t.Fatalf("first SubmitAsync: got %v, want ErrNoEndorsers (admitted)", err)
+	}
+	if _, err := contract.SubmitAsync(context.Background(), "set"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second SubmitAsync: got %v, want ErrOverloaded (shed)", err)
+	}
+	if got := counters.Get(metrics.GatewayAdmitted); got != 1 {
+		t.Errorf("gateway_admitted = %d, want 1", got)
+	}
+	if got := counters.Get(metrics.GatewayShed); got != 1 {
+		t.Errorf("gateway_shed = %d, want 1", got)
+	}
+}
+
+// TestAdmissionDisabledByDefault: rate 0 admits everything.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	ca, _ := identity.NewCA("org1")
+	id, _ := ca.Issue("client0.org1", identity.RoleClient)
+	g := Connect(id, Options{})
+	contract := g.Network("").Contract("cc")
+	for i := 0; i < 50; i++ {
+		if _, err := contract.SubmitAsync(context.Background(), "set"); !errors.Is(err, ErrNoEndorsers) {
+			t.Fatalf("SubmitAsync %d: got %v, want ErrNoEndorsers", i, err)
+		}
+	}
+}
+
+// TestTokenBucketRefill covers the bucket mechanics: burst drains, then
+// tokens come back at the configured rate.
+func TestTokenBucketRefill(t *testing.T) {
+	tb := newTokenBucket(1000, 2)
+	if !tb.allow() || !tb.allow() {
+		t.Fatal("burst of 2 did not admit 2 submissions")
+	}
+	if tb.allow() {
+		t.Fatal("third immediate submission admitted past the burst")
+	}
+	time.Sleep(5 * time.Millisecond) // 1000/s → ≥1 token back
+	if !tb.allow() {
+		t.Fatal("no token after refill interval")
+	}
+}
+
+func TestTokenBucketDefaults(t *testing.T) {
+	if newTokenBucket(0, 10) != nil {
+		t.Fatal("rate 0 must disable the bucket")
+	}
+	tb := newTokenBucket(0.5, 0) // burst defaults to max(1, round(rate))
+	if !tb.allow() {
+		t.Fatal("default burst below 1")
+	}
+	if tb.allow() {
+		t.Fatal("fractional-rate bucket admitted a second immediate submission")
+	}
+}

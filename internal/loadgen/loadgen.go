@@ -1,0 +1,523 @@
+// Package loadgen is the closed-loop end-to-end load harness: N
+// simulated clients drive the Gateway submit→commit flow against an
+// in-process network at a controlled arrival rate, recording exact
+// per-transaction submit→commit latency samples (p50/p95/p99 computed
+// from the sorted sample set, not histogram buckets).
+//
+// Pacing model: each client follows an absolute token schedule — tick i
+// fires at start + i·interval, and a client that falls behind does NOT
+// skip ticks, it works through the backlog as fast as the closed loop
+// allows. Below the system's capacity the achieved rate tracks the
+// offered rate and latency is flat; past the knee the backlog grows, the
+// achieved rate saturates and the latency percentiles blow up — exactly
+// the trajectory an open-throttle benchmark cannot show (Wang & Chu's
+// arrival-rate sweeps).
+//
+// The harness also exercises the overload machinery this repo grew for
+// it: gateway token-bucket admission (ErrOverloaded is retried with a
+// capped backoff and counted), the abandoned-handle path (SubmitAsync +
+// Close without Status), and duplicate-TxID resubmission (the second
+// submission of an identical transaction must come back DUPLICATE_TXID,
+// served by the validator's sharded dedup cache).
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/network"
+)
+
+// Workload mixes.
+const (
+	// MixZipf targets a Zipfian hotspot key distribution with plain
+	// "set" writes: a few keys absorb most of the write traffic.
+	MixZipf = "zipf"
+	// MixConflict drives read-modify-write "add" calls against a tiny
+	// key set, so concurrent clients collide and MVCC invalidations are
+	// the norm rather than the exception.
+	MixConflict = "conflict"
+	// MixLarge writes unique keys with large values, stressing payload
+	// marshaling, hashing and the block pipeline's byte throughput.
+	MixLarge = "large"
+)
+
+// Mixes lists the workload mixes in canonical order.
+var Mixes = []string{MixZipf, MixConflict, MixLarge}
+
+// Config sizes the harness: the network and client fleet that stay warm
+// across the points of a sweep.
+type Config struct {
+	// Clients is the number of concurrent simulated clients, each with
+	// its own Gateway connection (default 8).
+	Clients int
+	// BatchSize is the orderer's block-cut threshold (default 32).
+	BatchSize int
+	// BatchTimeout cuts partial batches on a timer; 0 (the default)
+	// relies on the commit waiters' targeted flushes.
+	BatchTimeout time.Duration
+	// Security is the base security configuration for every node.
+	Security core.SecurityConfig
+	// Seed drives every random source in the harness (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RunOptions parameterizes one measured point.
+type RunOptions struct {
+	// Mix selects the workload (MixZipf/MixConflict/MixLarge).
+	Mix string
+	// TxPerClient is the number of scheduled submissions per client
+	// (default 50).
+	TxPerClient int
+	// Rate is the aggregate offered arrival rate in tx/s, split evenly
+	// across clients; 0 runs unpaced (pure closed loop, maximum
+	// pressure).
+	Rate float64
+	// Keys sizes the key space (defaults: 1024 for zipf, 4 for
+	// conflict; large always writes unique keys).
+	Keys int
+	// ZipfS is the Zipf skew exponent, > 1 (default 1.2).
+	ZipfS float64
+	// ValueBytes sizes the written value for MixLarge (default 16384);
+	// other mixes write small values.
+	ValueBytes int
+	// AbandonEvery, when > 0, makes every Nth submission an abandoned
+	// handle: SubmitAsync + Close, never asking for the status.
+	AbandonEvery int
+	// DuplicateEvery, when > 0, makes every Nth submission a duplicate
+	// probe: the assembled transaction is submitted twice and the second
+	// copy must come back DUPLICATE_TXID.
+	DuplicateEvery int
+	// AdmissionRate, when > 0, arms each client gateway's token bucket
+	// at this per-client rate (tx/s) for the run, and disarms it after.
+	AdmissionRate float64
+	// AdmissionBurst is the bucket capacity when AdmissionRate is set.
+	AdmissionBurst int
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Mix == "" {
+		o.Mix = MixZipf
+	}
+	if o.TxPerClient <= 0 {
+		o.TxPerClient = 50
+	}
+	if o.Keys <= 0 {
+		if o.Mix == MixConflict {
+			o.Keys = 4
+		} else {
+			o.Keys = 1024
+		}
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.ValueBytes <= 0 {
+		o.ValueBytes = 16384
+	}
+	return o
+}
+
+// Point is the measurement of one (mix, rate) cell.
+type Point struct {
+	Mix     string  `json:"mix"`
+	Clients int     `json:"clients"`
+	Offered float64 `json:"offered_tps"` // 0 = unpaced
+	// Completed counts transactions whose final commit status was
+	// observed (whatever the code); duplicates' second copies excluded.
+	Completed int `json:"completed"`
+	// Invalid counts completions with a non-VALID code (MVCC conflicts,
+	// mostly, under MixConflict).
+	Invalid int `json:"invalid"`
+	// Shed counts submissions rejected by admission control (each retry
+	// that was shed again counts once more).
+	Shed uint64 `json:"shed"`
+	// Dropped counts scheduled submissions abandoned after exhausting
+	// the overload retry budget.
+	Dropped int `json:"dropped"`
+	// Abandoned counts SubmitAsync handles closed without Status.
+	Abandoned int `json:"abandoned"`
+	// DupProbes / DupRejected count duplicate-submission probes and how
+	// many of their second copies were rejected DUPLICATE_TXID.
+	DupProbes   int `json:"dup_probes,omitempty"`
+	DupRejected int `json:"dup_rejected,omitempty"`
+
+	Elapsed  time.Duration `json:"-"`
+	Achieved float64       `json:"achieved_tps"`
+
+	// Exact-sample submit→commit latency quantiles.
+	P50 time.Duration `json:"-"`
+	P95 time.Duration `json:"-"`
+	P99 time.Duration `json:"-"`
+
+	// Knee marks the first sweep point whose achieved rate fell
+	// measurably below the offered rate.
+	Knee bool `json:"knee,omitempty"`
+}
+
+// Harness is a warm measurement network plus its client fleet, reused
+// across the points of a sweep so later points do not pay construction
+// and cache-warmup costs.
+type Harness struct {
+	cfg      Config
+	net      *network.Network
+	gws      []*gateway.Gateway
+	counters *metrics.Counters
+	timings  *metrics.Timings
+}
+
+// NewHarness builds a three-organization network with the "asset"
+// chaincode and one Gateway per simulated client (round-robin commit
+// peers across orgs), sharing one counter/timing set.
+func NewHarness(cfg Config) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	net, err := network.New(network.Options{
+		Orgs:         []string{"org1", "org2", "org3"},
+		BatchSize:    cfg.BatchSize,
+		BatchTimeout: cfg.BatchTimeout,
+		Security:     cfg.Security,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	def := &chaincode.Definition{Name: "asset", Version: "1.0"}
+	if err := net.DeployChaincode(def, contracts.NewPublicAsset()); err != nil {
+		return nil, err
+	}
+
+	h := &Harness{
+		cfg:      cfg,
+		net:      net,
+		counters: &metrics.Counters{},
+		timings:  &metrics.Timings{},
+	}
+	orgs := net.Orgs()
+	h.gws = make([]*gateway.Gateway, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		org := orgs[c%len(orgs)]
+		id, err := net.CA(org).Issue(fmt.Sprintf("load-%d.%s", c, org), identity.RoleClient)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: client %d: %w", c, err)
+		}
+		h.gws[c] = gateway.Connect(id, gateway.Options{
+			Verifier:   net.Channel.Verifier(),
+			Orderer:    net.Orderer,
+			Security:   cfg.Security,
+			CommitPeer: net.Peer(org),
+			Timings:    h.timings,
+			Metrics:    h.counters,
+		}, net.Peers()...)
+	}
+	return h, nil
+}
+
+// Network exposes the underlying network for metric scraping and
+// integration assertions.
+func (h *Harness) Network() *network.Network { return h.net }
+
+// Counters exposes the fleet's shared gateway counter set.
+func (h *Harness) Counters() *metrics.Counters { return h.counters }
+
+// Close stops the orderer and releases peer storage.
+func (h *Harness) Close() error {
+	h.net.Orderer.Stop()
+	return h.net.Close()
+}
+
+// setAdmission arms (or, with rate 0, disarms) every client gateway's
+// token bucket.
+func (h *Harness) setAdmission(rate float64, burst int) {
+	sec := h.cfg.Security
+	sec.GatewayAdmissionRate = rate
+	sec.GatewayAdmissionBurst = burst
+	for _, g := range h.gws {
+		g.SetSecurity(sec)
+	}
+}
+
+// clientOut accumulates one client's results for the merge after the
+// run; each goroutine writes only its own slot.
+type clientOut struct {
+	lats                   []time.Duration
+	completed, invalid     int
+	dropped, abandoned     int
+	dupProbes, dupRejected int
+	err                    error
+}
+
+// clientState is one simulated client's per-run workload generator.
+type clientState struct {
+	idx      int
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	largeVal string
+	opts     RunOptions
+	runTag   string
+}
+
+// nextCall picks the chaincode call of scheduled submission i.
+func (cs *clientState) nextCall(i int) (fn string, args []string) {
+	switch cs.opts.Mix {
+	case MixConflict:
+		// Tiny shared key space + read-modify-write: concurrent adds to
+		// the same key in one block conflict by construction.
+		key := "c" + strconv.Itoa(cs.rng.Intn(cs.opts.Keys))
+		return "add", []string{key, "1"}
+	case MixLarge:
+		// Unique keys, big values: byte-throughput stress.
+		key := fmt.Sprintf("l%s-%d-%d", cs.runTag, cs.idx, i)
+		return "set", []string{key, cs.largeVal}
+	default: // MixZipf
+		key := "z" + strconv.FormatUint(cs.zipf.Uint64(), 10)
+		return "set", []string{key, "v" + strconv.Itoa(i&0xff)}
+	}
+}
+
+// overloadRetries bounds how often one scheduled submission retries
+// after being shed before it is counted as dropped.
+const overloadRetries = 8
+
+// Run drives one measured point against the warm harness: every client
+// follows its absolute schedule at Rate/Clients tx/s (or unpaced when
+// Rate is 0) for TxPerClient scheduled submissions.
+func (h *Harness) Run(opts RunOptions) (Point, error) {
+	opts = opts.withDefaults()
+	if opts.Mix != MixZipf && opts.Mix != MixConflict && opts.Mix != MixLarge {
+		return Point{}, fmt.Errorf("loadgen: unknown mix %q", opts.Mix)
+	}
+	cfg := h.cfg
+
+	if opts.AdmissionRate > 0 {
+		h.setAdmission(opts.AdmissionRate, opts.AdmissionBurst)
+		defer h.setAdmission(0, 0)
+	}
+	shedBefore := h.counters.Get(metrics.GatewayShed)
+
+	var interval time.Duration
+	if opts.Rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Clients) / opts.Rate)
+	}
+	// runTag isolates key spaces across the points of a sweep so
+	// MixLarge's unique keys never collide with an earlier run's.
+	runTag := strconv.FormatInt(time.Now().UnixNano(), 36)
+
+	outs := make([]clientOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := &outs[c]
+			cs := &clientState{
+				idx:    c,
+				rng:    rand.New(rand.NewSource(cfg.Seed + int64(c)*7919)),
+				opts:   opts,
+				runTag: runTag,
+			}
+			cs.zipf = rand.NewZipf(cs.rng, opts.ZipfS, 1, uint64(opts.Keys-1))
+			if opts.Mix == MixLarge {
+				cs.largeVal = strings.Repeat("x", opts.ValueBytes)
+			}
+			gw := h.gws[c]
+			contract := gw.Network(h.net.Channel.Name).Contract("asset")
+			ctx := context.Background()
+
+			next := time.Now()
+			for i := 0; i < opts.TxPerClient; i++ {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					// Absolute schedule: a late tick does not push the
+					// following ones — the backlog is the knee signal.
+					next = next.Add(interval)
+				}
+				fn, args := cs.nextCall(i)
+
+				if opts.DuplicateEvery > 0 && (i+1)%opts.DuplicateEvery == 0 {
+					h.runDuplicateProbe(ctx, gw, out, fn, args)
+					if out.err != nil {
+						return
+					}
+					continue
+				}
+				if opts.AbandonEvery > 0 && (i+1)%opts.AbandonEvery == 0 {
+					for attempt := 0; attempt <= overloadRetries; attempt++ {
+						commit, err := contract.SubmitAsync(ctx, fn, gateway.WithArguments(args...))
+						if errors.Is(err, gateway.ErrOverloaded) {
+							time.Sleep(time.Millisecond << uint(attempt))
+							continue
+						}
+						if err == nil {
+							commit.Close()
+							out.abandoned++
+						}
+						break
+					}
+					continue
+				}
+
+				submitted := false
+				for attempt := 0; attempt <= overloadRetries; attempt++ {
+					t0 := time.Now()
+					res, err := contract.Submit(ctx, fn, gateway.WithArguments(args...))
+					if errors.Is(err, gateway.ErrOverloaded) {
+						// Retryable by contract: nothing was endorsed or
+						// ordered. Back off for roughly a token's worth.
+						backoff := time.Millisecond << uint(attempt)
+						if opts.AdmissionRate > 0 {
+							if tok := time.Duration(float64(time.Second) / opts.AdmissionRate); backoff > tok {
+								backoff = tok
+							}
+						}
+						time.Sleep(backoff)
+						continue
+					}
+					if errors.Is(err, gateway.ErrEndorsementMismatch) {
+						// Transient under read-modify-write load: one
+						// endorser had committed a block the other had not
+						// yet, so their responses diverge. Re-endorse, as
+						// the Fabric client API does.
+						time.Sleep(time.Millisecond << uint(attempt))
+						continue
+					}
+					if err != nil {
+						out.err = fmt.Errorf("loadgen: client %d tx %d: %w", c, i, err)
+						return
+					}
+					out.lats = append(out.lats, time.Since(t0))
+					out.completed++
+					if res.Code != ledger.Valid {
+						out.invalid++
+					}
+					submitted = true
+					break
+				}
+				if !submitted {
+					out.dropped++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	pt := Point{Mix: opts.Mix, Clients: cfg.Clients, Offered: opts.Rate, Elapsed: elapsed}
+	for i := range outs {
+		if outs[i].err != nil {
+			return Point{}, outs[i].err
+		}
+		all = append(all, outs[i].lats...)
+		pt.Completed += outs[i].completed
+		pt.Invalid += outs[i].invalid
+		pt.Dropped += outs[i].dropped
+		pt.Abandoned += outs[i].abandoned
+		pt.DupProbes += outs[i].dupProbes
+		pt.DupRejected += outs[i].dupRejected
+	}
+	pt.Shed = h.counters.Get(metrics.GatewayShed) - shedBefore
+	pt.Achieved = float64(pt.Completed) / elapsed.Seconds()
+	pt.P50, pt.P95, pt.P99 = quantiles(all)
+	return pt, nil
+}
+
+// runDuplicateProbe endorses one transaction and submits the assembled
+// bytes twice: the first copy is the measured submission, the second
+// must be rejected DUPLICATE_TXID by the commit peers' dedup cache.
+func (h *Harness) runDuplicateProbe(
+	ctx context.Context,
+	gw *gateway.Gateway,
+	out *clientOut,
+	fn string, args []string,
+) {
+	nonce, err := ledger.NewNonce()
+	if err != nil {
+		out.err = err
+		return
+	}
+	creator := gw.Identity().Cert.Bytes()
+	prop := &ledger.Proposal{
+		TxID:      ledger.NewTxID(nonce, creator),
+		ChannelID: h.net.Channel.Name,
+		Chaincode: "asset",
+		Function:  fn,
+		Args:      args,
+		Creator:   creator,
+		Nonce:     nonce,
+	}
+	tx, payload, err := gw.EndorseProposal(ctx, prop, h.net.Peers())
+	if err != nil {
+		out.err = err
+		return
+	}
+	t0 := time.Now()
+	res, err := gw.SubmitAssembled(ctx, tx, payload)
+	if err != nil {
+		out.err = err
+		return
+	}
+	out.lats = append(out.lats, time.Since(t0))
+	out.completed++
+	if res.Code != ledger.Valid {
+		out.invalid++
+	}
+	out.dupProbes++
+	dup, err := gw.SubmitAssembled(ctx, tx, payload)
+	if err != nil {
+		out.err = err
+		return
+	}
+	if dup.Code == ledger.DuplicateTxID {
+		out.dupRejected++
+	}
+}
+
+// quantiles returns exact p50/p95/p99 over the sample set (nearest-rank
+// on the sorted samples); zero durations when empty.
+func quantiles(samples []time.Duration) (p50, p95, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := func(q float64) time.Duration {
+		i := int(q*float64(len(samples))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	return rank(0.50), rank(0.95), rank(0.99)
+}

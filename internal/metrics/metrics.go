@@ -178,6 +178,43 @@ const (
 	StateDBLockWait = "statedb_lock_wait"
 )
 
+// Well-known counter names of the validator's sharded duplicate-TxID
+// cache (internal/dedup, merged into the peer's metrics snapshot).
+const (
+	// DedupHits counts replay lookups answered by the cache — duplicate
+	// submissions rejected before signature verification.
+	DedupHits = "dedup_hits"
+	// DedupMisses counts lookups that fell through to the authoritative
+	// block-store index.
+	DedupMisses = "dedup_misses"
+	// DedupEvicted counts resident transaction IDs displaced at
+	// capacity.
+	DedupEvicted = "dedup_evicted"
+)
+
+// Well-known counter names emitted by the gateway's admission control
+// (internal/gateway).
+const (
+	// GatewayAdmitted counts submissions that passed the token-bucket
+	// admission check (or were submitted with admission disabled).
+	GatewayAdmitted = "gateway_admitted"
+	// GatewayShed counts submissions rejected with ErrOverloaded.
+	GatewayShed = "gateway_shed"
+	// GatewayFlushes counts targeted orderer flushes issued by commit
+	// waits whose transaction was sitting in the pending partial batch.
+	GatewayFlushes = "gateway_flushes"
+)
+
+// Well-known counter names emitted by the pipelined ordering service's
+// flush path.
+const (
+	// OrdererFlushesElided counts targeted flush requests dropped
+	// because the transaction was no longer in the pending batch when
+	// the marker was processed (already cut, typically by a timer or a
+	// concurrent waiter's flush).
+	OrdererFlushesElided = "orderer_flushes_elided"
+)
+
 // Histogram names of the delivery path.
 const (
 	// DeliverPublish times the fan-out of one committed block to every

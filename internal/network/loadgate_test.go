@@ -1,0 +1,243 @@
+package network
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/chaincode"
+	"repro/internal/contracts"
+	"repro/internal/gateway"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+)
+
+// newLoadNet builds a three-org network with a plain public-asset
+// chaincode and a large orderer batch: block cuts come only from the
+// commit waiters' targeted flushes, which is what these tests probe.
+func newLoadNet(t *testing.T, batchSize int) *Network {
+	t.Helper()
+	n, err := New(Options{
+		Orgs:      []string{"org1", "org2", "org3"},
+		BatchSize: batchSize,
+		Seed:      23,
+	})
+	if err != nil {
+		t.Fatalf("build network: %v", err)
+	}
+	def := &chaincode.Definition{Name: "asset", Version: "1.0"}
+	if err := n.DeployChaincode(def, contracts.NewPublicAsset()); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	return n
+}
+
+// TestConcurrentSubmitStatusCloseStress hammers one shared Gateway with
+// concurrent SubmitAsync / Status / Close interleavings — the -race
+// regression test for the commit-handle locking. Every deliver
+// subscription must be released by the end, whichever path closed it.
+func TestConcurrentSubmitStatusCloseStress(t *testing.T) {
+	n := newLoadNet(t, 64)
+	defer n.Close()
+	defer n.Orderer.Stop()
+	contract := n.Gateway("org1").Network("c1").Contract("asset")
+	deliver := n.Peer("org1").Deliver()
+	base := deliver.SubscriberCount()
+
+	const goroutines = 12
+	const perG = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("stress-%d-%d", g, i)
+				commit, err := contract.SubmitAsync(ctx, "set", gateway.WithArguments(key, "v"))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d tx %d: %w", g, i, err)
+					return
+				}
+				switch i % 3 {
+				case 0: // wait, then close
+					if _, err := commit.Status(ctx); err != nil {
+						errs <- fmt.Errorf("goroutine %d tx %d status: %w", g, i, err)
+						return
+					}
+					commit.Close()
+				case 1: // abandon immediately
+					commit.Close()
+				default: // racing Status and Close
+					var inner sync.WaitGroup
+					inner.Add(2)
+					go func() { defer inner.Done(); _, _ = commit.Status(ctx) }()
+					go func() { defer inner.Done(); commit.Close() }()
+					inner.Wait()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := deliver.SubscriberCount(); got != base {
+		t.Fatalf("leaked deliver subscriptions: %d live, %d at baseline", got, base)
+	}
+}
+
+// TestBatchingPreservedUnderConcurrentWaiters: with a large batch size
+// and no batch timer, block cuts come only from commit waiters' targeted
+// flushes. Pre-fix, every Status call issued an unconditional Flush and
+// the mean batch degenerated to ~1 tx/block; the conditional FlushTx
+// keeps concurrent submitters' transactions batching together.
+func TestBatchingPreservedUnderConcurrentWaiters(t *testing.T) {
+	n := newLoadNet(t, 64)
+	defer n.Close()
+	defer n.Orderer.Stop()
+
+	const clients = 8
+	const perClient = 8
+	orgs := n.Orgs()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			contract := n.Gateway(orgs[c%len(orgs)]).Network("c1").Contract("asset")
+			for i := 0; i < perClient; i++ {
+				key := fmt.Sprintf("batch-%d-%d", c, i)
+				if _, err := contract.Submit(context.Background(), "set", gateway.WithArguments(key, "v")); err != nil {
+					errs <- fmt.Errorf("client %d tx %d: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	om := n.Orderer.Metrics()
+	ordered, blocks := om[metrics.TxOrdered], om[metrics.BlocksOrdered]
+	if ordered != clients*perClient {
+		t.Fatalf("tx_ordered = %d, want %d", ordered, clients*perClient)
+	}
+	if blocks == 0 {
+		t.Fatal("no blocks ordered")
+	}
+	mean := float64(ordered) / float64(blocks)
+	t.Logf("mean batch size %.2f (%d txs / %d blocks, %d flushes elided)",
+		mean, ordered, blocks, om[metrics.OrdererFlushesElided])
+	if mean <= 1.5 {
+		t.Fatalf("mean batch size %.2f (%d txs / %d blocks): targeted flush is not preserving batching",
+			mean, ordered, blocks)
+	}
+	// Lockstep waiters produce many stale status checks; pre-fix each one
+	// executed a pointless Flush, post-fix they are elided server-side.
+	if om[metrics.OrdererFlushesElided] == 0 {
+		t.Fatal("no stale flush markers elided: waiters are still flushing unconditionally")
+	}
+}
+
+// TestDuplicateRejectedBeforeSignatureVerification: a replayed
+// transaction must be caught by the peer's sharded dedup cache in
+// preValidate, before any endorsement-signature verification — the
+// dedup hit counter moves and the verify-cache counters do not.
+func TestDuplicateRejectedBeforeSignatureVerification(t *testing.T) {
+	n := newLoadNet(t, 1)
+	defer n.Close()
+	defer n.Orderer.Stop()
+	gw := n.Gateway("org1")
+	commitPeer := n.Peer("org1")
+	ctx := context.Background()
+
+	nonce, err := ledger.NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	creator := gw.Identity().Cert.Bytes()
+	prop := &ledger.Proposal{
+		TxID:      ledger.NewTxID(nonce, creator),
+		ChannelID: "c1",
+		Chaincode: "asset",
+		Function:  "set",
+		Args:      []string{"dup-k", "v"},
+		Creator:   creator,
+		Nonce:     nonce,
+	}
+	tx, payload, err := gw.EndorseProposal(ctx, prop, n.Peers())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := gw.SubmitAssembled(ctx, tx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("first submission code = %v", res.Code)
+	}
+
+	// Snapshot the commit peer after the first copy committed: any
+	// signature verification for the duplicate would move these.
+	before := commitPeer.Metrics()
+	verifyBefore := before[metrics.VerifyCacheHits] + before[metrics.VerifyCacheMisses]
+	hitsBefore := before[metrics.DedupHits]
+
+	dup, err := gw.SubmitAssembled(ctx, tx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Code != ledger.DuplicateTxID {
+		t.Fatalf("duplicate submission code = %v, want DuplicateTxID", dup.Code)
+	}
+
+	after := commitPeer.Metrics()
+	if got := after[metrics.DedupHits]; got <= hitsBefore {
+		t.Fatalf("dedup_hits = %d, want > %d after a replay", got, hitsBefore)
+	}
+	if got := after[metrics.VerifyCacheHits] + after[metrics.VerifyCacheMisses]; got != verifyBefore {
+		t.Fatalf("verify cache consulted %d times while validating a replay, want 0",
+			got-verifyBefore)
+	}
+}
+
+// TestAbandonedCommitsReleaseSubscriptions: SubmitAsync handles that are
+// closed without ever calling Status must release their deliver-stream
+// subscriptions (the pre-fix leak: an abandoned handle pinned its
+// subscription until process exit).
+func TestAbandonedCommitsReleaseSubscriptions(t *testing.T) {
+	n := newLoadNet(t, 64)
+	defer n.Close()
+	defer n.Orderer.Stop()
+	contract := n.Gateway("org2").Network("c1").Contract("asset")
+	deliver := n.Peer("org2").Deliver()
+	base := deliver.SubscriberCount()
+
+	var handles []*gateway.Commit
+	for i := 0; i < 10; i++ {
+		commit, err := contract.SubmitAsync(context.Background(), "set",
+			gateway.WithArguments(fmt.Sprintf("leak-%d", i), "v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, commit)
+	}
+	if got := deliver.SubscriberCount(); got != base+10 {
+		t.Fatalf("SubscriberCount = %d with 10 live handles, want %d", got, base+10)
+	}
+	for _, c := range handles {
+		c.Close()
+	}
+	if got := deliver.SubscriberCount(); got != base {
+		t.Fatalf("SubscriberCount = %d after closing every handle, want %d", got, base)
+	}
+}

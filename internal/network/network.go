@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/chaincode"
 	"repro/internal/channel"
@@ -38,6 +39,10 @@ type Options struct {
 	OrdererCount int
 	// BatchSize is the orderer block-cut threshold (default 1).
 	BatchSize int
+	// BatchTimeout cuts a partial batch after this long, like Fabric's
+	// BatchTimeout (0 = no timer; commit waiters' targeted flushes and
+	// the block-size threshold cut the batches).
+	BatchTimeout time.Duration
 	// Security selects the active defense features for every node.
 	Security core.SecurityConfig
 	// Seed drives deterministic Raft jitter.
@@ -104,6 +109,7 @@ func New(opts Options) (*Network, error) {
 	n.Orderer = orderer.New(orderer.Config{
 		OrdererCount: opts.OrdererCount,
 		BatchSize:    opts.BatchSize,
+		BatchTimeout: opts.BatchTimeout,
 		Seed:         opts.Seed,
 	})
 

@@ -1,0 +1,106 @@
+package orderer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+)
+
+func flushTestTx(id string) *ledger.Transaction {
+	return &ledger.Transaction{
+		TxID:            id,
+		ChannelID:       "testchan",
+		Proposal:        &ledger.Proposal{TxID: id, Chaincode: "cc", Function: "set"},
+		ResponsePayload: []byte(`{"tx_id":"` + id + `"}`),
+	}
+}
+
+func TestInPending(t *testing.T) {
+	svc := New(Config{OrdererCount: 3, BatchSize: 100, Seed: 11})
+	svc.RegisterDelivery(func(*ledger.Block) {})
+	defer svc.Stop()
+
+	if svc.InPending("tx-0") {
+		t.Fatal("InPending true before any submission")
+	}
+	if err := svc.Submit(flushTestTx("tx-0")); err != nil {
+		t.Fatal(err)
+	}
+	// BatchSize 100: the tx is ordered but sits in the partial batch.
+	if !svc.InPending("tx-0") {
+		t.Fatal("InPending false for a tx in the partial batch")
+	}
+	svc.Flush()
+	if svc.InPending("tx-0") {
+		t.Fatal("InPending true after the batch was cut")
+	}
+}
+
+// TestFlushTxCutsPendingBatch: a conditional flush for a pending tx cuts
+// the whole partial batch — every pending transaction lands in one
+// block, preserving batching for concurrent waiters.
+func TestFlushTxCutsPendingBatch(t *testing.T) {
+	blocks := make(chan *ledger.Block, 4)
+	svc := New(Config{OrdererCount: 3, BatchSize: 100, Seed: 12})
+	svc.RegisterDelivery(func(b *ledger.Block) { blocks <- b })
+	defer svc.Stop()
+
+	for i := 0; i < 3; i++ {
+		if err := svc.Submit(flushTestTx(fmt.Sprintf("tx-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.FlushTx("tx-1")
+	select {
+	case b := <-blocks:
+		if len(b.Transactions) != 3 {
+			t.Fatalf("flushed block carries %d txs, want all 3 pending", len(b.Transactions))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no block cut after FlushTx of a pending tx")
+	}
+}
+
+// TestFlushTxElidedWhenNotPending: a conditional flush for a tx that
+// already left the pending batch is dropped — no extra block is cut and
+// the elision counter moves.
+func TestFlushTxElidedWhenNotPending(t *testing.T) {
+	blocks := make(chan *ledger.Block, 4)
+	svc := New(Config{OrdererCount: 3, BatchSize: 1, Seed: 13})
+	svc.RegisterDelivery(func(b *ledger.Block) { blocks <- b })
+	defer svc.Stop()
+
+	if err := svc.Submit(flushTestTx("tx-0")); err != nil {
+		t.Fatal(err)
+	}
+	<-blocks // BatchSize 1: the tx was cut immediately
+
+	svc.FlushTx("tx-0") // stale: the tx is already in a block
+	deadline := time.After(5 * time.Second)
+	for svc.Metrics()[metrics.OrdererFlushesElided] == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("orderer_flushes_elided never incremented")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	select {
+	case b := <-blocks:
+		t.Fatalf("elided flush still cut block %d", b.Header.Number)
+	default:
+	}
+	if got := svc.Metrics()[metrics.OrdererFlushesElided]; got != 1 {
+		t.Fatalf("orderer_flushes_elided = %d, want 1", got)
+	}
+}
+
+// TestFlushTxAfterStop is a no-op, like Flush after Stop.
+func TestFlushTxAfterStop(t *testing.T) {
+	svc := New(Config{OrdererCount: 3, BatchSize: 10, Seed: 14})
+	svc.RegisterDelivery(func(*ledger.Block) {})
+	svc.Stop()
+	svc.FlushTx("tx-0") // must not panic or deadlock
+}

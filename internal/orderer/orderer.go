@@ -122,10 +122,15 @@ func (w *Wait) Wait() error {
 
 // command is one entry on the ordering queue: a transaction to order, or
 // a flush marker (tx nil) cutting whatever is pending when it is reached.
+// A marker with flushTx set is conditional: it cuts only while that
+// transaction is still in the pending partial batch, and is elided (with
+// the orderer_flushes_elided counter) when a block-size cut, the batch
+// timer, or a concurrent flush already took the transaction.
 type command struct {
-	tx    *ledger.Transaction
-	w     *Wait
-	enqAt time.Time
+	tx      *ledger.Transaction
+	w       *Wait // nil for fire-and-forget conditional flushes
+	flushTx string
+	enqAt   time.Time
 }
 
 // queuedBlock pairs a cut block with its delivery tracker on a peer
@@ -355,6 +360,44 @@ func (s *Service) Flush() {
 	_ = w.Wait()
 }
 
+// FlushTx requests an asynchronous conditional flush: when the marker
+// reaches the ordering goroutine, the pending partial batch is cut only
+// if it still holds txID. Commit waiters use this instead of Flush so N
+// concurrent waiters whose transactions share one partial batch produce
+// one cut — the batch survives at its natural size instead of
+// degenerating to one transaction per block. The call returns
+// immediately; the caller is expected to block on the deliver stream.
+func (s *Service) FlushTx(txID string) {
+	s.qmu.Lock()
+	if s.stopping {
+		// Stop's drain already cuts the final partial batch.
+		s.qmu.Unlock()
+		return
+	}
+	s.cmds = append(s.cmds, command{flushTx: txID})
+	s.qcond.Signal()
+	s.qmu.Unlock()
+}
+
+// InPending reports whether txID is sitting in the pending partial batch
+// — ordered, but not yet cut into a block.
+func (s *Service) InPending(txID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inPendingLocked(txID)
+}
+
+// inPendingLocked scans the pending batch for txID; the batch never
+// exceeds BatchSize entries, so linear scan is fine. Caller holds s.mu.
+func (s *Service) inPendingLocked(txID string) bool {
+	for _, tx := range s.pending {
+		if tx.TxID == txID {
+			return true
+		}
+	}
+	return false
+}
+
 // Stop shuts the service down: new submissions are refused with
 // ErrStopped, already-queued submissions are drained and ordered, any
 // final partial batch is cut, and all goroutines (ordering and per-peer
@@ -395,7 +438,7 @@ func (s *Service) run() {
 		now := time.Now()
 		for i := 0; i < len(cmds); {
 			if cmds[i].tx == nil {
-				s.doFlush(cmds[i].w)
+				s.doFlush(cmds[i])
 				i++
 				continue
 			}
@@ -518,10 +561,21 @@ func (s *Service) orderBatch(batch []command) {
 	}
 }
 
-// doFlush handles a queued flush marker: cut whatever is pending and
-// hand the block's delivery tracker to the flusher's wait handle.
-func (s *Service) doFlush(w *Wait) {
+// doFlush handles a queued flush marker: cut whatever is pending (for a
+// conditional marker, only while its transaction is still pending) and
+// hand the block's delivery tracker to the flusher's wait handle, if any.
+func (s *Service) doFlush(c command) {
 	s.mu.Lock()
+	if c.flushTx != "" && !s.inPendingLocked(c.flushTx) {
+		// The transaction already left the pending batch — a size cut,
+		// the batch timer, or an earlier waiter's flush got there first.
+		s.mu.Unlock()
+		s.metrics.Inc(metrics.OrdererFlushesElided)
+		if c.w != nil {
+			close(c.w.done)
+		}
+		return
+	}
 	s.disarmBatchTimerLocked()
 	var bd *blockDelivery
 	if len(s.pending) > 0 {
@@ -531,8 +585,10 @@ func (s *Service) doFlush(w *Wait) {
 	}
 	s.mu.Unlock()
 	s.maybeCompact()
-	w.bd = bd
-	close(w.done)
+	if c.w != nil {
+		c.w.bd = bd
+		close(c.w.done)
+	}
 }
 
 // waitForCapacity pauses the ordering goroutine until every peer queue

@@ -447,6 +447,10 @@ func (p *Peer) Metrics() map[string]uint64 {
 	snap[metrics.StateDBSnapshots] = st.Snapshots
 	snap[metrics.StateDBCowClones] = st.CowClones
 	snap[metrics.StateDBBatches] = st.Batches
+	dd := p.validator.DedupStats()
+	snap[metrics.DedupHits] = dd.Hits
+	snap[metrics.DedupMisses] = dd.Misses
+	snap[metrics.DedupEvicted] = dd.Evictions
 	return snap
 }
 

@@ -84,6 +84,13 @@ func (v *Validator) ValidateAndCommit(block *ledger.Block) error {
 	pres := v.preValidateBlock(block.Transactions)
 	for i, tx := range block.Transactions {
 		code := v.finishValidate(pres[i])
+		// Register the ID as committed-to-chain (whatever its code —
+		// the whole block is appended). Add doubles as the in-block
+		// duplicate check: the parallel precheck can't see an earlier
+		// instance in the same block, but the sequential Add here can.
+		if v.dedupe != nil && !v.dedupe.Add(tx.TxID) {
+			code = ledger.DuplicateTxID
+		}
 		block.Metadata.ValidationFlags[i] = code
 		if code == ledger.Valid {
 			commitStart := time.Now()

@@ -20,6 +20,7 @@ import (
 	"repro/internal/chaincode"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/dedup"
 	"repro/internal/fabcrypto"
 	"repro/internal/gossip"
 	"repro/internal/identity"
@@ -39,6 +40,7 @@ type Validator struct {
 	channelCfg *channel.Config
 	verifier   *identity.Verifier
 	vcache     *identity.VerifyCache
+	dedupe     *dedup.Cache // nil when disabled
 	defs       func(name string) *chaincode.Definition
 	db         *statedb.DB
 	pvt        *pvtdata.Store
@@ -90,12 +92,17 @@ type Config struct {
 
 // New creates a validator.
 func New(cfg Config) *Validator {
+	var dd *dedup.Cache
+	if cfg.Security.DedupCacheSize >= 0 {
+		dd = dedup.New(cfg.Security.DedupCacheSize)
+	}
 	return &Validator{
 		selfName:   cfg.SelfName,
 		selfOrg:    cfg.SelfOrg,
 		channelCfg: cfg.Channel,
 		verifier:   cfg.Verifier,
 		vcache:     identity.NewVerifyCache(cfg.Verifier, cfg.Security.VerifyCacheSize, cfg.Metrics),
+		dedupe:     dd,
 		defs:       cfg.Defs,
 		db:         cfg.DB,
 		pvt:        cfg.Pvt,
@@ -163,6 +170,16 @@ func (v *Validator) recordMissing(txID, collection string) {
 		}
 		v.missingMu.Unlock()
 	}
+}
+
+// DedupStats returns the duplicate-TxID cache's counters (hits are
+// replays rejected before signature verification). The zero Stats is
+// returned when the cache is disabled.
+func (v *Validator) DedupStats() dedup.Stats {
+	if v.dedupe == nil {
+		return dedup.Stats{}
+	}
+	return v.dedupe.Stats()
 }
 
 // FlushVerifyCache drops every memoized endorsement verification.
@@ -319,6 +336,11 @@ func (v *Validator) reconcileOne(
 // durable), so only the commit path runs.
 func (v *Validator) ReplayBlock(block *ledger.Block) error {
 	for i, tx := range block.Transactions {
+		// Every appended ID — valid or not — is a future duplicate, so
+		// the cache mirrors the full block like ValidateAndCommit does.
+		if v.dedupe != nil {
+			v.dedupe.Add(tx.TxID)
+		}
 		if block.Metadata.ValidationFlags[i] == ledger.Valid {
 			v.commitTx(block.Header.Number, tx)
 		}
@@ -380,6 +402,15 @@ type txPrecheck struct {
 // different transactions.
 func (v *Validator) preValidate(tx *ledger.Transaction) *txPrecheck {
 	pre := &txPrecheck{tx: tx, code: ledger.Valid}
+	// Replay check, two tiers: the sharded dedup cache answers the hot
+	// case (a replayed ID recently committed) from a striped bucket with
+	// no global lock; only a cache miss pays the block store's
+	// read-locked index lookup, which stays authoritative because the
+	// cache is bounded and may have evicted the ID.
+	if v.dedupe != nil && v.dedupe.Seen(tx.TxID) {
+		pre.code = ledger.DuplicateTxID
+		return pre
+	}
 	if _, _, err := v.blocks.Transaction(tx.TxID); err == nil {
 		pre.code = ledger.DuplicateTxID
 		return pre
