@@ -26,7 +26,10 @@
 // workload mixes (Zipfian hotspot, MVCC-conflict-heavy, large values)
 // until the commit pipeline's knee, then demonstrates the overload and
 // duplicate machinery (admission shedding, abandoned-handle cleanup,
-// dedup-cache rejections); -json writes BENCH_e2e.json.
+// dedup-cache rejections); -json writes BENCH_e2e.json. -wire compares
+// the in-process baseline against the same burst submitted through the
+// TCP wire protocol to a cluster of separate OS processes (this binary
+// re-executed per role, docs/WIRE.md); -json writes BENCH_wire.json.
 //
 // Usage:
 //
@@ -39,6 +42,7 @@
 //	fabricbench -statedb -json  # world-state scenario + JSON baseline
 //	fabricbench -storage -json  # storage-backend scenario + JSON baseline
 //	fabricbench -load -json     # closed-loop rate sweep + JSON baseline
+//	fabricbench -wire -json     # in-process vs multi-process wire latency
 package main
 
 import (
@@ -51,10 +55,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/loadgen"
+	"repro/internal/node"
 	"repro/internal/perf"
 )
 
 func main() {
+	// The -wire scenario launches this binary as the cluster's role
+	// processes; a child carries its role in the environment.
+	if handled, err := node.RunRoleFromEnv(); handled {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabricbench role:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "fabricbench:", err)
 		os.Exit(1)
@@ -91,8 +105,13 @@ func run(args []string) error {
 	storageBatches := fs.Int("storage-batches", 400, "state batches for the -storage raw-append stage")
 	storageRecords := fs.Int("storage-records", 32, "records per batch for -storage")
 	storageTxs := fs.Int("storage-txs", 96, "end-to-end transactions per backend for -storage (0 skips the throughput stage)")
-	jsonFlag := fs.Bool("json", false, "with -statedb, -order or -storage, write the result to -json-out as a committed baseline")
-	jsonOut := fs.String("json-out", "", "output path for -json (default BENCH_statedb.json / BENCH_order.json / BENCH_storage.json; \"-\" for stdout)")
+	wireFlag := fs.Bool("wire", false, "compare in-process vs multi-process wire-protocol submit→commit latency")
+	wireClients := fs.Int("wire-clients", 4, "concurrent clients for -wire")
+	wireTxs := fs.Int("wire-txs", 50, "transactions per client for -wire")
+	wireBatch := fs.Int("wire-batch", 8, "orderer batch size for -wire")
+	wireTLS := fs.Bool("wire-tls", false, "run the -wire cluster with pinned-key TLS")
+	jsonFlag := fs.Bool("json", false, "with -statedb, -order, -storage or -wire, write the result to -json-out as a committed baseline")
+	jsonOut := fs.String("json-out", "", "output path for -json (default BENCH_statedb.json / BENCH_order.json / BENCH_storage.json / BENCH_wire.json; \"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,6 +129,31 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", path)
+		return nil
+	}
+
+	if *wireFlag {
+		self, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Measuring wire-protocol deployment (%d clients x %d tx, batch %d, tls=%v)...\n\n",
+			*wireClients, *wireTxs, *wireBatch, *wireTLS)
+		r, err := perf.MeasureWire(self, *wireClients, *wireTxs, *wireBatch, *wireTLS)
+		if err != nil {
+			return err
+		}
+		fmt.Print(perf.RenderWire(r))
+		if *jsonFlag {
+			out, err := perf.WireJSON(r)
+			if err != nil {
+				return err
+			}
+			if err := writeJSON(out, "BENCH_wire.json"); err != nil {
+				return err
+			}
+		}
+		// The wire scenario builds its own processes; skip the Fig. 11 run.
 		return nil
 	}
 

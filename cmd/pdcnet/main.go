@@ -1,10 +1,20 @@
-// Command pdcnet spins up the in-process equivalent of the Fabric test
-// network used throughout the paper — three organizations, a Raft
-// ordering service, a private data collection shared by org1 and org2 —
-// and walks through the full PDC transaction lifecycle, printing what
-// every peer stores at each step.
+// Command pdcnet runs the reproduction's Fabric network. With no
+// subcommand it spins up the in-process equivalent of the test network
+// used throughout the paper — three organizations, a Raft ordering
+// service, a private data collection shared by org1 and org2 — and
+// walks through the full PDC transaction lifecycle, printing what every
+// peer stores at each step.
 //
-// Usage:
+// The multi-process subcommands deploy the same topology as separate
+// OS processes speaking the TCP wire protocol (docs/WIRE.md):
+//
+//	pdcnet keygen -out material.json        # write the identity material
+//	pdcnet orderer -material material.json -listen 127.0.0.1:7050
+//	pdcnet peer -name peer0.org1 -material material.json -orderer ... -peers ...
+//	pdcnet gateway -name client0.org1 -material material.json -orderer ... -peers ...
+//	pdcnet up [-tls]                        # launch a whole loopback cluster
+//
+// In-process demo usage:
 //
 //	pdcnet
 //	pdcnet -defended                      # run with both defense features enabled
@@ -26,12 +36,41 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/netconfig"
 	"repro/internal/network"
+	"repro/internal/node"
 	"repro/internal/peer"
 	"repro/internal/pvtdata"
+	"repro/internal/service"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// A process spawned by `pdcnet up` (or a cluster test) carries its
+	// role in the environment and never reaches the CLI below.
+	if handled, err := node.RunRoleFromEnv(); handled {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdcnet:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 {
+		switch args[0] {
+		case "keygen":
+			err = runKeygen(args[1:])
+		case "orderer", "peer", "gateway":
+			err = runRole(args[0], args[1:])
+		case "up":
+			err = runUp(args[1:])
+		case "demo":
+			err = run(args[1:])
+		default:
+			err = run(args)
+		}
+	} else {
+		err = run(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdcnet:", err)
 		os.Exit(1)
 	}
@@ -159,7 +198,7 @@ func demo(net *network.Network) error {
 
 	fmt.Println("\n== PDC audited read: readPrivate(k1) submitted as a transaction ==")
 	res, err = contract.Submit(ctx, "readPrivate",
-		gateway.WithArguments("k1"), gateway.WithEndorsers(members...))
+		gateway.WithArguments("k1"), gateway.WithEndorsers(service.AsEndorsers(members)...))
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/peer"
+	"repro/internal/service"
 )
 
 func main() {
@@ -31,13 +33,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cl := env.Net.Client("org2")
+		gw := env.Net.Gateway("org2")
 		members := []*peer.Peer{env.Net.Peer("org1"), env.Net.Peer("org2")}
 
 		// The audited read: submitted as a transaction so every peer
 		// records who read what, when.
-		res, err := cl.SubmitTransaction(members, attacks.ChaincodeName,
-			"readPrivate", []string{attacks.TargetKey}, nil)
+		res, err := gw.Submit(context.Background(),
+			service.NewInvoke(attacks.ChaincodeName, "readPrivate", attacks.TargetKey).
+				WithEndorsers(service.Names(members)...))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/contracts"
 	"repro/internal/peer"
 	"repro/internal/pvtdata"
+	"repro/internal/service"
 )
 
 func main() {
@@ -56,18 +58,19 @@ func main() {
 	}
 
 	// Transact on both channels.
-	if _, err := c1.Client("org1").SubmitTransaction(c1.Peers(), "s1", "set",
-		[]string{"ledger", "L1"}, nil); err != nil {
+	ctx := context.Background()
+	if _, err := c1.Gateway("org1").Submit(ctx,
+		service.NewInvoke("s1", "set", "ledger", "L1")); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := c2.Client("org2").SubmitTransaction(c2.Peers(), "s2", "set",
-		[]string{"ledger", "L2"}, nil); err != nil {
+	if _, err := c2.Gateway("org2").Submit(ctx,
+		service.NewInvoke("s2", "set", "ledger", "L2")); err != nil {
 		log.Fatal(err)
 	}
 	// A PDC write inside C1, shared by org1 and org4 only.
-	if _, err := c1.Client("org1").SubmitTransaction(
-		[]*peer.Peer{c1.Peer("org1"), c1.Peer("org4")},
-		"s1", "setPrivate", []string{"deal", "42"}, nil); err != nil {
+	if _, err := c1.Gateway("org1").Submit(ctx,
+		service.NewInvoke("s1", "setPrivate", "deal", "42").
+			WithEndorsers(service.Names([]*peer.Peer{c1.Peer("org1"), c1.Peer("org4")})...)); err != nil {
 		log.Fatal(err)
 	}
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/network"
 	"repro/internal/peer"
+	"repro/internal/service"
 )
 
 // assetContract manages assets whose owners can lock them to an owner-
@@ -86,23 +88,23 @@ func main() {
 	if err := net.DeployChaincode(def, assetContract()); err != nil {
 		log.Fatal(err)
 	}
-	cl := net.Client("org1")
+	gw := net.Gateway("org1")
+	ctx := context.Background()
 
 	// Create an asset under the default MAJORITY policy, then lock it so
 	// only org1 AND org2 together can change it.
-	if _, err := cl.SubmitTransaction(net.Peers(), "assets", "create", []string{"bond-7", "1000"}, nil); err != nil {
+	if _, err := gw.Submit(ctx, service.NewInvoke("assets", "create", "bond-7", "1000")); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := cl.SubmitTransaction(net.Peers(), "assets", "lock",
-		[]string{"bond-7", "AND(org1.peer, org2.peer)"}, nil); err != nil {
+	if _, err := gw.Submit(ctx, service.NewInvoke("assets", "lock",
+		"bond-7", "AND(org1.peer, org2.peer)")); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("asset bond-7 created and locked to AND(org1.peer, org2.peer)")
 
 	// org1+org2 can transfer it.
-	res, err := cl.SubmitTransaction(
-		[]*peer.Peer{net.Peer("org1"), net.Peer("org2")},
-		"assets", "transfer", []string{"bond-7", "1100"}, nil)
+	res, err := gw.Submit(ctx, service.NewInvoke("assets", "transfer", "bond-7", "1100").
+		WithEndorsers(service.Names([]*peer.Peer{net.Peer("org1"), net.Peer("org2")})...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,15 +112,16 @@ func main() {
 
 	// org1+org3 clears the chaincode-level MAJORITY, but not the
 	// key-level policy — the update is invalidated.
-	prop, err := cl.NewProposal("assets", "transfer", []string{"bond-7", "1"}, nil)
+	prop, err := gw.NewProposal("assets", "transfer", []string{"bond-7", "1"}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tx, _, err := cl.Endorse(prop, []*peer.Peer{net.Peer("org1"), net.Peer("org3")})
+	tx, payload, err := gw.EndorseProposal(ctx, prop,
+		service.AsEndorsers([]*peer.Peer{net.Peer("org1"), net.Peer("org3")}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := cl.Order(tx)
+	out, err := gw.SubmitAssembled(ctx, tx, payload)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,9 +129,10 @@ func main() {
 
 	// The asset keeps its legitimate value; range scan over the
 	// composite-key prefix shows the inventory.
-	payload, err := cl.EvaluateTransaction(net.Peer("org2"), "assets", "list")
+	listing, err := gw.Evaluate(ctx, service.NewInvoke("assets", "list").
+		WithEndorsers(net.Peer("org2").Name()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("assets on ledger: %s\n", payload)
+	fmt.Printf("assets on ledger: %s\n", listing)
 }

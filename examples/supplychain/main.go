@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/peer"
 	"repro/internal/pvtdata"
+	"repro/internal/service"
 )
 
 func main() {
@@ -52,22 +54,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	distributor := net.Client("distributor")
+	distributor := net.Gateway("distributor")
+	ctx := context.Background()
 	parties := []*peer.Peer{net.Peer("distributor"), net.Peer("wholesaler")}
 
 	// The public part of the trade is visible to everyone, including
 	// the retailer.
-	if _, err := distributor.SubmitTransaction(net.Peers(), "trade",
-		"set", []string{"trade-1042", "distributor->wholesaler:widgets:5000units"}, nil); err != nil {
+	if _, err := distributor.Submit(ctx, service.NewInvoke("trade",
+		"set", "trade-1042", "distributor->wholesaler:widgets:5000units")); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("public trade record committed (visible to all orgs)")
 
 	// The negotiated unit price goes into the PDC through the transient
 	// map: it appears in no proposal args and no payload.
-	if _, err := distributor.SubmitTransaction(parties, "trade",
-		"setPrivateTransient", []string{"trade-1042-price"},
-		map[string][]byte{"value": []byte("17")}); err != nil {
+	if _, err := distributor.Submit(ctx, service.NewInvoke("trade",
+		"setPrivateTransient", "trade-1042-price").
+		WithTransient(map[string][]byte{"value": []byte("17")}).
+		WithEndorsers(service.Names(parties)...)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("private price committed via transient map (members only)")
@@ -78,8 +82,9 @@ func main() {
 
 	// Now the careless pattern: an audited read (Listing 1) returns the
 	// price through the payload — and the retailer sees it.
-	res, err := distributor.SubmitTransaction(parties, "trade",
-		"readPrivate", []string{"trade-1042-price"}, nil)
+	res, err := distributor.Submit(ctx, service.NewInvoke("trade",
+		"readPrivate", "trade-1042-price").
+		WithEndorsers(service.Names(parties)...))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,11 +27,7 @@ type Outcome struct {
 // blockchain while carrying the fabricated payload — breaching blockchain
 // integrity.
 func FakeReadInjection(e *Env) Outcome {
-	cl := e.Net.Client(e.Scenario.Malicious[0])
-	res, err := cl.SubmitTransaction(
-		e.maliciousPeers(),
-		ChaincodeName, "readPrivate", []string{TargetKey}, nil,
-	)
+	res, err := e.submit(e.Scenario.Malicious[0], e.maliciousPeers(), "readPrivate", []string{TargetKey})
 	if err != nil {
 		return Outcome{Detail: fmt.Sprintf("endorsement/ordering failed: %v", err)}
 	}
@@ -77,8 +73,7 @@ func FakeReadWriteInjection(e *Env) Outcome {
 }
 
 func fakeWrite(e *Env, function string, args []string, wantValue string) Outcome {
-	cl := e.Net.Client(e.Scenario.Malicious[0])
-	res, err := cl.SubmitTransaction(e.maliciousPeers(), ChaincodeName, function, args, nil)
+	res, err := e.submit(e.Scenario.Malicious[0], e.maliciousPeers(), function, args)
 	if err != nil {
 		return Outcome{Detail: fmt.Sprintf("endorsement/ordering failed: %v", err)}
 	}
@@ -101,11 +96,7 @@ func fakeWrite(e *Env, function string, args []string, wantValue string) Outcome
 // k1 with colluding endorsements; org2's constraint would forbid it. The
 // attack succeeds when the victim's private entry disappears.
 func PDCDeleteAttack(e *Env) Outcome {
-	cl := e.Net.Client(e.Scenario.Malicious[0])
-	res, err := cl.SubmitTransaction(
-		e.maliciousPeers(),
-		ChaincodeName, "delPrivate", []string{TargetKey, strconv.Itoa(FakeSum)}, nil,
-	)
+	res, err := e.submit(e.Scenario.Malicious[0], e.maliciousPeers(), "delPrivate", []string{TargetKey, strconv.Itoa(FakeSum)})
 	if err != nil {
 		return Outcome{Detail: fmt.Sprintf("endorsement/ordering failed: %v", err)}
 	}
@@ -214,11 +205,7 @@ func ExtractPDCEvents(p LedgerHolder) []LeakedEvent {
 // org3 then recovers the private value from its own blockchain. Succeeds
 // when the recovered plaintext equals the private value.
 func PDCReadLeakage(e *Env) Outcome {
-	cl := e.Net.Client("org2")
-	res, err := cl.SubmitTransaction(
-		e.memberPeers(),
-		ChaincodeName, "readPrivate", []string{TargetKey}, nil,
-	)
+	res, err := e.submit("org2", e.memberPeers(), "readPrivate", []string{TargetKey})
 	if err != nil {
 		return Outcome{Detail: fmt.Sprintf("honest read failed: %v", err)}
 	}
@@ -230,11 +217,7 @@ func PDCReadLeakage(e *Env) Outcome {
 // Listing 2 pattern, enabled in the scenario via LeakOnWrite), and the
 // non-member recovers the value from its blockchain.
 func PDCWriteLeakage(e *Env, newValue string) Outcome {
-	cl := e.Net.Client("org2")
-	res, err := cl.SubmitTransaction(
-		e.memberPeers(),
-		ChaincodeName, "setPrivate", []string{TargetKey, newValue}, nil,
-	)
+	res, err := e.submit("org2", e.memberPeers(), "setPrivate", []string{TargetKey, newValue})
 	if err != nil {
 		return Outcome{Detail: fmt.Sprintf("honest write failed: %v", err)}
 	}

@@ -197,8 +197,7 @@ func TestFeature2ClientStillGetsPlaintext(t *testing.T) {
 	env := mustSetup(t, Scenario{
 		Name: "feature2-service", DisableForgers: true, Security: core.Feature2Only(),
 	})
-	cl := env.Net.Client("org2")
-	res, err := cl.SubmitTransaction(env.memberPeers(), ChaincodeName, "readPrivate", []string{TargetKey}, nil)
+	res, err := env.submit("org2", env.memberPeers(), "readPrivate", []string{TargetKey})
 	if err != nil {
 		t.Fatalf("read under Feature 2: %v", err)
 	}
@@ -275,10 +274,9 @@ func TestExtractPDCEvents(t *testing.T) {
 	env.Net.Peer("org1").InstallChaincode(ChaincodeName, emitters)
 	env.Net.Peer("org2").InstallChaincode(ChaincodeName, emitters)
 
-	cl := env.Net.Client("org2")
-	res, err := cl.SubmitTransaction(
+	res, err := env.submit("org2",
 		[]*peer.Peer{env.Net.Peer("org1"), env.Net.Peer("org2")},
-		ChaincodeName, "setPrivateAnnounced", []string{"k9", "777"}, nil)
+		"setPrivateAnnounced", []string{"k9", "777"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,15 +1,18 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chaincode"
 	"repro/internal/contracts"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/ledger"
 	"repro/internal/network"
 	"repro/internal/peer"
 	"repro/internal/pvtdata"
+	"repro/internal/service"
 )
 
 // Chaincode and collection names shared by all attack scenarios.
@@ -147,11 +150,7 @@ func Setup(s Scenario) (*Env, error) {
 // Use Case 1). All chaincode variants accept 12 and return the same
 // empty payload, so the endorsements are consistent.
 func (e *Env) writeInitialValue() error {
-	cl := e.Net.Client("org2")
-	res, err := cl.SubmitTransaction(
-		e.Net.Peers(),
-		ChaincodeName, "setPrivate", []string{TargetKey, InitialValue}, nil,
-	)
+	res, err := e.submit("org2", e.Net.Peers(), "setPrivate", []string{TargetKey, InitialValue})
 	if err != nil {
 		return fmt.Errorf("attacks: seed write: %w", err)
 	}
@@ -159,6 +158,15 @@ func (e *Env) writeInitialValue() error {
 		return fmt.Errorf("attacks: seed write marked %v", res.Code)
 	}
 	return nil
+}
+
+// submit drives one transaction through the named org's gateway with an
+// explicit endorsement set — the attack harness always controls exactly
+// which peers endorse.
+func (e *Env) submit(org string, endorsers []*peer.Peer, function string, args []string) (*gateway.Result, error) {
+	return e.Net.Gateway(org).Submit(context.Background(),
+		service.NewInvoke(ChaincodeName, function, args...).
+			WithEndorsers(service.Names(endorsers)...))
 }
 
 func (e *Env) memberPeers() []*peer.Peer {

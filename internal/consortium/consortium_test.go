@@ -1,11 +1,13 @@
 package consortium
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/chaincode"
 	"repro/internal/contracts"
 	"repro/internal/ledger"
+	"repro/internal/service"
 )
 
 // newFig1 builds the paper's Fig. 1 topology: org1, org2, org4 on
@@ -37,12 +39,13 @@ func TestChannelLedgersAreIsolated(t *testing.T) {
 	c1, c2 := c.Channel("c1"), c.Channel("c2")
 
 	// org2 (member of both channels) writes different data on each.
-	if _, err := c1.Client("org2").SubmitTransaction(c1.Peers(), "asset", "set",
-		[]string{"k", "on-c1"}, nil); err != nil {
+	ctx := context.Background()
+	if _, err := c1.Gateway("org2").Submit(ctx,
+		service.NewInvoke("asset", "set", "k", "on-c1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c2.Client("org2").SubmitTransaction(c2.Peers(), "asset", "set",
-		[]string{"k", "on-c2"}, nil); err != nil {
+	if _, err := c2.Gateway("org2").Submit(ctx,
+		service.NewInvoke("asset", "set", "k", "on-c2")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -98,12 +101,12 @@ func TestCrossChannelTransactionRejected(t *testing.T) {
 	// Endorse a transaction on c2, then try to order it into c1: the
 	// endorsers' orgs (org2, org3) cannot satisfy c1's policies — and
 	// org3's certificate is not even validatable there.
-	cl2 := c2.Client("org2")
-	prop, err := cl2.NewProposal("asset", "set", []string{"x", "y"}, nil)
+	gw2 := c2.Gateway("org2")
+	prop, err := gw2.NewProposal("asset", "set", []string{"x", "y"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx, _, err := cl2.Endorse(prop, c2.Peers())
+	tx, _, err := gw2.EndorseProposal(context.Background(), prop, service.AsEndorsers(c2.Peers()))
 	if err != nil {
 		t.Fatal(err)
 	}

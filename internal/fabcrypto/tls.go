@@ -1,0 +1,92 @@
+package fabcrypto
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// MarshalDER serializes the private key in SEC 1 ASN.1 DER form, the
+// format netconfig material files carry identities in.
+func (k *KeyPair) MarshalDER() ([]byte, error) {
+	der, err := x509.MarshalECPrivateKey(k.priv)
+	if err != nil {
+		return nil, fmt.Errorf("marshal ec key: %w", err)
+	}
+	return der, nil
+}
+
+// ParseKeyPairDER is the inverse of MarshalDER.
+func ParseKeyPairDER(der []byte) (*KeyPair, error) {
+	priv, err := x509.ParseECPrivateKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("parse ec key: %w", err)
+	}
+	if priv.Curve != elliptic.P256() {
+		return nil, errors.New("fabcrypto: key is not P-256")
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// TLSCertificate builds a self-signed x509 serving certificate over the
+// key pair. Trust does not come from chain validation — wire peers pin
+// the leaf public key against the fabcrypto key the consortium's CA
+// certificate speaks for (see VerifyPinnedKey) — so a self-signed leaf
+// is sufficient to bootstrap an authenticated, encrypted channel.
+func (k *KeyPair) TLSCertificate(cn string) (tls.Certificate, error) {
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("tls serial: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: cn},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		BasicConstraintsValid: true,
+		DNSNames:              []string{cn, "localhost"},
+		IPAddresses:           []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &k.priv.PublicKey, k.priv)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("create tls certificate: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: k.priv}, nil
+}
+
+// VerifyPinnedKey returns a VerifyPeerCertificate callback accepting any
+// presented chain whose leaf certificate speaks for the expected public
+// key. Used with InsecureSkipVerify: the usual PKI path building is
+// replaced by identity pinning against consortium-issued fabcrypto keys.
+func VerifyPinnedKey(expected PublicKey) func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+	return func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+		if len(rawCerts) == 0 {
+			return errors.New("fabcrypto: peer presented no certificate")
+		}
+		cert, err := x509.ParseCertificate(rawCerts[0])
+		if err != nil {
+			return fmt.Errorf("fabcrypto: parse peer certificate: %w", err)
+		}
+		pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+		if !ok {
+			return errors.New("fabcrypto: peer certificate key is not ECDSA")
+		}
+		got := elliptic.Marshal(elliptic.P256(), pub.X, pub.Y)
+		if !bytes.Equal(got, expected) {
+			return fmt.Errorf("fabcrypto: peer key %s does not match pinned key %s",
+				PublicKey(got), expected)
+		}
+		return nil
+	}
+}

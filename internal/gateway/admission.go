@@ -9,6 +9,7 @@ package gateway
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -18,7 +19,29 @@ import (
 // ErrOverloaded rejects a submission shed by gateway admission control.
 // It is retryable: the transaction was never endorsed or ordered, so the
 // client may simply resubmit after a backoff (see docs/PROTOCOL.md).
+// The concrete error a shed submission carries is *OverloadedError,
+// which matches this sentinel under errors.Is and adds a retry-after
+// hint; the wire protocol marshals the hint so remote clients back off
+// identically to in-process ones.
 var ErrOverloaded = errors.New("gateway: overloaded, retry later")
+
+// OverloadedError is the typed form of ErrOverloaded: it carries the
+// token bucket's estimate of when capacity frees up, so clients need
+// not guess a backoff.
+type OverloadedError struct {
+	// RetryAfter is how long until the bucket expects to hold a full
+	// token again at the current rate (a hint, not a reservation).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("gateway: overloaded, retry after %v", e.RetryAfter)
+}
+
+// Is matches the ErrOverloaded sentinel, so existing
+// errors.Is(err, gateway.ErrOverloaded) checks keep working.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // tokenBucket is a standard rate-limiter: `rate` tokens per second
 // refill a bucket of `burst` capacity; each admitted submission takes
@@ -50,8 +73,9 @@ func newTokenBucket(rate float64, burst int) *tokenBucket {
 }
 
 // allow takes one token if available and reports whether the submission
-// is admitted.
-func (tb *tokenBucket) allow() bool {
+// is admitted; on a shed it returns the time until the bucket refills
+// to one token at the current rate — the retry-after hint.
+func (tb *tokenBucket) allow() (bool, time.Duration) {
 	now := time.Now()
 	tb.mu.Lock()
 	defer tb.mu.Unlock()
@@ -64,10 +88,14 @@ func (tb *tokenBucket) allow() bool {
 		tb.last = now
 	}
 	if tb.tokens < 1 {
-		return false
+		wait := time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		return false, wait
 	}
 	tb.tokens--
-	return true
+	return true, 0
 }
 
 // admit runs the admission check for one submission, maintaining the
@@ -77,11 +105,14 @@ func (g *Gateway) admit() error {
 	g.mu.RLock()
 	tb := g.admission
 	g.mu.RUnlock()
-	if tb != nil && !tb.allow() {
-		if g.counters != nil {
-			g.counters.Inc(metrics.GatewayShed)
+	if tb != nil {
+		ok, retryAfter := tb.allow()
+		if !ok {
+			if g.counters != nil {
+				g.counters.Inc(metrics.GatewayShed)
+			}
+			return &OverloadedError{RetryAfter: retryAfter}
 		}
-		return ErrOverloaded
 	}
 	if g.counters != nil {
 		g.counters.Inc(metrics.GatewayAdmitted)

@@ -1,8 +1,8 @@
 // Endorsement assembly: collecting proposal responses, checking their
 // consistency, verifying Feature 2 hashed-payload signatures and building
 // the transaction (paper §II-B and Fig. 4 steps 6–7). This is the
-// canonical client-side implementation; the deprecated client.Client
-// delegates here.
+// canonical client-side implementation, written against service.Endorser
+// so the endorsers may live in-process or behind the wire protocol.
 package gateway
 
 import (
@@ -13,7 +13,7 @@ import (
 
 	"repro/internal/identity"
 	"repro/internal/ledger"
-	"repro/internal/peer"
+	"repro/internal/service"
 )
 
 // Errors surfaced by the gateway's transaction flow.
@@ -73,7 +73,7 @@ func (g *Gateway) newProposal(
 func (g *Gateway) EndorseProposal(
 	ctx context.Context,
 	prop *ledger.Proposal,
-	endorsers []*peer.Peer,
+	endorsers []service.Endorser,
 ) (*ledger.Transaction, []byte, error) {
 	if len(endorsers) == 0 {
 		return nil, nil, ErrNoEndorsers
@@ -120,14 +120,15 @@ func (g *Gateway) EndorseProposal(
 // fanOutProposal sends the proposal to every endorser concurrently and
 // returns the responses ordered by endorser index. The first endorser
 // failure cancels the remaining waits, and a context cancellation
-// releases the caller mid-call. ProcessProposal itself is synchronous,
-// so an abandoned call runs to completion on its own goroutine and its
-// result is discarded; the result channel is buffered so those
-// goroutines never block.
+// releases the caller mid-call. An in-process Endorse is synchronous, so
+// an abandoned call runs to completion on its own goroutine and its
+// result is discarded (a wire endorser instead observes the cancelled
+// fan-out context and aborts server-side); the result channel is
+// buffered so those goroutines never block.
 func (g *Gateway) fanOutProposal(
 	ctx context.Context,
 	prop *ledger.Proposal,
-	endorsers []*peer.Peer,
+	endorsers []service.Endorser,
 ) ([]*ledger.ProposalResponse, error) {
 	fanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -138,10 +139,10 @@ func (g *Gateway) fanOutProposal(
 	}
 	results := make(chan outcome, len(endorsers))
 	for i, e := range endorsers {
-		go func(i int, e *peer.Peer) {
+		go func(i int, e service.Endorser) {
 			call := make(chan outcome, 1)
 			go func() {
-				resp, err := e.ProcessProposal(prop)
+				resp, err := e.Endorse(fanCtx, prop)
 				if err != nil {
 					err = fmt.Errorf("gateway: endorsement from %s: %w", e.Name(), err)
 				}

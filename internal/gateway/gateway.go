@@ -5,12 +5,18 @@
 // for the full endorse → order → commit-wait flow, Contract.SubmitAsync
 // when the caller wants to overlap work with the commit wait.
 //
-// Unlike the deprecated client.Client, Submit does not return at ordering
-// time: it blocks (honoring the context's deadline) until the
-// transaction's final validation code arrives over the commit peer's
-// delivery service (internal/deliver) — the same push-based commit
-// notification real Fabric clients rely on. There is no peer-state
-// polling anywhere in this path.
+// The gateway is written against the transport-agnostic interfaces of
+// internal/service: its peers are service.Peer and its orderer a
+// service.Orderer, so the same Gateway endorses through in-process
+// peers (*peer.Peer) or through wire clients talking to peers in other
+// OS processes — and the Gateway itself satisfies service.Gateway, so
+// it can in turn be served over the wire (wire.RegisterGateway).
+//
+// Submit does not return at ordering time: it blocks (honoring the
+// context's deadline) until the transaction's final validation code
+// arrives over the commit peer's delivery stream — the same push-based
+// commit notification real Fabric clients rely on. There is no
+// peer-state polling anywhere in this path.
 package gateway
 
 import (
@@ -25,26 +31,31 @@ import (
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
-	"repro/internal/orderer"
-	"repro/internal/peer"
+	"repro/internal/service"
 )
 
 // DefaultCommitTimeout bounds the commit wait when the caller's context
 // carries no deadline.
 const DefaultCommitTimeout = 30 * time.Second
 
+// Result is the final outcome of a submitted transaction. It aliases
+// service.SubmitResult — the struct that travels over the wire — so the
+// local and remote call surfaces share one result shape.
+type Result = service.SubmitResult
+
 // Options wires a Gateway beyond its identity and peers.
 type Options struct {
 	// Verifier checks endorsement signatures under defense Feature 2.
 	Verifier *identity.Verifier
-	// Orderer receives assembled transactions.
-	Orderer *orderer.Service
+	// Orderer receives assembled transactions (in-process service or
+	// wire client).
+	Orderer service.Orderer
 	// Security selects the active defense features on the client side.
 	Security core.SecurityConfig
-	// CommitPeer is the peer whose delivery service reports commit
+	// CommitPeer is the peer whose delivery stream reports commit
 	// status; defaults to the first connected peer of the identity's own
 	// organization, then to the first connected peer.
-	CommitPeer *peer.Peer
+	CommitPeer service.Peer
 	// CommitTimeout bounds Submit's commit wait when the caller's
 	// context has no deadline; 0 selects DefaultCommitTimeout.
 	CommitTimeout time.Duration
@@ -59,13 +70,19 @@ type Options struct {
 
 // Gateway is one client's connection to the network: an identity plus
 // the peers it endorses through and the peer it watches for commit
-// events.
+// events. It satisfies service.Gateway.
 type Gateway struct {
-	id            *identity.Identity
-	verifier      *identity.Verifier
-	orderer       *orderer.Service
-	peers         []*peer.Peer
-	commitPeer    *peer.Peer
+	id         *identity.Identity
+	verifier   *identity.Verifier
+	orderer    service.Orderer
+	commitPeer service.Peer
+
+	// pmu guards the connected peer set, which grows when peers join
+	// the channel after the gateway connected (Network.JoinPeer).
+	pmu    sync.RWMutex
+	peers  []service.Peer
+	byName map[string]service.Peer
+
 	commitTimeout time.Duration
 	timings       *metrics.Timings
 	counters      *metrics.Counters
@@ -75,21 +92,33 @@ type Gateway struct {
 	admission *tokenBucket // nil = admission control off
 }
 
+var _ service.Gateway = (*Gateway)(nil)
+
 // Connect opens a gateway for a client identity over its peers. The
 // variadic peers are the default endorsement set of every contract call
-// (override per call with WithEndorsers).
-func Connect(id *identity.Identity, opts Options, peers ...*peer.Peer) *Gateway {
+// (override per call with WithEndorsers, or by naming endorsers in the
+// InvokeRequest).
+func Connect(id *identity.Identity, opts Options, peers ...service.Peer) *Gateway {
 	g := &Gateway{
 		id:            id,
 		verifier:      opts.Verifier,
 		orderer:       opts.Orderer,
-		peers:         append([]*peer.Peer(nil), peers...),
+		peers:         append([]service.Peer(nil), peers...),
+		byName:        make(map[string]service.Peer, len(peers)),
 		commitPeer:    opts.CommitPeer,
 		commitTimeout: opts.CommitTimeout,
 		timings:       opts.Timings,
 		counters:      opts.Metrics,
 		sec:           opts.Security,
 		admission:     newTokenBucket(opts.Security.GatewayAdmissionRate, opts.Security.GatewayAdmissionBurst),
+	}
+	for _, p := range g.peers {
+		if p != nil {
+			g.byName[p.Name()] = p
+		}
+	}
+	if g.commitPeer != nil {
+		g.byName[g.commitPeer.Name()] = g.commitPeer
 	}
 	if g.commitTimeout <= 0 {
 		g.commitTimeout = DefaultCommitTimeout
@@ -116,9 +145,40 @@ func Connect(id *identity.Identity, opts Options, peers ...*peer.Peer) *Gateway 
 // Identity returns the connected client identity.
 func (g *Gateway) Identity() *identity.Identity { return g.id }
 
-// CommitPeer returns the peer whose delivery service this gateway
+// CommitPeer returns the peer whose delivery stream this gateway
 // watches for commit status.
-func (g *Gateway) CommitPeer() *peer.Peer { return g.commitPeer }
+func (g *Gateway) CommitPeer() service.Peer { return g.commitPeer }
+
+// AddPeer adds a peer to the gateway's connected set, making it part of
+// the default endorsement set and resolvable by name in InvokeRequests.
+// Used when a peer joins the channel after the gateway connected.
+func (g *Gateway) AddPeer(p service.Peer) {
+	if p == nil {
+		return
+	}
+	g.pmu.Lock()
+	defer g.pmu.Unlock()
+	if _, ok := g.byName[p.Name()]; ok {
+		return
+	}
+	g.peers = append(g.peers, p)
+	g.byName[p.Name()] = p
+}
+
+// connectedPeers snapshots the connected peer set.
+func (g *Gateway) connectedPeers() []service.Peer {
+	g.pmu.RLock()
+	defer g.pmu.RUnlock()
+	return append([]service.Peer(nil), g.peers...)
+}
+
+// peerByName resolves a connected peer.
+func (g *Gateway) peerByName(name string) (service.Peer, bool) {
+	g.pmu.RLock()
+	defer g.pmu.RUnlock()
+	p, ok := g.byName[name]
+	return p, ok
+}
 
 // SetSecurity swaps the active security configuration, rebuilding the
 // admission token bucket from the new rate/burst knobs.
@@ -158,12 +218,18 @@ func (n *Network) Contract(name string) *Contract {
 
 // DeliverService exposes the commit peer's delivery service, so channel
 // consumers can follow block and commit-status streams directly (with
-// checkpointed replay across restarts).
+// checkpointed replay across restarts). Only in-process peers expose
+// the concrete service; for remote commit peers use the gateway's
+// SubscribeFrom surface on the peer itself.
 func (n *Network) DeliverService() (*deliver.Service, error) {
 	if n.g.commitPeer == nil {
 		return nil, fmt.Errorf("gateway: no commit peer connected")
 	}
-	return n.g.commitPeer.Deliver(), nil
+	dp, ok := n.g.commitPeer.(interface{ Deliver() *deliver.Service })
+	if !ok {
+		return nil, fmt.Errorf("gateway: commit peer %s is remote; no in-process deliver service", n.g.commitPeer.Name())
+	}
+	return dp.Deliver(), nil
 }
 
 // Contract drives one chaincode.
@@ -180,7 +246,7 @@ func (c *Contract) Name() string { return c.name }
 type callOptions struct {
 	args         []string
 	transient    map[string][]byte
-	endorsers    []*peer.Peer
+	endorsers    []service.Endorser
 	endorsersSet bool
 }
 
@@ -201,9 +267,9 @@ func WithTransient(transient map[string][]byte) CallOption {
 // WithEndorsers overrides the gateway's default endorsement set — e.g.
 // restricting a private-data write to collection members. Passing none
 // explicitly requests zero endorsers and fails with ErrNoEndorsers.
-func WithEndorsers(peers ...*peer.Peer) CallOption {
+func WithEndorsers(endorsers ...service.Endorser) CallOption {
 	return func(o *callOptions) {
-		o.endorsers = peers
+		o.endorsers = endorsers
 		o.endorsersSet = true
 	}
 }
@@ -214,34 +280,176 @@ func (c *Contract) options(opts []CallOption) *callOptions {
 		opt(o)
 	}
 	if !o.endorsersSet {
-		o.endorsers = c.g.peers
+		o.endorsers = service.AsEndorsers(c.g.connectedPeers())
 	}
 	return o
 }
 
-// checkChannel validates the lazily selected channel name.
-func (c *Contract) checkChannel() error {
-	if c.channel == "" || c.g.commitPeer == nil {
+// checkChannel validates a lazily selected channel name.
+func (g *Gateway) checkChannel(channel string) error {
+	if channel == "" || g.commitPeer == nil {
 		return nil
 	}
-	if have := c.g.commitPeer.ChannelName(); c.channel != have {
-		return fmt.Errorf("gateway: unknown channel %q (peers serve %q)", c.channel, have)
+	if have := g.commitPeer.ChannelName(); channel != have {
+		return fmt.Errorf("gateway: unknown channel %q (peers serve %q)", channel, have)
 	}
 	return nil
 }
 
+// resolveEndorsers maps InvokeRequest endorser names onto connected
+// peers; nil without an explicit set selects every connected peer.
+func (g *Gateway) resolveEndorsers(req *service.InvokeRequest) ([]service.Endorser, error) {
+	if !req.EndorsersSet && req.Endorsers == nil {
+		return service.AsEndorsers(g.connectedPeers()), nil
+	}
+	out := make([]service.Endorser, 0, len(req.Endorsers))
+	for _, name := range req.Endorsers {
+		p, ok := g.peerByName(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: endorser %q not connected", ErrNoEndorsers, name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 // Evaluate runs a query against a single endorser without ordering: no
 // transaction is created and the ledger is not updated. The first
-// endorser of the call (or the gateway's commit peer) serves the query.
+// endorser of the request (or the gateway's commit peer) serves the
+// query.
+func (g *Gateway) Evaluate(ctx context.Context, req *service.InvokeRequest) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := g.checkChannel(req.Channel); err != nil {
+		return nil, err
+	}
+	endorsers, err := g.resolveEndorsers(req)
+	if err != nil {
+		return nil, err
+	}
+	var target service.Endorser
+	if g.commitPeer != nil {
+		target = g.commitPeer
+	}
+	if len(endorsers) > 0 {
+		target = endorsers[0]
+	}
+	if target == nil {
+		return nil, ErrNoEndorsers
+	}
+	prop, err := g.newProposal(req.Channel, req.Chaincode, req.Function, req.Args, req.Transient)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := target.Endorse(ctx, prop)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: evaluate %s.%s: %w", req.Chaincode, req.Function, err)
+	}
+	return resp.Response.Payload, nil
+}
+
+// Submit drives the full transaction flow — endorse, order, wait for the
+// final commit status over the deliver stream — honoring ctx at every
+// stage. The returned Result carries the transaction's final validation
+// code as recorded by the commit peer; a non-VALID code is reported in
+// the Result, not as an error.
+func (g *Gateway) Submit(ctx context.Context, req *service.InvokeRequest) (*Result, error) {
+	commit, err := g.SubmitAsync(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	defer commit.Close()
+	return commit.Status(ctx)
+}
+
+// SubmitAsync endorses and orders the transaction described by the
+// request, returning as soon as the orderer accepted it. The caller
+// collects the final validation code later through Commit.Status (and
+// must Close the Commit when done).
+func (g *Gateway) SubmitAsync(ctx context.Context, req *service.InvokeRequest) (service.Commit, error) {
+	endorsers, err := g.resolveEndorsers(req)
+	if err != nil {
+		return nil, err
+	}
+	commit, err := g.submitAsync(ctx, req.Channel, req.Chaincode, req.Function, req.Args, req.Transient, endorsers)
+	if err != nil {
+		return nil, err
+	}
+	return commit, nil
+}
+
+// SubmitWithRetry submits a request, re-endorsing and resubmitting when
+// the result is an MVCC read conflict — the standard SDK pattern for
+// contended keys, since a conflict only means another transaction
+// committed between simulation and validation.
+func (g *Gateway) SubmitWithRetry(ctx context.Context, req *service.InvokeRequest, maxAttempts int) (*Result, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var last *Result
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		res, err := g.Submit(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if res.Code != ledger.MVCCConflict {
+			return res, nil
+		}
+		last = res
+	}
+	return last, fmt.Errorf("gateway: tx still conflicting after %d attempts", maxAttempts)
+}
+
+// submitAsync is the shared endorse→order path behind the struct-based
+// and Contract call surfaces.
+//
+// Admission control (SecurityConfig.GatewayAdmissionRate) runs first: a
+// shed submission returns ErrOverloaded (carrying a retry-after hint)
+// before any endorsement work — no proposal is built, no peer is
+// contacted — so the client may retry after a backoff at near-zero
+// server cost. Callers that assemble transactions themselves and enter
+// through SubmitAssembledAsync bypass the check (they are trusted
+// harness/adapter paths, not clients).
+func (g *Gateway) submitAsync(
+	ctx context.Context,
+	channel, chaincodeName, function string,
+	args []string,
+	transient map[string][]byte,
+	endorsers []service.Endorser,
+) (*Commit, error) {
+	if err := g.checkChannel(channel); err != nil {
+		return nil, err
+	}
+	if err := g.admit(); err != nil {
+		return nil, err
+	}
+	prop, err := g.newProposal(channel, chaincodeName, function, args, transient)
+	if err != nil {
+		return nil, err
+	}
+	tx, payload, err := g.EndorseProposal(ctx, prop, endorsers)
+	if err != nil {
+		return nil, err
+	}
+	return g.SubmitAssembledAsync(ctx, tx, payload)
+}
+
+// Evaluate runs a query against a single endorser without ordering. The
+// first endorser of the call (or the gateway's commit peer) serves the
+// query.
 func (c *Contract) Evaluate(ctx context.Context, function string, opts ...CallOption) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := c.checkChannel(); err != nil {
+	if err := c.g.checkChannel(c.channel); err != nil {
 		return nil, err
 	}
 	o := c.options(opts)
-	target := c.g.commitPeer
+	var target service.Endorser
+	if c.g.commitPeer != nil {
+		target = c.g.commitPeer
+	}
 	if len(o.endorsers) > 0 {
 		target = o.endorsers[0]
 	}
@@ -252,18 +460,15 @@ func (c *Contract) Evaluate(ctx context.Context, function string, opts ...CallOp
 	if err != nil {
 		return nil, err
 	}
-	resp, err := target.ProcessProposal(prop)
+	resp, err := target.Endorse(ctx, prop)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: evaluate %s.%s: %w", c.name, function, err)
 	}
 	return resp.Response.Payload, nil
 }
 
-// Submit drives the full transaction flow — endorse, order, wait for the
-// final commit status over the deliver stream — honoring ctx at every
-// stage. The returned Result carries the transaction's final validation
-// code as recorded by the commit peer; a non-VALID code is reported in
-// the Result, not as an error.
+// Submit drives the full transaction flow through the contract's
+// call-option surface; see Gateway.Submit.
 func (c *Contract) Submit(ctx context.Context, function string, opts ...CallOption) (*Result, error) {
 	commit, err := c.SubmitAsync(ctx, function, opts...)
 	if err != nil {
@@ -274,63 +479,20 @@ func (c *Contract) Submit(ctx context.Context, function string, opts ...CallOpti
 }
 
 // SubmitAsync endorses and orders the transaction, returning as soon as
-// the orderer accepted it. The caller collects the final validation code
-// later through Commit.Status (and must Close the Commit when done).
-//
-// Admission control (SecurityConfig.GatewayAdmissionRate) runs first:
-// a shed submission returns ErrOverloaded before any endorsement work —
-// no proposal is built, no peer is contacted — so the client may retry
-// after a backoff at near-zero server cost. Callers that assemble
-// transactions themselves and enter through SubmitAssembledAsync bypass
-// the check (they are trusted harness/adapter paths, not clients).
+// the orderer accepted it; see Gateway.SubmitAsync.
 func (c *Contract) SubmitAsync(ctx context.Context, function string, opts ...CallOption) (*Commit, error) {
-	if err := c.checkChannel(); err != nil {
-		return nil, err
-	}
-	if err := c.g.admit(); err != nil {
-		return nil, err
-	}
 	o := c.options(opts)
-	prop, err := c.g.newProposal(c.channel, c.name, function, o.args, o.transient)
-	if err != nil {
-		return nil, err
-	}
-	tx, payload, err := c.g.EndorseProposal(ctx, prop, o.endorsers)
-	if err != nil {
-		return nil, err
-	}
-	return c.g.SubmitAssembledAsync(ctx, tx, payload)
-}
-
-// Result is the final outcome of a submitted transaction, assembled from
-// its commit-status event.
-type Result struct {
-	TxID string
-	// Payload is the chaincode's response payload in plaintext (from
-	// PR_Ori under defense Feature 2).
-	Payload []byte
-	// Code is the final validation code the commit peer recorded.
-	Code ledger.ValidationCode
-	// Detail explains non-VALID codes.
-	Detail string
-	// BlockNum is the block the transaction landed in.
-	BlockNum uint64
-	// Event is the chaincode event of a VALID transaction, if any.
-	Event *ledger.ChaincodeEvent
-	// MissingCollections lists collections whose original private data
-	// the commit peer had not obtained at commit time.
-	MissingCollections []string
-	// CommitWait is the submit→commit-notified latency.
-	CommitWait time.Duration
+	return c.g.submitAsync(ctx, c.channel, c.name, function, o.args, o.transient, o.endorsers)
 }
 
 // Commit is a pending commit notification: the handle SubmitAsync
-// returns while the transaction is in ordering/validation.
+// returns while the transaction is in ordering/validation. It satisfies
+// service.Commit.
 type Commit struct {
 	g         *Gateway
 	txID      string
 	payload   []byte
-	sub       *deliver.Subscription
+	sub       service.Stream
 	submitted time.Time
 
 	// mu serializes waiters (it is held across the blocking stream
@@ -344,6 +506,8 @@ type Commit struct {
 	result *Result
 	err    error
 }
+
+var _ service.Commit = (*Commit)(nil)
 
 // TxID returns the pending transaction's ID.
 func (c *Commit) TxID() string { return c.txID }
@@ -377,7 +541,7 @@ func (c *Commit) Status(ctx context.Context) (*Result, error) {
 // third return reports whether the outcome is terminal (latch + close
 // the subscription) or ctx-derived (leave everything open for a retry).
 func (c *Commit) wait(ctx context.Context) (*Result, error, bool) {
-	st := c.sub.TryTxStatus(c.txID)
+	st := service.TryTxStatus(c.sub, c.txID)
 	if st == nil {
 		// Not committed yet. Cut the partial batch only when this
 		// transaction is actually sitting in it — an unconditional flush
@@ -396,7 +560,7 @@ func (c *Commit) wait(ctx context.Context) (*Result, error, bool) {
 			defer cancel()
 		}
 		var err error
-		st, err = c.sub.WaitTxStatus(wctx, c.txID)
+		st, err = service.WaitTxStatus(wctx, c.sub, c.txID)
 		if err != nil {
 			// Cancellation and deadline expiry (the caller's own, or the
 			// gateway commit timeout derived above) are retryable; a dead
@@ -430,10 +594,11 @@ func (c *Commit) wait(ctx context.Context) (*Result, error, bool) {
 func (c *Commit) Close() { c.sub.Close() }
 
 // SubmitAssembledAsync orders a pre-assembled transaction and returns a
-// pending Commit. The deliver subscription is registered before the
+// pending Commit. The deliver subscription is registered (and, for
+// remote commit peers, acknowledged by the serving process) before the
 // transaction reaches the orderer, so the commit-status event cannot be
-// missed. Exposed for the deprecated client.Client adapter and for
-// attack harnesses that interpose between endorsement and ordering.
+// missed. Exposed for harnesses that interpose between endorsement and
+// ordering.
 func (g *Gateway) SubmitAssembledAsync(ctx context.Context, tx *ledger.Transaction, payload []byte) (*Commit, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -444,9 +609,13 @@ func (g *Gateway) SubmitAssembledAsync(ctx context.Context, tx *ledger.Transacti
 	if g.commitPeer == nil {
 		return nil, fmt.Errorf("gateway: no commit peer connected")
 	}
-	sub := g.commitPeer.Deliver().SubscribeLive()
+	sub := g.commitPeer.SubscribeLive()
+	if err := sub.Err(); err != nil {
+		sub.Close()
+		return nil, fmt.Errorf("gateway: commit stream: %w", err)
+	}
 	start := time.Now()
-	if err := g.orderer.Submit(tx); err != nil {
+	if err := g.orderer.Order(ctx, tx); err != nil {
 		sub.Close()
 		return nil, fmt.Errorf("gateway: order tx %s: %w", tx.TxID, err)
 	}

@@ -232,14 +232,19 @@ func TestAdmissionDisabledByDefault(t *testing.T) {
 // tokens come back at the configured rate.
 func TestTokenBucketRefill(t *testing.T) {
 	tb := newTokenBucket(1000, 2)
-	if !tb.allow() || !tb.allow() {
-		t.Fatal("burst of 2 did not admit 2 submissions")
+	if ok, _ := tb.allow(); !ok {
+		t.Fatal("burst of 2 did not admit the first submission")
 	}
-	if tb.allow() {
+	if ok, _ := tb.allow(); !ok {
+		t.Fatal("burst of 2 did not admit the second submission")
+	}
+	if ok, retry := tb.allow(); ok {
 		t.Fatal("third immediate submission admitted past the burst")
+	} else if retry <= 0 {
+		t.Fatalf("shed submission carried no retry-after hint: %v", retry)
 	}
 	time.Sleep(5 * time.Millisecond) // 1000/s → ≥1 token back
-	if !tb.allow() {
+	if ok, _ := tb.allow(); !ok {
 		t.Fatal("no token after refill interval")
 	}
 }
@@ -249,10 +254,10 @@ func TestTokenBucketDefaults(t *testing.T) {
 		t.Fatal("rate 0 must disable the bucket")
 	}
 	tb := newTokenBucket(0.5, 0) // burst defaults to max(1, round(rate))
-	if !tb.allow() {
+	if ok, _ := tb.allow(); !ok {
 		t.Fatal("default burst below 1")
 	}
-	if tb.allow() {
+	if ok, _ := tb.allow(); ok {
 		t.Fatal("fractional-rate bucket admitted a second immediate submission")
 	}
 }

@@ -1,0 +1,55 @@
+package identity
+
+import (
+	"bytes"
+	"crypto/tls"
+	"errors"
+	"fmt"
+
+	"repro/internal/fabcrypto"
+)
+
+// Encoded is the serialized form of an Identity: the certificate plus the
+// DER private key. It appears only in netconfig material files, which ship
+// pre-issued identities to the separate OS processes of a wire deployment;
+// transactions never carry private keys.
+type Encoded struct {
+	Cert []byte `json:"cert"`
+	Key  []byte `json:"key"`
+}
+
+// Export serializes the identity, private key included.
+func (id *Identity) Export() (*Encoded, error) {
+	key, err := id.key.MarshalDER()
+	if err != nil {
+		return nil, fmt.Errorf("identity: export %s: %w", id.Cert.Subject, err)
+	}
+	return &Encoded{Cert: id.Cert.Bytes(), Key: key}, nil
+}
+
+// Identity reconstructs the identity and checks that the private key
+// actually speaks for the certificate's public key.
+func (e *Encoded) Identity() (*Identity, error) {
+	cert, err := ParseCertificate(e.Cert)
+	if err != nil {
+		return nil, err
+	}
+	kp, err := fabcrypto.ParseKeyPairDER(e.Key)
+	if err != nil {
+		return nil, fmt.Errorf("identity: decode key for %s: %w", cert.Subject, err)
+	}
+	if !bytes.Equal(kp.PublicKey(), cert.PubKey) {
+		return nil, fmt.Errorf("identity: key for %s does not match its certificate", cert.Subject)
+	}
+	return &Identity{Cert: cert, key: kp}, nil
+}
+
+// TLSCertificate builds a self-signed TLS certificate over the identity's
+// key pair for wire transport security. Remote ends pin the leaf key to
+// the certificate's PubKey instead of walking a PKI chain.
+func (id *Identity) TLSCertificate() (tls.Certificate, error) {
+	if id.key == nil {
+		return tls.Certificate{}, errors.New("identity: no private key")
+	}
+	return id.key.TLSCertificate(id.Cert.Subject)
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/service"
 )
 
 // Workload mixes.
@@ -184,11 +185,17 @@ type Point struct {
 
 // Harness is a warm measurement network plus its client fleet, reused
 // across the points of a sweep so later points do not pay construction
-// and cache-warmup costs.
+// and cache-warmup costs. The fleet is addressed through the
+// transport-agnostic service.Gateway interface, so the same Run loop
+// drives in-process gateways (NewHarness) and wire-protocol gateway
+// clients talking to separate OS processes (NewRemoteHarness).
 type Harness struct {
-	cfg      Config
-	net      *network.Network
-	gws      []*gateway.Gateway
+	cfg     Config
+	net     *network.Network // nil when the fleet is remote
+	channel string
+	fleet   []service.Gateway  // one per simulated client
+	local   []*gateway.Gateway // in-process gateways (admission arming, dup probes)
+
 	counters *metrics.Counters
 	timings  *metrics.Timings
 }
@@ -216,25 +223,54 @@ func NewHarness(cfg Config) (*Harness, error) {
 	h := &Harness{
 		cfg:      cfg,
 		net:      net,
+		channel:  net.Channel.Name,
 		counters: &metrics.Counters{},
 		timings:  &metrics.Timings{},
 	}
 	orgs := net.Orgs()
-	h.gws = make([]*gateway.Gateway, cfg.Clients)
+	h.fleet = make([]service.Gateway, cfg.Clients)
+	h.local = make([]*gateway.Gateway, cfg.Clients)
 	for c := 0; c < cfg.Clients; c++ {
 		org := orgs[c%len(orgs)]
 		id, err := net.CA(org).Issue(fmt.Sprintf("load-%d.%s", c, org), identity.RoleClient)
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: client %d: %w", c, err)
 		}
-		h.gws[c] = gateway.Connect(id, gateway.Options{
+		gw := gateway.Connect(id, gateway.Options{
 			Verifier:   net.Channel.Verifier(),
 			Orderer:    net.Orderer,
 			Security:   cfg.Security,
 			CommitPeer: net.Peer(org),
 			Timings:    h.timings,
 			Metrics:    h.counters,
-		}, net.Peers()...)
+		}, service.AsPeers(net.Peers())...)
+		h.fleet[c] = gw
+		h.local[c] = gw
+	}
+	return h, nil
+}
+
+// NewRemoteHarness wraps an externally built gateway fleet — typically
+// wire-protocol clients connected to gateway processes — in the same
+// measurement loop. Clients are assigned round-robin over the supplied
+// gateways. Admission arming and duplicate probes need in-process
+// internals and are skipped on a remote harness; shed submissions are
+// still retried (the wire carries ErrOverloaded with its retry-after
+// hint) but the Shed counter reports 0 because it lives server-side.
+func NewRemoteHarness(cfg Config, channel string, fleet ...service.Gateway) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("loadgen: remote harness needs at least one gateway")
+	}
+	h := &Harness{
+		cfg:      cfg,
+		channel:  channel,
+		counters: &metrics.Counters{},
+		timings:  &metrics.Timings{},
+	}
+	h.fleet = make([]service.Gateway, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		h.fleet[c] = fleet[c%len(fleet)]
 	}
 	return h, nil
 }
@@ -246,19 +282,23 @@ func (h *Harness) Network() *network.Network { return h.net }
 // Counters exposes the fleet's shared gateway counter set.
 func (h *Harness) Counters() *metrics.Counters { return h.counters }
 
-// Close stops the orderer and releases peer storage.
+// Close stops the orderer and releases peer storage. Remote harnesses
+// hold no network; closing their wire connections is the caller's job.
 func (h *Harness) Close() error {
+	if h.net == nil {
+		return nil
+	}
 	h.net.Orderer.Stop()
 	return h.net.Close()
 }
 
-// setAdmission arms (or, with rate 0, disarms) every client gateway's
-// token bucket.
+// setAdmission arms (or, with rate 0, disarms) every in-process client
+// gateway's token bucket.
 func (h *Harness) setAdmission(rate float64, burst int) {
 	sec := h.cfg.Security
 	sec.GatewayAdmissionRate = rate
 	sec.GatewayAdmissionBurst = burst
-	for _, g := range h.gws {
+	for _, g := range h.local {
 		g.SetSecurity(sec)
 	}
 }
@@ -315,7 +355,7 @@ func (h *Harness) Run(opts RunOptions) (Point, error) {
 	}
 	cfg := h.cfg
 
-	if opts.AdmissionRate > 0 {
+	if opts.AdmissionRate > 0 && h.net != nil {
 		h.setAdmission(opts.AdmissionRate, opts.AdmissionBurst)
 		defer h.setAdmission(0, 0)
 	}
@@ -347,8 +387,7 @@ func (h *Harness) Run(opts RunOptions) (Point, error) {
 			if opts.Mix == MixLarge {
 				cs.largeVal = strings.Repeat("x", opts.ValueBytes)
 			}
-			gw := h.gws[c]
-			contract := gw.Network(h.net.Channel.Name).Contract("asset")
+			gw := h.fleet[c]
 			ctx := context.Background()
 
 			next := time.Now()
@@ -362,9 +401,10 @@ func (h *Harness) Run(opts RunOptions) (Point, error) {
 					next = next.Add(interval)
 				}
 				fn, args := cs.nextCall(i)
+				req := service.NewInvoke("asset", fn, args...).OnChannel(h.channel)
 
-				if opts.DuplicateEvery > 0 && (i+1)%opts.DuplicateEvery == 0 {
-					h.runDuplicateProbe(ctx, gw, out, fn, args)
+				if opts.DuplicateEvery > 0 && h.net != nil && (i+1)%opts.DuplicateEvery == 0 {
+					h.runDuplicateProbe(ctx, h.local[c], out, fn, args)
 					if out.err != nil {
 						return
 					}
@@ -372,9 +412,9 @@ func (h *Harness) Run(opts RunOptions) (Point, error) {
 				}
 				if opts.AbandonEvery > 0 && (i+1)%opts.AbandonEvery == 0 {
 					for attempt := 0; attempt <= overloadRetries; attempt++ {
-						commit, err := contract.SubmitAsync(ctx, fn, gateway.WithArguments(args...))
+						commit, err := gw.SubmitAsync(ctx, req)
 						if errors.Is(err, gateway.ErrOverloaded) {
-							time.Sleep(time.Millisecond << uint(attempt))
+							time.Sleep(overloadBackoff(err, attempt, 0))
 							continue
 						}
 						if err == nil {
@@ -389,17 +429,13 @@ func (h *Harness) Run(opts RunOptions) (Point, error) {
 				submitted := false
 				for attempt := 0; attempt <= overloadRetries; attempt++ {
 					t0 := time.Now()
-					res, err := contract.Submit(ctx, fn, gateway.WithArguments(args...))
+					res, err := gw.Submit(ctx, req)
 					if errors.Is(err, gateway.ErrOverloaded) {
 						// Retryable by contract: nothing was endorsed or
-						// ordered. Back off for roughly a token's worth.
-						backoff := time.Millisecond << uint(attempt)
-						if opts.AdmissionRate > 0 {
-							if tok := time.Duration(float64(time.Second) / opts.AdmissionRate); backoff > tok {
-								backoff = tok
-							}
-						}
-						time.Sleep(backoff)
+						// ordered. Back off for the server's retry-after
+						// hint when the error carries one (it survives the
+						// wire), else roughly a token's worth.
+						time.Sleep(overloadBackoff(err, attempt, opts.AdmissionRate))
 						continue
 					}
 					if errors.Is(err, gateway.ErrEndorsementMismatch) {
@@ -451,9 +487,28 @@ func (h *Harness) Run(opts RunOptions) (Point, error) {
 	return pt, nil
 }
 
+// overloadBackoff picks the sleep before retrying a shed submission:
+// the server's retry-after hint when the error carries one, else an
+// exponential backoff capped at one admission token's worth.
+func overloadBackoff(err error, attempt int, admissionRate float64) time.Duration {
+	var ov *gateway.OverloadedError
+	if errors.As(err, &ov) && ov.RetryAfter > 0 {
+		return ov.RetryAfter
+	}
+	backoff := time.Millisecond << uint(attempt)
+	if admissionRate > 0 {
+		if tok := time.Duration(float64(time.Second) / admissionRate); backoff > tok {
+			backoff = tok
+		}
+	}
+	return backoff
+}
+
 // runDuplicateProbe endorses one transaction and submits the assembled
 // bytes twice: the first copy is the measured submission, the second
 // must be rejected DUPLICATE_TXID by the commit peers' dedup cache.
+// Probes need the in-process assembly internals, so a remote harness
+// never runs them.
 func (h *Harness) runDuplicateProbe(
 	ctx context.Context,
 	gw *gateway.Gateway,
@@ -475,7 +530,7 @@ func (h *Harness) runDuplicateProbe(
 		Creator:   creator,
 		Nonce:     nonce,
 	}
-	tx, payload, err := gw.EndorseProposal(ctx, prop, h.net.Peers())
+	tx, payload, err := gw.EndorseProposal(ctx, prop, service.AsEndorsers(h.net.Peers()))
 	if err != nil {
 		out.err = err
 		return

@@ -24,6 +24,10 @@ type PointJSON struct {
 	Knee        bool    `json:"knee,omitempty"`
 }
 
+// JSON converts the point to its committed-artifact form; other
+// scenarios (the wire benchmark) embed it in their own artifacts.
+func (p Point) JSON() PointJSON { return toJSON(p) }
+
 func toJSON(p Point) PointJSON {
 	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 	return PointJSON{

@@ -1,0 +1,159 @@
+// Material generation for multi-process (wire) deployments: the
+// identity root a single-process network builds in memory — org CAs,
+// per-node certificates and keys — serialized so separate OS processes
+// reconstruct a consistent consortium. This is the reproduction's
+// cryptogen: `pdcnet keygen` writes the file, every role process loads
+// it.
+package netconfig
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/channel"
+	"repro/internal/fabcrypto"
+	"repro/internal/identity"
+)
+
+// MaterialOrg carries one organization's public CA material.
+type MaterialOrg struct {
+	Name  string              `json:"name"`
+	CAPub fabcrypto.PublicKey `json:"ca_pub"`
+}
+
+// OrdererNode is the conventional node name of the ordering service's
+// identity in a material file.
+const OrdererNode = "orderer0"
+
+// Material is the serialized identity root of one deployment. The file
+// contains private keys: in a real deployment each node would receive
+// only its own identity, but the loopback clusters this drives keep one
+// file for simplicity.
+type Material struct {
+	Channel            string                       `json:"channel"`
+	DefaultEndorsement string                       `json:"defaultEndorsement,omitempty"`
+	Orgs               []MaterialOrg                `json:"orgs"`
+	Identities         map[string]*identity.Encoded `json:"identities"`
+}
+
+// GenerateMaterial creates fresh CAs and issues every identity the
+// config's topology needs: peer<i>.<org> for each org's peers,
+// client0.<org> for each org's gateway, and orderer0 (issued by the
+// first org's CA, standing in for the orderer org).
+func (c *Config) GenerateMaterial() (*Material, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	channelName := c.Channel
+	if channelName == "" {
+		channelName = "c1"
+	}
+	m := &Material{
+		Channel:            channelName,
+		DefaultEndorsement: c.DefaultEndorsement,
+		Identities:         make(map[string]*identity.Encoded),
+	}
+	peersPerOrg := c.PeersPerOrg
+	if peersPerOrg <= 0 {
+		peersPerOrg = 1
+	}
+	issue := func(ca *identity.CA, subject string, role identity.Role) error {
+		id, err := ca.Issue(subject, role)
+		if err != nil {
+			return fmt.Errorf("netconfig: issue %s: %w", subject, err)
+		}
+		enc, err := id.Export()
+		if err != nil {
+			return fmt.Errorf("netconfig: export %s: %w", subject, err)
+		}
+		m.Identities[subject] = enc
+		return nil
+	}
+	for i, org := range c.Orgs {
+		ca, err := identity.NewCA(org)
+		if err != nil {
+			return nil, fmt.Errorf("netconfig: %w", err)
+		}
+		m.Orgs = append(m.Orgs, MaterialOrg{Name: org, CAPub: ca.PublicKey()})
+		for p := 0; p < peersPerOrg; p++ {
+			if err := issue(ca, fmt.Sprintf("peer%d.%s", p, org), identity.RolePeer); err != nil {
+				return nil, err
+			}
+		}
+		if err := issue(ca, "client0."+org, identity.RoleClient); err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			if err := issue(ca, OrdererNode, identity.RoleOrderer); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// Save writes the material file (0600 — it holds private keys).
+func (m *Material) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("netconfig: marshal material: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		return fmt.Errorf("netconfig: write material: %w", err)
+	}
+	return nil
+}
+
+// LoadMaterial reads a material file.
+func LoadMaterial(path string) (*Material, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("netconfig: read material: %w", err)
+	}
+	var m Material
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("netconfig: parse material: %w", err)
+	}
+	if m.Channel == "" || len(m.Orgs) == 0 {
+		return nil, fmt.Errorf("netconfig: material missing channel or orgs")
+	}
+	return &m, nil
+}
+
+// ChannelConfig reconstructs the channel configuration every process
+// shares: same org set, same CA keys, same default endorsement policy.
+func (m *Material) ChannelConfig() *channel.Config {
+	orgCfgs := make([]channel.OrgConfig, 0, len(m.Orgs))
+	for _, org := range m.Orgs {
+		orgCfgs = append(orgCfgs, channel.OrgConfig{Name: org.Name, CAPub: org.CAPub})
+	}
+	cfg := channel.NewConfig(m.Channel, orgCfgs...)
+	if m.DefaultEndorsement != "" {
+		cfg.DefaultEndorsement = m.DefaultEndorsement
+	}
+	return cfg
+}
+
+// Identity reconstructs one node's identity.
+func (m *Material) Identity(name string) (*identity.Identity, error) {
+	enc, ok := m.Identities[name]
+	if !ok {
+		return nil, fmt.Errorf("netconfig: no identity for %q in material", name)
+	}
+	return enc.Identity()
+}
+
+// ServerKey returns the public key a wire client pins when dialing the
+// named node's TLS listener.
+func (m *Material) ServerKey(name string) (fabcrypto.PublicKey, error) {
+	enc, ok := m.Identities[name]
+	if !ok {
+		return nil, fmt.Errorf("netconfig: no identity for %q in material", name)
+	}
+	cert, err := identity.ParseCertificate(enc.Cert)
+	if err != nil {
+		return nil, err
+	}
+	return cert.PubKey, nil
+}

@@ -67,6 +67,22 @@ type Config struct {
 	// Chaincodes then deploy onto every channel whose members include
 	// all orgs their collections reference.
 	Channels map[string][]string `json:"channels,omitempty"`
+	// Wire, when set, describes a multi-process deployment: per-role
+	// TCP listen addresses for `pdcnet up` and the role subcommands.
+	Wire *Wire `json:"wire,omitempty"`
+}
+
+// Wire is the multi-process deployment section: where each role
+// listens. Unlisted peers get loopback addresses assigned at launch.
+type Wire struct {
+	// TLS turns on pinned-key TLS between every process.
+	TLS bool `json:"tls,omitempty"`
+	// Orderer is the ordering service's listen address.
+	Orderer string `json:"orderer,omitempty"`
+	// Gateway is the gateway process's listen address.
+	Gateway string `json:"gateway,omitempty"`
+	// Peers maps node names ("peer0.org1") to listen addresses.
+	Peers map[string]string `json:"peers,omitempty"`
 }
 
 // Load reads and validates a topology document from disk.
@@ -242,6 +258,24 @@ func collectionsCovered(cc *Chaincode, net *network.Network) bool {
 		}
 	}
 	return true
+}
+
+// Implementation returns the built-in contract implementation the
+// chaincode entry selects — exported for the multi-process node
+// bootstrap, which installs chaincodes peer-by-peer instead of through
+// Network.DeployChaincode.
+func (cc *Chaincode) Implementation() (chaincode.Chaincode, error) {
+	return cc.implementation()
+}
+
+// Definition returns the chaincode definition peers approve.
+func (cc *Chaincode) Definition() *chaincode.Definition {
+	return &chaincode.Definition{
+		Name:              cc.Name,
+		Version:           cc.Version,
+		EndorsementPolicy: cc.EndorsementPolicy,
+		Collections:       cc.Collections,
+	}
 }
 
 func (cc *Chaincode) implementation() (chaincode.Chaincode, error) {

@@ -1,12 +1,14 @@
 package netconfig
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/ledger"
 	"repro/internal/peer"
+	"repro/internal/service"
 )
 
 const sampleConfig = `{
@@ -53,10 +55,9 @@ func TestParseAndBuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl := net.Client("org1")
-	res, err := cl.SubmitTransaction(
-		[]*peer.Peer{net.Peer("org1"), net.Peer("org2")},
-		"asset", "setPrivate", []string{"k", "12"}, nil)
+	res, err := net.Gateway("org1").Submit(context.Background(),
+		service.NewInvoke("asset", "setPrivate", "k", "12").
+			WithEndorsers(service.Names([]*peer.Peer{net.Peer("org1"), net.Peer("org2")})...))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,9 +66,9 @@ func TestParseAndBuild(t *testing.T) {
 	}
 	// Feature 2 from the config is active: the stored payload for a
 	// read transaction is hashed.
-	res, err = cl.SubmitTransaction(
-		[]*peer.Peer{net.Peer("org1"), net.Peer("org2")},
-		"asset", "readPrivate", []string{"k"}, nil)
+	res, err = net.Gateway("org1").Submit(context.Background(),
+		service.NewInvoke("asset", "readPrivate", "k").
+			WithEndorsers(service.Names([]*peer.Peer{net.Peer("org1"), net.Peer("org2")})...))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,8 @@ func TestParseAndBuild(t *testing.T) {
 	}
 
 	// The second chaincode deployed too.
-	if _, err := cl.SubmitTransaction(net.Peers(), "public-only", "set", []string{"x", "y"}, nil); err != nil {
+	if _, err := net.Gateway("org1").Submit(context.Background(),
+		service.NewInvoke("public-only", "set", "x", "y")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -173,7 +175,8 @@ func TestBuildConsortium(t *testing.T) {
 		t.Fatal("open missing on c2")
 	}
 	// The consortium transacts.
-	if _, err := c1.Client("org1").SubmitTransaction(c1.Peers(), "open", "set", []string{"k", "v"}, nil); err != nil {
+	if _, err := c1.Gateway("org1").Submit(context.Background(),
+		service.NewInvoke("open", "set", "k", "v")); err != nil {
 		t.Fatal(err)
 	}
 

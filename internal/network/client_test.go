@@ -7,8 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/chaincode"
-	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/ledger"
 	"repro/internal/peer"
 )
@@ -27,37 +27,37 @@ func TestEndorsementMismatchDetected(t *testing.T) {
 			return chaincode.SuccessResponse([]byte("A"))
 		},
 	})
-	cl := n.Client("org1")
-	_, err := cl.SubmitTransaction(
+	cl := n.Gateway("org1")
+	_, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "divergent", nil, nil,
 	)
-	if !errors.Is(err, client.ErrEndorsementMismatch) {
+	if !errors.Is(err, gateway.ErrEndorsementMismatch) {
 		t.Fatalf("err = %v, want ErrEndorsementMismatch", err)
 	}
 }
 
 func TestNoEndorsersRejected(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	_, err := cl.SubmitTransaction(nil, "asset", "set", []string{"k", "v"}, nil)
-	if !errors.Is(err, client.ErrNoEndorsers) {
+	cl := n.Gateway("org1")
+	_, err := submitTx(cl, nil, "asset", "set", []string{"k", "v"}, nil)
+	if !errors.Is(err, gateway.ErrNoEndorsers) {
 		t.Fatalf("err = %v, want ErrNoEndorsers", err)
 	}
 }
 
 func TestChaincodeErrorSurfacesToClient(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	_, err := cl.SubmitTransaction(n.Peers(), "asset", "get", []string{"missing"}, nil)
+	cl := n.Gateway("org1")
+	_, err := submitTx(cl, n.Peers(), "asset", "get", []string{"missing"}, nil)
 	if err == nil {
 		t.Fatal("missing-key read produced a transaction")
 	}
-	_, err = cl.SubmitTransaction(n.Peers(), "asset", "no-such-function", nil, nil)
+	_, err = submitTx(cl, n.Peers(), "asset", "no-such-function", nil, nil)
 	if err == nil {
 		t.Fatal("unknown function produced a transaction")
 	}
-	_, err = cl.SubmitTransaction(n.Peers(), "no-such-chaincode", "f", nil, nil)
+	_, err = submitTx(cl, n.Peers(), "no-such-chaincode", "f", nil, nil)
 	if err == nil {
 		t.Fatal("unknown chaincode produced a transaction")
 	}
@@ -69,10 +69,10 @@ func TestChaincodeErrorSurfacesToClient(t *testing.T) {
 func TestFeature2SignatureChecked(t *testing.T) {
 	n := newTestNet(t)
 	n.SetSecurity(core.Feature2Only())
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 
 	// Honest flow works (also exercised in attacks tests).
-	if _, err := cl.SubmitTransaction(
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil,
 	); err != nil {
@@ -104,12 +104,12 @@ func TestFeature2SignatureChecked(t *testing.T) {
 
 func TestEvaluateDoesNotGrowLedger(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"k", "v"}, nil); err != nil {
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"k", "v"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	before := n.Peer("org1").Ledger().Height()
-	if _, err := cl.EvaluateTransaction(n.Peer("org1"), "asset", "get", "k"); err != nil {
+	if _, err := evalTx(cl, n.Peer("org1"), "asset", "get", "k"); err != nil {
 		t.Fatal(err)
 	}
 	if n.Peer("org1").Ledger().Height() != before {
@@ -124,8 +124,8 @@ func TestCommitListenerNotified(t *testing.T) {
 	n.Peer("org2").OnCommit(func(blockNum uint64, txID string, code ledger.ValidationCode) {
 		gotTx, gotCode = txID, code
 	})
-	cl := n.Client("org1")
-	res, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"k", "v"}, nil)
+	cl := n.Gateway("org1")
+	res, err := submitTx(cl, n.Peers(), "asset", "set", []string{"k", "v"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +136,8 @@ func TestCommitListenerNotified(t *testing.T) {
 
 func TestSubmitWithRetryResolvesConflicts(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"ctr", "0"}, nil); err != nil {
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"ctr", "0"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Race several retried adds; with retries every one eventually
@@ -149,7 +149,7 @@ func TestSubmitWithRetryResolvesConflicts(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := cl.SubmitWithRetry(n.Peers(), "asset", "add", []string{"ctr", "1"}, nil, 30)
+			res, err := submitRetry(cl, n.Peers(), "asset", "add", []string{"ctr", "1"}, nil, 30)
 			if err != nil {
 				return
 			}
@@ -182,8 +182,8 @@ func TestPanickingChaincodeIsolated(t *testing.T) {
 			panic("malicious crash")
 		},
 	})
-	cl := n.Client("org1")
-	_, err := cl.SubmitTransaction([]*peer.Peer{n.Peer("org1")}, "asset", "boom", nil, nil)
+	cl := n.Gateway("org1")
+	_, err := submitTx(cl, []*peer.Peer{n.Peer("org1")}, "asset", "boom", nil, nil)
 	if err == nil {
 		t.Fatal("panicking chaincode produced an endorsement")
 	}
@@ -191,7 +191,7 @@ func TestPanickingChaincodeIsolated(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 	// The peer survives and keeps serving.
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"k", "v"}, nil); err == nil {
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"k", "v"}, nil); err == nil {
 		t.Fatal("peer state broken: honest tx should fail only because org1 now runs the boom-only chaincode")
 	}
 }

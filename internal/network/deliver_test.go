@@ -9,6 +9,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/ledger"
 	"repro/internal/peer"
+	"repro/internal/service"
 )
 
 // TestDeliverStatusMVCCConflict: two transactions endorsed against the
@@ -34,7 +35,7 @@ func TestDeliverStatusMVCCConflict(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tx, _, err := gw.EndorseProposal(ctx, prop, n.Peers())
+		tx, _, err := gw.EndorseProposal(ctx, prop, service.AsEndorsers(n.Peers()))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -73,7 +73,7 @@ func newEventNet(t *testing.T) *Network {
 
 func TestChaincodeEventsDelivered(t *testing.T) {
 	n := newEventNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	members := []*peer.Peer{n.Peer("org1"), n.Peer("org2")}
 
 	var got *ledger.ChaincodeEvent
@@ -81,7 +81,7 @@ func TestChaincodeEventsDelivered(t *testing.T) {
 		got = ev
 	})
 
-	res, err := cl.SubmitTransaction(members, "ev", "setPrivateWithEvent", []string{"k", "12", "clean"}, nil)
+	res, err := submitTx(cl, members, "ev", "setPrivateWithEvent", []string{"k", "12", "clean"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,16 +98,16 @@ func TestChaincodeEventsDelivered(t *testing.T) {
 
 func TestEventChannelLeaksPrivateData(t *testing.T) {
 	n := newEventNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	members := []*peer.Peer{n.Peer("org1"), n.Peer("org2")}
 
 	// Clean event: the non-member sees an event but not the value.
-	if _, err := cl.SubmitTransaction(members, "ev", "setPrivateWithEvent", []string{"k", "12", "clean"}, nil); err != nil {
+	if _, err := submitTx(cl, members, "ev", "setPrivateWithEvent", []string{"k", "12", "clean"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Sloppy event: the private value rides the event into every
 	// peer's blockchain.
-	if _, err := cl.SubmitTransaction(members, "ev", "setPrivateWithEvent", []string{"k", "13", "leaky"}, nil); err != nil {
+	if _, err := submitTx(cl, members, "ev", "setPrivateWithEvent", []string{"k", "13", "leaky"}, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -134,18 +134,18 @@ func TestEventChannelLeaksPrivateData(t *testing.T) {
 
 func TestInvalidTransactionsEmitNoEvents(t *testing.T) {
 	n := newEventNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 
 	var fired int
 	n.Peer("org1").OnEvent(func(uint64, string, *ledger.ChaincodeEvent) { fired++ })
 
 	// Endorsed only by org1: fails MAJORITY, so no event fires.
 	prop, _ := cl.NewProposal("ev", "setPrivateWithEvent", []string{"k", "12", "clean"}, nil)
-	tx, _, err := cl.Endorse(prop, []*peer.Peer{n.Peer("org1")})
+	tx, _, err := endorseProp(cl, prop, []*peer.Peer{n.Peer("org1")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Order(tx)
+	res, err := orderTx(cl, tx)
 	if err != nil {
 		t.Fatal(err)
 	}

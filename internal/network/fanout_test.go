@@ -12,6 +12,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/identity"
 	"repro/internal/ledger"
+	"repro/internal/service"
 )
 
 // TestGatewayCancelDuringEndorserCall: cancellation must release the
@@ -59,7 +60,7 @@ func TestGatewayCancelDuringEndorserCall(t *testing.T) {
 // arrival-ordered implementation would put it last.
 func TestParallelEndorsementDeterministicOrder(t *testing.T) {
 	n := newTestNet(t)
-	peers := n.Peers()
+	peers := service.AsEndorsers(n.Peers())
 
 	slow := contracts.NewPublicAsset()
 	base := slow["set"]
@@ -67,7 +68,7 @@ func TestParallelEndorsementDeterministicOrder(t *testing.T) {
 		time.Sleep(30 * time.Millisecond)
 		return base(stub)
 	}
-	peers[0].InstallChaincode("asset", slow)
+	n.Peers()[0].InstallChaincode("asset", slow)
 
 	g := n.Gateway("org1")
 	prop, err := g.NewProposal("asset", "set", []string{"k", "7"}, nil)
@@ -112,7 +113,7 @@ func TestParallelEndorsementDeterministicOrder(t *testing.T) {
 // consequence of the first failure, not its cause.
 func TestEndorserErrorReportedNotCancellation(t *testing.T) {
 	n := newTestNet(t)
-	peers := n.Peers()
+	peers := service.AsEndorsers(n.Peers())
 
 	// Every peer refuses: the chaincode function doesn't exist.
 	g := n.Gateway("org1")

@@ -99,15 +99,15 @@ func newFeatureNet(t *testing.T) *Network {
 
 func TestRangeQueryAndPhantomProtection(t *testing.T) {
 	n := newFeatureNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	for _, k := range []string{"a1", "a2", "b1"} {
-		if _, err := cl.SubmitTransaction(n.Peers(), "feat", "set", []string{k, "v"}, nil); err != nil {
+		if _, err := submitTx(cl, n.Peers(), "feat", "set", []string{k, "v"}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	// Plain scan works and observes the right keys.
-	res, err := cl.SubmitTransaction(n.Peers(), "feat", "scan", []string{"a", "b"}, nil)
+	res, err := submitTx(cl, n.Peers(), "feat", "scan", []string{"a", "b"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,14 +118,14 @@ func TestRangeQueryAndPhantomProtection(t *testing.T) {
 	// Phantom: endorse a scan, insert a new key into the range before
 	// ordering, then order — the transaction must be invalidated.
 	prop, _ := cl.NewProposal("feat", "scan", []string{"a", "b"}, nil)
-	tx, _, err := cl.Endorse(prop, n.Peers())
+	tx, _, err := endorseProp(cl, prop, n.Peers())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.SubmitTransaction(n.Peers(), "feat", "set", []string{"a15", "phantom"}, nil); err != nil {
+	if _, err := submitTx(cl, n.Peers(), "feat", "set", []string{"a15", "phantom"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	out, err := cl.Order(tx)
+	out, err := orderTx(cl, tx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,14 +135,14 @@ func TestRangeQueryAndPhantomProtection(t *testing.T) {
 
 	// Update of an existing key in the range also invalidates.
 	prop, _ = cl.NewProposal("feat", "scan", []string{"a", "b"}, nil)
-	tx, _, err = cl.Endorse(prop, n.Peers())
+	tx, _, err = endorseProp(cl, prop, n.Peers())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.SubmitTransaction(n.Peers(), "feat", "set", []string{"a1", "updated"}, nil); err != nil {
+	if _, err := submitTx(cl, n.Peers(), "feat", "set", []string{"a1", "updated"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	out, err = cl.Order(tx)
+	out, err = orderTx(cl, tx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +153,13 @@ func TestRangeQueryAndPhantomProtection(t *testing.T) {
 
 func TestKeyLevelEndorsementPolicy(t *testing.T) {
 	n := newFeatureNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 
 	// Create the key, then lock it to AND(org1.peer, org2.peer).
-	if _, err := cl.SubmitTransaction(n.Peers(), "feat", "set", []string{"locked", "1"}, nil); err != nil {
+	if _, err := submitTx(cl, n.Peers(), "feat", "set", []string{"locked", "1"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.SubmitTransaction(n.Peers(), "feat", "lock",
+	res, err := submitTx(cl, n.Peers(), "feat", "lock",
 		[]string{"locked", "AND(org1.peer, org2.peer)"}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -168,13 +168,13 @@ func TestKeyLevelEndorsementPolicy(t *testing.T) {
 		t.Fatalf("lock tx = %v", res.Code)
 	}
 	// The parameter is readable.
-	spec, err := cl.EvaluateTransaction(n.Peer("org1"), "feat", "policyOf", "locked")
+	spec, err := evalTx(cl, n.Peer("org1"), "feat", "policyOf", "locked")
 	if err != nil || string(spec) != "AND(org1.peer, org2.peer)" {
 		t.Fatalf("policyOf = %q, %v", spec, err)
 	}
 
 	// A write endorsed by org1+org2 satisfies the key-level policy.
-	res, err = cl.SubmitTransaction(
+	res, err = submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"feat", "set", []string{"locked", "2"}, nil)
 	if err != nil {
@@ -188,11 +188,11 @@ func TestKeyLevelEndorsementPolicy(t *testing.T) {
 	// (Without key-level validation this would commit — the same class
 	// of misuse the paper's write injection exploits.)
 	prop, _ := cl.NewProposal("feat", "set", []string{"locked", "666"}, nil)
-	tx, _, err := cl.Endorse(prop, []*peer.Peer{n.Peer("org1"), n.Peer("org3")})
+	tx, _, err := endorseProp(cl, prop, []*peer.Peer{n.Peer("org1"), n.Peer("org3")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := cl.Order(tx)
+	out, err := orderTx(cl, tx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestKeyLevelEndorsementPolicy(t *testing.T) {
 	}
 
 	// Unlocked keys still follow the chaincode-level policy.
-	res, err = cl.SubmitTransaction(
+	res, err = submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org3")},
 		"feat", "set", []string{"free", "1"}, nil)
 	if err != nil || res.Code != ledger.Valid {
@@ -213,11 +213,11 @@ func TestKeyLevelEndorsementPolicy(t *testing.T) {
 
 	// Re-locking a locked key is governed by the key-level policy too.
 	prop, _ = cl.NewProposal("feat", "lock", []string{"locked", "OR(org3.peer)"}, nil)
-	tx, _, err = cl.Endorse(prop, []*peer.Peer{n.Peer("org1"), n.Peer("org3")})
+	tx, _, err = endorseProp(cl, prop, []*peer.Peer{n.Peer("org1"), n.Peer("org3")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err = cl.Order(tx)
+	out, err = orderTx(cl, tx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,10 +228,10 @@ func TestKeyLevelEndorsementPolicy(t *testing.T) {
 
 func TestImplicitCollections(t *testing.T) {
 	n := newFeatureNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 
 	// org1 writes into its implicit collection via its own peer.
-	res, err := cl.SubmitTransaction(
+	res, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1")},
 		"feat", "putImplicit", []string{"k", "mine"}, nil)
 	if err != nil {
@@ -256,22 +256,22 @@ func TestImplicitCollections(t *testing.T) {
 	}
 
 	// org1 reads it back.
-	payload, err := cl.EvaluateTransaction(n.Peer("org1"), "feat", "getImplicit", "k")
+	payload, err := evalTx(cl, n.Peer("org1"), "feat", "getImplicit", "k")
 	if err != nil || string(payload) != "mine" {
 		t.Fatalf("implicit read = %q, %v", payload, err)
 	}
 
 	// A client of another org cannot write into org1's implicit
 	// collection (MemberOnlyWrite), regardless of which peer endorses.
-	org2cl := n.Client("org2")
+	org2cl := n.Gateway("org2")
 	prop, _ := org2cl.NewProposal("feat", "putImplicitFor", []string{"org1", "k", "theirs"}, nil)
-	_, _, err = org2cl.Endorse(prop, []*peer.Peer{n.Peer("org2")})
+	_, _, err = endorseProp(org2cl, prop, []*peer.Peer{n.Peer("org2")})
 	if err == nil || !strings.Contains(err.Error(), "member-only write") {
 		t.Fatalf("foreign implicit write: %v", err)
 	}
 	// And cannot read it either (MemberOnlyRead) — the implicit
 	// collection is fully private to its org.
-	_, err = org2cl.EvaluateTransaction(n.Peer("org1"), "feat", "getImplicitFor", "org1", "k")
+	_, err = evalTx(org2cl, n.Peer("org1"), "feat", "getImplicitFor", "org1", "k")
 	if err == nil {
 		t.Fatal("foreign implicit read succeeded")
 	}
@@ -297,8 +297,8 @@ func TestMemberOnlyWriteOnExplicitCollection(t *testing.T) {
 	}
 
 	// A member client writes fine.
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k", "12"}, nil); err != nil {
 		t.Fatal(err)
@@ -306,9 +306,9 @@ func TestMemberOnlyWriteOnExplicitCollection(t *testing.T) {
 
 	// A non-member client is rejected at endorsement — even by a
 	// non-member peer, since the check is on the creator.
-	cl3 := n.Client("org3")
+	cl3 := n.Gateway("org3")
 	prop, _ := cl3.NewProposal("asset", "setPrivate", []string{"k", "5"}, nil)
-	if _, _, err := cl3.Endorse(prop, []*peer.Peer{n.Peer("org3")}); err == nil {
+	if _, _, err := endorseProp(cl3, prop, []*peer.Peer{n.Peer("org3")}); err == nil {
 		t.Fatal("non-member client wrote a member-only-write collection")
 	}
 }

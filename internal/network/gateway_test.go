@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gateway"
 	"repro/internal/ledger"
+	"repro/internal/service"
 )
 
 // TestGatewaySubmitReportsFinalCode drives the full Gateway flow: Submit
@@ -178,18 +179,18 @@ func TestGatewayCrossOrgCommitStream(t *testing.T) {
 // TestClientAdapterStillWorks: the deprecated client.Client path (now a
 // gateway adapter) keeps its observable behaviour, including commit
 // notification without polling.
-func TestClientAdapterStillWorks(t *testing.T) {
+func TestStructInvokeSurface(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	gw := n.Gateway("org1")
 
-	res, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"k", "v"}, nil)
+	res, err := submitTx(gw, n.Peers(), "asset", "set", []string{"k", "v"}, nil)
 	if err != nil {
-		t.Fatalf("adapter submit: %v", err)
+		t.Fatalf("struct submit: %v", err)
 	}
 	if res.Code != ledger.Valid || res.BlockNum != 0 {
-		t.Fatalf("adapter result = %+v", res)
+		t.Fatalf("struct submit result = %+v", res)
 	}
-	if cl.Gateway() == nil || cl.Gateway().CommitPeer() != n.Peer("org1") {
-		t.Fatal("adapter gateway wiring")
+	if gw.CommitPeer() != service.Peer(n.Peer("org1")) {
+		t.Fatal("org gateway must watch its own anchor peer for commits")
 	}
 }

@@ -55,8 +55,8 @@ func TestCrossChaincodeInvocation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cl := n.Client("org1")
-	res, err := cl.SubmitTransaction(n.Peers(), "frontend", "setAndLog", []string{"k", "v"}, nil)
+	cl := n.Gateway("org1")
+	res, err := submitTx(cl, n.Peers(), "frontend", "setAndLog", []string{"k", "v"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestCrossChaincodeInvocation(t *testing.T) {
 	}
 
 	// Calling an uninstalled chaincode surfaces an error.
-	_, err = cl.SubmitTransaction(n.Peers(), "frontend", "callGhost", nil, nil)
+	_, err = submitTx(cl, n.Peers(), "frontend", "callGhost", nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "unavailable") {
 		t.Fatalf("ghost call: %v", err)
 	}

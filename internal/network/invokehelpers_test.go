@@ -1,0 +1,49 @@
+package network
+
+// Shorthand over the gateway invoke API for this package's tests, which
+// exercise many (endorser set, function, args) combinations per test.
+// The endorser set is always explicit — nil means "zero endorsers" and
+// fails with ErrNoEndorsers, never the gateway's every-peer default.
+
+import (
+	"context"
+
+	"repro/internal/gateway"
+	"repro/internal/ledger"
+	"repro/internal/peer"
+	"repro/internal/service"
+)
+
+// submitTx endorses by the explicit peer set, orders, and waits for the
+// final commit status.
+func submitTx(gw *gateway.Gateway, endorsers []*peer.Peer, cc, fn string, args []string, transient map[string][]byte) (*gateway.Result, error) {
+	req := service.NewInvoke(cc, fn, args...).
+		WithTransient(transient).
+		WithEndorsers(service.Names(endorsers)...)
+	return gw.Submit(context.Background(), req)
+}
+
+// submitRetry is submitTx with MVCC-conflict resubmission.
+func submitRetry(gw *gateway.Gateway, endorsers []*peer.Peer, cc, fn string, args []string, transient map[string][]byte, attempts int) (*gateway.Result, error) {
+	req := service.NewInvoke(cc, fn, args...).
+		WithTransient(transient).
+		WithEndorsers(service.Names(endorsers)...)
+	return gw.SubmitWithRetry(context.Background(), req, attempts)
+}
+
+// endorseProp collects endorsements for a pre-built proposal without
+// ordering it.
+func endorseProp(gw *gateway.Gateway, prop *ledger.Proposal, endorsers []*peer.Peer) (*ledger.Transaction, []byte, error) {
+	return gw.EndorseProposal(context.Background(), prop, service.AsEndorsers(endorsers))
+}
+
+// orderTx orders a pre-assembled transaction and waits for its status.
+func orderTx(gw *gateway.Gateway, tx *ledger.Transaction) (*gateway.Result, error) {
+	return gw.SubmitAssembled(context.Background(), tx, nil)
+}
+
+// evalTx runs a query against one peer without ordering.
+func evalTx(gw *gateway.Gateway, target *peer.Peer, cc, fn string, args ...string) ([]byte, error) {
+	return gw.Evaluate(context.Background(),
+		service.NewInvoke(cc, fn, args...).WithEndorsers(target.Name()))
+}

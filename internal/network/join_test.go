@@ -42,8 +42,8 @@ func TestMultiPeerOrgGossipWithinOrg(t *testing.T) {
 	// Endorse via the anchor peers only; the second peers of each
 	// member org must still receive the private data (via gossip
 	// dissemination) and commit it.
-	cl := n.Client("org1")
-	res, err := cl.SubmitTransaction(
+	cl := n.Gateway("org1")
+	res, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil)
 	if err != nil {
@@ -67,23 +67,23 @@ func TestMultiPeerOrgGossipWithinOrg(t *testing.T) {
 
 func TestLateJoiningPeerCatchesUp(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 
 	// Build history: public writes, a PDC write and an invalid tx.
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"a", "1"}, nil); err != nil {
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"a", "1"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.SubmitTransaction(
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	prop, _ := cl.NewProposal("asset", "set", []string{"b", "2"}, nil)
-	tx, _, err := cl.Endorse(prop, []*peer.Peer{n.Peer("org1")}) // minority
+	tx, _, err := endorseProp(cl, prop, []*peer.Peer{n.Peer("org1")}) // minority
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Order(tx); err != nil {
+	if _, err := orderTx(cl, tx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -123,7 +123,7 @@ func TestLateJoiningPeerCatchesUp(t *testing.T) {
 	}
 
 	// The joined peer participates in new transactions immediately.
-	res, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"c", "3"}, nil)
+	res, err := submitTx(cl, n.Peers(), "asset", "set", []string{"c", "3"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

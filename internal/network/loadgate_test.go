@@ -11,6 +11,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
+	"repro/internal/service"
 )
 
 // newLoadNet builds a three-org network with a plain public-asset
@@ -173,7 +174,7 @@ func TestDuplicateRejectedBeforeSignatureVerification(t *testing.T) {
 		Creator:   creator,
 		Nonce:     nonce,
 	}
-	tx, payload, err := gw.EndorseProposal(ctx, prop, n.Peers())
+	tx, payload, err := gw.EndorseProposal(ctx, prop, service.AsEndorsers(n.Peers()))
 	if err != nil {
 		t.Fatal(err)
 	}

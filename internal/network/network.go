@@ -13,7 +13,6 @@ import (
 
 	"repro/internal/chaincode"
 	"repro/internal/channel"
-	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/gateway"
 	"repro/internal/gossip"
@@ -21,6 +20,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/orderer"
 	"repro/internal/peer"
+	"repro/internal/service"
 )
 
 // Options configures a network build.
@@ -61,7 +61,6 @@ type Network struct {
 
 	cas      map[string]*identity.CA
 	peers    map[string]*peer.Peer       // "peer0.org1" -> peer
-	clients  map[string]*client.Client   // "client0.org1" -> client
 	gateways map[string]*gateway.Gateway // org -> gateway
 	orgs     []string
 	sec      core.SecurityConfig
@@ -80,7 +79,6 @@ func New(opts Options) (*Network, error) {
 	n := &Network{
 		cas:      make(map[string]*identity.CA),
 		peers:    make(map[string]*peer.Peer),
-		clients:  make(map[string]*client.Client),
 		gateways: make(map[string]*gateway.Gateway),
 		orgs:     append([]string(nil), opts.Orgs...),
 		sec:      opts.Security,
@@ -146,28 +144,21 @@ func New(opts Options) (*Network, error) {
 		}
 	}
 
-	// Second pass: one client identity per organization, connected both
-	// through the deprecated client.Client adapter and through a Gateway
-	// whose default endorsement set is every peer in the network and whose
-	// commit stream comes from the org's own anchor peer.
+	// Second pass: one client identity per organization, connected
+	// through a Gateway whose default endorsement set is every peer in
+	// the network and whose commit stream comes from the org's own
+	// anchor peer.
 	for _, org := range n.orgs {
 		clientID, err := n.cas[org].Issue("client0."+org, identity.RoleClient)
 		if err != nil {
 			return nil, fmt.Errorf("network: %w", err)
 		}
-		n.clients["client0."+org] = client.New(client.Config{
-			Identity:   clientID,
-			Verifier:   verifier,
-			Orderer:    n.Orderer,
-			NotifyPeer: anchors[org],
-			Security:   opts.Security,
-		})
 		n.gateways[org] = gateway.Connect(clientID, gateway.Options{
 			Verifier:   verifier,
 			Orderer:    n.Orderer,
 			Security:   opts.Security,
 			CommitPeer: anchors[org],
-		}, n.Peers()...)
+		}, service.AsPeers(n.Peers())...)
 	}
 	return n, nil
 }
@@ -223,6 +214,11 @@ func (n *Network) JoinPeer(org, name string, setup func(*peer.Peer) error) (*pee
 	}
 	caughtUp = true
 	n.peers[p.Name()] = p
+	// Every org gateway learns the new peer: it joins their default
+	// endorsement sets and becomes resolvable by name.
+	for _, g := range n.gateways {
+		g.AddPeer(p)
+	}
 	return p, nil
 }
 
@@ -245,13 +241,6 @@ func (n *Network) OrgPeers(org string) []*peer.Peer {
 		}
 	}
 	return out
-}
-
-// Client returns the client named "client0.<org>".
-//
-// Deprecated: use Gateway, the push-notified replacement.
-func (n *Network) Client(org string) *client.Client {
-	return n.clients["client0."+org]
 }
 
 // Gateway returns the organization's gateway connection: the Gateway-style
@@ -302,9 +291,6 @@ func (n *Network) SetSecurity(sec core.SecurityConfig) {
 	n.sec = sec
 	for _, p := range n.peers {
 		p.SetSecurity(sec)
-	}
-	for _, c := range n.clients {
-		c.SetSecurity(sec)
 	}
 	for _, g := range n.gateways {
 		g.SetSecurity(sec)

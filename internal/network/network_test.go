@@ -50,9 +50,9 @@ func newTestNet(t *testing.T) *Network {
 
 func TestPublicTransactionRoundTrip(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 
-	res, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"k1", "hello"}, nil)
+	res, err := submitTx(cl, n.Peers(), "asset", "set", []string{"k1", "hello"}, nil)
 	if err != nil {
 		t.Fatalf("submit: %v", err)
 	}
@@ -67,7 +67,7 @@ func TestPublicTransactionRoundTrip(t *testing.T) {
 		}
 	}
 
-	payload, err := cl.EvaluateTransaction(n.Peer("org2"), "asset", "get", "k1")
+	payload, err := evalTx(cl, n.Peer("org2"), "asset", "get", "k1")
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}
@@ -78,10 +78,10 @@ func TestPublicTransactionRoundTrip(t *testing.T) {
 
 func TestPDCWriteVisibleOnlyAtMembers(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	// Honest flow: endorse with both member orgs (value 12 satisfies
 	// org1's <15 and org2's >10).
-	res, err := cl.SubmitTransaction(
+	res, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil,
 	)
@@ -108,8 +108,8 @@ func TestPDCWriteVisibleOnlyAtMembers(t *testing.T) {
 
 func TestNonMemberEndorserErrorsOnPDCRead(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil,
 	); err != nil {
@@ -118,7 +118,7 @@ func TestNonMemberEndorserErrorsOnPDCRead(t *testing.T) {
 
 	// Use Case 1: a read proposal to the non-member fails with the
 	// private-data-unavailable error.
-	_, err := cl.EvaluateTransaction(n.Peer("org3"), "asset", "readPrivate", "k1")
+	_, err := evalTx(cl, n.Peer("org3"), "asset", "readPrivate", "k1")
 	if err == nil {
 		t.Fatal("non-member endorsed a PDC read without error")
 	}
@@ -128,13 +128,13 @@ func TestNonMemberEndorserErrorsOnPDCRead(t *testing.T) {
 
 	// But the same non-member endorses a write-only proposal fine
 	// (empty read set: nothing to look up).
-	if _, err := cl.EvaluateTransaction(n.Peer("org3"), "asset", "setPrivate", "k1", "5"); err != nil {
+	if _, err := evalTx(cl, n.Peer("org3"), "asset", "setPrivate", "k1", "5"); err != nil {
 		t.Fatalf("non-member write-only endorsement failed: %v", err)
 	}
 
 	// And GetPrivateDataHash works on the non-member, reporting the
 	// same version the members hold — the §IV-A1 version oracle.
-	digest, err := cl.EvaluateTransaction(n.Peer("org3"), "asset", "readPrivateHash", "k1")
+	digest, err := evalTx(cl, n.Peer("org3"), "asset", "readPrivateHash", "k1")
 	if err != nil {
 		t.Fatalf("readPrivateHash on non-member: %v", err)
 	}
@@ -145,8 +145,8 @@ func TestNonMemberEndorserErrorsOnPDCRead(t *testing.T) {
 
 func TestMVCCConflictRejected(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"k", "1"}, nil); err != nil {
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"k", "1"}, nil); err != nil {
 		t.Fatalf("setup: %v", err)
 	}
 
@@ -156,14 +156,14 @@ func TestMVCCConflictRejected(t *testing.T) {
 	if err != nil {
 		t.Fatalf("proposal: %v", err)
 	}
-	tx, _, err := cl.Endorse(prop, n.Peers())
+	tx, _, err := endorseProp(cl, prop, n.Peers())
 	if err != nil {
 		t.Fatalf("endorse: %v", err)
 	}
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"k", "9"}, nil); err != nil {
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"k", "9"}, nil); err != nil {
 		t.Fatalf("interleaved write: %v", err)
 	}
-	res, err := cl.Order(tx)
+	res, err := orderTx(cl, tx)
 	if err != nil {
 		t.Fatalf("order stale tx: %v", err)
 	}
@@ -179,8 +179,8 @@ func TestMVCCConflictRejected(t *testing.T) {
 
 func TestReadSubmittedAsTransactionLandsInAllLedgers(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil,
 	); err != nil {
@@ -189,7 +189,7 @@ func TestReadSubmittedAsTransactionLandsInAllLedgers(t *testing.T) {
 
 	// The audited-read pattern (§IV-B1): the read is submitted as a
 	// transaction, so every peer, including the non-member, stores it.
-	res, err := cl.SubmitTransaction(
+	res, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "readPrivate", []string{"k1"}, nil,
 	)

@@ -42,11 +42,11 @@ func TestPeerRestartFromDisk(t *testing.T) {
 	durable := mkPeer()
 	n.Orderer.RegisterDelivery(func(b *ledger.Block) { _ = durable.CommitBlock(b) })
 
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"a", "1"}, nil); err != nil {
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"a", "1"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.SubmitTransaction(
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil); err != nil {
 		t.Fatal(err)

@@ -44,12 +44,12 @@ func assertPrivateStoresConverged(t *testing.T, peers []*peer.Peer, chaincode, c
 // store (the transient copies are long purged).
 func TestReconcileMissingFromCommittedStore(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 
 	// org2 is fully isolated from gossip: it neither receives the
 	// dissemination nor can it pull at commit time.
 	n.Gossip.Isolate("peer0.org2", true)
-	res, err := cl.SubmitTransaction(
+	res, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org3")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil,
 	)
@@ -93,10 +93,10 @@ func TestReconcileMissingFromCommittedStore(t *testing.T) {
 // value with the old one.
 func TestReconcileSkipsSupersededValues(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 
 	n.Gossip.Isolate("peer0.org2", true)
-	res1, err := cl.SubmitTransaction(
+	res1, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org3")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil,
 	)
@@ -110,7 +110,7 @@ func TestReconcileSkipsSupersededValues(t *testing.T) {
 
 	// A second write supersedes the first; org2 receives this one.
 	n.Gossip.Isolate("peer0.org2", false)
-	if _, err := cl.SubmitTransaction(
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org3")},
 		"asset", "setPrivate", []string{"k1", "14"}, nil,
 	); err != nil {
@@ -136,13 +136,13 @@ func TestReconcileSkipsSupersededValues(t *testing.T) {
 // latency histograms observable on the peer.
 func TestReconcilerConvergenceAfterHeal(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	org1, org2 := n.Peer("org1"), n.Peer("org2")
 
 	n.Gossip.Isolate("peer0.org2", true)
 	var txIDs []string
 	for i := 1; i <= 3; i++ {
-		res, err := cl.SubmitTransaction(
+		res, err := submitTx(cl,
 			[]*peer.Peer{n.Peer("org1"), n.Peer("org3")},
 			"asset", "setPrivate", []string{fmt.Sprintf("k%d", i), "12"}, nil,
 		)
@@ -217,11 +217,11 @@ func TestReconcilerGiveUpAndReinstate(t *testing.T) {
 	sec.ReconcileBaseBackoff = 1
 	sec.ReconcileMaxBackoff = 1
 	n.SetSecurity(sec)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	org2 := n.Peer("org2")
 
 	n.Gossip.Isolate("peer0.org2", true)
-	res, err := cl.SubmitTransaction(
+	res, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org3")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil,
 	)
@@ -272,11 +272,11 @@ func TestReconcilerGiveUpAndReinstate(t *testing.T) {
 // on every tick — the capped exponential backoff spaces the retries.
 func TestReconcilerBackoffSpacing(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	org2 := n.Peer("org2")
 
 	n.Gossip.Isolate("peer0.org2", true)
-	if _, err := cl.SubmitTransaction(
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org3")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil,
 	); err != nil {

@@ -80,11 +80,11 @@ func TestCrashMidCommitRecovery(t *testing.T) {
 		_ = ref.CommitBlock(b)
 	})
 
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"a", "1"}, nil); err != nil {
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"a", "1"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.SubmitTransaction(
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil); err != nil {
 		t.Fatal(err)
@@ -96,10 +96,10 @@ func TestCrashMidCommitRecovery(t *testing.T) {
 	boom := errors.New("injected disk failure")
 	crash.Backend().(*durable.Backend).InjectStateFailure(boom)
 
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"b", "2"}, nil); err != nil {
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"b", "2"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"a", "3"}, nil); err != nil {
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"a", "3"}, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -145,7 +145,7 @@ func TestCrashMidCommitRecovery(t *testing.T) {
 			t.Errorf("recovered peer commit: %v", err)
 		}
 	})
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"c", "4"}, nil); err != nil {
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"c", "4"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
@@ -169,11 +169,11 @@ func TestTornStateLogTailRecovery(t *testing.T) {
 	p := mkDurablePeer(t, n, dir, "peer7.org2")
 	n.Orderer.RegisterDelivery(func(b *ledger.Block) { _ = p.CommitBlock(b) })
 
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"a", "1"}, nil); err != nil {
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"a", "1"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"b", "2"}, nil); err != nil {
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"b", "2"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	want := p.WorldState().StateHash()

@@ -24,10 +24,10 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cl := n.Client(orgs[w%len(orgs)])
+			cl := n.Gateway(orgs[w%len(orgs)])
 			for i := 0; i < perWorker; i++ {
 				key := string(rune('a' + w))
-				if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set",
+				if _, err := submitTx(cl, n.Peers(), "asset", "set",
 					[]string{key, key}, nil); err != nil {
 					errs <- err
 					return
@@ -66,8 +66,8 @@ func refHash(s *ledger.BlockStore) []byte { return s.LastHash() }
 // add is reflected exactly once, conflicting ones are marked invalid.
 func TestConcurrentConflictingWrites(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"ctr", "0"}, nil); err != nil {
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"ctr", "0"}, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -79,7 +79,7 @@ func TestConcurrentConflictingWrites(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := cl.SubmitTransaction(n.Peers(), "asset", "add", []string{"ctr", "1"}, nil)
+			res, err := submitTx(cl, n.Peers(), "asset", "add", []string{"ctr", "1"}, nil)
 			if err != nil {
 				return // endorsement raced a commit; acceptable
 			}
@@ -119,12 +119,12 @@ func itoa(n int) string {
 // TestMetricsCounters checks the peer and orderer operational counters.
 func TestMetricsCounters(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"k", "v"}, nil); err != nil {
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"k", "v"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// A refused proposal.
-	if _, err := cl.SubmitTransaction([]*peer.Peer{n.Peer("org3")},
+	if _, err := submitTx(cl, []*peer.Peer{n.Peer("org3")},
 		"asset", "readPrivate", []string{"k"}, nil); err == nil {
 		t.Fatal("expected refusal")
 	}

@@ -51,12 +51,12 @@ func order(t *testing.T, n *Network, tx *ledger.Transaction) ledger.ValidationCo
 
 func endorse(t *testing.T, n *Network, fn string, args []string) *ledger.Transaction {
 	t.Helper()
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	prop, err := cl.NewProposal("asset", fn, args, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx, _, err := cl.Endorse(prop, n.Peers())
+	tx, _, err := endorseProp(cl, prop, n.Peers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,9 +121,9 @@ func TestEndorsementFromUntrustedOrgRejected(t *testing.T) {
 
 func TestDuplicateEndorsementsDoNotInflatePolicy(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	prop, _ := cl.NewProposal("asset", "set", []string{"k", "1"}, nil)
-	tx, _, err := cl.Endorse(prop, []*peer.Peer{n.Peer("org1")})
+	tx, _, err := endorseProp(cl, prop, []*peer.Peer{n.Peer("org1")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestDuplicateEndorsementsDoNotInflatePolicy(t *testing.T) {
 
 func TestGossipDropRecordsMissingPrivateData(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 
 	// org2 loses gossip deliveries AND cannot reconcile (we endorse
 	// only via org1, then purge org1's transient store by committing —
@@ -147,7 +147,7 @@ func TestGossipDropRecordsMissingPrivateData(t *testing.T) {
 	// using the non-member org3 as the only other endorser).
 	n.Gossip.DropDeliveries("peer0.org2", true)
 
-	res, err := cl.SubmitTransaction(
+	res, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org3")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil,
 	)
@@ -184,9 +184,9 @@ func TestBlockToLivePurgesAtMembers(t *testing.T) {
 	if err := n.DeployChaincode(def, testPDCImpl()); err != nil {
 		t.Fatal(err)
 	}
-	cl := n.Client("org1")
+	cl := n.Gateway("org1")
 	members := []*peer.Peer{n.Peer("org1"), n.Peer("org2")}
-	if _, err := cl.SubmitTransaction(members, "asset", "setPrivate", []string{"k1", "12"}, nil); err != nil {
+	if _, err := submitTx(cl, members, "asset", "setPrivate", []string{"k1", "12"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Written in block 0; BlockToLive=2 purges at block 2.
@@ -194,7 +194,7 @@ func TestBlockToLivePurgesAtMembers(t *testing.T) {
 		t.Fatal("private data missing right after write")
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := cl.SubmitTransaction(n.Peers(), "asset", "set", []string{"pub", "x"}, nil); err != nil {
+		if _, err := submitTx(cl, n.Peers(), "asset", "set", []string{"pub", "x"}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -213,18 +213,18 @@ func TestBlockToLivePurgesAtMembers(t *testing.T) {
 // passing), polluting audit trails.
 func TestReplayedTransactionRejected(t *testing.T) {
 	n := newTestNet(t)
-	cl := n.Client("org1")
-	if _, err := cl.SubmitTransaction(
+	cl := n.Gateway("org1")
+	if _, err := submitTx(cl,
 		[]*peer.Peer{n.Peer("org1"), n.Peer("org2")},
 		"asset", "setPrivate", []string{"k1", "12"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	prop, _ := cl.NewProposal("asset", "readPrivate", []string{"k1"}, nil)
-	tx, _, err := cl.Endorse(prop, []*peer.Peer{n.Peer("org1"), n.Peer("org2")})
+	tx, _, err := endorseProp(cl, prop, []*peer.Peer{n.Peer("org1"), n.Peer("org2")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Order(tx)
+	res, err := orderTx(cl, tx)
 	if err != nil || res.Code != ledger.Valid {
 		t.Fatalf("first submission: %v %v", res, err)
 	}

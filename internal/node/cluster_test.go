@@ -1,0 +1,267 @@
+package node_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/loadgen"
+	"repro/internal/netconfig"
+	"repro/internal/node"
+	"repro/internal/pvtdata"
+	"repro/internal/service"
+)
+
+// TestMain doubles as the cluster's role runner: LaunchCluster re-execs
+// this test binary with PDC_WIRE_ROLE set, and the child becomes a
+// peer/orderer/gateway process instead of running the tests.
+func TestMain(m *testing.M) {
+	if handled, err := node.RunRoleFromEnv(); handled {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "node role:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// clusterConfig is the test topology: three orgs, one peer each, the
+// "asset" chaincode with a private collection shared by org1 and org2.
+func clusterConfig() *netconfig.Config {
+	return &netconfig.Config{
+		Orgs:      []string{"org1", "org2", "org3"},
+		BatchSize: 8,
+		Seed:      1,
+		Chaincodes: []netconfig.Chaincode{{
+			Name:    "asset",
+			Version: "1.0",
+			Collections: []pvtdata.CollectionConfig{{
+				Name:         "pdc1",
+				MemberPolicy: "OR(org1.member, org2.member)",
+				MaxPeerCount: 3,
+			}},
+			Contract:   "merged",
+			Collection: "pdc1",
+		}},
+	}
+}
+
+func launchTestCluster(t *testing.T, tls bool) *node.Cluster {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+	cfg := clusterConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr *os.File
+	if testing.Verbose() {
+		stderr = os.Stderr
+	}
+	cl, err := node.LaunchCluster(cfg, node.LaunchOptions{
+		Self:   self,
+		Dir:    t.TempDir(),
+		TLS:    tls,
+		Stderr: stderr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	return cl
+}
+
+// waitConverged polls every peer process until all report the same
+// chain height (>= minHeight), and the peers named in statePeers (nil =
+// all) report byte-identical state hashes. Non-members of a private
+// collection legitimately diverge in state after a PDC write — they
+// hold only the hashed writes — so PDC tests restrict the state check
+// to the member set.
+func waitConverged(t *testing.T, cl *node.Cluster, minHeight uint64, statePeers []string) (uint64, string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	names := cl.PeerNames()
+	if statePeers == nil {
+		statePeers = names
+	}
+	matchState := make(map[string]bool, len(statePeers))
+	for _, name := range statePeers {
+		matchState[name] = true
+	}
+	var lastState string
+	for {
+		heights := make([]uint64, len(names))
+		states := make([]string, 0, len(statePeers))
+		ok := true
+		for i, name := range names {
+			pc, err := cl.DialPeer(name)
+			if err != nil {
+				t.Fatalf("dial %s: %v", name, err)
+			}
+			info, err := pc.Info(ctx)
+			pc.Close()
+			if err != nil {
+				t.Fatalf("info %s: %v", name, err)
+			}
+			heights[i] = info.Height
+			if info.Height < minHeight || heights[i] != heights[0] {
+				ok = false
+			}
+			if matchState[name] {
+				states = append(states, info.StateHash)
+				if info.StateHash == "" || states[len(states)-1] != states[0] {
+					ok = false
+				}
+			}
+		}
+		lastState = fmt.Sprintf("heights=%v states=%v", heights, states)
+		if ok {
+			return heights[0], states[0]
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("peers did not converge: %s", lastState)
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// TestClusterZipfBurstConverges is the loopback-cluster integration
+// test: five real OS processes (3 peers, orderer, gateway), a Zipfian
+// burst submitted through the wire gateway, and every peer ending at
+// the same height with a byte-identical state hash.
+func TestClusterZipfBurstConverges(t *testing.T) {
+	cl := launchTestCluster(t, false)
+	gwc, err := cl.DialGateway()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwc.Close()
+
+	const clients, perClient = 4, 25
+	h, err := loadgen.NewRemoteHarness(loadgen.Config{
+		Clients: clients,
+		Seed:    7,
+	}, cl.Material.Channel, gwc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point, err := h.Run(loadgen.RunOptions{
+		Mix:         loadgen.MixZipf,
+		TxPerClient: perClient,
+		Keys:        64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := clients * perClient; point.Completed != want {
+		t.Fatalf("completed %d of %d transactions (dropped %d)", point.Completed, want, point.Dropped)
+	}
+	if point.Invalid != 0 {
+		t.Fatalf("%d transactions committed invalid", point.Invalid)
+	}
+
+	height, state := waitConverged(t, cl, 1, nil)
+	if height == 0 {
+		t.Fatal("cluster height still 0 after the burst")
+	}
+	t.Logf("converged: %d blocks, state %s, %.0f tx/s over the wire", height, state[:12], point.Achieved)
+}
+
+// TestClusterPrivateDataCrossProcess checks the PDC flow between
+// processes: a private write endorsed through the wire is readable on
+// every member peer (its private set served over peer.pvt) and absent
+// from the non-member.
+func TestClusterPrivateDataCrossProcess(t *testing.T) {
+	cl := launchTestCluster(t, false)
+	gwc, err := cl.DialGateway()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	res, err := gwc.Submit(ctx, service.NewInvoke("asset", "setPrivate", "k1", "42").OnChannel(cl.Material.Channel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("setPrivate committed %v", res.Code)
+	}
+	// All peers reach the same height, but only the collection members
+	// converge in state: the private namespace lives in member world
+	// state while org3 stores the hashed writes alone.
+	waitConverged(t, cl, 1, []string{"peer0.org1", "peer0.org2"})
+
+	// Member peers must serve the original private set; the reconcile
+	// loop gives stragglers a moment to pull it.
+	for _, name := range []string{"peer0.org1", "peer0.org2"} {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			pc, err := cl.DialPeer(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := pc.FetchPrivateData(ctx, res.TxID, "pdc1")
+			pc.Close()
+			if err != nil {
+				t.Fatalf("%s: fetch private data: %v", name, err)
+			}
+			if set != nil && len(set.Writes) == 1 && set.Writes[0].Key == "k1" && string(set.Writes[0].Value) == "42" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: private data not available: %+v", name, set)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	// The non-member must have nothing to serve.
+	pc, err := cl.DialPeer("peer0.org3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := pc.FetchPrivateData(ctx, res.TxID, "pdc1")
+	pc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set != nil {
+		t.Fatalf("non-member peer0.org3 served private data: %+v", set)
+	}
+}
+
+// TestClusterTLS runs a whole cluster with pinned-key TLS between every
+// process and commits one transaction through it.
+func TestClusterTLS(t *testing.T) {
+	cl := launchTestCluster(t, true)
+	if !cl.TLS() {
+		t.Fatal("cluster not running TLS")
+	}
+	gwc, err := cl.DialGateway()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := gwc.Submit(ctx, service.NewInvoke("asset", "set", "color", "green").OnChannel(cl.Material.Channel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code != ledger.Valid {
+		t.Fatalf("commit over TLS: %v", res.Code)
+	}
+	waitConverged(t, cl, 1, nil)
+}

@@ -1,0 +1,266 @@
+package node
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/netconfig"
+	"repro/internal/wire"
+)
+
+// proc is one spawned role process.
+type proc struct {
+	name   string
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.Reader
+	addr   string
+}
+
+// stop asks the child to exit by closing its stdin, escalating to kill.
+func (p *proc) stop() {
+	if p.stdin != nil {
+		p.stdin.Close()
+	}
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+	}
+}
+
+func (p *proc) waitReady() error {
+	addr, err := WaitReady(p.stdout)
+	if err != nil {
+		return fmt.Errorf("%s: %w", p.name, err)
+	}
+	p.addr = addr
+	return nil
+}
+
+// LaunchOptions configure LaunchCluster.
+type LaunchOptions struct {
+	// Self is the binary to re-execute for each role; it must call
+	// RunRoleFromEnv before anything else (pdcnet's main and the
+	// cluster test's TestMain both do). Defaults to os.Executable().
+	Self string
+	// Dir is where material.json and netconfig.json are written; the
+	// caller owns cleanup. Required.
+	Dir string
+	// TLS enables pinned-key TLS between every process.
+	TLS bool
+	// Stderr, when non-nil, receives every child's stderr.
+	Stderr io.Writer
+}
+
+// Cluster is a running multi-process deployment: one orderer, every
+// configured peer, and one gateway, each a separate OS process.
+type Cluster struct {
+	Config      *netconfig.Config
+	Material    *netconfig.Material
+	GatewayName string
+	OrdererAddr string
+	GatewayAddr string
+	PeerAddrs   map[string]string
+	procs       []*proc
+	tls         bool
+}
+
+// DialGateway opens a wire client to the cluster's gateway process.
+func (cl *Cluster) DialGateway() (*wire.GatewayClient, error) {
+	c, err := cl.dial(cl.GatewayAddr, cl.GatewayName)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewGatewayClient(c), nil
+}
+
+// DialPeer opens a wire client to one of the cluster's peer processes.
+func (cl *Cluster) DialPeer(name string) (*wire.PeerClient, error) {
+	addr, ok := cl.PeerAddrs[name]
+	if !ok {
+		return nil, fmt.Errorf("node: no peer %q in cluster", name)
+	}
+	c, err := cl.dial(addr, name)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewPeerClient(c)
+}
+
+// PeerNames returns the cluster's peer node names, sorted.
+func (cl *Cluster) PeerNames() []string { return sortedNames(cl.PeerAddrs) }
+
+func (cl *Cluster) dial(addr, serverName string) (*wire.Client, error) {
+	copts := wire.ClientOptions{}
+	if cl.tls {
+		id, err := cl.Material.Identity(cl.GatewayName)
+		if err != nil {
+			return nil, err
+		}
+		key, err := cl.Material.ServerKey(serverName)
+		if err != nil {
+			return nil, err
+		}
+		copts.Identity, copts.ServerKey = id, key
+	}
+	return wire.Dial(addr, copts)
+}
+
+// LaunchCluster writes config+material under opts.Dir, reserves
+// loopback ports (explicit cfg.Wire addresses win), and spawns every
+// role of the topology, returning once all printed READY.
+func LaunchCluster(cfg *netconfig.Config, opts LaunchOptions) (*Cluster, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("node: LaunchCluster needs a Dir")
+	}
+	self := opts.Self
+	if self == "" {
+		var err error
+		self, err = os.Executable()
+		if err != nil {
+			return nil, err
+		}
+	}
+	material, err := cfg.GenerateMaterial()
+	if err != nil {
+		return nil, err
+	}
+	materialPath := filepath.Join(opts.Dir, "material.json")
+	if err := material.Save(materialPath); err != nil {
+		return nil, err
+	}
+	cfgData, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	configPath := filepath.Join(opts.Dir, "netconfig.json")
+	if err := os.WriteFile(configPath, cfgData, 0o644); err != nil {
+		return nil, err
+	}
+
+	peersPerOrg := cfg.PeersPerOrg
+	if peersPerOrg <= 0 {
+		peersPerOrg = 1
+	}
+	var peerNames []string
+	for _, org := range cfg.Orgs {
+		for i := 0; i < peersPerOrg; i++ {
+			peerNames = append(peerNames, fmt.Sprintf("peer%d.%s", i, org))
+		}
+	}
+	sort.Strings(peerNames)
+
+	ports, err := FreePorts(len(peerNames) + 2)
+	if err != nil {
+		return nil, err
+	}
+	ordererAddr, gatewayAddr := ports[len(ports)-2], ports[len(ports)-1]
+	peerAddrs := make(map[string]string, len(peerNames))
+	for i, name := range peerNames {
+		peerAddrs[name] = ports[i]
+	}
+	tlsOn := opts.TLS
+	if w := cfg.Wire; w != nil {
+		if w.Orderer != "" {
+			ordererAddr = w.Orderer
+		}
+		if w.Gateway != "" {
+			gatewayAddr = w.Gateway
+		}
+		for name, addr := range w.Peers {
+			peerAddrs[name] = addr
+		}
+		if w.TLS {
+			tlsOn = true
+		}
+	}
+
+	cl := &Cluster{
+		Config:      cfg,
+		Material:    material,
+		GatewayName: "client0." + cfg.Orgs[0],
+		OrdererAddr: ordererAddr,
+		GatewayAddr: gatewayAddr,
+		PeerAddrs:   peerAddrs,
+	}
+	spawn := func(role, name, listen string) error {
+		env := map[string]string{
+			EnvRole:     role,
+			EnvConfig:   configPath,
+			EnvMaterial: materialPath,
+			EnvName:     name,
+			EnvListen:   listen,
+			EnvOrderer:  ordererAddr,
+			EnvPeers:    FormatPeerAddrs(peerAddrs),
+		}
+		if tlsOn {
+			env[EnvTLS] = "1"
+		}
+		cmd := exec.Command(self)
+		cmd.Env = os.Environ()
+		for k, v := range env {
+			cmd.Env = append(cmd.Env, k+"="+v)
+		}
+		cmd.Stderr = opts.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("node: spawn %s: %w", name, err)
+		}
+		cl.procs = append(cl.procs, &proc{name: name, cmd: cmd, stdin: stdin, stdout: stdout})
+		return nil
+	}
+	fail := func(err error) (*Cluster, error) {
+		cl.Stop()
+		return nil, err
+	}
+	if err := spawn("orderer", netconfig.OrdererNode, ordererAddr); err != nil {
+		return fail(err)
+	}
+	for _, name := range peerNames {
+		if err := spawn("peer", name, peerAddrs[name]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := spawn("gateway", cl.GatewayName, gatewayAddr); err != nil {
+		return fail(err)
+	}
+	// Only now wait for READY: peers block on dialing each other's
+	// gossip listeners during startup, so all processes must exist
+	// before any is waited on.
+	for _, p := range cl.procs {
+		if err := p.waitReady(); err != nil {
+			return fail(err)
+		}
+	}
+	cl.tls = tlsOn
+	return cl, nil
+}
+
+// Stop tears the cluster down, gateway first (it holds connections into
+// the other processes).
+func (cl *Cluster) Stop() {
+	for i := len(cl.procs) - 1; i >= 0; i-- {
+		cl.procs[i].stop()
+	}
+	cl.procs = nil
+}
+
+// TLS reports whether the cluster runs with pinned-key TLS.
+func (cl *Cluster) TLS() bool { return cl.tls }

@@ -13,6 +13,7 @@
 package orderer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -340,6 +341,46 @@ func (s *Service) SubmitAsync(tx *ledger.Transaction) *Wait {
 // This is the pre-pipeline API; SubmitAsync is the handle-returning form.
 func (s *Service) Submit(tx *ledger.Transaction) error {
 	return s.SubmitAsync(tx).Wait()
+}
+
+// Order is the context-honoring form of Submit: it returns when the
+// transaction is ordered (and, like Submit, once every registered
+// peer's handler processed any block cut in the same round), or early
+// with the context's error when ctx expires first — the transaction
+// then still completes ordering in the background, since ordering is
+// not cancelable once enqueued. This is the service.Orderer surface;
+// the wire protocol serves it remotely.
+func (s *Service) Order(ctx context.Context, tx *ledger.Transaction) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := s.SubmitAsync(tx)
+	select {
+	case <-w.Done():
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.bd == nil {
+		return nil
+	}
+	if ctx.Done() == nil {
+		w.bd.wg.Wait()
+		return nil
+	}
+	delivered := make(chan struct{})
+	go func() {
+		w.bd.wg.Wait()
+		close(delivered)
+	}()
+	select {
+	case <-delivered:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Flush cuts a block from any pending transactions regardless of batch

@@ -1,0 +1,38 @@
+// The peer's service.Peer implementation: the same endorse/deliver
+// surface the wire protocol serves, expressed over the in-process
+// component. Tests and single-process deployments embed the peer
+// directly; multi-process deployments front it with wire.RegisterPeer
+// and talk to it through a wire.PeerClient — both satisfy service.Peer.
+package peer
+
+import (
+	"context"
+
+	"repro/internal/ledger"
+	"repro/internal/service"
+)
+
+var _ service.Peer = (*Peer)(nil)
+
+// Endorse simulates the proposal and returns the signed response,
+// honoring ctx before the (synchronous, in-process) simulation starts.
+func (p *Peer) Endorse(ctx context.Context, prop *ledger.Proposal) (*ledger.ProposalResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.ProcessProposal(prop)
+}
+
+// SubscribeLive streams events for blocks committed after the call.
+func (p *Peer) SubscribeLive() service.Stream {
+	return p.delivery.SubscribeLive()
+}
+
+// SubscribeFrom replays events from block `from` and follows live.
+func (p *Peer) SubscribeFrom(from uint64) (service.Stream, error) {
+	sub, err := p.delivery.Subscribe(from)
+	if err != nil {
+		return nil, err
+	}
+	return sub, nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
+	"repro/internal/service"
 )
 
 // DeliverResult reports the commit-notification scenario: concurrent
@@ -64,7 +65,7 @@ func MeasureDeliver(sec core.SecurityConfig, framework string, clients, total in
 			Orderer:  h.net.Orderer,
 			Security: sec,
 			Timings:  &timings,
-		}, h.net.Peers()...)
+		}, service.AsPeers(h.net.Peers())...)
 	}
 
 	var wg sync.WaitGroup

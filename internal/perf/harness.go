@@ -22,10 +22,9 @@ func NewHarness(sec core.SecurityConfig, seeded int) (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := h.net.Client("org1")
 	for i := 0; i < seeded; i++ {
 		key := "k" + strconv.Itoa(i)
-		if _, err := cl.SubmitTransaction(h.members, "asset", "setPrivate", []string{key, "12"}, nil); err != nil {
+		if _, err := h.submit(h.members, "setPrivate", []string{key, "12"}); err != nil {
 			return nil, fmt.Errorf("perf: seed %s: %w", key, err)
 		}
 	}
@@ -39,8 +38,7 @@ func (h *Harness) ExecuteOnce(kind TxKind, run int) error {
 	if err != nil {
 		return err
 	}
-	cl := h.h.net.Client("org1")
-	prop, err := cl.NewProposal("asset", fn, args, nil)
+	prop, err := h.h.net.Gateway("org1").NewProposal("asset", fn, args, nil)
 	if err != nil {
 		return err
 	}
@@ -55,13 +53,7 @@ func (h *Harness) EndorseTx(kind TxKind, run int) (*ledger.Transaction, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := h.h.net.Client("org1")
-	prop, err := cl.NewProposal("asset", fn, args, nil)
-	if err != nil {
-		return nil, err
-	}
-	tx, _, err := cl.Endorse(prop, h.h.members)
-	return tx, err
+	return h.h.endorse(fn, args)
 }
 
 // ValidateOnce runs the validation phase of a pre-endorsed transaction
@@ -76,8 +68,7 @@ func (h *Harness) ValidateOnce(tx *ledger.Transaction) error {
 // SubmitPublicOnce drives a full public transaction through the network
 // (endorse, order, validate, commit), for end-to-end throughput benches.
 func (h *Harness) SubmitPublicOnce(run int) error {
-	cl := h.h.net.Client("org1")
 	key := "pub" + strconv.Itoa(run)
-	_, err := cl.SubmitTransaction(h.h.net.Peers(), "asset", "set", []string{key, "v"}, nil)
+	_, err := h.h.submit(nil, "set", []string{key, "v"})
 	return err
 }

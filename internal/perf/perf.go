@@ -9,6 +9,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -18,10 +19,12 @@ import (
 	"repro/internal/chaincode"
 	"repro/internal/contracts"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/ledger"
 	"repro/internal/network"
 	"repro/internal/peer"
 	"repro/internal/pvtdata"
+	"repro/internal/service"
 )
 
 // TxKind enumerates the transaction types of Fig. 11.
@@ -143,6 +146,28 @@ func newHarness(sec core.SecurityConfig) (*harness, error) {
 	}, nil
 }
 
+// submit drives one transaction end to end through the org1 gateway.
+// A nil endorser set falls through to the gateway default (every peer).
+func (h *harness) submit(endorsers []*peer.Peer, fn string, args []string) (*gateway.Result, error) {
+	req := service.NewInvoke("asset", fn, args...)
+	if endorsers != nil {
+		req = req.WithEndorsers(service.Names(endorsers)...)
+	}
+	return h.net.Gateway("org1").Submit(context.Background(), req)
+}
+
+// endorse assembles one transaction against the member peers without
+// ordering it, for benchmarks that interpose between the phases.
+func (h *harness) endorse(fn string, args []string) (*ledger.Transaction, error) {
+	gw := h.net.Gateway("org1")
+	prop, err := gw.NewProposal("asset", fn, args, nil)
+	if err != nil {
+		return nil, err
+	}
+	tx, _, err := gw.EndorseProposal(context.Background(), prop, service.AsEndorsers(h.members))
+	return tx, err
+}
+
 // proposalFor builds the proposal of one measured operation. Keys are
 // unique per run so write and delete operations do not interfere.
 func (h *harness) proposalFor(kind TxKind, run int) (fn string, args []string, err error) {
@@ -165,10 +190,9 @@ func (h *harness) seed(kind TxKind, runs int) error {
 	if kind == TxWrite {
 		return nil
 	}
-	cl := h.net.Client("org1")
 	for i := 0; i < runs; i++ {
 		key := "k" + strconv.Itoa(i)
-		if _, err := cl.SubmitTransaction(h.members, "asset", "setPrivate", []string{key, "12"}, nil); err != nil {
+		if _, err := h.submit(h.members, "setPrivate", []string{key, "12"}); err != nil {
 			return fmt.Errorf("perf: seed %s: %w", key, err)
 		}
 	}
@@ -186,7 +210,7 @@ func MeasureExecution(opts Options, kind TxKind) (Result, error) {
 	if err := h.seed(kind, o.Runs); err != nil {
 		return Result{}, err
 	}
-	cl := h.net.Client("org1")
+	gw := h.net.Gateway("org1")
 	// Warm up outside the measurement window (JIT-free, but first runs
 	// still pay allocator and cache warmup costs).
 	warmup := o.Runs / 10
@@ -203,7 +227,7 @@ func MeasureExecution(opts Options, kind TxKind) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		prop, err := cl.NewProposal("asset", fn, args, nil)
+		prop, err := gw.NewProposal("asset", fn, args, nil)
 		if err != nil {
 			return Result{}, err
 		}
@@ -229,8 +253,6 @@ func MeasureValidation(opts Options, kind TxKind) (Result, error) {
 	if err := h.seed(kind, o.Runs); err != nil {
 		return Result{}, err
 	}
-	cl := h.net.Client("org1")
-
 	// Pre-endorse all transactions, then time validation only.
 	txs := make([]*ledger.Transaction, 0, o.Runs)
 	for i := 0; i < o.Runs; i++ {
@@ -238,11 +260,7 @@ func MeasureValidation(opts Options, kind TxKind) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		prop, err := cl.NewProposal("asset", fn, args, nil)
-		if err != nil {
-			return Result{}, err
-		}
-		tx, _, err := cl.Endorse(prop, h.members)
+		tx, err := h.endorse(fn, args)
 		if err != nil {
 			return Result{}, fmt.Errorf("perf: endorse %s run %d: %w", kind, i, err)
 		}

@@ -19,15 +19,10 @@ const pipelineTarget = "org3"
 // member peers (keys unique per (run, i) so blocks never conflict) and
 // returns them ready for block assembly.
 func (h *Harness) EndorseTxs(run, n int) ([]*ledger.Transaction, error) {
-	cl := h.h.net.Client("org1")
 	txs := make([]*ledger.Transaction, 0, n)
 	for i := 0; i < n; i++ {
 		key := fmt.Sprintf("blk%d-%d", run, i)
-		prop, err := cl.NewProposal("asset", "set", []string{key, "v"}, nil)
-		if err != nil {
-			return nil, err
-		}
-		tx, _, err := cl.Endorse(prop, h.h.members)
+		tx, err := h.h.endorse("set", []string{key, "v"})
 		if err != nil {
 			return nil, fmt.Errorf("perf: endorse block tx %s: %w", key, err)
 		}
@@ -42,15 +37,10 @@ func (h *Harness) EndorseTxs(run, n int) ([]*ledger.Transaction, error) {
 // validator's MVCC version check does real work. Keys are unique per
 // (run, i) so blocks never conflict.
 func (h *Harness) EndorseReadWriteTxs(run, n int) ([]*ledger.Transaction, error) {
-	cl := h.h.net.Client("org1")
 	txs := make([]*ledger.Transaction, 0, n)
 	for i := 0; i < n; i++ {
 		key := fmt.Sprintf("rw%d-%d", run, i)
-		prop, err := cl.NewProposal("asset", "add", []string{key, "1"}, nil)
-		if err != nil {
-			return nil, err
-		}
-		tx, _, err := cl.Endorse(prop, h.h.members)
+		tx, err := h.h.endorse("add", []string{key, "1"})
 		if err != nil {
 			return nil, fmt.Errorf("perf: endorse read-write tx %s: %w", key, err)
 		}

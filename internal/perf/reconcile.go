@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/peer"
 	"repro/internal/pvtdata"
+	"repro/internal/service"
 )
 
 // ReconcileResult summarizes one anti-entropy reconciliation scenario:
@@ -72,15 +74,16 @@ func MeasureReconcile(sec core.SecurityConfig, txs, isolatedTicks, maxTicks int)
 		return ReconcileResult{}, err
 	}
 
-	cl := net.Client("org1")
+	gw := net.Gateway("org1")
 	victim := net.Peer("org2")
 	endorsers := []*peer.Peer{net.Peer("org1"), net.Peer("org3")}
 
 	start := time.Now()
 	net.Gossip.Isolate(victim.Name(), true)
 	for i := 0; i < txs; i++ {
-		res, err := cl.SubmitTransaction(endorsers, "asset", "setPrivate",
-			[]string{"k" + strconv.Itoa(i), "12"}, nil)
+		res, err := gw.Submit(context.Background(),
+			service.NewInvoke("asset", "setPrivate", "k"+strconv.Itoa(i), "12").
+				WithEndorsers(service.Names(endorsers)...))
 		if err != nil {
 			return ReconcileResult{}, err
 		}

@@ -238,10 +238,9 @@ func storageThroughput(v storageVariant, clients, total int) (float64, int, erro
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl := h.net.Client("org1")
 			for i := 0; i < perClient; i++ {
 				key := "s" + strconv.Itoa(c) + "-" + strconv.Itoa(i)
-				if _, err := cl.SubmitTransaction(h.net.Peers(), "asset", "set", []string{key, "v"}, nil); err != nil {
+				if _, err := h.submit(nil, "set", []string{key, "v"}); err != nil {
 					errCh <- err
 					return
 				}

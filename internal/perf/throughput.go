@@ -49,10 +49,9 @@ func MeasureThroughput(sec core.SecurityConfig, framework string, clients, total
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl := h.net.Client("org1")
 			for i := 0; i < perClient; i++ {
 				key := "t" + strconv.Itoa(c) + "-" + strconv.Itoa(i)
-				if _, err := cl.SubmitTransaction(h.net.Peers(), "asset", "set", []string{key, "v"}, nil); err != nil {
+				if _, err := h.submit(nil, "set", []string{key, "v"}); err != nil {
 					errCh <- fmt.Errorf("perf: throughput client %d: %w", c, err)
 					return
 				}

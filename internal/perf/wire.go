@@ -1,0 +1,160 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/loadgen"
+	"repro/internal/netconfig"
+	"repro/internal/node"
+	"repro/internal/pvtdata"
+	"repro/internal/service"
+)
+
+// WireCell is one scenario of the transport comparison: the same
+// closed-loop Zipfian burst measured either through in-process
+// gateways or through wire-protocol clients talking to a cluster of
+// separate OS processes.
+type WireCell struct {
+	// Scenario is "in-process" or "wire" (with "wire-tls" when the
+	// cluster runs pinned-key TLS).
+	Scenario string `json:"scenario"`
+	// Processes counts the OS processes serving the burst (1 for the
+	// in-process baseline; orderer + peers + gateway for the wire run).
+	Processes int `json:"processes"`
+	loadgen.PointJSON
+}
+
+// WireResult is the BENCH_wire.json artifact: submit→commit latency
+// and throughput for the in-process baseline against the multi-process
+// wire deployment, same workload, same topology.
+type WireResult struct {
+	Clients     int        `json:"clients"`
+	TxPerClient int        `json:"tx_per_client"`
+	BatchSize   int        `json:"batch_size"`
+	TLS         bool       `json:"tls"`
+	Cells       []WireCell `json:"cells"`
+}
+
+// wireTopology mirrors the in-process loadgen harness: three orgs, one
+// peer each, the public "asset" chaincode (the burst is public writes;
+// the PDC flow has its own scenarios).
+func wireTopology(batch int) *netconfig.Config {
+	return &netconfig.Config{
+		Orgs:      []string{"org1", "org2", "org3"},
+		BatchSize: batch,
+		Seed:      1,
+		Chaincodes: []netconfig.Chaincode{{
+			Name:    "asset",
+			Version: "1.0",
+			Collections: []pvtdata.CollectionConfig{{
+				Name:         "pdc1",
+				MemberPolicy: "OR(org1.member, org2.member)",
+				MaxPeerCount: 3,
+			}},
+			Contract:   "merged",
+			Collection: "pdc1",
+		}},
+	}
+}
+
+// MeasureWire runs the same Zipfian closed-loop burst twice: once
+// against in-process gateways (the baseline every other benchmark
+// uses) and once through the TCP wire protocol against a cluster of
+// real OS processes launched from self (the running binary re-executed
+// with PDC_WIRE_ROLE set — the caller's main must route through
+// node.RunRoleFromEnv). The gap between the two is the cost of frames,
+// JSON, TCP and process isolation on the submit→commit path.
+func MeasureWire(self string, clients, txPerClient, batch int, tlsOn bool) (WireResult, error) {
+	res := WireResult{Clients: clients, TxPerClient: txPerClient, BatchSize: batch, TLS: tlsOn}
+	opts := loadgen.RunOptions{Mix: loadgen.MixZipf, TxPerClient: txPerClient, Keys: 64}
+
+	// In-process baseline.
+	h, err := loadgen.NewHarness(loadgen.Config{Clients: clients, BatchSize: batch, Seed: 1})
+	if err != nil {
+		return WireResult{}, fmt.Errorf("perf: wire baseline: %w", err)
+	}
+	pt, err := h.Run(opts)
+	h.Close()
+	if err != nil {
+		return WireResult{}, fmt.Errorf("perf: wire baseline: %w", err)
+	}
+	res.Cells = append(res.Cells, WireCell{Scenario: "in-process", Processes: 1, PointJSON: pt.JSON()})
+
+	// Multi-process cluster over the wire.
+	cfg := wireTopology(batch)
+	if err := cfg.Validate(); err != nil {
+		return WireResult{}, err
+	}
+	dir, err := os.MkdirTemp("", "fabricbench-wire-")
+	if err != nil {
+		return WireResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	cl, err := node.LaunchCluster(cfg, node.LaunchOptions{Self: self, Dir: dir, TLS: tlsOn})
+	if err != nil {
+		return WireResult{}, fmt.Errorf("perf: launch cluster: %w", err)
+	}
+	defer cl.Stop()
+
+	// One wire connection per client, so the burst exercises real
+	// concurrent connections rather than one multiplexed socket.
+	fleet := make([]service.Gateway, clients)
+	for c := range fleet {
+		gwc, err := cl.DialGateway()
+		if err != nil {
+			return WireResult{}, fmt.Errorf("perf: dial gateway: %w", err)
+		}
+		defer gwc.Close()
+		fleet[c] = gwc
+	}
+	rh, err := loadgen.NewRemoteHarness(loadgen.Config{Clients: clients, BatchSize: batch, Seed: 1},
+		cl.Material.Channel, fleet...)
+	if err != nil {
+		return WireResult{}, err
+	}
+	wpt, err := rh.Run(opts)
+	if err != nil {
+		return WireResult{}, fmt.Errorf("perf: wire run: %w", err)
+	}
+	scenario := "wire"
+	if tlsOn {
+		scenario = "wire-tls"
+	}
+	// orderer + peers + gateway processes serve the wire cell.
+	res.Cells = append(res.Cells, WireCell{
+		Scenario:  scenario,
+		Processes: len(cl.PeerNames()) + 2,
+		PointJSON: wpt.JSON(),
+	})
+	return res, nil
+}
+
+// WireJSON renders the result as the committed BENCH_wire.json artifact.
+func WireJSON(res WireResult) ([]byte, error) {
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// RenderWire prints the transport comparison as a table.
+func RenderWire(res WireResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Transport comparison: %d clients x %d tx, batch %d, tls=%v\n\n",
+		res.Clients, res.TxPerClient, res.BatchSize, res.TLS)
+	fmt.Fprintf(&b, "%-12s%-6s%-12s%-10s%-10s%-10s%-10s\n",
+		"scenario", "procs", "achieved", "invalid", "p50ms", "p95ms", "p99ms")
+	for _, c := range res.Cells {
+		fmt.Fprintf(&b, "%-12s%-6d%-12.1f%-10d%-10.2f%-10.2f%-10.2f\n",
+			c.Scenario, c.Processes, c.AchievedTPS, c.Invalid, c.P50Ms, c.P95Ms, c.P99Ms)
+	}
+	if len(res.Cells) == 2 && res.Cells[0].P50Ms > 0 {
+		fmt.Fprintf(&b, "\nwire/in-process p50 ratio: %.2fx\n",
+			res.Cells[1].P50Ms/res.Cells[0].P50Ms)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/deliver"
+	"repro/internal/ledger"
+)
+
+// InvokeRequest is the one request shape of every gateway call. It is
+// plain data — JSON-marshalable for the wire protocol — so the local
+// and remote call surfaces cannot diverge. Endorsers are referenced by
+// node name; the serving gateway resolves names against its connected
+// peers.
+type InvokeRequest struct {
+	// Channel selects the channel; empty means the gateway's default
+	// (its commit peer's channel).
+	Channel string `json:"channel,omitempty"`
+	// Chaincode and Function name the call.
+	Chaincode string `json:"chaincode"`
+	Function  string `json:"function"`
+	// Args are the chaincode arguments.
+	Args []string `json:"args,omitempty"`
+	// Transient carries confidential inputs that reach the chaincode
+	// without entering the transaction (Fabric's transient map).
+	Transient map[string][]byte `json:"transient,omitempty"`
+	// Endorsers names the endorsement set; nil with EndorsersSet false
+	// selects the gateway's default set (every connected peer).
+	Endorsers []string `json:"endorsers,omitempty"`
+	// EndorsersSet marks an explicit (possibly empty) endorser choice,
+	// mirroring the WithEndorsers() call-option semantics: explicitly
+	// requesting zero endorsers fails rather than falling back.
+	EndorsersSet bool `json:"endorsers_set,omitempty"`
+}
+
+// NewInvoke builds an InvokeRequest for a chaincode function call.
+func NewInvoke(chaincode, function string, args ...string) *InvokeRequest {
+	return &InvokeRequest{Chaincode: chaincode, Function: function, Args: args}
+}
+
+// OnChannel selects a channel; returns the request for chaining.
+func (r *InvokeRequest) OnChannel(channel string) *InvokeRequest {
+	r.Channel = channel
+	return r
+}
+
+// WithTransient attaches the transient map; returns the request for
+// chaining.
+func (r *InvokeRequest) WithTransient(transient map[string][]byte) *InvokeRequest {
+	r.Transient = transient
+	return r
+}
+
+// WithEndorsers restricts the endorsement set to the named peers;
+// returns the request for chaining. Calling it with no names explicitly
+// requests zero endorsers (which fails, as with the call option).
+func (r *InvokeRequest) WithEndorsers(names ...string) *InvokeRequest {
+	r.Endorsers = names
+	r.EndorsersSet = true
+	return r
+}
+
+// SubmitResult is the final outcome of a submitted transaction,
+// assembled from its commit-status event. gateway.Result aliases it.
+type SubmitResult struct {
+	TxID string `json:"tx_id"`
+	// Payload is the chaincode's response payload in plaintext (from
+	// PR_Ori under defense Feature 2).
+	Payload []byte `json:"payload,omitempty"`
+	// Code is the final validation code the commit peer recorded.
+	Code ledger.ValidationCode `json:"code"`
+	// Detail explains non-VALID codes.
+	Detail string `json:"detail,omitempty"`
+	// BlockNum is the block the transaction landed in.
+	BlockNum uint64 `json:"block_num"`
+	// Event is the chaincode event of a VALID transaction, if any.
+	Event *ledger.ChaincodeEvent `json:"event,omitempty"`
+	// MissingCollections lists collections whose original private data
+	// the commit peer had not obtained at commit time.
+	MissingCollections []string `json:"missing_collections,omitempty"`
+	// CommitWait is the submit→commit-notified latency.
+	CommitWait time.Duration `json:"commit_wait,omitempty"`
+}
+
+// AsEndorsers converts a slice of any concrete endorser type (e.g.
+// []*peer.Peer) to []Endorser — Go slices are not covariant, so call
+// sites spreading a concrete slice into a variadic interface parameter
+// need the explicit conversion.
+func AsEndorsers[T Endorser](in []T) []Endorser {
+	out := make([]Endorser, len(in))
+	for i, e := range in {
+		out[i] = e
+	}
+	return out
+}
+
+// AsPeers converts a slice of any concrete peer type to []Peer.
+func AsPeers[T Peer](in []T) []Peer {
+	out := make([]Peer, len(in))
+	for i, p := range in {
+		out[i] = p
+	}
+	return out
+}
+
+// Names returns the node names of the given endorsers, in order — the
+// form InvokeRequest.Endorsers carries.
+func Names[T Endorser](in []T) []string {
+	out := make([]string, len(in))
+	for i, e := range in {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+// TryTxStatus drains buffered events from the stream without blocking
+// and returns the status event of txID if already buffered. Events for
+// other transactions are discarded — commit waiters hold a dedicated
+// stream.
+func TryTxStatus(s Stream, txID string) *deliver.TxStatusEvent {
+	for {
+		select {
+		case ev, ok := <-s.Events():
+			if !ok {
+				return nil
+			}
+			if st, isStatus := ev.(*deliver.TxStatusEvent); isStatus && st.TxID == txID {
+				return st
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// WaitTxStatus consumes the stream until the status event of txID
+// arrives, the stream ends, or the context expires.
+func WaitTxStatus(ctx context.Context, s Stream, txID string) (*deliver.TxStatusEvent, error) {
+	for {
+		select {
+		case ev, ok := <-s.Events():
+			if !ok {
+				if err := s.Err(); err != nil {
+					return nil, err
+				}
+				return nil, deliver.ErrClosed
+			}
+			if st, isStatus := ev.(*deliver.TxStatusEvent); isStatus && st.TxID == txID {
+				return st, nil
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

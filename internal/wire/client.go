@@ -1,0 +1,390 @@
+package wire
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/deliver"
+	"repro/internal/fabcrypto"
+	"repro/internal/identity"
+	"repro/internal/service"
+)
+
+// ClientOptions configure a wire client connection.
+type ClientOptions struct {
+	// Identity, when set together with ServerKey, enables TLS: the
+	// client presents a certificate derived from the identity's key and
+	// pins the server's leaf certificate to ServerKey.
+	Identity *identity.Identity
+	// ServerKey is the fabcrypto public key the server's TLS leaf
+	// certificate must speak for.
+	ServerKey fabcrypto.PublicKey
+	// MaxFrame bounds frame payloads; 0 selects DefaultMaxFrame.
+	MaxFrame int
+	// DialTimeout bounds the TCP (and TLS) dial; 0 means 10s.
+	DialTimeout time.Duration
+}
+
+// Client is one multiplexed wire connection: any number of concurrent
+// unary calls and event streams share it, demultiplexed by stream ID.
+type Client struct {
+	cn *conn
+
+	mu      sync.Mutex
+	next    uint64
+	calls   map[uint64]chan *response
+	streams map[uint64]*eventStream
+	closed  bool
+}
+
+// Dial connects to a wire server. With TLS material in opts the
+// connection is encrypted and the server's identity pinned; otherwise
+// it is plaintext (loopback benchmarks).
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	maxFrame := opts.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	timeout := opts.DialTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	var nc net.Conn
+	var err error
+	if opts.Identity != nil && len(opts.ServerKey) > 0 {
+		cert, cerr := opts.Identity.TLSCertificate()
+		if cerr != nil {
+			return nil, fmt.Errorf("wire: client tls: %w", cerr)
+		}
+		dialer := &net.Dialer{Timeout: timeout}
+		nc, err = tls.DialWithDialer(dialer, "tcp", addr, &tls.Config{
+			Certificates: []tls.Certificate{cert},
+			// Trust is established by pinning the leaf key, not by
+			// walking a CA chain — the consortium has no TLS PKI.
+			InsecureSkipVerify:    true,
+			VerifyPeerCertificate: fabcrypto.VerifyPinnedKey(opts.ServerKey),
+			MinVersion:            tls.VersionTLS13,
+		})
+	} else {
+		nc, err = net.DialTimeout("tcp", addr, timeout)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		cn:      newConn(nc, maxFrame),
+		calls:   make(map[uint64]chan *response),
+		streams: make(map[uint64]*eventStream),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close shuts the connection down; in-flight calls fail with
+// ErrConnClosed.
+func (c *Client) Close() { c.cn.close(nil); c.fail(ErrConnClosed) }
+
+// readLoop demultiplexes inbound frames to call waiters and streams.
+func (c *Client) readLoop() {
+	for {
+		f, err := c.cn.read()
+		if err != nil {
+			c.cn.close(err)
+			c.fail(c.cn.closeErr())
+			return
+		}
+		switch f.Type {
+		case ftResponse:
+			var resp response
+			if err := json.Unmarshal(f.Payload, &resp); err != nil {
+				c.cn.close(fmt.Errorf("%w: response body: %v", ErrCorrupt, err))
+				c.fail(c.cn.closeErr())
+				return
+			}
+			c.dispatchResponse(f.Stream, &resp)
+		case ftEvent:
+			var ev event
+			if err := json.Unmarshal(f.Payload, &ev); err != nil {
+				c.cn.close(fmt.Errorf("%w: event body: %v", ErrCorrupt, err))
+				c.fail(c.cn.closeErr())
+				return
+			}
+			c.dispatchEvent(f.Stream, &ev)
+		default:
+			// Servers never send requests or cancels; a frame of that
+			// type here means the peer is not speaking the protocol.
+			c.cn.close(fmt.Errorf("%w: unexpected frame type %d from server", ErrCorrupt, f.Type))
+			c.fail(c.cn.closeErr())
+			return
+		}
+	}
+}
+
+func (c *Client) dispatchResponse(stream uint64, resp *response) {
+	c.mu.Lock()
+	if ch, ok := c.calls[stream]; ok {
+		delete(c.calls, stream)
+		c.mu.Unlock()
+		ch <- resp
+		return
+	}
+	es := c.streams[stream]
+	if es != nil && !resp.More {
+		delete(c.streams, stream)
+	}
+	c.mu.Unlock()
+	if es != nil && !resp.More {
+		// Terminal response: the stream ended server-side.
+		es.finish(decodeError(resp.Err))
+	}
+}
+
+func (c *Client) dispatchEvent(stream uint64, ev *event) {
+	c.mu.Lock()
+	es := c.streams[stream]
+	c.mu.Unlock()
+	if es == nil {
+		return // events racing a local Close; drop
+	}
+	if !es.push(ev.decode()) {
+		// Consumer is not draining: evict it, mirroring the deliver
+		// service's slow-consumer policy, and tell the server to stop.
+		c.mu.Lock()
+		delete(c.streams, stream)
+		c.mu.Unlock()
+		es.finish(deliver.ErrSlowConsumer)
+		c.cn.send(frame{Type: ftCancel, Stream: stream})
+	}
+}
+
+// fail terminates every outstanding call and stream.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	calls, streams := c.calls, c.streams
+	c.calls, c.streams = map[uint64]chan *response{}, map[uint64]*eventStream{}
+	c.mu.Unlock()
+	for _, ch := range calls {
+		ch <- &response{Err: &WireError{Code: codeInternal, Message: err.Error()}}
+	}
+	for _, es := range streams {
+		es.finish(err)
+	}
+}
+
+// newRequest marshals a request frame for method with the given body.
+func newRequest(ctx context.Context, method string, body any) ([]byte, error) {
+	req := request{Method: method}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Deadline = dl.UnixNano()
+	}
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("wire: marshal %s request: %w", method, err)
+		}
+		req.Body = b
+	}
+	return json.Marshal(req)
+}
+
+// Call performs one unary RPC: request out, single response in. The
+// context's deadline travels with the request; cancellation sends an
+// ftCancel so the server abandons the handler.
+func (c *Client) Call(ctx context.Context, method string, in, out any) error {
+	payload, err := newRequest(ctx, method, in)
+	if err != nil {
+		return err
+	}
+	ch := make(chan *response, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrConnClosed
+	}
+	c.next++
+	id := c.next
+	c.calls[id] = ch
+	c.mu.Unlock()
+
+	if err := c.cn.send(frame{Type: ftRequest, Stream: id, Payload: payload}); err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return err
+	}
+	var resp *response
+	select {
+	case resp = <-ch:
+	case <-ctx.Done():
+		c.mu.Lock()
+		_, inflight := c.calls[id]
+		delete(c.calls, id)
+		c.mu.Unlock()
+		if inflight {
+			c.cn.send(frame{Type: ftCancel, Stream: id})
+			return ctx.Err()
+		}
+		// Response raced the cancellation; take it.
+		resp = <-ch
+	}
+	if resp.Err != nil {
+		return decodeError(resp.Err)
+	}
+	if out != nil && len(resp.Body) > 0 {
+		if err := json.Unmarshal(resp.Body, out); err != nil {
+			return fmt.Errorf("wire: unmarshal %s response: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// Stream opens an event stream. It returns once the server acknowledged
+// the subscription (a response with More set), so anything ordered
+// after Stream returns is observed by the stream — the registration-
+// before-ordering guarantee commit waiters depend on.
+func (c *Client) Stream(ctx context.Context, method string, in any) (service.Stream, error) {
+	payload, err := newRequest(ctx, method, in)
+	if err != nil {
+		return nil, err
+	}
+	ack := make(chan *response, 1)
+	es := newEventStream(c)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	c.next++
+	id := c.next
+	es.id = id
+	c.calls[id] = ack // the ACK arrives as a response on the same stream
+	// Register the stream before the request leaves: a fast handler's
+	// events (and terminal response) can arrive right behind the ACK,
+	// and the read loop must find somewhere to put them.
+	c.streams[id] = es
+	c.mu.Unlock()
+
+	deregister := func() {
+		c.mu.Lock()
+		delete(c.calls, id)
+		delete(c.streams, id)
+		c.mu.Unlock()
+	}
+	if err := c.cn.send(frame{Type: ftRequest, Stream: id, Payload: payload}); err != nil {
+		deregister()
+		return nil, err
+	}
+	var resp *response
+	select {
+	case resp = <-ack:
+	case <-ctx.Done():
+		c.mu.Lock()
+		_, inflight := c.calls[id]
+		c.mu.Unlock()
+		if inflight {
+			deregister()
+			c.cn.send(frame{Type: ftCancel, Stream: id})
+			return nil, ctx.Err()
+		}
+		resp = <-ack
+	}
+	if resp.Err != nil {
+		deregister()
+		return nil, decodeError(resp.Err)
+	}
+	if !resp.More {
+		deregister()
+		return nil, fmt.Errorf("%w: stream %s acknowledged without More", ErrCorrupt, method)
+	}
+	return es, nil
+}
+
+// eventStream is the client side of a deliver stream: a buffered event
+// channel fed by the read loop, satisfying service.Stream.
+type eventStream struct {
+	c  *Client
+	id uint64
+	ch chan deliver.Event
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// streamBuffer matches deliver.DefaultBufferSize: the wire stream adds
+// one more bounded stage to the same slow-consumer policy.
+const streamBuffer = 1024
+
+func newEventStream(c *Client) *eventStream {
+	return &eventStream{c: c, ch: make(chan deliver.Event, streamBuffer)}
+}
+
+// push enqueues an event without blocking; false means the buffer is
+// full and the consumer must be evicted (the read loop cannot block, or
+// one stalled stream would freeze every call on the connection).
+func (es *eventStream) push(ev deliver.Event) bool {
+	if ev == nil {
+		return true
+	}
+	select {
+	case es.ch <- ev:
+		return true
+	default:
+		return false
+	}
+}
+
+// finish records the terminal error and closes the event channel.
+func (es *eventStream) finish(err error) {
+	es.mu.Lock()
+	if es.closed {
+		es.mu.Unlock()
+		return
+	}
+	es.closed = true
+	if err != nil && es.err == nil {
+		es.err = err
+	}
+	es.mu.Unlock()
+	close(es.ch)
+}
+
+// Events returns the ordered event channel; it closes when the stream
+// ends.
+func (es *eventStream) Events() <-chan deliver.Event { return es.ch }
+
+// Err reports why the stream ended; nil while live or after a clean
+// Close.
+func (es *eventStream) Err() error {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if es.err == deliver.ErrClosed {
+		return nil
+	}
+	return es.err
+}
+
+// Close cancels the stream server-side and releases it. Idempotent.
+func (es *eventStream) Close() {
+	es.mu.Lock()
+	if es.closed {
+		es.mu.Unlock()
+		return
+	}
+	es.mu.Unlock()
+	es.c.mu.Lock()
+	delete(es.c.streams, es.id)
+	es.c.mu.Unlock()
+	es.c.cn.send(frame{Type: ftCancel, Stream: es.id})
+	es.finish(nil)
+}

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrConnClosed is returned by sends on a connection that has shut down
+// (remote hangup, corruption, or local Close).
+var ErrConnClosed = errors.New("wire: connection closed")
+
+// defaultSendQueue bounds the per-connection outbound frame queue. A
+// full queue blocks the sender — the same bounded-queue backpressure
+// the orderer's per-peer delivery queues apply in-process: a slow
+// connection slows its own users, never unrelated ones.
+const defaultSendQueue = 256
+
+// conn wraps a net.Conn with a single writer goroutine fed by a bounded
+// frame queue. All frame writes go through send(), so concurrent calls
+// and streams multiplex onto the socket without interleaving partial
+// frames; reads stay with the owner (client or server loop).
+type conn struct {
+	nc       net.Conn
+	maxFrame int
+
+	sendQ chan frame
+	done  chan struct{}
+
+	closeOnce sync.Once
+	mu        sync.Mutex
+	err       error
+}
+
+func newConn(nc net.Conn, maxFrame int) *conn {
+	c := &conn{
+		nc:       nc,
+		maxFrame: maxFrame,
+		sendQ:    make(chan frame, defaultSendQueue),
+		done:     make(chan struct{}),
+	}
+	go c.writeLoop()
+	return c
+}
+
+// writeLoop drains the send queue onto the socket, flushing only when
+// the queue runs dry — consecutive frames coalesce into one syscall.
+func (c *conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var buf []byte
+	for {
+		select {
+		case f := <-c.sendQ:
+			buf = appendFrame(buf[:0], f)
+			if _, err := bw.Write(buf); err != nil {
+				c.close(err)
+				return
+			}
+			if len(c.sendQ) == 0 {
+				if err := bw.Flush(); err != nil {
+					c.close(err)
+					return
+				}
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// send enqueues one frame, blocking when the queue is full. It fails
+// once the connection is closed.
+func (c *conn) send(f frame) error {
+	if len(f.Payload) > c.maxFrame {
+		return ErrFrameTooLarge
+	}
+	select {
+	case c.sendQ <- f:
+		return nil
+	case <-c.done:
+		return c.closeErr()
+	}
+}
+
+// read reads the next frame from the socket.
+func (c *conn) read() (frame, error) {
+	return readFrame(c.nc, c.maxFrame)
+}
+
+// close tears the connection down once, recording the first cause.
+func (c *conn) close(err error) {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		c.err = err
+		c.mu.Unlock()
+		close(c.done)
+		c.nc.Close()
+	})
+}
+
+// closeErr returns why the connection shut down.
+func (c *conn) closeErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		return ErrConnClosed
+	}
+	return c.err
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/deliver"
+	"repro/internal/gateway"
+	"repro/internal/orderer"
+)
+
+// Error codes carried in WireError.Code. Each maps to a sentinel from
+// the originating package, so errors.Is/errors.As give the same answers
+// on both sides of the wire.
+const (
+	codeOverloaded     = "overloaded"
+	codeNoEndorsers    = "no_endorsers"
+	codeMismatch       = "endorse_mismatch"
+	codeBadEndorserSig = "bad_endorser_sig"
+	codeCommitUnavail  = "commit_unavailable"
+	codeOrdererStopped = "orderer_stopped"
+	codeSlowConsumer   = "slow_consumer"
+	codeDeliverClosed  = "deliver_closed"
+	codeCanceled       = "canceled"
+	codeDeadline       = "deadline"
+	codeInternal       = "internal"
+)
+
+// sentinels maps codes back to package error values. The overloaded
+// code is handled separately because it reconstructs a typed error
+// carrying the retry hint.
+var sentinels = map[string]error{
+	codeNoEndorsers:    gateway.ErrNoEndorsers,
+	codeMismatch:       gateway.ErrEndorsementMismatch,
+	codeBadEndorserSig: gateway.ErrBadEndorserSignature,
+	codeCommitUnavail:  gateway.ErrCommitStatusUnavailable,
+	codeOrdererStopped: orderer.ErrStopped,
+	codeSlowConsumer:   deliver.ErrSlowConsumer,
+	codeDeliverClosed:  deliver.ErrClosed,
+	codeCanceled:       context.Canceled,
+	codeDeadline:       context.DeadlineExceeded,
+}
+
+// encodeError maps a handler error onto the wire. The first matching
+// sentinel wins; anything unrecognized travels as an opaque internal
+// error (message only).
+func encodeError(err error) *WireError {
+	var ov *gateway.OverloadedError
+	if errors.As(err, &ov) {
+		return &WireError{
+			Code:         codeOverloaded,
+			Message:      err.Error(),
+			RetryAfterMs: ov.RetryAfter.Milliseconds(),
+		}
+	}
+	for code, sentinel := range sentinels {
+		if errors.Is(err, sentinel) {
+			return &WireError{Code: code, Message: err.Error()}
+		}
+	}
+	return &WireError{Code: codeInternal, Message: err.Error()}
+}
+
+// decodeError reconstructs a Go error from the wire form. Known codes
+// wrap their package sentinel so errors.Is matches; the overloaded code
+// rebuilds a *gateway.OverloadedError so errors.As recovers the retry
+// hint (satellite 6: the shedding gateway's backpressure signal
+// survives the process boundary).
+func decodeError(we *WireError) error {
+	if we == nil {
+		return nil
+	}
+	switch we.Code {
+	case codeOverloaded:
+		retry := time.Duration(we.RetryAfterMs) * time.Millisecond
+		if retry < time.Millisecond && we.RetryAfterMs > 0 {
+			retry = time.Millisecond
+		}
+		return &gateway.OverloadedError{RetryAfter: retry}
+	case codeInternal, "":
+		return fmt.Errorf("wire: remote error: %s", we.Message)
+	}
+	if sentinel, ok := sentinels[we.Code]; ok {
+		return fmt.Errorf("wire: remote: %w", sentinel)
+	}
+	return fmt.Errorf("wire: remote error [%s]: %s", we.Code, we.Message)
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/deliver"
+	"repro/internal/ledger"
+	"repro/internal/rwset"
+	"repro/internal/service"
+)
+
+// rpcSeedPayloads serializes one instance of every RPC body in the
+// catalogue, so the fuzzer starts from realistic protocol traffic
+// rather than random JSON.
+func rpcSeedPayloads(t interface{ Fatal(...any) }) [][]byte {
+	marshal := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	prop := &ledger.Proposal{TxID: "tx1", Chaincode: "asset", Function: "set", Args: []string{"k", "v"}}
+	bodies := []any{
+		&request{Method: "peer.endorse", Body: marshal(&endorseRequest{Proposal: prop, Transient: map[string][]byte{"p": []byte("x")}})},
+		&request{Method: "peer.subscribe", Body: marshal(&subscribeRequest{From: 3})},
+		&request{Method: "peer.pvt", Body: marshal(&pvtRequest{TxID: "tx1", Collection: "pdc1"})},
+		&request{Method: "peer.pvtpush", Body: marshal(&rwset.TxPvtRWSet{TxID: "tx1", CollSets: []rwset.CollPvtRWSet{{Collection: "pdc1", Writes: []rwset.KVWrite{{Key: "k", Value: []byte("v")}}}}})},
+		&request{Method: "peer.info"},
+		&request{Method: "order.submit", Body: marshal(&orderRequest{Tx: []byte(`{"tx_id":"tx1"}`)})},
+		&request{Method: "order.inpending", Body: marshal(&txIDRequest{TxID: "tx1"})},
+		&request{Method: "order.blocks", Body: marshal(&blocksRequest{From: 0})},
+		&request{Method: "gw.submit", Body: marshal(service.NewInvoke("asset", "set", "k", "v"))},
+		&request{Method: "gw.status", Body: marshal(&handleRequest{Handle: 7})},
+		&response{Body: marshal(&infoResponse{Name: "peer0.org1", Org: "org1", Channel: "c1", Height: 4, StateHash: "aa"})},
+		&response{More: true},
+		&response{Err: &WireError{Code: codeOverloaded, Message: "shed", RetryAfterMs: 250}},
+		&event{Block: &deliver.BlockEvent{Number: 9}},
+		&event{Status: &deliver.TxStatusEvent{TxID: "tx1", BlockNum: 9}},
+	}
+	out := make([][]byte, 0, len(bodies))
+	for _, b := range bodies {
+		out = append(out, marshal(b))
+	}
+	return out
+}
+
+// FuzzWireFrame feeds arbitrary bytes to the frame reader. The protocol
+// promise under test: a reader never panics, never allocates beyond
+// maxFrame, and every rejection is a typed error (ErrCorrupt,
+// ErrFrameTooLarge, or a short-read io error). Valid frames that decode
+// must re-encode byte-identically.
+func FuzzWireFrame(f *testing.F) {
+	types := []byte{ftRequest, ftResponse, ftEvent, ftCancel}
+	for i, payload := range rpcSeedPayloads(f) {
+		encoded := appendFrame(nil, frame{Type: types[i%len(types)], Stream: uint64(i), Payload: payload})
+		f.Add(encoded)
+		// Seed a truncation and a bit flip of each, so the interesting
+		// failure paths are in the corpus from generation zero.
+		f.Add(encoded[:len(encoded)/2])
+		flipped := append([]byte(nil), encoded...)
+		flipped[i%len(flipped)] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, version, ftRequest})
+
+	const maxFrame = 1 << 20 // keep fuzz allocations bounded
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := readFrame(bytes.NewReader(data), maxFrame)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFrameTooLarge) &&
+				!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("untyped error from readFrame: %v", err)
+			}
+			return
+		}
+		// A frame that validated must re-encode to exactly the bytes
+		// consumed (header+payload+trailer) — framing is canonical.
+		reencoded := appendFrame(nil, got)
+		consumed := headerSize + len(got.Payload) + trailerSize
+		if !bytes.Equal(reencoded, data[:consumed]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", reencoded, data[:consumed])
+		}
+		// And reading the re-encoding must yield the same frame.
+		again, err := readFrame(bytes.NewReader(reencoded), maxFrame)
+		if err != nil {
+			t.Fatalf("re-read of valid frame failed: %v", err)
+		}
+		if again.Type != got.Type || again.Stream != got.Stream || !bytes.Equal(again.Payload, got.Payload) {
+			t.Fatalf("re-read mismatch: %+v vs %+v", again, got)
+		}
+	})
+}
+
+// FuzzWireErrorRoundTrip checks the error-code mapping never loses the
+// retry hint and never panics on arbitrary code/message pairs.
+func FuzzWireErrorRoundTrip(f *testing.F) {
+	f.Add("overloaded", "busy", int64(250))
+	f.Add("no_endorsers", "", int64(0))
+	f.Add("internal", "boom", int64(0))
+	f.Add("unknown_code", "??", int64(-1))
+	f.Add("", "", int64(1<<62))
+	f.Fuzz(func(t *testing.T, code, msg string, retryMs int64) {
+		we := &WireError{Code: code, Message: msg, RetryAfterMs: retryMs}
+		err := decodeError(we)
+		if err == nil {
+			t.Fatalf("decodeError(%+v) = nil", we)
+		}
+		// Re-encoding a decoded error must preserve the code for every
+		// catalogued code (unknown codes degrade to internal).
+		if _, known := sentinels[code]; known || code == codeOverloaded {
+			back := encodeError(err)
+			if back.Code != code {
+				t.Fatalf("code %q round-tripped to %q", code, back.Code)
+			}
+		}
+	})
+}

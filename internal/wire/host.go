@@ -1,0 +1,300 @@
+package wire
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/deliver"
+	"repro/internal/gateway"
+	"repro/internal/ledger"
+	"repro/internal/orderer"
+	"repro/internal/peer"
+	"repro/internal/rwset"
+	"repro/internal/service"
+)
+
+// This file is the served side of the RPC catalogue: Register* install
+// handlers translating wire requests onto the in-process components.
+// The method names and body structs (msg.go) are the protocol;
+// docs/WIRE.md documents them.
+
+// RegisterPeer serves a peer's endorse/deliver/private-data surface:
+//
+//	peer.endorse    unary   endorseRequest -> ledger.ProposalResponse
+//	peer.subscribe  stream  subscribeRequest -> deliver events
+//	peer.pvt        unary   pvtRequest -> rwset.CollPvtRWSet (null when absent)
+//	peer.pvtpush    unary   rwset.TxPvtRWSet -> {}
+//	peer.info       unary   {} -> infoResponse
+func RegisterPeer(s *Server, p *peer.Peer) {
+	s.Handle("peer.endorse", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req endorseRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: peer.endorse: %w", err)
+		}
+		if req.Proposal == nil {
+			return nil, fmt.Errorf("wire: peer.endorse: no proposal")
+		}
+		// The transient map travels beside the proposal (it is excluded
+		// from proposal serialization) and is reattached for simulation.
+		req.Proposal.Transient = req.Transient
+		return p.Endorse(ctx, req.Proposal)
+	})
+	s.Handle("peer.subscribe", func(ctx context.Context, body json.RawMessage, sink *Sink) (any, error) {
+		var req subscribeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: peer.subscribe: %w", err)
+		}
+		var stream service.Stream
+		if req.Live {
+			stream = p.SubscribeLive()
+		} else {
+			var err error
+			stream, err = p.SubscribeFrom(req.From)
+			if err != nil {
+				return nil, err
+			}
+		}
+		defer stream.Close()
+		if err := sink.Ack(); err != nil {
+			return nil, err
+		}
+		return nil, pumpEvents(ctx, stream, sink)
+	})
+	s.Handle("peer.pvt", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req pvtRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: peer.pvt: %w", err)
+		}
+		return p.ServePrivateData(req.TxID, req.Collection), nil
+	})
+	s.Handle("peer.pvtpush", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var set rwset.TxPvtRWSet
+		if err := json.Unmarshal(body, &set); err != nil {
+			return nil, fmt.Errorf("wire: peer.pvtpush: %w", err)
+		}
+		if set.TxID == "" {
+			return nil, fmt.Errorf("wire: peer.pvtpush: no tx_id")
+		}
+		p.ReceivePrivateData(&set)
+		return nil, nil
+	})
+	s.Handle("peer.info", func(_ context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+		return &infoResponse{
+			Name:      p.Name(),
+			Org:       p.Org(),
+			Channel:   p.ChannelName(),
+			Height:    p.Ledger().Height(),
+			StateHash: hex.EncodeToString(p.WorldState().StateHash()),
+		}, nil
+	})
+}
+
+// RegisterOrderer serves the ordering surface:
+//
+//	order.submit     unary   orderRequest -> {}
+//	order.inpending  unary   txIDRequest -> inPendingResponse
+//	order.flushtx    unary   txIDRequest -> {}
+//	order.blocks     stream  blocksRequest -> block events
+func RegisterOrderer(s *Server, o *orderer.Service) {
+	s.Handle("order.submit", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req orderRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: order.submit: %w", err)
+		}
+		tx, err := ledger.ParseTransaction(req.Tx)
+		if err != nil {
+			return nil, fmt.Errorf("wire: order.submit: %w", err)
+		}
+		return nil, o.Order(ctx, tx)
+	})
+	s.Handle("order.inpending", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req txIDRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: order.inpending: %w", err)
+		}
+		return &inPendingResponse{Pending: o.InPending(req.TxID)}, nil
+	})
+	s.Handle("order.flushtx", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req txIDRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: order.flushtx: %w", err)
+		}
+		o.FlushTx(req.TxID)
+		return nil, nil
+	})
+	s.Handle("order.blocks", func(ctx context.Context, body json.RawMessage, sink *Sink) (any, error) {
+		var req blocksRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: order.blocks: %w", err)
+		}
+		// Backlog first, then live deliveries; the orderer's Subscribe
+		// runs the handler under its delivery fan-out, so forward into
+		// a channel to keep the sink writes on this goroutine.
+		blocks := make(chan *ledger.Block, 64)
+		backlog := o.Subscribe(func(b *ledger.Block) {
+			select {
+			case blocks <- b:
+			case <-ctx.Done():
+			}
+		})
+		if err := sink.Ack(); err != nil {
+			return nil, err
+		}
+		next := req.From
+		for _, b := range backlog {
+			if b.Header.Number < next {
+				continue
+			}
+			if err := sink.Send(event{Block: blockEvent(b)}); err != nil {
+				return nil, err
+			}
+			next = b.Header.Number + 1
+		}
+		for {
+			select {
+			case b := <-blocks:
+				if b.Header.Number < next {
+					continue // replayed by the backlog already
+				}
+				if err := sink.Send(event{Block: blockEvent(b)}); err != nil {
+					return nil, err
+				}
+				next = b.Header.Number + 1
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	})
+}
+
+// RegisterGateway serves the client-facing transaction API. SubmitAsync
+// returns a handle the client polls with gw.status / releases with
+// gw.close — commit waiting stays server-side, next to the deliver
+// stream.
+//
+//	gw.evaluate     unary  service.InvokeRequest -> evaluateResponse
+//	gw.submit       unary  service.InvokeRequest -> service.SubmitResult
+//	gw.submitasync  unary  service.InvokeRequest -> submitAsyncResponse
+//	gw.status       unary  handleRequest -> service.SubmitResult
+//	gw.close        unary  handleRequest -> {}
+func RegisterGateway(s *Server, gw *gateway.Gateway) {
+	h := &handleTable{commits: make(map[uint64]service.Commit)}
+	s.Handle("gw.evaluate", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req service.InvokeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: gw.evaluate: %w", err)
+		}
+		payload, err := gw.Evaluate(ctx, &req)
+		if err != nil {
+			return nil, err
+		}
+		return &evaluateResponse{Payload: payload}, nil
+	})
+	s.Handle("gw.submit", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req service.InvokeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: gw.submit: %w", err)
+		}
+		return gw.Submit(ctx, &req)
+	})
+	s.Handle("gw.submitasync", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req service.InvokeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: gw.submitasync: %w", err)
+		}
+		commit, err := gw.SubmitAsync(ctx, &req)
+		if err != nil {
+			return nil, err
+		}
+		return &submitAsyncResponse{Handle: h.put(commit), TxID: commit.TxID()}, nil
+	})
+	s.Handle("gw.status", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req handleRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: gw.status: %w", err)
+		}
+		commit, ok := h.get(req.Handle)
+		if !ok {
+			return nil, fmt.Errorf("wire: gw.status: unknown handle %d", req.Handle)
+		}
+		return commit.Status(ctx)
+	})
+	s.Handle("gw.close", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		var req handleRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, fmt.Errorf("wire: gw.close: %w", err)
+		}
+		if commit, ok := h.take(req.Handle); ok {
+			commit.Close()
+		}
+		return nil, nil
+	})
+}
+
+// blockEvent wraps a block for the wire's event payload.
+func blockEvent(b *ledger.Block) *deliver.BlockEvent {
+	return &deliver.BlockEvent{Number: b.Header.Number, Block: b}
+}
+
+// encodeEvent maps a deliver event onto the wire's tagged-union form.
+func encodeEvent(ev deliver.Event) event {
+	switch e := ev.(type) {
+	case *deliver.BlockEvent:
+		return event{Block: e}
+	case *deliver.TxStatusEvent:
+		return event{Status: e}
+	}
+	return event{}
+}
+
+// pumpEvents forwards a service.Stream onto a sink until the stream
+// ends or the caller cancels.
+func pumpEvents(ctx context.Context, stream service.Stream, sink *Sink) error {
+	for {
+		select {
+		case ev, ok := <-stream.Events():
+			if !ok {
+				return stream.Err()
+			}
+			if err := sink.Send(encodeEvent(ev)); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// handleTable tracks server-side commit handles for remote SubmitAsync
+// callers.
+type handleTable struct {
+	mu      sync.Mutex
+	next    uint64
+	commits map[uint64]service.Commit
+}
+
+func (h *handleTable) put(c service.Commit) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.next++
+	h.commits[h.next] = c
+	return h.next
+}
+
+func (h *handleTable) get(id uint64) (service.Commit, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.commits[id]
+	return c, ok
+}
+
+func (h *handleTable) take(id uint64) (service.Commit, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.commits[id]
+	delete(h.commits, id)
+	return c, ok
+}

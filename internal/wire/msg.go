@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"encoding/json"
+
+	"repro/internal/deliver"
+	"repro/internal/ledger"
+	"repro/internal/service"
+)
+
+// request is the payload of an ftRequest frame.
+type request struct {
+	// Method names the RPC, e.g. "peer.endorse".
+	Method string `json:"method"`
+	// Deadline is the caller's context deadline in Unix nanoseconds;
+	// zero means none. The server re-derives a context from it, so
+	// deadlines propagate across the process boundary.
+	Deadline int64 `json:"deadline,omitempty"`
+	// Body is the method-specific request struct.
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// response is the payload of an ftResponse frame. For unary calls it is
+// terminal. For streams, the first response with More set acknowledges
+// that the server registered the subscription (events may follow), and
+// a later response without More ends the stream, carrying the reason in
+// Err.
+type response struct {
+	Err  *WireError      `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+	More bool            `json:"more,omitempty"`
+}
+
+// WireError is the serialized form of a call error. Code maps back to
+// the originating package's sentinel on the client so errors.Is works
+// across the process boundary; RetryAfterMs carries the admission
+// controller's backpressure hint through gateway overload errors.
+type WireError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// event is the payload of an ftEvent frame: exactly one of the fields
+// is set, mirroring the two deliver event kinds.
+type event struct {
+	Block  *deliver.BlockEvent    `json:"block,omitempty"`
+	Status *deliver.TxStatusEvent `json:"status,omitempty"`
+}
+
+// decode returns the deliver.Event the frame carries.
+func (e *event) decode() deliver.Event {
+	if e.Block != nil {
+		return e.Block
+	}
+	if e.Status != nil {
+		return e.Status
+	}
+	return nil
+}
+
+// RPC request/response bodies. Kept together so docs/WIRE.md's RPC
+// catalogue has a single source of truth.
+
+// endorseRequest carries a proposal for peer.endorse. The transient map
+// travels beside the proposal because Proposal.Transient is explicitly
+// excluded from serialization (it must never enter a transaction); the
+// endorsing peer reattaches it before simulation.
+type endorseRequest struct {
+	Proposal  *ledger.Proposal  `json:"proposal"`
+	Transient map[string][]byte `json:"transient,omitempty"`
+}
+
+// subscribeRequest opens a peer.subscribe deliver stream.
+type subscribeRequest struct {
+	From uint64 `json:"from"`
+	// Live selects SubscribeLive (From ignored) over SubscribeFrom.
+	Live bool `json:"live,omitempty"`
+}
+
+// pvtRequest asks a peer for one transaction's private rwset of a
+// collection (the reconciler's pull).
+type pvtRequest struct {
+	TxID       string `json:"tx_id"`
+	Collection string `json:"collection"`
+}
+
+// infoResponse describes a serving peer; the wire client caches it at
+// connect time to answer Name/Org/ChannelName locally, and cluster
+// tests use Height/StateHash for convergence checks.
+type infoResponse struct {
+	Name      string `json:"name"`
+	Org       string `json:"org"`
+	Channel   string `json:"channel"`
+	Height    uint64 `json:"height"`
+	StateHash string `json:"state_hash"`
+}
+
+// orderRequest submits a serialized transaction (ledger.Transaction
+// canonical bytes) for ordering.
+type orderRequest struct {
+	Tx []byte `json:"tx"`
+}
+
+// txIDRequest names a transaction for order.inpending / order.flushtx.
+type txIDRequest struct {
+	TxID string `json:"tx_id"`
+}
+
+// inPendingResponse reports order.inpending's verdict.
+type inPendingResponse struct {
+	Pending bool `json:"pending"`
+}
+
+// blocksRequest opens an order.blocks stream from block number From.
+type blocksRequest struct {
+	From uint64 `json:"from"`
+}
+
+// evaluateResponse carries gw.evaluate's query payload.
+type evaluateResponse struct {
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// submitAsyncResponse hands back a server-side commit handle.
+type submitAsyncResponse struct {
+	Handle uint64 `json:"handle"`
+	TxID   string `json:"tx_id"`
+}
+
+// handleRequest names a commit handle for gw.status / gw.close.
+type handleRequest struct {
+	Handle uint64 `json:"handle"`
+}
+
+// Compile-time guarantee that the request/response structs the protocol
+// shares with the service layer stay marshalable.
+var (
+	_ = service.InvokeRequest{}
+	_ = service.SubmitResult{}
+)

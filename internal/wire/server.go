@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/identity"
+)
+
+// Handler serves one RPC method. Unary handlers return (result, error)
+// and ignore the sink. Stream handlers call sink.Ack once registration
+// succeeded, then sink.Send for each event, and return when the stream
+// ends (their error, if any, travels in the terminal response). The
+// context carries the caller's deadline and is canceled when the client
+// sends ftCancel or the connection drops.
+type Handler func(ctx context.Context, body json.RawMessage, sink *Sink) (any, error)
+
+// ServerOptions configure a wire server.
+type ServerOptions struct {
+	// Identity, when set, enables TLS with a self-signed certificate
+	// over the identity's key; clients pin its public key.
+	Identity *identity.Identity
+	// MaxFrame bounds frame payloads; 0 selects DefaultMaxFrame.
+	MaxFrame int
+}
+
+// Server listens on one TCP address and serves registered RPC methods.
+// One server typically fronts one component (a peer, the orderer, a
+// gateway); cmd/pdcnet runs one per process.
+type Server struct {
+	handlers map[string]Handler
+	maxFrame int
+	tlsConf  *tls.Config
+
+	mu  sync.Mutex
+	ln  net.Listener
+	wg  sync.WaitGroup
+	err error
+	// quit closes when Close is called; per-connection loops watch it.
+	quit   chan struct{}
+	closed bool
+}
+
+// NewServer creates an empty server; register methods with Handle, then
+// call Listen.
+func NewServer(opts ServerOptions) (*Server, error) {
+	s := &Server{
+		handlers: make(map[string]Handler),
+		maxFrame: opts.MaxFrame,
+		quit:     make(chan struct{}),
+	}
+	if s.maxFrame <= 0 {
+		s.maxFrame = DefaultMaxFrame
+	}
+	if opts.Identity != nil {
+		cert, err := opts.Identity.TLSCertificate()
+		if err != nil {
+			return nil, fmt.Errorf("wire: server tls: %w", err)
+		}
+		s.tlsConf = &tls.Config{
+			Certificates: []tls.Certificate{cert},
+			MinVersion:   tls.VersionTLS13,
+		}
+	}
+	return s, nil
+}
+
+// Handle registers a method handler. Not safe to call after Listen.
+func (s *Server) Handle(method string, h Handler) { s.handlers[method] = h }
+
+// Listen binds addr (e.g. "127.0.0.1:7051") and starts accepting.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	if s.tlsConf != nil {
+		ln = tls.NewListener(ln, s.tlsConf)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, tears down every connection and waits for
+// handlers to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	close(s.quit)
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+			default:
+				s.mu.Lock()
+				s.err = err
+				s.mu.Unlock()
+			}
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// serveConn runs one connection: a read loop dispatching requests to
+// handler goroutines, a cancel registry keyed by stream ID, and the
+// shared write queue.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	cn := newConn(nc, s.maxFrame)
+	defer cn.close(nil)
+
+	// cancels maps live stream IDs to their handler contexts' cancel
+	// functions, so ftCancel (and connection teardown) aborts them.
+	var mu sync.Mutex
+	cancels := make(map[uint64]context.CancelFunc)
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+
+	// Watch for server shutdown.
+	connDone := make(chan struct{})
+	defer close(connDone)
+	go func() {
+		select {
+		case <-s.quit:
+			cn.close(ErrConnClosed)
+		case <-connDone:
+		}
+	}()
+
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
+	for {
+		f, err := cn.read()
+		if err != nil {
+			cn.close(err)
+			return
+		}
+		switch f.Type {
+		case ftCancel:
+			mu.Lock()
+			if cancel, ok := cancels[f.Stream]; ok {
+				cancel()
+			}
+			mu.Unlock()
+		case ftRequest:
+			var req request
+			if err := json.Unmarshal(f.Payload, &req); err != nil {
+				cn.close(fmt.Errorf("%w: request body: %v", ErrCorrupt, err))
+				return
+			}
+			h, ok := s.handlers[req.Method]
+			if !ok {
+				s.reply(cn, f.Stream, nil, fmt.Errorf("wire: unknown method %q", req.Method))
+				continue
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			if req.Deadline != 0 {
+				ctx, cancel = context.WithDeadline(context.Background(), time.Unix(0, req.Deadline))
+			}
+			mu.Lock()
+			cancels[f.Stream] = cancel
+			mu.Unlock()
+			hwg.Add(1)
+			go func(stream uint64, body json.RawMessage) {
+				defer hwg.Done()
+				defer func() {
+					mu.Lock()
+					delete(cancels, stream)
+					mu.Unlock()
+					cancel()
+				}()
+				sink := &Sink{cn: cn, stream: stream}
+				result, err := h(ctx, body, sink)
+				if sink.acked {
+					// Stream: terminal response ends it.
+					sink.end(err)
+					return
+				}
+				s.reply(cn, stream, result, err)
+			}(f.Stream, req.Body)
+		default:
+			// Clients never send responses or events.
+			cn.close(fmt.Errorf("%w: unexpected frame type %d from client", ErrCorrupt, f.Type))
+			return
+		}
+	}
+}
+
+// reply sends a unary response.
+func (s *Server) reply(cn *conn, stream uint64, result any, err error) {
+	resp := response{}
+	if err != nil {
+		resp.Err = encodeError(err)
+	} else if result != nil {
+		b, merr := json.Marshal(result)
+		if merr != nil {
+			resp.Err = encodeError(fmt.Errorf("wire: marshal response: %w", merr))
+		} else {
+			resp.Body = b
+		}
+	}
+	payload, merr := json.Marshal(&resp)
+	if merr != nil {
+		return
+	}
+	cn.send(frame{Type: ftResponse, Stream: stream, Payload: payload})
+}
+
+// Sink is a stream handler's outbound side: Ack acknowledges the
+// subscription (the client's Stream call returns), Send emits events.
+type Sink struct {
+	cn     *conn
+	stream uint64
+	acked  bool
+}
+
+// Ack confirms the subscription is registered. Events sent after Ack
+// are guaranteed to include everything from the subscription's start
+// point — the client blocks on this before ordering transactions whose
+// commits it must observe.
+func (k *Sink) Ack() error {
+	k.acked = true
+	payload, err := json.Marshal(&response{More: true})
+	if err != nil {
+		return err
+	}
+	return k.cn.send(frame{Type: ftResponse, Stream: k.stream, Payload: payload})
+}
+
+// Send emits one stream event.
+func (k *Sink) Send(ev event) error {
+	payload, err := json.Marshal(&ev)
+	if err != nil {
+		return fmt.Errorf("wire: marshal event: %w", err)
+	}
+	return k.cn.send(frame{Type: ftEvent, Stream: k.stream, Payload: payload})
+}
+
+// end sends the terminal response of an acked stream.
+func (k *Sink) end(err error) {
+	resp := response{}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		resp.Err = encodeError(err)
+	}
+	payload, merr := json.Marshal(&resp)
+	if merr != nil {
+		return
+	}
+	k.cn.send(frame{Type: ftResponse, Stream: k.stream, Payload: payload})
+}
