@@ -196,7 +196,7 @@ func (n *Network) JoinPeer(org, name string, setup func(*peer.Peer) error) (*pee
 	var mu sync.Mutex
 	caughtUp := false
 	var queued []*ledger.Block
-	backlog := n.Orderer.Subscribe(func(b *ledger.Block) {
+	backlog, _ := n.Orderer.Subscribe(func(b *ledger.Block) {
 		mu.Lock()
 		defer mu.Unlock()
 		if !caughtUp {

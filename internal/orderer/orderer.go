@@ -150,6 +150,10 @@ type peerQueue struct {
 	cond   *sync.Cond
 	items  []queuedBlock
 	closed bool
+	// dead marks a deregistered subscriber: the drain goroutine keeps
+	// consuming queued items so each block's delivery WaitGroup still
+	// balances, but stops cloning blocks and invoking the handler.
+	dead bool
 }
 
 func newPeerQueue() *peerQueue {
@@ -167,6 +171,17 @@ func (q *peerQueue) enqueue(b *ledger.Block, bd *blockDelivery) {
 
 func (q *peerQueue) close() {
 	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// closeDead closes the queue for a deregistered subscriber: remaining
+// items are drained for their delivery accounting only, never handed to
+// the handler.
+func (q *peerQueue) closeDead() {
+	q.mu.Lock()
+	q.dead = true
 	q.closed = true
 	q.cond.Broadcast()
 	q.mu.Unlock()
@@ -205,10 +220,9 @@ type Service struct {
 	pendingWaits []*Wait
 	height       uint64
 	lastHash     []byte
-	// queues and handlers parallel each other: one delivery queue and
-	// goroutine per registered handler.
-	queues   []*peerQueue
-	handlers []BlockHandler
+	// queues holds one delivery queue (and drain goroutine) per
+	// registered handler; Subscription.Close removes its entry.
+	queues []*peerQueue
 	// blocks retains cut blocks from number firstBlock on, so
 	// late-joining peers can catch up via Deliver (Fabric's deliver
 	// service). RetainBlocks bounds the window.
@@ -259,23 +273,61 @@ func New(cfg Config) *Service {
 }
 
 // RegisterDelivery adds a block handler (one per peer), backed by its own
-// delivery queue and goroutine.
+// delivery queue and goroutine. The subscription lives as long as the
+// service; transient subscribers (the wire's order.blocks streams) use
+// Subscribe and close the returned handle instead.
 func (s *Service) RegisterDelivery(h BlockHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.registerLocked(h)
 }
 
-func (s *Service) registerLocked(h BlockHandler) {
-	s.handlers = append(s.handlers, h)
+func (s *Service) registerLocked(h BlockHandler) *Subscription {
 	if s.stopped {
 		// No block can be cut anymore; skip the drain goroutine.
-		return
+		return &Subscription{s: s}
 	}
 	q := newPeerQueue()
 	s.queues = append(s.queues, q)
 	s.wg.Add(1)
 	go s.drainQueue(q, h)
+	return &Subscription{s: s, q: q}
+}
+
+// Subscription identifies one registered block handler; Close
+// deregisters it so the orderer stops cloning and queueing blocks for a
+// consumer that went away (a dropped wire stream, for instance).
+type Subscription struct {
+	s    *Service
+	q    *peerQueue
+	once sync.Once
+}
+
+// Close deregisters the handler. Blocks already queued are discarded
+// (their delivery accounting still settles); no further block reaches
+// the handler once Close returns, though an invocation already in
+// flight on the drain goroutine may complete concurrently. Idempotent.
+func (sub *Subscription) Close() {
+	if sub == nil || sub.q == nil {
+		return
+	}
+	sub.once.Do(func() {
+		s := sub.s
+		s.mu.Lock()
+		for i, q := range s.queues {
+			if q == sub.q {
+				s.queues = append(s.queues[:i], s.queues[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		sub.q.closeDead()
+		// The removed queue no longer counts toward backpressure; wake
+		// the ordering goroutine in case it was waiting on its depth.
+		s.bpMu.Lock()
+		s.bpCond.Broadcast()
+		s.bpMu.Unlock()
+	})
 }
 
 // drainQueue is one peer's delivery goroutine: it pops blocks in order,
@@ -294,8 +346,11 @@ func (s *Service) drainQueue(q *peerQueue, h BlockHandler) {
 		}
 		item := q.items[0]
 		q.items = q.items[1:]
+		dead := q.dead
 		q.mu.Unlock()
-		h(item.block.Clone())
+		if !dead {
+			h(item.block.Clone())
+		}
 		item.bd.wg.Done()
 		s.bpMu.Lock()
 		s.bpCond.Broadcast()
@@ -768,15 +823,15 @@ func (s *Service) cutBlockLocked(txs []*ledger.Transaction) *blockDelivery {
 // registers the handler for all future blocks, so a late-joining peer
 // misses nothing between catch-up and live delivery. With RetainBlocks
 // set, blocks evicted from the window are absent from the backlog.
-func (s *Service) Subscribe(h BlockHandler) []*ledger.Block {
+// Closing the returned Subscription deregisters the handler.
+func (s *Service) Subscribe(h BlockHandler) ([]*ledger.Block, *Subscription) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]*ledger.Block, 0, len(s.blocks))
 	for _, b := range s.blocks {
 		out = append(out, b.Clone())
 	}
-	s.registerLocked(h)
-	return out
+	return out, s.registerLocked(h)
 }
 
 // Deliver returns clones of retained blocks from number `from` on —

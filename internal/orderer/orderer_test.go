@@ -207,7 +207,7 @@ func TestRetainBlocksBoundsDeliverWindow(t *testing.T) {
 			t.Fatalf("window block %d numbered %d", i, b.Header.Number)
 		}
 	}
-	backlog := svc.Subscribe(func(*ledger.Block) {})
+	backlog, _ := svc.Subscribe(func(*ledger.Block) {})
 	if len(backlog) != 3 || backlog[0].Header.Number != 5 {
 		t.Fatalf("Subscribe backlog wrong: %d blocks", len(backlog))
 	}
@@ -254,5 +254,42 @@ func TestSnapshotIntervalCompactsRaftLog(t *testing.T) {
 	}
 	if svc.Height() != 7 {
 		t.Fatalf("height = %d", svc.Height())
+	}
+}
+
+// TestSubscriptionCloseStopsDelivery: closing the handle returned by
+// Subscribe deregisters the handler — later blocks are neither cloned
+// nor queued for it — while Submit's delivery accounting still settles.
+func TestSubscriptionCloseStopsDelivery(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 1, Seed: 9, DeliveryQueueBound: 1})
+	var mu sync.Mutex
+	var nums []uint64
+	backlog, sub := svc.Subscribe(func(b *ledger.Block) {
+		mu.Lock()
+		defer mu.Unlock()
+		nums = append(nums, b.Header.Number)
+	})
+	if len(backlog) != 0 {
+		t.Fatalf("backlog holds %d blocks on a fresh service", len(backlog))
+	}
+	if err := svc.Submit(tx("before")); err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	sub.Close() // idempotent
+	for i := 0; i < 5; i++ {
+		if err := svc.Submit(tx(fmt.Sprintf("after%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, n := range nums {
+		if n > 0 {
+			t.Fatalf("block %d delivered after Close", n)
+		}
+	}
+	if svc.Height() != 6 {
+		t.Fatalf("height = %d, want 6", svc.Height())
 	}
 }

@@ -314,7 +314,7 @@ func TestConcurrentSubmitAndSubscribe(t *testing.T) {
 			defer wg.Done()
 			st := &stream{}
 			streams[s] = st
-			backlog := svc.Subscribe(func(b *ledger.Block) {
+			backlog, _ := svc.Subscribe(func(b *ledger.Block) {
 				st.mu.Lock()
 				defer st.mu.Unlock()
 				st.nums = append(st.nums, b.Header.Number)

@@ -331,9 +331,17 @@ func newEventStream(c *Client) *eventStream {
 
 // push enqueues an event without blocking; false means the buffer is
 // full and the consumer must be evicted (the read loop cannot block, or
-// one stalled stream would freeze every call on the connection).
+// one stalled stream would freeze every call on the connection). It
+// holds es.mu across the send so a concurrent finish (which closes the
+// channel under the same mutex) cannot race it into a send-on-closed
+// panic; events racing a close are dropped.
 func (es *eventStream) push(ev deliver.Event) bool {
 	if ev == nil {
+		return true
+	}
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if es.closed {
 		return true
 	}
 	select {
@@ -344,18 +352,18 @@ func (es *eventStream) push(ev deliver.Event) bool {
 	}
 }
 
-// finish records the terminal error and closes the event channel.
+// finish records the terminal error and closes the event channel, under
+// the same mutex push sends under.
 func (es *eventStream) finish(err error) {
 	es.mu.Lock()
+	defer es.mu.Unlock()
 	if es.closed {
-		es.mu.Unlock()
 		return
 	}
 	es.closed = true
 	if err != nil && es.err == nil {
 		es.err = err
 	}
-	es.mu.Unlock()
 	close(es.ch)
 }
 

@@ -28,20 +28,35 @@ const (
 	codeInternal       = "internal"
 )
 
-// sentinels maps codes back to package error values. The overloaded
-// code is handled separately because it reconstructs a typed error
-// carrying the retry hint.
-var sentinels = map[string]error{
-	codeNoEndorsers:    gateway.ErrNoEndorsers,
-	codeMismatch:       gateway.ErrEndorsementMismatch,
-	codeBadEndorserSig: gateway.ErrBadEndorserSignature,
-	codeCommitUnavail:  gateway.ErrCommitStatusUnavailable,
-	codeOrdererStopped: orderer.ErrStopped,
-	codeSlowConsumer:   deliver.ErrSlowConsumer,
-	codeDeliverClosed:  deliver.ErrClosed,
-	codeCanceled:       context.Canceled,
-	codeDeadline:       context.DeadlineExceeded,
+// sentinels pairs codes with package error values, in encode-precedence
+// order: package-specific sentinels before the generic context errors,
+// so an error chain matching several (say deliver.ErrClosed wrapping
+// context.Canceled) always gets the same code. The overloaded code is
+// handled separately because it reconstructs a typed error carrying the
+// retry hint.
+var sentinels = []struct {
+	code string
+	err  error
+}{
+	{codeNoEndorsers, gateway.ErrNoEndorsers},
+	{codeMismatch, gateway.ErrEndorsementMismatch},
+	{codeBadEndorserSig, gateway.ErrBadEndorserSignature},
+	{codeCommitUnavail, gateway.ErrCommitStatusUnavailable},
+	{codeOrdererStopped, orderer.ErrStopped},
+	{codeSlowConsumer, deliver.ErrSlowConsumer},
+	{codeDeliverClosed, deliver.ErrClosed},
+	{codeCanceled, context.Canceled},
+	{codeDeadline, context.DeadlineExceeded},
 }
+
+// sentinelByCode indexes sentinels for decoding.
+var sentinelByCode = func() map[string]error {
+	m := make(map[string]error, len(sentinels))
+	for _, s := range sentinels {
+		m[s.code] = s.err
+	}
+	return m
+}()
 
 // encodeError maps a handler error onto the wire. The first matching
 // sentinel wins; anything unrecognized travels as an opaque internal
@@ -55,9 +70,9 @@ func encodeError(err error) *WireError {
 			RetryAfterMs: ov.RetryAfter.Milliseconds(),
 		}
 	}
-	for code, sentinel := range sentinels {
-		if errors.Is(err, sentinel) {
-			return &WireError{Code: code, Message: err.Error()}
+	for _, s := range sentinels {
+		if errors.Is(err, s.err) {
+			return &WireError{Code: s.code, Message: err.Error()}
 		}
 	}
 	return &WireError{Code: codeInternal, Message: err.Error()}
@@ -82,7 +97,7 @@ func decodeError(we *WireError) error {
 	case codeInternal, "":
 		return fmt.Errorf("wire: remote error: %s", we.Message)
 	}
-	if sentinel, ok := sentinels[we.Code]; ok {
+	if sentinel, ok := sentinelByCode[we.Code]; ok {
 		return fmt.Errorf("wire: remote: %w", sentinel)
 	}
 	return fmt.Errorf("wire: remote error [%s]: %s", we.Code, we.Message)

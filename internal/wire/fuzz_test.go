@@ -113,7 +113,7 @@ func FuzzWireErrorRoundTrip(f *testing.F) {
 		}
 		// Re-encoding a decoded error must preserve the code for every
 		// catalogued code (unknown codes degrade to internal).
-		if _, known := sentinels[code]; known || code == codeOverloaded {
+		if _, known := sentinelByCode[code]; known || code == codeOverloaded {
 			back := encodeError(err)
 			if back.Code != code {
 				t.Fatalf("code %q round-tripped to %q", code, back.Code)

@@ -132,14 +132,18 @@ func RegisterOrderer(s *Server, o *orderer.Service) {
 		}
 		// Backlog first, then live deliveries; the orderer's Subscribe
 		// runs the handler under its delivery fan-out, so forward into
-		// a channel to keep the sink writes on this goroutine.
+		// a channel to keep the sink writes on this goroutine. The
+		// subscription is released when the stream ends, or the orderer
+		// would clone and queue every future block for a consumer that
+		// hung up (clients redial and re-subscribe on every drop).
 		blocks := make(chan *ledger.Block, 64)
-		backlog := o.Subscribe(func(b *ledger.Block) {
+		backlog, sub := o.Subscribe(func(b *ledger.Block) {
 			select {
 			case blocks <- b:
 			case <-ctx.Done():
 			}
 		})
+		defer sub.Close()
 		if err := sink.Ack(); err != nil {
 			return nil, err
 		}

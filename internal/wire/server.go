@@ -196,11 +196,22 @@ func (s *Server) serveConn(nc net.Conn) {
 				s.reply(cn, f.Stream, nil, fmt.Errorf("wire: unknown method %q", req.Method))
 				continue
 			}
-			ctx, cancel := context.WithCancel(context.Background())
+			var ctx context.Context
+			var cancel context.CancelFunc
 			if req.Deadline != 0 {
 				ctx, cancel = context.WithDeadline(context.Background(), time.Unix(0, req.Deadline))
+			} else {
+				ctx, cancel = context.WithCancel(context.Background())
 			}
 			mu.Lock()
+			if _, live := cancels[f.Stream]; live {
+				// Reusing a live stream ID would orphan the first
+				// handler's cancel; the client is broken, drop it.
+				mu.Unlock()
+				cancel()
+				cn.close(fmt.Errorf("%w: stream %d reused while live", ErrCorrupt, f.Stream))
+				return
+			}
 			cancels[f.Stream] = cancel
 			mu.Unlock()
 			hwg.Add(1)
@@ -242,11 +253,32 @@ func (s *Server) reply(cn *conn, stream uint64, result any, err error) {
 			resp.Body = b
 		}
 	}
-	payload, merr := json.Marshal(&resp)
-	if merr != nil {
-		return
+	sendResponse(cn, stream, &resp)
+}
+
+// sendResponse delivers a response, salvaging send failures: a dropped
+// response would leave the client's Call blocked forever, so on failure
+// (typically ErrFrameTooLarge for an oversized body) it retries with a
+// small internal-error response, and failing that closes the connection
+// so the client's read loop fails every pending call.
+func sendResponse(cn *conn, stream uint64, resp *response) {
+	payload, err := json.Marshal(resp)
+	if err == nil {
+		if err = cn.send(frame{Type: ftResponse, Stream: stream, Payload: payload}); err == nil {
+			return
+		}
 	}
-	cn.send(frame{Type: ftResponse, Stream: stream, Payload: payload})
+	cause := err
+	fallback, merr := json.Marshal(&response{Err: &WireError{
+		Code:    codeInternal,
+		Message: fmt.Sprintf("wire: send response: %v", cause),
+	}})
+	if merr == nil {
+		if cn.send(frame{Type: ftResponse, Stream: stream, Payload: fallback}) == nil {
+			return
+		}
+	}
+	cn.close(fmt.Errorf("wire: send response: %w", cause))
 }
 
 // Sink is a stream handler's outbound side: Ack acknowledges the
@@ -285,9 +317,5 @@ func (k *Sink) end(err error) {
 	if err != nil && !errors.Is(err, context.Canceled) {
 		resp.Err = encodeError(err)
 	}
-	payload, merr := json.Marshal(&resp)
-	if merr != nil {
-		return
-	}
-	k.cn.send(frame{Type: ftResponse, Stream: k.stream, Payload: payload})
+	sendResponse(k.cn, k.stream, &resp)
 }

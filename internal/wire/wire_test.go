@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -470,5 +471,107 @@ func TestPlaintextClientAgainstTLSServerFails(t *testing.T) {
 	defer cancel()
 	if cerr := c.Call(ctx, "anything", nil, nil); cerr == nil {
 		t.Fatal("plaintext call against TLS server succeeded")
+	}
+}
+
+// --- review regressions ---
+
+// TestEventStreamCloseRacesPush: finish closes the event channel while
+// pushes are in flight; both must serialize on the stream's mutex or
+// push panics on the closed channel.
+func TestEventStreamCloseRacesPush(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		es := newEventStream(nil)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < 500; j++ {
+				if !es.push(&deliver.BlockEvent{Number: uint64(j)}) {
+					return
+				}
+			}
+		}()
+		es.finish(nil)
+		<-done
+	}
+}
+
+// TestOversizedResponseSurfacesError: a response the connection cannot
+// carry must come back as an error, not leave Call blocked forever.
+func TestOversizedResponseSurfacesError(t *testing.T) {
+	big := make([]byte, 8<<10)
+	for i := range big {
+		big[i] = 'x'
+	}
+	s := startServer(t, ServerOptions{MaxFrame: 1024}, map[string]Handler{
+		"big": func(_ context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+			return &echoBody{Msg: string(big)}, nil
+		},
+	})
+	c := dialT(t, s, ClientOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := c.Call(ctx, "big", nil, &echoBody{})
+	if err == nil {
+		t.Fatal("oversized response succeeded")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("call hung until deadline instead of failing fast: %v", err)
+	}
+}
+
+// TestStreamIDReuseDropsConnection: a client reusing a live stream ID
+// would orphan the first handler's cancel entry; the server must drop
+// the connection instead of serving it.
+func TestStreamIDReuseDropsConnection(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := startServer(t, ServerOptions{}, map[string]Handler{
+		"wait": func(ctx context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil, nil
+		},
+	})
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cn := newConn(nc, DefaultMaxFrame)
+	payload, err := json.Marshal(&request{Method: "wait"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := cn.send(frame{Type: ftRequest, Stream: 7, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for {
+		_, rerr := cn.read()
+		if rerr == nil {
+			continue
+		}
+		var nerr net.Error
+		if errors.As(rerr, &nerr) && nerr.Timeout() {
+			t.Fatal("server kept the connection after a live stream ID was reused")
+		}
+		return // dropped, as required
+	}
+}
+
+// TestEncodeErrorPrecedenceDeterministic: an error chain matching more
+// than one sentinel must always encode to the same code (the package
+// sentinel, not the generic context error).
+func TestEncodeErrorPrecedenceDeterministic(t *testing.T) {
+	err := fmt.Errorf("stream: %w", errors.Join(deliver.ErrClosed, context.Canceled))
+	for i := 0; i < 100; i++ {
+		if we := encodeError(err); we.Code != codeDeliverClosed {
+			t.Fatalf("iteration %d: code %q, want %q", i, we.Code, codeDeliverClosed)
+		}
 	}
 }
