@@ -17,6 +17,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/pvtdata"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 // defaultClusterConfig mirrors the in-process demo topology: three
@@ -85,7 +86,12 @@ func runRole(role string, args []string) error {
 	ordererAddr := fs.String("orderer", "", "orderer address (peer and gateway roles)")
 	peers := fs.String("peers", "", "peer addresses as name=addr,name=addr")
 	tlsOn := fs.Bool("tls", false, "pinned-key TLS on the listener and every dial")
+	codecFlag := fs.String("codec", "", "wire payload codec for dials: binary (default) or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	codec, err := wire.ParseCodec(*codecFlag)
+	if err != nil {
 		return err
 	}
 	cfg, err := loadOrDefaultConfig(*configPath)
@@ -108,6 +114,7 @@ func runRole(role string, args []string) error {
 		OrdererAddr: *ordererAddr,
 		PeerAddrs:   peerAddrs,
 		TLS:         *tlsOn,
+		Codec:       codec,
 		Log:         os.Stderr,
 	})
 }
@@ -121,7 +128,12 @@ func runUp(args []string) error {
 	tlsOn := fs.Bool("tls", false, "pinned-key TLS between every process")
 	dir := fs.String("dir", "", "working directory for material/config (default: a temp dir)")
 	smoke := fs.Bool("smoke", true, "submit a smoke transaction after launch")
+	codecFlag := fs.String("codec", "", "wire payload codec: binary (default) or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	codec, err := wire.ParseCodec(*codecFlag)
+	if err != nil {
 		return err
 	}
 	cfg, err := loadOrDefaultConfig(*configPath)
@@ -140,6 +152,7 @@ func runUp(args []string) error {
 	cl, err := node.LaunchCluster(cfg, node.LaunchOptions{
 		Dir:    workDir,
 		TLS:    *tlsOn,
+		Codec:  codec,
 		Stderr: os.Stderr,
 	})
 	if err != nil {

@@ -21,7 +21,6 @@ package gateway
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -76,6 +75,9 @@ type Gateway struct {
 	verifier   *identity.Verifier
 	orderer    service.Orderer
 	commitPeer service.Peer
+	// router multiplexes every pending commit wait onto one shared
+	// live deliver subscription to the commit peer.
+	router *commitRouter
 
 	// pmu guards the connected peer set, which grows when peers join
 	// the channel after the gateway connected (Network.JoinPeer).
@@ -139,8 +141,17 @@ func Connect(id *identity.Identity, opts Options, peers ...service.Peer) *Gatewa
 			}
 		}
 	}
+	// The closure defers the commitPeer dereference to first use:
+	// submit paths check for a nil commit peer before registering.
+	g.router = newCommitRouter(func() service.Stream { return g.commitPeer.SubscribeLive() })
 	return g
 }
+
+// Close releases the gateway's shared commit-status subscription.
+// Outstanding commit waits fail with ErrCommitStatusUnavailable and
+// further submits are refused; peer and orderer connections are owned
+// by the caller and left open. Idempotent.
+func (g *Gateway) Close() { g.router.close() }
 
 // Identity returns the connected client identity.
 func (g *Gateway) Identity() *identity.Identity { return g.id }
@@ -489,15 +500,18 @@ func (c *Contract) SubmitAsync(ctx context.Context, function string, opts ...Cal
 // returns while the transaction is in ordering/validation. It satisfies
 // service.Commit.
 type Commit struct {
-	g         *Gateway
-	txID      string
-	payload   []byte
-	sub       service.Stream
+	g       *Gateway
+	txID    string
+	payload []byte
+	// ch yields the transaction's commit-status event, routed off the
+	// gateway's shared deliver subscription; it closes without a value
+	// when the wait is terminally dead (stream failure or Close).
+	ch        <-chan *deliver.TxStatusEvent
 	submitted time.Time
 
-	// mu serializes waiters (it is held across the blocking stream
-	// wait, so concurrent Status calls never race on the shared
-	// subscription); done latches a terminal outcome into result/err.
+	// mu serializes waiters (it is held across the blocking wait, so
+	// concurrent Status calls never race on the result channel); done
+	// latches a terminal outcome into result/err.
 	// A ctx cancellation or deadline is NOT terminal: it is returned to
 	// that caller but latches nothing and leaves the subscription open,
 	// so a later Status call with a fresh context can still succeed.
@@ -532,7 +546,7 @@ func (c *Commit) Status(ctx context.Context) (*Result, error) {
 	if terminal {
 		c.done = true
 		c.result, c.err = res, err
-		c.sub.Close()
+		c.g.router.unregister(c.txID)
 	}
 	return res, err
 }
@@ -541,17 +555,27 @@ func (c *Commit) Status(ctx context.Context) (*Result, error) {
 // third return reports whether the outcome is terminal (latch + close
 // the subscription) or ctx-derived (leave everything open for a retry).
 func (c *Commit) wait(ctx context.Context) (*Result, error, bool) {
-	st := service.TryTxStatus(c.sub, c.txID)
+	var st *deliver.TxStatusEvent
+	select {
+	case s, ok := <-c.ch:
+		if !ok {
+			// A closed channel — router stream failure, or Close — is
+			// terminal; cancellation and deadline expiry are retryable.
+			return nil, fmt.Errorf("%w: tx %s: %v", ErrCommitStatusUnavailable, c.txID, deliver.ErrClosed), true
+		}
+		st = s
+	default:
+	}
 	if st == nil {
-		// Not committed yet. Cut the partial batch only when this
-		// transaction is actually sitting in it — an unconditional flush
-		// here would let N concurrent waiters degenerate batching to one
-		// transaction per block.
-		if c.g.orderer.InPending(c.txID) {
-			c.g.orderer.FlushTx(c.txID)
-			if c.g.counters != nil {
-				c.g.counters.Inc(metrics.GatewayFlushes)
-			}
+		// Not committed yet: request a targeted flush. FlushTx cuts the
+		// pending partial batch only if it still holds this transaction
+		// (so N concurrent waiters sharing one batch produce one cut,
+		// and an already-cut transaction makes it a no-op) — the
+		// condition lives orderer-side, which for a remote orderer
+		// saves the separate InPending round trip per commit wait.
+		c.g.orderer.FlushTx(c.txID)
+		if c.g.counters != nil {
+			c.g.counters.Inc(metrics.GatewayFlushes)
 		}
 		wctx := ctx
 		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
@@ -559,14 +583,16 @@ func (c *Commit) wait(ctx context.Context) (*Result, error, bool) {
 			wctx, cancel = context.WithTimeout(ctx, c.g.commitTimeout)
 			defer cancel()
 		}
-		var err error
-		st, err = service.WaitTxStatus(wctx, c.sub, c.txID)
-		if err != nil {
-			// Cancellation and deadline expiry (the caller's own, or the
-			// gateway commit timeout derived above) are retryable; a dead
-			// subscription (closed, or evicted as a slow consumer) is not.
-			terminal := !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
-			return nil, fmt.Errorf("%w: tx %s: %v", ErrCommitStatusUnavailable, c.txID, err), terminal
+		select {
+		case s, ok := <-c.ch:
+			if !ok {
+				return nil, fmt.Errorf("%w: tx %s: %v", ErrCommitStatusUnavailable, c.txID, deliver.ErrClosed), true
+			}
+			st = s
+		case <-wctx.Done():
+			// The caller's own cancellation, or the gateway commit
+			// timeout derived above: retryable either way.
+			return nil, fmt.Errorf("%w: tx %s: %v", ErrCommitStatusUnavailable, c.txID, wctx.Err()), false
 		}
 	}
 	wait := time.Since(c.submitted)
@@ -585,20 +611,18 @@ func (c *Commit) wait(ctx context.Context) (*Result, error, bool) {
 	}, nil, true
 }
 
-// Close releases the commit's deliver subscription: every SubmitAsync
-// handle must be closed (or driven to a terminal Status) or its
-// subscription keeps receiving every block until slow-consumer eviction.
-// Close is idempotent with the close Status performs on a terminal
-// outcome, and safe concurrently with a blocked Status — which then
-// returns ErrCommitStatusUnavailable.
-func (c *Commit) Close() { c.sub.Close() }
+// Close releases the commit's wait registration on the gateway's
+// shared deliver subscription. Close is idempotent with the release
+// Status performs on a terminal outcome, and safe concurrently with a
+// blocked Status — which then returns ErrCommitStatusUnavailable.
+func (c *Commit) Close() { c.g.router.unregister(c.txID) }
 
 // SubmitAssembledAsync orders a pre-assembled transaction and returns a
-// pending Commit. The deliver subscription is registered (and, for
-// remote commit peers, acknowledged by the serving process) before the
-// transaction reaches the orderer, so the commit-status event cannot be
-// missed. Exposed for harnesses that interpose between endorsement and
-// ordering.
+// pending Commit. The commit wait is registered on the gateway's shared
+// deliver subscription — opened (and, for remote commit peers,
+// acknowledged by the serving process) before the transaction reaches
+// the orderer, so the commit-status event cannot be missed. Exposed for
+// harnesses that interpose between endorsement and ordering.
 func (g *Gateway) SubmitAssembledAsync(ctx context.Context, tx *ledger.Transaction, payload []byte) (*Commit, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -609,17 +633,16 @@ func (g *Gateway) SubmitAssembledAsync(ctx context.Context, tx *ledger.Transacti
 	if g.commitPeer == nil {
 		return nil, fmt.Errorf("gateway: no commit peer connected")
 	}
-	sub := g.commitPeer.SubscribeLive()
-	if err := sub.Err(); err != nil {
-		sub.Close()
+	ch, err := g.router.register(tx.TxID)
+	if err != nil {
 		return nil, fmt.Errorf("gateway: commit stream: %w", err)
 	}
 	start := time.Now()
 	if err := g.orderer.Order(ctx, tx); err != nil {
-		sub.Close()
+		g.router.unregister(tx.TxID)
 		return nil, fmt.Errorf("gateway: order tx %s: %w", tx.TxID, err)
 	}
-	return &Commit{g: g, txID: tx.TxID, payload: payload, sub: sub, submitted: start}, nil
+	return &Commit{g: g, txID: tx.TxID, payload: payload, ch: ch, submitted: start}, nil
 }
 
 // SubmitAssembled orders a pre-assembled transaction and waits for its

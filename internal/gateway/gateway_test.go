@@ -13,6 +13,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/metrics"
 	"repro/internal/orderer"
+	"repro/internal/service"
 )
 
 // commitFixture hand-builds a Commit over a real deliver service and a
@@ -31,14 +32,18 @@ func newCommitFixture(t *testing.T) (*commitFixture, *Commit) {
 	ord.RegisterDelivery(func(*ledger.Block) {})
 	t.Cleanup(ord.Stop)
 	g := &Gateway{orderer: ord, commitTimeout: DefaultCommitTimeout}
+	g.router = newCommitRouter(func() service.Stream { return svc.SubscribeLive() })
 	tx := &ledger.Transaction{
 		TxID:            "tx-under-test",
 		ChannelID:       "testchan",
 		Proposal:        &ledger.Proposal{TxID: "tx-under-test", Chaincode: "cc", Function: "set"},
 		ResponsePayload: []byte(`{"tx_id":"tx-under-test"}`),
 	}
-	sub := svc.SubscribeLive()
-	c := &Commit{g: g, txID: tx.TxID, payload: []byte("ok"), sub: sub, submitted: time.Now()}
+	ch, err := g.router.register(tx.TxID)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	c := &Commit{g: g, txID: tx.TxID, payload: []byte("ok"), ch: ch, submitted: time.Now()}
 	return &commitFixture{svc: svc, ord: ord, tx: tx}, c
 }
 
@@ -126,8 +131,9 @@ func TestStatusTerminalAfterClose(t *testing.T) {
 }
 
 // TestCloseIdempotent: Close may be called repeatedly and after a
-// terminal Status (which closes internally) without panicking, and it
-// must release the deliver subscription exactly once.
+// terminal Status (which releases internally) without panicking. The
+// gateway's shared deliver subscription survives commit handles — only
+// Gateway.Close releases it.
 func TestCloseIdempotent(t *testing.T) {
 	f, c := newCommitFixture(t)
 	if n := f.svc.SubscriberCount(); n != 1 {
@@ -135,8 +141,13 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	c.Close()
 	c.Close()
+	if n := f.svc.SubscriberCount(); n != 1 {
+		t.Fatalf("SubscriberCount after handle Close = %d, want 1 (shared)", n)
+	}
+	c.g.Close()
+	c.g.Close()
 	if n := f.svc.SubscriberCount(); n != 0 {
-		t.Fatalf("SubscriberCount after Close = %d, want 0", n)
+		t.Fatalf("SubscriberCount after Gateway Close = %d, want 0", n)
 	}
 
 	// And the other order: terminal Status first, Close after.
@@ -146,6 +157,7 @@ func TestCloseIdempotent(t *testing.T) {
 		t.Fatalf("Status: %v", err)
 	}
 	c2.Close()
+	c2.g.Close()
 	if n := f2.svc.SubscriberCount(); n != 0 {
 		t.Fatalf("SubscriberCount after Status+Close = %d, want 0", n)
 	}

@@ -1,0 +1,127 @@
+// Commit-status routing: one live deliver subscription per gateway,
+// multiplexed across every pending commit wait.
+package gateway
+
+import (
+	"sync"
+
+	"repro/internal/deliver"
+	"repro/internal/service"
+)
+
+// commitRouter fans a single live deliver subscription out to
+// per-transaction commit waiters. Before the router, every SubmitAsync
+// opened its own subscription to the commit peer and tore it down when
+// the handle closed; over the wire that is a stream-open round trip
+// plus a cancel frame per transaction, and every block's events were
+// duplicated once per in-flight commit. The router pays the
+// subscription once, keeps it across transactions, and routes each
+// TxStatusEvent to the one waiter registered under its transaction ID.
+type commitRouter struct {
+	// subscribe opens a live stream on the gateway's commit peer; set
+	// once at construction (tests inject their own event source).
+	subscribe func() service.Stream
+
+	mu      sync.Mutex
+	sub     service.Stream // nil until the first waiter, and after a stream failure
+	waiters map[string]commitWaiter
+	closed  bool
+}
+
+// commitWaiter is one registered commit wait: its result channel and
+// the stream it was registered under, so a dying stream fails exactly
+// the waiters that depended on it and none registered against its
+// replacement.
+type commitWaiter struct {
+	ch  chan *deliver.TxStatusEvent
+	sub service.Stream
+}
+
+func newCommitRouter(subscribe func() service.Stream) *commitRouter {
+	return &commitRouter{subscribe: subscribe, waiters: make(map[string]commitWaiter)}
+}
+
+// register adds a waiter for txID, subscribing (or, after a stream
+// failure, resubscribing) to the commit peer first. The subscription is
+// live — and, for a remote commit peer, acknowledged by the serving
+// process — before register returns, so a transaction ordered
+// afterwards cannot have its commit status slip past the router. The
+// returned channel yields the transaction's status event; it closes
+// without a value when the wait is terminally dead (stream failure or
+// unregister).
+func (r *commitRouter) register(txID string) (<-chan *deliver.TxStatusEvent, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, deliver.ErrClosed
+	}
+	if r.sub == nil {
+		sub := r.subscribe()
+		if err := sub.Err(); err != nil {
+			sub.Close()
+			return nil, err
+		}
+		r.sub = sub
+		go r.pump(sub)
+	}
+	ch := make(chan *deliver.TxStatusEvent, 1)
+	r.waiters[txID] = commitWaiter{ch: ch, sub: r.sub}
+	return ch, nil
+}
+
+// unregister drops txID's waiter, closing its channel so a blocked
+// Status observes a terminal outcome. Idempotent, and safe against the
+// pump's concurrent delivery: whichever side wins the lock settles the
+// waiter, the loser finds it gone.
+func (r *commitRouter) unregister(txID string) {
+	r.mu.Lock()
+	if w, ok := r.waiters[txID]; ok {
+		delete(r.waiters, txID)
+		close(w.ch)
+	}
+	r.mu.Unlock()
+}
+
+// pump consumes one subscription, routing status events to waiters.
+// Each waiter receives at most one event on a cap-1 channel, so the
+// send under the lock never blocks. When the stream ends — commit peer
+// shutdown, slow-consumer eviction, router close — the waiters
+// registered under it are failed and the router resets, so the next
+// register resubscribes.
+func (r *commitRouter) pump(sub service.Stream) {
+	for ev := range sub.Events() {
+		st, ok := ev.(*deliver.TxStatusEvent)
+		if !ok {
+			continue
+		}
+		r.mu.Lock()
+		if w, ok := r.waiters[st.TxID]; ok {
+			delete(r.waiters, st.TxID)
+			w.ch <- st
+		}
+		r.mu.Unlock()
+	}
+	r.mu.Lock()
+	if r.sub == sub {
+		r.sub = nil
+	}
+	for id, w := range r.waiters {
+		if w.sub == sub {
+			delete(r.waiters, id)
+			close(w.ch)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// close shuts the shared subscription down and fails every outstanding
+// waiter; further registers are refused. Used by Gateway.Close.
+func (r *commitRouter) close() {
+	r.mu.Lock()
+	r.closed = true
+	sub := r.sub
+	r.mu.Unlock()
+	if sub != nil {
+		sub.Close() // the pump drains out, failing the waiters
+	}
+}

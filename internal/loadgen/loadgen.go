@@ -288,8 +288,13 @@ func (h *Harness) Close() error {
 	if h.net == nil {
 		return nil
 	}
+	for _, g := range h.local {
+		g.Close()
+	}
 	h.net.Orderer.Stop()
-	return h.net.Close()
+	err := h.net.Close()
+	h.net = nil
+	return err
 }
 
 // setAdmission arms (or, with rate 0, disarms) every in-process client

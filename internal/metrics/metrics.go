@@ -128,6 +128,45 @@ const (
 // attempt (the gossip pull plus hash verification and commit).
 const ReconcileAttempt = "reconcile_attempt"
 
+// Well-known counter names emitted by the wire transport
+// (internal/wire): frame and byte traffic, codec work, buffer-pool
+// effectiveness and event batching. They are process-wide (all
+// connections share them) and surface through peer.Metrics().
+const (
+	// WireFramesIn / WireFramesOut count frames received / enqueued.
+	WireFramesIn  = "wire_frames_in"
+	WireFramesOut = "wire_frames_out"
+	// WireBytesIn / WireBytesOut count framed bytes (header + payload +
+	// trailer) received / enqueued.
+	WireBytesIn  = "wire_bytes_in"
+	WireBytesOut = "wire_bytes_out"
+	// WireEncodes / WireDecodes count payload encode / decode
+	// operations; WireEncodeNanos / WireDecodeNanos accumulate their
+	// total duration, so ns-per-op is Nanos/Count.
+	WireEncodes     = "wire_encodes"
+	WireDecodes     = "wire_decodes"
+	WireEncodeNanos = "wire_encode_ns"
+	WireDecodeNanos = "wire_decode_ns"
+	// WirePoolHits / WirePoolMisses count buffer-pool outcomes; the hit
+	// rate is Hits/(Hits+Misses).
+	WirePoolHits   = "wire_pool_hits"
+	WirePoolMisses = "wire_pool_misses"
+	// WireBatchFrames counts multi-event frames sent; WireBatchedEvents
+	// counts the events they carried.
+	WireBatchFrames   = "wire_batch_frames"
+	WireBatchedEvents = "wire_batched_events"
+	// WireJSONFallbacks counts payloads that fell back to the JSON codec
+	// on a binary-preferring connection.
+	WireJSONFallbacks = "wire_json_fallbacks"
+)
+
+// WireEncode / WireDecode are the histogram names timing wire payload
+// encode and decode operations.
+const (
+	WireEncode = "wire_encode"
+	WireDecode = "wire_decode"
+)
+
 // Well-known counter names emitted by the peer delivery service
 // (internal/deliver): stream fan-out and subscriber health.
 const (
@@ -200,8 +239,9 @@ const (
 	GatewayAdmitted = "gateway_admitted"
 	// GatewayShed counts submissions rejected with ErrOverloaded.
 	GatewayShed = "gateway_shed"
-	// GatewayFlushes counts targeted orderer flushes issued by commit
-	// waits whose transaction was sitting in the pending partial batch.
+	// GatewayFlushes counts targeted orderer flush requests issued by
+	// commit waits; the orderer elides those whose transaction no
+	// longer sits in the pending partial batch.
 	GatewayFlushes = "gateway_flushes"
 )
 

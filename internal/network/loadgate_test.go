@@ -44,6 +44,17 @@ func TestConcurrentSubmitStatusCloseStress(t *testing.T) {
 	defer n.Orderer.Stop()
 	contract := n.Gateway("org1").Network("c1").Contract("asset")
 	deliver := n.Peer("org1").Deliver()
+	// Warm the gateway's shared commit-status subscription first, so
+	// the baseline below includes it and the final check still catches
+	// any per-handle growth.
+	warm, err := contract.SubmitAsync(context.Background(), "set", gateway.WithArguments("warmup", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Status(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
 	base := deliver.SubscriberCount()
 
 	const goroutines = 12
@@ -211,15 +222,17 @@ func TestDuplicateRejectedBeforeSignatureVerification(t *testing.T) {
 	}
 }
 
-// TestAbandonedCommitsReleaseSubscriptions: SubmitAsync handles that are
-// closed without ever calling Status must release their deliver-stream
-// subscriptions (the pre-fix leak: an abandoned handle pinned its
-// subscription until process exit).
+// TestAbandonedCommitsReleaseSubscriptions: SubmitAsync handles share
+// the gateway's single commit-status subscription — N live handles pin
+// one stream, not N (the pre-router cost: a subscription per handle,
+// and the pre-fix leak before that: abandoned handles pinning theirs
+// until process exit). Gateway.Close releases the shared stream.
 func TestAbandonedCommitsReleaseSubscriptions(t *testing.T) {
 	n := newLoadNet(t, 64)
 	defer n.Close()
 	defer n.Orderer.Stop()
-	contract := n.Gateway("org2").Network("c1").Contract("asset")
+	gw := n.Gateway("org2")
+	contract := gw.Network("c1").Contract("asset")
 	deliver := n.Peer("org2").Deliver()
 	base := deliver.SubscriberCount()
 
@@ -232,13 +245,17 @@ func TestAbandonedCommitsReleaseSubscriptions(t *testing.T) {
 		}
 		handles = append(handles, commit)
 	}
-	if got := deliver.SubscriberCount(); got != base+10 {
-		t.Fatalf("SubscriberCount = %d with 10 live handles, want %d", got, base+10)
+	if got := deliver.SubscriberCount(); got != base+1 {
+		t.Fatalf("SubscriberCount = %d with 10 live handles, want %d (one shared stream)", got, base+1)
 	}
 	for _, c := range handles {
 		c.Close()
 	}
+	if got := deliver.SubscriberCount(); got != base+1 {
+		t.Fatalf("SubscriberCount = %d after closing every handle, want %d (stream outlives handles)", got, base+1)
+	}
+	gw.Close()
 	if got := deliver.SubscriberCount(); got != base {
-		t.Fatalf("SubscriberCount = %d after closing every handle, want %d", got, base)
+		t.Fatalf("SubscriberCount = %d after Gateway Close, want %d", got, base)
 	}
 }

@@ -300,9 +300,13 @@ func (n *Network) SetSecurity(sec core.SecurityConfig) {
 // Security returns the network's current security configuration.
 func (n *Network) Security() core.SecurityConfig { return n.sec }
 
-// Close releases every peer's storage backend. Networks built without a
-// StorageBackend hold no resources and Close is a no-op for them.
+// Close releases every org gateway's commit-status subscription and
+// every peer's storage backend. Networks built without a StorageBackend
+// hold no storage resources, but gateway subscriptions are still freed.
 func (n *Network) Close() error {
+	for _, g := range n.gateways {
+		g.Close()
+	}
 	var first error
 	for _, p := range n.Peers() {
 		if err := p.Close(); err != nil && first == nil {

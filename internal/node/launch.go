@@ -58,6 +58,9 @@ type LaunchOptions struct {
 	Dir string
 	// TLS enables pinned-key TLS between every process.
 	TLS bool
+	// Codec selects the wire payload encoding every role (and every
+	// cluster dial) uses; empty selects the default (binary).
+	Codec wire.Codec
 	// Stderr, when non-nil, receives every child's stderr.
 	Stderr io.Writer
 }
@@ -73,6 +76,7 @@ type Cluster struct {
 	PeerAddrs   map[string]string
 	procs       []*proc
 	tls         bool
+	codec       wire.Codec
 }
 
 // DialGateway opens a wire client to the cluster's gateway process.
@@ -101,7 +105,7 @@ func (cl *Cluster) DialPeer(name string) (*wire.PeerClient, error) {
 func (cl *Cluster) PeerNames() []string { return sortedNames(cl.PeerAddrs) }
 
 func (cl *Cluster) dial(addr, serverName string) (*wire.Client, error) {
-	copts := wire.ClientOptions{}
+	copts := wire.ClientOptions{Codec: cl.codec}
 	if cl.tls {
 		id, err := cl.Material.Identity(cl.GatewayName)
 		if err != nil {
@@ -206,6 +210,9 @@ func LaunchCluster(cfg *netconfig.Config, opts LaunchOptions) (*Cluster, error) 
 		if tlsOn {
 			env[EnvTLS] = "1"
 		}
+		if opts.Codec != "" {
+			env[EnvCodec] = string(opts.Codec)
+		}
 		cmd := exec.Command(self)
 		cmd.Env = os.Environ()
 		for k, v := range env {
@@ -250,6 +257,7 @@ func LaunchCluster(cfg *netconfig.Config, opts LaunchOptions) (*Cluster, error) 
 		}
 	}
 	cl.tls = tlsOn
+	cl.codec = opts.Codec
 	return cl, nil
 }
 

@@ -73,6 +73,10 @@ type Options struct {
 	PeerAddrs map[string]string
 	// TLS enables pinned-key TLS on the server and on every dial.
 	TLS bool
+	// Codec selects the wire payload encoding for every connection this
+	// role dials (servers always mirror the caller's codec). Empty
+	// selects the default (binary).
+	Codec wire.Codec
 	// Log, when non-nil, receives one-line progress notes.
 	Log io.Writer
 }
@@ -161,7 +165,7 @@ func newNode(role string, opts Options) (*Node, *identity.Identity, context.Cont
 // clientOptions builds the dial options for reaching serverName,
 // pinning its key when TLS is on.
 func (n *Node) clientOptions(id *identity.Identity, serverName string) (wire.ClientOptions, error) {
-	copts := wire.ClientOptions{DialTimeout: 2 * time.Second}
+	copts := wire.ClientOptions{DialTimeout: 2 * time.Second, Codec: n.opts.Codec}
 	if n.opts.TLS {
 		key, err := n.opts.Material.ServerKey(serverName)
 		if err != nil {
@@ -237,6 +241,9 @@ func StartPeer(opts Options) (*Node, error) {
 		return nil, err
 	}
 	n.Peer = p
+	// Surface the process's transport counters through the peer's
+	// metrics endpoint.
+	p.RegisterMetricsSource(wire.MetricsSnapshot)
 	if err := installChaincodes(opts.Config, p); err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"syscall"
 
 	"repro/internal/netconfig"
+	"repro/internal/wire"
 )
 
 // Environment variables of the role runner. The cluster integration
@@ -27,6 +28,7 @@ const (
 	EnvOrderer  = "PDC_WIRE_ORDERER"  // orderer address (peer, gateway)
 	EnvPeers    = "PDC_WIRE_PEERS"    // "name=addr,name=addr"
 	EnvTLS      = "PDC_WIRE_TLS"      // "1" enables pinned-key TLS
+	EnvCodec    = "PDC_WIRE_CODEC"    // "binary" (default) | "json"
 )
 
 // ReadyPrefix starts the line a spawned role prints once its listener
@@ -55,6 +57,10 @@ func RunRoleFromEnv() (bool, error) {
 	if err != nil {
 		return true, err
 	}
+	codec, err := wire.ParseCodec(os.Getenv(EnvCodec))
+	if err != nil {
+		return true, err
+	}
 	opts := Options{
 		Config:      cfg,
 		Material:    material,
@@ -63,6 +69,7 @@ func RunRoleFromEnv() (bool, error) {
 		OrdererAddr: os.Getenv(EnvOrderer),
 		PeerAddrs:   peerAddrs,
 		TLS:         os.Getenv(EnvTLS) == "1",
+		Codec:       codec,
 		Log:         os.Stderr,
 	}
 	return true, Run(role, opts)

@@ -49,6 +49,11 @@ type Peer struct {
 	metrics    metrics.Counters
 	timings    metrics.Timings
 
+	// metricsMu guards metricsSources: external counter providers
+	// (e.g. the wire transport) merged into Metrics snapshots.
+	metricsMu      sync.Mutex
+	metricsSources []func() map[string]uint64
+
 	// backend, when non-nil, is the peer's storage backend: blocks,
 	// state batches and private-data bookkeeping become durable in the
 	// order documented in docs/STORAGE.md §7. storageMu serializes the
@@ -451,7 +456,25 @@ func (p *Peer) Metrics() map[string]uint64 {
 	snap[metrics.DedupHits] = dd.Hits
 	snap[metrics.DedupMisses] = dd.Misses
 	snap[metrics.DedupEvicted] = dd.Evictions
+	p.metricsMu.Lock()
+	sources := p.metricsSources
+	p.metricsMu.Unlock()
+	for _, src := range sources {
+		for name, v := range src() {
+			snap[name] = v
+		}
+	}
 	return snap
+}
+
+// RegisterMetricsSource merges an external counter provider into every
+// Metrics snapshot. The transport layer registers its wire_* counters
+// here (the peer cannot import the wire package — the dependency points
+// the other way), so one endpoint reports the whole process.
+func (p *Peer) RegisterMetricsSource(src func() map[string]uint64) {
+	p.metricsMu.Lock()
+	p.metricsSources = append(p.metricsSources, src)
+	p.metricsMu.Unlock()
 }
 
 // Timings returns a snapshot of the peer's per-phase validation latency

@@ -28,18 +28,49 @@ type ClientOptions struct {
 	MaxFrame int
 	// DialTimeout bounds the TCP (and TLS) dial; 0 means 10s.
 	DialTimeout time.Duration
+	// Codec selects the preferred payload encoding; empty selects
+	// CodecBinary. The client drives negotiation: servers always answer
+	// in the codec a frame arrived with, so CodecJSON turns the whole
+	// conversation back into the PR 8 debug format.
+	Codec Codec
 }
 
 // Client is one multiplexed wire connection: any number of concurrent
 // unary calls and event streams share it, demultiplexed by stream ID.
 type Client struct {
-	cn *conn
+	cn    *conn
+	codec codecID
 
 	mu      sync.Mutex
 	next    uint64
-	calls   map[uint64]chan *response
+	calls   map[uint64]*pendingCall
 	streams map[uint64]*eventStream
+	rpc     map[string]*RPCStat
 	closed  bool
+}
+
+// pendingCall is a registered unary waiter (or a stream's ACK waiter).
+type pendingCall struct {
+	ch     chan respMsg
+	method string
+}
+
+// respMsg hands a response from the read loop to its waiter together
+// with the frame codec and the pooled payload buffer the response body
+// aliases; the waiter releases the buffer after decoding.
+type respMsg struct {
+	resp    *response
+	codec   codecID
+	payload []byte
+}
+
+// RPCStat aggregates one method's traffic as seen by a client: calls
+// (or stream opens), framed bytes out and framed bytes in (responses
+// and events, including batch frames).
+type RPCStat struct {
+	Calls    uint64 `json:"calls"`
+	BytesOut uint64 `json:"bytes_out"`
+	BytesIn  uint64 `json:"bytes_in"`
 }
 
 // Dial connects to a wire server. With TLS material in opts the
@@ -54,8 +85,11 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
+	codec, err := ParseCodec(string(opts.Codec))
+	if err != nil {
+		return nil, err
+	}
 	var nc net.Conn
-	var err error
 	if opts.Identity != nil && len(opts.ServerKey) > 0 {
 		cert, cerr := opts.Identity.TLSCertificate()
 		if cerr != nil {
@@ -78,8 +112,10 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	}
 	c := &Client{
 		cn:      newConn(nc, maxFrame),
-		calls:   make(map[uint64]chan *response),
+		codec:   codec.id(),
+		calls:   make(map[uint64]*pendingCall),
 		streams: make(map[uint64]*eventStream),
+		rpc:     make(map[string]*RPCStat),
 	}
 	go c.readLoop()
 	return c, nil
@@ -88,6 +124,43 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 // Close shuts the connection down; in-flight calls fail with
 // ErrConnClosed.
 func (c *Client) Close() { c.cn.close(nil); c.fail(ErrConnClosed) }
+
+// RPCStats returns a snapshot of per-method traffic over this client.
+func (c *Client) RPCStats() map[string]RPCStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]RPCStat, len(c.rpc))
+	for m, s := range c.rpc {
+		out[m] = *s
+	}
+	return out
+}
+
+func (c *Client) rpcStatLocked(method string) *RPCStat {
+	s := c.rpc[method]
+	if s == nil {
+		s = &RPCStat{}
+		c.rpc[method] = s
+	}
+	return s
+}
+
+// noteOut records one outbound request of framed size n for method.
+func (c *Client) noteOut(method string, n int) {
+	c.mu.Lock()
+	s := c.rpcStatLocked(method)
+	s.Calls++
+	s.BytesOut += uint64(headerSize + n + trailerSize)
+	c.mu.Unlock()
+}
+
+// noteInLocked attributes one inbound frame of payload size n.
+func (c *Client) noteInLocked(method string, n int) {
+	if method == "" {
+		return
+	}
+	c.rpcStatLocked(method).BytesIn += uint64(headerSize + n + trailerSize)
+}
 
 // readLoop demultiplexes inbound frames to call waiters and streams.
 func (c *Client) readLoop() {
@@ -101,23 +174,22 @@ func (c *Client) readLoop() {
 		switch f.Type {
 		case ftResponse:
 			var resp response
-			if err := json.Unmarshal(f.Payload, &resp); err != nil {
+			if err := unmarshalEnvelope(f.Codec, f.Payload, &resp); err != nil {
+				putBuf(f.Payload)
 				c.cn.close(fmt.Errorf("%w: response body: %v", ErrCorrupt, err))
 				c.fail(c.cn.closeErr())
 				return
 			}
-			c.dispatchResponse(f.Stream, &resp)
-		case ftEvent:
-			var ev event
-			if err := json.Unmarshal(f.Payload, &ev); err != nil {
-				c.cn.close(fmt.Errorf("%w: event body: %v", ErrCorrupt, err))
+			c.dispatchResponse(f.Stream, &resp, f.Codec, f.Payload)
+		case ftEvent, ftEvents:
+			if !c.dispatchEventFrame(f) {
 				c.fail(c.cn.closeErr())
 				return
 			}
-			c.dispatchEvent(f.Stream, &ev)
 		default:
 			// Servers never send requests or cancels; a frame of that
 			// type here means the peer is not speaking the protocol.
+			putBuf(f.Payload)
 			c.cn.close(fmt.Errorf("%w: unexpected frame type %d from server", ErrCorrupt, f.Type))
 			c.fail(c.cn.closeErr())
 			return
@@ -125,41 +197,112 @@ func (c *Client) readLoop() {
 	}
 }
 
-func (c *Client) dispatchResponse(stream uint64, resp *response) {
+func (c *Client) dispatchResponse(stream uint64, resp *response, codec codecID, payload []byte) {
 	c.mu.Lock()
-	if ch, ok := c.calls[stream]; ok {
+	if pc, ok := c.calls[stream]; ok {
 		delete(c.calls, stream)
+		c.noteInLocked(pc.method, len(payload))
 		c.mu.Unlock()
-		ch <- resp
+		pc.ch <- respMsg{resp: resp, codec: codec, payload: payload}
 		return
 	}
 	es := c.streams[stream]
-	if es != nil && !resp.More {
-		delete(c.streams, stream)
+	if es != nil {
+		c.noteInLocked(es.method, len(payload))
+		if !resp.More {
+			delete(c.streams, stream)
+		}
 	}
 	c.mu.Unlock()
 	if es != nil && !resp.More {
 		// Terminal response: the stream ended server-side.
 		es.finish(decodeError(resp.Err))
 	}
+	putBuf(payload)
 }
 
-func (c *Client) dispatchEvent(stream uint64, ev *event) {
+// dispatchEventFrame routes an ftEvent or ftEvents frame to its stream;
+// false poisons the connection (decode failure).
+func (c *Client) dispatchEventFrame(f frame) bool {
 	c.mu.Lock()
-	es := c.streams[stream]
+	es := c.streams[f.Stream]
+	if es != nil {
+		c.noteInLocked(es.method, len(f.Payload))
+	}
 	c.mu.Unlock()
 	if es == nil {
-		return // events racing a local Close; drop
+		putBuf(f.Payload) // events racing a local Close; drop
+		return true
 	}
-	if !es.push(ev.decode()) {
+	evs, err := decodeEventFrame(f)
+	putBuf(f.Payload)
+	if err != nil {
+		c.cn.close(fmt.Errorf("%w: event body: %v", ErrCorrupt, err))
+		return false
+	}
+	for _, ev := range evs {
+		if es.push(ev) {
+			continue
+		}
 		// Consumer is not draining: evict it, mirroring the deliver
 		// service's slow-consumer policy, and tell the server to stop.
+		// Remaining events of a batch are dropped with the stream.
 		c.mu.Lock()
-		delete(c.streams, stream)
+		delete(c.streams, f.Stream)
 		c.mu.Unlock()
 		es.finish(deliver.ErrSlowConsumer)
-		c.cn.send(frame{Type: ftCancel, Stream: stream})
+		c.cn.send(frame{Type: ftCancel, Codec: c.codec, Stream: f.Stream})
+		break
 	}
+	return true
+}
+
+// decodeEventFrame decodes the deliver events of an ftEvent or ftEvents
+// frame, in stream order. Decoded events own their memory (nothing
+// aliases the frame payload).
+func decodeEventFrame(f frame) ([]deliver.Event, error) {
+	if f.Type == ftEvent {
+		var ev event
+		if err := unmarshalEnvelope(f.Codec, f.Payload, &ev); err != nil {
+			return nil, err
+		}
+		return []deliver.Event{ev.decode()}, nil
+	}
+	if f.Codec == codecBinary {
+		r := &binReader{b: f.Payload}
+		n := r.uvarint()
+		if r.err != nil || n > uint64(r.remaining()) {
+			r.fail("event batch count")
+			return nil, r.err
+		}
+		out := make([]deliver.Event, 0, n)
+		for i := uint64(0); i < n; i++ {
+			size := r.uvarint()
+			if r.err != nil || size > uint64(r.remaining()) {
+				r.fail("event batch item")
+				return nil, r.err
+			}
+			item := r.take(int(size))
+			var ev event
+			if err := unmarshalBody(codecBinary, item, &ev); err != nil {
+				return nil, err
+			}
+			out = append(out, ev.decode())
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	var evs []event
+	if err := json.Unmarshal(f.Payload, &evs); err != nil {
+		return nil, err
+	}
+	out := make([]deliver.Event, 0, len(evs))
+	for i := range evs {
+		out = append(out, evs[i].decode())
+	}
+	return out, nil
 }
 
 // fail terminates every outstanding call and stream.
@@ -171,77 +314,88 @@ func (c *Client) fail(err error) {
 	}
 	c.closed = true
 	calls, streams := c.calls, c.streams
-	c.calls, c.streams = map[uint64]chan *response{}, map[uint64]*eventStream{}
+	c.calls, c.streams = map[uint64]*pendingCall{}, map[uint64]*eventStream{}
 	c.mu.Unlock()
-	for _, ch := range calls {
-		ch <- &response{Err: &WireError{Code: codeInternal, Message: err.Error()}}
+	for _, pc := range calls {
+		pc.ch <- respMsg{
+			resp:  &response{Err: &WireError{Code: codeInternal, Message: err.Error()}},
+			codec: codecJSON,
+		}
 	}
 	for _, es := range streams {
 		es.finish(err)
 	}
 }
 
-// newRequest marshals a request frame for method with the given body.
-func newRequest(ctx context.Context, method string, body any) ([]byte, error) {
-	req := request{Method: method}
+// newRequest marshals a request frame for method with the given body,
+// returning the pooled payload and the codec the frame must carry.
+func (c *Client) newRequest(ctx context.Context, method string, body any) ([]byte, codecID, error) {
+	b, bc, err := marshalBody(c.codec, body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: marshal %s request: %w", method, err)
+	}
+	req := request{Method: method, Body: b}
 	if dl, ok := ctx.Deadline(); ok {
 		req.Deadline = dl.UnixNano()
 	}
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return nil, fmt.Errorf("wire: marshal %s request: %w", method, err)
-		}
-		req.Body = b
+	payload, err := marshalEnvelope(bc, &req)
+	putBuf(b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: marshal %s request: %w", method, err)
 	}
-	return json.Marshal(req)
+	return payload, bc, nil
 }
 
 // Call performs one unary RPC: request out, single response in. The
 // context's deadline travels with the request; cancellation sends an
 // ftCancel so the server abandons the handler.
 func (c *Client) Call(ctx context.Context, method string, in, out any) error {
-	payload, err := newRequest(ctx, method, in)
+	payload, codec, err := c.newRequest(ctx, method, in)
 	if err != nil {
 		return err
 	}
-	ch := make(chan *response, 1)
+	ch := make(chan respMsg, 1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		putBuf(payload)
 		return ErrConnClosed
 	}
 	c.next++
 	id := c.next
-	c.calls[id] = ch
+	c.calls[id] = &pendingCall{ch: ch, method: method}
 	c.mu.Unlock()
 
-	if err := c.cn.send(frame{Type: ftRequest, Stream: id, Payload: payload}); err != nil {
+	err = c.cn.send(frame{Type: ftRequest, Codec: codec, Stream: id, Payload: payload})
+	c.noteOut(method, len(payload))
+	putBuf(payload)
+	if err != nil {
 		c.mu.Lock()
 		delete(c.calls, id)
 		c.mu.Unlock()
 		return err
 	}
-	var resp *response
+	var msg respMsg
 	select {
-	case resp = <-ch:
+	case msg = <-ch:
 	case <-ctx.Done():
 		c.mu.Lock()
 		_, inflight := c.calls[id]
 		delete(c.calls, id)
 		c.mu.Unlock()
 		if inflight {
-			c.cn.send(frame{Type: ftCancel, Stream: id})
+			c.cn.send(frame{Type: ftCancel, Codec: codec, Stream: id})
 			return ctx.Err()
 		}
 		// Response raced the cancellation; take it.
-		resp = <-ch
+		msg = <-ch
 	}
-	if resp.Err != nil {
-		return decodeError(resp.Err)
+	defer putBuf(msg.payload)
+	if msg.resp.Err != nil {
+		return decodeError(msg.resp.Err)
 	}
-	if out != nil && len(resp.Body) > 0 {
-		if err := json.Unmarshal(resp.Body, out); err != nil {
+	if out != nil && len(msg.resp.Body) > 0 {
+		if err := unmarshalBody(msg.codec, msg.resp.Body, out); err != nil {
 			return fmt.Errorf("wire: unmarshal %s response: %w", method, err)
 		}
 	}
@@ -253,21 +407,22 @@ func (c *Client) Call(ctx context.Context, method string, in, out any) error {
 // after Stream returns is observed by the stream — the registration-
 // before-ordering guarantee commit waiters depend on.
 func (c *Client) Stream(ctx context.Context, method string, in any) (service.Stream, error) {
-	payload, err := newRequest(ctx, method, in)
+	payload, codec, err := c.newRequest(ctx, method, in)
 	if err != nil {
 		return nil, err
 	}
-	ack := make(chan *response, 1)
-	es := newEventStream(c)
+	ack := make(chan respMsg, 1)
+	es := newEventStream(c, method)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		putBuf(payload)
 		return nil, ErrConnClosed
 	}
 	c.next++
 	id := c.next
 	es.id = id
-	c.calls[id] = ack // the ACK arrives as a response on the same stream
+	c.calls[id] = &pendingCall{ch: ack, method: method} // the ACK arrives as a response on the same stream
 	// Register the stream before the request leaves: a fast handler's
 	// events (and terminal response) can arrive right behind the ACK,
 	// and the read loop must find somewhere to put them.
@@ -280,29 +435,33 @@ func (c *Client) Stream(ctx context.Context, method string, in any) (service.Str
 		delete(c.streams, id)
 		c.mu.Unlock()
 	}
-	if err := c.cn.send(frame{Type: ftRequest, Stream: id, Payload: payload}); err != nil {
+	err = c.cn.send(frame{Type: ftRequest, Codec: codec, Stream: id, Payload: payload})
+	c.noteOut(method, len(payload))
+	putBuf(payload)
+	if err != nil {
 		deregister()
 		return nil, err
 	}
-	var resp *response
+	var msg respMsg
 	select {
-	case resp = <-ack:
+	case msg = <-ack:
 	case <-ctx.Done():
 		c.mu.Lock()
 		_, inflight := c.calls[id]
 		c.mu.Unlock()
 		if inflight {
 			deregister()
-			c.cn.send(frame{Type: ftCancel, Stream: id})
+			c.cn.send(frame{Type: ftCancel, Codec: codec, Stream: id})
 			return nil, ctx.Err()
 		}
-		resp = <-ack
+		msg = <-ack
 	}
-	if resp.Err != nil {
+	defer putBuf(msg.payload)
+	if msg.resp.Err != nil {
 		deregister()
-		return nil, decodeError(resp.Err)
+		return nil, decodeError(msg.resp.Err)
 	}
-	if !resp.More {
+	if !msg.resp.More {
 		deregister()
 		return nil, fmt.Errorf("%w: stream %s acknowledged without More", ErrCorrupt, method)
 	}
@@ -312,9 +471,10 @@ func (c *Client) Stream(ctx context.Context, method string, in any) (service.Str
 // eventStream is the client side of a deliver stream: a buffered event
 // channel fed by the read loop, satisfying service.Stream.
 type eventStream struct {
-	c  *Client
-	id uint64
-	ch chan deliver.Event
+	c      *Client
+	id     uint64
+	method string
+	ch     chan deliver.Event
 
 	mu     sync.Mutex
 	err    error
@@ -325,8 +485,8 @@ type eventStream struct {
 // one more bounded stage to the same slow-consumer policy.
 const streamBuffer = 1024
 
-func newEventStream(c *Client) *eventStream {
-	return &eventStream{c: c, ch: make(chan deliver.Event, streamBuffer)}
+func newEventStream(c *Client, method string) *eventStream {
+	return &eventStream{c: c, method: method, ch: make(chan deliver.Event, streamBuffer)}
 }
 
 // push enqueues an event without blocking; false means the buffer is
@@ -393,6 +553,6 @@ func (es *eventStream) Close() {
 	es.c.mu.Lock()
 	delete(es.c.streams, es.id)
 	es.c.mu.Unlock()
-	es.c.cn.send(frame{Type: ftCancel, Stream: es.id})
+	es.c.cn.send(frame{Type: ftCancel, Codec: es.c.codec, Stream: es.id})
 	es.finish(nil)
 }

@@ -197,6 +197,10 @@ func NewGatewayClient(c *Client) *GatewayClient { return &GatewayClient{c: c} }
 // Close releases the underlying connection.
 func (g *GatewayClient) Close() { g.c.Close() }
 
+// RPCStats exposes the underlying connection's per-method call and
+// byte counters, so benchmarks can report wire cost per RPC.
+func (g *GatewayClient) RPCStats() map[string]RPCStat { return g.c.RPCStats() }
+
 // Evaluate runs a query through the remote gateway.
 func (g *GatewayClient) Evaluate(ctx context.Context, req *service.InvokeRequest) ([]byte, error) {
 	var resp evaluateResponse

@@ -17,15 +17,28 @@ var ErrConnClosed = errors.New("wire: connection closed")
 // connection slows its own users, never unrelated ones.
 const defaultSendQueue = 256
 
+// connReadBuffer sizes the bufio.Reader in front of the socket: the
+// header, payload and trailer reads of a frame amortize to about one
+// read syscall per buffer-full of frames instead of three per frame.
+const connReadBuffer = 64 << 10
+
 // conn wraps a net.Conn with a single writer goroutine fed by a bounded
-// frame queue. All frame writes go through send(), so concurrent calls
-// and streams multiplex onto the socket without interleaving partial
-// frames; reads stay with the owner (client or server loop).
+// queue of fully encoded frames. All frame writes go through send(), so
+// concurrent calls and streams multiplex onto the socket without
+// interleaving partial frames; reads stay with the owner (client or
+// server loop) and go through a per-connection bufio.Reader.
+//
+// Buffer ownership across the queue is explicit: send() encodes the
+// frame into a pooled buffer and hands it to writeLoop, which releases
+// it after the socket write. Buffers still queued when the connection
+// dies are dropped on the floor (the pool is an optimization, not an
+// accounting ledger).
 type conn struct {
 	nc       net.Conn
+	br       *bufio.Reader
 	maxFrame int
 
-	sendQ chan frame
+	sendQ chan []byte
 	done  chan struct{}
 
 	closeOnce sync.Once
@@ -36,8 +49,9 @@ type conn struct {
 func newConn(nc net.Conn, maxFrame int) *conn {
 	c := &conn{
 		nc:       nc,
+		br:       bufio.NewReaderSize(nc, connReadBuffer),
 		maxFrame: maxFrame,
-		sendQ:    make(chan frame, defaultSendQueue),
+		sendQ:    make(chan []byte, defaultSendQueue),
 		done:     make(chan struct{}),
 	}
 	go c.writeLoop()
@@ -48,12 +62,12 @@ func newConn(nc net.Conn, maxFrame int) *conn {
 // the queue runs dry — consecutive frames coalesce into one syscall.
 func (c *conn) writeLoop() {
 	bw := bufio.NewWriterSize(c.nc, 64<<10)
-	var buf []byte
 	for {
 		select {
-		case f := <-c.sendQ:
-			buf = appendFrame(buf[:0], f)
-			if _, err := bw.Write(buf); err != nil {
+		case buf := <-c.sendQ:
+			_, err := bw.Write(buf)
+			putBuf(buf)
+			if err != nil {
 				c.close(err)
 				return
 			}
@@ -69,23 +83,34 @@ func (c *conn) writeLoop() {
 	}
 }
 
-// send enqueues one frame, blocking when the queue is full. It fails
-// once the connection is closed.
+// send encodes f into a pooled buffer and enqueues it, blocking when
+// the queue is full. It fails once the connection is closed. The
+// caller keeps ownership of f.Payload (it is copied into the frame
+// buffer).
 func (c *conn) send(f frame) error {
 	if len(f.Payload) > c.maxFrame {
 		return ErrFrameTooLarge
 	}
+	buf := appendFrame(getBuf(headerSize+len(f.Payload)+trailerSize), f)
 	select {
-	case c.sendQ <- f:
+	case c.sendQ <- buf:
+		stats.framesOut.Add(1)
+		stats.bytesOut.Add(uint64(len(buf)))
 		return nil
 	case <-c.done:
+		putBuf(buf)
 		return c.closeErr()
 	}
 }
 
-// read reads the next frame from the socket.
+// read reads the next frame through the connection's buffered reader.
 func (c *conn) read() (frame, error) {
-	return readFrame(c.nc, c.maxFrame)
+	f, err := readFrame(c.br, c.maxFrame)
+	if err == nil {
+		stats.framesIn.Add(1)
+		stats.bytesIn.Add(uint64(headerSize + len(f.Payload) + trailerSize))
+	}
+	return f, err
 }
 
 // close tears the connection down once, recording the first cause.

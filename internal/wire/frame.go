@@ -2,25 +2,27 @@
 // length-prefixed, CRC-protected framing layer carrying the RPCs of the
 // internal/service interfaces between OS processes. One connection
 // multiplexes any number of concurrent calls and event streams,
-// distinguished by a client-chosen stream ID; payloads are JSON
+// distinguished by a client-chosen stream ID; payloads are either JSON
+// (version byte 1) or the hand-rolled binary codec (version byte 2)
 // serializations of the same ledger/service structs the in-process
-// implementations pass by pointer.
+// implementations pass by pointer — see codec.go for the negotiation
+// contract.
 //
 // Frame layout (all integers big-endian):
 //
 //	offset size  field
 //	0      2     magic 0xFA 0xB1
-//	2      1     protocol version (1)
-//	3      1     frame type (request/response/event/cancel)
+//	2      1     payload codec (1 = JSON, 2 = binary)
+//	3      1     frame type (request/response/event/cancel/event-batch)
 //	4      8     stream ID
 //	12     4     payload length
-//	16     n     payload (JSON)
+//	16     n     payload
 //	16+n   4     CRC-32C over header+payload
 //
 // The trailing checksum turns line corruption into a typed ErrCorrupt
-// instead of a JSON parse error deep inside a handler; the length field
-// is bounded by maxFrame so a corrupted length cannot force an
-// arbitrary allocation.
+// instead of a parse error deep inside a handler; the length field is
+// bounded by maxFrame so a corrupted length cannot force an arbitrary
+// allocation.
 package wire
 
 import (
@@ -35,9 +37,13 @@ const (
 	magic0 = 0xFA
 	magic1 = 0xB1
 
-	// version is the only protocol version; a mismatch is ErrCorrupt
-	// territory (there is no negotiation — both ends ship together).
-	version = 1
+	// verJSON and verBinary are the accepted protocol versions. The
+	// version byte names the payload codec — that is the entire codec
+	// negotiation: each frame declares its own encoding, responders
+	// mirror the codec of the frame they answer, and JSON stays valid
+	// forever as the fallback and debug format.
+	verJSON   = 1
+	verBinary = 2
 
 	headerSize  = 16
 	trailerSize = 4
@@ -54,6 +60,7 @@ const (
 	ftResponse = 2 // server → client: terminal reply, or stream ACK (More)
 	ftEvent    = 3 // server → client: one stream event
 	ftCancel   = 4 // client → server: cancel the named stream's call
+	ftEvents   = 5 // server → client: a batch of stream events, in order
 )
 
 var (
@@ -69,9 +76,12 @@ var (
 // accelerated on amd64/arm64.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// frame is one protocol frame. Payload is the raw JSON body.
+// frame is one protocol frame. Payload is the raw encoded body; Codec
+// says how it is encoded (the wire's version byte). A zero Codec means
+// JSON, so hand-built frames in tests keep their PR 8 meaning.
 type frame struct {
 	Type    byte
+	Codec   codecID
 	Stream  uint64
 	Payload []byte
 }
@@ -83,8 +93,12 @@ func appendFrame(buf []byte, f frame) []byte {
 	if cap(buf) < n {
 		buf = make([]byte, 0, n)
 	}
+	ver := byte(f.Codec)
+	if ver == 0 {
+		ver = verJSON
+	}
 	buf = buf[:headerSize]
-	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, version, f.Type
+	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, ver, f.Type
 	binary.BigEndian.PutUint64(buf[4:], f.Stream)
 	binary.BigEndian.PutUint32(buf[12:], uint32(len(f.Payload)))
 	buf = append(buf, f.Payload...)
@@ -104,7 +118,8 @@ func writeFrame(w io.Writer, f frame, maxFrame int) error {
 // readFrame reads and validates one frame. Corruption (bad magic,
 // version, type or CRC) is ErrCorrupt; an oversized declared length is
 // ErrFrameTooLarge. Both poison the connection — framing cannot be
-// resynchronized mid-stream.
+// resynchronized mid-stream. A non-empty payload arrives in a pooled
+// buffer: the caller owns it and releases it with putBuf once decoded.
 func readFrame(r io.Reader, maxFrame int) (frame, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -113,29 +128,35 @@ func readFrame(r io.Reader, maxFrame int) (frame, error) {
 	if hdr[0] != magic0 || hdr[1] != magic1 {
 		return frame{}, fmt.Errorf("%w: bad magic %02x%02x", ErrCorrupt, hdr[0], hdr[1])
 	}
-	if hdr[2] != version {
+	if hdr[2] != verJSON && hdr[2] != verBinary {
 		return frame{}, fmt.Errorf("%w: unknown version %d", ErrCorrupt, hdr[2])
 	}
 	ft := hdr[3]
-	if ft < ftRequest || ft > ftCancel {
+	if ft < ftRequest || ft > ftEvents {
 		return frame{}, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, ft)
 	}
 	length := binary.BigEndian.Uint32(hdr[12:])
 	if int64(length) > int64(maxFrame) {
 		return frame{}, fmt.Errorf("%w: declared %d bytes", ErrFrameTooLarge, length)
 	}
-	payload := make([]byte, length)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return frame{}, err
+	var payload []byte
+	if length > 0 {
+		payload = getBuf(int(length))[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			putBuf(payload)
+			return frame{}, err
+		}
 	}
 	var trailer [trailerSize]byte
 	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		putBuf(payload)
 		return frame{}, err
 	}
 	sum := crc32.Checksum(hdr[:], castagnoli)
 	sum = crc32.Update(sum, castagnoli, payload)
 	if got := binary.BigEndian.Uint32(trailer[:]); got != sum {
+		putBuf(payload)
 		return frame{}, fmt.Errorf("%w: checksum %08x, computed %08x", ErrCorrupt, got, sum)
 	}
-	return frame{Type: ft, Stream: binary.BigEndian.Uint64(hdr[4:]), Payload: payload}, nil
+	return frame{Type: ft, Codec: codecID(hdr[2]), Stream: binary.BigEndian.Uint64(hdr[4:]), Payload: payload}, nil
 }

@@ -5,12 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
+	"time"
+	"unicode/utf8"
 
 	"repro/internal/deliver"
 	"repro/internal/ledger"
 	"repro/internal/rwset"
 	"repro/internal/service"
+	"repro/internal/statedb"
 )
 
 // rpcSeedPayloads serializes one instance of every RPC body in the
@@ -66,8 +70,33 @@ func FuzzWireFrame(f *testing.F) {
 		flipped[i%len(flipped)] ^= 0x40
 		f.Add(flipped)
 	}
+	// Binary-codec frames: the same traffic the default codec produces,
+	// plus a hand-built multi-event batch, so the fuzzer explores the
+	// verBinary header path and the ftEvents frame type from generation
+	// zero.
+	for i, body := range []any{
+		&pvtRequest{TxID: "tx1", Collection: "pdc1"},
+		&infoResponse{Name: "peer0.org1", Org: "org1", Channel: "c1", Height: 4, StateHash: "aa"},
+		&rwset.TxPvtRWSet{TxID: "tx1", CollSets: []rwset.CollPvtRWSet{{Collection: "pdc1", Writes: []rwset.KVWrite{{Key: "k", Value: []byte("v")}}}}},
+		&event{Status: &deliver.TxStatusEvent{TxID: "tx1", BlockNum: 9}},
+	} {
+		bin, ok := binMarshal(body)
+		if !ok {
+			f.Fatal("binary seed type has no binary codec")
+		}
+		f.Add(appendFrame(nil, frame{Type: types[i%len(types)], Codec: codecBinary, Stream: uint64(i), Payload: bin}))
+	}
+	if batch, err := marshalEnvelope(codecBinary, &event{Block: &deliver.BlockEvent{Number: 9}}); err == nil {
+		payload := appendUvarint(nil, 2)
+		for i := 0; i < 2; i++ {
+			payload = appendUvarint(payload, uint64(len(batch)))
+			payload = append(payload, batch...)
+		}
+		f.Add(appendFrame(nil, frame{Type: ftEvents, Codec: codecBinary, Stream: 5, Payload: payload}))
+	}
 	f.Add([]byte{})
-	f.Add([]byte{magic0, magic1, version, ftRequest})
+	f.Add([]byte{magic0, magic1, verJSON, ftRequest})
+	f.Add([]byte{magic0, magic1, verBinary, ftEvents})
 
 	const maxFrame = 1 << 20 // keep fuzz allocations bounded
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -93,6 +122,88 @@ func FuzzWireFrame(f *testing.F) {
 		}
 		if again.Type != got.Type || again.Stream != got.Stream || !bytes.Equal(again.Payload, got.Payload) {
 			t.Fatalf("re-read mismatch: %+v vs %+v", again, got)
+		}
+	})
+}
+
+// checkCodecEquivalence asserts that decoding v's JSON serialization
+// and decoding its binary serialization produce identical structs — the
+// contract that lets the two codecs coexist on one connection.
+func checkCodecEquivalence(t *testing.T, v any) {
+	t.Helper()
+	bin, ok := binMarshal(v)
+	if !ok {
+		t.Fatalf("no binary codec for %T", v)
+	}
+	jb, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("json marshal %T: %v", v, err)
+	}
+	jv := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+	bv := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+	if err := json.Unmarshal(jb, jv); err != nil {
+		t.Fatalf("json unmarshal %T: %v", v, err)
+	}
+	if ok, err := binUnmarshal(bin, bv); !ok || err != nil {
+		t.Fatalf("binary unmarshal %T: ok=%v err=%v", v, ok, err)
+	}
+	if !reflect.DeepEqual(jv, bv) {
+		t.Fatalf("%T: JSON and binary decodes differ:\n json: %#v\n bin:  %#v", v, jv, bv)
+	}
+}
+
+// FuzzCodecEquivalence drives fuzzed field values through both codecs
+// and requires the decoded structs to match exactly — nil-ness of
+// slices and maps included. This is the wire's substitute for a schema:
+// JSON stays the reference semantics, and the binary codec must never
+// diverge from it.
+func FuzzCodecEquivalence(f *testing.F) {
+	f.Add("tx1", "pdc1", "k", []byte("v"), uint64(3), int64(200), false)
+	f.Add("", "", "", []byte(nil), uint64(0), int64(0), true)
+	f.Add("a b", "c", "日本", []byte{0, 1, 2}, uint64(1)<<40, int64(-5), false)
+	f.Fuzz(func(t *testing.T, txid, coll, key string, value []byte, num uint64, n int64, flag bool) {
+		if !utf8.ValidString(txid) || !utf8.ValidString(coll) || !utf8.ValidString(key) {
+			t.Skip("encoding/json replaces invalid UTF-8; not an equivalence the codecs promise")
+		}
+		// Both codecs preserve nil-vs-empty, but `omitempty` JSON tags
+		// drop empty non-nil values, which decode back as nil — an
+		// encoding/json quirk, not a codec property. Normalize inputs.
+		if len(value) == 0 {
+			value = nil
+		}
+		ccEvent := &ledger.ChaincodeEvent{Name: key, Payload: value}
+		if !flag {
+			ccEvent = nil
+		}
+		msgs := []any{
+			&pvtRequest{TxID: txid, Collection: coll},
+			&txIDRequest{TxID: txid},
+			&subscribeRequest{From: num, Live: flag},
+			&blocksRequest{From: num},
+			&handleRequest{Handle: num},
+			&inPendingResponse{Pending: flag},
+			&infoResponse{Name: txid, Org: coll, Channel: key, Height: num, StateHash: coll},
+			&orderRequest{Tx: value},
+			&evaluateResponse{Payload: value},
+			&submitAsyncResponse{Handle: num, TxID: txid},
+			&request{Method: txid, Deadline: n},
+			&response{Err: &WireError{Code: txid, Message: coll, RetryAfterMs: n}, More: flag},
+			&endorseRequest{
+				Proposal:  &ledger.Proposal{TxID: txid, ChannelID: coll, Chaincode: key, Function: txid, Args: []string{txid, key}},
+				Transient: map[string][]byte{key: value},
+			},
+			&rwset.TxPvtRWSet{TxID: txid, CollSets: []rwset.CollPvtRWSet{{
+				Collection: coll,
+				Reads:      []rwset.KVRead{{Key: key, Version: statedb.Version(num)}},
+				Writes:     []rwset.KVWrite{{Key: key, Value: value, IsDelete: flag}},
+			}}},
+			&service.InvokeRequest{Channel: coll, Chaincode: txid, Function: key, Args: []string{txid, key}, Transient: map[string][]byte{key: value}},
+			&service.SubmitResult{TxID: txid, Payload: value, Code: ledger.ValidationCode(n), Detail: coll, BlockNum: num, Event: ccEvent, MissingCollections: []string{coll}, CommitWait: time.Duration(n)},
+			&ledger.ProposalResponse{Payload: value, PlainPayload: value, Response: ledger.Response{Status: int32(n), Message: coll, Payload: value}, Endorsement: ledger.Endorsement{Endorser: value, Signature: value}},
+			&event{Status: &deliver.TxStatusEvent{BlockNum: num, TxIndex: int(n), TxID: txid, Code: ledger.ValidationCode(n), Detail: coll, MissingCollections: []string{coll}, ChaincodeEvent: ccEvent, Replayed: flag}},
+		}
+		for _, m := range msgs {
+			checkCodecEquivalence(t, m)
 		}
 	})
 }

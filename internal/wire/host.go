@@ -3,7 +3,6 @@ package wire
 import (
 	"context"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -29,9 +28,9 @@ import (
 //	peer.pvtpush    unary   rwset.TxPvtRWSet -> {}
 //	peer.info       unary   {} -> infoResponse
 func RegisterPeer(s *Server, p *peer.Peer) {
-	s.Handle("peer.endorse", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("peer.endorse", func(ctx context.Context, body Body, _ *Sink) (any, error) {
 		var req endorseRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: peer.endorse: %w", err)
 		}
 		if req.Proposal == nil {
@@ -42,9 +41,9 @@ func RegisterPeer(s *Server, p *peer.Peer) {
 		req.Proposal.Transient = req.Transient
 		return p.Endorse(ctx, req.Proposal)
 	})
-	s.Handle("peer.subscribe", func(ctx context.Context, body json.RawMessage, sink *Sink) (any, error) {
+	s.Handle("peer.subscribe", func(ctx context.Context, body Body, sink *Sink) (any, error) {
 		var req subscribeRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: peer.subscribe: %w", err)
 		}
 		var stream service.Stream
@@ -63,16 +62,16 @@ func RegisterPeer(s *Server, p *peer.Peer) {
 		}
 		return nil, pumpEvents(ctx, stream, sink)
 	})
-	s.Handle("peer.pvt", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("peer.pvt", func(_ context.Context, body Body, _ *Sink) (any, error) {
 		var req pvtRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: peer.pvt: %w", err)
 		}
 		return p.ServePrivateData(req.TxID, req.Collection), nil
 	})
-	s.Handle("peer.pvtpush", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("peer.pvtpush", func(_ context.Context, body Body, _ *Sink) (any, error) {
 		var set rwset.TxPvtRWSet
-		if err := json.Unmarshal(body, &set); err != nil {
+		if err := body.Decode(&set); err != nil {
 			return nil, fmt.Errorf("wire: peer.pvtpush: %w", err)
 		}
 		if set.TxID == "" {
@@ -81,7 +80,7 @@ func RegisterPeer(s *Server, p *peer.Peer) {
 		p.ReceivePrivateData(&set)
 		return nil, nil
 	})
-	s.Handle("peer.info", func(_ context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("peer.info", func(_ context.Context, _ Body, _ *Sink) (any, error) {
 		return &infoResponse{
 			Name:      p.Name(),
 			Org:       p.Org(),
@@ -99,9 +98,9 @@ func RegisterPeer(s *Server, p *peer.Peer) {
 //	order.flushtx    unary   txIDRequest -> {}
 //	order.blocks     stream  blocksRequest -> block events
 func RegisterOrderer(s *Server, o *orderer.Service) {
-	s.Handle("order.submit", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("order.submit", func(ctx context.Context, body Body, _ *Sink) (any, error) {
 		var req orderRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: order.submit: %w", err)
 		}
 		tx, err := ledger.ParseTransaction(req.Tx)
@@ -110,24 +109,24 @@ func RegisterOrderer(s *Server, o *orderer.Service) {
 		}
 		return nil, o.Order(ctx, tx)
 	})
-	s.Handle("order.inpending", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("order.inpending", func(_ context.Context, body Body, _ *Sink) (any, error) {
 		var req txIDRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: order.inpending: %w", err)
 		}
 		return &inPendingResponse{Pending: o.InPending(req.TxID)}, nil
 	})
-	s.Handle("order.flushtx", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("order.flushtx", func(_ context.Context, body Body, _ *Sink) (any, error) {
 		var req txIDRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: order.flushtx: %w", err)
 		}
 		o.FlushTx(req.TxID)
 		return nil, nil
 	})
-	s.Handle("order.blocks", func(ctx context.Context, body json.RawMessage, sink *Sink) (any, error) {
+	s.Handle("order.blocks", func(ctx context.Context, body Body, sink *Sink) (any, error) {
 		var req blocksRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: order.blocks: %w", err)
 		}
 		// Backlog first, then live deliveries; the orderer's Subscribe
@@ -148,14 +147,24 @@ func RegisterOrderer(s *Server, o *orderer.Service) {
 			return nil, err
 		}
 		next := req.From
+		// Catch-up replay batches eventBatchMax blocks per frame
+		// instead of one frame per block.
+		batch := make([]event, 0, eventBatchMax)
 		for _, b := range backlog {
 			if b.Header.Number < next {
 				continue
 			}
-			if err := sink.Send(event{Block: blockEvent(b)}); err != nil {
-				return nil, err
-			}
+			batch = append(batch, event{Block: blockEvent(b)})
 			next = b.Header.Number + 1
+			if len(batch) == eventBatchMax {
+				if err := sink.SendBatch(batch); err != nil {
+					return nil, err
+				}
+				batch = batch[:0]
+			}
+		}
+		if err := sink.SendBatch(batch); err != nil {
+			return nil, err
 		}
 		for {
 			select {
@@ -163,10 +172,27 @@ func RegisterOrderer(s *Server, o *orderer.Service) {
 				if b.Header.Number < next {
 					continue // replayed by the backlog already
 				}
-				if err := sink.Send(event{Block: blockEvent(b)}); err != nil {
+				batch = append(batch[:0], event{Block: blockEvent(b)})
+				next = b.Header.Number + 1
+				// Coalesce whatever else is already queued — the same
+				// flush-on-idle discipline conn.writeLoop applies to
+				// frames: batching never delays a lone block.
+			drain:
+				for len(batch) < eventBatchMax {
+					select {
+					case nb := <-blocks:
+						if nb.Header.Number < next {
+							continue
+						}
+						batch = append(batch, event{Block: blockEvent(nb)})
+						next = nb.Header.Number + 1
+					default:
+						break drain
+					}
+				}
+				if err := sink.SendBatch(batch); err != nil {
 					return nil, err
 				}
-				next = b.Header.Number + 1
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -186,9 +212,9 @@ func RegisterOrderer(s *Server, o *orderer.Service) {
 //	gw.close        unary  handleRequest -> {}
 func RegisterGateway(s *Server, gw *gateway.Gateway) {
 	h := &handleTable{commits: make(map[uint64]service.Commit)}
-	s.Handle("gw.evaluate", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("gw.evaluate", func(ctx context.Context, body Body, _ *Sink) (any, error) {
 		var req service.InvokeRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: gw.evaluate: %w", err)
 		}
 		payload, err := gw.Evaluate(ctx, &req)
@@ -197,16 +223,16 @@ func RegisterGateway(s *Server, gw *gateway.Gateway) {
 		}
 		return &evaluateResponse{Payload: payload}, nil
 	})
-	s.Handle("gw.submit", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("gw.submit", func(ctx context.Context, body Body, _ *Sink) (any, error) {
 		var req service.InvokeRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: gw.submit: %w", err)
 		}
 		return gw.Submit(ctx, &req)
 	})
-	s.Handle("gw.submitasync", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("gw.submitasync", func(ctx context.Context, body Body, _ *Sink) (any, error) {
 		var req service.InvokeRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: gw.submitasync: %w", err)
 		}
 		commit, err := gw.SubmitAsync(ctx, &req)
@@ -215,9 +241,9 @@ func RegisterGateway(s *Server, gw *gateway.Gateway) {
 		}
 		return &submitAsyncResponse{Handle: h.put(commit), TxID: commit.TxID()}, nil
 	})
-	s.Handle("gw.status", func(ctx context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("gw.status", func(ctx context.Context, body Body, _ *Sink) (any, error) {
 		var req handleRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: gw.status: %w", err)
 		}
 		commit, ok := h.get(req.Handle)
@@ -226,9 +252,9 @@ func RegisterGateway(s *Server, gw *gateway.Gateway) {
 		}
 		return commit.Status(ctx)
 	})
-	s.Handle("gw.close", func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+	s.Handle("gw.close", func(_ context.Context, body Body, _ *Sink) (any, error) {
 		var req handleRequest
-		if err := json.Unmarshal(body, &req); err != nil {
+		if err := body.Decode(&req); err != nil {
 			return nil, fmt.Errorf("wire: gw.close: %w", err)
 		}
 		if commit, ok := h.take(req.Handle); ok {
@@ -255,15 +281,37 @@ func encodeEvent(ev deliver.Event) event {
 }
 
 // pumpEvents forwards a service.Stream onto a sink until the stream
-// ends or the caller cancels.
+// ends or the caller cancels. After each blocking receive it coalesces
+// whatever further events the stream already buffered into one
+// multi-event frame — flush-on-idle: a backlogged subscriber catches up
+// in eventBatchMax-sized frames, a lone event departs immediately.
 func pumpEvents(ctx context.Context, stream service.Stream, sink *Sink) error {
+	batch := make([]event, 0, eventBatchMax)
 	for {
 		select {
 		case ev, ok := <-stream.Events():
 			if !ok {
 				return stream.Err()
 			}
-			if err := sink.Send(encodeEvent(ev)); err != nil {
+			batch = append(batch[:0], encodeEvent(ev))
+		drain:
+			for len(batch) < eventBatchMax {
+				select {
+				case ev2, ok2 := <-stream.Events():
+					if !ok2 {
+						// Flush what we have; the stream's end reason
+						// travels in the terminal response.
+						if err := sink.SendBatch(batch); err != nil {
+							return err
+						}
+						return stream.Err()
+					}
+					batch = append(batch, encodeEvent(ev2))
+				default:
+					break drain
+				}
+			}
+			if err := sink.SendBatch(batch); err != nil {
 				return err
 			}
 		case <-ctx.Done():

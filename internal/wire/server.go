@@ -3,7 +3,6 @@ package wire
 import (
 	"context"
 	"crypto/tls"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -13,13 +12,31 @@ import (
 	"repro/internal/identity"
 )
 
+// Body is a request body awaiting decoding: the raw payload bytes plus
+// the codec the client encoded them with. Handlers call Decode exactly
+// like they used to call json.Unmarshal — the codec seam keeps them
+// agnostic of which encoding the client chose. The underlying bytes are
+// only valid until the handler returns (they live in a pooled frame
+// buffer); Decode copies everything it extracts, so decoded structs are
+// safe to retain.
+type Body struct {
+	codec codecID
+	data  []byte
+}
+
+// Decode unmarshals the body into v using the frame's codec.
+func (b Body) Decode(v any) error { return unmarshalBody(b.codec, b.data, v) }
+
+// Len returns the body's encoded size in bytes.
+func (b Body) Len() int { return len(b.data) }
+
 // Handler serves one RPC method. Unary handlers return (result, error)
 // and ignore the sink. Stream handlers call sink.Ack once registration
-// succeeded, then sink.Send for each event, and return when the stream
-// ends (their error, if any, travels in the terminal response). The
-// context carries the caller's deadline and is canceled when the client
-// sends ftCancel or the connection drops.
-type Handler func(ctx context.Context, body json.RawMessage, sink *Sink) (any, error)
+// succeeded, then sink.Send / sink.SendBatch for events, and return
+// when the stream ends (their error, if any, travels in the terminal
+// response). The context carries the caller's deadline and is canceled
+// when the client sends ftCancel or the connection drops.
+type Handler func(ctx context.Context, body Body, sink *Sink) (any, error)
 
 // ServerOptions configure a wire server.
 type ServerOptions struct {
@@ -32,7 +49,9 @@ type ServerOptions struct {
 
 // Server listens on one TCP address and serves registered RPC methods.
 // One server typically fronts one component (a peer, the orderer, a
-// gateway); cmd/pdcnet runs one per process.
+// gateway); cmd/pdcnet runs one per process. The server has no codec
+// configuration: it answers every frame in the codec the frame arrived
+// with, so one server serves binary and JSON clients at once.
 type Server struct {
 	handlers map[string]Handler
 	maxFrame int
@@ -185,15 +204,18 @@ func (s *Server) serveConn(nc net.Conn) {
 				cancel()
 			}
 			mu.Unlock()
+			putBuf(f.Payload)
 		case ftRequest:
 			var req request
-			if err := json.Unmarshal(f.Payload, &req); err != nil {
+			if err := unmarshalEnvelope(f.Codec, f.Payload, &req); err != nil {
+				putBuf(f.Payload)
 				cn.close(fmt.Errorf("%w: request body: %v", ErrCorrupt, err))
 				return
 			}
 			h, ok := s.handlers[req.Method]
 			if !ok {
-				s.reply(cn, f.Stream, nil, fmt.Errorf("wire: unknown method %q", req.Method))
+				s.reply(cn, f.Stream, f.Codec, nil, fmt.Errorf("wire: unknown method %q", req.Method))
+				putBuf(f.Payload)
 				continue
 			}
 			var ctx context.Context
@@ -209,51 +231,63 @@ func (s *Server) serveConn(nc net.Conn) {
 				// handler's cancel; the client is broken, drop it.
 				mu.Unlock()
 				cancel()
+				putBuf(f.Payload)
 				cn.close(fmt.Errorf("%w: stream %d reused while live", ErrCorrupt, f.Stream))
 				return
 			}
 			cancels[f.Stream] = cancel
 			mu.Unlock()
 			hwg.Add(1)
-			go func(stream uint64, body json.RawMessage) {
+			// The request's payload buffer (which req.Body may alias)
+			// stays alive until the handler goroutine finishes, then
+			// recycles.
+			go func(stream uint64, codec codecID, body []byte, payload []byte) {
 				defer hwg.Done()
+				defer putBuf(payload)
 				defer func() {
 					mu.Lock()
 					delete(cancels, stream)
 					mu.Unlock()
 					cancel()
 				}()
-				sink := &Sink{cn: cn, stream: stream}
-				result, err := h(ctx, body, sink)
+				sink := &Sink{cn: cn, stream: stream, codec: codec}
+				result, err := h(ctx, Body{codec: codec, data: body}, sink)
 				if sink.acked {
 					// Stream: terminal response ends it.
 					sink.end(err)
 					return
 				}
-				s.reply(cn, stream, result, err)
-			}(f.Stream, req.Body)
+				s.reply(cn, stream, codec, result, err)
+			}(f.Stream, f.Codec, req.Body, f.Payload)
 		default:
 			// Clients never send responses or events.
+			putBuf(f.Payload)
 			cn.close(fmt.Errorf("%w: unexpected frame type %d from client", ErrCorrupt, f.Type))
 			return
 		}
 	}
 }
 
-// reply sends a unary response.
-func (s *Server) reply(cn *conn, stream uint64, result any, err error) {
+// reply sends a unary response, encoded with the codec of the request
+// it answers (the result body may independently fall back to JSON when
+// the binary codec doesn't know its type — then the whole frame goes
+// out as JSON, which the client handles per frame).
+func (s *Server) reply(cn *conn, stream uint64, c codecID, result any, err error) {
 	resp := response{}
+	respCodec := c
 	if err != nil {
 		resp.Err = encodeError(err)
 	} else if result != nil {
-		b, merr := json.Marshal(result)
+		b, bc, merr := marshalBody(c, result)
 		if merr != nil {
 			resp.Err = encodeError(fmt.Errorf("wire: marshal response: %w", merr))
 		} else {
 			resp.Body = b
+			respCodec = bc
 		}
 	}
-	sendResponse(cn, stream, &resp)
+	sendResponse(cn, stream, respCodec, &resp)
+	putBuf(resp.Body)
 }
 
 // sendResponse delivers a response, salvaging send failures: a dropped
@@ -261,20 +295,24 @@ func (s *Server) reply(cn *conn, stream uint64, result any, err error) {
 // (typically ErrFrameTooLarge for an oversized body) it retries with a
 // small internal-error response, and failing that closes the connection
 // so the client's read loop fails every pending call.
-func sendResponse(cn *conn, stream uint64, resp *response) {
-	payload, err := json.Marshal(resp)
+func sendResponse(cn *conn, stream uint64, c codecID, resp *response) {
+	payload, err := marshalEnvelope(c, resp)
 	if err == nil {
-		if err = cn.send(frame{Type: ftResponse, Stream: stream, Payload: payload}); err == nil {
+		err = cn.send(frame{Type: ftResponse, Codec: c, Stream: stream, Payload: payload})
+		putBuf(payload)
+		if err == nil {
 			return
 		}
 	}
 	cause := err
-	fallback, merr := json.Marshal(&response{Err: &WireError{
+	fallback, merr := marshalEnvelope(c, &response{Err: &WireError{
 		Code:    codeInternal,
 		Message: fmt.Sprintf("wire: send response: %v", cause),
 	}})
 	if merr == nil {
-		if cn.send(frame{Type: ftResponse, Stream: stream, Payload: fallback}) == nil {
+		err := cn.send(frame{Type: ftResponse, Codec: c, Stream: stream, Payload: fallback})
+		putBuf(fallback)
+		if err == nil {
 			return
 		}
 	}
@@ -282,10 +320,13 @@ func sendResponse(cn *conn, stream uint64, resp *response) {
 }
 
 // Sink is a stream handler's outbound side: Ack acknowledges the
-// subscription (the client's Stream call returns), Send emits events.
+// subscription (the client's Stream call returns), Send and SendBatch
+// emit events. Every frame a sink emits uses the codec of the request
+// that opened the stream.
 type Sink struct {
 	cn     *conn
 	stream uint64
+	codec  codecID
 	acked  bool
 }
 
@@ -295,20 +336,86 @@ type Sink struct {
 // commits it must observe.
 func (k *Sink) Ack() error {
 	k.acked = true
-	payload, err := json.Marshal(&response{More: true})
+	payload, err := marshalEnvelope(k.codec, &response{More: true})
 	if err != nil {
 		return err
 	}
-	return k.cn.send(frame{Type: ftResponse, Stream: k.stream, Payload: payload})
+	err = k.cn.send(frame{Type: ftResponse, Codec: k.codec, Stream: k.stream, Payload: payload})
+	putBuf(payload)
+	return err
 }
 
 // Send emits one stream event.
 func (k *Sink) Send(ev event) error {
-	payload, err := json.Marshal(&ev)
+	payload, err := eventPayload(k.codec, &ev)
 	if err != nil {
-		return fmt.Errorf("wire: marshal event: %w", err)
+		return err
 	}
-	return k.cn.send(frame{Type: ftEvent, Stream: k.stream, Payload: payload})
+	// Event payloads are memoized on the event (shared across
+	// subscribers), never pooled — do not release.
+	return k.cn.send(frame{Type: ftEvent, Codec: k.codec, Stream: k.stream, Payload: payload})
+}
+
+// eventBatchMax bounds how many events coalesce into one ftEvents
+// frame. 32 keeps a worst-case batch of full blocks well under
+// DefaultMaxFrame for default batch sizes while amortizing per-frame
+// overhead during catch-up replay.
+const eventBatchMax = 32
+
+// SendBatch emits a batch of events as one multi-event frame, in order.
+// A batch that would exceed the frame bound degrades to per-event
+// frames (whose own size errors then surface normally).
+func (k *Sink) SendBatch(evs []event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if len(evs) == 1 {
+		return k.Send(evs[0])
+	}
+	payloads := make([][]byte, len(evs))
+	total := 0
+	for i := range evs {
+		p, err := eventPayload(k.codec, &evs[i])
+		if err != nil {
+			return err
+		}
+		payloads[i] = p
+		total += len(p) + 8 // per-event length prefix / JSON separator headroom
+	}
+	if headerSize+total+trailerSize > k.cn.maxFrame {
+		for i := range evs {
+			if err := k.Send(evs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	buf := getBuf(total + 2)
+	if k.codec == codecBinary {
+		buf = appendUvarint(buf, uint64(len(payloads)))
+		for _, p := range payloads {
+			buf = appendUvarint(buf, uint64(len(p)))
+			buf = append(buf, p...)
+		}
+	} else {
+		// The JSON batch form is a JSON array of event objects — each
+		// memoized payload is one object, so the batch is concatenation.
+		buf = append(buf, '[')
+		for i, p := range payloads {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, p...)
+		}
+		buf = append(buf, ']')
+	}
+	err := k.cn.send(frame{Type: ftEvents, Codec: k.codec, Stream: k.stream, Payload: buf})
+	putBuf(buf)
+	if err == nil {
+		stats.batchFrames.Add(1)
+		stats.batchedEvents.Add(uint64(len(evs)))
+	}
+	return err
 }
 
 // end sends the terminal response of an acked stream.
@@ -317,5 +424,40 @@ func (k *Sink) end(err error) {
 	if err != nil && !errors.Is(err, context.Canceled) {
 		resp.Err = encodeError(err)
 	}
-	sendResponse(k.cn, k.stream, &resp)
+	sendResponse(k.cn, k.stream, k.codec, &resp)
+}
+
+// eventPayload returns the encoded event-envelope payload for ev,
+// memoized on the underlying deliver event: a block fanning out to N
+// remote subscribers is encoded once per codec, not N times.
+func eventPayload(c codecID, ev *event) ([]byte, error) {
+	slot := 0
+	if c == codecBinary {
+		slot = 1
+	}
+	encode := func() []byte {
+		data, err := marshalEnvelope(c, ev)
+		if err != nil {
+			return nil
+		}
+		// The memo retains the bytes indefinitely; make sure they are
+		// not a pooled buffer (marshalEnvelope's binary path pools).
+		out := make([]byte, len(data))
+		copy(out, data)
+		putBuf(data)
+		return out
+	}
+	var payload []byte
+	switch {
+	case ev.Block != nil:
+		payload = ev.Block.Encoded(slot, encode)
+	case ev.Status != nil:
+		payload = ev.Status.Encoded(slot, encode)
+	default:
+		payload = encode()
+	}
+	if payload == nil {
+		return nil, fmt.Errorf("wire: marshal event")
+	}
+	return payload, nil
 }

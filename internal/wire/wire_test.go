@@ -120,9 +120,9 @@ type echoBody struct {
 
 func TestUnaryCall(t *testing.T) {
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"echo": func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		"echo": func(_ context.Context, body Body, _ *Sink) (any, error) {
 			var in echoBody
-			if err := json.Unmarshal(body, &in); err != nil {
+			if err := body.Decode(&in); err != nil {
 				return nil, err
 			}
 			return &echoBody{Msg: in.Msg + "!"}, nil
@@ -140,9 +140,9 @@ func TestUnaryCall(t *testing.T) {
 
 func TestConcurrentCallsMultiplex(t *testing.T) {
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"echo": func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		"echo": func(_ context.Context, body Body, _ *Sink) (any, error) {
 			var in echoBody
-			json.Unmarshal(body, &in)
+			body.Decode(&in)
 			return &in, nil
 		},
 	})
@@ -184,7 +184,7 @@ func TestDeadlinePropagation(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"slow": func(ctx context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+		"slow": func(ctx context.Context, _ Body, _ *Sink) (any, error) {
 			// The server-side context must carry the client's deadline.
 			if _, ok := ctx.Deadline(); !ok {
 				return nil, fmt.Errorf("no deadline on server context")
@@ -210,7 +210,7 @@ func TestCancelAbortsServerHandler(t *testing.T) {
 	started := make(chan struct{}, 1)
 	aborted := make(chan error, 1)
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"wait": func(ctx context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+		"wait": func(ctx context.Context, _ Body, _ *Sink) (any, error) {
 			started <- struct{}{}
 			<-ctx.Done()
 			aborted <- ctx.Err()
@@ -241,7 +241,7 @@ func TestCancelAbortsServerHandler(t *testing.T) {
 func TestStreamDeliversEventsInOrder(t *testing.T) {
 	const events = 50
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"count": func(ctx context.Context, _ json.RawMessage, sink *Sink) (any, error) {
+		"count": func(ctx context.Context, _ Body, sink *Sink) (any, error) {
 			if err := sink.Ack(); err != nil {
 				return nil, err
 			}
@@ -282,7 +282,7 @@ func TestStreamDeliversEventsInOrder(t *testing.T) {
 func TestStreamErrorSurfacesInErr(t *testing.T) {
 	boom := errors.New("boom")
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"fail": func(_ context.Context, _ json.RawMessage, sink *Sink) (any, error) {
+		"fail": func(_ context.Context, _ Body, sink *Sink) (any, error) {
 			if err := sink.Ack(); err != nil {
 				return nil, err
 			}
@@ -304,7 +304,7 @@ func TestStreamErrorSurfacesInErr(t *testing.T) {
 
 func TestStreamRejectedBeforeAck(t *testing.T) {
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"deny": func(_ context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+		"deny": func(_ context.Context, _ Body, _ *Sink) (any, error) {
 			return nil, errors.New("denied")
 		},
 	})
@@ -317,7 +317,7 @@ func TestStreamRejectedBeforeAck(t *testing.T) {
 func TestStreamClientCloseCancelsHandler(t *testing.T) {
 	canceled := make(chan struct{})
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"live": func(ctx context.Context, _ json.RawMessage, sink *Sink) (any, error) {
+		"live": func(ctx context.Context, _ Body, sink *Sink) (any, error) {
 			if err := sink.Ack(); err != nil {
 				return nil, err
 			}
@@ -352,9 +352,9 @@ func TestSentinelErrorsSurviveTheWire(t *testing.T) {
 		context.DeadlineExceeded,
 	}
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"err": func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
+		"err": func(_ context.Context, body Body, _ *Sink) (any, error) {
 			var idx int
-			json.Unmarshal(body, &idx)
+			body.Decode(&idx)
 			return nil, fmt.Errorf("wrapped: %w", sentinelErrs[idx])
 		},
 	})
@@ -369,7 +369,7 @@ func TestSentinelErrorsSurviveTheWire(t *testing.T) {
 
 func TestOverloadedErrorKeepsRetryHint(t *testing.T) {
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"shed": func(_ context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+		"shed": func(_ context.Context, _ Body, _ *Sink) (any, error) {
 			return nil, &gateway.OverloadedError{RetryAfter: 750 * time.Millisecond}
 		},
 	})
@@ -388,8 +388,12 @@ func TestOverloadedErrorKeepsRetryHint(t *testing.T) {
 
 func TestCallsFailAfterServerClose(t *testing.T) {
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"echo": func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
-			return json.RawMessage(body), nil
+		"echo": func(_ context.Context, body Body, _ *Sink) (any, error) {
+			var in echoBody
+			if err := body.Decode(&in); err != nil {
+				return nil, err
+			}
+			return &in, nil
 		},
 	})
 	c := dialT(t, s, ClientOptions{})
@@ -424,8 +428,12 @@ func TestTLSPinnedKey(t *testing.T) {
 	serverID := testIdentity(t, "peer0.org1")
 	clientID := testIdentity(t, "client0.org1")
 	s := startServer(t, ServerOptions{Identity: serverID}, map[string]Handler{
-		"echo": func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
-			return json.RawMessage(body), nil
+		"echo": func(_ context.Context, body Body, _ *Sink) (any, error) {
+			var in echoBody
+			if err := body.Decode(&in); err != nil {
+				return nil, err
+			}
+			return &in, nil
 		},
 	})
 	c := dialT(t, s, ClientOptions{Identity: clientID, ServerKey: serverID.Cert.PubKey})
@@ -443,8 +451,12 @@ func TestTLSWrongPinnedKeyRejected(t *testing.T) {
 	imposter := testIdentity(t, "peer0.org1") // same name, different key
 	clientID := testIdentity(t, "client0.org1")
 	s := startServer(t, ServerOptions{Identity: serverID}, map[string]Handler{
-		"echo": func(_ context.Context, body json.RawMessage, _ *Sink) (any, error) {
-			return json.RawMessage(body), nil
+		"echo": func(_ context.Context, body Body, _ *Sink) (any, error) {
+			var in echoBody
+			if err := body.Decode(&in); err != nil {
+				return nil, err
+			}
+			return &in, nil
 		},
 	})
 	c, err := Dial(s.Addr().String(), ClientOptions{Identity: clientID, ServerKey: imposter.Cert.PubKey})
@@ -481,7 +493,7 @@ func TestPlaintextClientAgainstTLSServerFails(t *testing.T) {
 // push panics on the closed channel.
 func TestEventStreamCloseRacesPush(t *testing.T) {
 	for i := 0; i < 200; i++ {
-		es := newEventStream(nil)
+		es := newEventStream(nil, "test")
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
@@ -504,7 +516,7 @@ func TestOversizedResponseSurfacesError(t *testing.T) {
 		big[i] = 'x'
 	}
 	s := startServer(t, ServerOptions{MaxFrame: 1024}, map[string]Handler{
-		"big": func(_ context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+		"big": func(_ context.Context, _ Body, _ *Sink) (any, error) {
 			return &echoBody{Msg: string(big)}, nil
 		},
 	})
@@ -527,7 +539,7 @@ func TestStreamIDReuseDropsConnection(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	s := startServer(t, ServerOptions{}, map[string]Handler{
-		"wait": func(ctx context.Context, _ json.RawMessage, _ *Sink) (any, error) {
+		"wait": func(ctx context.Context, _ Body, _ *Sink) (any, error) {
 			select {
 			case <-release:
 			case <-ctx.Done():
