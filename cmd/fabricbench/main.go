@@ -34,7 +34,12 @@
 // and 16 KiB-value (-wire-large) cells; -wire-gate fails the run if
 // the binary codec measures slower than JSON (-wire-gate-slack widens
 // the noise tolerance for short smoke runs); -json writes
-// BENCH_wire.json.
+// BENCH_wire.json. -snapshot compares the two cold-join paths
+// (docs/SNAPSHOT.md): genesis replay of the full chain plus private
+// data reconciliation against snapshot export+install at the source's
+// commit point, verifying both joiners end byte-identical to the
+// source; -snapshot-gate fails the run below a required speedup and
+// -json writes BENCH_snapshot.json.
 //
 // Usage:
 //
@@ -48,6 +53,7 @@
 //	fabricbench -storage -json  # storage-backend scenario + JSON baseline
 //	fabricbench -load -json     # closed-loop rate sweep + JSON baseline
 //	fabricbench -wire -json     # in-process vs multi-process wire latency
+//	fabricbench -snapshot -json # snapshot cold join vs genesis replay
 package main
 
 import (
@@ -129,6 +135,11 @@ func run(args []string) error {
 	storageBatches := fs.Int("storage-batches", 400, "state batches for the -storage raw-append stage")
 	storageRecords := fs.Int("storage-records", 32, "records per batch for -storage")
 	storageTxs := fs.Int("storage-txs", 96, "end-to-end transactions per backend for -storage (0 skips the throughput stage)")
+	snapshotFlag := fs.Bool("snapshot", false, "compare cold-join paths: snapshot export+install vs genesis replay of the full chain")
+	snapshotBlocks := fs.Int("snapshot-blocks", 10000, "public blocks in the chain for -snapshot")
+	snapshotTxs := fs.Int("snapshot-txs", 1, "transactions per block for -snapshot")
+	snapshotSeeded := fs.Int("snapshot-seeded", 16, "seeded private keys for -snapshot")
+	snapshotGate := fs.Float64("snapshot-gate", 0, "with -snapshot, fail if the measured speedup is below this (0 disables)")
 	wireFlag := fs.Bool("wire", false, "compare in-process vs multi-process wire-protocol submit→commit latency")
 	wireClients := fs.Int("wire-clients", 4, "concurrent clients for -wire")
 	wireTxs := fs.Int("wire-txs", 50, "transactions per client for -wire")
@@ -138,8 +149,8 @@ func run(args []string) error {
 	wireLarge := fs.Bool("wire-large", false, "add a binary-codec 16 KiB-value cell to -wire")
 	wireGate := fs.Bool("wire-gate", false, "with -wire, fail if the binary codec is slower than JSON (CI smoke)")
 	wireGateSlack := fs.Float64("wire-gate-slack", 1.10, "noise tolerance for -wire-gate (e.g. 1.25 allows 25% slack)")
-	jsonFlag := fs.Bool("json", false, "with -statedb, -order, -storage or -wire, write the result to -json-out as a committed baseline")
-	jsonOut := fs.String("json-out", "", "output path for -json (default BENCH_statedb.json / BENCH_order.json / BENCH_storage.json / BENCH_wire.json; \"-\" for stdout)")
+	jsonFlag := fs.Bool("json", false, "with -statedb, -order, -storage, -snapshot or -wire, write the result to -json-out as a committed baseline")
+	jsonOut := fs.String("json-out", "", "output path for -json (default BENCH_statedb.json / BENCH_order.json / BENCH_storage.json / BENCH_snapshot.json / BENCH_wire.json; \"-\" for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,6 +217,30 @@ func run(args []string) error {
 			fmt.Println("\nwire gate: binary codec is not slower than JSON")
 		}
 		// The wire scenario builds its own processes; skip the Fig. 11 run.
+		return nil
+	}
+
+	if *snapshotFlag {
+		fmt.Printf("Measuring cold join: snapshot vs genesis replay (%d blocks x %d txs, %d seeded private keys)...\n\n",
+			*snapshotBlocks, *snapshotTxs, *snapshotSeeded)
+		r, err := perf.MeasureSnapshot(*snapshotBlocks, *snapshotTxs, *snapshotSeeded)
+		if err != nil {
+			return err
+		}
+		fmt.Print(perf.RenderSnapshot(r))
+		if *jsonFlag {
+			out, err := perf.SnapshotJSON(r)
+			if err != nil {
+				return err
+			}
+			if err := writeJSON(out, "BENCH_snapshot.json"); err != nil {
+				return err
+			}
+		}
+		if *snapshotGate > 0 && r.Speedup < *snapshotGate {
+			return fmt.Errorf("snapshot gate: speedup %.1fx below required %.1fx", r.Speedup, *snapshotGate)
+		}
+		// The snapshot scenario builds its own network; skip the Fig. 11 run.
 		return nil
 	}
 

@@ -78,7 +78,19 @@ func runKeygen(args []string) error {
 
 // runRole implements `pdcnet peer|orderer|gateway`: one role process.
 func runRole(role string, args []string) error {
-	fs := flag.NewFlagSet("pdcnet "+role, flag.ContinueOnError)
+	return runRoleNamed("pdcnet "+role, role, args)
+}
+
+// runJoin implements `pdcnet join`: start a peer whose empty ledger
+// bootstraps from another peer's snapshot when the orderer's retained
+// log no longer reaches back to genesis — the O(state) cold-join path
+// (docs/SNAPSHOT.md). It is the peer role plus a -snapshot-from flag.
+func runJoin(args []string) error {
+	return runRoleNamed("pdcnet join", "peer", args)
+}
+
+func runRoleNamed(cmd, role string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	configPath := fs.String("config", "", "topology JSON (defaults to the built-in 3-org layout)")
 	materialPath := fs.String("material", "material.json", "identity material file (pdcnet keygen)")
 	name := fs.String("name", "", "node identity name, e.g. peer0.org1")
@@ -87,6 +99,11 @@ func runRole(role string, args []string) error {
 	peers := fs.String("peers", "", "peer addresses as name=addr,name=addr")
 	tlsOn := fs.Bool("tls", false, "pinned-key TLS on the listener and every dial")
 	codecFlag := fs.String("codec", "", "wire payload codec for dials: binary (default) or json")
+	var snapshotFrom *string
+	if role == "peer" {
+		snapshotFrom = fs.String("snapshot-from", "",
+			"peer to fetch the bootstrap snapshot from when the orderer log is compacted (default: first peer in -peers)")
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,7 +123,7 @@ func runRole(role string, args []string) error {
 	if err != nil {
 		return err
 	}
-	return node.Run(role, node.Options{
+	opts := node.Options{
 		Config:      cfg,
 		Material:    material,
 		Name:        *name,
@@ -116,7 +133,11 @@ func runRole(role string, args []string) error {
 		TLS:         *tlsOn,
 		Codec:       codec,
 		Log:         os.Stderr,
-	})
+	}
+	if snapshotFrom != nil {
+		opts.SnapshotFrom = *snapshotFrom
+	}
+	return node.Run(role, opts)
 }
 
 // runUp implements `pdcnet up`: launch the cluster, run a smoke

@@ -12,6 +12,7 @@
 //	pdcnet orderer -material material.json -listen 127.0.0.1:7050
 //	pdcnet peer -name peer0.org1 -material material.json -orderer ... -peers ...
 //	pdcnet gateway -name client0.org1 -material material.json -orderer ... -peers ...
+//	pdcnet join -name peer9.org1 ... [-snapshot-from peer0.org1]  # cold-join via snapshot
 //	pdcnet up [-tls]                        # launch a whole loopback cluster
 //
 // In-process demo usage:
@@ -60,6 +61,8 @@ func main() {
 			err = runKeygen(args[1:])
 		case "orderer", "peer", "gateway":
 			err = runRole(args[0], args[1:])
+		case "join":
+			err = runJoin(args[1:])
 		case "up":
 			err = runUp(args[1:])
 		case "demo":

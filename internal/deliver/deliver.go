@@ -318,45 +318,77 @@ func (s *Service) inc(name string, delta uint64) {
 	}
 }
 
+// replayChunk is how many blocks Subscribe reads per lock window while
+// catching a subscriber up. The bulk of a long replay — a cold peer
+// joining 10k blocks behind — runs off the service lock (the block
+// store has its own synchronization), so concurrent Publish calls never
+// stall behind it; only the final stretch is replayed under the lock,
+// atomically with registration.
+const replayChunk = 64
+
 // Subscribe registers a consumer from a start height. Blocks [from,
 // current) are replayed from the block store into the subscription before
 // it goes live, atomically with registration, so no block is dropped or
 // duplicated between catch-up and live delivery — the checkpointed-replay
 // contract: feed Subscribe the checkpoint's next height after a restart
-// and the stream resumes exactly once per block.
+// and the stream resumes exactly once per block. Long replays are
+// chunked: the lock is held only for the last replayChunk blocks, so
+// the commit path keeps publishing while a subscriber catches up.
 func (s *Service) Subscribe(from uint64) (*Subscription, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.syncHeightLocked()
-
 	var backlog []Event
-	for n := from; n < s.height; n++ {
-		b, err := s.cfg.Source.Block(n)
-		if err != nil {
-			return nil, fmt.Errorf("deliver: replay block %d: %w", n, err)
-		}
-		backlog = append(backlog, s.eventsFor(b, true)...)
-		s.inc(metrics.DeliverReplayedBlocks, 1)
-	}
+	next := from
+	for {
+		s.mu.Lock()
+		s.syncHeightLocked()
+		height := s.height
+		if next >= height || height-next <= replayChunk {
+			// Final stretch: replay the remainder under the lock and
+			// register atomically, so nothing commits in between.
+			for n := next; n < height; n++ {
+				b, err := s.cfg.Source.Block(n)
+				if err != nil {
+					s.mu.Unlock()
+					return nil, fmt.Errorf("deliver: replay block %d: %w", n, err)
+				}
+				backlog = append(backlog, s.eventsFor(b, true)...)
+				s.inc(metrics.DeliverReplayedBlocks, 1)
+			}
 
-	// The buffer always leaves BufferSize headroom for live events on
-	// top of whatever the catch-up replay enqueued.
-	sub := &Subscription{
-		svc:  s,
-		id:   s.nextID,
-		ch:   make(chan Event, len(backlog)+s.cfg.BufferSize),
-		next: s.height,
+			// The buffer always leaves BufferSize headroom for live events
+			// on top of whatever the catch-up replay enqueued.
+			sub := &Subscription{
+				svc:  s,
+				id:   s.nextID,
+				ch:   make(chan Event, len(backlog)+s.cfg.BufferSize),
+				next: height,
+			}
+			if from > height {
+				sub.next = from
+			}
+			for _, ev := range backlog {
+				sub.ch <- ev
+			}
+			s.subs[sub.id] = sub
+			s.nextID++
+			s.inc(metrics.DeliverSubscriptions, 1)
+			s.mu.Unlock()
+			return sub, nil
+		}
+		s.mu.Unlock()
+
+		// Bulk catch-up off the lock: these blocks are already committed
+		// and immutable, so reading them can race nothing.
+		upto := next + replayChunk
+		for n := next; n < upto; n++ {
+			b, err := s.cfg.Source.Block(n)
+			if err != nil {
+				return nil, fmt.Errorf("deliver: replay block %d: %w", n, err)
+			}
+			backlog = append(backlog, s.eventsFor(b, true)...)
+			s.inc(metrics.DeliverReplayedBlocks, 1)
+		}
+		next = upto
 	}
-	if from > s.height {
-		sub.next = from
-	}
-	for _, ev := range backlog {
-		sub.ch <- ev
-	}
-	s.subs[sub.id] = sub
-	s.nextID++
-	s.inc(metrics.DeliverSubscriptions, 1)
-	return sub, nil
 }
 
 // SubscribeLive registers a consumer at the current stream position,

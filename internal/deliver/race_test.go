@@ -1,0 +1,187 @@
+package deliver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+// lockedChain is a concurrency-safe Source: appends (the commit path)
+// and reads (catch-up replay) may race under -race. An optional gate
+// blocks the first read of block gateAt until released, letting tests
+// freeze a long replay mid-flight.
+type lockedChain struct {
+	mu     sync.RWMutex
+	blocks []*ledger.Block
+
+	gateAt  uint64
+	gateOn  bool
+	once    sync.Once
+	reached chan struct{}
+	release chan struct{}
+}
+
+func newLockedChain(n int) *lockedChain {
+	c := &lockedChain{reached: make(chan struct{}), release: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		c.append()
+	}
+	return c
+}
+
+func (c *lockedChain) Height() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return uint64(len(c.blocks))
+}
+
+func (c *lockedChain) Block(n uint64) (*ledger.Block, error) {
+	if c.gateOn && n == c.gateAt {
+		c.once.Do(func() { close(c.reached) })
+		<-c.release
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if n >= uint64(len(c.blocks)) {
+		return nil, fmt.Errorf("no block %d", n)
+	}
+	return c.blocks[n], nil
+}
+
+// append cuts the next block with one valid transaction.
+func (c *lockedChain) append() *ledger.Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var prev []byte
+	if len(c.blocks) > 0 {
+		prev = c.blocks[len(c.blocks)-1].Hash()
+	}
+	tx := &ledger.Transaction{
+		TxID:            fmt.Sprintf("tx-%d", len(c.blocks)),
+		ResponsePayload: []byte("not-json"),
+	}
+	b := ledger.NewBlock(uint64(len(c.blocks)), prev, []*ledger.Transaction{tx})
+	b.Metadata.ValidationFlags[0] = ledger.Valid
+	c.blocks = append(c.blocks, b)
+	return b
+}
+
+// drainInOrder consumes block events until the stream has covered
+// [0, want) exactly once, failing on any gap, duplicate or reorder.
+func drainInOrder(t *testing.T, sub *Subscription, want uint64) {
+	t.Helper()
+	next := uint64(0)
+	deadline := time.After(30 * time.Second)
+	for next < want {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				t.Fatalf("stream ended at block %d: %v", next, sub.Err())
+			}
+			be, isBlock := ev.(*BlockEvent)
+			if !isBlock {
+				continue
+			}
+			if be.Number != next {
+				t.Fatalf("block event %d, want %d", be.Number, next)
+			}
+			next++
+		case <-deadline:
+			t.Fatalf("timed out at block %d of %d", next, want)
+		}
+	}
+}
+
+// TestChunkedReplayDoesNotStallPublish freezes a long catch-up replay
+// in its off-lock bulk phase and proves the commit path still
+// publishes: before chunked replay, Subscribe held the service lock for
+// the entire 10k-block catch-up, so a commit landing on the serving
+// peer stalled until the joiner was done.
+func TestChunkedReplayDoesNotStallPublish(t *testing.T) {
+	const preexisting = 300
+	chain := newLockedChain(preexisting)
+	chain.gateOn = true
+	chain.gateAt = 100 // inside the off-lock bulk phase (final 64 run locked)
+	svc := New(Config{Source: chain})
+
+	subDone := make(chan *Subscription, 1)
+	go func() {
+		sub, err := svc.Subscribe(0)
+		if err != nil {
+			t.Errorf("subscribe: %v", err)
+			subDone <- nil
+			return
+		}
+		subDone <- sub
+	}()
+
+	<-chain.reached // replay is parked mid-catch-up, off the lock
+
+	// A block commits on the serving peer while the replay is stuck.
+	published := make(chan struct{})
+	go func() {
+		svc.Publish(chain.append())
+		close(published)
+	}()
+	select {
+	case <-published:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish stalled behind an in-flight catch-up replay")
+	}
+
+	close(chain.release)
+	sub := <-subDone
+	if sub == nil {
+		t.FailNow()
+	}
+	defer sub.Close()
+	// The subscriber still observes every block — including the one
+	// committed mid-replay — exactly once, in order.
+	drainInOrder(t, sub, preexisting+1)
+}
+
+// TestConcurrentCommitsDuringLongReplay races live commits against
+// several long catch-up replays under -race: every subscriber must see
+// every block exactly once in order, whether it arrived via the
+// off-lock bulk replay, the locked final stretch, or live fan-out.
+func TestConcurrentCommitsDuringLongReplay(t *testing.T) {
+	const preexisting = 200
+	const live = 50
+	const subscribers = 3
+	chain := newLockedChain(preexisting)
+	svc := New(Config{Source: chain})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < live; i++ {
+			svc.Publish(chain.append())
+		}
+	}()
+
+	errs := make(chan error, subscribers)
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub, err := svc.Subscribe(0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sub.Close()
+			drainInOrder(t, sub, preexisting+live)
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < subscribers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -14,10 +14,17 @@ var ErrNotFound = errors.New("ledger: not found")
 
 // BlockStore is a peer's copy of the blockchain. Blocks are appended in
 // order after validation; every append verifies the hash chain.
+//
+// A store normally starts at block 0, but a snapshot-bootstrapped peer
+// installs a base: the store then holds blocks [base, height) and the
+// first append at `base` is linked against the snapshot's recorded
+// last-block hash instead of a locally held predecessor.
 type BlockStore struct {
-	mu     sync.RWMutex
-	blocks []*Block
-	byTxID map[string]txLocator
+	mu       sync.RWMutex
+	base     uint64
+	baseHash []byte // hash of block base-1; nil when base == 0
+	blocks   []*Block
+	byTxID   map[string]txLocator
 }
 
 type txLocator struct {
@@ -30,16 +37,49 @@ func NewBlockStore() *BlockStore {
 	return &BlockStore{byTxID: make(map[string]txLocator)}
 }
 
+// InstallBase marks an empty store as starting at the given height, with
+// prevHash the hash of block height-1. Subsequent appends must start at
+// `height` and link against prevHash. This is the snapshot-install
+// primitive: the installing peer never held blocks [0, height).
+func (s *BlockStore) InstallBase(height uint64, prevHash []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.base != 0 || len(s.blocks) != 0 {
+		return fmt.Errorf("ledger: install base %d on non-empty store", height)
+	}
+	if height > 0 && len(prevHash) == 0 {
+		return fmt.Errorf("ledger: install base %d without predecessor hash", height)
+	}
+	s.base = height
+	if height > 0 {
+		s.baseHash = append([]byte(nil), prevHash...)
+	}
+	return nil
+}
+
+// Base returns the first block number the store holds (non-zero only for
+// snapshot-bootstrapped peers).
+func (s *BlockStore) Base() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base
+}
+
 // Append adds a validated block to the chain after verifying linkage.
 func (s *BlockStore) Append(b *Block) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	want := uint64(len(s.blocks))
+	want := s.base + uint64(len(s.blocks))
 	if b.Header.Number != want {
 		return fmt.Errorf("ledger: append block %d, want %d", b.Header.Number, want)
 	}
-	if want > 0 {
-		prev := s.blocks[want-1].Hash()
+	var prev []byte
+	if len(s.blocks) > 0 {
+		prev = s.blocks[len(s.blocks)-1].Hash()
+	} else {
+		prev = s.baseHash
+	}
+	if prev != nil {
 		if !fabcrypto.Equal(b.Header.PrevHash, prev) {
 			return fmt.Errorf("ledger: block %d prev-hash mismatch", b.Header.Number)
 		}
@@ -54,34 +94,41 @@ func (s *BlockStore) Append(b *Block) error {
 	return nil
 }
 
-// Height returns the number of blocks in the chain.
+// Height returns the chain height (number of the next block to append).
 func (s *BlockStore) Height() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return uint64(len(s.blocks))
+	return s.base + uint64(len(s.blocks))
 }
 
 // LastHash returns the hash of the last block, or nil for an empty chain.
+// For a freshly installed base with no appends yet, this is the
+// snapshot's recorded hash of block base-1, so the first caught-up block
+// links correctly.
 func (s *BlockStore) LastHash() []byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if len(s.blocks) == 0 {
-		return nil
+		return s.baseHash
 	}
 	return s.blocks[len(s.blocks)-1].Hash()
 }
 
-// Block returns the block at the given number.
+// Block returns the block at the given number. Blocks below the base of
+// a snapshot-bootstrapped store were never transferred and report
+// ErrNotFound.
 func (s *BlockStore) Block(number uint64) (*Block, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if number >= uint64(len(s.blocks)) {
+	if number < s.base || number >= s.base+uint64(len(s.blocks)) {
 		return nil, fmt.Errorf("%w: block %d", ErrNotFound, number)
 	}
-	return s.blocks[number], nil
+	return s.blocks[number-s.base], nil
 }
 
 // Transaction looks up a transaction and its validation flag by ID.
+// Pre-base transactions of a snapshot-bootstrapped peer are not locally
+// resolvable (their effects are in the state, not the block files).
 func (s *BlockStore) Transaction(txID string) (*Transaction, ValidationCode, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -89,7 +136,7 @@ func (s *BlockStore) Transaction(txID string) (*Transaction, ValidationCode, err
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: tx %s", ErrNotFound, txID)
 	}
-	b := s.blocks[loc.blockNum]
+	b := s.blocks[loc.blockNum-s.base]
 	return b.Transactions[loc.txIndex], b.Metadata.ValidationFlags[loc.txIndex], nil
 }
 
@@ -115,16 +162,17 @@ func (s *BlockStore) Scan(fn func(blockNum uint64, tx *Transaction, code Validat
 func (s *BlockStore) VerifyChain() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var prev []byte
+	prev := s.baseHash
 	for i, b := range s.blocks {
-		if b.Header.Number != uint64(i) {
-			return int64(i)
+		n := s.base + uint64(i)
+		if b.Header.Number != n {
+			return int64(n)
 		}
-		if i > 0 && !fabcrypto.Equal(b.Header.PrevHash, prev) {
-			return int64(i)
+		if prev != nil && !fabcrypto.Equal(b.Header.PrevHash, prev) {
+			return int64(n)
 		}
 		if !b.VerifyDataHash() {
-			return int64(i)
+			return int64(n)
 		}
 		prev = b.Hash()
 	}

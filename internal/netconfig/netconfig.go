@@ -53,15 +53,20 @@ type Security struct {
 
 // Config is the topology document.
 type Config struct {
-	Channel            string      `json:"channel,omitempty"`
-	Orgs               []string    `json:"orgs"`
-	PeersPerOrg        int         `json:"peersPerOrg,omitempty"`
-	DefaultEndorsement string      `json:"defaultEndorsement,omitempty"`
-	OrdererCount       int         `json:"ordererCount,omitempty"`
-	BatchSize          int         `json:"batchSize,omitempty"`
-	Seed               int64       `json:"seed,omitempty"`
-	Security           Security    `json:"security,omitempty"`
-	Chaincodes         []Chaincode `json:"chaincodes,omitempty"`
+	Channel            string   `json:"channel,omitempty"`
+	Orgs               []string `json:"orgs"`
+	PeersPerOrg        int      `json:"peersPerOrg,omitempty"`
+	DefaultEndorsement string   `json:"defaultEndorsement,omitempty"`
+	OrdererCount       int      `json:"ordererCount,omitempty"`
+	BatchSize          int      `json:"batchSize,omitempty"`
+	// RetainBlocks, when non-zero, bounds the orderer's delivery log:
+	// older blocks are compacted away (orderer.ErrCompacted on replay
+	// past the window) and cold-joining peers bootstrap from a peer
+	// snapshot instead of genesis replay.
+	RetainBlocks int         `json:"retainBlocks,omitempty"`
+	Seed         int64       `json:"seed,omitempty"`
+	Security     Security    `json:"security,omitempty"`
+	Chaincodes   []Chaincode `json:"chaincodes,omitempty"`
 	// Channels, when set, builds a multi-channel consortium instead of
 	// a single network: channel name -> member orgs (BuildConsortium).
 	// Chaincodes then deploy onto every channel whose members include

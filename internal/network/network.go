@@ -6,6 +6,8 @@
 package network
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/chaincode"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/deliver"
 	"repro/internal/gateway"
 	"repro/internal/gossip"
 	"repro/internal/identity"
@@ -220,6 +223,113 @@ func (n *Network) JoinPeer(org, name string, setup func(*peer.Peer) error) (*pee
 		g.AddPeer(p)
 	}
 	return p, nil
+}
+
+// JoinPeerFromSnapshot adds a new peer that bootstraps from a snapshot
+// artifact instead of replaying the chain from genesis: the verified
+// artifact is installed (world state, tombstones, purge schedule,
+// missing records, chain base), then only blocks from the snapshot
+// height onward flow through the validator — an O(state) join instead
+// of O(chain). The residual catch-up comes from the orderer's retained
+// window; when that window has been compacted past the snapshot height,
+// the gap is replayed from the source peer's delivery service first.
+// The source should be a peer with the same collection memberships as
+// the joiner (snapshots carry the exporter's private namespaces).
+func (n *Network) JoinPeerFromSnapshot(org, name, dir string, source *peer.Peer, setup func(*peer.Peer) error) (*peer.Peer, error) {
+	ca := n.cas[org]
+	if ca == nil {
+		return nil, fmt.Errorf("network: unknown org %q", org)
+	}
+	peerID, err := ca.Issue(name, identity.RolePeer)
+	if err != nil {
+		return nil, fmt.Errorf("network: join peer: %w", err)
+	}
+	p, err := peer.New(peer.Config{
+		Identity: peerID,
+		Channel:  n.Channel,
+		Gossip:   n.Gossip,
+		Security: n.sec,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("network: join peer: %w", err)
+	}
+	if setup != nil {
+		if err := setup(p); err != nil {
+			return nil, fmt.Errorf("network: join peer setup: %w", err)
+		}
+	}
+	if err := p.InstallSnapshot(dir); err != nil {
+		return nil, fmt.Errorf("network: join peer: %w", err)
+	}
+
+	// Queue live deliveries that race the catch-up, exactly as JoinPeer.
+	var mu sync.Mutex
+	caughtUp := false
+	var queued []*ledger.Block
+	handler := func(b *ledger.Block) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !caughtUp {
+			queued = append(queued, b)
+			return
+		}
+		_ = p.CommitBlock(b)
+	}
+
+	backlog, _, err := n.Orderer.SubscribeFrom(p.Ledger().Height(), handler)
+	for attempt := 0; errors.Is(err, orderer.ErrCompacted) && source != nil && attempt < 3; attempt++ {
+		// The orderer compacted past the snapshot height: pull the gap
+		// from the source peer's delivery service (replayed block
+		// events), then retry the live subscription.
+		if cerr := catchUpFromPeer(p, source, n.Orderer.FirstBlock()); cerr != nil {
+			return nil, fmt.Errorf("network: join peer catch-up from %s: %w", source.Name(), cerr)
+		}
+		backlog, _, err = n.Orderer.SubscribeFrom(p.Ledger().Height(), handler)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("network: join peer: %w", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, b := range append(backlog, queued...) {
+		if err := p.CommitBlock(b); err != nil {
+			return nil, fmt.Errorf("network: join peer catch-up: %w", err)
+		}
+	}
+	caughtUp = true
+	n.peers[p.Name()] = p
+	for _, g := range n.gateways {
+		g.AddPeer(p)
+	}
+	return p, nil
+}
+
+// catchUpFromPeer replays committed blocks [p's height, target) from
+// the source peer's delivery stream into p's validator.
+func catchUpFromPeer(p, source *peer.Peer, target uint64) error {
+	from := p.Ledger().Height()
+	if from >= target {
+		return nil
+	}
+	sub, err := source.Deliver().Subscribe(from)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	for p.Ledger().Height() < target {
+		ev, err := sub.Recv(context.Background())
+		if err != nil {
+			return err
+		}
+		be, ok := ev.(*deliver.BlockEvent)
+		if !ok {
+			continue
+		}
+		if err := p.CommitBlock(be.Block); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Peer returns the organization's anchor peer, "peer0.<org>".

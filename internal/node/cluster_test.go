@@ -2,6 +2,7 @@ package node_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/netconfig"
 	"repro/internal/node"
+	"repro/internal/orderer"
 	"repro/internal/pvtdata"
 	"repro/internal/service"
 )
@@ -240,6 +242,153 @@ func TestClusterPrivateDataCrossProcess(t *testing.T) {
 	if set != nil {
 		t.Fatalf("non-member peer0.org3 served private data: %+v", set)
 	}
+}
+
+// TestClusterSnapshotJoin is the multi-process cold-join path end to
+// end: the orderer's retention window compacts history away, a late
+// peer process hits ErrCompacted at height 0, fetches a snapshot from a
+// running peer over the wire (peer.snapshot.meta/chunks), installs it,
+// and converges with the members — private data included — without
+// genesis replay.
+func TestClusterSnapshotJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster test skipped in -short mode")
+	}
+	cfg := clusterConfig()
+	cfg.PeersPerOrg = 2
+	cfg.BatchSize = 1 // one block per submit: history grows fast
+	cfg.RetainBlocks = 4
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr *os.File
+	if testing.Verbose() {
+		stderr = os.Stderr
+	}
+	cl, err := node.LaunchCluster(cfg, node.LaunchOptions{
+		Self:   self,
+		Dir:    t.TempDir(),
+		Stderr: stderr,
+		// Hold the second peer of every org back; peer1.org1 joins late.
+		SkipPeers: []string{"peer1.org1", "peer1.org2", "peer1.org3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	gwc, err := cl.DialGateway()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwc.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// History: one private write the snapshot must carry, then enough
+	// public writes to push block 0 out of the retention window.
+	pvt, err := gwc.Submit(ctx, service.NewInvoke("asset", "setPrivate", "k1", "42").OnChannel(cl.Material.Channel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pvt.Code != ledger.Valid {
+		t.Fatalf("setPrivate committed %v", pvt.Code)
+	}
+	for i := 0; i < 8; i++ {
+		res, err := gwc.Submit(ctx, service.NewInvoke("asset", "set", fmt.Sprintf("key-%d", i), fmt.Sprintf("%d", i)).OnChannel(cl.Material.Channel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Code != ledger.Valid {
+			t.Fatalf("set key-%d committed %v", i, res.Code)
+		}
+	}
+	members := []string{"peer0.org1", "peer0.org2"}
+	height, _ := waitConverged(t, cl, uint64(cfg.RetainBlocks)+2, members)
+
+	// Wait until the drain-gated retention compaction has actually
+	// evicted block 0: a replay-from-genesis subscription must fail
+	// with ErrCompacted before the late joiner can prove anything.
+	for {
+		oc, err := cl.DialOrderer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := oc.Blocks(ctx, 0)
+		if err == nil {
+			stream.Close()
+			oc.Close()
+			select {
+			case <-ctx.Done():
+				t.Fatal("orderer never compacted block 0 away")
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+		oc.Close()
+		if !errors.Is(err, orderer.ErrCompacted) {
+			t.Fatalf("replay-from-genesis probe failed with %v, want ErrCompacted", err)
+		}
+		break
+	}
+
+	// The late joiner must bootstrap from peer0.org1's snapshot — the
+	// orderer can no longer serve it a genesis replay.
+	if err := cl.JoinPeer("peer1.org1", "peer0.org1"); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, cl, height, append(members, "peer1.org1"))
+
+	// The joiner's chain base proves the snapshot path: a genesis
+	// replay would leave it at 0. Its state hash matching the members'
+	// (waitConverged above) proves the snapshot carried the private
+	// write — k1 lives in the private namespace of the member state.
+	pc, err := cl.DialPeer("peer1.org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := pc.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Base == 0 {
+		t.Fatal("joiner has chain base 0 — it replayed from genesis instead of installing a snapshot")
+	}
+	if info.Base > info.Height {
+		t.Fatalf("joiner base %d above height %d", info.Base, info.Height)
+	}
+
+	// The joiner is a full collection member from here on: a fresh
+	// private write lands in a post-base block, the joiner records it
+	// missing (no one pushes to it) and reconciles it from the members,
+	// after which it serves the set itself.
+	pvt2, err := gwc.Submit(ctx, service.NewInvoke("asset", "setPrivate", "k2", "43").OnChannel(cl.Material.Channel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pvt2.Code != ledger.Valid {
+		t.Fatalf("post-join setPrivate committed %v", pvt2.Code)
+	}
+	waitConverged(t, cl, height+1, append(members, "peer1.org1"))
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		set, err := pc.FetchPrivateData(ctx, pvt2.TxID, "pdc1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set != nil && len(set.Writes) == 1 && set.Writes[0].Key == "k2" && string(set.Writes[0].Value) == "43" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner never reconciled the post-join private write: %+v", set)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	pc.Close()
+	t.Logf("joined at base %d, height %d; pre-join private tx %s carried by state", info.Base, info.Height, pvt.TxID[:8])
 }
 
 // TestClusterTLS runs a whole cluster with pinned-key TLS between every

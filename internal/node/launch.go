@@ -63,6 +63,11 @@ type LaunchOptions struct {
 	Codec wire.Codec
 	// Stderr, when non-nil, receives every child's stderr.
 	Stderr io.Writer
+	// SkipPeers names topology peers NOT spawned at launch. They keep a
+	// reserved address and are withheld from the running roles' peer
+	// lists (so startup dials never block on them); start one later with
+	// JoinPeer — the late-joiner path.
+	SkipPeers []string
 }
 
 // Cluster is a running multi-process deployment: one orderer, every
@@ -77,6 +82,13 @@ type Cluster struct {
 	procs       []*proc
 	tls         bool
 	codec       wire.Codec
+
+	// Spawn context kept for JoinPeer.
+	self         string
+	configPath   string
+	materialPath string
+	stderr       io.Writer
+	skipped      map[string]string
 }
 
 // DialGateway opens a wire client to the cluster's gateway process.
@@ -99,6 +111,15 @@ func (cl *Cluster) DialPeer(name string) (*wire.PeerClient, error) {
 		return nil, err
 	}
 	return wire.NewPeerClient(c)
+}
+
+// DialOrderer opens a wire client to the cluster's orderer process.
+func (cl *Cluster) DialOrderer() (*wire.OrdererClient, error) {
+	c, err := cl.dial(cl.OrdererAddr, netconfig.OrdererNode)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewOrdererClient(c), nil
 }
 
 // PeerNames returns the cluster's peer node names, sorted.
@@ -189,63 +210,53 @@ func LaunchCluster(cfg *netconfig.Config, opts LaunchOptions) (*Cluster, error) 
 		}
 	}
 
-	cl := &Cluster{
-		Config:      cfg,
-		Material:    material,
-		GatewayName: "client0." + cfg.Orgs[0],
-		OrdererAddr: ordererAddr,
-		GatewayAddr: gatewayAddr,
-		PeerAddrs:   peerAddrs,
+	// Hold the skipped peers back: reserve their addresses for a later
+	// JoinPeer, but keep them out of every running role's peer list so
+	// startup dials never wait on a process that does not exist.
+	skipped := make(map[string]string, len(opts.SkipPeers))
+	for _, name := range opts.SkipPeers {
+		addr, ok := peerAddrs[name]
+		if !ok {
+			return nil, fmt.Errorf("node: SkipPeers names unknown peer %q", name)
+		}
+		skipped[name] = addr
+		delete(peerAddrs, name)
 	}
-	spawn := func(role, name, listen string) error {
-		env := map[string]string{
-			EnvRole:     role,
-			EnvConfig:   configPath,
-			EnvMaterial: materialPath,
-			EnvName:     name,
-			EnvListen:   listen,
-			EnvOrderer:  ordererAddr,
-			EnvPeers:    FormatPeerAddrs(peerAddrs),
+	launchNames := make([]string, 0, len(peerNames))
+	for _, name := range peerNames {
+		if _, skip := skipped[name]; !skip {
+			launchNames = append(launchNames, name)
 		}
-		if tlsOn {
-			env[EnvTLS] = "1"
-		}
-		if opts.Codec != "" {
-			env[EnvCodec] = string(opts.Codec)
-		}
-		cmd := exec.Command(self)
-		cmd.Env = os.Environ()
-		for k, v := range env {
-			cmd.Env = append(cmd.Env, k+"="+v)
-		}
-		cmd.Stderr = opts.Stderr
-		stdin, err := cmd.StdinPipe()
-		if err != nil {
-			return err
-		}
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			return err
-		}
-		if err := cmd.Start(); err != nil {
-			return fmt.Errorf("node: spawn %s: %w", name, err)
-		}
-		cl.procs = append(cl.procs, &proc{name: name, cmd: cmd, stdin: stdin, stdout: stdout})
-		return nil
+	}
+
+	cl := &Cluster{
+		Config:       cfg,
+		Material:     material,
+		GatewayName:  "client0." + cfg.Orgs[0],
+		OrdererAddr:  ordererAddr,
+		GatewayAddr:  gatewayAddr,
+		PeerAddrs:    peerAddrs,
+		tls:          tlsOn,
+		codec:        opts.Codec,
+		self:         self,
+		configPath:   configPath,
+		materialPath: materialPath,
+		stderr:       opts.Stderr,
+		skipped:      skipped,
 	}
 	fail := func(err error) (*Cluster, error) {
 		cl.Stop()
 		return nil, err
 	}
-	if err := spawn("orderer", netconfig.OrdererNode, ordererAddr); err != nil {
+	if err := cl.spawn("orderer", netconfig.OrdererNode, ordererAddr, peerAddrs, ""); err != nil {
 		return fail(err)
 	}
-	for _, name := range peerNames {
-		if err := spawn("peer", name, peerAddrs[name]); err != nil {
+	for _, name := range launchNames {
+		if err := cl.spawn("peer", name, peerAddrs[name], peerAddrs, ""); err != nil {
 			return fail(err)
 		}
 	}
-	if err := spawn("gateway", cl.GatewayName, gatewayAddr); err != nil {
+	if err := cl.spawn("gateway", cl.GatewayName, gatewayAddr, peerAddrs, ""); err != nil {
 		return fail(err)
 	}
 	// Only now wait for READY: peers block on dialing each other's
@@ -256,9 +267,75 @@ func LaunchCluster(cfg *netconfig.Config, opts LaunchOptions) (*Cluster, error) 
 			return fail(err)
 		}
 	}
-	cl.tls = tlsOn
-	cl.codec = opts.Codec
 	return cl, nil
+}
+
+// spawn starts one role process with the cluster's stored launch
+// context and appends it to the teardown list (READY not yet awaited).
+func (cl *Cluster) spawn(role, name, listen string, peerAddrs map[string]string, snapshotFrom string) error {
+	env := map[string]string{
+		EnvRole:     role,
+		EnvConfig:   cl.configPath,
+		EnvMaterial: cl.materialPath,
+		EnvName:     name,
+		EnvListen:   listen,
+		EnvOrderer:  cl.OrdererAddr,
+		EnvPeers:    FormatPeerAddrs(peerAddrs),
+	}
+	if cl.tls {
+		env[EnvTLS] = "1"
+	}
+	if cl.codec != "" {
+		env[EnvCodec] = string(cl.codec)
+	}
+	if snapshotFrom != "" {
+		env[EnvSnapshotFrom] = snapshotFrom
+	}
+	cmd := exec.Command(cl.self)
+	cmd.Env = os.Environ()
+	for k, v := range env {
+		cmd.Env = append(cmd.Env, k+"="+v)
+	}
+	cmd.Stderr = cl.stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("node: spawn %s: %w", name, err)
+	}
+	cl.procs = append(cl.procs, &proc{name: name, cmd: cmd, stdin: stdin, stdout: stdout})
+	return nil
+}
+
+// JoinPeer starts a peer that was held back with SkipPeers, wired to
+// every running peer. snapshotFrom, when non-empty, names the peer the
+// joiner bootstraps from if the orderer's log is compacted past its
+// height (empty picks the first running peer in sorted order). On
+// return the peer is READY and appears in PeerAddrs / DialPeer.
+func (cl *Cluster) JoinPeer(name, snapshotFrom string) error {
+	addr, ok := cl.skipped[name]
+	if !ok {
+		return fmt.Errorf("node: JoinPeer: %q was not held back at launch", name)
+	}
+	peers := make(map[string]string, len(cl.PeerAddrs)+1)
+	for n, a := range cl.PeerAddrs {
+		peers[n] = a
+	}
+	peers[name] = addr
+	if err := cl.spawn("peer", name, addr, peers, snapshotFrom); err != nil {
+		return err
+	}
+	if err := cl.procs[len(cl.procs)-1].waitReady(); err != nil {
+		return err
+	}
+	delete(cl.skipped, name)
+	cl.PeerAddrs[name] = addr
+	return nil
 }
 
 // Stop tears the cluster down, gateway first (it holds connections into

@@ -28,8 +28,11 @@ package node
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -77,6 +80,11 @@ type Options struct {
 	// role dials (servers always mirror the caller's codec). Empty
 	// selects the default (binary).
 	Codec wire.Codec
+	// SnapshotFrom names the peer (a key of PeerAddrs) an empty joining
+	// peer fetches a bootstrap snapshot from when the orderer's retained
+	// log no longer reaches back to genesis (orderer.ErrCompacted).
+	// Empty picks the first other peer in sorted-name order.
+	SnapshotFrom string
 	// Log, when non-nil, receives one-line progress notes.
 	Log io.Writer
 }
@@ -99,6 +107,9 @@ type Node struct {
 	mu      sync.Mutex
 	closers []func()
 	closed  bool
+	// peerClients maps other peers' names to their dialed wire clients
+	// (peer roles only) — the snapshot-bootstrap path picks one of these.
+	peerClients map[string]*wire.PeerClient
 }
 
 // Addr returns the wire server's bound listen address.
@@ -210,6 +221,7 @@ func StartOrderer(opts Options) (*Node, error) {
 	n.Orderer = orderer.New(orderer.Config{
 		OrdererCount: cfg.OrdererCount,
 		BatchSize:    cfg.BatchSize,
+		RetainBlocks: cfg.RetainBlocks,
 		Seed:         cfg.Seed,
 	})
 	wire.RegisterOrderer(n.server, n.Orderer)
@@ -276,6 +288,10 @@ func StartPeer(opts Options) (*Node, error) {
 			return nil, err
 		}
 		n.onClose(pc.Close)
+		if n.peerClients == nil {
+			n.peerClients = make(map[string]*wire.PeerClient)
+		}
+		n.peerClients[name] = pc
 		gnet.Join(&remoteMember{pc: pc})
 		n.logf("peer %s gossips with %s at %s", opts.Name, name, opts.PeerAddrs[name])
 	}
@@ -358,7 +374,10 @@ func StartGateway(opts Options) (*Node, error) {
 }
 
 // followBlocks streams ordered blocks from the peer's current height
-// and commits them, redialing when the stream or connection drops.
+// and commits them, redialing when the stream or connection drops. When
+// the orderer's retained log has been compacted past the peer's height,
+// an empty peer bootstraps from another peer's snapshot and resumes the
+// stream from the installed height — the O(state) cold-join path.
 func (n *Node) followBlocks(ctx context.Context, copts wire.ClientOptions) {
 	defer n.wg.Done()
 	for ctx.Err() == nil {
@@ -370,6 +389,20 @@ func (n *Node) followBlocks(ctx context.Context, copts wire.ClientOptions) {
 		stream, err := oc.Blocks(ctx, n.Peer.Ledger().Height())
 		if err != nil {
 			oc.Close()
+			if errors.Is(err, orderer.ErrCompacted) {
+				if n.Peer.Ledger().Height() == 0 {
+					if berr := n.bootstrapFromSnapshot(ctx); berr != nil {
+						n.logf("peer %s: snapshot bootstrap: %v", n.opts.Name, berr)
+					} else {
+						continue // resubscribe from the installed height
+					}
+				} else {
+					// A non-empty peer behind the retained window cannot be
+					// healed in place; snapshot install requires a fresh peer.
+					n.logf("peer %s: orderer log compacted past height %d; restart empty to snapshot-join",
+						n.opts.Name, n.Peer.Ledger().Height())
+				}
+			}
 			select {
 			case <-ctx.Done():
 				return
@@ -381,6 +414,43 @@ func (n *Node) followBlocks(ctx context.Context, copts wire.ClientOptions) {
 		stream.Close()
 		oc.Close()
 	}
+}
+
+// bootstrapFromSnapshot fetches a snapshot artifact from another peer
+// process over the wire (peer.snapshot.meta / peer.snapshot.chunks) and
+// installs it, bringing an empty peer to the source's commit height
+// without replaying the chain. The caller resumes the block stream from
+// the installed height afterwards.
+func (n *Node) bootstrapFromSnapshot(ctx context.Context) error {
+	source := n.opts.SnapshotFrom
+	if source == "" {
+		for _, name := range sortedNames(n.opts.PeerAddrs) {
+			if name != n.opts.Name {
+				source = name
+				break
+			}
+		}
+	}
+	pc, ok := n.peerClients[source]
+	if !ok {
+		return fmt.Errorf("node: no peer client for snapshot source %q", source)
+	}
+	parent, err := os.MkdirTemp("", "pdc-snapshot-join-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(parent)
+	dir := filepath.Join(parent, "snap")
+	m, err := pc.FetchSnapshot(ctx, dir)
+	if err != nil {
+		return fmt.Errorf("node: fetch snapshot from %s: %w", source, err)
+	}
+	if err := n.Peer.InstallSnapshot(dir); err != nil {
+		return fmt.Errorf("node: install snapshot from %s: %w", source, err)
+	}
+	n.logf("peer %s bootstrapped from snapshot of %s at height %d (%d chunks)",
+		n.opts.Name, source, m.Height, len(m.Chunks))
+	return nil
 }
 
 // pumpBlocks commits one stream's blocks until it ends or ctx cancels.

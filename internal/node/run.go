@@ -29,6 +29,9 @@ const (
 	EnvPeers    = "PDC_WIRE_PEERS"    // "name=addr,name=addr"
 	EnvTLS      = "PDC_WIRE_TLS"      // "1" enables pinned-key TLS
 	EnvCodec    = "PDC_WIRE_CODEC"    // "binary" (default) | "json"
+	// EnvSnapshotFrom names the peer a cold-joining peer fetches a
+	// bootstrap snapshot from when the orderer log is compacted.
+	EnvSnapshotFrom = "PDC_WIRE_SNAPSHOT_FROM"
 )
 
 // ReadyPrefix starts the line a spawned role prints once its listener
@@ -62,15 +65,16 @@ func RunRoleFromEnv() (bool, error) {
 		return true, err
 	}
 	opts := Options{
-		Config:      cfg,
-		Material:    material,
-		Name:        os.Getenv(EnvName),
-		Listen:      os.Getenv(EnvListen),
-		OrdererAddr: os.Getenv(EnvOrderer),
-		PeerAddrs:   peerAddrs,
-		TLS:         os.Getenv(EnvTLS) == "1",
-		Codec:       codec,
-		Log:         os.Stderr,
+		Config:       cfg,
+		Material:     material,
+		Name:         os.Getenv(EnvName),
+		Listen:       os.Getenv(EnvListen),
+		OrdererAddr:  os.Getenv(EnvOrderer),
+		PeerAddrs:    peerAddrs,
+		TLS:          os.Getenv(EnvTLS) == "1",
+		Codec:        codec,
+		SnapshotFrom: os.Getenv(EnvSnapshotFrom),
+		Log:          os.Stderr,
 	}
 	return true, Run(role, opts)
 }

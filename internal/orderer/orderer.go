@@ -30,6 +30,15 @@ import (
 // delivered during the drain.
 var ErrStopped = errors.New("orderer: service stopped")
 
+// ErrCompacted is returned by Deliver and SubscribeFrom when the
+// requested start block has been evicted from the RetainBlocks window:
+// the orderer can no longer serve that history, and the caller must
+// bootstrap from a peer snapshot (or a peer's block store) instead of
+// replaying from the orderer. It is distinct from the at-tip case (an
+// empty backlog with a live subscription) so a catching-up peer can
+// tell "need a snapshot" from "nothing new yet".
+var ErrCompacted = errors.New("orderer: requested blocks compacted (snapshot required)")
+
 // Config parameterizes the ordering service.
 type Config struct {
 	// OrdererCount is the size of the raft cluster.
@@ -99,6 +108,7 @@ type Wait struct {
 	done chan struct{}
 	err  error
 	bd   *blockDelivery
+	svc  *Service
 }
 
 // Done returns a channel closed once the transaction's consensus round
@@ -117,6 +127,11 @@ func (w *Wait) Wait() error {
 	}
 	if w.bd != nil {
 		w.bd.wg.Wait()
+		// Delivery settled: the queues this block was on have drained it,
+		// so a retention compaction deferred on their depth can fire now.
+		if w.svc != nil {
+			w.svc.retryRetainCompact()
+		}
 	}
 	return nil
 }
@@ -234,6 +249,12 @@ type Service struct {
 	// happens under mu, compaction needs clusterMu, and holding both
 	// would deadlock against the ordering goroutine.
 	compactDue bool
+	// retainCompactDue marks a compaction scheduled by a RetainBlocks
+	// eviction. Unlike compactDue it is drain-gated: it fires only once
+	// every registered subscriber's delivery queue is empty — all
+	// subscribers are past the compaction point — and stays pending
+	// across rounds until then.
+	retainCompactDue bool
 	// batchTimer cuts a partial batch at BatchTimeout expiry.
 	batchTimer *time.Timer
 	// batchGen identifies the currently armed batch timer. A fired
@@ -374,7 +395,7 @@ func (s *Service) Height() uint64 {
 // handle; the ordering goroutine batches every queued transaction into
 // one raft round. Orderers do not inspect transaction content.
 func (s *Service) SubmitAsync(tx *ledger.Transaction) *Wait {
-	w := &Wait{done: make(chan struct{})}
+	w := &Wait{done: make(chan struct{}), svc: s}
 	s.qmu.Lock()
 	if s.stopping {
 		s.qmu.Unlock()
@@ -723,11 +744,31 @@ func (s *Service) waitForCapacity() {
 
 // maybeCompact performs a raft log compaction deferred by a block cut.
 // It runs without mu held: compaction takes clusterMu, and the ordering
-// goroutine must never hold both.
+// goroutine must never hold both. SnapshotInterval compactions fire
+// unconditionally (the interval is the operator's explicit cadence); a
+// RetainBlocks-eviction compaction is drain-gated — it waits until every
+// registered subscriber's queue is empty, i.e. all subscribers are past
+// the compaction point, and retries on later rounds until then (queued
+// blocks keep their own references, so the gate is a policy bound, not a
+// correctness one — it keeps "the log is compacted" equivalent to
+// "every subscriber has the blocks").
 func (s *Service) maybeCompact() {
 	s.mu.Lock()
 	due := s.compactDue
 	s.compactDue = false
+	if s.retainCompactDue && !due {
+		drained := true
+		for _, q := range s.queues {
+			if q.depth() > 0 {
+				drained = false
+				break
+			}
+		}
+		due = drained
+	}
+	if due {
+		s.retainCompactDue = false
+	}
 	s.mu.Unlock()
 	if !due {
 		return
@@ -738,6 +779,18 @@ func (s *Service) maybeCompact() {
 		// Every committed entry behind the latest cut block is
 		// recoverable from the retained blocks; drop it from the logs.
 		s.cluster.Compact(committed[len(committed)-1].Index)
+	}
+}
+
+// retryRetainCompact re-runs the drain-gated retention compaction if one
+// is still pending. Called by delivery waiters after their block's
+// fan-out settled, the deterministic moment the queues were seen empty.
+func (s *Service) retryRetainCompact() {
+	s.mu.Lock()
+	pending := s.retainCompactDue
+	s.mu.Unlock()
+	if pending {
+		s.maybeCompact()
 	}
 }
 
@@ -805,6 +858,13 @@ func (s *Service) cutBlockLocked(txs []*ledger.Transaction) *blockDelivery {
 		s.blocks = append([]*ledger.Block(nil), s.blocks[evict:]...)
 		s.firstBlock += uint64(evict)
 		s.metrics.Add(metrics.OrdererBlocksEvicted, uint64(evict))
+		// Retention policy: once blocks leave the delivery window the
+		// orderer cannot serve that history anyway (Deliver returns
+		// ErrCompacted) — the raft entries behind them are dead weight.
+		// Schedule a log compaction in step with the eviction; maybeCompact
+		// defers it until every registered subscriber has drained past the
+		// evicted blocks.
+		s.retainCompactDue = true
 	}
 	s.metrics.Inc(metrics.BlocksOrdered)
 	s.metrics.Add(metrics.TxOrdered, uint64(len(batch)))
@@ -834,22 +894,58 @@ func (s *Service) Subscribe(h BlockHandler) ([]*ledger.Block, *Subscription) {
 	return out, s.registerLocked(h)
 }
 
-// Deliver returns clones of retained blocks from number `from` on —
-// Fabric's deliver service, used by late-joining peers to catch up. It
-// returns nil when `from` is beyond the chain tip or — with RetainBlocks
-// set — has been evicted from the retention window; evicted history must
-// come from a peer's block store instead.
-func (s *Service) Deliver(from uint64) []*ledger.Block {
+// SubscribeFrom is Subscribe with an explicit start block: the backlog
+// holds clones of retained blocks from number `from` on, and the handler
+// is registered for all future blocks in the same critical section.
+// When `from` predates the retention window the subscriber cannot be
+// served contiguously — SubscribeFrom registers nothing and returns
+// ErrCompacted, the signal to bootstrap from a snapshot instead. A
+// `from` at (or beyond) the tip is not an error: the backlog is empty
+// and the subscription is live.
+func (s *Service) SubscribeFrom(from uint64, h BlockHandler) ([]*ledger.Block, *Subscription, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if from < s.firstBlock || from >= s.height {
-		return nil
+	if from < s.firstBlock {
+		return nil, nil, fmt.Errorf("%w: block %d predates retained window [%d,%d)", ErrCompacted, from, s.firstBlock, s.height)
+	}
+	var out []*ledger.Block
+	if from < s.height {
+		out = make([]*ledger.Block, 0, s.height-from)
+		for _, b := range s.blocks[from-s.firstBlock:] {
+			out = append(out, b.Clone())
+		}
+	}
+	return out, s.registerLocked(h), nil
+}
+
+// Deliver returns clones of retained blocks from number `from` on —
+// Fabric's deliver service, used by late-joining peers to catch up. A
+// `from` at or beyond the chain tip returns (nil, nil). With
+// RetainBlocks set, a `from` that has been evicted from the retention
+// window returns ErrCompacted: that history must come from a peer
+// snapshot or block store instead.
+func (s *Service) Deliver(from uint64) ([]*ledger.Block, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < s.firstBlock {
+		return nil, fmt.Errorf("%w: block %d predates retained window [%d,%d)", ErrCompacted, from, s.firstBlock, s.height)
+	}
+	if from >= s.height {
+		return nil, nil
 	}
 	out := make([]*ledger.Block, 0, s.height-from)
 	for _, b := range s.blocks[from-s.firstBlock:] {
 		out = append(out, b.Clone())
 	}
-	return out
+	return out, nil
+}
+
+// FirstBlock returns the lowest block number still retained for
+// Deliver/Subscribe catch-up (0 unless RetainBlocks evicted history).
+func (s *Service) FirstBlock() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstBlock
 }
 
 // Metrics returns a snapshot of the ordering service's counters.

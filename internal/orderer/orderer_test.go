@@ -1,6 +1,7 @@
 package orderer
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -192,13 +193,19 @@ func TestRetainBlocksBoundsDeliverWindow(t *testing.T) {
 	if svc.Height() != 8 {
 		t.Fatalf("height = %d", svc.Height())
 	}
-	if got := svc.Deliver(0); got != nil {
-		t.Fatalf("Deliver(0) served %d evicted blocks", len(got))
+	if got, err := svc.Deliver(0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Deliver(0) = %d blocks, err %v, want ErrCompacted", len(got), err)
 	}
-	if got := svc.Deliver(4); got != nil {
-		t.Fatalf("Deliver(4) served %d evicted blocks", len(got))
+	if got, err := svc.Deliver(4); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Deliver(4) = %d blocks, err %v, want ErrCompacted", len(got), err)
 	}
-	window := svc.Deliver(5)
+	if got, err := svc.Deliver(8); got != nil || err != nil {
+		t.Fatalf("Deliver(at tip) = %d blocks, err %v, want empty and nil", len(got), err)
+	}
+	window, err := svc.Deliver(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(window) != 3 {
 		t.Fatalf("Deliver(5) returned %d blocks, want 3", len(window))
 	}
@@ -216,6 +223,79 @@ func TestRetainBlocksBoundsDeliverWindow(t *testing.T) {
 	}
 }
 
+// TestSubscribeFromDistinguishesCompactedFromTip: SubscribeFrom returns
+// ErrCompacted (and registers nothing) below the retained window, an
+// empty backlog with a live subscription at the tip, and the retained
+// suffix in between.
+func TestSubscribeFromDistinguishesCompactedFromTip(t *testing.T) {
+	svc := New(Config{OrdererCount: 1, BatchSize: 1, Seed: 11, RetainBlocks: 3})
+	for i := 0; i < 8; i++ {
+		if err := svc.Submit(tx(fmt.Sprintf("s%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := svc.SubscribeFrom(2, func(*ledger.Block) {}); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("SubscribeFrom(2) err = %v, want ErrCompacted", err)
+	}
+	backlog, sub, err := svc.SubscribeFrom(6, func(*ledger.Block) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	if len(backlog) != 2 || backlog[0].Header.Number != 6 {
+		t.Fatalf("SubscribeFrom(6) backlog wrong: %d blocks", len(backlog))
+	}
+	live := make(chan *ledger.Block, 1)
+	backlog, sub, err = svc.SubscribeFrom(8, func(b *ledger.Block) { live <- b })
+	if err != nil || len(backlog) != 0 {
+		t.Fatalf("SubscribeFrom(tip) = %d blocks, err %v", len(backlog), err)
+	}
+	defer sub.Close()
+	if err := svc.Submit(tx("tip")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-live:
+		if b.Header.Number != 8 {
+			t.Fatalf("live block numbered %d", b.Header.Number)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("tip subscription never went live")
+	}
+	if got := svc.FirstBlock(); got != 6 {
+		t.Fatalf("FirstBlock = %d, want 6", got)
+	}
+}
+
+// TestRetainBlocksCompactsRaftLog: RetainBlocks alone (no
+// SnapshotInterval) triggers raft log compaction in step with block
+// eviction, once the registered subscriber has drained — the bounded-log
+// half of the snapshot-join story.
+func TestRetainBlocksCompactsRaftLog(t *testing.T) {
+	svc := New(Config{OrdererCount: 3, BatchSize: 1, Seed: 12, RetainBlocks: 2})
+	svc.RegisterDelivery(func(*ledger.Block) {})
+	for i := 0; i < 6; i++ {
+		if err := svc.Submit(tx(fmt.Sprintf("c%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Submit waits for delivery, so by the round after the first eviction
+	// the queue was observed empty and the drain-gated compaction fired.
+	leader, err := svc.Cluster().ElectLeader(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader.FirstIndex() == 0 {
+		t.Fatal("raft log never compacted despite RetainBlocks evictions")
+	}
+	if err := svc.Submit(tx("post")); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Height() != 7 {
+		t.Fatalf("height = %d", svc.Height())
+	}
+}
+
 // TestUnboundedRetentionByDefault: the zero config keeps every block, so
 // Deliver(0) replays the whole chain — the pre-retention behavior.
 func TestUnboundedRetentionByDefault(t *testing.T) {
@@ -225,8 +305,8 @@ func TestUnboundedRetentionByDefault(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := svc.Deliver(0); len(got) != 5 {
-		t.Fatalf("Deliver(0) returned %d blocks, want 5", len(got))
+	if got, err := svc.Deliver(0); err != nil || len(got) != 5 {
+		t.Fatalf("Deliver(0) returned %d blocks, err %v, want 5", len(got), err)
 	}
 	if n := svc.Metrics()[metrics.OrdererBlocksEvicted]; n != 0 {
 		t.Fatalf("evicted %d blocks with unbounded retention", n)

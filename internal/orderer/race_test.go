@@ -93,7 +93,7 @@ func TestBatchTimerStopDrains(t *testing.T) {
 	// Every submitted transaction is in exactly one block.
 	seen := make(map[string]int)
 	var total int
-	for _, b := range svc.Deliver(0) {
+	for _, b := range mustDeliver(t, svc, 0) {
 		total += len(b.Transactions)
 		for _, tr := range b.Transactions {
 			seen[tr.TxID]++
@@ -144,7 +144,7 @@ func TestConcurrentSubmitWithTimeoutArmed(t *testing.T) {
 	svc.Stop()
 
 	seen := make(map[string]bool)
-	for _, b := range svc.Deliver(0) {
+	for _, b := range mustDeliver(t, svc, 0) {
 		for _, tr := range b.Transactions {
 			if seen[tr.TxID] {
 				t.Fatalf("tx %s appears in two blocks", tr.TxID)
@@ -195,7 +195,7 @@ func TestStopRacesInflightSubmits(t *testing.T) {
 	svc.Stop() // idempotent; ensures the drain finished before we inspect
 
 	ordered := make(map[string]int)
-	for _, b := range svc.Deliver(0) {
+	for _, b := range mustDeliver(t, svc, 0) {
 		for _, tr := range b.Transactions {
 			ordered[tr.TxID]++
 		}
@@ -344,4 +344,15 @@ func TestConcurrentSubmitAndSubscribe(t *testing.T) {
 			}
 		}
 	}
+}
+
+// mustDeliver unwraps Deliver for tests that read the full retained
+// chain (unbounded retention: never compacted).
+func mustDeliver(t *testing.T, svc *Service, from uint64) []*ledger.Block {
+	t.Helper()
+	blocks, err := svc.Deliver(from)
+	if err != nil {
+		t.Fatalf("Deliver(%d): %v", from, err)
+	}
+	return blocks
 }

@@ -269,11 +269,31 @@ func (p *Peer) restoreBackend() error {
 	if err != nil {
 		return fail(err)
 	}
-	height := uint64(len(blocks))
+	// A snapshot-installed backend starts its chain at a base height; the
+	// in-memory chain must adopt it before any block installs.
+	var base uint64
+	var baseHash []byte
+	if bs, ok := p.backend.Blocks().(storage.BaseBlockStore); ok {
+		base, baseHash = bs.Base()
+	}
+	height := base + uint64(len(blocks))
 	watermark := p.backend.State().Watermark()
 	if watermark > height {
 		return fail(fmt.Errorf("%w: state watermark %d exceeds chain height %d",
 			storage.ErrCorrupt, watermark, height))
+	}
+	if watermark < base {
+		// The base was installed but the snapshot's state batch never
+		// became durable: a crash mid-install. Blocks [base, watermark)
+		// cannot be replayed (the peer never had them), so recovery is
+		// impossible — wipe the backend and re-install the snapshot.
+		return fail(fmt.Errorf("%w: snapshot install incomplete (chain based at %d, state watermark %d); re-install from the snapshot artifact",
+			storage.ErrCorrupt, base, watermark))
+	}
+	if base > 0 {
+		if err := p.blocks.InstallBase(base, baseHash); err != nil {
+			return fail(err)
+		}
 	}
 	// 1. Install the durable state as of watermark W, bypassing the
 	// journal (these batches are durable already).
@@ -303,8 +323,9 @@ func (p *Peer) restoreBackend() error {
 		return fail(err)
 	}
 	// 3. Blocks below the watermark carry no un-flushed state: chain
-	// installation only.
-	for _, b := range blocks[:watermark] {
+	// installation only. (Indexing is relative to the base: block base+i
+	// sits at blocks[i].)
+	for _, b := range blocks[:watermark-base] {
 		if err := p.blocks.Append(b); err != nil {
 			return fail(err)
 		}
@@ -312,7 +333,7 @@ func (p *Peer) restoreBackend() error {
 	// 4. Blocks at or above the watermark replay through the validator:
 	// their mutations re-journal and re-flush, closing the gap a crash
 	// between the block append and the state flush left behind.
-	for _, b := range blocks[watermark:] {
+	for _, b := range blocks[watermark-base:] {
 		if err := p.validator.ReplayBlock(b); err != nil {
 			return fail(err)
 		}

@@ -1,0 +1,200 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/identity"
+	"repro/internal/ledger"
+	"repro/internal/peer"
+)
+
+// SnapshotResult compares the two cold-join paths for a peer that
+// missed the whole chain: genesis replay (commit and validate every
+// historical block, then reconcile missing private data) against
+// snapshot install (export the source's state at its commit point,
+// verify, install). Both joiners must end byte-identical to the source.
+type SnapshotResult struct {
+	// Blocks and TxsPerBlock describe the public history built on top
+	// of the seeded private writes.
+	Blocks      int `json:"blocks"`
+	TxsPerBlock int `json:"txs_per_block"`
+	// SeededPrivate is how many private keys the chain starts with, so
+	// the snapshot carries private store records, not just public state.
+	SeededPrivate int `json:"seeded_private"`
+	// Height is the source peer's chain height at export.
+	Height uint64 `json:"height"`
+
+	// Snapshot artifact shape.
+	SnapshotRecords int   `json:"snapshot_records"`
+	SnapshotChunks  int   `json:"snapshot_chunks"`
+	SnapshotBytes   int64 `json:"snapshot_bytes"`
+
+	// ReplayNs is the genesis-replay join: CommitBlock over the full
+	// chain plus reconciliation ticks until no private data is missing.
+	ReplayNs int64 `json:"replay_ns"`
+	// ExportNs + InstallNs is the snapshot join, split per side.
+	ExportNs  int64 `json:"export_ns"`
+	InstallNs int64 `json:"install_ns"`
+	// Speedup is ReplayNs / (ExportNs + InstallNs).
+	Speedup float64 `json:"speedup"`
+
+	// StateIdentical is true when source, replay joiner and snapshot
+	// joiner report byte-identical state hashes (the private namespaces
+	// are part of the hash).
+	StateIdentical bool `json:"state_identical"`
+	// PurgesIdentical is true when the snapshot joiner's pending purge
+	// schedule equals the source's.
+	PurgesIdentical bool `json:"purges_identical"`
+}
+
+// MeasureSnapshot builds a chain of `blocks` public blocks (on top of
+// `seeded` private writes) on a member peer, then times a genesis-replay
+// join against a snapshot join of that chain and cross-checks that both
+// converge to the source's exact state.
+func MeasureSnapshot(blocks, txsPerBlock, seeded int) (SnapshotResult, error) {
+	res := SnapshotResult{Blocks: blocks, TxsPerBlock: txsPerBlock, SeededPrivate: seeded}
+	h, err := NewHarness(core.OriginalFabric(), seeded)
+	if err != nil {
+		return res, err
+	}
+	// The source is a collection member, so its snapshot carries the
+	// private namespace, the hashed namespace and the purge schedule.
+	src := h.h.net.Peer("org1")
+	for b := 0; b < blocks; b++ {
+		txs, err := h.EndorseTxs(b, txsPerBlock)
+		if err != nil {
+			return res, err
+		}
+		blk := ledger.NewBlock(src.Ledger().Height(), src.Ledger().LastHash(), txs)
+		if err := src.CommitBlock(blk); err != nil {
+			return res, fmt.Errorf("perf: build chain block %d: %w", b, err)
+		}
+	}
+	res.Height = src.Ledger().Height()
+
+	joiner := func(name string) (*peer.Peer, error) {
+		id, err := h.h.net.CA("org2").Issue(name, identity.RolePeer)
+		if err != nil {
+			return nil, err
+		}
+		p, err := peer.New(peer.Config{
+			Identity: id,
+			Channel:  h.h.net.Channel,
+			Gossip:   h.h.net.Gossip,
+			Security: core.OriginalFabric(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := p.ApproveDefinition(src.Definition("asset")); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+
+	// Genesis replay: commit every historical block, then reconcile the
+	// private payloads the joiner was never gossiped (both are part of
+	// what a real cold join pays).
+	replayPeer, err := joiner("replay.org2")
+	if err != nil {
+		return res, err
+	}
+	replayStart := time.Now()
+	for i := uint64(0); i < res.Height; i++ {
+		blk, err := src.Ledger().Block(i)
+		if err != nil {
+			return res, err
+		}
+		if err := replayPeer.CommitBlock(blk); err != nil {
+			return res, fmt.Errorf("perf: replay block %d: %w", i, err)
+		}
+	}
+	for tick := 0; len(replayPeer.Validator().Missing()) > 0; tick++ {
+		if tick > 1000 {
+			return res, fmt.Errorf("perf: replay joiner still missing %d private entries after %d ticks",
+				len(replayPeer.Validator().Missing()), tick)
+		}
+		replayPeer.TickReconcile()
+	}
+	res.ReplayNs = time.Since(replayStart).Nanoseconds()
+
+	// Snapshot join: export at the source, install on a fresh peer.
+	dir, err := os.MkdirTemp("", "pdc-snapshot-bench-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	artifact := dir + "/snap"
+	exportStart := time.Now()
+	m, err := src.ExportSnapshot(artifact)
+	if err != nil {
+		return res, fmt.Errorf("perf: export snapshot: %w", err)
+	}
+	res.ExportNs = time.Since(exportStart).Nanoseconds()
+	snapPeer, err := joiner("snap.org2")
+	if err != nil {
+		return res, err
+	}
+	installStart := time.Now()
+	if err := snapPeer.InstallSnapshot(artifact); err != nil {
+		return res, fmt.Errorf("perf: install snapshot: %w", err)
+	}
+	res.InstallNs = time.Since(installStart).Nanoseconds()
+
+	res.SnapshotChunks = len(m.Chunks)
+	res.SnapshotRecords = m.Counts.State + m.Counts.Tombstones + m.Counts.Purges + m.Counts.Missing
+	for _, ci := range m.Chunks {
+		res.SnapshotBytes += ci.Bytes
+	}
+	if snapNs := res.ExportNs + res.InstallNs; snapNs > 0 {
+		res.Speedup = float64(res.ReplayNs) / float64(snapNs)
+	}
+
+	srcHash := src.WorldState().StateHash()
+	res.StateIdentical = bytes.Equal(srcHash, replayPeer.WorldState().StateHash()) &&
+		bytes.Equal(srcHash, snapPeer.WorldState().StateHash())
+	res.PurgesIdentical = reflect.DeepEqual(src.PvtStore().PendingPurges(), snapPeer.PvtStore().PendingPurges())
+	if !res.StateIdentical {
+		return res, fmt.Errorf("perf: joiners diverged from the source state (src %x, replay %x, snapshot %x)",
+			srcHash[:6], replayPeer.WorldState().StateHash()[:6], snapPeer.WorldState().StateHash()[:6])
+	}
+	if !res.PurgesIdentical {
+		return res, fmt.Errorf("perf: snapshot joiner's purge schedule diverged from the source")
+	}
+	return res, nil
+}
+
+// RenderSnapshot formats the cold-join comparison as a table.
+func RenderSnapshot(r SnapshotResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cold join: snapshot install vs genesis replay (%d blocks x %d txs, %d seeded private keys)\n",
+		r.Blocks, r.TxsPerBlock, r.SeededPrivate)
+	fmt.Fprintf(&b, "source height %d, artifact %d records in %d chunks (%d bytes)\n",
+		r.Height, r.SnapshotRecords, r.SnapshotChunks, r.SnapshotBytes)
+	fmt.Fprintf(&b, "%-26s %14s\n", "path", "wall clock")
+	fmt.Fprintf(&b, "%-26s %14s\n", "genesis replay + reconcile", time.Duration(r.ReplayNs).Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-26s %14s  (export %s + install %s)\n", "snapshot export + install",
+		time.Duration(r.ExportNs+r.InstallNs).Round(time.Microsecond),
+		time.Duration(r.ExportNs).Round(time.Microsecond),
+		time.Duration(r.InstallNs).Round(time.Microsecond))
+	fmt.Fprintf(&b, "speedup %.1fx, state identical: %v, purge schedule identical: %v\n",
+		r.Speedup, r.StateIdentical, r.PurgesIdentical)
+	return b.String()
+}
+
+// SnapshotJSON marshals the result as indented JSON (the committed
+// BENCH_snapshot.json baseline).
+func SnapshotJSON(r SnapshotResult) ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

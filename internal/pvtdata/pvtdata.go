@@ -13,6 +13,7 @@ package pvtdata
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -333,6 +334,55 @@ func (s *Store) SchedulePurge(purgeAtBlock uint64, chaincode, collection, key st
 		}
 		s.purgeMu.Unlock()
 	}
+}
+
+// PendingPurges exports the in-memory purge schedule as raw
+// (at, namespace, key) entries, sorted by height then namespace then
+// key. A snapshot carries this so BlockToLive keeps firing on an
+// installed peer exactly as it would have on the exporter.
+func (s *Store) PendingPurges() []storage.PurgeEntry {
+	s.purgeMu.Lock()
+	var out []storage.PurgeEntry
+	for at, entries := range s.purgeQueue {
+		for _, e := range entries {
+			out = append(out, storage.PurgeEntry{At: at, Namespace: e.namespace, Key: e.key})
+		}
+	}
+	s.purgeMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Namespace != b.Namespace {
+			return a.Namespace < b.Namespace
+		}
+		return a.Key < b.Key
+	})
+	return out
+}
+
+// InstallPurges seeds the purge schedule from snapshot entries. Unlike
+// SchedulePurge it takes raw namespace/key pairs (the exporter already
+// resolved chaincode+collection to a private namespace) and mirrors
+// each entry to the durable store so the schedule survives a restart of
+// the installed peer.
+func (s *Store) InstallPurges(entries []storage.PurgeEntry) error {
+	s.purgeMu.Lock()
+	d := s.durable
+	for _, e := range entries {
+		s.purgeQueue[e.At] = append(s.purgeQueue[e.At], purgeEntry{namespace: e.Namespace, key: e.Key})
+	}
+	s.purgeMu.Unlock()
+	if d == nil {
+		return nil
+	}
+	for _, e := range entries {
+		if err := d.SchedulePurge(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PurgeUpTo removes all private entries whose BlockToLive expired at or

@@ -1,0 +1,234 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func testRecords(n int) []Record {
+	out := make([]Record, 0, n+3)
+	for i := 0; i < n; i++ {
+		out = append(out, Record{
+			Kind:      KindState,
+			Namespace: fmt.Sprintf("ns%d", i%3),
+			Key:       fmt.Sprintf("key-%04d", i),
+			Value:     []byte(strings.Repeat("v", 50+i%17)),
+			Version:   uint64(i + 1),
+		})
+	}
+	out = append(out,
+		Record{Kind: KindTombstone, Namespace: "ns0", Key: "deleted", Version: 9},
+		Record{Kind: KindPurge, At: 42, Namespace: "cc$p$pdc1", Key: "secret"},
+		Record{Kind: KindMissing, TxID: "tx-7", Collection: "pdc1"},
+	)
+	return out
+}
+
+func writeArtifact(t *testing.T, dir string, recs []Record, chunkBytes int) *Manifest {
+	t.Helper()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunkBytes > 0 {
+		w.SetChunkBytes(chunkBytes)
+	}
+	for _, r := range recs {
+		if err := w.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := w.Finish(77, []byte("prevhash"), []byte("statehash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRoundTripMultiChunk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	recs := testRecords(200)
+	m := writeArtifact(t, dir, recs, 2048) // force several chunks
+
+	if len(m.Chunks) < 2 {
+		t.Fatalf("expected a multi-chunk artifact, got %d chunks", len(m.Chunks))
+	}
+	if m.Height != 77 {
+		t.Fatalf("height = %d", m.Height)
+	}
+	got, gotRecs, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SnapshotHash != m.SnapshotHash {
+		t.Fatal("snapshot hash changed across reload")
+	}
+	if len(gotRecs) != len(recs) {
+		t.Fatalf("loaded %d records, wrote %d", len(gotRecs), len(recs))
+	}
+	for i, r := range recs {
+		g := gotRecs[i]
+		if g.Kind != r.Kind || g.Namespace != r.Namespace || g.Key != r.Key ||
+			string(g.Value) != string(r.Value) || g.Version != r.Version ||
+			g.At != r.At || g.TxID != r.TxID || g.Collection != r.Collection {
+			t.Fatalf("record %d round-trip mismatch:\n got %+v\nwant %+v", i, g, r)
+		}
+	}
+	if got.Counts.State != 200 || got.Counts.Tombstones != 1 || got.Counts.Purges != 1 || got.Counts.Missing != 1 {
+		t.Fatalf("counts = %+v", got.Counts)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finish(0, nil, []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	m, recs, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || len(m.Chunks) != 0 || m.Height != 0 || m.LastBlockHash != "" {
+		t.Fatalf("empty artifact loaded as %+v with %d records", m, len(recs))
+	}
+}
+
+func TestWriterRefusesFinishedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	writeArtifact(t, dir, testRecords(3), 0)
+	if _, err := NewWriter(dir); err == nil {
+		t.Fatal("NewWriter over a finished artifact did not fail")
+	}
+}
+
+// corrupt applies fn to the artifact and asserts Load fails with
+// storage.ErrCorrupt while leaving the directory loadable again once
+// the corruption is undone — i.e. verification never mutates it.
+func corruptAndCheck(t *testing.T, fn func(t *testing.T, dir string) (undo func())) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "snap")
+	writeArtifact(t, dir, testRecords(50), 1024)
+
+	undo := fn(t, dir)
+	if _, _, err := Load(dir); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("Load of corrupted artifact: err = %v, want storage.ErrCorrupt", err)
+	}
+	undo()
+	if _, _, err := Load(dir); err != nil {
+		t.Fatalf("Load after undoing corruption: %v (verification mutated the dir?)", err)
+	}
+}
+
+func firstChunk(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "chunk-*.snap"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no chunks in %s: %v", dir, err)
+	}
+	return names[0]
+}
+
+func swapFile(t *testing.T, path string, mutate func([]byte) []byte) (undo func()) {
+	t.Helper()
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(append([]byte(nil), orig...)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return func() {
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTruncatedChunkFailsCorrupt(t *testing.T) {
+	corruptAndCheck(t, func(t *testing.T, dir string) func() {
+		return swapFile(t, firstChunk(t, dir), func(b []byte) []byte { return b[:len(b)-7] })
+	})
+}
+
+func TestBitFlippedChunkFailsCorrupt(t *testing.T) {
+	corruptAndCheck(t, func(t *testing.T, dir string) func() {
+		return swapFile(t, firstChunk(t, dir), func(b []byte) []byte {
+			b[len(b)/2] ^= 0x40
+			return b
+		})
+	})
+}
+
+func TestMissingChunkFailsCorrupt(t *testing.T) {
+	corruptAndCheck(t, func(t *testing.T, dir string) func() {
+		path := firstChunk(t, dir)
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		return func() {
+			if err := os.WriteFile(path, orig, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestTamperedManifestFailsCorrupt(t *testing.T) {
+	// Editing any manifest field (here: the recorded height) breaks the
+	// manifest self-hash.
+	corruptAndCheck(t, func(t *testing.T, dir string) func() {
+		return swapFile(t, filepath.Join(dir, ManifestName), func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), `"height": 77`, `"height": 78`, 1))
+		})
+	})
+}
+
+func TestManifestHashMismatchFailsCorrupt(t *testing.T) {
+	corruptAndCheck(t, func(t *testing.T, dir string) func() {
+		return swapFile(t, filepath.Join(dir, ManifestName), func(b []byte) []byte {
+			s := string(b)
+			i := strings.Index(s, `"snapshot_hash": "`)
+			if i < 0 {
+				t.Fatal("no snapshot_hash in manifest")
+			}
+			// Flip one hex digit of the recorded snapshot hash.
+			j := i + len(`"snapshot_hash": "`)
+			repl := byte('0')
+			if s[j] == '0' {
+				repl = '1'
+			}
+			return []byte(s[:j] + string(repl) + s[j+1:])
+		})
+	})
+}
+
+func TestChunkSwapFailsCorrupt(t *testing.T) {
+	// Two chunks swapped on disk: sizes may match, hashes will not.
+	dir := filepath.Join(t.TempDir(), "snap")
+	writeArtifact(t, dir, testRecords(120), 1024)
+	names, _ := filepath.Glob(filepath.Join(dir, "chunk-*.snap"))
+	if len(names) < 2 {
+		t.Fatalf("need >= 2 chunks, got %d", len(names))
+	}
+	a, _ := os.ReadFile(names[0])
+	b, _ := os.ReadFile(names[1])
+	os.WriteFile(names[0], b, 0o644)
+	os.WriteFile(names[1], a, 0o644)
+	if _, _, err := Load(dir); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("Load with swapped chunks: err = %v, want storage.ErrCorrupt", err)
+	}
+}

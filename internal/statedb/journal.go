@@ -102,7 +102,14 @@ func (st *nsState) deleteAt(key string, ver Version) {
 func (db *DB) StateHash() []byte {
 	snap := db.Snapshot()
 	defer snap.Release()
+	return snap.Hash()
+}
 
+// Hash computes the canonical state digest over this snapshot's view
+// (same algorithm as DB.StateHash). Snapshot export uses it so the
+// manifest's state hash is taken over exactly the records exported, not
+// a second, possibly later, snapshot.
+func (snap *Snapshot) Hash() []byte {
 	nss := make([]string, 0, len(snap.states))
 	for ns := range snap.states {
 		nss = append(nss, ns)

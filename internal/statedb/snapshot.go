@@ -121,6 +121,38 @@ func (snap *Snapshot) Namespaces() []string {
 	return out
 }
 
+// AllNamespaces returns every namespace with at least one live key OR
+// one tombstone as of the snapshot, sorted. A snapshot export must walk
+// this (not Namespaces) so deletion tombstones — which participate in
+// StateHash and in version continuity for re-created keys — survive the
+// transfer.
+func (snap *Snapshot) AllNamespaces() []string {
+	out := make([]string, 0, len(snap.states))
+	for ns, st := range snap.states {
+		if len(st.data) > 0 || len(st.tombs) > 0 {
+			out = append(out, ns)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tombstones returns the deleted keys of a namespace and their tombstone
+// versions (the last live version of each key) as of the snapshot,
+// sorted by key.
+func (snap *Snapshot) Tombstones(ns string) []KeyVersion {
+	st := snap.states[ns]
+	if st == nil || len(st.tombs) == 0 {
+		return nil
+	}
+	out := make([]KeyVersion, 0, len(st.tombs))
+	for k, v := range st.tombs {
+		out = append(out, KeyVersion{Key: k, Version: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Len returns the number of live keys in a namespace as of the snapshot.
 func (snap *Snapshot) Len(ns string) int {
 	st := snap.states[ns]

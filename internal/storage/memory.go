@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -43,24 +44,49 @@ func (b *memBackend) Pvt() PvtStore      { return b.pvt }
 func (b *memBackend) Close() error       { return nil }
 
 type memBlockStore struct {
-	mu     sync.Mutex
-	blocks []*ledger.Block
+	mu       sync.Mutex
+	base     uint64
+	baseHash []byte
+	blocks   []*ledger.Block
 }
+
+var _ BaseBlockStore = (*memBlockStore)(nil)
 
 func (s *memBlockStore) Append(b *ledger.Block) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if b.Header.Number != uint64(len(s.blocks)) {
-		return errOutOfOrder(b.Header.Number, uint64(len(s.blocks)))
+	want := s.base + uint64(len(s.blocks))
+	if b.Header.Number != want {
+		return errOutOfOrder(b.Header.Number, want)
 	}
 	s.blocks = append(s.blocks, b)
 	return nil
 }
 
+func (s *memBlockStore) InstallBase(height uint64, prevHash []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.blocks) != 0 {
+		return fmt.Errorf("storage: install base %d on non-empty block store", height)
+	}
+	if s.base != 0 && s.base != height {
+		return fmt.Errorf("storage: block store already based at %d, cannot re-base to %d", s.base, height)
+	}
+	s.base = height
+	s.baseHash = append([]byte(nil), prevHash...)
+	return nil
+}
+
+func (s *memBlockStore) Base() (uint64, []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base, s.baseHash
+}
+
 func (s *memBlockStore) Height() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return uint64(len(s.blocks))
+	return s.base + uint64(len(s.blocks))
 }
 
 func (s *memBlockStore) ReadAll() ([]*ledger.Block, error) {

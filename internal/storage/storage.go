@@ -113,6 +113,21 @@ type BlockStore interface {
 	Close() error
 }
 
+// BaseBlockStore is an optional extension of BlockStore for backends
+// that support snapshot installs: the store is told it begins at
+// `height` (prevHash = hash of block height-1) instead of 0, so a
+// snapshot-bootstrapped peer's durable chain holds only blocks from the
+// install point. Append numbering and Height then count from the base.
+// InstallBase on an already-based empty store with the same parameters
+// is a no-op, so a crashed install can be retried.
+type BaseBlockStore interface {
+	BlockStore
+	InstallBase(height uint64, prevHash []byte) error
+	// Base returns the first block number the store holds and the hash
+	// of its predecessor (0, nil for a genesis store).
+	Base() (uint64, []byte)
+}
+
 // PurgeEntry is one scheduled BlockToLive purge: the private entry
 // (Namespace, Key) is deleted when the chain reaches height At.
 type PurgeEntry struct {

@@ -226,6 +226,17 @@ func (v *Validator) Missing() []MissingEntry {
 	return out
 }
 
+// SeedMissing installs missing-private-data records transferred in a
+// snapshot, deduped against anything already recorded and mirrored to
+// the durable store. The installed peer's reconciler then retries the
+// exporter's unresolved fetches as if it had recorded them itself.
+func (v *Validator) SeedMissing(entries []MissingEntry) error {
+	for _, e := range entries {
+		v.recordMissing(e.TxID, e.Collection)
+	}
+	return v.DurableErr()
+}
+
 // ReconcileOne performs one reconciliation attempt for a recorded
 // missing entry: it pulls the original set from other member peers via
 // gossip, verifies it against the in-block hashes and commits the

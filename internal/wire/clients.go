@@ -3,12 +3,15 @@ package wire
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/deliver"
 	"repro/internal/ledger"
 	"repro/internal/rwset"
 	"repro/internal/service"
+	"repro/internal/snapshot"
 )
 
 // PeerClient speaks to a served peer and satisfies service.Peer, so a
@@ -116,6 +119,81 @@ func (p *PeerClient) StateHash(ctx context.Context) (string, error) {
 		return "", err
 	}
 	return info.StateHash, nil
+}
+
+// FetchSnapshot downloads a complete snapshot artifact from the served
+// peer into dir (which must not exist yet): peer.snapshot.meta triggers
+// an export and returns its manifest, peer.snapshot.chunks streams the
+// chunk files in manifest order. Every byte lands verbatim, so the
+// artifact's hashes — manifest self-hash, chunk SHA-256s, record CRCs —
+// verify at InstallSnapshot exactly as they would on a local copy. The
+// download is staged in dir+".partial" and published by rename, so a
+// dropped connection never leaves a half-written artifact under dir.
+func (p *PeerClient) FetchSnapshot(ctx context.Context, dir string) (*snapshot.Manifest, error) {
+	fail := func(err error) (*snapshot.Manifest, error) {
+		return nil, fmt.Errorf("wire: fetch snapshot: %w", err)
+	}
+	if _, err := os.Stat(dir); err == nil {
+		return fail(fmt.Errorf("%s already exists", dir))
+	}
+	var meta snapshotMetaResponse
+	if err := p.c.Call(ctx, "peer.snapshot.meta", nil, &meta); err != nil {
+		return nil, err
+	}
+	// Parse (and self-hash-verify) before spending bandwidth on chunks.
+	m, err := snapshot.ParseManifest(meta.Manifest)
+	if err != nil {
+		return fail(err)
+	}
+	tmp := dir + ".partial"
+	if err := os.RemoveAll(tmp); err != nil {
+		return fail(err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return fail(err)
+	}
+	cleanup := func() { os.RemoveAll(tmp) }
+	stream, err := p.c.Stream(ctx, "peer.snapshot.chunks", &snapshotChunksRequest{Export: meta.Export})
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	defer stream.Close()
+	for i, ci := range m.Chunks {
+		var chunk *SnapshotChunkEvent
+		for chunk == nil {
+			select {
+			case ev, ok := <-stream.Events():
+				if !ok {
+					cleanup()
+					return fail(fmt.Errorf("chunk stream ended at %d of %d: %w", i, len(m.Chunks), stream.Err()))
+				}
+				chunk, _ = ev.(*SnapshotChunkEvent)
+			case <-ctx.Done():
+				cleanup()
+				return fail(ctx.Err())
+			}
+		}
+		if chunk.Index != uint64(i) || chunk.Name != ci.Name {
+			cleanup()
+			return fail(fmt.Errorf("chunk %d: got %q (index %d), want %q", i, chunk.Name, chunk.Index, ci.Name))
+		}
+		if err := os.WriteFile(filepath.Join(tmp, ci.Name), chunk.Data, 0o644); err != nil {
+			cleanup()
+			return fail(err)
+		}
+	}
+	// The manifest lands last: a .partial directory with a manifest is a
+	// complete download.
+	if err := os.WriteFile(filepath.Join(tmp, snapshot.ManifestName), meta.Manifest, 0o644); err != nil {
+		cleanup()
+		return fail(err)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		cleanup()
+		return fail(err)
+	}
+	return m, nil
 }
 
 // deadStream is returned when a SubscribeLive call fails — the

@@ -33,10 +33,13 @@ func codecSampleBodies() []any {
 			ChaincodeEvent: ccEvent, Replayed: true,
 		}},
 		&event{},
+		&event{Chunk: &SnapshotChunkEvent{Index: 2, Name: "chunk-000002.snap", Data: []byte("PDCSNAP1...")}},
+		&snapshotMetaResponse{Export: 5, Manifest: []byte(`{"format":1}`)},
+		&snapshotChunksRequest{Export: 5},
 		&endorseRequest{Proposal: prop, Transient: map[string][]byte{"pw": []byte("s3cret"), "a": nil}},
 		&subscribeRequest{From: 7, Live: true},
 		&pvtRequest{TxID: "tx9", Collection: "pdc1"},
-		&infoResponse{Name: "peer0.org1", Org: "org1", Channel: "c1", Height: 42, StateHash: "ab12"},
+		&infoResponse{Name: "peer0.org1", Org: "org1", Channel: "c1", Height: 42, StateHash: "ab12", Base: 17},
 		&orderRequest{Tx: []byte(`{"tx_id":"tx9"}`)},
 		&txIDRequest{TxID: "tx9"},
 		&inPendingResponse{Pending: true},
@@ -246,6 +249,10 @@ func newZero(v any) any {
 		return &submitAsyncResponse{}
 	case *handleRequest:
 		return &handleRequest{}
+	case *snapshotMetaResponse:
+		return &snapshotMetaResponse{}
+	case *snapshotChunksRequest:
+		return &snapshotChunksRequest{}
 	case *rwset.TxPvtRWSet:
 		return &rwset.TxPvtRWSet{}
 	case *rwset.CollPvtRWSet:

@@ -50,6 +50,10 @@ func binMarshal(v any) (data []byte, ok bool) {
 		b = appSubmitAsyncResponse(b, t)
 	case *handleRequest:
 		b = appHandleRequest(b, t)
+	case *snapshotMetaResponse:
+		b = appSnapshotMetaResponse(b, t)
+	case *snapshotChunksRequest:
+		b = appSnapshotChunksRequest(b, t)
 	case *rwset.TxPvtRWSet:
 		b = appTxPvtRWSet(b, t)
 	case *rwset.CollPvtRWSet:
@@ -108,6 +112,7 @@ func binUnmarshal(data []byte, v any) (ok bool, err error) {
 			t.Channel = r.str()
 			t.Height = r.uvarint()
 			t.StateHash = r.str()
+			t.Base = r.uvarint()
 		}
 	case *orderRequest:
 		if r.presence() {
@@ -137,6 +142,15 @@ func binUnmarshal(data []byte, v any) (ok bool, err error) {
 	case *handleRequest:
 		if r.presence() {
 			t.Handle = r.uvarint()
+		}
+	case *snapshotMetaResponse:
+		if r.presence() {
+			t.Export = r.uvarint()
+			t.Manifest = r.byteSlice()
+		}
+	case *snapshotChunksRequest:
+		if r.presence() {
+			t.Export = r.uvarint()
 		}
 	case *rwset.TxPvtRWSet:
 		if p := readTxPvtRWSet(r); p != nil {
@@ -237,6 +251,7 @@ const (
 	evTagNone   = 0
 	evTagBlock  = 1
 	evTagStatus = 2
+	evTagChunk  = 3
 )
 
 func appEvent(b []byte, v *event) []byte {
@@ -253,6 +268,11 @@ func appEvent(b []byte, v *event) []byte {
 	case v.Status != nil:
 		b = append(b, evTagStatus)
 		b = appTxStatusEvent(b, v.Status)
+	case v.Chunk != nil:
+		b = append(b, evTagChunk)
+		b = appendUvarint(b, v.Chunk.Index)
+		b = appendString(b, v.Chunk.Name)
+		b = appendByteSlice(b, v.Chunk.Data)
 	default:
 		b = append(b, evTagNone)
 	}
@@ -279,6 +299,12 @@ func readEvent(r *binReader) *event {
 		}
 	case evTagStatus:
 		v.Status = readTxStatusEvent(r)
+	case evTagChunk:
+		v.Chunk = &SnapshotChunkEvent{
+			Index: r.uvarint(),
+			Name:  r.str(),
+			Data:  r.byteSlice(),
+		}
 	case evTagNone:
 	default:
 		r.fail("event tag")
@@ -619,7 +645,8 @@ func appInfoResponse(b []byte, v *infoResponse) []byte {
 	b = appendString(b, v.Org)
 	b = appendString(b, v.Channel)
 	b = appendUvarint(b, v.Height)
-	return appendString(b, v.StateHash)
+	b = appendString(b, v.StateHash)
+	return appendUvarint(b, v.Base)
 }
 
 func appOrderRequest(b []byte, v *orderRequest) []byte {
@@ -677,4 +704,21 @@ func appHandleRequest(b []byte, v *handleRequest) []byte {
 		return b
 	}
 	return appendUvarint(b, v.Handle)
+}
+
+func appSnapshotMetaResponse(b []byte, v *snapshotMetaResponse) []byte {
+	b = appPresence(b, v != nil)
+	if v == nil {
+		return b
+	}
+	b = appendUvarint(b, v.Export)
+	return appendByteSlice(b, v.Manifest)
+}
+
+func appSnapshotChunksRequest(b []byte, v *snapshotChunksRequest) []byte {
+	b = appPresence(b, v != nil)
+	if v == nil {
+		return b
+	}
+	return appendUvarint(b, v.Export)
 }

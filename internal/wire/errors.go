@@ -21,6 +21,7 @@ const (
 	codeBadEndorserSig = "bad_endorser_sig"
 	codeCommitUnavail  = "commit_unavailable"
 	codeOrdererStopped = "orderer_stopped"
+	codeCompacted      = "compacted"
 	codeSlowConsumer   = "slow_consumer"
 	codeDeliverClosed  = "deliver_closed"
 	codeCanceled       = "canceled"
@@ -43,6 +44,7 @@ var sentinels = []struct {
 	{codeBadEndorserSig, gateway.ErrBadEndorserSignature},
 	{codeCommitUnavail, gateway.ErrCommitStatusUnavailable},
 	{codeOrdererStopped, orderer.ErrStopped},
+	{codeCompacted, orderer.ErrCompacted},
 	{codeSlowConsumer, deliver.ErrSlowConsumer},
 	{codeDeliverClosed, deliver.ErrClosed},
 	{codeCanceled, context.Canceled},

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/hex"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/deliver"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/peer"
 	"repro/internal/rwset"
 	"repro/internal/service"
+	"repro/internal/snapshot"
 )
 
 // This file is the served side of the RPC catalogue: Register* install
@@ -22,12 +25,15 @@ import (
 
 // RegisterPeer serves a peer's endorse/deliver/private-data surface:
 //
-//	peer.endorse    unary   endorseRequest -> ledger.ProposalResponse
-//	peer.subscribe  stream  subscribeRequest -> deliver events
-//	peer.pvt        unary   pvtRequest -> rwset.CollPvtRWSet (null when absent)
-//	peer.pvtpush    unary   rwset.TxPvtRWSet -> {}
-//	peer.info       unary   {} -> infoResponse
+//	peer.endorse          unary   endorseRequest -> ledger.ProposalResponse
+//	peer.subscribe        stream  subscribeRequest -> deliver events
+//	peer.pvt              unary   pvtRequest -> rwset.CollPvtRWSet (null when absent)
+//	peer.pvtpush          unary   rwset.TxPvtRWSet -> {}
+//	peer.info             unary   {} -> infoResponse
+//	peer.snapshot.meta    unary   {} -> snapshotMetaResponse
+//	peer.snapshot.chunks  stream  snapshotChunksRequest -> chunk events
 func RegisterPeer(s *Server, p *peer.Peer) {
+	exports := &snapshotExports{}
 	s.Handle("peer.endorse", func(ctx context.Context, body Body, _ *Sink) (any, error) {
 		var req endorseRequest
 		if err := body.Decode(&req); err != nil {
@@ -87,8 +93,97 @@ func RegisterPeer(s *Server, p *peer.Peer) {
 			Channel:   p.ChannelName(),
 			Height:    p.Ledger().Height(),
 			StateHash: hex.EncodeToString(p.WorldState().StateHash()),
+			Base:      p.Ledger().Base(),
 		}, nil
 	})
+	s.Handle("peer.snapshot.meta", func(_ context.Context, _ Body, _ *Sink) (any, error) {
+		id, dir, err := exports.fresh(p)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := os.ReadFile(peer.SnapshotManifestPath(dir))
+		if err != nil {
+			return nil, fmt.Errorf("wire: peer.snapshot.meta: %w", err)
+		}
+		return &snapshotMetaResponse{Export: id, Manifest: raw}, nil
+	})
+	s.Handle("peer.snapshot.chunks", func(ctx context.Context, body Body, sink *Sink) (any, error) {
+		var req snapshotChunksRequest
+		if err := body.Decode(&req); err != nil {
+			return nil, fmt.Errorf("wire: peer.snapshot.chunks: %w", err)
+		}
+		dir, ok := exports.lookup(req.Export)
+		if !ok {
+			return nil, fmt.Errorf("wire: peer.snapshot.chunks: export %d expired (re-fetch peer.snapshot.meta)", req.Export)
+		}
+		m, err := snapshot.ReadManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := sink.Ack(); err != nil {
+			return nil, err
+		}
+		// One chunk file per frame, verbatim: the manifest's chunk hashes
+		// verify at the installer, so the transport adds no trust.
+		for i, ci := range m.Chunks {
+			data, err := os.ReadFile(filepath.Join(dir, ci.Name))
+			if err != nil {
+				return nil, fmt.Errorf("wire: peer.snapshot.chunks: %w", err)
+			}
+			ev := event{Chunk: &SnapshotChunkEvent{Index: uint64(i), Name: ci.Name, Data: data}}
+			if err := sink.SendBatch([]event{ev}); err != nil {
+				return nil, err
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+		}
+		return nil, nil
+	})
+}
+
+// snapshotExports tracks the served peer's most recent snapshot export.
+// A meta call replaces the previous export (and deletes its directory);
+// chunk streams are keyed by the export ID so a replaced export fails
+// typed instead of serving mixed artifacts.
+type snapshotExports struct {
+	mu   sync.Mutex
+	next uint64
+	id   uint64
+	dir  string // artifact directory, inside a private temp parent
+}
+
+// fresh exports a new snapshot into a temp directory and makes it the
+// current export, dropping the previous one.
+func (se *snapshotExports) fresh(p *peer.Peer) (uint64, string, error) {
+	parent, err := os.MkdirTemp("", "pdc-snapshot-export-")
+	if err != nil {
+		return 0, "", fmt.Errorf("wire: peer.snapshot.meta: %w", err)
+	}
+	dir := filepath.Join(parent, "snap")
+	if _, err := p.ExportSnapshot(dir); err != nil {
+		os.RemoveAll(parent)
+		return 0, "", err
+	}
+	se.mu.Lock()
+	if se.dir != "" {
+		os.RemoveAll(filepath.Dir(se.dir))
+	}
+	se.next++
+	se.id, se.dir = se.next, dir
+	id := se.id
+	se.mu.Unlock()
+	return id, dir, nil
+}
+
+// lookup resolves an export ID to its artifact directory.
+func (se *snapshotExports) lookup(id uint64) (string, bool) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if id == 0 || id != se.id {
+		return "", false
+	}
+	return se.dir, true
 }
 
 // RegisterOrderer serves the ordering surface:
@@ -135,13 +230,19 @@ func RegisterOrderer(s *Server, o *orderer.Service) {
 		// subscription is released when the stream ends, or the orderer
 		// would clone and queue every future block for a consumer that
 		// hung up (clients redial and re-subscribe on every drop).
+		// SubscribeFrom fails with ErrCompacted when From predates the
+		// retained window — the typed signal (mapped by codeCompacted)
+		// that the caller needs a peer snapshot, not a replay.
 		blocks := make(chan *ledger.Block, 64)
-		backlog, sub := o.Subscribe(func(b *ledger.Block) {
+		backlog, sub, err := o.SubscribeFrom(req.From, func(b *ledger.Block) {
 			select {
 			case blocks <- b:
 			case <-ctx.Done():
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 		defer sub.Close()
 		if err := sink.Ack(); err != nil {
 			return nil, err

@@ -42,10 +42,12 @@ type WireError struct {
 }
 
 // event is the payload of an ftEvent frame: exactly one of the fields
-// is set, mirroring the two deliver event kinds.
+// is set — the two deliver event kinds, or a snapshot chunk on a
+// peer.snapshot.chunks stream.
 type event struct {
 	Block  *deliver.BlockEvent    `json:"block,omitempty"`
 	Status *deliver.TxStatusEvent `json:"status,omitempty"`
+	Chunk  *SnapshotChunkEvent    `json:"chunk,omitempty"`
 }
 
 // decode returns the deliver.Event the frame carries.
@@ -55,6 +57,9 @@ func (e *event) decode() deliver.Event {
 	}
 	if e.Status != nil {
 		return e.Status
+	}
+	if e.Chunk != nil {
+		return e.Chunk
 	}
 	return nil
 }
@@ -94,6 +99,9 @@ type infoResponse struct {
 	Channel   string `json:"channel"`
 	Height    uint64 `json:"height"`
 	StateHash string `json:"state_hash"`
+	// Base is the peer's chain base: 0 for a genesis-replay peer, the
+	// snapshot height for a peer bootstrapped via InstallSnapshot.
+	Base uint64 `json:"base,omitempty"`
 }
 
 // orderRequest submits a serialized transaction (ledger.Transaction
@@ -116,6 +124,37 @@ type inPendingResponse struct {
 type blocksRequest struct {
 	From uint64 `json:"from"`
 }
+
+// snapshotMetaResponse answers peer.snapshot.meta: the manifest of a
+// freshly exported snapshot — the raw MANIFEST.json bytes, shipped
+// verbatim so the artifact's self-hash verifies end to end — plus the
+// export handle a peer.snapshot.chunks stream is keyed by.
+type snapshotMetaResponse struct {
+	Export   uint64 `json:"export"`
+	Manifest []byte `json:"manifest"`
+}
+
+// snapshotChunksRequest opens a peer.snapshot.chunks stream replaying
+// one export's chunk files in manifest order.
+type snapshotChunksRequest struct {
+	Export uint64 `json:"export"`
+}
+
+// SnapshotChunkEvent carries one snapshot chunk file, byte for byte as
+// written by the exporter, so the manifest's chunk hashes hold at the
+// receiver. It rides the event union of a peer.snapshot.chunks stream.
+type SnapshotChunkEvent struct {
+	// Index is the chunk's position in the manifest's chunk list.
+	Index uint64 `json:"index"`
+	// Name is the chunk's file name inside the artifact directory.
+	Name string `json:"name"`
+	// Data is the verbatim chunk file content.
+	Data []byte `json:"data"`
+}
+
+// BlockNumber implements deliver.Event; for a chunk it is the artifact
+// position, letting chunk streams reuse the event plumbing.
+func (e *SnapshotChunkEvent) BlockNumber() uint64 { return e.Index }
 
 // evaluateResponse carries gw.evaluate's query payload.
 type evaluateResponse struct {
